@@ -1,0 +1,35 @@
+//! Figure 1 (FORWARD): cost of the path-invariant machinery on the paper's
+//! first example — counterexample encoding, path-program construction, and
+//! one full path-invariant refinement step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathinv_bench::forward_with_cex;
+use pathinv_core::{path_program, PathInvariantRefiner, Refiner};
+use pathinv_ir::path_formula;
+use pathinv_smt::Solver;
+
+fn bench_forward(c: &mut Criterion) {
+    let (program, cex) = forward_with_cex();
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(10);
+
+    group.bench_function("path_formula", |b| {
+        b.iter(|| path_formula(&program, &cex));
+    });
+    group.bench_function("feasibility_check", |b| {
+        let solver = Solver::new();
+        let pf = path_formula(&program, &cex);
+        b.iter(|| solver.is_sat(&pf.conjunction()).unwrap());
+    });
+    group.bench_function("path_program_construction", |b| {
+        b.iter(|| path_program(&program, &cex).unwrap());
+    });
+    group.bench_function("path_invariant_refinement", |b| {
+        let refiner = PathInvariantRefiner::new();
+        b.iter(|| refiner.refine(&program, &cex).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

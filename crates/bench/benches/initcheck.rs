@@ -1,0 +1,34 @@
+//! Figure 2 (INITCHECK): array counterexample encoding and path-program
+//! construction.  The full quantified-template synthesis (the 3-second
+//! measurement of §5) is a single-shot experiment and is reported by the
+//! `experiments` binary instead of being repeated by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathinv_bench::initcheck_with_cex;
+use pathinv_core::path_program;
+use pathinv_invgen::basic_paths;
+use pathinv_ir::path_formula;
+use pathinv_smt::Solver;
+
+fn bench_initcheck(c: &mut Criterion) {
+    let (program, cex) = initcheck_with_cex();
+    let mut group = c.benchmark_group("initcheck");
+    group.sample_size(10);
+
+    group.bench_function("array_feasibility_check", |b| {
+        let solver = Solver::new();
+        let pf = path_formula(&program, &cex);
+        b.iter(|| solver.is_sat(&pf.conjunction()).unwrap());
+    });
+    group.bench_function("path_program_construction", |b| {
+        b.iter(|| path_program(&program, &cex).unwrap());
+    });
+    group.bench_function("basic_path_compilation", |b| {
+        let pp = path_program(&program, &cex).unwrap();
+        b.iter(|| basic_paths(&pp.program).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_initcheck);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 3 (PARTITION): per-branch path programs and their relations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathinv_bench::{partition_with_ge_cex, partition_with_lt_cex};
+use pathinv_core::path_program;
+use pathinv_invgen::basic_paths;
+use pathinv_ir::path_formula;
+use pathinv_smt::Solver;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for (label, (program, cex)) in
+        [("ge_branch", partition_with_ge_cex()), ("lt_branch", partition_with_lt_cex())]
+    {
+        group.bench_function(format!("{label}/feasibility_check"), |b| {
+            let solver = Solver::new();
+            let pf = path_formula(&program, &cex);
+            b.iter(|| solver.is_sat(&pf.conjunction()).unwrap());
+        });
+        group.bench_function(format!("{label}/path_program_and_relations"), |b| {
+            b.iter(|| {
+                let pp = path_program(&program, &cex).unwrap();
+                basic_paths(&pp.program).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the decision-procedure substrate that the paper's
+//! algorithm leans on: simplex feasibility, Farkas certificates and
+//! interpolation, and the combined array/UF solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathinv_ir::{Formula, Term};
+use pathinv_smt::{lra_solve, sequence_interpolants, LinConstraint, Solver};
+
+fn chain_constraints(n: usize) -> Vec<LinConstraint<pathinv_ir::VarRef>> {
+    let mut cs = Vec::new();
+    for i in 0..n {
+        let f = Formula::le(Term::ivar("x", i as u32), Term::ivar("x", i as u32 + 1));
+        cs.push(LinConstraint::from_atom(&f.atoms()[0]).unwrap());
+    }
+    let f = Formula::le(
+        Term::ivar("x", n as u32),
+        Term::ivar("x", 0).sub(Term::int(1)),
+    );
+    cs.push(LinConstraint::from_atom(&f.atoms()[0]).unwrap());
+    cs
+}
+
+fn bench_smt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_substrate");
+    group.sample_size(20);
+
+    for n in [8usize, 16, 32] {
+        group.bench_function(format!("simplex_infeasible_chain/{n}"), |b| {
+            let cs = chain_constraints(n);
+            b.iter(|| assert!(!lra_solve(&cs).unwrap().is_sat()));
+        });
+    }
+
+    group.bench_function("sequence_interpolants/counter_path", |b| {
+        let groups: Vec<Vec<LinConstraint<_>>> = (0..6)
+            .map(|i| {
+                let f = if i == 0 {
+                    Formula::eq(Term::ivar("i", 0), Term::int(0))
+                } else if i < 5 {
+                    Formula::eq(
+                        Term::ivar("i", i),
+                        Term::ivar("i", i - 1).add(Term::int(1)),
+                    )
+                } else {
+                    Formula::lt(Term::ivar("i", 4), Term::int(2))
+                };
+                vec![LinConstraint::from_atom(&f.atoms()[0])
+                    .unwrap()
+                    .tighten_for_integers()
+                    .unwrap()]
+            })
+            .collect();
+        b.iter(|| assert!(sequence_interpolants(&groups).unwrap().is_some()));
+    });
+
+    group.bench_function("combined_solver/read_over_write", |b| {
+        let solver = Solver::new();
+        let f = Formula::and(vec![
+            Formula::eq(
+                Term::pvar("a"),
+                Term::var("a").store(Term::var("i"), Term::int(0)),
+            ),
+            Formula::ne(Term::var("j"), Term::var("i")),
+            Formula::ne(
+                Term::pvar("a").select(Term::var("j")),
+                Term::var("a").select(Term::var("j")),
+            ),
+        ]);
+        b.iter(|| assert!(!solver.is_sat(&f).unwrap()));
+    });
+
+    group.bench_function("combined_solver/quantified_antecedent", |b| {
+        let solver = Solver::new();
+        let k = pathinv_ir::Symbol::intern("k");
+        let inv = Formula::forall(
+            vec![k],
+            Formula::and(vec![
+                Formula::le(Term::int(0), Term::Bound(k)),
+                Formula::le(Term::Bound(k), Term::var("n").sub(Term::int(1))),
+            ])
+            .implies(Formula::eq(Term::var("a").select(Term::Bound(k)), Term::int(0))),
+        );
+        let f = Formula::and(vec![
+            inv,
+            Formula::ge(Term::var("j"), Term::int(0)),
+            Formula::le(Term::var("j"), Term::var("n").sub(Term::int(1))),
+            Formula::ne(Term::var("a").select(Term::var("j")), Term::int(0)),
+        ]);
+        b.iter(|| assert!(!solver.is_sat(&f).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_smt);
+criterion_main!(benches);

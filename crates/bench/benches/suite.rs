@@ -1,0 +1,46 @@
+//! The benchmark-suite experiment (§6): front-end and analysis costs across
+//! the whole corpus, plus one full verification of a representative scalar
+//! member with each refiner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathinv_core::Verifier;
+use pathinv_ir::{analysis, corpus, parse_program};
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite");
+    group.sample_size(10);
+
+    group.bench_function("parse_and_lower_all", |b| {
+        let sources: Vec<&str> = corpus::suite().into_iter().map(|e| e.src).collect();
+        b.iter(|| {
+            for src in &sources {
+                let p = parse_program(src).unwrap();
+                let _ = analysis::natural_loops(&p);
+            }
+        });
+    });
+
+    group.bench_function("verify_lockstep/path_invariants", |b| {
+        let (_, program) = corpus::suite_programs()
+            .into_iter()
+            .find(|(e, _)| e.name == "lockstep")
+            .unwrap();
+        b.iter(|| {
+            let r = Verifier::path_invariants().verify(&program).unwrap();
+            assert!(r.verdict.is_safe());
+        });
+    });
+
+    group.bench_function("verify_forward/baseline_bound2", |b| {
+        // FORWARD is the program the baseline provably keeps unrolling.
+        let program = corpus::forward();
+        b.iter(|| {
+            let r = Verifier::path_predicates(2).verify(&program).unwrap();
+            assert!(!r.verdict.is_safe());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

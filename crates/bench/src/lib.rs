@@ -1,0 +1,82 @@
+//! Shared helpers for the benchmark harness and the experiment runner.
+
+#![warn(missing_docs)]
+
+use pathinv_ir::{corpus, Path, Program, TransId};
+
+/// Returns the FORWARD program together with its Figure 1(b) counterexample.
+pub fn forward_with_cex() -> (Program, Path) {
+    let p = corpus::forward();
+    let steps = corpus::forward_counterexample(&p);
+    let path = Path::new(&p, steps).expect("corpus counterexample is well formed");
+    (p, path)
+}
+
+/// Returns the INITCHECK program together with its Figure 2(b) counterexample.
+pub fn initcheck_with_cex() -> (Program, Path) {
+    let p = corpus::initcheck();
+    let steps = corpus::initcheck_counterexample(&p);
+    let path = Path::new(&p, steps).expect("corpus counterexample is well formed");
+    (p, path)
+}
+
+/// Returns PARTITION together with the counterexample through the then-branch
+/// (the one that yields the `ge` invariant, Equation (1) of §2.3).
+pub fn partition_with_ge_cex() -> (Program, Path) {
+    let p = corpus::partition();
+    let t = |from: &str, to: &str| corpus::find_transition(&p, from, to);
+    let steps: Vec<TransId> = vec![
+        t("L1", "L2"),
+        t("L2", "L3"),
+        t("L3", "L4"),
+        t("L4", "L4b"),
+        t("L4b", "L2b"),
+        t("L2b", "L2"),
+        t("L2", "L6pre"),
+        t("L6pre", "L6"),
+        t("L6", "L6a"),
+        t("L6a", "ERR"),
+    ];
+    let path = Path::new(&p, steps).expect("partition counterexample is well formed");
+    (p, path)
+}
+
+/// Returns PARTITION together with the counterexample through the else-branch
+/// (the one that yields the `lt` invariant, Equation (2) of §2.3).
+pub fn partition_with_lt_cex() -> (Program, Path) {
+    let p = corpus::partition();
+    let t = |from: &str, to: &str| corpus::find_transition(&p, from, to);
+    let steps: Vec<TransId> = vec![
+        t("L1", "L2"),
+        t("L2", "L3"),
+        t("L3", "L5"),
+        t("L5", "L5b"),
+        t("L5b", "L2b"),
+        t("L2b", "L2"),
+        t("L2", "L6pre"),
+        t("L6pre", "L6"),
+        t("L6", "L7pre"),
+        t("L7pre", "L7"),
+        t("L7", "L7a"),
+        t("L7a", "ERR"),
+    ];
+    let path = Path::new(&p, steps).expect("partition counterexample is well formed");
+    (p, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_paths_are_error_paths() {
+        let (p, c) = forward_with_cex();
+        assert!(c.is_error_path(&p));
+        let (p, c) = initcheck_with_cex();
+        assert!(c.is_error_path(&p));
+        let (p, c) = partition_with_ge_cex();
+        assert!(c.is_error_path(&p));
+        let (p, c) = partition_with_lt_cex();
+        assert!(c.is_error_path(&p));
+    }
+}

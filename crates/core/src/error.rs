@@ -1,0 +1,72 @@
+//! Error type of the CEGAR engine.
+
+use pathinv_invgen::InvgenError;
+use pathinv_ir::IrError;
+use pathinv_smt::SmtError;
+use std::fmt;
+
+/// Errors produced by the verification engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A program-representation error.
+    Ir(IrError),
+    /// A decision-procedure error.
+    Smt(SmtError),
+    /// An invariant-generation error other than "no invariant found" (which
+    /// the engine handles by falling back to path-based refinement).
+    Invgen(InvgenError),
+    /// The configured resource limit was exceeded.
+    Limit {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ir(e) => write!(f, "program error: {e}"),
+            CoreError::Smt(e) => write!(f, "solver error: {e}"),
+            CoreError::Invgen(e) => write!(f, "invariant generation error: {e}"),
+            CoreError::Limit { message } => write!(f, "resource limit exceeded: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<IrError> for CoreError {
+    fn from(e: IrError) -> CoreError {
+        CoreError::Ir(e)
+    }
+}
+
+impl From<SmtError> for CoreError {
+    fn from(e: SmtError) -> CoreError {
+        CoreError::Smt(e)
+    }
+}
+
+impl From<InvgenError> for CoreError {
+    fn from(e: InvgenError) -> CoreError {
+        CoreError::Invgen(e)
+    }
+}
+
+/// Result alias for the CEGAR engine.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = SmtError::Overflow.into();
+        assert!(e.to_string().contains("solver"));
+        let e: CoreError = IrError::lower("x").into();
+        assert!(e.to_string().contains("program"));
+        let e = CoreError::Limit { message: "too many refinements".into() };
+        assert!(e.to_string().contains("refinements"));
+    }
+}

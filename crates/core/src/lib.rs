@@ -1,0 +1,49 @@
+//! # pathinv-core — the Path Invariants algorithm
+//!
+//! This crate contains the paper's primary contribution:
+//!
+//! * [`pathprog`] — construction of *path programs* from spurious
+//!   counterexample paths (§3): the smallest syntactic sub-program containing
+//!   the path, with hatted loop copies so that all loop unwindings are
+//!   represented.
+//! * [`predabs`] — cartesian predicate abstraction with location-local
+//!   predicates, the abstraction the CEGAR loop refines (§4.1).
+//! * [`refine`] — the two refiners: the BLAST-style finite-path baseline and
+//!   the path-invariant refiner that synthesises invariants for the path
+//!   program and tracks their atoms.
+//! * [`cegar`] — the CEGAR driver (abstract reachability tree,
+//!   counterexample feasibility, refinement) with a pluggable refiner.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pathinv_core::Verifier;
+//! use pathinv_ir::parse_program;
+//!
+//! let program = parse_program(
+//!     "proc double(n: int) {
+//!          var i: int; var j: int;
+//!          assume(n >= 0);
+//!          i = 0; j = 0;
+//!          while (i < n) { j = j + 2; i = i + 1; }
+//!          assert(j == 2 * n);
+//!      }",
+//! )?;
+//! let result = Verifier::path_invariants().verify(&program)?;
+//! assert!(result.verdict.is_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cegar;
+pub mod error;
+pub mod pathprog;
+pub mod predabs;
+pub mod refine;
+
+pub use cegar::{CegarConfig, RefinerKind, Verdict, VerificationResult, Verifier};
+pub use error::{CoreError, CoreResult};
+pub use pathprog::{path_program, PathProgram};
+pub use predabs::{AbstractPost, AbstractState, PredicateMap};
+pub use refine::{NewPredicates, PathInvariantRefiner, PathPredicateRefiner, Refiner};

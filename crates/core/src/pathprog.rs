@@ -1,0 +1,234 @@
+//! Path programs (§3 of the paper).
+//!
+//! A spurious counterexample π is generalised into the *path program* P[π]:
+//! the smallest syntactic sub-program of P that contains π.  Its locations
+//! are pairs `(ℓ, i)` of an original location and a path position, plus
+//! "hatted" copies `(ℓ̂, i)` at the positions where π exits a loop it had
+//! iterated; the hatted copies carry the loop's transitions so that the path
+//! program can re-iterate the loop arbitrarily often.  The path program thus
+//! represents π together with *all* its loop unwindings, which is what makes
+//! refinement with its invariants eliminate infinitely many spurious
+//! counterexamples at once (Theorem 1).
+
+use pathinv_ir::analysis::{back_edges, natural_loops, NaturalLoop};
+use pathinv_ir::{IrResult, Loc, Path, Program, TransId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A path program together with the mapping from its locations back to the
+/// locations of the original program.
+#[derive(Clone, Debug)]
+pub struct PathProgram {
+    /// The path program itself (a [`Program`] like any other).
+    pub program: Program,
+    /// Maps each path-program location to the original-program location it is
+    /// a copy of.
+    pub to_original: BTreeMap<Loc, Loc>,
+    /// The positions (path indices) at which hatted loop copies were
+    /// inserted, together with the loop head in the original program.
+    pub hatted_blocks: Vec<(usize, Loc)>,
+}
+
+impl PathProgram {
+    /// The original location corresponding to a path-program location.
+    pub fn original_loc(&self, l: Loc) -> Loc {
+        self.to_original[&l]
+    }
+
+    /// The set of original locations that occur in the path program.
+    pub fn original_locs(&self) -> BTreeSet<Loc> {
+        self.to_original.values().copied().collect()
+    }
+}
+
+/// Constructs the path program `P[π]` for an error path `π` of `program`.
+///
+/// # Errors
+///
+/// Propagates [`pathinv_ir::IrError`] if the resulting control-flow graph is
+/// malformed (which would indicate a bug in the construction rather than bad
+/// input).
+pub fn path_program(program: &Program, path: &Path) -> IrResult<PathProgram> {
+    let locs = path.locations(program);
+    let steps = path.steps();
+    let k = steps.len();
+    let loops = natural_loops(program);
+    let backs: BTreeSet<TransId> = back_edges(program).into_iter().collect();
+
+    // Determine, for each loop iterated by the path, the position of the last
+    // visit to the loop head (the target of the loop's last back edge in the
+    // path).  The hatted copy of the block is attached there, matching the
+    // worked example of §3 and Figures 1(c)/2(c): the block can be
+    // re-iterated arbitrarily often from its head before the path finally
+    // leaves it.
+    let mut exits: BTreeMap<usize, NaturalLoop> = BTreeMap::new();
+    for l in &loops {
+        // Last position j whose transition is a back edge of this loop.
+        let last_back = (0..k)
+            .rev()
+            .find(|&j| backs.contains(&steps[j]) && program.transition(steps[j]).to == l.head);
+        let Some(last_back) = last_back else { continue };
+        let anchor = last_back + 1;
+        debug_assert_eq!(locs[anchor], l.head);
+        match exits.get(&anchor) {
+            Some(existing) if existing.body.len() >= l.body.len() => {}
+            _ => {
+                exits.insert(anchor, l.clone());
+            }
+        }
+    }
+
+    // Build the path program.
+    let mut b = program.to_builder_vars_only();
+    let mut to_original = BTreeMap::new();
+    let mut main_locs = Vec::with_capacity(k + 1);
+    for (i, &l) in locs.iter().enumerate() {
+        let label = format!("{}@{}", program.loc_label(l), i);
+        let pl = b.add_loc(&label);
+        to_original.insert(pl, l);
+        main_locs.push(pl);
+    }
+    b.set_entry(main_locs[0]);
+    b.set_error(main_locs[k]);
+    for (i, &tid) in steps.iter().enumerate() {
+        let t = program.transition(tid);
+        b.add_transition(main_locs[i], t.action.clone(), main_locs[i + 1]);
+    }
+
+    // The distinct original transitions used by the path.
+    let path_transitions: BTreeSet<TransId> = steps.iter().copied().collect();
+
+    let mut hatted_blocks = Vec::new();
+    for (&i, block) in &exits {
+        hatted_blocks.push((i, block.head));
+        // Hatted copies of the block's locations at position i.  The
+        // exit-point location itself is not duplicated: §3 adds a hatted copy
+        // of it connected by identity (skip) transitions in both directions;
+        // collapsing that copy — as drawn in Figures 1(c) and 2(c) — yields a
+        // semantically identical path program with one location and two
+        // identity transitions fewer per block.
+        let anchor_orig = locs[i];
+        let anchor = main_locs[i];
+        let mut hat: BTreeMap<Loc, Loc> = BTreeMap::new();
+        hat.insert(anchor_orig, anchor);
+        for &l in &block.body {
+            if l == anchor_orig {
+                continue;
+            }
+            let label = format!("^{}@{}", program.loc_label(l), i);
+            let pl = b.add_loc(&label);
+            to_original.insert(pl, l);
+            hat.insert(l, pl);
+        }
+        // Copies of the path's transitions that stay inside the block.
+        for &tid in &path_transitions {
+            let t = program.transition(tid);
+            if block.contains(t.from) && block.contains(t.to) {
+                b.add_transition(hat[&t.from], t.action.clone(), hat[&t.to]);
+            }
+        }
+    }
+
+    let built = b.build()?;
+    Ok(PathProgram { program: built, to_original, hatted_blocks })
+}
+
+/// Extension trait adding a variables-only builder to [`Program`].
+trait BuilderVarsOnly {
+    fn to_builder_vars_only(&self) -> pathinv_ir::ProgramBuilder;
+}
+
+impl BuilderVarsOnly for Program {
+    fn to_builder_vars_only(&self) -> pathinv_ir::ProgramBuilder {
+        let mut b = pathinv_ir::ProgramBuilder::new(&format!("{}[path]", self.name()));
+        for v in self.vars() {
+            b.declare(*v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::analysis::natural_loops;
+    use pathinv_ir::{corpus, Path};
+
+    #[test]
+    fn figure4_path_program_has_exactly_the_published_transitions() {
+        let p = corpus::figure4_program();
+        let path = Path::new(&p, corpus::figure4_path(&p)).unwrap();
+        let pp = path_program(&p, &path).unwrap();
+        // §3 lists 17 transitions: 7 on the main chain, 4 for the inner block
+        // at position 3, and 6 for the outer block at position 6.  Our
+        // construction collapses the hatted copy of each exit location with
+        // the exit location itself (as drawn in Figures 1(c) and 2(c)), which
+        // removes the two identity transitions and one hatted location per
+        // block: 17 - 2·2 = 13 transitions.
+        assert_eq!(pp.program.transitions().len(), 13);
+        // Hatted copies at positions 3 (inner block B2) and 6 (outer block B1).
+        assert_eq!(pp.hatted_blocks.len(), 2);
+        let positions: Vec<usize> = pp.hatted_blocks.iter().map(|(i, _)| *i).collect();
+        assert_eq!(positions, vec![3, 6]);
+        // Locations: 8 on the chain + 1 hatted at position 3 + 2 at position 6.
+        assert_eq!(pp.program.num_locs(), 11);
+        // The path program has loops again (that is the whole point): the
+        // inner block at position 3, and the nested inner + outer blocks at
+        // position 6.
+        assert_eq!(natural_loops(&pp.program).len(), 3);
+    }
+
+    #[test]
+    fn forward_path_program_matches_figure_1c() {
+        let p = corpus::forward();
+        let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
+        let pp = path_program(&p, &path).unwrap();
+        // One hatted block (the while loop), attached at the position of the
+        // second visit to L1.
+        assert_eq!(pp.hatted_blocks.len(), 1);
+        // The loop of the original program is re-created in the path program.
+        assert_eq!(natural_loops(&pp.program).len(), 1);
+        // Only transitions of the counterexample occur: the else-branch
+        // update (a := a+2; b := b+1) is absent.
+        let has_else = pp
+            .program
+            .transitions()
+            .iter()
+            .any(|t| t.action.to_string().contains("a + 2"));
+        assert!(!has_else, "the path program must not contain transitions outside the path");
+        // Every path-program location maps back to an original location.
+        for l in pp.program.locs() {
+            let orig = pp.original_loc(l);
+            assert!(p.locs().any(|x| x == orig));
+        }
+    }
+
+    #[test]
+    fn initcheck_path_program_has_two_loops() {
+        let p = corpus::initcheck();
+        let path = Path::new(&p, corpus::initcheck_counterexample(&p)).unwrap();
+        let pp = path_program(&p, &path).unwrap();
+        assert_eq!(pp.hatted_blocks.len(), 2, "both loops are iterated by the counterexample");
+        assert_eq!(natural_loops(&pp.program).len(), 2);
+        // The error location of the path program maps to the original error.
+        assert_eq!(pp.original_loc(pp.program.error()), p.error());
+    }
+
+    #[test]
+    fn loop_free_path_gives_a_straight_line_path_program() {
+        let p = pathinv_ir::parse_program(
+            "proc straight(x: int) { x = 1; assert(x == 2); }",
+        )
+        .unwrap();
+        // Find the error path by walking the CFG.
+        let err_edge = p
+            .transition_ids()
+            .find(|&t| p.transition(t).to == p.error())
+            .unwrap();
+        let first = p.outgoing(p.entry())[0];
+        let path = Path::new(&p, vec![first, err_edge]).unwrap();
+        let pp = path_program(&p, &path).unwrap();
+        assert_eq!(pp.hatted_blocks.len(), 0);
+        assert_eq!(pp.program.transitions().len(), 2);
+        assert!(natural_loops(&pp.program).is_empty());
+    }
+}

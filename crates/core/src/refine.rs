@@ -1,0 +1,431 @@
+//! Abstraction refinement: the baseline finite-path refiner and the paper's
+//! path-invariant refiner.
+//!
+//! Both refiners receive a spurious error path and return new predicates per
+//! program location.  The baseline ([`PathPredicateRefiner`]) follows the
+//! SLAM/BLAST recipe criticised in §2.1: it extracts predicates from the
+//! infeasible path formula (Craig interpolants plus the atomic facts of the
+//! path), which removes the *current* counterexample only, and therefore
+//! keeps unrolling loops.  The paper's refiner ([`PathInvariantRefiner`])
+//! builds the path program, synthesises path invariants for it, and returns
+//! their atoms — eliminating every counterexample that stays within the path
+//! program at once (Theorem 1).
+
+use crate::error::{CoreError, CoreResult};
+use crate::pathprog::path_program;
+use pathinv_invgen::{InvgenError, PathInvariantGenerator, SynthConfig, TemplateAttempt};
+use pathinv_ir::{ssa, Action, Formula, Loc, Path, Program, Symbol, Term};
+use pathinv_smt::{sequence_interpolants, LinConstraint};
+use std::collections::BTreeMap;
+
+/// New predicates produced by a refinement step, keyed by program location.
+pub type NewPredicates = BTreeMap<Loc, Vec<Formula>>;
+
+/// A refinement strategy.
+pub trait Refiner {
+    /// A short name used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Produces new predicates that eliminate the spurious error path
+    /// `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; refiners must not be called on feasible
+    /// paths.
+    fn refine(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates>;
+}
+
+/// The baseline refiner: predicates from the infeasible path formula
+/// (interpolants + path atoms), as in interpolation-based CEGAR tools.
+#[derive(Clone, Debug, Default)]
+pub struct PathPredicateRefiner;
+
+impl PathPredicateRefiner {
+    /// Creates the baseline refiner.
+    pub fn new() -> PathPredicateRefiner {
+        PathPredicateRefiner
+    }
+}
+
+impl Refiner for PathPredicateRefiner {
+    fn name(&self) -> &'static str {
+        "path-predicates"
+    }
+
+    fn refine(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates> {
+        let pf = ssa::path_formula(program, path);
+        let locs = path.locations(program);
+        let mut out: NewPredicates = BTreeMap::new();
+        let mut push = |l: Loc, f: Formula| {
+            if matches!(f, Formula::True | Formula::False) {
+                return;
+            }
+            out.entry(l).or_default().push(f);
+        };
+
+        // 1. Craig interpolants over the arithmetic fragment of the path
+        //    formula (array facts are dropped here; the baseline is exactly
+        //    as array-blind as the paper describes).  Disequality atoms are
+        //    split into their two strict cases; interpolants are computed for
+        //    every unsatisfiable combination of cases and their atoms merged.
+        let mut groups: Vec<Vec<LinConstraint<_>>> = Vec::new();
+        let mut ne_atoms: Vec<(usize, pathinv_ir::Atom)> = Vec::new();
+        for (i, step) in pf.steps.iter().enumerate() {
+            let mut group = Vec::new();
+            for atom in step.atoms() {
+                if atom.has_nonarithmetic() {
+                    continue;
+                }
+                if atom.op == pathinv_ir::RelOp::Ne {
+                    if ne_atoms.len() < 6 {
+                        ne_atoms.push((i, atom.clone()));
+                    }
+                    continue;
+                }
+                if let Ok(c) = LinConstraint::from_atom(&atom) {
+                    group.push(c.tighten_for_integers().map_err(CoreError::from)?);
+                }
+            }
+            groups.push(group);
+        }
+        for combo in 0..(1usize << ne_atoms.len()) {
+            let mut split_groups = groups.clone();
+            let mut ok = true;
+            for (bit, (step, atom)) in ne_atoms.iter().enumerate() {
+                let op = if combo & (1 << bit) == 0 {
+                    pathinv_ir::RelOp::Lt
+                } else {
+                    pathinv_ir::RelOp::Gt
+                };
+                let strict = pathinv_ir::Atom::new(atom.lhs.clone(), op, atom.rhs.clone());
+                match LinConstraint::from_atom(&strict) {
+                    Ok(c) => split_groups[*step]
+                        .push(c.tighten_for_integers().map_err(CoreError::from)?),
+                    Err(_) => ok = false,
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if let Some(itps) = sequence_interpolants(&split_groups).map_err(CoreError::from)? {
+                for (j, itp) in itps.into_iter().enumerate() {
+                    let at_step = j + 1;
+                    let renamed = pf.unname_at_step(at_step, &itp);
+                    push(locs[at_step], renamed);
+                }
+            }
+        }
+
+        // 2. The atomic facts of the path formula, renamed back to program
+        //    variables at the position where they were established — this is
+        //    the "track the constants seen so far" behaviour that produces
+        //    i = 0, i = 1, ... on loop programs (§2.1).
+        for (i, step) in pf.steps.iter().enumerate() {
+            for atom in step.atoms() {
+                let has_store = {
+                    let mut found = false;
+                    for side in [&atom.lhs, &atom.rhs] {
+                        side.for_each(&mut |t| {
+                            if matches!(t, Term::Store(..)) {
+                                found = true;
+                            }
+                        });
+                    }
+                    found
+                };
+                if has_store {
+                    continue;
+                }
+                let f = Formula::Atom(atom.clone());
+                let renamed = pf.unname_at_step(i + 1, &f);
+                // Only keep facts that are fully expressed over program
+                // variables at this position (no dangling SSA names).
+                if renamed.var_refs().iter().all(|v| v.tag == pathinv_ir::Tag::Cur) {
+                    push(locs[i + 1], renamed);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The paper's refiner: build the path program, synthesise path invariants,
+/// and track their atoms (propagated through the loop bodies) as predicates.
+#[derive(Clone, Debug, Default)]
+pub struct PathInvariantRefiner {
+    config: Option<SynthConfig>,
+}
+
+impl PathInvariantRefiner {
+    /// Creates the path-invariant refiner with the default synthesis
+    /// configuration.
+    pub fn new() -> PathInvariantRefiner {
+        PathInvariantRefiner { config: None }
+    }
+
+    /// Creates the refiner with an explicit synthesis configuration (used by
+    /// the ablation benchmarks).
+    pub fn with_config(config: SynthConfig) -> PathInvariantRefiner {
+        PathInvariantRefiner { config: Some(config) }
+    }
+
+    /// Runs the refiner and also returns the template attempts (for the
+    /// experiment harness).
+    pub fn refine_with_attempts(
+        &self,
+        program: &Program,
+        path: &Path,
+    ) -> CoreResult<(NewPredicates, Vec<TemplateAttempt>)> {
+        let pp = path_program(program, path)?;
+        let generator = match &self.config {
+            Some(c) => PathInvariantGenerator::with_config(c.clone()),
+            None => PathInvariantGenerator::new(),
+        };
+        match generator.generate(&pp.program) {
+            Ok(generated) if !generated.cutpoint_invariants.is_empty() => {
+                // Map the cut-point invariants back to original locations and
+                // propagate candidate predicates along the path.
+                let mut cut_invs: BTreeMap<Loc, Formula> = BTreeMap::new();
+                for (pp_loc, inv) in &generated.cutpoint_invariants {
+                    let orig = pp.original_loc(*pp_loc);
+                    let cur = cut_invs.remove(&orig).unwrap_or(Formula::True);
+                    cut_invs.insert(orig, Formula::and(vec![cur, inv.clone()]));
+                }
+                let preds = propagate_candidates(program, path, &cut_invs);
+                Ok((preds, generated.attempts))
+            }
+            Ok(generated) => {
+                // Loop-free path program: fall back to plain path refutation.
+                let preds = PathPredicateRefiner::new().refine(program, path)?;
+                Ok((preds, generated.attempts))
+            }
+            Err(InvgenError::NoInvariant { .. }) | Err(InvgenError::Unsupported { .. }) => {
+                // No invariant within the template language (or the path
+                // program is outside the supported template fragment): fall
+                // back to finite-path refinement, as the paper suggests
+                // combining the technique with falsification methods (§6).
+                let preds = PathPredicateRefiner::new().refine(program, path)?;
+                Ok((preds, Vec::new()))
+            }
+            Err(other) => Err(CoreError::from(other)),
+        }
+    }
+}
+
+impl Refiner for PathInvariantRefiner {
+    fn name(&self) -> &'static str {
+        "path-invariants"
+    }
+
+    fn refine(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates> {
+        Ok(self.refine_with_attempts(program, path)?.0)
+    }
+}
+
+/// Propagates the cut-point invariants along the counterexample path,
+/// producing *candidate* predicates for the intermediate locations (the
+/// strongest-postcondition propagation of §5, in candidate form: tracking a
+/// candidate that does not actually hold is harmless, the abstraction simply
+/// never asserts it).
+fn propagate_candidates(
+    program: &Program,
+    path: &Path,
+    cut_invs: &BTreeMap<Loc, Formula>,
+) -> NewPredicates {
+    let locs = path.locations(program);
+    let mut out: NewPredicates = BTreeMap::new();
+    let mut add = |l: Loc, f: &Formula| {
+        if matches!(f, Formula::True | Formula::False) {
+            return;
+        }
+        let entry = out.entry(l).or_default();
+        if !entry.contains(f) {
+            entry.push(f.clone());
+        }
+    };
+
+    // Seed every location that carries a synthesised invariant.
+    for (l, inv) in cut_invs {
+        for c in inv.conjuncts() {
+            add(*l, &c);
+        }
+    }
+
+    // Walk the path, carrying a set of candidate formulas.
+    let mut current: Vec<Formula> = Vec::new();
+    for (i, t) in path.transitions(program).iter().enumerate() {
+        if let Some(inv) = cut_invs.get(&locs[i]) {
+            for c in inv.conjuncts() {
+                if !current.contains(&c) {
+                    current.push(c);
+                }
+            }
+        }
+        current = current.iter().flat_map(|f| transform_candidate(f, &t.action)).collect();
+        match &t.action {
+            Action::Assume(g) => {
+                for c in g.conjuncts() {
+                    current.push(c);
+                }
+            }
+            Action::ArrayAssign { array, index, value } => {
+                current.push(Formula::eq(
+                    Term::var(*array).select(index.clone()),
+                    value.clone(),
+                ));
+            }
+            Action::Assign(asgs) => {
+                let assigned: Vec<Symbol> = asgs.iter().map(|(x, _)| *x).collect();
+                for (x, e) in asgs {
+                    if e.var_names().iter().all(|v| !assigned.contains(v)) {
+                        current.push(Formula::eq(Term::var(*x), e.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+        current.dedup();
+        for f in &current {
+            add(locs[i + 1], f);
+        }
+    }
+    out
+}
+
+/// Pushes one candidate formula through an action, optimistically.
+fn transform_candidate(f: &Formula, action: &Action) -> Vec<Formula> {
+    match action {
+        Action::Skip | Action::Assume(_) | Action::ArrayAssign { .. } => vec![f.clone()],
+        Action::Havoc(xs) => {
+            if f.var_names().iter().any(|v| xs.contains(v)) {
+                vec![]
+            } else {
+                vec![f.clone()]
+            }
+        }
+        Action::Assign(asgs) => {
+            if f.has_quantifier() {
+                // Quantified candidates are carried unchanged; the abstract
+                // post decides whether they still hold.
+                return vec![f.clone()];
+            }
+            let mentions_assigned =
+                asgs.iter().any(|(x, _)| f.var_names().contains(x));
+            if !mentions_assigned {
+                return vec![f.clone()];
+            }
+            // Invertible updates x := x ± c are substituted exactly; anything
+            // else drops the candidate (a stronger candidate would be
+            // unsound to guess and a weaker one rarely helps).
+            let mut result = f.clone();
+            for (x, e) in asgs {
+                if !result.var_names().contains(x) {
+                    continue;
+                }
+                let inverse = match e {
+                    Term::Add(a, b) => match (a.as_ref(), b.as_ref()) {
+                        (Term::Var(v), Term::Const(c)) if v.sym == *x => {
+                            Some(Term::var(*x).sub(Term::int(*c)))
+                        }
+                        (Term::Const(c), Term::Var(v)) if v.sym == *x => {
+                            Some(Term::var(*x).sub(Term::int(*c)))
+                        }
+                        _ => None,
+                    },
+                    Term::Sub(a, b) => match (a.as_ref(), b.as_ref()) {
+                        (Term::Var(v), Term::Const(c)) if v.sym == *x => {
+                            Some(Term::var(*x).add(Term::int(*c)))
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match inverse {
+                    Some(inv) => {
+                        result = result.subst_var(pathinv_ir::VarRef::cur(*x), &inv);
+                    }
+                    None => return vec![],
+                }
+            }
+            vec![result]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::corpus;
+
+    #[test]
+    fn baseline_refiner_produces_constant_tracking_predicates() {
+        let p = corpus::forward();
+        let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
+        let preds = PathPredicateRefiner::new().refine(&p, &path).unwrap();
+        let all: Vec<String> =
+            preds.values().flatten().map(|f| f.to_string()).collect();
+        // The first-iteration constants show up, as in §2.1.
+        assert!(all.iter().any(|s| s.contains("i = 0")), "{all:?}");
+        assert!(all.iter().any(|s| s.contains("a = 0") || s.contains("b = 0")), "{all:?}");
+        assert!(!preds.is_empty());
+    }
+
+    #[test]
+    fn path_invariant_refiner_produces_loop_invariant_predicates() {
+        let p = corpus::forward();
+        let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
+        let refiner = PathInvariantRefiner::new();
+        let (preds, attempts) = refiner.refine_with_attempts(&p, &path).unwrap();
+        assert!(!attempts.is_empty(), "the template attempts must be reported");
+        let l1 = corpus::find_loc(&p, "L1");
+        let at_l1: Vec<String> = preds[&l1].iter().map(|f| f.to_string()).collect();
+        // The relational loop invariant (not expressible by finite-path
+        // predicates) is among the new predicates.
+        assert!(
+            at_l1.iter().any(|s| s.contains('a') && s.contains('b') && s.contains('i')),
+            "expected a relational predicate at L1, got {at_l1:?}"
+        );
+        // Intermediate loop locations receive propagated candidates.
+        let l4 = corpus::find_loc(&p, "L4");
+        assert!(preds.contains_key(&l4), "propagation must reach L4");
+    }
+
+    #[test]
+    fn candidate_transformation_is_exact_for_invertible_updates() {
+        let f = Formula::eq(
+            Term::var("a").add(Term::var("b")),
+            Term::int(3).mul(Term::var("i")),
+        );
+        let action = Action::Assign(vec![
+            (Symbol::intern("a"), Term::var("a").add(Term::int(1))),
+            (Symbol::intern("b"), Term::var("b").add(Term::int(2))),
+        ]);
+        let out = transform_candidate(&f, &action);
+        assert_eq!(out.len(), 1);
+        let s = out[0].to_string();
+        assert!(s.contains("a - 1") || s.contains("(a - 1)"), "{s}");
+    }
+
+    #[test]
+    fn candidate_transformation_drops_non_invertible_updates() {
+        let f = Formula::eq(Term::var("x"), Term::int(0));
+        let action = Action::assign("x", Term::var("y"));
+        assert!(transform_candidate(&f, &action).is_empty());
+        // But candidates not mentioning the assigned variable survive.
+        let g = Formula::eq(Term::var("z"), Term::int(0));
+        assert_eq!(transform_candidate(&g, &action).len(), 1);
+    }
+
+    #[test]
+    fn quantified_candidates_are_carried_unchanged() {
+        let k = Symbol::intern("k");
+        let q = Formula::forall(
+            vec![k],
+            Formula::le(Term::int(0), Term::Bound(k))
+                .implies(Formula::eq(Term::var("a").select(Term::Bound(k)), Term::int(0))),
+        );
+        let action = Action::assign("i", Term::var("i").add(Term::int(1)));
+        assert_eq!(transform_candidate(&q, &action), vec![q]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for invariant synthesis.
+
+use pathinv_smt::SmtError;
+use std::fmt;
+
+/// Errors produced by the invariant generators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvgenError {
+    /// A lower-level solver error.
+    Smt(SmtError),
+    /// No invariant map exists within the given template language (or within
+    /// the multiplier bounds of the bilinear search).
+    NoInvariant {
+        /// Human-readable description of what was attempted.
+        message: String,
+    },
+    /// The program or path program is outside the supported fragment for a
+    /// particular generator (e.g. several writes to the template array along
+    /// one basic path).
+    Unsupported {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl InvgenError {
+    /// Convenience constructor for [`InvgenError::NoInvariant`].
+    pub fn no_invariant(message: impl Into<String>) -> InvgenError {
+        InvgenError::NoInvariant { message: message.into() }
+    }
+
+    /// Convenience constructor for [`InvgenError::Unsupported`].
+    pub fn unsupported(message: impl Into<String>) -> InvgenError {
+        InvgenError::Unsupported { message: message.into() }
+    }
+}
+
+impl fmt::Display for InvgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvgenError::Smt(e) => write!(f, "solver error: {e}"),
+            InvgenError::NoInvariant { message } => {
+                write!(f, "no invariant found: {message}")
+            }
+            InvgenError::Unsupported { message } => write!(f, "unsupported input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for InvgenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InvgenError::Smt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SmtError> for InvgenError {
+    fn from(e: SmtError) -> InvgenError {
+        InvgenError::Smt(e)
+    }
+}
+
+/// Result alias for invariant synthesis.
+pub type InvgenResult<T> = Result<T, InvgenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = InvgenError::no_invariant("equality template too weak");
+        assert!(e.to_string().contains("equality template"));
+        let e: InvgenError = SmtError::Overflow.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,455 @@
+//! Cut points and basic-path relations.
+//!
+//! Constraint-based invariant generation works on a *cutset* of the program —
+//! the loop-head locations — and on the *basic paths* between cut points: the
+//! acyclic control-flow paths that start at a cut point (or the entry) and
+//! end at the next cut point (or the error location) without passing through
+//! another cut point in between.  Each basic path is compiled into a
+//! transition relation in constraint form: a conjunction of linear
+//! constraints over SSA-tagged variables, plus the array writes and array
+//! reads performed along the path (kept symbolic for the quantified-template
+//! reduction of §4.2).
+
+use crate::error::{InvgenError, InvgenResult};
+use pathinv_ir::analysis::cutpoints as loop_heads;
+use pathinv_ir::{Action, Atom, Formula, Loc, Program, RelOp, Symbol, Term, TransId, VarRef};
+use pathinv_smt::{LinConstraint, LinExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An array write `array[index] := value` along a basic path, with the index
+/// and value expressed over the path's SSA-tagged variables.
+#[derive(Clone, Debug)]
+pub struct ArrayWrite {
+    /// The written array.
+    pub array: Symbol,
+    /// The index expression.
+    pub index: LinExpr<VarRef>,
+    /// The written value.
+    pub value: LinExpr<VarRef>,
+}
+
+/// An array read `array[index]` along a basic path, abstracted by a fresh
+/// result variable.
+#[derive(Clone, Debug)]
+pub struct ArrayRead {
+    /// The read array.
+    pub array: Symbol,
+    /// The index expression.
+    pub index: LinExpr<VarRef>,
+    /// The fresh variable standing for the read value.
+    pub result: VarRef,
+}
+
+/// One disjunct of a basic-path relation (disequality guards are split into
+/// cases at compile time so that every case is a pure conjunction).
+#[derive(Clone, Debug, Default)]
+pub struct RelationCase {
+    /// Scalar constraints over the tagged variables (strict inequalities are
+    /// already tightened using integrality).
+    pub scalar: Vec<LinConstraint<VarRef>>,
+    /// Array writes, in program order.
+    pub writes: Vec<ArrayWrite>,
+    /// Array reads, in program order.
+    pub reads: Vec<ArrayRead>,
+}
+
+impl RelationCase {
+    /// The writes to a particular array.
+    pub fn writes_to(&self, array: Symbol) -> Vec<&ArrayWrite> {
+        self.writes.iter().filter(|w| w.array == array).collect()
+    }
+
+    /// The reads from a particular array.
+    pub fn reads_from(&self, array: Symbol) -> Vec<&ArrayRead> {
+        self.reads.iter().filter(|r| r.array == array).collect()
+    }
+}
+
+/// A basic path between cut points, compiled to constraint form.
+#[derive(Clone, Debug)]
+pub struct BasicPath {
+    /// Source location (a cut point or the program entry).
+    pub from: Loc,
+    /// Target location (a cut point or the error location).
+    pub to: Loc,
+    /// The transitions of the path.
+    pub trans: Vec<TransId>,
+    /// The disjuncts of the relation.
+    pub cases: Vec<RelationCase>,
+    /// Pre-state variable of each scalar program variable.
+    pub pre: BTreeMap<Symbol, VarRef>,
+    /// Post-state variable of each scalar program variable.
+    pub post: BTreeMap<Symbol, VarRef>,
+}
+
+/// The set of cut points used for invariant synthesis: the loop heads of the
+/// program.
+pub fn cutset(program: &Program) -> BTreeSet<Loc> {
+    loop_heads(program)
+}
+
+/// Enumerates and compiles all basic paths of the program with respect to its
+/// cutset.
+///
+/// # Errors
+///
+/// Returns an error if a guard or assignment is not linear.
+pub fn basic_paths(program: &Program) -> InvgenResult<Vec<BasicPath>> {
+    let cuts = cutset(program);
+    let mut sources: Vec<Loc> = cuts.iter().copied().collect();
+    if !cuts.contains(&program.entry()) {
+        sources.insert(0, program.entry());
+    }
+    let mut out = Vec::new();
+    for &src in &sources {
+        let mut stack: Vec<Vec<TransId>> = program.outgoing(src).iter().map(|&t| vec![t]).collect();
+        while let Some(path) = stack.pop() {
+            let last = program.transition(*path.last().expect("non-empty path"));
+            let here = last.to;
+            if cuts.contains(&here) || here == program.error() {
+                out.push(compile_basic_path(program, src, here, &path)?);
+                continue;
+            }
+            if program.outgoing(here).is_empty() {
+                // A terminal non-error location: no invariant obligation.
+                continue;
+            }
+            for &next in program.outgoing(here) {
+                // Basic paths are acyclic by construction (every cycle
+                // contains a cut point), but guard against malformed inputs.
+                if path.len() > program.num_locs() + 1 {
+                    return Err(InvgenError::unsupported(
+                        "cycle without a cut point while enumerating basic paths",
+                    ));
+                }
+                let mut longer = path.clone();
+                longer.push(next);
+                stack.push(longer);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compiles a single basic path (given by its transition ids) into constraint
+/// form.
+pub fn compile_basic_path(
+    program: &Program,
+    from: Loc,
+    to: Loc,
+    trans: &[TransId],
+) -> InvgenResult<BasicPath> {
+    let mut versions: BTreeMap<Symbol, u32> = BTreeMap::new();
+    for d in program.vars() {
+        versions.insert(d.sym, 0);
+    }
+    let mut cases = vec![RelationCase::default()];
+    for &tid in trans {
+        let t = program.transition(tid);
+        cases = apply_action(&t.action, &mut versions, cases)?;
+    }
+    let pre: BTreeMap<Symbol, VarRef> =
+        program.int_vars().into_iter().map(|s| (s, VarRef::idx(s, 0))).collect();
+    let post: BTreeMap<Symbol, VarRef> = program
+        .int_vars()
+        .into_iter()
+        .map(|s| (s, VarRef::idx(s, versions.get(&s).copied().unwrap_or(0))))
+        .collect();
+    Ok(BasicPath { from, to, trans: trans.to_vec(), cases, pre, post })
+}
+
+fn rename_term(t: &Term, versions: &BTreeMap<Symbol, u32>) -> Term {
+    t.map_vars(&|v| {
+        if v.tag == pathinv_ir::Tag::Cur {
+            Term::Var(VarRef::idx(v.sym, versions.get(&v.sym).copied().unwrap_or(0)))
+        } else {
+            Term::Var(v)
+        }
+    })
+}
+
+/// Abstracts array reads in a term, recording them, and returns a read-free
+/// term.
+fn abstract_reads(
+    t: &Term,
+    versions: &BTreeMap<Symbol, u32>,
+    reads: &mut Vec<ArrayRead>,
+) -> InvgenResult<Term> {
+    match t {
+        Term::Const(_) | Term::Var(_) | Term::Bound(_) => Ok(t.clone()),
+        Term::Add(a, b) => Ok(Term::Add(
+            Box::new(abstract_reads(a, versions, reads)?),
+            Box::new(abstract_reads(b, versions, reads)?),
+        )),
+        Term::Sub(a, b) => Ok(Term::Sub(
+            Box::new(abstract_reads(a, versions, reads)?),
+            Box::new(abstract_reads(b, versions, reads)?),
+        )),
+        Term::Neg(a) => Ok(Term::Neg(Box::new(abstract_reads(a, versions, reads)?))),
+        Term::Mul(a, b) => Ok(Term::Mul(
+            Box::new(abstract_reads(a, versions, reads)?),
+            Box::new(abstract_reads(b, versions, reads)?),
+        )),
+        Term::Select(arr, idx) => {
+            let array = match arr.as_ref() {
+                Term::Var(v) => v.sym,
+                other => {
+                    return Err(InvgenError::unsupported(format!(
+                        "read from a non-variable array expression `{other}`"
+                    )))
+                }
+            };
+            let idx = abstract_reads(idx, versions, reads)?;
+            let idx_expr = LinExpr::from_term(&idx)?;
+            if let Some(existing) =
+                reads.iter().find(|r| r.array == array && r.index == idx_expr)
+            {
+                return Ok(Term::Var(existing.result));
+            }
+            let result = VarRef::cur(Symbol::fresh(&format!("rd_{array}")));
+            reads.push(ArrayRead { array, index: idx_expr, result });
+            Ok(Term::Var(result))
+        }
+        Term::Store(..) | Term::App(..) => Err(InvgenError::unsupported(format!(
+            "unexpected term `{t}` in a guarded command"
+        ))),
+    }
+}
+
+/// Converts an atom (with reads already renamed/abstracted) into one or two
+/// relation cases' worth of constraints.
+fn atom_cases(a: &Atom) -> InvgenResult<Vec<Vec<LinConstraint<VarRef>>>> {
+    match a.op {
+        RelOp::Ne => {
+            let lt = LinConstraint::from_atom(&Atom::new(a.lhs.clone(), RelOp::Lt, a.rhs.clone()))?
+                .tighten_for_integers()?;
+            let gt = LinConstraint::from_atom(&Atom::new(a.lhs.clone(), RelOp::Gt, a.rhs.clone()))?
+                .tighten_for_integers()?;
+            Ok(vec![vec![lt], vec![gt]])
+        }
+        _ => Ok(vec![vec![LinConstraint::from_atom(a)?.tighten_for_integers()?]]),
+    }
+}
+
+fn apply_action(
+    action: &Action,
+    versions: &mut BTreeMap<Symbol, u32>,
+    cases: Vec<RelationCase>,
+) -> InvgenResult<Vec<RelationCase>> {
+    match action {
+        Action::Skip => Ok(cases),
+        Action::Havoc(xs) => {
+            for x in xs {
+                *versions.entry(*x).or_insert(0) += 1;
+            }
+            Ok(cases)
+        }
+        Action::Assume(g) => {
+            // The guard is a conjunction of atoms (lowering splits
+            // disjunctions across parallel edges).
+            let mut per_atom: Vec<Vec<Vec<LinConstraint<VarRef>>>> = Vec::new();
+            let mut new_reads: Vec<ArrayRead> = Vec::new();
+            for conj in g.conjuncts() {
+                match conj {
+                    Formula::True => {}
+                    Formula::False => return Ok(vec![]),
+                    Formula::Atom(a) => {
+                        let lhs = abstract_reads(&rename_term(&a.lhs, versions), versions, &mut new_reads)?;
+                        let rhs = abstract_reads(&rename_term(&a.rhs, versions), versions, &mut new_reads)?;
+                        per_atom.push(atom_cases(&Atom::new(lhs, a.op, rhs))?);
+                    }
+                    other => {
+                        return Err(InvgenError::unsupported(format!(
+                            "non-atomic guard `{other}` in a basic path"
+                        )))
+                    }
+                }
+            }
+            // Cartesian product of the per-atom case splits.
+            let mut out = Vec::new();
+            for case in cases {
+                let mut partials = vec![case];
+                for alternatives in &per_atom {
+                    let mut next = Vec::new();
+                    for p in &partials {
+                        for alt in alternatives {
+                            let mut q = p.clone();
+                            q.scalar.extend(alt.iter().cloned());
+                            next.push(q);
+                        }
+                    }
+                    partials = next;
+                }
+                for mut p in partials {
+                    p.reads.extend(new_reads.iter().cloned());
+                    out.push(p);
+                }
+            }
+            Ok(out)
+        }
+        Action::Assign(asgs) => {
+            let mut eqs = Vec::new();
+            let mut new_reads = Vec::new();
+            let renamed: Vec<(Symbol, Term)> = asgs
+                .iter()
+                .map(|(x, t)| {
+                    Ok::<_, InvgenError>((
+                        *x,
+                        abstract_reads(&rename_term(t, versions), versions, &mut new_reads)?,
+                    ))
+                })
+                .collect::<InvgenResult<_>>()?;
+            for (x, t) in renamed {
+                let next = versions.get(&x).copied().unwrap_or(0) + 1;
+                versions.insert(x, next);
+                eqs.push(LinConstraint::eq(
+                    LinExpr::var(VarRef::idx(x, next)),
+                    LinExpr::from_term(&t)?,
+                )?);
+            }
+            Ok(cases
+                .into_iter()
+                .map(|mut c| {
+                    c.scalar.extend(eqs.iter().cloned());
+                    c.reads.extend(new_reads.iter().cloned());
+                    c
+                })
+                .collect())
+        }
+        Action::ArrayAssign { array, index, value } => {
+            let mut new_reads = Vec::new();
+            let idx = abstract_reads(&rename_term(index, versions), versions, &mut new_reads)?;
+            let val = abstract_reads(&rename_term(value, versions), versions, &mut new_reads)?;
+            let write = ArrayWrite {
+                array: *array,
+                index: LinExpr::from_term(&idx)?,
+                value: LinExpr::from_term(&val)?,
+            };
+            Ok(cases
+                .into_iter()
+                .map(|mut c| {
+                    c.writes.push(write.clone());
+                    c.reads.extend(new_reads.iter().cloned());
+                    c
+                })
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::corpus;
+
+    #[test]
+    fn forward_basic_paths() {
+        let p = corpus::forward();
+        let paths = basic_paths(&p).unwrap();
+        // Entry -> L1, L1 -> L1 (then), L1 -> L1 (else), L1 -> ERR, plus the
+        // L1 -> EXIT path is dropped (terminal non-error) ... the assertion
+        // success edge ends at EXIT which is terminal, so it is skipped.
+        let to_l1 = paths.iter().filter(|bp| p.loc_label(bp.to) == "L1").count();
+        let to_err = paths.iter().filter(|bp| bp.to == p.error()).count();
+        assert_eq!(to_l1, 3, "entry->L1 and two loop-body paths");
+        assert_eq!(to_err, 1);
+        // The error path relation has one case (its guard a+b != 3n splits)...
+        let err_path = paths.iter().find(|bp| bp.to == p.error()).unwrap();
+        assert_eq!(err_path.cases.len(), 2, "disequality splits into two cases");
+    }
+
+    #[test]
+    fn forward_loop_body_relation_is_linear() {
+        let p = corpus::forward();
+        let paths = basic_paths(&p).unwrap();
+        let body = paths
+            .iter()
+            .find(|bp| p.loc_label(bp.from) == "L1" && p.loc_label(bp.to) == "L1")
+            .unwrap();
+        assert_eq!(body.cases.len(), 1);
+        let case = &body.cases[0];
+        // [i < n]; a := a+1; b := b+2 (or the else variant); i := i+1.
+        assert_eq!(case.scalar.len(), 4);
+        assert!(case.writes.is_empty());
+        assert!(case.reads.is_empty());
+        // Post map reflects the increments.
+        let i = Symbol::intern("i");
+        assert_ne!(body.pre[&i], body.post[&i]);
+    }
+
+    #[test]
+    fn initcheck_relations_record_array_accesses() {
+        let p = corpus::initcheck();
+        let paths = basic_paths(&p).unwrap();
+        let init_body = paths
+            .iter()
+            .find(|bp| {
+                p.loc_label(bp.from) == "L1"
+                    && p.loc_label(bp.to) == "L1"
+                    && bp.cases.iter().any(|c| !c.writes.is_empty())
+            })
+            .expect("init loop body");
+        let w = &init_body.cases[0].writes[0];
+        assert_eq!(w.array, Symbol::intern("a"));
+        assert!(w.value.is_constant());
+
+        let err_path = paths.iter().find(|bp| bp.to == p.error()).expect("error path");
+        assert!(err_path.cases.iter().all(|c| !c.reads.is_empty()));
+        // The read result variable appears in the scalar constraints (a[i] != 0
+        // split into < and >).
+        for case in &err_path.cases {
+            let rd = case.reads[0].result;
+            assert!(case.scalar.iter().any(|c| !c.expr.coeff(&rd).is_zero()));
+        }
+    }
+
+    #[test]
+    fn cutset_is_loop_heads() {
+        let p = corpus::initcheck();
+        let cs = cutset(&p);
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn partition_basic_paths_have_single_array_write_each() {
+        let p = corpus::partition();
+        let paths = basic_paths(&p).unwrap();
+        for bp in &paths {
+            for case in &bp.cases {
+                for array in [Symbol::intern("ge"), Symbol::intern("lt")] {
+                    assert!(
+                        case.writes_to(array).len() <= 1,
+                        "at most one write per template array per basic path"
+                    );
+                }
+            }
+        }
+        // The first-loop body reads `a` and writes `ge` or `lt`.
+        let body_with_write = paths
+            .iter()
+            .find(|bp| bp.cases.iter().any(|c| !c.writes.is_empty()))
+            .expect("loop body with a write");
+        let case = body_with_write.cases.iter().find(|c| !c.writes.is_empty()).unwrap();
+        assert!(!case.reads.is_empty(), "the written value comes from a read of `a`");
+    }
+
+    #[test]
+    fn reads_at_same_index_share_a_variable() {
+        let p = corpus::initcheck();
+        let paths = basic_paths(&p).unwrap();
+        // The check-loop body contains the read a[i] (in the pass guard); the
+        // error path contains it in the fail guard.  Within one case the same
+        // syntactic read maps to one variable.
+        for bp in paths {
+            for case in bp.cases {
+                let mut seen = BTreeMap::new();
+                for r in &case.reads {
+                    let key = (r.array, format!("{:?}", r.index));
+                    if let Some(prev) = seen.insert(key, r.result) {
+                        assert_eq!(prev, r.result);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,834 @@
+//! Constraint-based synthesis of template invariants (§4.2 of the paper).
+//!
+//! The synthesiser turns the initiation / consecution / safety conditions of
+//! an invariant map into a system of constraints over the template
+//! parameters, using Farkas' lemma: an implication between linear constraints
+//! is valid iff the consequent is a non-negative combination of the
+//! antecedent rows (plus a non-negative constant slack), or the antecedent is
+//! itself contradictory.
+//!
+//! Because antecedent rows that come from the templates have *unknown*
+//! coefficients, their Farkas multipliers make the system bilinear.  The
+//! paper solved the resulting constraints with SICStus CLP(Q); here the
+//! bilinearity is resolved by enumerating the multipliers of template rows
+//! over a small candidate set (they are small integers in every published
+//! example) while the multipliers of concrete rows and the template
+//! parameters themselves stay as exact-rational LP unknowns.  The enumeration
+//! is organised as a frontier search over the conditions, pruning multiplier
+//! choices that make the accumulated LP infeasible.
+//!
+//! Universally quantified array rows are reduced to scalar implications
+//! exactly as in §4.2: a fresh index `k*`, a case split on whether the read
+//! hits the written cell, the range side condition (6), and the value
+//! condition (8) with array reads replaced by fresh variables.
+
+use crate::error::{InvgenError, InvgenResult};
+use crate::relation::{basic_paths, BasicPath, RelationCase};
+use crate::template::{ParamId, ParamLin, ParamValuation, RowOp, Template, TemplateMap};
+use pathinv_ir::{Formula, Loc, Program, RelOp, Symbol, VarRef};
+use pathinv_smt::{ConstrOp, LinConstraint, LinExpr, LpResult, Rat};
+use std::collections::BTreeMap;
+
+/// Unknowns of the generated linear constraint system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Unknown {
+    /// A template parameter.
+    Param(ParamId),
+    /// The Farkas multiplier of concrete antecedent row `row` of implication
+    /// `implication`.
+    Mu {
+        /// Index of the implication.
+        implication: u32,
+        /// Index of the concrete row within the implication.
+        row: u32,
+    },
+}
+
+impl std::fmt::Display for Unknown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unknown::Param(p) => write!(f, "{p}"),
+            Unknown::Mu { implication, row } => write!(f, "mu{implication}_{row}"),
+        }
+    }
+}
+
+/// A parametric antecedent row of an implication.
+#[derive(Clone, Debug)]
+pub struct ParamRow {
+    /// The parametric expression (`expr ⋈ 0`).
+    pub expr: ParamLin,
+    /// The relation.
+    pub op: RowOp,
+}
+
+/// What an implication must establish.
+#[derive(Clone, Debug)]
+pub enum Consequent {
+    /// Prove `expr ≤ 0` (equality consequents are split into two such
+    /// implications before reaching this type).
+    Row(ParamLin),
+    /// Prove that the antecedent is contradictory.
+    False,
+}
+
+/// One verification condition in implication form.
+#[derive(Clone, Debug)]
+pub struct Implication {
+    /// Concrete antecedent rows (ops `≤`/`=`; strict rows are pre-tightened).
+    pub concrete: Vec<LinConstraint<VarRef>>,
+    /// Parametric antecedent rows (template rows and template-derived range
+    /// rows).
+    pub parametric: Vec<ParamRow>,
+    /// The consequent.
+    pub consequent: Consequent,
+    /// Human-readable description, used in error messages and statistics.
+    pub label: String,
+}
+
+/// Configuration of the bilinear search.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Candidate Farkas multipliers for parametric inequality rows.
+    pub ineq_multipliers: Vec<Rat>,
+    /// Candidate Farkas multipliers for parametric equality rows.
+    pub eq_multipliers: Vec<Rat>,
+    /// Maximum number of partial solutions kept after each condition.
+    pub max_frontier: usize,
+    /// Maximum number of feasible extensions kept per partial solution and
+    /// condition.
+    pub max_options_per_step: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            ineq_multipliers: vec![Rat::ZERO, Rat::ONE, Rat::int(2)],
+            eq_multipliers: vec![Rat::MINUS_ONE, Rat::ZERO, Rat::ONE],
+            max_frontier: 12,
+            max_options_per_step: 6,
+        }
+    }
+}
+
+/// Statistics of a synthesis run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Number of verification conditions (implications) generated.
+    pub implications: usize,
+    /// Number of LP feasibility checks performed.
+    pub lp_calls: usize,
+    /// Number of multiplier choices explored.
+    pub choices_explored: usize,
+}
+
+/// Result of a successful synthesis.
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    /// The invariant formula at each templated cut point.
+    pub invariants: BTreeMap<Loc, Formula>,
+    /// The parameter valuation found.
+    pub valuation: ParamValuation,
+    /// Search statistics.
+    pub stats: SynthStats,
+}
+
+/// Synthesises an invariant map for `program` within the given template map.
+///
+/// # Errors
+///
+/// Returns [`InvgenError::NoInvariant`] if no parameter valuation satisfies
+/// all conditions within the configured multiplier bounds, and
+/// [`InvgenError::Unsupported`] for programs outside the supported fragment
+/// (e.g. two writes to a template array on one basic path).
+pub fn synthesize(
+    program: &Program,
+    templates: &TemplateMap,
+    config: &SynthConfig,
+) -> InvgenResult<Synthesis> {
+    let paths = basic_paths(program)?;
+    let mut implications = Vec::new();
+    for bp in &paths {
+        implications.extend(conditions_for_basic_path(program, templates, bp)?);
+    }
+    // Safety conditions first: they prune the parameter space fastest.
+    implications.sort_by_key(|imp| match imp.consequent {
+        Consequent::False => 0,
+        Consequent::Row(_) => 1,
+    });
+    let mut stats = SynthStats { implications: implications.len(), ..Default::default() };
+
+    let mut frontier: Vec<Vec<LinConstraint<Unknown>>> = vec![Vec::new()];
+    for (idx, imp) in implications.iter().enumerate() {
+        let options = encode_options(imp, idx as u32, config)?;
+        let mut next: Vec<Vec<LinConstraint<Unknown>>> = Vec::new();
+        for acc in &frontier {
+            let mut kept = 0;
+            for opt in &options {
+                if kept >= config.max_options_per_step {
+                    break;
+                }
+                stats.choices_explored += 1;
+                let mut combined = acc.clone();
+                combined.extend(opt.iter().cloned());
+                stats.lp_calls += 1;
+                if pathinv_smt::lra_solve(&combined)?.is_sat() {
+                    next.push(combined);
+                    kept += 1;
+                }
+            }
+            if next.len() >= config.max_frontier {
+                break;
+            }
+        }
+        if next.is_empty() {
+            return Err(InvgenError::no_invariant(format!(
+                "condition `{}` has no solution within the multiplier bounds",
+                imp.label
+            )));
+        }
+        next.truncate(config.max_frontier);
+        frontier = next;
+    }
+
+    // Extract a model from the surviving partial solutions.  A solution may
+    // instantiate an array-bound expression with a fractional coefficient
+    // (the LP works over the rationals); such entries are skipped in favour
+    // of the next surviving entry.
+    let mut last_error: Option<InvgenError> = None;
+    for constraints in frontier {
+        let valuation = match pathinv_smt::lra_solve(&constraints)? {
+            LpResult::Sat(model) => model
+                .into_iter()
+                .filter_map(|(u, r)| match u {
+                    Unknown::Param(p) => Some((p, r)),
+                    Unknown::Mu { .. } => None,
+                })
+                .collect::<ParamValuation>(),
+            LpResult::Unsat(_) => continue,
+        };
+        match templates.instantiate(&valuation) {
+            Ok(invariants) => return Ok(Synthesis { invariants, valuation, stats }),
+            Err(e) => last_error = Some(e),
+        }
+    }
+    Err(last_error.unwrap_or_else(|| {
+        InvgenError::no_invariant("every surviving frontier entry became infeasible")
+    }))
+}
+
+/// Generates the Farkas option encodings (variant × multiplier choice) for an
+/// implication.
+fn encode_options(
+    imp: &Implication,
+    index: u32,
+    config: &SynthConfig,
+) -> InvgenResult<Vec<Vec<LinConstraint<Unknown>>>> {
+    let lambda_choices = multiplier_choices(&imp.parametric, config);
+    let mut out = Vec::new();
+    for lambda in &lambda_choices {
+        match &imp.consequent {
+            Consequent::Row(expr) => {
+                out.push(encode_implication(imp, index, lambda, Some(expr))?);
+                out.push(encode_implication(imp, index, lambda, None)?);
+            }
+            Consequent::False => {
+                out.push(encode_implication(imp, index, lambda, None)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates candidate multiplier vectors for the parametric rows.
+fn multiplier_choices(rows: &[ParamRow], config: &SynthConfig) -> Vec<Vec<Rat>> {
+    let mut choices: Vec<Vec<Rat>> = vec![Vec::new()];
+    for row in rows {
+        let candidates = match row.op {
+            RowOp::Le => &config.ineq_multipliers,
+            RowOp::Eq => &config.eq_multipliers,
+        };
+        let mut next = Vec::with_capacity(choices.len() * candidates.len());
+        for prefix in &choices {
+            for &c in candidates {
+                let mut v = prefix.clone();
+                v.push(c);
+                next.push(v);
+            }
+        }
+        choices = next;
+    }
+    // Prefer "simple" choices (mostly zeros) first so that the search keeps
+    // the least surprising Farkas proofs.
+    choices.sort_by_key(|v| v.iter().filter(|c| !c.is_zero()).count());
+    choices
+}
+
+/// Encodes one implication under a fixed multiplier choice.
+///
+/// `goal = Some(e)` proves `e ≤ 0`; `goal = None` proves the antecedent
+/// contradictory.
+fn encode_implication(
+    imp: &Implication,
+    index: u32,
+    lambda: &[Rat],
+    goal: Option<&ParamLin>,
+) -> InvgenResult<Vec<LinConstraint<Unknown>>> {
+    // Collect every program variable that occurs anywhere.
+    let mut vars: Vec<VarRef> = Vec::new();
+    let mut add_vars = |vs: Vec<VarRef>| {
+        for v in vs {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    };
+    for c in &imp.concrete {
+        add_vars(c.expr.vars());
+    }
+    for r in &imp.parametric {
+        add_vars(r.expr.vars());
+    }
+    if let Some(g) = goal {
+        add_vars(g.vars());
+    }
+
+    let param_to_unknown =
+        |e: &LinExpr<ParamId>| -> InvgenResult<LinExpr<Unknown>> {
+            Ok(e.substitute(&|p: &ParamId| LinExpr::var(Unknown::Param(*p)))?)
+        };
+
+    let mut constraints: Vec<LinConstraint<Unknown>> = Vec::new();
+
+    // Per-variable coefficient equations and the constant-part inequality.
+    // goal_expr - Σ λ_i·param_i - Σ μ_j·concrete_j  must be a non-positive
+    // constant (matching) — or, for the contradiction variant,
+    // Σ λ_i·param_i + Σ μ_j·concrete_j must be a constant ≥ 1.
+    let sign = if goal.is_some() { Rat::MINUS_ONE } else { Rat::ONE };
+
+    let coeff_of = |v: Option<VarRef>| -> InvgenResult<LinExpr<Unknown>> {
+        let mut acc: LinExpr<Unknown> = LinExpr::zero();
+        if let Some(g) = goal {
+            let contribution = match v {
+                Some(var) => g.coeffs.get(&var).cloned().unwrap_or_else(LinExpr::zero),
+                None => g.constant.clone(),
+            };
+            acc = acc.add(&param_to_unknown(&contribution)?)?;
+        }
+        for (i, row) in imp.parametric.iter().enumerate() {
+            let contribution = match v {
+                Some(var) => row.expr.coeffs.get(&var).cloned().unwrap_or_else(LinExpr::zero),
+                None => row.expr.constant.clone(),
+            };
+            let scaled = param_to_unknown(&contribution)?.scale(lambda[i].mul(sign)?)?;
+            acc = acc.add(&scaled)?;
+        }
+        for (j, row) in imp.concrete.iter().enumerate() {
+            let coeff = match v {
+                Some(var) => row.expr.coeff(&var),
+                None => row.expr.constant_part(),
+            };
+            if coeff.is_zero() {
+                continue;
+            }
+            let mu = Unknown::Mu { implication: index, row: j as u32 };
+            acc = acc.add(&LinExpr::scaled_var(mu, coeff.mul(sign)?))?;
+        }
+        Ok(acc)
+    };
+
+    for v in &vars {
+        let e = coeff_of(Some(*v))?;
+        constraints.push(LinConstraint::new(e, ConstrOp::Eq));
+    }
+    let constant = coeff_of(None)?;
+    if goal.is_some() {
+        // constant ≤ 0.
+        constraints.push(LinConstraint::new(constant, ConstrOp::Le));
+    } else {
+        // constant ≥ 1, i.e. 1 - constant ≤ 0.
+        let one_minus = LinExpr::constant(Rat::ONE).sub(&constant)?;
+        constraints.push(LinConstraint::new(one_minus, ConstrOp::Le));
+    }
+
+    // Sign constraints: multipliers of concrete inequality rows are
+    // non-negative (equality rows are unrestricted).  Multipliers of
+    // parametric rows were chosen from sign-respecting candidate sets.
+    for (j, row) in imp.concrete.iter().enumerate() {
+        if row.op != ConstrOp::Eq {
+            let mu = Unknown::Mu { implication: index, row: j as u32 };
+            constraints
+                .push(LinConstraint::new(LinExpr::scaled_var(mu, Rat::MINUS_ONE), ConstrOp::Le));
+        }
+    }
+    Ok(constraints)
+}
+
+/// Generates the verification conditions contributed by one basic path.
+pub fn conditions_for_basic_path(
+    program: &Program,
+    templates: &TemplateMap,
+    bp: &BasicPath,
+) -> InvgenResult<Vec<Implication>> {
+    let source = templates.templates.get(&bp.from);
+    let target = templates.templates.get(&bp.to);
+    let mut out = Vec::new();
+    let path_label = format!(
+        "{} -> {}",
+        program.loc_label(bp.from),
+        program.loc_label(bp.to)
+    );
+    for (case_idx, case) in bp.cases.iter().enumerate() {
+        let label = |what: &str| format!("{path_label} [case {case_idx}] {what}");
+        let retag_pre = |e: &ParamLin| e.retag_vars(&|v| bp.pre.get(&v.sym).copied().unwrap_or(v));
+        let retag_post =
+            |e: &ParamLin| e.retag_vars(&|v| bp.post.get(&v.sym).copied().unwrap_or(v));
+
+        // Antecedent parametric rows from the source template (scalar only;
+        // the source array row is brought in where needed below).
+        let mut source_rows: Vec<ParamRow> = Vec::new();
+        if let Some(src) = source {
+            for row in &src.scalar_rows {
+                source_rows.push(ParamRow { expr: retag_pre(&row.expr), op: row.op });
+            }
+        }
+
+        if bp.to == program.error() {
+            out.extend(safety_conditions(case, source, &source_rows, &retag_pre, &label)?);
+            continue;
+        }
+
+        let Some(tgt) = target else { continue };
+
+        // Scalar consequent rows.
+        for (row_idx, row) in tgt.scalar_rows.iter().enumerate() {
+            let expr = retag_post(&row.expr);
+            let directions: Vec<ParamLin> = match row.op {
+                RowOp::Le => vec![expr.clone()],
+                RowOp::Eq => vec![expr.clone(), expr.scale(Rat::MINUS_ONE)?],
+            };
+            for (d, dir) in directions.into_iter().enumerate() {
+                out.push(Implication {
+                    concrete: case.scalar.clone(),
+                    parametric: source_rows.clone(),
+                    consequent: Consequent::Row(dir),
+                    label: label(&format!("scalar row {row_idx} dir {d}")),
+                });
+            }
+        }
+
+        // Quantified array consequent row.
+        if let Some(arr) = &tgt.array_row {
+            out.extend(array_conditions(
+                case,
+                source,
+                &source_rows,
+                arr,
+                &retag_pre,
+                &retag_post,
+                &label,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+/// Safety conditions: the antecedent (source invariant ∧ path relation) must
+/// be contradictory.  A quantified source row is instantiated at every read
+/// index of its array, splitting on whether the index lies in the quantified
+/// range.
+fn safety_conditions(
+    case: &RelationCase,
+    source: Option<&Template>,
+    source_rows: &[ParamRow],
+    retag_pre: &impl Fn(&ParamLin) -> ParamLin,
+    label: &impl Fn(&str) -> String,
+) -> InvgenResult<Vec<Implication>> {
+    let mut out = Vec::new();
+    let arr = source.and_then(|s| s.array_row.as_ref());
+    let reads = arr.map(|a| case.reads_from(a.array)).unwrap_or_default();
+    if arr.is_none() || reads.is_empty() {
+        out.push(Implication {
+            concrete: case.scalar.clone(),
+            parametric: source_rows.to_vec(),
+            consequent: Consequent::False,
+            label: label("safety"),
+        });
+        return Ok(out);
+    }
+    let arr = arr.expect("checked above");
+    let lower = retag_pre(&arr.lower);
+    let upper = retag_pre(&arr.upper);
+    let rhs = retag_pre(&arr.rhs);
+    // Instantiate at the first read (further reads of the same array at the
+    // same index share the result variable; distinct-index reads in an error
+    // guard do not occur in the supported fragment).
+    let read = reads[0];
+    let idx = ParamLin::concrete(&read.index);
+    let cell = ParamLin::concrete(&LinExpr::var(read.result));
+
+    // Case (a): the read index is inside the quantified range, so the cell
+    // fact is available.
+    {
+        let mut parametric = source_rows.to_vec();
+        parametric.push(ParamRow { expr: lower.sub(&idx)?, op: RowOp::Le });
+        parametric.push(ParamRow { expr: idx.sub(&upper)?, op: RowOp::Le });
+        parametric.extend(cell_fact_rows(&cell, &rhs, arr.op)?);
+        out.push(Implication {
+            concrete: case.scalar.clone(),
+            parametric,
+            consequent: Consequent::False,
+            label: label("safety (read in range)"),
+        });
+    }
+    // Case (b): the read index is below the range.
+    {
+        let mut parametric = source_rows.to_vec();
+        // idx < lower  ≡  idx - lower + 1 ≤ 0 (integers).
+        let row = idx.sub(&lower)?.add(&ParamLin::concrete(&LinExpr::constant(Rat::ONE)))?;
+        parametric.push(ParamRow { expr: row, op: RowOp::Le });
+        out.push(Implication {
+            concrete: case.scalar.clone(),
+            parametric,
+            consequent: Consequent::False,
+            label: label("safety (read below range)"),
+        });
+    }
+    // Case (c): the read index is above the range.
+    {
+        let mut parametric = source_rows.to_vec();
+        let row = upper.sub(&idx)?.add(&ParamLin::concrete(&LinExpr::constant(Rat::ONE)))?;
+        parametric.push(ParamRow { expr: row, op: RowOp::Le });
+        out.push(Implication {
+            concrete: case.scalar.clone(),
+            parametric,
+            consequent: Consequent::False,
+            label: label("safety (read above range)"),
+        });
+    }
+    Ok(out)
+}
+
+/// Rows expressing `cell ⋈ rhs` for use in an antecedent.
+fn cell_fact_rows(cell: &ParamLin, rhs: &ParamLin, op: RelOp) -> InvgenResult<Vec<ParamRow>> {
+    Ok(match op {
+        RelOp::Eq => vec![ParamRow { expr: cell.sub(rhs)?, op: RowOp::Eq }],
+        RelOp::Ge => vec![ParamRow { expr: rhs.sub(cell)?, op: RowOp::Le }],
+        RelOp::Le => vec![ParamRow { expr: cell.sub(rhs)?, op: RowOp::Le }],
+        RelOp::Gt => vec![ParamRow {
+            expr: rhs.sub(cell)?.add(&ParamLin::concrete(&LinExpr::constant(Rat::ONE)))?,
+            op: RowOp::Le,
+        }],
+        RelOp::Lt => vec![ParamRow {
+            expr: cell.sub(rhs)?.add(&ParamLin::concrete(&LinExpr::constant(Rat::ONE)))?,
+            op: RowOp::Le,
+        }],
+        RelOp::Ne => {
+            return Err(InvgenError::unsupported(
+                "disequality is not a supported array-row relation",
+            ))
+        }
+    })
+}
+
+/// The consequent direction rows for `lhs ⋈ rhs` (each entry proves one `≤`).
+fn consequent_directions(lhs: &ParamLin, rhs: &ParamLin, op: RelOp) -> InvgenResult<Vec<ParamLin>> {
+    Ok(match op {
+        RelOp::Eq => vec![lhs.sub(rhs)?, rhs.sub(lhs)?],
+        RelOp::Ge => vec![rhs.sub(lhs)?],
+        RelOp::Le => vec![lhs.sub(rhs)?],
+        RelOp::Gt => {
+            vec![rhs.sub(lhs)?.add(&ParamLin::concrete(&LinExpr::constant(Rat::ONE)))?]
+        }
+        RelOp::Lt => {
+            vec![lhs.sub(rhs)?.add(&ParamLin::concrete(&LinExpr::constant(Rat::ONE)))?]
+        }
+        RelOp::Ne => {
+            return Err(InvgenError::unsupported(
+                "disequality is not a supported array-row relation",
+            ))
+        }
+    })
+}
+
+/// The §4.2 reduction for a quantified consequent row.
+#[allow(clippy::too_many_arguments)]
+fn array_conditions(
+    case: &RelationCase,
+    source: Option<&Template>,
+    source_rows: &[ParamRow],
+    target_row: &crate::template::ArrayRow,
+    retag_pre: &impl Fn(&ParamLin) -> ParamLin,
+    retag_post: &impl Fn(&ParamLin) -> ParamLin,
+    label: &impl Fn(&str) -> String,
+) -> InvgenResult<Vec<Implication>> {
+    let mut out = Vec::new();
+    let writes = case.writes_to(target_row.array);
+    if writes.len() > 1 {
+        return Err(InvgenError::unsupported(format!(
+            "more than one write to array `{}` on a single basic path",
+            target_row.array
+        )));
+    }
+    let source_arr = source.and_then(|s| s.array_row.as_ref()).filter(|a| a.array == target_row.array);
+
+    // Fresh index variable k* and (if needed) a fresh variable for the
+    // pre-state cell a[k*].
+    let kstar = ParamLin::concrete(&LinExpr::var(VarRef::cur(Symbol::fresh("kstar"))));
+    let cell_pre = ParamLin::concrete(&LinExpr::var(VarRef::cur(Symbol::fresh("cell"))));
+
+    // Range rows of the consequent, over the post-state.
+    let lower_post = retag_post(&target_row.lower);
+    let upper_post = retag_post(&target_row.upper);
+    let rhs_post = retag_post(&target_row.rhs);
+    let range_rows = vec![
+        ParamRow { expr: lower_post.sub(&kstar)?, op: RowOp::Le },
+        ParamRow { expr: kstar.sub(&upper_post)?, op: RowOp::Le },
+    ];
+
+    let one = ParamLin::concrete(&LinExpr::constant(Rat::ONE));
+
+    if let Some(w) = writes.first() {
+        let widx = ParamLin::concrete(&w.index);
+        let wval = ParamLin::concrete(&w.value);
+        // (A) The read position k* hits the written cell: the written value
+        // must satisfy the consequent relation.
+        {
+            let mut concrete = case.scalar.clone();
+            // k* = w.index.
+            concrete.push(LinConstraint::new(
+                kstar.sub(&widx)?.eval(&ParamValuation::new()).map_err(keep)?,
+                ConstrOp::Eq,
+            ));
+            let mut parametric = source_rows.to_vec();
+            parametric.extend(range_rows.iter().cloned());
+            for dir in consequent_directions(&wval, &rhs_post, target_row.op)? {
+                out.push(Implication {
+                    concrete: concrete.clone(),
+                    parametric: parametric.clone(),
+                    consequent: Consequent::Row(dir),
+                    label: label("array row, written cell"),
+                });
+            }
+        }
+        // (B) The read position misses the written cell: split k* < idx and
+        // k* > idx, and rely on the source invariant for the old value.
+        for (dir_label, miss_row) in [
+            ("k* below write", kstar.sub(&widx)?.add(&one)?),
+            ("k* above write", widx.sub(&kstar)?.add(&one)?),
+        ] {
+            let miss = ParamRow { expr: miss_row, op: RowOp::Le };
+            out.extend(preserved_cell_conditions(
+                case,
+                source_arr,
+                source_rows,
+                &range_rows,
+                &kstar,
+                &cell_pre,
+                &rhs_post,
+                target_row.op,
+                Some(miss),
+                retag_pre,
+                &|what| label(&format!("array row, {dir_label}, {what}")),
+            )?);
+        }
+    } else {
+        // No write: the array is unchanged along the path.
+        out.extend(preserved_cell_conditions(
+            case,
+            source_arr,
+            source_rows,
+            &range_rows,
+            &kstar,
+            &cell_pre,
+            &rhs_post,
+            target_row.op,
+            None,
+            retag_pre,
+            &|what| label(&format!("array row, no write, {what}")),
+        )?);
+    }
+    Ok(out)
+}
+
+fn keep(e: InvgenError) -> InvgenError {
+    e
+}
+
+/// Conditions for a cell whose value is preserved along the path: the range
+/// side condition (6) and the value condition (8) of the paper.
+#[allow(clippy::too_many_arguments)]
+fn preserved_cell_conditions(
+    case: &RelationCase,
+    source_arr: Option<&crate::template::ArrayRow>,
+    source_rows: &[ParamRow],
+    range_rows: &[ParamRow],
+    kstar: &ParamLin,
+    cell_pre: &ParamLin,
+    rhs_post: &ParamLin,
+    op: RelOp,
+    miss: Option<ParamRow>,
+    retag_pre: &impl Fn(&ParamLin) -> ParamLin,
+    label: &impl Fn(&str) -> String,
+) -> InvgenResult<Vec<Implication>> {
+    let mut out = Vec::new();
+    let mut base_parametric = source_rows.to_vec();
+    base_parametric.extend(range_rows.iter().cloned());
+    if let Some(m) = &miss {
+        base_parametric.push(m.clone());
+    }
+
+    match source_arr {
+        None => {
+            // Without a source fact about the cell the only way to prove the
+            // consequent is to show the antecedent contradictory (e.g. the
+            // target range is empty on this path).
+            out.push(Implication {
+                concrete: case.scalar.clone(),
+                parametric: base_parametric,
+                consequent: Consequent::False,
+                label: label("range must be empty"),
+            });
+        }
+        Some(src) => {
+            let lower_pre = retag_pre(&src.lower);
+            let upper_pre = retag_pre(&src.upper);
+            let rhs_pre = retag_pre(&src.rhs);
+            // (6): the preserved index must fall into the source range.
+            for (what, dir) in [
+                ("range condition, lower", lower_pre.sub(kstar)?),
+                ("range condition, upper", kstar.sub(&upper_pre)?),
+            ] {
+                out.push(Implication {
+                    concrete: case.scalar.clone(),
+                    parametric: base_parametric.clone(),
+                    consequent: Consequent::Row(dir),
+                    label: label(what),
+                });
+            }
+            // (8): assuming the source cell fact, the target cell fact holds.
+            let mut parametric = base_parametric.clone();
+            parametric.extend(cell_fact_rows(cell_pre, &rhs_pre, src.op)?);
+            for dir in consequent_directions(cell_pre, rhs_post, op)? {
+                out.push(Implication {
+                    concrete: case.scalar.clone(),
+                    parametric: parametric.clone(),
+                    consequent: Consequent::Row(dir),
+                    label: label("value condition"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TemplateMap;
+    use pathinv_ir::corpus;
+
+    #[test]
+    fn forward_equality_plus_inequality_template_is_instantiated() {
+        let p = corpus::forward();
+        let l1 = corpus::find_loc(&p, "L1");
+        let mut templates = TemplateMap::new();
+        let vars = [
+            Symbol::intern("i"),
+            Symbol::intern("n"),
+            Symbol::intern("a"),
+            Symbol::intern("b"),
+        ];
+        templates.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
+        templates.add_scalar_row(l1, &vars, RowOp::Le).unwrap();
+        let result = synthesize(&p, &templates, &SynthConfig::default()).unwrap();
+        let inv = &result.invariants[&l1];
+        // The synthesised invariant must be strong enough to prove the
+        // assertion: together with i >= n it must force a + b = 3n.  We check
+        // the key relationship a + b = 3i is implied.
+        let solver = pathinv_smt::Solver::new();
+        let claim = Formula::eq(
+            pathinv_ir::Term::var("a").add(pathinv_ir::Term::var("b")),
+            pathinv_ir::Term::int(3).mul(pathinv_ir::Term::var("i")),
+        );
+        assert!(
+            solver.entails(inv, &claim).unwrap(),
+            "invariant {inv} must imply a + b = 3i"
+        );
+        assert!(result.stats.lp_calls > 0);
+    }
+
+    #[test]
+    fn forward_equality_only_template_fails() {
+        let p = corpus::forward();
+        let l1 = corpus::find_loc(&p, "L1");
+        let mut templates = TemplateMap::new();
+        let vars = [
+            Symbol::intern("i"),
+            Symbol::intern("n"),
+            Symbol::intern("a"),
+            Symbol::intern("b"),
+        ];
+        templates.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
+        let err = synthesize(&p, &templates, &SynthConfig::default()).unwrap_err();
+        assert!(matches!(err, InvgenError::NoInvariant { .. }));
+    }
+
+    #[test]
+    fn initcheck_array_template_is_instantiated() {
+        let p = corpus::initcheck();
+        let l1 = corpus::find_loc(&p, "L1");
+        let l3 = corpus::find_loc(&p, "L3");
+        let mut templates = TemplateMap::new();
+        let scalars = [Symbol::intern("i"), Symbol::intern("n")];
+        let a = Symbol::intern("a");
+        templates.add_array_row(l1, a, &scalars, RelOp::Eq).unwrap();
+        templates.add_array_row(l3, a, &scalars, RelOp::Eq).unwrap();
+        let result = synthesize(&p, &templates, &SynthConfig::default()).unwrap();
+        let inv1 = &result.invariants[&l1];
+        let inv3 = &result.invariants[&l3];
+        assert!(inv1.has_quantifier(), "expected a quantified invariant at L1, got {inv1}");
+        assert!(inv3.has_quantifier(), "expected a quantified invariant at L3, got {inv3}");
+        // The invariant at the check-loop head must justify the assertion:
+        // together with i < n and 0 <= i it must imply a[i] = 0.
+        let solver = pathinv_smt::Solver::new();
+        let ante = Formula::and(vec![
+            inv3.clone(),
+            Formula::lt(pathinv_ir::Term::var("i"), pathinv_ir::Term::var("n")),
+            Formula::ge(pathinv_ir::Term::var("i"), pathinv_ir::Term::int(0)),
+        ]);
+        let claim = Formula::eq(
+            pathinv_ir::Term::var("a").select(pathinv_ir::Term::var("i")),
+            pathinv_ir::Term::int(0),
+        );
+        assert!(
+            solver.entails(&ante, &claim).unwrap(),
+            "invariant {inv3} must prove the assertion"
+        );
+    }
+
+    #[test]
+    fn buggy_program_has_no_safe_invariant() {
+        let p = corpus::buggy_initcheck();
+        let l1 = corpus::find_loc(&p, "L1");
+        let mut templates = TemplateMap::new();
+        let scalars = [Symbol::intern("i")];
+        templates
+            .add_array_row(l1, Symbol::intern("a"), &scalars, RelOp::Eq)
+            .unwrap();
+        let err = synthesize(&p, &templates, &SynthConfig::default());
+        assert!(err.is_err(), "the buggy INITCHECK variant must not admit a safe invariant map");
+    }
+
+    #[test]
+    fn multiplier_choice_ordering_prefers_zeros() {
+        let config = SynthConfig::default();
+        let rows = vec![
+            ParamRow { expr: ParamLin::zero(), op: RowOp::Le },
+            ParamRow { expr: ParamLin::zero(), op: RowOp::Eq },
+        ];
+        let choices = multiplier_choices(&rows, &config);
+        assert_eq!(choices[0], vec![Rat::ZERO, Rat::ZERO]);
+        assert_eq!(choices.len(), 9);
+    }
+}

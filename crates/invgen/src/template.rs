@@ -1,0 +1,474 @@
+//! Invariant templates: parametric assertions whose unknown coefficients are
+//! instantiated by constraint solving (§4.2 of the paper).
+//!
+//! A template at a cut point is a conjunction of *scalar rows* — parametric
+//! linear equalities/inequalities over the program variables, e.g.
+//! `c_i·i + c_n·n + c_a·a + c_b·b + c ≤ 0` — optionally conjoined with one
+//! *array row*
+//!
+//! ```text
+//! ∀k: p1(X) ≤ k ∧ k ≤ p2(X) → a[k] ⋈ p3(X)
+//! ```
+//!
+//! where `p1, p2, p3` are again parametric linear expressions.  This is
+//! exactly the "tractable form" the paper uses in its experiments.
+
+use crate::error::{InvgenError, InvgenResult};
+use pathinv_ir::{Formula, Loc, RelOp, Symbol, Term, VarRef};
+use pathinv_smt::{LinExpr, Rat, SmtError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a template parameter (an unknown rational coefficient).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ParamId(pub u32);
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A pool of template parameters with human-readable names.
+#[derive(Clone, Debug, Default)]
+pub struct ParamPool {
+    names: Vec<String>,
+}
+
+impl ParamPool {
+    /// Creates an empty pool.
+    pub fn new() -> ParamPool {
+        ParamPool::default()
+    }
+
+    /// Allocates a fresh parameter with the given descriptive name.
+    pub fn fresh(&mut self, name: impl Into<String>) -> ParamId {
+        self.names.push(name.into());
+        ParamId((self.names.len() - 1) as u32)
+    }
+
+    /// The descriptive name of a parameter.
+    pub fn name(&self, p: ParamId) -> &str {
+        &self.names[p.0 as usize]
+    }
+
+    /// The number of parameters allocated so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A valuation of template parameters.
+pub type ParamValuation = BTreeMap<ParamId, Rat>;
+
+/// A *parametric* linear expression over program variables: each coefficient
+/// (and the constant) is itself an affine expression over the template
+/// parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ParamLin {
+    /// Coefficient of each program variable, as an affine function of the
+    /// parameters.
+    pub coeffs: BTreeMap<VarRef, LinExpr<ParamId>>,
+    /// Constant part, as an affine function of the parameters.
+    pub constant: LinExpr<ParamId>,
+}
+
+impl ParamLin {
+    /// The zero expression.
+    pub fn zero() -> ParamLin {
+        ParamLin::default()
+    }
+
+    /// A concrete (parameter-free) expression.
+    pub fn concrete(e: &LinExpr<VarRef>) -> ParamLin {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in e.terms() {
+            coeffs.insert(*v, LinExpr::constant(c));
+        }
+        ParamLin { coeffs, constant: LinExpr::constant(e.constant_part()) }
+    }
+
+    /// The expression `p` (a bare parameter, used as a parametric constant).
+    pub fn param(p: ParamId) -> ParamLin {
+        ParamLin { coeffs: BTreeMap::new(), constant: LinExpr::var(p) }
+    }
+
+    /// Adds the term `p·v` to the expression.
+    pub fn add_param_coeff(&mut self, v: VarRef, p: ParamId) -> InvgenResult<()> {
+        let entry = self.coeffs.entry(v).or_insert_with(LinExpr::zero);
+        *entry = entry.add(&LinExpr::var(p)).map_err(InvgenError::from)?;
+        Ok(())
+    }
+
+    /// Adds a concrete multiple of a program variable.
+    pub fn add_concrete_coeff(&mut self, v: VarRef, c: Rat) -> InvgenResult<()> {
+        let entry = self.coeffs.entry(v).or_insert_with(LinExpr::zero);
+        *entry = entry.add(&LinExpr::constant(c)).map_err(InvgenError::from)?;
+        Ok(())
+    }
+
+    /// Adds another parametric expression.
+    pub fn add(&self, other: &ParamLin) -> InvgenResult<ParamLin> {
+        let mut out = self.clone();
+        for (v, c) in &other.coeffs {
+            let entry = out.coeffs.entry(*v).or_insert_with(LinExpr::zero);
+            *entry = entry.add(c)?;
+        }
+        out.constant = out.constant.add(&other.constant)?;
+        Ok(out)
+    }
+
+    /// Scales by a rational.
+    pub fn scale(&self, k: Rat) -> InvgenResult<ParamLin> {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in &self.coeffs {
+            coeffs.insert(*v, c.scale(k)?);
+        }
+        Ok(ParamLin { coeffs, constant: self.constant.scale(k)? })
+    }
+
+    /// Subtracts another parametric expression.
+    pub fn sub(&self, other: &ParamLin) -> InvgenResult<ParamLin> {
+        self.add(&other.scale(Rat::MINUS_ONE)?)
+    }
+
+    /// Re-tags the program variables with `f` (e.g. to express "the template
+    /// evaluated on the post-state variables").
+    pub fn retag_vars(&self, f: &impl Fn(VarRef) -> VarRef) -> ParamLin {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in &self.coeffs {
+            let nv = f(*v);
+            // Re-tagging is injective in all our uses; merge defensively.
+            let entry = coeffs.entry(nv).or_insert_with(LinExpr::zero);
+            *entry = entry.add(c).expect("parameter arithmetic overflow");
+        }
+        ParamLin { coeffs, constant: self.constant.clone() }
+    }
+
+    /// The program variables mentioned.
+    pub fn vars(&self) -> Vec<VarRef> {
+        self.coeffs.keys().copied().collect()
+    }
+
+    /// Evaluates the expression under a parameter valuation, producing a
+    /// concrete linear expression over the program variables.
+    pub fn eval(&self, valuation: &ParamValuation) -> InvgenResult<LinExpr<VarRef>> {
+        let lookup = |p: &ParamId| valuation.get(p).copied().unwrap_or(Rat::ZERO);
+        let mut out = LinExpr::constant(self.constant.eval(&lookup)?);
+        for (v, c) in &self.coeffs {
+            out.add_term(*v, c.eval(&lookup)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Evaluates to an IR term with integer coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the valuation produces fractional coefficients
+    /// (they cannot be used verbatim as predicate text).
+    pub fn eval_to_term(&self, valuation: &ParamValuation) -> InvgenResult<Term> {
+        let e = self.eval(valuation)?;
+        let (term, scale) = e.to_scaled_term()?;
+        if scale != 1 {
+            return Err(InvgenError::Smt(SmtError::unsupported(
+                "fractional template coefficients in an array bound",
+            )));
+        }
+        Ok(term.simplify())
+    }
+}
+
+impl fmt::Display for ParamLin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "({c})*{v}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "{}", self.constant)
+        } else {
+            write!(f, " + ({})", self.constant)
+        }
+    }
+}
+
+/// Relation of a template row against zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowOp {
+    /// `expr ≤ 0`
+    Le,
+    /// `expr = 0`
+    Eq,
+}
+
+/// A scalar template row `expr ⋈ 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalarRow {
+    /// The parametric expression.
+    pub expr: ParamLin,
+    /// The relation.
+    pub op: RowOp,
+}
+
+/// A universally quantified array row
+/// `∀k: lower(X) ≤ k ∧ k ≤ upper(X) → array[k] ⋈ rhs(X)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayRow {
+    /// The array variable the row talks about.
+    pub array: Symbol,
+    /// Lower bound of the index range.
+    pub lower: ParamLin,
+    /// Upper bound of the index range.
+    pub upper: ParamLin,
+    /// Right-hand side of the cell constraint.
+    pub rhs: ParamLin,
+    /// Relation between the cell and the right-hand side (`=`, `≥`, `≤`, `<`,
+    /// or `>`).
+    pub op: RelOp,
+}
+
+/// The template attached to one cut point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Template {
+    /// Scalar rows.
+    pub scalar_rows: Vec<ScalarRow>,
+    /// Optional quantified array row.
+    pub array_row: Option<ArrayRow>,
+}
+
+impl Template {
+    /// Returns `true` if the template has no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.scalar_rows.is_empty() && self.array_row.is_none()
+    }
+
+    /// Instantiates the template under a parameter valuation, producing the
+    /// invariant formula at this cut point.
+    pub fn instantiate(&self, valuation: &ParamValuation) -> InvgenResult<Formula> {
+        let mut parts = Vec::new();
+        for row in &self.scalar_rows {
+            let e = row.expr.eval(valuation)?;
+            if e.is_constant() && !e.constant_part().is_positive() {
+                // A row like 0 <= 0: trivially true, omit.
+                continue;
+            }
+            let op = match row.op {
+                RowOp::Le => pathinv_smt::ConstrOp::Le,
+                RowOp::Eq => pathinv_smt::ConstrOp::Eq,
+            };
+            parts.push(pathinv_smt::LinConstraint::new(e, op).to_formula()?);
+        }
+        if let Some(arr) = &self.array_row {
+            let k = Symbol::intern("k");
+            let lower = arr.lower.eval_to_term(valuation)?;
+            let upper = arr.upper.eval_to_term(valuation)?;
+            let rhs = arr.rhs.eval_to_term(valuation)?;
+            let body = Formula::and(vec![
+                Formula::le(lower, Term::Bound(k)),
+                Formula::le(Term::Bound(k), upper),
+            ])
+            .implies(Formula::atom(
+                Term::var(arr.array).select(Term::Bound(k)),
+                arr.op,
+                rhs,
+            ));
+            parts.push(Formula::forall(vec![k], body));
+        }
+        Ok(Formula::and(parts))
+    }
+}
+
+/// A template map: one template per cut point, sharing one parameter pool.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateMap {
+    /// Templates per location.
+    pub templates: BTreeMap<Loc, Template>,
+    /// The shared parameter pool.
+    pub params: ParamPool,
+}
+
+impl TemplateMap {
+    /// Creates an empty template map.
+    pub fn new() -> TemplateMap {
+        TemplateMap::default()
+    }
+
+    /// Adds a fully parametric scalar row (one parameter per listed variable
+    /// plus a parametric constant) to the template at `loc`, returning the
+    /// allocated parameters.
+    pub fn add_scalar_row(
+        &mut self,
+        loc: Loc,
+        vars: &[Symbol],
+        op: RowOp,
+    ) -> InvgenResult<Vec<ParamId>> {
+        let mut expr = ParamLin::zero();
+        let mut ids = Vec::new();
+        for v in vars {
+            let p = self.params.fresh(format!("c_{v}@{loc}"));
+            expr.add_param_coeff(VarRef::cur(*v), p)?;
+            ids.push(p);
+        }
+        let c = self.params.fresh(format!("c0@{loc}"));
+        expr.constant = expr.constant.add(&LinExpr::var(c))?;
+        ids.push(c);
+        self.templates.entry(loc).or_default().scalar_rows.push(ScalarRow { expr, op });
+        Ok(ids)
+    }
+
+    /// Adds a fully parametric array row over `array` with bounds and
+    /// right-hand side linear in the listed scalar variables.
+    pub fn add_array_row(
+        &mut self,
+        loc: Loc,
+        array: Symbol,
+        scalars: &[Symbol],
+        op: RelOp,
+    ) -> InvgenResult<()> {
+        let make = |tag: &str, pool: &mut ParamPool| -> InvgenResult<ParamLin> {
+            let mut e = ParamLin::zero();
+            for v in scalars {
+                let p = pool.fresh(format!("{tag}_{v}@{loc}"));
+                e.add_param_coeff(VarRef::cur(*v), p)?;
+            }
+            let c = pool.fresh(format!("{tag}0@{loc}"));
+            e.constant = e.constant.add(&LinExpr::var(c))?;
+            Ok(e)
+        };
+        let lower = make("p1", &mut self.params)?;
+        let upper = make("p2", &mut self.params)?;
+        let rhs = make("p3", &mut self.params)?;
+        self.templates.entry(loc).or_default().array_row =
+            Some(ArrayRow { array, lower, upper, rhs, op });
+        Ok(())
+    }
+
+    /// Instantiates every template under a valuation, producing an invariant
+    /// formula per cut point.
+    pub fn instantiate(&self, valuation: &ParamValuation) -> InvgenResult<BTreeMap<Loc, Formula>> {
+        let mut out = BTreeMap::new();
+        for (loc, t) in &self.templates {
+            out.insert(*loc, t.instantiate(valuation)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_pool_names() {
+        let mut pool = ParamPool::new();
+        let a = pool.fresh("c_i");
+        let b = pool.fresh("c_n");
+        assert_ne!(a, b);
+        assert_eq!(pool.name(a), "c_i");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn paramlin_evaluation() {
+        let mut pool = ParamPool::new();
+        let p = pool.fresh("p");
+        let q = pool.fresh("q");
+        let mut e = ParamLin::zero();
+        e.add_param_coeff(VarRef::cur("i".into()), p).unwrap();
+        e.constant = LinExpr::var(q);
+        let mut val = ParamValuation::new();
+        val.insert(p, Rat::int(2));
+        val.insert(q, Rat::int(-3));
+        let concrete = e.eval(&val).unwrap();
+        assert_eq!(concrete.coeff(&VarRef::cur("i".into())), Rat::int(2));
+        assert_eq!(concrete.constant_part(), Rat::int(-3));
+        let term = e.eval_to_term(&val).unwrap();
+        assert_eq!(term.to_string(), "((2 * i) + -3)");
+    }
+
+    #[test]
+    fn paramlin_missing_params_default_to_zero() {
+        let mut pool = ParamPool::new();
+        let p = pool.fresh("p");
+        let e = ParamLin::param(p);
+        let concrete = e.eval(&ParamValuation::new()).unwrap();
+        assert!(concrete.is_constant());
+        assert!(concrete.constant_part().is_zero());
+    }
+
+    #[test]
+    fn retagging_variables() {
+        let mut pool = ParamPool::new();
+        let p = pool.fresh("p");
+        let mut e = ParamLin::zero();
+        e.add_param_coeff(VarRef::cur("i".into()), p).unwrap();
+        let primed = e.retag_vars(&|v| v.primed());
+        assert_eq!(primed.vars(), vec![VarRef::primed_of("i".into())]);
+    }
+
+    #[test]
+    fn template_instantiation_produces_formulas() {
+        let mut map = TemplateMap::new();
+        let loc = Loc(1);
+        let vars = [Symbol::intern("i"), Symbol::intern("n")];
+        let ids = map.add_scalar_row(loc, &vars, RowOp::Eq).unwrap();
+        let mut val = ParamValuation::new();
+        // i - n = 0
+        val.insert(ids[0], Rat::ONE);
+        val.insert(ids[1], Rat::MINUS_ONE);
+        val.insert(ids[2], Rat::ZERO);
+        let inv = map.instantiate(&val).unwrap();
+        let f = &inv[&loc];
+        assert!(f.to_string().contains("= 0"));
+        assert_eq!(f.var_names().len(), 2);
+    }
+
+    #[test]
+    fn trivial_rows_are_dropped() {
+        let mut map = TemplateMap::new();
+        let loc = Loc(0);
+        map.add_scalar_row(loc, &[Symbol::intern("x")], RowOp::Le).unwrap();
+        // All-zero valuation: row becomes 0 <= 0, dropped.
+        let inv = map.instantiate(&ParamValuation::new()).unwrap();
+        assert_eq!(inv[&loc], Formula::True);
+    }
+
+    #[test]
+    fn array_row_instantiation() {
+        let mut map = TemplateMap::new();
+        let loc = Loc(1);
+        let scalars = [Symbol::intern("i"), Symbol::intern("n")];
+        map.add_array_row(loc, Symbol::intern("a"), &scalars, RelOp::Eq).unwrap();
+        // p1 = 0, p2 = i - 1, p3 = 0.
+        let mut val = ParamValuation::new();
+        // Parameters are allocated in order: p1_i, p1_n, p10, p2_i, p2_n, p20, p3_i, p3_n, p30.
+        val.insert(ParamId(3), Rat::ONE); // p2_i = 1
+        val.insert(ParamId(5), Rat::MINUS_ONE); // p20 = -1
+        let inv = map.instantiate(&val).unwrap();
+        let s = inv[&loc].to_string();
+        assert!(s.contains("forall k"), "{s}");
+        assert!(s.contains("a[k] = 0"), "{s}");
+        assert!(s.contains("k <= (i + -1)"), "{s}");
+    }
+
+    #[test]
+    fn fractional_array_bounds_are_rejected() {
+        let mut pool = ParamPool::new();
+        let p = pool.fresh("p");
+        let mut e = ParamLin::zero();
+        e.add_param_coeff(VarRef::cur("i".into()), p).unwrap();
+        let mut val = ParamValuation::new();
+        val.insert(p, Rat::new(1, 2).unwrap());
+        assert!(e.eval_to_term(&val).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Guarded-command actions labelling control-flow-graph edges.
+//!
+//! The paper works with transition constraints `ρ` over `X ∪ X'`.  This crate
+//! keeps the structured guarded-command form on edges — assumptions,
+//! (parallel) assignments, array writes, havoc, skip — because the structured
+//! form is what the front-end produces and what the invariant generators
+//! consume, and derives the relational constraint from it on demand with
+//! [`Action::to_relation`] (including frame conditions `x' = x` for
+//! unmodified variables).
+
+use crate::formula::Formula;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::var::{Sort, Tag, VarDecl, VarRef};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The action performed by a transition.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `[g]`: the transition is enabled only in states satisfying `g`; no
+    /// variable changes.
+    Assume(Formula),
+    /// Parallel assignment `x1, ..., xn := t1, ..., tn` of scalar variables.
+    /// Right-hand sides are evaluated in the pre-state.
+    Assign(Vec<(Symbol, Term)>),
+    /// Array element update `array[index] := value`.
+    ArrayAssign {
+        /// The array variable being written.
+        array: Symbol,
+        /// The index expression (over pre-state variables).
+        index: Term,
+        /// The value expression (over pre-state variables).
+        value: Term,
+    },
+    /// Non-deterministic assignment: the listed variables receive arbitrary
+    /// values, all others are unchanged.
+    Havoc(Vec<Symbol>),
+    /// No-op (`X' = X`).  Used for the ε-transitions between a location and
+    /// its hatted copy in path programs.
+    Skip,
+}
+
+impl Action {
+    /// Builds a single-variable assignment `x := t`.
+    pub fn assign(x: impl Into<Symbol>, t: Term) -> Action {
+        Action::Assign(vec![(x.into(), t)])
+    }
+
+    /// Builds an assumption `[g]`.
+    pub fn assume(g: Formula) -> Action {
+        Action::Assume(g)
+    }
+
+    /// Builds an array write `a[i] := v`.
+    pub fn array_assign(a: impl Into<Symbol>, i: Term, v: Term) -> Action {
+        Action::ArrayAssign { array: a.into(), index: i, value: v }
+    }
+
+    /// The set of variables (possibly) modified by this action.
+    pub fn assigned_vars(&self) -> BTreeSet<Symbol> {
+        match self {
+            Action::Assume(_) | Action::Skip => BTreeSet::new(),
+            Action::Assign(asgs) => asgs.iter().map(|(x, _)| *x).collect(),
+            Action::ArrayAssign { array, .. } => std::iter::once(*array).collect(),
+            Action::Havoc(xs) => xs.iter().copied().collect(),
+        }
+    }
+
+    /// The set of variables read by this action (guards, right-hand sides,
+    /// indices).
+    pub fn read_vars(&self) -> BTreeSet<Symbol> {
+        match self {
+            Action::Assume(g) => g.var_names(),
+            Action::Skip | Action::Havoc(_) => BTreeSet::new(),
+            Action::Assign(asgs) => {
+                asgs.iter().flat_map(|(_, t)| t.var_names().into_iter()).collect()
+            }
+            Action::ArrayAssign { array, index, value } => {
+                let mut s = index.var_names();
+                s.extend(value.var_names());
+                s.insert(*array);
+                s
+            }
+        }
+    }
+
+    /// All variables mentioned by this action.
+    pub fn mentioned_vars(&self) -> BTreeSet<Symbol> {
+        let mut s = self.read_vars();
+        s.extend(self.assigned_vars());
+        s
+    }
+
+    /// Returns `true` if this action reads or writes an array.
+    pub fn touches_array(&self) -> bool {
+        match self {
+            Action::ArrayAssign { .. } => true,
+            Action::Assume(g) => g.has_nonarithmetic(),
+            Action::Assign(asgs) => asgs.iter().any(|(_, t)| t.has_nonarithmetic()),
+            Action::Havoc(_) | Action::Skip => false,
+        }
+    }
+
+    /// The transition constraint `ρ` over `X ∪ X'` described by this action,
+    /// *including* frame conditions `x' = x` for every declared variable not
+    /// modified by the action.
+    ///
+    /// `vars` must list every program variable; it determines the frame.
+    pub fn to_relation(&self, vars: &[VarDecl]) -> Formula {
+        let assigned = self.assigned_vars();
+        let mut parts = Vec::new();
+        match self {
+            Action::Assume(g) => parts.push(g.clone()),
+            Action::Skip => {}
+            Action::Havoc(_) => {}
+            Action::Assign(asgs) => {
+                for (x, t) in asgs {
+                    parts.push(Formula::eq(Term::pvar(*x), t.clone()));
+                }
+            }
+            Action::ArrayAssign { array, index, value } => {
+                parts.push(Formula::eq(
+                    Term::pvar(*array),
+                    Term::var(*array).store(index.clone(), value.clone()),
+                ));
+            }
+        }
+        for decl in vars {
+            if !assigned.contains(&decl.sym) {
+                parts.push(Formula::eq(Term::pvar(decl.sym), Term::var(decl.sym)));
+            }
+        }
+        Formula::and(parts)
+    }
+
+    /// Weakest precondition of a quantifier-free post-state formula `post`
+    /// (over current-state variables) with respect to this action.
+    ///
+    /// For [`Action::Havoc`] the weakest precondition would require universal
+    /// quantification over the havocked variables; this method instead
+    /// returns `None` in that case and callers fall back to relational
+    /// reasoning.
+    pub fn wp(&self, post: &Formula) -> Option<Formula> {
+        match self {
+            Action::Skip => Some(post.clone()),
+            Action::Assume(g) => Some(g.clone().implies(post.clone())),
+            Action::Assign(asgs) => {
+                // Parallel assignment: substitute all right-hand sides
+                // simultaneously.
+                Some(post.map_vars(&|v| {
+                    if v.tag == Tag::Cur {
+                        if let Some((_, t)) = asgs.iter().find(|(x, _)| *x == v.sym) {
+                            return t.clone();
+                        }
+                    }
+                    Term::Var(v)
+                }))
+            }
+            Action::ArrayAssign { array, index, value } => {
+                let store = Term::var(*array).store(index.clone(), value.clone());
+                Some(post.map_vars(&|v| {
+                    if v.tag == Tag::Cur && v.sym == *array {
+                        store.clone()
+                    } else {
+                        Term::Var(v)
+                    }
+                }))
+            }
+            Action::Havoc(xs) => {
+                // Sound only if `post` does not mention the havocked
+                // variables.
+                let names = post.var_names();
+                if xs.iter().any(|x| names.contains(x)) {
+                    None
+                } else {
+                    Some(post.clone())
+                }
+            }
+        }
+    }
+
+    /// Strongest postcondition of `pre` (over current-state variables) with
+    /// respect to this action, expressed without quantifiers when possible.
+    ///
+    /// Assignments introduce a fresh symbol for the overwritten value, which
+    /// is existentially quantified in spirit; since the result is only ever
+    /// used as an *over-approximation carrier* (the fresh symbol never
+    /// appears elsewhere) leaving it free is sound.
+    pub fn sp(&self, pre: &Formula) -> Formula {
+        match self {
+            Action::Skip => pre.clone(),
+            Action::Assume(g) => Formula::and(vec![pre.clone(), g.clone()]),
+            Action::Havoc(xs) => {
+                // Drop all conjuncts that mention a havocked variable.
+                let kept: Vec<_> = pre
+                    .conjuncts()
+                    .into_iter()
+                    .filter(|c| c.var_names().iter().all(|v| !xs.contains(v)))
+                    .collect();
+                Formula::and(kept)
+            }
+            Action::Assign(asgs) => {
+                let mut result = pre.clone();
+                let mut equalities = Vec::new();
+                for (x, t) in asgs {
+                    let old = Symbol::fresh(&format!("{x}_old"));
+                    let old_term = Term::var(old);
+                    // Rename x to its "old" value in the precondition and in
+                    // the right-hand side, then add x = t[old/x].
+                    result = result.subst_var(VarRef::cur(*x), &old_term);
+                    let t_renamed = t.subst_var(VarRef::cur(*x), &old_term);
+                    equalities.push(Formula::eq(Term::var(*x), t_renamed));
+                }
+                Formula::and(std::iter::once(result).chain(equalities).collect())
+            }
+            Action::ArrayAssign { array, index, value } => {
+                let old = Symbol::fresh(&format!("{array}_old"));
+                let old_term = Term::var(old);
+                let renamed = pre.subst_var(VarRef::cur(*array), &old_term);
+                let idx = index.subst_var(VarRef::cur(*array), &old_term);
+                let val = value.subst_var(VarRef::cur(*array), &old_term);
+                Formula::and(vec![
+                    renamed,
+                    Formula::eq(Term::var(*array), old_term.store(idx, val)),
+                ])
+            }
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Assume(g) => write!(f, "[{g}]"),
+            Action::Skip => write!(f, "skip"),
+            Action::Havoc(xs) => {
+                write!(f, "havoc ")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Action::Assign(asgs) => {
+                for (i, (x, t)) in asgs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{x} := {t}")?;
+                }
+                Ok(())
+            }
+            Action::ArrayAssign { array, index, value } => {
+                write!(f, "{array}[{index}] := {value}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Returns the variable declarations for a list of `(name, sort)` pairs;
+/// convenience for tests and examples.
+pub fn decls(pairs: &[(&str, Sort)]) -> Vec<VarDecl> {
+    pairs.iter().map(|(n, s)| VarDecl { sym: Symbol::intern(n), sort: *s }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ivars() -> Vec<VarDecl> {
+        decls(&[("x", Sort::Int), ("y", Sort::Int)])
+    }
+
+    #[test]
+    fn assigned_and_read_vars() {
+        let a = Action::assign("x", Term::var("y").add(Term::int(1)));
+        assert!(a.assigned_vars().contains(&Symbol::intern("x")));
+        assert!(a.read_vars().contains(&Symbol::intern("y")));
+        let g = Action::assume(Formula::lt(Term::var("x"), Term::var("y")));
+        assert!(g.assigned_vars().is_empty());
+        assert_eq!(g.read_vars().len(), 2);
+    }
+
+    #[test]
+    fn relation_includes_frame() {
+        let a = Action::assign("x", Term::var("x").add(Term::int(1)));
+        let rel = a.to_relation(&ivars());
+        let s = rel.to_string();
+        assert!(s.contains("x' = (x + 1)"), "{s}");
+        assert!(s.contains("y' = y"), "{s}");
+    }
+
+    #[test]
+    fn assume_relation_frames_everything() {
+        let a = Action::assume(Formula::ge(Term::var("x"), Term::int(0)));
+        let rel = a.to_relation(&ivars());
+        let s = rel.to_string();
+        assert!(s.contains("x >= 0"));
+        assert!(s.contains("x' = x"));
+        assert!(s.contains("y' = y"));
+    }
+
+    #[test]
+    fn array_assign_relation_uses_store() {
+        let vars = decls(&[("a", Sort::ArrayInt), ("i", Sort::Int)]);
+        let a = Action::array_assign("a", Term::var("i"), Term::int(0));
+        let rel = a.to_relation(&vars);
+        let s = rel.to_string();
+        assert!(s.contains("a' = a{i := 0}"), "{s}");
+        assert!(s.contains("i' = i"), "{s}");
+    }
+
+    #[test]
+    fn wp_of_assignment_substitutes() {
+        let a = Action::assign("x", Term::var("x").add(Term::int(1)));
+        let post = Formula::le(Term::var("x"), Term::var("y"));
+        let wp = a.wp(&post).unwrap();
+        assert_eq!(wp.to_string(), "(x + 1) <= y");
+    }
+
+    #[test]
+    fn wp_of_parallel_assignment_is_simultaneous() {
+        let a = Action::Assign(vec![
+            (Symbol::intern("x"), Term::var("y")),
+            (Symbol::intern("y"), Term::var("x")),
+        ]);
+        let post = Formula::le(Term::var("x"), Term::var("y"));
+        // Swapping: wp should be y <= x, not x <= x.
+        assert_eq!(a.wp(&post).unwrap().to_string(), "y <= x");
+    }
+
+    #[test]
+    fn wp_of_assume_is_implication() {
+        let g = Formula::lt(Term::var("x"), Term::int(10));
+        let a = Action::assume(g.clone());
+        let post = Formula::le(Term::var("y"), Term::int(0));
+        assert_eq!(a.wp(&post).unwrap(), g.implies(post));
+    }
+
+    #[test]
+    fn wp_of_array_assign_substitutes_store() {
+        let a = Action::array_assign("a", Term::var("i"), Term::int(0));
+        let post = Formula::eq(Term::var("a").select(Term::var("j")), Term::int(0));
+        let wp = a.wp(&post).unwrap();
+        assert_eq!(wp.to_string(), "a{i := 0}[j] = 0");
+    }
+
+    #[test]
+    fn wp_of_havoc_conservative() {
+        let a = Action::Havoc(vec![Symbol::intern("x")]);
+        assert!(a.wp(&Formula::le(Term::var("x"), Term::int(0))).is_none());
+        assert!(a.wp(&Formula::le(Term::var("y"), Term::int(0))).is_some());
+    }
+
+    #[test]
+    fn sp_of_assume_conjoins_guard() {
+        let a = Action::assume(Formula::lt(Term::var("x"), Term::var("y")));
+        let pre = Formula::ge(Term::var("x"), Term::int(0));
+        let sp = a.sp(&pre);
+        assert_eq!(sp.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn sp_of_assignment_renames_old_value() {
+        let a = Action::assign("x", Term::var("x").add(Term::int(1)));
+        let pre = Formula::eq(Term::var("x"), Term::int(0));
+        let sp = a.sp(&pre);
+        // pre's x is renamed to a fresh symbol; new x equals old + 1.
+        let s = sp.to_string();
+        assert!(s.contains("= 0"), "{s}");
+        assert!(s.contains("x = "), "{s}");
+        assert!(!sp.var_names().is_empty());
+    }
+
+    #[test]
+    fn sp_of_havoc_drops_conjuncts() {
+        let a = Action::Havoc(vec![Symbol::intern("x")]);
+        let pre = Formula::and(vec![
+            Formula::eq(Term::var("x"), Term::int(0)),
+            Formula::eq(Term::var("y"), Term::int(1)),
+        ]);
+        let sp = a.sp(&pre);
+        assert_eq!(sp.to_string(), "y = 1");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Action::Skip.to_string(), "skip");
+        assert_eq!(Action::assign("x", Term::int(0)).to_string(), "x := 0");
+        assert_eq!(
+            Action::array_assign("a", Term::var("i"), Term::int(0)).to_string(),
+            "a[i] := 0"
+        );
+        assert_eq!(Action::Havoc(vec![Symbol::intern("x")]).to_string(), "havoc x");
+        assert_eq!(
+            Action::assume(Formula::lt(Term::var("i"), Term::var("n"))).to_string(),
+            "[i < n]"
+        );
+    }
+
+    #[test]
+    fn touches_array_detection() {
+        assert!(Action::array_assign("a", Term::var("i"), Term::int(0)).touches_array());
+        assert!(Action::assume(Formula::eq(
+            Term::var("a").select(Term::var("i")),
+            Term::int(0)
+        ))
+        .touches_array());
+        assert!(!Action::assign("x", Term::int(0)).touches_array());
+    }
+}

@@ -1,0 +1,278 @@
+//! Control-flow analyses: dominators, back edges, natural loops, and
+//! cut-point selection.
+//!
+//! Path-program construction (§3) needs the *nested blocks* of a program —
+//! the (possibly nested) loop bodies — and constraint-based invariant
+//! generation (§4.2) restricts invariant templates to a *cutset*: a set of
+//! locations through which every syntactic cycle passes.  Both are derived
+//! here from a standard dominator analysis over the control-flow graph.
+
+use crate::cfg::{Loc, Program, TransId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A natural loop: a header location together with the set of locations in
+/// its body (the header is included in the body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge(s)).
+    pub head: Loc,
+    /// All locations in the loop body, including the header.
+    pub body: BTreeSet<Loc>,
+}
+
+impl NaturalLoop {
+    /// Returns `true` if `l` belongs to the loop body.
+    pub fn contains(&self, l: Loc) -> bool {
+        self.body.contains(&l)
+    }
+
+    /// Returns `true` if this loop's body is a (not necessarily strict)
+    /// subset of `other`'s body.
+    pub fn nested_in(&self, other: &NaturalLoop) -> bool {
+        self.body.is_subset(&other.body)
+    }
+}
+
+/// Computes the dominator sets of every reachable location.
+///
+/// `dom[l]` is the set of locations that dominate `l` (every path from the
+/// entry to `l` passes through them); unreachable locations are mapped to the
+/// full location set by convention.
+pub fn dominators(program: &Program) -> BTreeMap<Loc, BTreeSet<Loc>> {
+    let all: BTreeSet<Loc> = program.locs().collect();
+    let reachable = program.reachable_locs();
+    let mut dom: BTreeMap<Loc, BTreeSet<Loc>> = BTreeMap::new();
+    for l in program.locs() {
+        if l == program.entry() {
+            dom.insert(l, std::iter::once(l).collect());
+        } else {
+            dom.insert(l, all.clone());
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for l in program.locs() {
+            if l == program.entry() || !reachable.contains(&l) {
+                continue;
+            }
+            // Intersect dominators of all reachable predecessors.
+            let mut new: Option<BTreeSet<Loc>> = None;
+            for &tid in program.incoming(l) {
+                let p = program.transition(tid).from;
+                if !reachable.contains(&p) {
+                    continue;
+                }
+                let pd = &dom[&p];
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(l);
+            if new != dom[&l] {
+                dom.insert(l, new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Returns the back edges of the program: transitions `(ℓ, ρ, ℓ')` where the
+/// target `ℓ'` dominates the source `ℓ`.
+pub fn back_edges(program: &Program) -> Vec<TransId> {
+    let dom = dominators(program);
+    let reachable = program.reachable_locs();
+    program
+        .transition_ids()
+        .filter(|&tid| {
+            let t = program.transition(tid);
+            reachable.contains(&t.from) && dom[&t.from].contains(&t.to)
+        })
+        .collect()
+}
+
+/// Computes the natural loops of the program, one per loop header (back
+/// edges sharing a header are merged).
+pub fn natural_loops(program: &Program) -> Vec<NaturalLoop> {
+    let mut by_head: BTreeMap<Loc, BTreeSet<Loc>> = BTreeMap::new();
+    for tid in back_edges(program) {
+        let t = program.transition(tid);
+        let head = t.to;
+        let body = by_head.entry(head).or_insert_with(|| std::iter::once(head).collect());
+        // Standard natural-loop body computation: everything that reaches the
+        // back edge source without passing through the header.
+        let mut stack = vec![t.from];
+        while let Some(l) = stack.pop() {
+            if body.insert(l) {
+                for &tid in program.incoming(l) {
+                    let p = program.transition(tid).from;
+                    if !body.contains(&p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    by_head.into_iter().map(|(head, body)| NaturalLoop { head, body }).collect()
+}
+
+/// Computes a cutset of the program: the set of loop headers.  Every
+/// syntactic cycle in the CFG passes through at least one of them.
+pub fn cutpoints(program: &Program) -> BTreeSet<Loc> {
+    natural_loops(program).into_iter().map(|l| l.head).collect()
+}
+
+/// Returns the loops sorted from innermost to outermost (by body size), which
+/// is the order in which path-program construction peels blocks.
+pub fn loops_innermost_first(program: &Program) -> Vec<NaturalLoop> {
+    let mut loops = natural_loops(program);
+    loops.sort_by_key(|l| l.body.len());
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::cfg::ProgramBuilder;
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    /// Two sequential loops, as in INITCHECK:
+    /// L0 -> L1; L1 -> L2 -> L1 (loop 1); L1 -> L3; L3 -> L4 -> L3 (loop 2);
+    /// L3 -> L5; L4 -> ERR.
+    fn two_loops() -> Program {
+        let mut b = ProgramBuilder::new("two_loops");
+        b.int_var("i");
+        b.int_var("n");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let l2 = b.add_loc("L2");
+        let l3 = b.add_loc("L3");
+        let l4 = b.add_loc("L4");
+        let l5 = b.add_loc("L5");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        let lt = || Action::assume(Formula::lt(Term::var("i"), Term::var("n")));
+        let ge = || Action::assume(Formula::ge(Term::var("i"), Term::var("n")));
+        let inc = || Action::assign("i", Term::var("i").add(Term::int(1)));
+        b.add_transition(l0, Action::assign("i", Term::int(0)), l1);
+        b.add_transition(l1, lt(), l2);
+        b.add_transition(l2, inc(), l1);
+        b.add_transition(l1, ge(), l3);
+        b.add_transition(l3, lt(), l4);
+        b.add_transition(l4, inc(), l3);
+        b.add_transition(l3, ge(), l5);
+        b.add_transition(l4, Action::assume(Formula::lt(Term::var("i"), Term::int(0))), e);
+        b.build().unwrap()
+    }
+
+    /// Nested loops: outer head L1, inner head L2.
+    fn nested_loops() -> Program {
+        let mut b = ProgramBuilder::new("nested");
+        b.int_var("i");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let l2 = b.add_loc("L2");
+        let l3 = b.add_loc("L3");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        let nop = || Action::Skip;
+        b.add_transition(l0, nop(), l1);
+        b.add_transition(l1, nop(), l2);
+        b.add_transition(l2, nop(), l3);
+        b.add_transition(l3, nop(), l2); // inner back edge
+        b.add_transition(l3, nop(), l1); // outer back edge
+        b.add_transition(l1, nop(), e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let p = two_loops();
+        let dom = dominators(&p);
+        for l in p.reachable_locs() {
+            assert!(dom[&l].contains(&p.entry()), "entry must dominate {l:?}");
+        }
+    }
+
+    #[test]
+    fn loop_headers_found() {
+        let p = two_loops();
+        let loops = natural_loops(&p);
+        assert_eq!(loops.len(), 2);
+        let heads: BTreeSet<_> = loops.iter().map(|l| l.head).collect();
+        assert!(heads.contains(&Loc(1)));
+        assert!(heads.contains(&Loc(3)));
+    }
+
+    #[test]
+    fn loop_bodies_are_minimal() {
+        let p = two_loops();
+        let loops = natural_loops(&p);
+        for l in &loops {
+            assert_eq!(l.body.len(), 2, "each loop here has head + one body node: {l:?}");
+        }
+    }
+
+    #[test]
+    fn cutpoints_are_loop_heads() {
+        let p = two_loops();
+        let cps = cutpoints(&p);
+        assert_eq!(cps, [Loc(1), Loc(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn nested_loop_bodies_nest() {
+        let p = nested_loops();
+        let loops = loops_innermost_first(&p);
+        assert_eq!(loops.len(), 2);
+        assert!(loops[0].nested_in(&loops[1]));
+        assert!(!loops[1].nested_in(&loops[0]));
+        assert_eq!(loops[0].head, Loc(2));
+        assert_eq!(loops[1].head, Loc(1));
+        assert!(loops[1].body.contains(&Loc(2)));
+        assert!(loops[1].body.contains(&Loc(3)));
+    }
+
+    #[test]
+    fn straight_line_program_has_no_loops() {
+        let mut b = ProgramBuilder::new("straight");
+        b.int_var("x");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(l0, Action::assign("x", Term::int(1)), l1);
+        b.add_transition(l1, Action::Skip, e);
+        let p = b.build().unwrap();
+        assert!(natural_loops(&p).is_empty());
+        assert!(back_edges(&p).is_empty());
+        assert!(cutpoints(&p).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_its_own_block() {
+        let mut b = ProgramBuilder::new("selfloop");
+        b.int_var("x");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(l0, Action::Skip, l1);
+        b.add_transition(l1, Action::assign("x", Term::var("x").add(Term::int(1))), l1);
+        b.add_transition(l1, Action::Skip, e);
+        let p = b.build().unwrap();
+        let loops = natural_loops(&p);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].head, l1);
+        assert_eq!(loops[0].body, std::iter::once(l1).collect());
+    }
+}

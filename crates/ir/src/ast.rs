@@ -1,0 +1,174 @@
+//! Abstract syntax tree of the front-end language.
+//!
+//! The AST is produced by [`crate::parser`] and consumed by
+//! [`crate::lower`], which turns a procedure into a control-flow-graph
+//! [`crate::Program`] with an explicit error location for assertion
+//! failures.
+
+use std::fmt;
+
+/// Declared type of a variable or parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeAst {
+    /// `int`
+    Int,
+    /// `int[]`
+    IntArray,
+}
+
+impl fmt::Display for TypeAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeAst::Int => write!(f, "int"),
+            TypeAst::IntArray => write!(f, "int[]"),
+        }
+    }
+}
+
+/// Arithmetic expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprAst {
+    /// Integer literal.
+    Num(i128),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element read `a[e]`.
+    Index(String, Box<ExprAst>),
+    /// Addition.
+    Add(Box<ExprAst>, Box<ExprAst>),
+    /// Subtraction.
+    Sub(Box<ExprAst>, Box<ExprAst>),
+    /// Multiplication.
+    Mul(Box<ExprAst>, Box<ExprAst>),
+    /// Unary negation.
+    Neg(Box<ExprAst>),
+}
+
+/// Boolean expressions (conditions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolAst {
+    /// Literal `true`.
+    True,
+    /// Literal `false`.
+    False,
+    /// Relational comparison.
+    Rel(ExprAst, RelAst, ExprAst),
+    /// Conjunction.
+    And(Box<BoolAst>, Box<BoolAst>),
+    /// Disjunction.
+    Or(Box<BoolAst>, Box<BoolAst>),
+    /// Negation.
+    Not(Box<BoolAst>),
+}
+
+/// Relational operators of the surface syntax.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelAst {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A branch or loop condition: either a boolean expression or the
+/// non-deterministic condition `*`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CondAst {
+    /// Non-deterministic choice, written `*` in the source.
+    Nondet,
+    /// A boolean condition.
+    Expr(BoolAst),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtAst {
+    /// Local variable declaration `var x: int;`.
+    VarDecl(String, TypeAst),
+    /// Scalar assignment `x = e;`.
+    Assign(String, ExprAst),
+    /// Array element assignment `a[e1] = e2;`.
+    ArrayAssign(String, ExprAst, ExprAst),
+    /// `assume(b);`
+    Assume(BoolAst),
+    /// `assert(b);` — failing the assertion jumps to the error location.
+    Assert(BoolAst),
+    /// `havoc x, y;` — non-deterministic assignment.
+    Havoc(Vec<String>),
+    /// `skip;`
+    Skip,
+    /// `if (c) { ... } else { ... }` — the else branch may be empty.
+    If(CondAst, Vec<StmtAst>, Vec<StmtAst>),
+    /// `while (c) { ... }`
+    While(CondAst, Vec<StmtAst>),
+}
+
+/// A procedure: the unit of verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcAst {
+    /// Procedure name; becomes the program name.
+    pub name: String,
+    /// Parameters (treated as havocked inputs).
+    pub params: Vec<(String, TypeAst)>,
+    /// Procedure body.
+    pub body: Vec<StmtAst>,
+}
+
+impl ProcAst {
+    /// Counts the statements in the procedure body, recursively.  Used by
+    /// tests and by the workload generator to report program sizes.
+    pub fn num_statements(&self) -> usize {
+        fn count(stmts: &[StmtAst]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    StmtAst::If(_, t, e) => 1 + count(t) + count(e),
+                    StmtAst::While(_, b) => 1 + count(b),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_counting_recurses() {
+        let p = ProcAst {
+            name: "p".into(),
+            params: vec![],
+            body: vec![
+                StmtAst::Assign("x".into(), ExprAst::Num(0)),
+                StmtAst::While(
+                    CondAst::Nondet,
+                    vec![
+                        StmtAst::If(
+                            CondAst::Nondet,
+                            vec![StmtAst::Skip],
+                            vec![StmtAst::Skip, StmtAst::Skip],
+                        ),
+                    ],
+                ),
+            ],
+        };
+        assert_eq!(p.num_statements(), 6);
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(TypeAst::Int.to_string(), "int");
+        assert_eq!(TypeAst::IntArray.to_string(), "int[]");
+    }
+}

@@ -1,0 +1,518 @@
+//! Programs as control-flow graphs / transition systems.
+//!
+//! Following §3 of the paper, a program is a tuple `P = (X, locs, ℓ0, T, ℓE)`
+//! consisting of a set of variables, a set of control locations, an initial
+//! location, a set of transitions (edges labelled with guarded commands), and
+//! a distinguished error location.  A program is *safe* iff the error
+//! location is unreachable.
+
+use crate::action::Action;
+use crate::error::{IrError, IrResult};
+use crate::symbol::Symbol;
+use crate::var::{Sort, VarDecl};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A control location, identified by its index in the owning [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// The location's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a transition within its owning [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TransId(pub u32);
+
+impl TransId {
+    /// The transition's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A transition `(ℓ, ρ, ℓ')`: an edge of the control-flow graph labelled with
+/// a guarded-command [`Action`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Transition {
+    /// Source location.
+    pub from: Loc,
+    /// The action performed.
+    pub action: Action,
+    /// Target location.
+    pub to: Loc,
+}
+
+/// A program `P = (X, locs, ℓ0, T, ℓE)`.
+///
+/// Construct programs with [`ProgramBuilder`] or by parsing source text with
+/// [`crate::parse_program`].
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    vars: Vec<VarDecl>,
+    loc_labels: Vec<String>,
+    entry: Loc,
+    error: Loc,
+    transitions: Vec<Transition>,
+    outgoing: Vec<Vec<TransId>>,
+    incoming: Vec<Vec<TransId>>,
+}
+
+impl Program {
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared variables `X`.
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// The sort of variable `sym`, if declared.
+    pub fn sort_of(&self, sym: Symbol) -> Option<Sort> {
+        self.vars.iter().find(|d| d.sym == sym).map(|d| d.sort)
+    }
+
+    /// The declared integer variables.
+    pub fn int_vars(&self) -> Vec<Symbol> {
+        self.vars.iter().filter(|d| d.sort == Sort::Int).map(|d| d.sym).collect()
+    }
+
+    /// The declared array variables.
+    pub fn array_vars(&self) -> Vec<Symbol> {
+        self.vars.iter().filter(|d| d.sort == Sort::ArrayInt).map(|d| d.sym).collect()
+    }
+
+    /// The number of control locations.
+    pub fn num_locs(&self) -> usize {
+        self.loc_labels.len()
+    }
+
+    /// Iterates over all control locations.
+    pub fn locs(&self) -> impl Iterator<Item = Loc> + '_ {
+        (0..self.loc_labels.len() as u32).map(Loc)
+    }
+
+    /// The human-readable label of a location.
+    pub fn loc_label(&self, l: Loc) -> &str {
+        &self.loc_labels[l.index()]
+    }
+
+    /// The initial location `ℓ0`.
+    pub fn entry(&self) -> Loc {
+        self.entry
+    }
+
+    /// The error location `ℓE`.
+    pub fn error(&self) -> Loc {
+        self.error
+    }
+
+    /// All transitions `T`.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The transition with the given id.
+    pub fn transition(&self, id: TransId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// Ids of transitions leaving `l`.
+    pub fn outgoing(&self, l: Loc) -> &[TransId] {
+        &self.outgoing[l.index()]
+    }
+
+    /// Ids of transitions entering `l`.
+    pub fn incoming(&self, l: Loc) -> &[TransId] {
+        &self.incoming[l.index()]
+    }
+
+    /// All transition ids.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransId> + '_ {
+        (0..self.transitions.len() as u32).map(TransId)
+    }
+
+    /// The set of locations from which the error location is syntactically
+    /// reachable (backward reachability over the CFG).
+    pub fn error_reaching_locs(&self) -> BTreeSet<Loc> {
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![self.error];
+        reached.insert(self.error);
+        while let Some(l) = stack.pop() {
+            for &tid in self.incoming(l) {
+                let from = self.transition(tid).from;
+                if reached.insert(from) {
+                    stack.push(from);
+                }
+            }
+        }
+        reached
+    }
+
+    /// The set of locations syntactically reachable from the entry.
+    pub fn reachable_locs(&self) -> BTreeSet<Loc> {
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![self.entry];
+        reached.insert(self.entry);
+        while let Some(l) = stack.pop() {
+            for &tid in self.outgoing(l) {
+                let to = self.transition(tid).to;
+                if reached.insert(to) {
+                    stack.push(to);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Returns a builder pre-populated with this program's contents, for
+    /// constructing derived programs (e.g. path programs).
+    pub fn to_builder(&self) -> ProgramBuilder {
+        let mut b = ProgramBuilder::new(&self.name);
+        for v in &self.vars {
+            b.declare(*v);
+        }
+        for label in &self.loc_labels {
+            b.add_loc(label);
+        }
+        b.set_entry(self.entry);
+        b.set_error(self.error);
+        for t in &self.transitions {
+            b.add_transition(t.from, t.action.clone(), t.to);
+        }
+        b
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} {{", self.name)?;
+        for v in &self.vars {
+            writeln!(f, "  var {v};")?;
+        }
+        writeln!(f, "  entry {};", self.loc_label(self.entry))?;
+        writeln!(f, "  error {};", self.loc_label(self.error))?;
+        for t in &self.transitions {
+            writeln!(
+                f,
+                "  {} -> {} : {};",
+                self.loc_label(t.from),
+                self.loc_label(t.to),
+                t.action
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pathinv_ir::{Action, Formula, Program, ProgramBuilder, Term, VarDecl};
+///
+/// let mut b = ProgramBuilder::new("count");
+/// b.declare(VarDecl::int("i"));
+/// let l0 = b.add_loc("L0");
+/// let l1 = b.add_loc("L1");
+/// let err = b.add_loc("ERR");
+/// b.set_entry(l0);
+/// b.set_error(err);
+/// b.add_transition(l0, Action::assign("i", Term::int(0)), l1);
+/// b.add_transition(l1, Action::assume(Formula::lt(Term::var("i"), Term::int(0))), err);
+/// let program: Program = b.build().unwrap();
+/// assert_eq!(program.num_locs(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    vars: Vec<VarDecl>,
+    loc_labels: Vec<String>,
+    label_index: HashMap<String, Loc>,
+    entry: Option<Loc>,
+    error: Option<Loc>,
+    transitions: Vec<Transition>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    pub fn new(name: &str) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.to_owned(),
+            vars: Vec::new(),
+            loc_labels: Vec::new(),
+            label_index: HashMap::new(),
+            entry: None,
+            error: None,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Declares a variable.  Re-declaring the same name with the same sort is
+    /// a no-op; conflicting sorts are reported at [`ProgramBuilder::build`].
+    pub fn declare(&mut self, decl: VarDecl) -> &mut Self {
+        if !self.vars.contains(&decl) {
+            self.vars.push(decl);
+        }
+        self
+    }
+
+    /// Declares an integer variable by name.
+    pub fn int_var(&mut self, name: &str) -> Symbol {
+        let d = VarDecl::int(name);
+        self.declare(d);
+        d.sym
+    }
+
+    /// Declares an array variable by name.
+    pub fn array_var(&mut self, name: &str) -> Symbol {
+        let d = VarDecl::array(name);
+        self.declare(d);
+        d.sym
+    }
+
+    /// Adds a control location with the given label, returning its id.  If a
+    /// location with this label already exists, its id is returned instead.
+    pub fn add_loc(&mut self, label: &str) -> Loc {
+        if let Some(&l) = self.label_index.get(label) {
+            return l;
+        }
+        let l = Loc(self.loc_labels.len() as u32);
+        self.loc_labels.push(label.to_owned());
+        self.label_index.insert(label.to_owned(), l);
+        l
+    }
+
+    /// Adds a fresh, uniquely labelled location with the given prefix.
+    pub fn fresh_loc(&mut self, prefix: &str) -> Loc {
+        let mut i = self.loc_labels.len();
+        loop {
+            let label = format!("{prefix}_{i}");
+            if !self.label_index.contains_key(&label) {
+                return self.add_loc(&label);
+            }
+            i += 1;
+        }
+    }
+
+    /// Sets the entry location.
+    pub fn set_entry(&mut self, l: Loc) -> &mut Self {
+        self.entry = Some(l);
+        self
+    }
+
+    /// Sets the error location.
+    pub fn set_error(&mut self, l: Loc) -> &mut Self {
+        self.error = Some(l);
+        self
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: Loc, action: Action, to: Loc) -> TransId {
+        let id = TransId(self.transitions.len() as u32);
+        self.transitions.push(Transition { from, action, to });
+        id
+    }
+
+    /// Number of locations added so far.
+    pub fn num_locs(&self) -> usize {
+        self.loc_labels.len()
+    }
+
+    /// Finalises the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Build`] if the entry or error location is missing,
+    /// a transition refers to an unknown location, a variable is declared
+    /// with two different sorts, or an action mentions an undeclared
+    /// variable.
+    pub fn build(self) -> IrResult<Program> {
+        let entry = self.entry.ok_or_else(|| IrError::build("entry location not set"))?;
+        let error = self.error.ok_or_else(|| IrError::build("error location not set"))?;
+        let n = self.loc_labels.len();
+        if entry.index() >= n {
+            return Err(IrError::build("entry location out of range"));
+        }
+        if error.index() >= n {
+            return Err(IrError::build("error location out of range"));
+        }
+        let mut sorts: HashMap<Symbol, Sort> = HashMap::new();
+        for d in &self.vars {
+            if let Some(prev) = sorts.insert(d.sym, d.sort) {
+                if prev != d.sort {
+                    return Err(IrError::build(format!(
+                        "variable `{}` declared with conflicting sorts",
+                        d.sym
+                    )));
+                }
+            }
+        }
+        let mut outgoing = vec![Vec::new(); n];
+        let mut incoming = vec![Vec::new(); n];
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.from.index() >= n || t.to.index() >= n {
+                return Err(IrError::build(format!(
+                    "transition {i} refers to an unknown location"
+                )));
+            }
+            for v in t.action.mentioned_vars() {
+                if !sorts.contains_key(&v) {
+                    return Err(IrError::build(format!(
+                        "transition {i} mentions undeclared variable `{v}`"
+                    )));
+                }
+            }
+            outgoing[t.from.index()].push(TransId(i as u32));
+            incoming[t.to.index()].push(TransId(i as u32));
+        }
+        Ok(Program {
+            name: self.name,
+            vars: self.vars,
+            loc_labels: self.loc_labels,
+            entry,
+            error,
+            transitions: self.transitions,
+            outgoing,
+            incoming,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        b.int_var("x");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(l0, Action::assign("x", Term::int(0)), l1);
+        b.add_transition(l1, Action::assume(Formula::lt(Term::var("x"), Term::int(0))), e);
+        b.add_transition(l1, Action::assign("x", Term::var("x").add(Term::int(1))), l1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_graph() {
+        let p = tiny();
+        assert_eq!(p.num_locs(), 3);
+        assert_eq!(p.transitions().len(), 3);
+        assert_eq!(p.outgoing(Loc(1)).len(), 2);
+        assert_eq!(p.incoming(Loc(1)).len(), 2);
+        assert_eq!(p.loc_label(p.entry()), "L0");
+        assert_eq!(p.loc_label(p.error()), "ERR");
+    }
+
+    #[test]
+    fn add_loc_is_idempotent_per_label() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.add_loc("L0");
+        let a2 = b.add_loc("L0");
+        assert_eq!(a, a2);
+        assert_eq!(b.num_locs(), 1);
+    }
+
+    #[test]
+    fn fresh_loc_never_collides() {
+        let mut b = ProgramBuilder::new("p");
+        b.add_loc("h_0");
+        let f = b.fresh_loc("h");
+        assert_ne!(b.add_loc("h_0"), f);
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let mut b = ProgramBuilder::new("p");
+        let l = b.add_loc("L0");
+        b.set_error(l);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn undeclared_variable_is_an_error() {
+        let mut b = ProgramBuilder::new("p");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        b.set_entry(l0);
+        b.set_error(l1);
+        b.add_transition(l0, Action::assign("z", Term::int(0)), l1);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn conflicting_sorts_are_an_error() {
+        let mut b = ProgramBuilder::new("p");
+        b.int_var("a");
+        b.array_var("a");
+        let l0 = b.add_loc("L0");
+        b.set_entry(l0);
+        b.set_error(l0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let p = tiny();
+        let fwd = p.reachable_locs();
+        assert_eq!(fwd.len(), 3);
+        let bwd = p.error_reaching_locs();
+        assert!(bwd.contains(&p.entry()));
+        assert!(bwd.contains(&p.error()));
+    }
+
+    #[test]
+    fn sort_lookup() {
+        let p = tiny();
+        assert_eq!(p.sort_of(Symbol::intern("x")), Some(Sort::Int));
+        assert_eq!(p.sort_of(Symbol::intern("nope")), None);
+        assert_eq!(p.int_vars().len(), 1);
+        assert!(p.array_vars().is_empty());
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let p = tiny();
+        let q = p.to_builder().build().unwrap();
+        assert_eq!(q.num_locs(), p.num_locs());
+        assert_eq!(q.transitions().len(), p.transitions().len());
+        assert_eq!(q.entry(), p.entry());
+        assert_eq!(q.error(), p.error());
+    }
+
+    #[test]
+    fn display_contains_all_edges() {
+        let p = tiny();
+        let s = p.to_string();
+        assert!(s.contains("program tiny"));
+        assert!(s.contains("L0 -> L1"));
+        assert!(s.contains("x := 0"));
+    }
+}

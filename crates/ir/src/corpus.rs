@@ -1,0 +1,638 @@
+//! The benchmark corpus: the three example programs of the paper (§2), the
+//! buggy variant of §6, the abstract program of the §3 worked example
+//! (Figure 4), and a small suite of additional loop/array programs used for
+//! the "suite" experiment (§6 mentions a suite of programs that BLAST could
+//! not prove).
+//!
+//! Each paper program is provided twice: hand-built through the
+//! [`ProgramBuilder`] so that the control-flow graph matches the figures in
+//! the paper location-for-location (these are the versions used by the
+//! experiment harness), and as front-end source text (used to exercise the
+//! parser and lowering pipeline).
+
+use crate::action::Action;
+use crate::cfg::{Loc, Program, ProgramBuilder, TransId};
+use crate::formula::Formula;
+use crate::lower::parse_program;
+use crate::symbol::Symbol;
+use crate::term::Term;
+
+/// Finds the first transition from the location labelled `from` to the
+/// location labelled `to`.
+///
+/// # Panics
+///
+/// Panics if no such transition exists; this helper is meant for building
+/// known paths through corpus programs in tests and benchmarks.
+pub fn find_transition(program: &Program, from: &str, to: &str) -> TransId {
+    program
+        .transition_ids()
+        .find(|&tid| {
+            let t = program.transition(tid);
+            program.loc_label(t.from) == from && program.loc_label(t.to) == to
+        })
+        .unwrap_or_else(|| panic!("no transition {from} -> {to} in {}", program.name()))
+}
+
+/// Finds the location with the given label.
+///
+/// # Panics
+///
+/// Panics if no location carries that label.
+pub fn find_loc(program: &Program, label: &str) -> Loc {
+    program
+        .locs()
+        .find(|&l| program.loc_label(l) == label)
+        .unwrap_or_else(|| panic!("no location labelled {label} in {}", program.name()))
+}
+
+/// The program FORWARD of Figure 1(a).
+///
+/// ```text
+/// assume(n >= 0); i := 0; a := 0; b := 0;
+/// while (i < n) {
+///   if (*) { a := a+1; b := b+2; } else { a := a+2; b := b+1; }
+///   i := i+1;
+/// }
+/// assert(a + b == 3*n);
+/// ```
+///
+/// Its correctness argument needs the loop invariant `a + b = 3i`, which no
+/// finite set of finite-path predicates can express.
+pub fn forward() -> Program {
+    let mut b = ProgramBuilder::new("FORWARD");
+    b.int_var("i");
+    b.int_var("n");
+    b.int_var("a");
+    b.int_var("b");
+    let l0 = b.add_loc("L0");
+    let l0b = b.add_loc("L0b");
+    let l1 = b.add_loc("L1");
+    let l2 = b.add_loc("L2");
+    let l3 = b.add_loc("L3");
+    let l4 = b.add_loc("L4");
+    let l5 = b.add_loc("L5");
+    let exit = b.add_loc("EXIT");
+    let err = b.add_loc("ERR");
+    b.set_entry(l0);
+    b.set_error(err);
+
+    let i = || Term::var("i");
+    let n = || Term::var("n");
+    let a = || Term::var("a");
+    let bb = || Term::var("b");
+
+    // [n >= 0]
+    b.add_transition(l0, Action::assume(Formula::ge(n(), Term::int(0))), l0b);
+    // i := 0; a := 0; b := 0
+    b.add_transition(
+        l0b,
+        Action::Assign(vec![
+            (Symbol::intern("i"), Term::int(0)),
+            (Symbol::intern("a"), Term::int(0)),
+            (Symbol::intern("b"), Term::int(0)),
+        ]),
+        l1,
+    );
+    // loop entry: [i < n] into either branch
+    b.add_transition(l1, Action::assume(Formula::lt(i(), n())), l2);
+    b.add_transition(l1, Action::assume(Formula::lt(i(), n())), l3);
+    // then branch: a := a+1; b := b+2
+    b.add_transition(
+        l2,
+        Action::Assign(vec![
+            (Symbol::intern("a"), a().add(Term::int(1))),
+            (Symbol::intern("b"), bb().add(Term::int(2))),
+        ]),
+        l4,
+    );
+    // else branch: a := a+2; b := b+1
+    b.add_transition(
+        l3,
+        Action::Assign(vec![
+            (Symbol::intern("a"), a().add(Term::int(2))),
+            (Symbol::intern("b"), bb().add(Term::int(1))),
+        ]),
+        l4,
+    );
+    // i := i+1 back to loop head
+    b.add_transition(l4, Action::assign("i", i().add(Term::int(1))), l1);
+    // loop exit
+    b.add_transition(l1, Action::assume(Formula::ge(i(), n())), l5);
+    // assertion
+    let sum = a().add(bb());
+    let three_n = Term::int(3).mul(n());
+    b.add_transition(l5, Action::assume(Formula::ne(sum.clone(), three_n.clone())), err);
+    b.add_transition(l5, Action::assume(Formula::eq(sum, three_n)), exit);
+    b.build().expect("FORWARD is well formed")
+}
+
+/// The spurious counterexample of Figure 1(b): one iteration through the
+/// then-branch, then the assertion fails.
+pub fn forward_counterexample(p: &Program) -> Vec<TransId> {
+    vec![
+        find_transition(p, "L0", "L0b"),
+        find_transition(p, "L0b", "L1"),
+        find_transition(p, "L1", "L2"),
+        find_transition(p, "L2", "L4"),
+        find_transition(p, "L4", "L1"),
+        find_transition(p, "L1", "L5"),
+        find_transition(p, "L5", "ERR"),
+    ]
+}
+
+/// The program INITCHECK of Figure 2(a): initialise `a[0..n)` to zero, then
+/// assert every cell is zero.  Proving it requires the universally
+/// quantified invariant `∀k: 0 ≤ k < n → a[k] = 0`.
+pub fn initcheck() -> Program {
+    let mut b = ProgramBuilder::new("INITCHECK");
+    b.array_var("a");
+    b.int_var("i");
+    b.int_var("n");
+    let l0 = b.add_loc("L0");
+    let l1 = b.add_loc("L1");
+    let l2 = b.add_loc("L2");
+    let l2b = b.add_loc("L2b");
+    let l2c = b.add_loc("L2c");
+    let l3 = b.add_loc("L3");
+    let l4 = b.add_loc("L4");
+    let l4b = b.add_loc("L4b");
+    let l5 = b.add_loc("L5");
+    let err = b.add_loc("ERR");
+    b.set_entry(l0);
+    b.set_error(err);
+
+    let i = || Term::var("i");
+    let n = || Term::var("n");
+    let a_i = || Term::var("a").select(Term::var("i"));
+
+    // i := 0
+    b.add_transition(l0, Action::assign("i", Term::int(0)), l1);
+    // first loop: [i < n]; a[i] := 0; i := i+1
+    b.add_transition(l1, Action::assume(Formula::lt(i(), n())), l2);
+    b.add_transition(l2, Action::array_assign("a", i(), Term::int(0)), l2b);
+    b.add_transition(l2b, Action::assign("i", i().add(Term::int(1))), l1);
+    // between the loops: [i >= n]; i := 0
+    b.add_transition(l1, Action::assume(Formula::ge(i(), n())), l2c);
+    b.add_transition(l2c, Action::assign("i", Term::int(0)), l3);
+    // second loop: [i < n]; assert(a[i] == 0); i := i+1
+    b.add_transition(l3, Action::assume(Formula::lt(i(), n())), l4);
+    b.add_transition(l4, Action::assume(Formula::ne(a_i(), Term::int(0))), err);
+    b.add_transition(l4, Action::assume(Formula::eq(a_i(), Term::int(0))), l4b);
+    b.add_transition(l4b, Action::assign("i", i().add(Term::int(1))), l3);
+    // exit
+    b.add_transition(l3, Action::assume(Formula::ge(i(), n())), l5);
+    b.build().expect("INITCHECK is well formed")
+}
+
+/// The spurious counterexample of Figure 2(b): one full iteration of each
+/// loop, then the assertion check fails on the second read of the check loop.
+pub fn initcheck_counterexample(p: &Program) -> Vec<TransId> {
+    vec![
+        find_transition(p, "L0", "L1"),
+        find_transition(p, "L1", "L2"),
+        find_transition(p, "L2", "L2b"),
+        find_transition(p, "L2b", "L1"),
+        find_transition(p, "L1", "L2c"),
+        find_transition(p, "L2c", "L3"),
+        find_transition(p, "L3", "L4"),
+        find_transition(p, "L4", "L4b"),
+        find_transition(p, "L4b", "L3"),
+        find_transition(p, "L3", "L4"),
+        find_transition(p, "L4", "ERR"),
+    ]
+}
+
+/// The program PARTITION of Figure 3: split `a[0..n)` into the non-negative
+/// elements (`ge`) and the negative elements (`lt`), then assert both output
+/// arrays have the claimed signs.
+pub fn partition() -> Program {
+    let mut b = ProgramBuilder::new("PARTITION");
+    b.array_var("a");
+    b.array_var("ge");
+    b.array_var("lt");
+    b.int_var("i");
+    b.int_var("n");
+    b.int_var("gelen");
+    b.int_var("ltlen");
+    let l1 = b.add_loc("L1");
+    let l2 = b.add_loc("L2");
+    let l3 = b.add_loc("L3");
+    let l4 = b.add_loc("L4");
+    let l4b = b.add_loc("L4b");
+    let l5 = b.add_loc("L5");
+    let l5b = b.add_loc("L5b");
+    let l2b = b.add_loc("L2b");
+    let l6pre = b.add_loc("L6pre");
+    let l6 = b.add_loc("L6");
+    let l6a = b.add_loc("L6a");
+    let l6b = b.add_loc("L6b");
+    let l7pre = b.add_loc("L7pre");
+    let l7 = b.add_loc("L7");
+    let l7a = b.add_loc("L7a");
+    let l7b = b.add_loc("L7b");
+    let exit = b.add_loc("EXIT");
+    let err = b.add_loc("ERR");
+    b.set_entry(l1);
+    b.set_error(err);
+
+    let i = || Term::var("i");
+    let n = || Term::var("n");
+    let gelen = || Term::var("gelen");
+    let ltlen = || Term::var("ltlen");
+    let a_i = || Term::var("a").select(Term::var("i"));
+
+    // gelen := 0; ltlen := 0; i := 0
+    b.add_transition(
+        l1,
+        Action::Assign(vec![
+            (Symbol::intern("gelen"), Term::int(0)),
+            (Symbol::intern("ltlen"), Term::int(0)),
+            (Symbol::intern("i"), Term::int(0)),
+        ]),
+        l2,
+    );
+    // first loop head L2: [i < n] -> L3, [i >= n] -> L6pre
+    b.add_transition(l2, Action::assume(Formula::lt(i(), n())), l3);
+    b.add_transition(l2, Action::assume(Formula::ge(i(), n())), l6pre);
+    // branch on a[i] >= 0
+    b.add_transition(l3, Action::assume(Formula::ge(a_i(), Term::int(0))), l4);
+    b.add_transition(l3, Action::assume(Formula::lt(a_i(), Term::int(0))), l5);
+    // then: ge[gelen] := a[i]; gelen := gelen+1
+    b.add_transition(l4, Action::array_assign("ge", gelen(), a_i()), l4b);
+    b.add_transition(l4b, Action::assign("gelen", gelen().add(Term::int(1))), l2b);
+    // else: lt[ltlen] := a[i]; ltlen := ltlen+1
+    b.add_transition(l5, Action::array_assign("lt", ltlen(), a_i()), l5b);
+    b.add_transition(l5b, Action::assign("ltlen", ltlen().add(Term::int(1))), l2b);
+    // i := i+1 back to L2
+    b.add_transition(l2b, Action::assign("i", i().add(Term::int(1))), l2);
+    // second loop (check ge): i := 0
+    b.add_transition(l6pre, Action::assign("i", Term::int(0)), l6);
+    b.add_transition(l6, Action::assume(Formula::lt(i(), gelen())), l6a);
+    let ge_i = || Term::var("ge").select(Term::var("i"));
+    b.add_transition(l6a, Action::assume(Formula::lt(ge_i(), Term::int(0))), err);
+    b.add_transition(l6a, Action::assume(Formula::ge(ge_i(), Term::int(0))), l6b);
+    b.add_transition(l6b, Action::assign("i", i().add(Term::int(1))), l6);
+    b.add_transition(l6, Action::assume(Formula::ge(i(), gelen())), l7pre);
+    // third loop (check lt): i := 0
+    b.add_transition(l7pre, Action::assign("i", Term::int(0)), l7);
+    b.add_transition(l7, Action::assume(Formula::lt(i(), ltlen())), l7a);
+    let lt_i = || Term::var("lt").select(Term::var("i"));
+    b.add_transition(l7a, Action::assume(Formula::ge(lt_i(), Term::int(0))), err);
+    b.add_transition(l7a, Action::assume(Formula::lt(lt_i(), Term::int(0))), l7b);
+    b.add_transition(l7b, Action::assign("i", i().add(Term::int(1))), l7);
+    b.add_transition(l7, Action::assume(Formula::ge(i(), ltlen())), exit);
+    b.build().expect("PARTITION is well formed")
+}
+
+/// The buggy INITCHECK variant discussed in §6: the loop writes `1` into
+/// every cell, and the final assertion `a[0] == 0` genuinely fails.  Path
+/// invariants correctly fail to prove it: there is no safe invariant map.
+pub fn buggy_initcheck() -> Program {
+    let mut b = ProgramBuilder::new("BUGGY_INITCHECK");
+    b.array_var("a");
+    b.int_var("i");
+    let l0 = b.add_loc("L0");
+    let l1 = b.add_loc("L1");
+    let l2 = b.add_loc("L2");
+    let l2b = b.add_loc("L2b");
+    let l3 = b.add_loc("L3");
+    let exit = b.add_loc("EXIT");
+    let err = b.add_loc("ERR");
+    b.set_entry(l0);
+    b.set_error(err);
+    let i = || Term::var("i");
+    b.add_transition(l0, Action::assign("i", Term::int(0)), l1);
+    b.add_transition(l1, Action::assume(Formula::lt(i(), Term::int(100))), l2);
+    b.add_transition(l2, Action::array_assign("a", i(), Term::int(1)), l2b);
+    b.add_transition(l2b, Action::assign("i", i().add(Term::int(1))), l1);
+    b.add_transition(l1, Action::assume(Formula::ge(i(), Term::int(100))), l3);
+    let a0 = || Term::var("a").select(Term::int(0));
+    b.add_transition(l3, Action::assume(Formula::ne(a0(), Term::int(0))), err);
+    b.add_transition(l3, Action::assume(Formula::eq(a0(), Term::int(0))), exit);
+    b.build().expect("BUGGY_INITCHECK is well formed")
+}
+
+/// The abstract four-location program used in the worked example of §3
+/// (Figure 4).  The transition constraints ρ0..ρ4 are opaque; we realise them
+/// as updates of a single counter so that they are pairwise distinct.
+///
+/// Control structure: `ℓ0 -ρ0-> ℓ1 -ρ1-> ℓ2 -ρ2-> ℓ1 -ρ3-> ℓ0 -ρ4-> ℓE`, with
+/// the two nested blocks `B1 = {ℓ0, ℓ1, ℓ2}` (back edge ρ3) and
+/// `B2 = {ℓ1, ℓ2}` (back edge ρ2).
+pub fn figure4_program() -> Program {
+    let mut b = ProgramBuilder::new("FIGURE4");
+    b.int_var("x");
+    let l0 = b.add_loc("l0");
+    let l1 = b.add_loc("l1");
+    let l2 = b.add_loc("l2");
+    let err = b.add_loc("lE");
+    b.set_entry(l0);
+    b.set_error(err);
+    let x = || Term::var("x");
+    // rho0 .. rho4, pairwise distinct actions.
+    b.add_transition(l0, Action::assign("x", x().add(Term::int(1))), l1); // rho0
+    b.add_transition(l1, Action::assign("x", x().add(Term::int(2))), l2); // rho1
+    b.add_transition(l2, Action::assign("x", x().add(Term::int(3))), l1); // rho2
+    b.add_transition(l1, Action::assign("x", x().add(Term::int(4))), l0); // rho3
+    b.add_transition(l0, Action::assign("x", x().add(Term::int(5))), err); // rho4
+    b.build().expect("FIGURE4 is well formed")
+}
+
+/// The error path of the §3 worked example:
+/// `ρ0 ρ1 ρ2 ρ3 ρ0 ρ3 ρ4`.
+pub fn figure4_path(p: &Program) -> Vec<TransId> {
+    let rho = |k: u32| TransId(k);
+    let _ = p;
+    vec![rho(0), rho(1), rho(2), rho(3), rho(0), rho(3), rho(4)]
+}
+
+/// Front-end source text for FORWARD (used to exercise the parser; the
+/// hand-built [`forward`] matches the paper's figure more literally).
+pub fn forward_src() -> &'static str {
+    r#"
+    proc forward(n: int) {
+        var i: int; var a: int; var b: int;
+        assume(n >= 0);
+        i = 0; a = 0; b = 0;
+        while (i < n) {
+            if (*) { a = a + 1; b = b + 2; } else { a = a + 2; b = b + 1; }
+            i = i + 1;
+        }
+        assert(a + b == 3 * n);
+    }
+    "#
+}
+
+/// Front-end source text for INITCHECK.
+pub fn initcheck_src() -> &'static str {
+    r#"
+    proc init_check(a: int[], n: int) {
+        var i: int;
+        for (i = 0; i < n; i++) { a[i] = 0; }
+        for (i = 0; i < n; i++) { assert(a[i] == 0); }
+    }
+    "#
+}
+
+/// Front-end source text for PARTITION.
+pub fn partition_src() -> &'static str {
+    r#"
+    proc partition(a: int[], n: int) {
+        var i: int; var gelen: int; var ltlen: int;
+        var ge: int[]; var lt: int[];
+        gelen = 0; ltlen = 0;
+        for (i = 0; i < n; i++) {
+            if (a[i] >= 0) { ge[gelen] = a[i]; gelen++; }
+            else           { lt[ltlen] = a[i]; ltlen++; }
+        }
+        for (i = 0; i < gelen; i++) { assert(ge[i] >= 0); }
+        for (i = 0; i < ltlen; i++) { assert(lt[i] < 0); }
+    }
+    "#
+}
+
+/// A named source-level benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteEntry {
+    /// Short benchmark name.
+    pub name: &'static str,
+    /// Front-end source text.
+    pub src: &'static str,
+    /// Whether the program is safe (the assertion holds).
+    pub safe: bool,
+    /// Whether the proof needs a universally quantified (array) invariant.
+    pub needs_quantifiers: bool,
+}
+
+/// The additional loop/array programs of the "suite" experiment.  All safe
+/// entries are provable with path-invariant refinement but not with
+/// finite-path predicate refinement under a bounded number of refinements.
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "sum_counter",
+            src: r#"
+            proc sum_counter(n: int) {
+                var i: int; var s: int;
+                assume(n >= 0);
+                i = 0; s = 0;
+                while (i < n) { s = s + 1; i = i + 1; }
+                assert(s == n);
+            }
+            "#,
+            safe: true,
+            needs_quantifiers: false,
+        },
+        SuiteEntry {
+            name: "lockstep",
+            src: r#"
+            proc lockstep(n: int) {
+                var i: int; var a: int; var b: int;
+                assume(n >= 0);
+                i = 0; a = 0; b = 0;
+                while (i < n) { a = a + 1; b = b + 1; i = i + 1; }
+                assert(a == b);
+            }
+            "#,
+            safe: true,
+            needs_quantifiers: false,
+        },
+        SuiteEntry {
+            name: "double_counter",
+            src: r#"
+            proc double_counter(n: int) {
+                var i: int; var j: int;
+                assume(n >= 0);
+                i = 0; j = 0;
+                while (i < n) { j = j + 2; i = i + 1; }
+                assert(j == 2 * n);
+            }
+            "#,
+            safe: true,
+            needs_quantifiers: false,
+        },
+        SuiteEntry {
+            name: "forward",
+            src: forward_src(),
+            safe: true,
+            needs_quantifiers: false,
+        },
+        SuiteEntry {
+            name: "init_check",
+            src: initcheck_src(),
+            safe: true,
+            needs_quantifiers: true,
+        },
+        SuiteEntry {
+            name: "init_const",
+            src: r#"
+            proc init_const(a: int[], n: int) {
+                var i: int; var c: int;
+                c = 5;
+                for (i = 0; i < n; i++) { a[i] = c; }
+                for (i = 0; i < n; i++) { assert(a[i] == 5); }
+            }
+            "#,
+            safe: true,
+            needs_quantifiers: true,
+        },
+        SuiteEntry {
+            name: "init_backward_bug",
+            src: r#"
+            proc init_backward_bug(a: int[], n: int) {
+                var i: int;
+                assume(n > 0);
+                for (i = 0; i < n; i++) { a[i] = 1; }
+                assert(a[0] == 0);
+            }
+            "#,
+            safe: false,
+            needs_quantifiers: false,
+        },
+        SuiteEntry {
+            name: "counter_off_by_one_bug",
+            src: r#"
+            proc counter_off_by_one_bug(n: int) {
+                var i: int; var s: int;
+                assume(n > 0);
+                i = 0; s = 1;
+                while (i < n) { s = s + 1; i = i + 1; }
+                assert(s == n);
+            }
+            "#,
+            safe: false,
+            needs_quantifiers: false,
+        },
+    ]
+}
+
+/// Parses every suite entry into a [`Program`].
+pub fn suite_programs() -> Vec<(SuiteEntry, Program)> {
+    suite()
+        .into_iter()
+        .map(|e| {
+            let p = parse_program(e.src)
+                .unwrap_or_else(|err| panic!("suite program {} fails to parse: {err}", e.name));
+            (e, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{cutpoints, natural_loops};
+    use crate::path::Path;
+    use crate::ssa::path_formula;
+
+    #[test]
+    fn forward_matches_figure_1() {
+        let p = forward();
+        assert_eq!(p.int_vars().len(), 4);
+        let loops = natural_loops(&p);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(p.loc_label(loops[0].head), "L1");
+        // loop body: L1, L2, L3, L4
+        assert_eq!(loops[0].body.len(), 4);
+    }
+
+    #[test]
+    fn forward_counterexample_is_a_valid_error_path() {
+        let p = forward();
+        let path = Path::new(&p, forward_counterexample(&p)).unwrap();
+        assert!(path.is_error_path(&p));
+        assert_eq!(path.len(), 7);
+        // The path formula matches the structure shown in §2.1.
+        let pf = path_formula(&p, &path);
+        assert!(pf.steps[0].to_string().contains("n#0 >= 0"));
+        assert!(pf
+            .conjunction()
+            .to_string()
+            .contains("i#1 = 0"));
+    }
+
+    #[test]
+    fn initcheck_has_two_loops() {
+        let p = initcheck();
+        let loops = natural_loops(&p);
+        assert_eq!(loops.len(), 2);
+        let cps = cutpoints(&p);
+        assert_eq!(cps.len(), 2);
+        assert_eq!(p.array_vars(), vec![Symbol::intern("a")]);
+    }
+
+    #[test]
+    fn initcheck_counterexample_is_a_valid_error_path() {
+        let p = initcheck();
+        let path = Path::new(&p, initcheck_counterexample(&p)).unwrap();
+        assert!(path.is_error_path(&p));
+    }
+
+    #[test]
+    fn partition_has_three_loops_and_two_error_edges() {
+        let p = partition();
+        assert_eq!(natural_loops(&p).len(), 3);
+        assert_eq!(p.incoming(p.error()).len(), 2);
+        assert_eq!(p.array_vars().len(), 3);
+    }
+
+    #[test]
+    fn buggy_initcheck_is_well_formed() {
+        let p = buggy_initcheck();
+        assert_eq!(natural_loops(&p).len(), 1);
+        assert_eq!(p.incoming(p.error()).len(), 1);
+    }
+
+    #[test]
+    fn figure4_blocks_match_paper() {
+        let p = figure4_program();
+        let loops = natural_loops(&p);
+        assert_eq!(loops.len(), 2);
+        let b2 = loops.iter().find(|l| p.loc_label(l.head) == "l1").unwrap();
+        let b1 = loops.iter().find(|l| p.loc_label(l.head) == "l0").unwrap();
+        assert_eq!(b2.body.len(), 2, "B2 = {{l1, l2}}");
+        assert_eq!(b1.body.len(), 3, "B1 = {{l0, l1, l2}}");
+        assert!(b2.nested_in(b1));
+    }
+
+    #[test]
+    fn figure4_path_is_valid() {
+        let p = figure4_program();
+        let path = Path::new(&p, figure4_path(&p)).unwrap();
+        assert!(path.is_error_path(&p));
+        assert_eq!(path.len(), 7);
+    }
+
+    #[test]
+    fn parsed_versions_agree_on_loop_structure() {
+        let fwd = parse_program(forward_src()).unwrap();
+        assert_eq!(natural_loops(&fwd).len(), 1);
+        let ic = parse_program(initcheck_src()).unwrap();
+        assert_eq!(natural_loops(&ic).len(), 2);
+        let pt = parse_program(partition_src()).unwrap();
+        assert_eq!(natural_loops(&pt).len(), 3);
+    }
+
+    #[test]
+    fn all_suite_programs_parse_and_have_error_edges() {
+        for (entry, program) in suite_programs() {
+            assert!(
+                !program.incoming(program.error()).is_empty(),
+                "{} has no assertion",
+                entry.name
+            );
+            assert!(
+                program.reachable_locs().contains(&program.error())
+                    || !program.reachable_locs().is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn find_transition_panics_on_missing_edge() {
+        let p = forward();
+        let result = std::panic::catch_unwind(|| find_transition(&p, "L0", "ERR"));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the IR crate.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing, or lowering programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A lexical error in the front-end with a human-readable description and
+    /// the (1-based) line on which it occurred.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A syntax error in the front-end.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A semantic error while lowering the AST to a control-flow graph
+    /// (undeclared variable, sort mismatch, ...).
+    Lower {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An inconsistency detected while building a [`crate::Program`]
+    /// directly through the builder API.
+    Build {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A path that is not well-formed with respect to its program
+    /// (non-contiguous transitions, wrong start location, ...).
+    Path {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl IrError {
+    /// Convenience constructor for builder errors.
+    pub fn build(message: impl Into<String>) -> IrError {
+        IrError::Build { message: message.into() }
+    }
+
+    /// Convenience constructor for lowering errors.
+    pub fn lower(message: impl Into<String>) -> IrError {
+        IrError::Lower { message: message.into() }
+    }
+
+    /// Convenience constructor for path errors.
+    pub fn path(message: impl Into<String>) -> IrError {
+        IrError::Path { message: message.into() }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { line, message } => write!(f, "lexical error on line {line}: {message}"),
+            IrError::Parse { line, message } => write!(f, "syntax error on line {line}: {message}"),
+            IrError::Lower { message } => write!(f, "lowering error: {message}"),
+            IrError::Build { message } => write!(f, "program construction error: {message}"),
+            IrError::Path { message } => write!(f, "ill-formed path: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Result alias used throughout the IR crate.
+pub type IrResult<T> = Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::build("duplicate location label `L1`");
+        assert_eq!(e.to_string(), "program construction error: duplicate location label `L1`");
+        let e = IrError::Parse { line: 3, message: "expected `)`".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(IrError::lower("x"));
+    }
+}

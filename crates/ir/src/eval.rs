@@ -1,0 +1,388 @@
+//! Concrete evaluation of terms, formulas, and program paths.
+//!
+//! Evaluation serves two purposes in this library: it lets property-based
+//! tests cross-check the symbolic decision procedures against brute-force
+//! enumeration, and it lets the CEGAR engine replay a concrete counterexample
+//! that the feasibility check produced, as a sanity check before reporting a
+//! bug to the user.
+
+use crate::action::Action;
+use crate::formula::Formula;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::var::VarRef;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A concrete value: an integer or an integer array.
+///
+/// Arrays are total maps from integers to integers, represented sparsely with
+/// a default value for unwritten cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer value.
+    Int(i128),
+    /// An array value: explicit cells plus a default for all other indices.
+    Array {
+        /// Explicitly written cells.
+        cells: BTreeMap<i128, i128>,
+        /// Value of every cell not in `cells`.
+        default: i128,
+    },
+}
+
+impl Value {
+    /// An array value with the given default and no explicit cells.
+    pub fn array(default: i128) -> Value {
+        Value::Array { cells: BTreeMap::new(), default }
+    }
+
+    /// Reads the integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Array { .. } => None,
+        }
+    }
+
+    /// Reads an array cell, if this is an array value.
+    pub fn read(&self, index: i128) -> Option<i128> {
+        match self {
+            Value::Int(_) => None,
+            Value::Array { cells, default } => Some(*cells.get(&index).unwrap_or(default)),
+        }
+    }
+
+    /// Returns the array obtained by writing `value` at `index`.
+    pub fn write(&self, index: i128, value: i128) -> Option<Value> {
+        match self {
+            Value::Int(_) => None,
+            Value::Array { cells, default } => {
+                let mut cells = cells.clone();
+                cells.insert(index, value);
+                Some(Value::Array { cells, default: *default })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Array { cells, default } => {
+                write!(f, "[default {default}")?;
+                for (k, v) in cells {
+                    write!(f, ", {k} -> {v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// An environment assigning concrete values to variable references and bound
+/// variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    vars: BTreeMap<VarRef, Value>,
+    bound: BTreeMap<Symbol, i128>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Sets the value of a variable reference.
+    pub fn set(&mut self, v: VarRef, value: Value) -> &mut Self {
+        self.vars.insert(v, value);
+        self
+    }
+
+    /// Sets the value of a current-state integer variable by name.
+    pub fn set_int(&mut self, name: &str, value: i128) -> &mut Self {
+        self.set(VarRef::cur(Symbol::intern(name)), Value::Int(value))
+    }
+
+    /// Sets the value of a current-state array variable by name.
+    pub fn set_array(&mut self, name: &str, cells: &[(i128, i128)], default: i128) -> &mut Self {
+        let cells = cells.iter().copied().collect();
+        self.set(VarRef::cur(Symbol::intern(name)), Value::Array { cells, default })
+    }
+
+    /// Binds a quantified index variable.
+    pub fn bind(&mut self, b: Symbol, value: i128) -> &mut Self {
+        self.bound.insert(b, value);
+        self
+    }
+
+    /// Looks up a variable reference.
+    pub fn get(&self, v: VarRef) -> Option<&Value> {
+        self.vars.get(&v)
+    }
+
+    /// Looks up a current-state variable by name.
+    pub fn get_int(&self, name: &str) -> Option<i128> {
+        self.get(VarRef::cur(Symbol::intern(name))).and_then(Value::as_int)
+    }
+
+    /// Evaluates a term; `None` if a variable is unbound, a sort is misused,
+    /// or the term contains an uninterpreted function application.
+    pub fn eval_term(&self, t: &Term) -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(Value::Int(*c)),
+            Term::Var(v) => self.vars.get(v).cloned(),
+            Term::Bound(b) => self.bound.get(b).map(|&i| Value::Int(i)),
+            Term::Add(a, b) => {
+                Some(Value::Int(self.eval_int(a)?.checked_add(self.eval_int(b)?)?))
+            }
+            Term::Sub(a, b) => {
+                Some(Value::Int(self.eval_int(a)?.checked_sub(self.eval_int(b)?)?))
+            }
+            Term::Neg(a) => Some(Value::Int(self.eval_int(a)?.checked_neg()?)),
+            Term::Mul(a, b) => {
+                Some(Value::Int(self.eval_int(a)?.checked_mul(self.eval_int(b)?)?))
+            }
+            Term::Select(a, i) => {
+                let arr = self.eval_term(a)?;
+                let idx = self.eval_int(i)?;
+                arr.read(idx).map(Value::Int)
+            }
+            Term::Store(a, i, v) => {
+                let arr = self.eval_term(a)?;
+                let idx = self.eval_int(i)?;
+                let val = self.eval_int(v)?;
+                arr.write(idx, val)
+            }
+            // Uninterpreted functions have no concrete interpretation here.
+            Term::App(..) => None,
+        }
+    }
+
+    /// Evaluates a term expected to be an integer.
+    pub fn eval_int(&self, t: &Term) -> Option<i128> {
+        self.eval_term(t)?.as_int()
+    }
+
+    /// Evaluates a quantifier-free formula; `None` if evaluation gets stuck.
+    ///
+    /// Universally quantified formulas are checked over the index range
+    /// `bounds` supplied to [`Env::eval_formula_bounded`]; this method treats
+    /// a quantifier as un-evaluable.
+    pub fn eval_formula(&self, f: &Formula) -> Option<bool> {
+        self.eval_formula_bounded(f, None)
+    }
+
+    /// Evaluates a formula, checking universal quantifiers over the finite
+    /// index interval `quant_range = Some((lo, hi))` (inclusive).
+    ///
+    /// Checking a quantifier over a finite range is sound for the way tests
+    /// use it (the tested invariants constrain indices to an interval that is
+    /// contained in the supplied range).
+    pub fn eval_formula_bounded(
+        &self,
+        f: &Formula,
+        quant_range: Option<(i128, i128)>,
+    ) -> Option<bool> {
+        match f {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Atom(a) => {
+                let l = self.eval_int(&a.lhs)?;
+                let r = self.eval_int(&a.rhs)?;
+                Some(a.op.eval(l, r))
+            }
+            Formula::Not(inner) => self.eval_formula_bounded(inner, quant_range).map(|b| !b),
+            Formula::And(parts) => {
+                let mut all = true;
+                for p in parts {
+                    all &= self.eval_formula_bounded(p, quant_range)?;
+                }
+                Some(all)
+            }
+            Formula::Or(parts) => {
+                let mut any = false;
+                for p in parts {
+                    any |= self.eval_formula_bounded(p, quant_range)?;
+                }
+                Some(any)
+            }
+            Formula::Implies(a, b) => {
+                let a = self.eval_formula_bounded(a, quant_range)?;
+                let b = self.eval_formula_bounded(b, quant_range)?;
+                Some(!a || b)
+            }
+            Formula::Forall(vars, body) => {
+                let (lo, hi) = quant_range?;
+                // Enumerate all assignments of the quantified variables over
+                // the range; practical because tests use tiny ranges.
+                fn rec(
+                    env: &Env,
+                    vars: &[Symbol],
+                    body: &Formula,
+                    lo: i128,
+                    hi: i128,
+                ) -> Option<bool> {
+                    match vars.split_first() {
+                        None => env.eval_formula_bounded(body, Some((lo, hi))),
+                        Some((&v, rest)) => {
+                            let mut k = lo;
+                            while k <= hi {
+                                let mut env2 = env.clone();
+                                env2.bind(v, k);
+                                if !rec(&env2, rest, body, lo, hi)? {
+                                    return Some(false);
+                                }
+                                k += 1;
+                            }
+                            Some(true)
+                        }
+                    }
+                }
+                rec(self, vars, body, lo, hi)
+            }
+        }
+    }
+
+    /// Executes one action on a current-state environment, producing the next
+    /// state.  Returns `None` if a guard fails, a havoc is encountered (the
+    /// caller must resolve non-determinism), or evaluation gets stuck.
+    pub fn step(&self, action: &Action) -> Option<Env> {
+        match action {
+            Action::Skip => Some(self.clone()),
+            Action::Assume(g) => {
+                if self.eval_formula(g)? {
+                    Some(self.clone())
+                } else {
+                    None
+                }
+            }
+            Action::Assign(asgs) => {
+                let values: Vec<(Symbol, Value)> = asgs
+                    .iter()
+                    .map(|(x, t)| self.eval_term(t).map(|v| (*x, v)))
+                    .collect::<Option<_>>()?;
+                let mut next = self.clone();
+                for (x, v) in values {
+                    next.set(VarRef::cur(x), v);
+                }
+                Some(next)
+            }
+            Action::ArrayAssign { array, index, value } => {
+                let arr = self.get(VarRef::cur(*array)).cloned().unwrap_or(Value::array(0));
+                let idx = self.eval_int(index)?;
+                let val = self.eval_int(value)?;
+                let mut next = self.clone();
+                next.set(VarRef::cur(*array), arr.write(idx, val)?);
+                Some(next)
+            }
+            Action::Havoc(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let mut env = Env::new();
+        env.set_int("x", 4).set_int("y", 3);
+        let t = Term::var("x").mul(Term::var("y")).add(Term::int(1));
+        assert_eq!(env.eval_int(&t), Some(13));
+        assert_eq!(env.eval_int(&Term::var("z")), None);
+    }
+
+    #[test]
+    fn array_select_and_store() {
+        let mut env = Env::new();
+        env.set_array("a", &[(0, 5)], 0).set_int("i", 0);
+        let read = Term::var("a").select(Term::var("i"));
+        assert_eq!(env.eval_int(&read), Some(5));
+        let stored = Term::var("a").store(Term::int(1), Term::int(9)).select(Term::int(1));
+        assert_eq!(env.eval_int(&stored), Some(9));
+        let untouched = Term::var("a").store(Term::int(1), Term::int(9)).select(Term::int(2));
+        assert_eq!(env.eval_int(&untouched), Some(0));
+    }
+
+    #[test]
+    fn formula_evaluation() {
+        let mut env = Env::new();
+        env.set_int("x", 2).set_int("y", 3);
+        assert_eq!(env.eval_formula(&Formula::lt(Term::var("x"), Term::var("y"))), Some(true));
+        assert_eq!(
+            env.eval_formula(&Formula::and(vec![
+                Formula::le(Term::var("x"), Term::int(2)),
+                Formula::ne(Term::var("y"), Term::int(3)),
+            ])),
+            Some(false)
+        );
+        assert_eq!(
+            env.eval_formula(
+                &Formula::lt(Term::var("x"), Term::int(0)).implies(Formula::False)
+            ),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn quantifier_needs_bounds() {
+        let k = Symbol::intern("k");
+        let f = Formula::forall(
+            vec![k],
+            Formula::le(Term::int(0), Term::Bound(k))
+                .implies(Formula::eq(Term::var("a").select(Term::Bound(k)), Term::int(0))),
+        );
+        let mut env = Env::new();
+        env.set_array("a", &[], 0);
+        assert_eq!(env.eval_formula(&f), None);
+        assert_eq!(env.eval_formula_bounded(&f, Some((0, 5))), Some(true));
+        env.set_array("a", &[(3, 7)], 0);
+        assert_eq!(env.eval_formula_bounded(&f, Some((0, 5))), Some(false));
+    }
+
+    #[test]
+    fn uninterpreted_functions_do_not_evaluate() {
+        let env = Env::new();
+        assert_eq!(env.eval_term(&Term::app("f", vec![Term::int(1)])), None);
+    }
+
+    #[test]
+    fn stepping_actions() {
+        let mut env = Env::new();
+        env.set_int("i", 0).set_int("n", 2);
+        let inc = Action::assign("i", Term::var("i").add(Term::int(1)));
+        let guard = Action::assume(Formula::lt(Term::var("i"), Term::var("n")));
+        let s1 = env.step(&guard).unwrap().step(&inc).unwrap();
+        assert_eq!(s1.get_int("i"), Some(1));
+        let s2 = s1.step(&guard).unwrap().step(&inc).unwrap();
+        assert_eq!(s2.get_int("i"), Some(2));
+        assert!(s2.step(&guard).is_none(), "guard must fail when i = n");
+    }
+
+    #[test]
+    fn stepping_array_assign() {
+        let mut env = Env::new();
+        env.set_array("a", &[], 0).set_int("i", 3);
+        let w = Action::array_assign("a", Term::var("i"), Term::int(7));
+        let next = env.step(&w).unwrap();
+        let read = Term::var("a").select(Term::int(3));
+        assert_eq!(next.eval_int(&read), Some(7));
+    }
+
+    #[test]
+    fn havoc_is_unresolved() {
+        let env = Env::new();
+        assert!(env.step(&Action::Havoc(vec![Symbol::intern("x")])).is_none());
+    }
+
+    #[test]
+    fn overflow_is_detected_not_wrapped() {
+        let mut env = Env::new();
+        env.set_int("x", i128::MAX);
+        assert_eq!(env.eval_int(&Term::var("x").add(Term::int(1))), None);
+    }
+}

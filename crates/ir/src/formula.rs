@@ -1,0 +1,643 @@
+//! Formulas: boolean combinations of arithmetic/array atoms, with optional
+//! universal quantification over index variables.
+//!
+//! Invariants in the paper live in the combined theory of linear inequalities
+//! and uninterpreted functions (LI+UIF), optionally under a single layer of
+//! universal quantification of the *array property fragment* form
+//! `∀k: p(X) ≤ k ∧ k ≤ q(X) → a[k] = r(X)`.  The [`Formula`] type is general
+//! enough to express transition relations, path formulas, invariant maps and
+//! predicates for the predicate abstraction.
+
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::var::VarRef;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Relational operator of an atomic constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl RelOp {
+    /// The operator describing the negation of `lhs op rhs`.
+    pub fn negate(self) -> RelOp {
+        match self {
+            RelOp::Le => RelOp::Gt,
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Ge => RelOp::Lt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+        }
+    }
+
+    /// The operator with the sides of the relation swapped
+    /// (`a op b` iff `b op.flip() a`).
+    pub fn flip(self) -> RelOp {
+        match self {
+            RelOp::Le => RelOp::Ge,
+            RelOp::Lt => RelOp::Gt,
+            RelOp::Ge => RelOp::Le,
+            RelOp::Gt => RelOp::Lt,
+            RelOp::Eq => RelOp::Eq,
+            RelOp::Ne => RelOp::Ne,
+        }
+    }
+
+    /// Evaluates the relation on two concrete integers.
+    pub fn eval(self, lhs: i128, rhs: i128) -> bool {
+        match self {
+            RelOp::Le => lhs <= rhs,
+            RelOp::Lt => lhs < rhs,
+            RelOp::Ge => lhs >= rhs,
+            RelOp::Gt => lhs > rhs,
+            RelOp::Eq => lhs == rhs,
+            RelOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Le => "<=",
+            RelOp::Lt => "<",
+            RelOp::Ge => ">=",
+            RelOp::Gt => ">",
+            RelOp::Eq => "=",
+            RelOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An atomic constraint `lhs op rhs`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Left-hand side term.
+    pub lhs: Term,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Right-hand side term.
+    pub rhs: Term,
+}
+
+impl Atom {
+    /// Builds the atom `lhs op rhs`.
+    pub fn new(lhs: Term, op: RelOp, rhs: Term) -> Atom {
+        Atom { lhs, op, rhs }
+    }
+
+    /// The atom expressing the negation of this atom.
+    pub fn negated(&self) -> Atom {
+        Atom { lhs: self.lhs.clone(), op: self.op.negate(), rhs: self.rhs.clone() }
+    }
+
+    /// Rewrites both sides with `f`.
+    pub fn map_terms(&self, f: &impl Fn(&Term) -> Term) -> Atom {
+        Atom { lhs: f(&self.lhs), op: self.op, rhs: f(&self.rhs) }
+    }
+
+    /// The variable references occurring in the atom.
+    pub fn var_refs(&self) -> BTreeSet<VarRef> {
+        let mut s = self.lhs.var_refs();
+        s.extend(self.rhs.var_refs());
+        s
+    }
+
+    /// Returns `true` if the atom mentions arrays or uninterpreted functions.
+    pub fn has_nonarithmetic(&self) -> bool {
+        self.lhs.has_nonarithmetic() || self.rhs.has_nonarithmetic()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A formula in negation-friendly form: boolean structure over [`Atom`]s with
+/// optional universal quantification over index variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// The formula `true`.
+    True,
+    /// The formula `false`.
+    False,
+    /// An atomic constraint.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of zero or more formulas (empty = `true`).
+    And(Vec<Formula>),
+    /// Disjunction of zero or more formulas (empty = `false`).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Universal quantification over index variables.
+    Forall(Vec<Symbol>, Box<Formula>),
+}
+
+impl Formula {
+    /// The atom `lhs op rhs` as a formula.
+    pub fn atom(lhs: Term, op: RelOp, rhs: Term) -> Formula {
+        Formula::Atom(Atom::new(lhs, op, rhs))
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: Term, rhs: Term) -> Formula {
+        Formula::atom(lhs, RelOp::Eq, rhs)
+    }
+
+    /// `lhs != rhs`.
+    pub fn ne(lhs: Term, rhs: Term) -> Formula {
+        Formula::atom(lhs, RelOp::Ne, rhs)
+    }
+
+    /// `lhs <= rhs`.
+    pub fn le(lhs: Term, rhs: Term) -> Formula {
+        Formula::atom(lhs, RelOp::Le, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: Term, rhs: Term) -> Formula {
+        Formula::atom(lhs, RelOp::Lt, rhs)
+    }
+
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: Term, rhs: Term) -> Formula {
+        Formula::atom(lhs, RelOp::Ge, rhs)
+    }
+
+    /// `lhs > rhs`.
+    pub fn gt(lhs: Term, rhs: Term) -> Formula {
+        Formula::atom(lhs, RelOp::Gt, rhs)
+    }
+
+    /// Conjunction that flattens nested conjunctions and drops `true`.
+    /// Returns `false` if any conjunct is `false`.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction that flattens nested disjunctions and drops `false`.
+    /// Returns `true` if any disjunct is `true`.
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Conjunction of two formulas.
+    pub fn and2(self, other: Formula) -> Formula {
+        Formula::and(vec![self, other])
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or2(self, other: Formula) -> Formula {
+        Formula::or(vec![self, other])
+    }
+
+    /// Logical negation (structural; use [`Formula::nnf`] to push it inward).
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            Formula::Atom(a) => Formula::Atom(a.negated()),
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        match (&self, &other) {
+            (Formula::True, _) => other,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            _ => Formula::Implies(Box::new(self), Box::new(other)),
+        }
+    }
+
+    /// Universal quantification `∀vars. self`.
+    pub fn forall(vars: Vec<Symbol>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// Negation normal form: negations pushed down to atoms, implications
+    /// expanded.  Quantifiers are kept in place (they are never negated by
+    /// the library; asserting the negation of a universally quantified
+    /// invariant is not needed anywhere in the algorithms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negation is applied directly to a universal quantifier,
+    /// which does not occur in formulas produced by this library.
+    pub fn nnf(&self) -> Formula {
+        fn go(f: &Formula, neg: bool) -> Formula {
+            match f {
+                Formula::True => {
+                    if neg {
+                        Formula::False
+                    } else {
+                        Formula::True
+                    }
+                }
+                Formula::False => {
+                    if neg {
+                        Formula::True
+                    } else {
+                        Formula::False
+                    }
+                }
+                Formula::Atom(a) => {
+                    if neg {
+                        Formula::Atom(a.negated())
+                    } else {
+                        Formula::Atom(a.clone())
+                    }
+                }
+                Formula::Not(inner) => go(inner, !neg),
+                Formula::And(parts) => {
+                    let mapped: Vec<_> = parts.iter().map(|p| go(p, neg)).collect();
+                    if neg {
+                        Formula::or(mapped)
+                    } else {
+                        Formula::and(mapped)
+                    }
+                }
+                Formula::Or(parts) => {
+                    let mapped: Vec<_> = parts.iter().map(|p| go(p, neg)).collect();
+                    if neg {
+                        Formula::and(mapped)
+                    } else {
+                        Formula::or(mapped)
+                    }
+                }
+                Formula::Implies(a, b) => {
+                    if neg {
+                        Formula::and(vec![go(a, false), go(b, true)])
+                    } else {
+                        Formula::or(vec![go(a, true), go(b, false)])
+                    }
+                }
+                Formula::Forall(vs, body) => {
+                    assert!(!neg, "negation under a universal quantifier is not supported");
+                    Formula::Forall(vs.clone(), Box::new(go(body, false)))
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// Splits a conjunction into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<Formula> {
+        match self {
+            Formula::True => vec![],
+            Formula::And(parts) => parts.iter().flat_map(|p| p.conjuncts()).collect(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Collects every atom occurring in the formula (under any polarity).
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.for_each_atom(&mut |a| out.push(a.clone()));
+        out
+    }
+
+    /// Calls `f` on every atom in the formula.
+    pub fn for_each_atom(&self, f: &mut impl FnMut(&Atom)) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => f(a),
+            Formula::Not(inner) => inner.for_each_atom(f),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    p.for_each_atom(f);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.for_each_atom(f);
+                b.for_each_atom(f);
+            }
+            Formula::Forall(_, body) => body.for_each_atom(f),
+        }
+    }
+
+    /// Rewrites every term in the formula with `f`.
+    pub fn map_terms(&self, f: &impl Fn(&Term) -> Term) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(a.map_terms(f)),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.map_terms(f))),
+            Formula::And(parts) => Formula::And(parts.iter().map(|p| p.map_terms(f)).collect()),
+            Formula::Or(parts) => Formula::Or(parts.iter().map(|p| p.map_terms(f)).collect()),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.map_terms(f)), Box::new(b.map_terms(f)))
+            }
+            Formula::Forall(vs, body) => Formula::Forall(vs.clone(), Box::new(body.map_terms(f))),
+        }
+    }
+
+    /// Rewrites every variable occurrence with `f`.
+    pub fn map_vars(&self, f: &impl Fn(VarRef) -> Term) -> Formula {
+        self.map_terms(&|t| t.map_vars(f))
+    }
+
+    /// Substitutes `replacement` for the variable reference `var`.
+    pub fn subst_var(&self, var: VarRef, replacement: &Term) -> Formula {
+        self.map_vars(&|v| if v == var { replacement.clone() } else { Term::Var(v) })
+    }
+
+    /// Converts all current-state variables to primed variables.
+    pub fn primed(&self) -> Formula {
+        self.map_terms(&|t| t.primed())
+    }
+
+    /// Converts all primed variables to current-state variables.
+    pub fn unprimed(&self) -> Formula {
+        self.map_terms(&|t| t.unprimed())
+    }
+
+    /// The variable references occurring in the formula.
+    pub fn var_refs(&self) -> BTreeSet<VarRef> {
+        let mut set = BTreeSet::new();
+        self.for_each_atom(&mut |a| set.extend(a.var_refs()));
+        set
+    }
+
+    /// The variable names (ignoring tags) occurring in the formula.
+    pub fn var_names(&self) -> BTreeSet<Symbol> {
+        self.var_refs().into_iter().map(|v| v.sym).collect()
+    }
+
+    /// Returns `true` if the formula contains a universal quantifier.
+    pub fn has_quantifier(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => false,
+            Formula::Not(inner) => inner.has_quantifier(),
+            Formula::And(parts) | Formula::Or(parts) => parts.iter().any(|p| p.has_quantifier()),
+            Formula::Implies(a, b) => a.has_quantifier() || b.has_quantifier(),
+            Formula::Forall(..) => true,
+        }
+    }
+
+    /// Returns `true` if the formula mentions arrays or uninterpreted
+    /// functions.
+    pub fn has_nonarithmetic(&self) -> bool {
+        let mut found = false;
+        self.for_each_atom(&mut |a| {
+            if a.has_nonarithmetic() {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Syntactic triviality check: `true` literals and empty conjunctions.
+    pub fn is_trivially_true(&self) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::And(parts) => parts.iter().all(|p| p.is_trivially_true()),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Formula::Forall(vs, body) => {
+                write!(f, "forall ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ". ({body})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+    fn y() -> Term {
+        Term::var("y")
+    }
+
+    #[test]
+    fn relop_negate_involution() {
+        for op in [RelOp::Le, RelOp::Lt, RelOp::Ge, RelOp::Gt, RelOp::Eq, RelOp::Ne] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn relop_eval() {
+        assert!(RelOp::Le.eval(2, 2));
+        assert!(!RelOp::Lt.eval(2, 2));
+        assert!(RelOp::Ne.eval(1, 2));
+        assert!(RelOp::Gt.eval(3, 2));
+    }
+
+    #[test]
+    fn and_flattening_and_units() {
+        let f = Formula::and(vec![
+            Formula::True,
+            Formula::le(x(), y()),
+            Formula::and(vec![Formula::eq(x(), Term::int(0)), Formula::True]),
+        ]);
+        assert_eq!(f.conjuncts().len(), 2);
+        let g = Formula::and(vec![Formula::le(x(), y()), Formula::False]);
+        assert_eq!(g, Formula::False);
+        assert_eq!(Formula::and(vec![]), Formula::True);
+    }
+
+    #[test]
+    fn or_flattening_and_units() {
+        let f = Formula::or(vec![Formula::False, Formula::le(x(), y())]);
+        assert_eq!(f, Formula::le(x(), y()));
+        let g = Formula::or(vec![Formula::le(x(), y()), Formula::True]);
+        assert_eq!(g, Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+    }
+
+    #[test]
+    fn not_on_atoms_flips_operator() {
+        let f = Formula::le(x(), y()).not();
+        match f {
+            Formula::Atom(a) => assert_eq!(a.op, RelOp::Gt),
+            other => panic!("expected atom, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Formula::and(vec![Formula::le(x(), y()), Formula::eq(x(), Term::int(0))]).not();
+        let nnf = f.nnf();
+        match &nnf {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(&parts[0], Formula::Atom(a) if a.op == RelOp::Gt));
+                assert!(matches!(&parts[1], Formula::Atom(a) if a.op == RelOp::Ne));
+            }
+            other => panic!("expected disjunction, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nnf_expands_implication() {
+        let f = Formula::le(x(), y()).implies(Formula::eq(y(), Term::int(1)));
+        let nnf = f.nnf();
+        assert!(matches!(nnf, Formula::Or(_)));
+    }
+
+    #[test]
+    fn implication_units() {
+        assert_eq!(Formula::True.implies(Formula::le(x(), y())), Formula::le(x(), y()));
+        assert_eq!(Formula::False.implies(Formula::le(x(), y())), Formula::True);
+        assert_eq!(Formula::le(x(), y()).implies(Formula::True), Formula::True);
+    }
+
+    #[test]
+    fn atoms_collects_under_quantifier() {
+        let k = Symbol::intern("k");
+        let body = Formula::le(Term::int(0), Term::Bound(k))
+            .implies(Formula::eq(Term::var("a").select(Term::Bound(k)), Term::int(0)));
+        let f = Formula::forall(vec![k], body);
+        assert!(f.has_quantifier());
+        assert_eq!(f.atoms().len(), 2);
+        assert!(f.has_nonarithmetic());
+    }
+
+    #[test]
+    fn forall_with_no_vars_is_body() {
+        let body = Formula::le(x(), y());
+        assert_eq!(Formula::forall(vec![], body.clone()), body);
+    }
+
+    #[test]
+    fn priming_formula() {
+        let f = Formula::eq(x(), y().add(Term::int(1)));
+        assert_eq!(f.primed().to_string(), "x' = (y' + 1)");
+        assert_eq!(f.primed().unprimed(), f);
+    }
+
+    #[test]
+    fn subst_var_in_formula() {
+        let f = Formula::le(x(), y());
+        let g = f.subst_var(VarRef::cur(Symbol::intern("x")), &Term::int(3));
+        assert_eq!(g.to_string(), "3 <= y");
+    }
+
+    #[test]
+    fn display_of_boolean_structure() {
+        let f = Formula::and(vec![Formula::le(x(), y()), Formula::eq(x(), Term::int(0))]);
+        assert_eq!(f.to_string(), "(x <= y && x = 0)");
+        let g = Formula::or(vec![Formula::le(x(), y()), Formula::gt(x(), y())]);
+        assert_eq!(g.to_string(), "(x <= y || x > y)");
+    }
+
+    #[test]
+    fn trivially_true_detection() {
+        assert!(Formula::True.is_trivially_true());
+        assert!(Formula::And(vec![Formula::True, Formula::True]).is_trivially_true());
+        assert!(!Formula::le(x(), y()).is_trivially_true());
+    }
+
+    #[test]
+    fn var_names_ignores_tags() {
+        let f = Formula::eq(Term::pvar("x"), x().add(Term::int(1)));
+        assert_eq!(f.var_names().len(), 1);
+        assert_eq!(f.var_refs().len(), 2);
+    }
+}

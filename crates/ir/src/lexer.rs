@@ -1,0 +1,414 @@
+//! Lexer for the small imperative front-end language.
+//!
+//! The language is a C-like subset sufficient to write the paper's example
+//! programs (FORWARD, INITCHECK, PARTITION) and the benchmark suite: integer
+//! and integer-array variables, assignments, `if`/`else`, `while`, `for`,
+//! `assume`, `assert`, `havoc`, and non-deterministic conditions written `*`.
+
+use crate::error::{IrError, IrResult};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Num(i128),
+    /// Keyword.
+    Kw(Kw),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+}
+
+/// Keywords of the language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    /// `proc`
+    Proc,
+    /// `var`
+    Var,
+    /// `int`
+    Int,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `assume`
+    Assume,
+    /// `assert`
+    Assert,
+    /// `havoc`
+    Havoc,
+    /// `skip`
+    Skip,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Bang => write!(f, "!"),
+            Tok::PlusPlus => write!(f, "++"),
+            Tok::MinusMinus => write!(f, "--"),
+        }
+    }
+}
+
+/// A token together with the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenises the given source text.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] on unexpected characters or malformed numeric
+/// literals.
+pub fn lex(src: &str) -> IrResult<Vec<SpannedTok>> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(SpannedTok { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                toks.push(SpannedTok { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                toks.push(SpannedTok { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                toks.push(SpannedTok { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '[' => {
+                toks.push(SpannedTok { tok: Tok::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                toks.push(SpannedTok { tok: Tok::RBracket, line });
+                i += 1;
+            }
+            ';' => {
+                toks.push(SpannedTok { tok: Tok::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                toks.push(SpannedTok { tok: Tok::Comma, line });
+                i += 1;
+            }
+            ':' => {
+                toks.push(SpannedTok { tok: Tok::Colon, line });
+                i += 1;
+            }
+            '+' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '+' {
+                    toks.push(SpannedTok { tok: Tok::PlusPlus, line });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Plus, line });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '-' {
+                    toks.push(SpannedTok { tok: Tok::MinusMinus, line });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Minus, line });
+                    i += 1;
+                }
+            }
+            '*' => {
+                toks.push(SpannedTok { tok: Tok::Star, line });
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    toks.push(SpannedTok { tok: Tok::EqEq, line });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    toks.push(SpannedTok { tok: Tok::NotEq, line });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Bang, line });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    toks.push(SpannedTok { tok: Tok::Le, line });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    toks.push(SpannedTok { tok: Tok::Ge, line });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Gt, line });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '&' {
+                    toks.push(SpannedTok { tok: Tok::AndAnd, line });
+                    i += 2;
+                } else {
+                    return Err(IrError::Lex { line, message: "expected `&&`".into() });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '|' {
+                    toks.push(SpannedTok { tok: Tok::OrOr, line });
+                    i += 2;
+                } else {
+                    return Err(IrError::Lex { line, message: "expected `||`".into() });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<i128>().map_err(|_| IrError::Lex {
+                    line,
+                    message: format!("numeric literal `{text}` out of range"),
+                })?;
+                toks.push(SpannedTok { tok: Tok::Num(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "proc" => Tok::Kw(Kw::Proc),
+                    "var" => Tok::Kw(Kw::Var),
+                    "int" => Tok::Kw(Kw::Int),
+                    "while" => Tok::Kw(Kw::While),
+                    "for" => Tok::Kw(Kw::For),
+                    "if" => Tok::Kw(Kw::If),
+                    "else" => Tok::Kw(Kw::Else),
+                    "assume" => Tok::Kw(Kw::Assume),
+                    "assert" => Tok::Kw(Kw::Assert),
+                    "havoc" => Tok::Kw(Kw::Havoc),
+                    "skip" => Tok::Kw(Kw::Skip),
+                    "true" => Tok::Kw(Kw::True),
+                    "false" => Tok::Kw(Kw::False),
+                    _ => Tok::Ident(text),
+                };
+                toks.push(SpannedTok { tok, line });
+            }
+            other => {
+                return Err(IrError::Lex {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_statement() {
+        let toks = lex("i = i + 1;").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("i".into()),
+                Tok::Assign,
+                Tok::Ident("i".into()),
+                Tok::Plus,
+                Tok::Num(1),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let toks = lex("<= >= == != && || ++ --").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::PlusPlus,
+                Tok::MinusMinus,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_recognised() {
+        let toks = lex("proc var int while for if else assume assert havoc skip true false")
+            .unwrap();
+        assert!(toks.iter().all(|t| matches!(t.tok, Tok::Kw(_))));
+        assert_eq!(toks.len(), 13);
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = lex("x = 1; // trailing comment\n  // whole line\ny = 2;").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[4].line, 3, "line numbers advance past comments");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("x = $;").unwrap_err();
+        assert!(matches!(err, IrError::Lex { .. }));
+        assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn rejects_single_ampersand() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn array_brackets_lex() {
+        let toks = lex("a[i] = 0;").unwrap();
+        assert_eq!(toks[1].tok, Tok::LBracket);
+        assert_eq!(toks[3].tok, Tok::RBracket);
+    }
+
+    #[test]
+    fn huge_literal_rejected() {
+        assert!(lex("x = 9999999999999999999999999999999999999999999;").is_err());
+    }
+}

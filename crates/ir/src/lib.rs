@@ -1,0 +1,59 @@
+//! # pathinv-ir — program representation for the Path Invariants reproduction
+//!
+//! This crate provides the program representation shared by every other crate
+//! in the workspace: interned [`Symbol`]s, [`Term`]s and [`Formula`]s over
+//! linear integer arithmetic, arrays and uninterpreted functions,
+//! guarded-command [`Action`]s, control-flow-graph [`Program`]s (§3 of the
+//! paper), [`Path`]s and their SSA [`ssa::PathFormula`]s (§2.1), control-flow
+//! analyses (dominators, natural loops, cut points), a small C-like front-end
+//! ([`parse_program`]), and the benchmark [`corpus`] containing the paper's
+//! example programs FORWARD, INITCHECK and PARTITION.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pathinv_ir::{parse_program, analysis};
+//!
+//! let program = parse_program(
+//!     "proc count(n: int) {
+//!          var i: int;
+//!          i = 0;
+//!          while (i < n) { i = i + 1; }
+//!          assert(i >= n);
+//!      }",
+//! )?;
+//! assert_eq!(analysis::natural_loops(&program).len(), 1);
+//! # Ok::<(), pathinv_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod analysis;
+pub mod ast;
+pub mod cfg;
+pub mod corpus;
+pub mod error;
+pub mod eval;
+pub mod formula;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod path;
+pub mod ssa;
+pub mod symbol;
+pub mod term;
+pub mod var;
+
+pub use action::Action;
+pub use cfg::{Loc, Program, ProgramBuilder, TransId, Transition};
+pub use error::{IrError, IrResult};
+pub use eval::{Env, Value};
+pub use formula::{Atom, Formula, RelOp};
+pub use lower::{lower_proc, parse_program, to_dnf};
+pub use parser::{parse_proc, parse_procs};
+pub use path::Path;
+pub use ssa::{path_formula, PathFormula};
+pub use symbol::Symbol;
+pub use term::Term;
+pub use var::{Sort, Tag, VarDecl, VarRef};

@@ -1,0 +1,442 @@
+//! Lowering of front-end procedures to control-flow-graph programs.
+//!
+//! Lowering produces exactly the transition-system view of §3: every
+//! statement becomes one or more edges between control locations, `assert(b)`
+//! becomes a pair of edges (one into the error location guarded by `¬b`, one
+//! continuing under `b`), and every guard is split into *conjunctive*
+//! disjuncts (DNF expansion), so that each individual transition constraint
+//! is a conjunction of literals.  Conjunctive transition constraints are what
+//! both the Farkas-based invariant synthesis and the predicate abstraction
+//! work on.
+
+use crate::action::Action;
+use crate::ast::{BoolAst, CondAst, ExprAst, ProcAst, RelAst, StmtAst, TypeAst};
+use crate::cfg::{Loc, Program, ProgramBuilder};
+use crate::error::{IrError, IrResult};
+use crate::formula::{Formula, RelOp};
+use crate::parser::parse_proc;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::var::{Sort, VarDecl};
+use std::collections::HashMap;
+
+/// Parses and lowers a single-procedure source file into a [`Program`].
+///
+/// # Errors
+///
+/// Returns lexer/parser errors for malformed source and [`IrError::Lower`]
+/// for semantic problems (undeclared variables, indexing a scalar, ...).
+pub fn parse_program(src: &str) -> IrResult<Program> {
+    let ast = parse_proc(src)?;
+    lower_proc(&ast)
+}
+
+/// Lowers a parsed procedure into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IrError::Lower`] for semantic problems.
+pub fn lower_proc(proc: &ProcAst) -> IrResult<Program> {
+    Lowerer::new(proc)?.run(proc)
+}
+
+/// Converts an arithmetic AST expression into a [`Term`], checking that
+/// variables are declared with the right sort.
+pub fn lower_expr(e: &ExprAst, sorts: &HashMap<String, Sort>) -> IrResult<Term> {
+    match e {
+        ExprAst::Num(n) => Ok(Term::Const(*n)),
+        ExprAst::Var(name) => match sorts.get(name) {
+            Some(Sort::Int) => Ok(Term::var(name.as_str())),
+            Some(Sort::ArrayInt) => Ok(Term::var(name.as_str())),
+            None => Err(IrError::lower(format!("undeclared variable `{name}`"))),
+        },
+        ExprAst::Index(name, idx) => match sorts.get(name) {
+            Some(Sort::ArrayInt) => {
+                Ok(Term::var(name.as_str()).select(lower_expr(idx, sorts)?))
+            }
+            Some(Sort::Int) => {
+                Err(IrError::lower(format!("variable `{name}` is not an array")))
+            }
+            None => Err(IrError::lower(format!("undeclared array `{name}`"))),
+        },
+        ExprAst::Add(a, b) => Ok(lower_expr(a, sorts)?.add(lower_expr(b, sorts)?)),
+        ExprAst::Sub(a, b) => Ok(lower_expr(a, sorts)?.sub(lower_expr(b, sorts)?)),
+        ExprAst::Mul(a, b) => Ok(lower_expr(a, sorts)?.mul(lower_expr(b, sorts)?)),
+        ExprAst::Neg(a) => Ok(lower_expr(a, sorts)?.neg()),
+    }
+}
+
+/// Converts a boolean AST expression into a [`Formula`].
+pub fn lower_bool(b: &BoolAst, sorts: &HashMap<String, Sort>) -> IrResult<Formula> {
+    match b {
+        BoolAst::True => Ok(Formula::True),
+        BoolAst::False => Ok(Formula::False),
+        BoolAst::Rel(l, op, r) => {
+            let op = match op {
+                RelAst::Eq => RelOp::Eq,
+                RelAst::Ne => RelOp::Ne,
+                RelAst::Lt => RelOp::Lt,
+                RelAst::Le => RelOp::Le,
+                RelAst::Gt => RelOp::Gt,
+                RelAst::Ge => RelOp::Ge,
+            };
+            Ok(Formula::atom(lower_expr(l, sorts)?, op, lower_expr(r, sorts)?))
+        }
+        BoolAst::And(a, b) => Ok(Formula::and(vec![lower_bool(a, sorts)?, lower_bool(b, sorts)?])),
+        BoolAst::Or(a, b) => Ok(Formula::or(vec![lower_bool(a, sorts)?, lower_bool(b, sorts)?])),
+        BoolAst::Not(a) => Ok(lower_bool(a, sorts)?.not().nnf()),
+    }
+}
+
+/// Converts a quantifier-free formula into disjunctive normal form, returned
+/// as a list of conjunctions.  The input is put into NNF first.
+pub fn to_dnf(f: &Formula) -> Vec<Formula> {
+    fn go(f: &Formula) -> Vec<Vec<Formula>> {
+        match f {
+            Formula::True => vec![vec![]],
+            Formula::False => vec![],
+            Formula::Atom(_) | Formula::Not(_) | Formula::Forall(..) => vec![vec![f.clone()]],
+            Formula::And(parts) => {
+                let mut acc: Vec<Vec<Formula>> = vec![vec![]];
+                for p in parts {
+                    let ds = go(p);
+                    let mut next = Vec::new();
+                    for a in &acc {
+                        for d in &ds {
+                            let mut merged = a.clone();
+                            merged.extend(d.clone());
+                            next.push(merged);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            Formula::Or(parts) => parts.iter().flat_map(go).collect(),
+            Formula::Implies(a, b) => go(&Formula::or(vec![a.clone().not(), (**b).clone()]).nnf()),
+        }
+    }
+    go(&f.nnf()).into_iter().map(Formula::and).collect()
+}
+
+struct Lowerer {
+    builder: ProgramBuilder,
+    sorts: HashMap<String, Sort>,
+    error: Loc,
+    next_label: usize,
+}
+
+impl Lowerer {
+    fn new(proc: &ProcAst) -> IrResult<Lowerer> {
+        let mut builder = ProgramBuilder::new(&proc.name);
+        let mut sorts = HashMap::new();
+        let declare = |builder: &mut ProgramBuilder,
+                           sorts: &mut HashMap<String, Sort>,
+                           name: &str,
+                           ty: TypeAst|
+         -> IrResult<()> {
+            let sort = match ty {
+                TypeAst::Int => Sort::Int,
+                TypeAst::IntArray => Sort::ArrayInt,
+            };
+            if let Some(prev) = sorts.insert(name.to_owned(), sort) {
+                if prev != sort {
+                    return Err(IrError::lower(format!(
+                        "variable `{name}` declared with conflicting types"
+                    )));
+                }
+            }
+            builder.declare(VarDecl { sym: Symbol::intern(name), sort });
+            Ok(())
+        };
+        for (name, ty) in &proc.params {
+            declare(&mut builder, &mut sorts, name, *ty)?;
+        }
+        fn collect_decls(
+            stmts: &[StmtAst],
+            f: &mut impl FnMut(&str, TypeAst) -> IrResult<()>,
+        ) -> IrResult<()> {
+            for s in stmts {
+                match s {
+                    StmtAst::VarDecl(name, ty) => f(name, *ty)?,
+                    StmtAst::If(_, a, b) => {
+                        collect_decls(a, f)?;
+                        collect_decls(b, f)?;
+                    }
+                    StmtAst::While(_, b) => collect_decls(b, f)?,
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        collect_decls(&proc.body, &mut |name, ty| {
+            declare(&mut builder, &mut sorts, name, ty)
+        })?;
+        let error = builder.add_loc("ERR");
+        Ok(Lowerer { builder, sorts, error, next_label: 0 })
+    }
+
+    fn fresh(&mut self) -> Loc {
+        let l = self.builder.add_loc(&format!("L{}", self.next_label));
+        self.next_label += 1;
+        l
+    }
+
+    fn run(mut self, proc: &ProcAst) -> IrResult<Program> {
+        let entry = self.fresh();
+        let exit = self.fresh();
+        self.lower_block(&proc.body, entry, exit)?;
+        self.builder.set_entry(entry);
+        self.builder.set_error(self.error);
+        self.builder.build()
+    }
+
+    /// Lowers `stmts` so that execution flows from `from` to `to`.
+    fn lower_block(&mut self, stmts: &[StmtAst], from: Loc, to: Loc) -> IrResult<()> {
+        let effective: Vec<&StmtAst> =
+            stmts.iter().filter(|s| !matches!(s, StmtAst::VarDecl(..))).collect();
+        if effective.is_empty() {
+            self.builder.add_transition(from, Action::Skip, to);
+            return Ok(());
+        }
+        let mut cur = from;
+        for (i, stmt) in effective.iter().enumerate() {
+            let target = if i + 1 == effective.len() { to } else { self.fresh() };
+            self.lower_stmt(stmt, cur, target)?;
+            cur = target;
+        }
+        Ok(())
+    }
+
+    /// Lowers a single statement connecting `from` to `to`.
+    fn lower_stmt(&mut self, stmt: &StmtAst, from: Loc, to: Loc) -> IrResult<()> {
+        match stmt {
+            StmtAst::VarDecl(..) => {
+                self.builder.add_transition(from, Action::Skip, to);
+            }
+            StmtAst::Skip => {
+                self.builder.add_transition(from, Action::Skip, to);
+            }
+            StmtAst::Assign(x, e) => {
+                if self.sorts.get(x).is_none() {
+                    return Err(IrError::lower(format!("undeclared variable `{x}`")));
+                }
+                let t = lower_expr(e, &self.sorts)?;
+                self.builder.add_transition(from, Action::assign(x.as_str(), t), to);
+            }
+            StmtAst::ArrayAssign(a, idx, val) => {
+                match self.sorts.get(a) {
+                    Some(Sort::ArrayInt) => {}
+                    Some(Sort::Int) => {
+                        return Err(IrError::lower(format!("variable `{a}` is not an array")))
+                    }
+                    None => return Err(IrError::lower(format!("undeclared array `{a}`"))),
+                }
+                let idx = lower_expr(idx, &self.sorts)?;
+                let val = lower_expr(val, &self.sorts)?;
+                self.builder.add_transition(from, Action::array_assign(a.as_str(), idx, val), to);
+            }
+            StmtAst::Havoc(names) => {
+                for n in names {
+                    if self.sorts.get(n).is_none() {
+                        return Err(IrError::lower(format!("undeclared variable `{n}`")));
+                    }
+                }
+                let syms = names.iter().map(|n| Symbol::intern(n)).collect();
+                self.builder.add_transition(from, Action::Havoc(syms), to);
+            }
+            StmtAst::Assume(b) => {
+                let f = lower_bool(b, &self.sorts)?;
+                self.add_guarded_edges(from, &f, to);
+            }
+            StmtAst::Assert(b) => {
+                let f = lower_bool(b, &self.sorts)?;
+                // Failing branch into the error location.
+                self.add_guarded_edges(from, &f.clone().not().nnf(), self.error);
+                // Passing branch continues.
+                self.add_guarded_edges(from, &f, to);
+            }
+            StmtAst::If(cond, then_branch, else_branch) => {
+                match cond {
+                    CondAst::Nondet => {
+                        let t0 = self.fresh();
+                        let e0 = self.fresh();
+                        self.builder.add_transition(from, Action::Skip, t0);
+                        self.builder.add_transition(from, Action::Skip, e0);
+                        self.lower_block(then_branch, t0, to)?;
+                        self.lower_block(else_branch, e0, to)?;
+                    }
+                    CondAst::Expr(b) => {
+                        let f = lower_bool(b, &self.sorts)?;
+                        let neg = f.clone().not().nnf();
+                        let t0 = self.fresh();
+                        let e0 = self.fresh();
+                        self.add_guarded_edges(from, &f, t0);
+                        self.add_guarded_edges(from, &neg, e0);
+                        self.lower_block(then_branch, t0, to)?;
+                        self.lower_block(else_branch, e0, to)?;
+                    }
+                }
+            }
+            StmtAst::While(cond, body) => {
+                // `from` is the loop head.
+                match cond {
+                    CondAst::Nondet => {
+                        let b0 = self.fresh();
+                        self.builder.add_transition(from, Action::Skip, b0);
+                        self.builder.add_transition(from, Action::Skip, to);
+                        self.lower_block(body, b0, from)?;
+                    }
+                    CondAst::Expr(b) => {
+                        let f = lower_bool(b, &self.sorts)?;
+                        let neg = f.clone().not().nnf();
+                        let b0 = self.fresh();
+                        self.add_guarded_edges(from, &f, b0);
+                        self.add_guarded_edges(from, &neg, to);
+                        self.lower_block(body, b0, from)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds one `assume` edge per DNF disjunct of `guard` from `from` to
+    /// `to`; a trivially-true guard becomes a single `skip` edge, and a
+    /// trivially-false guard adds no edge at all.
+    fn add_guarded_edges(&mut self, from: Loc, guard: &Formula, to: Loc) {
+        for disjunct in to_dnf(guard) {
+            if disjunct.is_trivially_true() {
+                self.builder.add_transition(from, Action::Skip, to);
+            } else {
+                self.builder.add_transition(from, Action::assume(disjunct), to);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::natural_loops;
+
+    #[test]
+    fn lowers_straight_line_program() {
+        let p = parse_program("proc p(x: int) { x = 1; x = x + 1; assert(x == 2); }").unwrap();
+        assert_eq!(p.name(), "p");
+        // No loops in a straight-line program.
+        assert!(natural_loops(&p).is_empty());
+        // Assertion produces an edge into the error location.
+        assert!(p.incoming(p.error()).len() == 1);
+    }
+
+    #[test]
+    fn lowers_loop_with_back_edge() {
+        let src = r#"
+            proc count(n: int) {
+                var i: int;
+                i = 0;
+                while (i < n) { i = i + 1; }
+                assert(i >= n);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let loops = natural_loops(&p);
+        assert_eq!(loops.len(), 1, "one while loop expected: {p}");
+    }
+
+    #[test]
+    fn assert_splits_into_error_and_continue_edges() {
+        let p = parse_program("proc p(x: int) { assert(x >= 0); }").unwrap();
+        let err_in = p.incoming(p.error());
+        assert_eq!(err_in.len(), 1);
+        let guard = &p.transition(err_in[0]).action;
+        assert_eq!(guard.to_string(), "[x < 0]");
+    }
+
+    #[test]
+    fn disjunctive_guards_become_parallel_edges() {
+        let p = parse_program("proc p(x: int, y: int) { assume(x > 0 || y > 0); }").unwrap();
+        // The assume gives two parallel edges out of the entry location.
+        assert_eq!(p.outgoing(p.entry()).len(), 2);
+    }
+
+    #[test]
+    fn negated_conjunction_in_assert_splits() {
+        // assert(a && b) has ¬(a && b) = ¬a || ¬b: two error edges.
+        let p = parse_program("proc p(x: int) { assert(x >= 0 && x <= 10); }").unwrap();
+        assert_eq!(p.incoming(p.error()).len(), 2);
+    }
+
+    #[test]
+    fn arrays_lower_to_store_and_select() {
+        let src = r#"
+            proc w(a: int[], i: int) {
+                a[i] = 5;
+                assert(a[i] == 5);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let has_array_assign = p
+            .transitions()
+            .iter()
+            .any(|t| matches!(t.action, Action::ArrayAssign { .. }));
+        assert!(has_array_assign);
+    }
+
+    #[test]
+    fn undeclared_variable_is_reported() {
+        let err = parse_program("proc p(x: int) { y = 1; }").unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn indexing_scalar_is_reported() {
+        let err = parse_program("proc p(x: int) { x[0] = 1; }").unwrap_err();
+        assert!(err.to_string().contains("not an array"));
+    }
+
+    #[test]
+    fn nondet_branches_have_skip_edges() {
+        let p = parse_program("proc p(x: int) { if (*) { x = 1; } else { x = 2; } }").unwrap();
+        let out = p.outgoing(p.entry());
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&t| p.transition(t).action == Action::Skip));
+    }
+
+    #[test]
+    fn for_loop_lowering_matches_while() {
+        let src_for = r#"
+            proc f(n: int) { var i: int; for (i = 0; i < n; i++) { skip; } }
+        "#;
+        let p = parse_program(src_for).unwrap();
+        assert_eq!(natural_loops(&p).len(), 1);
+    }
+
+    #[test]
+    fn dnf_of_nested_formula() {
+        let x = Term::var("x");
+        let y = Term::var("y");
+        // (x>0 || y>0) && x=y  ->  two disjuncts
+        let f = Formula::and(vec![
+            Formula::or(vec![Formula::gt(x.clone(), Term::int(0)), Formula::gt(y.clone(), Term::int(0))]),
+            Formula::eq(x, y),
+        ]);
+        let d = to_dnf(&f);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|c| c.conjuncts().len() == 2));
+    }
+
+    #[test]
+    fn dnf_of_false_is_empty() {
+        assert!(to_dnf(&Formula::False).is_empty());
+        assert_eq!(to_dnf(&Formula::True).len(), 1);
+    }
+
+    #[test]
+    fn empty_else_branch_produces_skip_path() {
+        let p = parse_program("proc p(x: int) { if (x > 0) { x = 1; } x = 2; }").unwrap();
+        // The program must be connected from entry to the final assignment.
+        assert!(p.reachable_locs().len() >= 4);
+    }
+}

@@ -1,0 +1,635 @@
+//! Recursive-descent parser for the front-end language.
+//!
+//! The grammar (informally):
+//!
+//! ```text
+//! program   ::= proc+
+//! proc      ::= "proc" ident "(" params? ")" block
+//! params    ::= param ("," param)*
+//! param     ::= ident ":" type
+//! type      ::= "int" "[" "]" | "int"
+//! block     ::= "{" stmt* "}"
+//! stmt      ::= "var" ident ":" type ";"
+//!             | ident "=" expr ";"
+//!             | ident "[" expr "]" "=" expr ";"
+//!             | ident "++" ";" | ident "--" ";"
+//!             | "assume" "(" bexpr ")" ";"
+//!             | "assert" "(" bexpr ")" ";"
+//!             | "havoc" ident ("," ident)* ";"
+//!             | "skip" ";"
+//!             | "if" "(" cond ")" block ("else" block)?
+//!             | "while" "(" cond ")" block
+//!             | "for" "(" simple? ";" cond ";" simple? ")" block
+//! cond      ::= "*" | bexpr
+//! bexpr     ::= bterm ("||" bterm)*
+//! bterm     ::= bfactor ("&&" bfactor)*
+//! bfactor   ::= "!" bfactor | "true" | "false" | "(" bexpr ")"
+//!             | expr relop expr
+//! expr      ::= mul (("+"|"-") mul)*
+//! mul       ::= unary ("*" unary)*
+//! unary     ::= "-" unary | atom
+//! atom      ::= number | ident ("[" expr "]")? | "(" expr ")"
+//! ```
+
+use crate::ast::{BoolAst, CondAst, ExprAst, ProcAst, RelAst, StmtAst, TypeAst};
+use crate::error::{IrError, IrResult};
+use crate::lexer::{lex, Kw, SpannedTok, Tok};
+
+/// Parses a source file containing one or more procedures.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] or [`IrError::Parse`] on malformed input.
+pub fn parse_procs(src: &str) -> IrResult<Vec<ProcAst>> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut procs = Vec::new();
+    while !p.at_end() {
+        procs.push(p.proc()?);
+    }
+    if procs.is_empty() {
+        return Err(IrError::Parse { line: 1, message: "no procedure found".into() });
+    }
+    Ok(procs)
+}
+
+/// Parses a source file expected to contain exactly one procedure.
+///
+/// # Errors
+///
+/// As [`parse_procs`]; additionally errors if the file contains more than one
+/// procedure.
+pub fn parse_proc(src: &str) -> IrResult<ProcAst> {
+    let mut procs = parse_procs(src)?;
+    if procs.len() != 1 {
+        return Err(IrError::Parse {
+            line: 1,
+            message: format!("expected exactly one procedure, found {}", procs.len()),
+        });
+    }
+    Ok(procs.pop().expect("length checked"))
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        if self.pos < self.toks.len() {
+            self.toks[self.pos].line
+        } else {
+            self.toks.last().map(|t| t.line).unwrap_or(1)
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> IrResult<T> {
+        Err(IrError::Parse { line: self.line(), message: message.into() })
+    }
+
+    fn expect(&mut self, want: &Tok) -> IrResult<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected `{want}`, found `{t}`"))
+            }
+            None => self.err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> IrResult<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected identifier, found `{t}`"))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn proc(&mut self) -> IrResult<ProcAst> {
+        self.expect(&Tok::Kw(Kw::Proc))?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let pname = self.expect_ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.type_ast()?;
+                params.push((pname, ty));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(ProcAst { name, params, body })
+    }
+
+    fn type_ast(&mut self) -> IrResult<TypeAst> {
+        self.expect(&Tok::Kw(Kw::Int))?;
+        if self.eat(&Tok::LBracket) {
+            self.expect(&Tok::RBracket)?;
+            Ok(TypeAst::IntArray)
+        } else {
+            Ok(TypeAst::Int)
+        }
+    }
+
+    fn block(&mut self) -> IrResult<Vec<StmtAst>> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.at_end() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> IrResult<StmtAst> {
+        match self.peek() {
+            Some(Tok::Kw(Kw::Var)) => {
+                self.advance();
+                let name = self.expect_ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.type_ast()?;
+                self.expect(&Tok::Semi)?;
+                Ok(StmtAst::VarDecl(name, ty))
+            }
+            Some(Tok::Kw(Kw::Assume)) => {
+                self.advance();
+                self.expect(&Tok::LParen)?;
+                let b = self.bexpr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(StmtAst::Assume(b))
+            }
+            Some(Tok::Kw(Kw::Assert)) => {
+                self.advance();
+                self.expect(&Tok::LParen)?;
+                let b = self.bexpr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(StmtAst::Assert(b))
+            }
+            Some(Tok::Kw(Kw::Havoc)) => {
+                self.advance();
+                let mut names = vec![self.expect_ident()?];
+                while self.eat(&Tok::Comma) {
+                    names.push(self.expect_ident()?);
+                }
+                self.expect(&Tok::Semi)?;
+                Ok(StmtAst::Havoc(names))
+            }
+            Some(Tok::Kw(Kw::Skip)) => {
+                self.advance();
+                self.expect(&Tok::Semi)?;
+                Ok(StmtAst::Skip)
+            }
+            Some(Tok::Kw(Kw::If)) => {
+                self.advance();
+                self.expect(&Tok::LParen)?;
+                let c = self.cond()?;
+                self.expect(&Tok::RParen)?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat(&Tok::Kw(Kw::Else)) { self.block()? } else { vec![] };
+                Ok(StmtAst::If(c, then_branch, else_branch))
+            }
+            Some(Tok::Kw(Kw::While)) => {
+                self.advance();
+                self.expect(&Tok::LParen)?;
+                let c = self.cond()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.block()?;
+                Ok(StmtAst::While(c, body))
+            }
+            Some(Tok::Kw(Kw::For)) => {
+                self.advance();
+                self.expect(&Tok::LParen)?;
+                let init = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(&Tok::Semi)?;
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    CondAst::Nondet
+                } else {
+                    self.cond()?
+                };
+                self.expect(&Tok::Semi)?;
+                let update = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(&Tok::RParen)?;
+                let mut body = self.block()?;
+                if let Some(u) = update {
+                    body.push(u);
+                }
+                let mut stmts = Vec::new();
+                if let Some(i) = init {
+                    stmts.push(i);
+                }
+                stmts.push(StmtAst::While(cond, body));
+                // Wrap the desugared init + loop as an `if (true)` block so a
+                // `for` remains a single statement.
+                if stmts.len() == 1 {
+                    Ok(stmts.pop().expect("length checked"))
+                } else {
+                    Ok(StmtAst::If(CondAst::Expr(BoolAst::True), stmts, vec![]))
+                }
+            }
+            Some(Tok::Ident(_)) => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected a statement, found `{t}`"))
+            }
+            None => self.err("expected a statement, found end of input"),
+        }
+    }
+
+    /// An assignment-like statement without its trailing `;`, as allowed in
+    /// `for` headers: `x = e`, `a[e] = e`, `x++`, `x--`.
+    fn simple_stmt(&mut self) -> IrResult<StmtAst> {
+        let name = self.expect_ident()?;
+        match self.peek() {
+            Some(Tok::PlusPlus) => {
+                self.advance();
+                Ok(StmtAst::Assign(
+                    name.clone(),
+                    ExprAst::Add(Box::new(ExprAst::Var(name)), Box::new(ExprAst::Num(1))),
+                ))
+            }
+            Some(Tok::MinusMinus) => {
+                self.advance();
+                Ok(StmtAst::Assign(
+                    name.clone(),
+                    ExprAst::Sub(Box::new(ExprAst::Var(name)), Box::new(ExprAst::Num(1))),
+                ))
+            }
+            Some(Tok::LBracket) => {
+                self.advance();
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                self.expect(&Tok::Assign)?;
+                let val = self.expr()?;
+                Ok(StmtAst::ArrayAssign(name, idx, val))
+            }
+            Some(Tok::Assign) => {
+                self.advance();
+                let e = self.expr()?;
+                Ok(StmtAst::Assign(name, e))
+            }
+            _ => self.err("expected `=`, `[`, `++`, or `--` after identifier"),
+        }
+    }
+
+    fn cond(&mut self) -> IrResult<CondAst> {
+        if self.peek() == Some(&Tok::Star)
+            && matches!(self.peek2(), Some(Tok::RParen) | Some(Tok::Semi))
+        {
+            self.advance();
+            Ok(CondAst::Nondet)
+        } else {
+            Ok(CondAst::Expr(self.bexpr()?))
+        }
+    }
+
+    fn bexpr(&mut self) -> IrResult<BoolAst> {
+        let mut lhs = self.bterm()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.bterm()?;
+            lhs = BoolAst::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bterm(&mut self) -> IrResult<BoolAst> {
+        let mut lhs = self.bfactor()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.bfactor()?;
+            lhs = BoolAst::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bfactor(&mut self) -> IrResult<BoolAst> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.advance();
+                Ok(BoolAst::Not(Box::new(self.bfactor()?)))
+            }
+            Some(Tok::Kw(Kw::True)) => {
+                self.advance();
+                Ok(BoolAst::True)
+            }
+            Some(Tok::Kw(Kw::False)) => {
+                self.advance();
+                Ok(BoolAst::False)
+            }
+            Some(Tok::LParen) if self.is_boolean_paren() => {
+                self.advance();
+                let b = self.bexpr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(b)
+            }
+            _ => {
+                let lhs = self.expr()?;
+                let op = match self.peek() {
+                    Some(Tok::EqEq) => RelAst::Eq,
+                    Some(Tok::NotEq) => RelAst::Ne,
+                    Some(Tok::Lt) => RelAst::Lt,
+                    Some(Tok::Le) => RelAst::Le,
+                    Some(Tok::Gt) => RelAst::Gt,
+                    Some(Tok::Ge) => RelAst::Ge,
+                    _ => return self.err("expected a relational operator"),
+                };
+                self.advance();
+                let rhs = self.expr()?;
+                Ok(BoolAst::Rel(lhs, op, rhs))
+            }
+        }
+    }
+
+    /// Decides whether a `(` at the current position opens a boolean
+    /// sub-expression (as opposed to a parenthesised arithmetic expression on
+    /// the left of a relation).  It does so by scanning ahead for a
+    /// relational operator before the matching `)`.
+    fn is_boolean_paren(&self) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.toks.len() {
+            match &self.toks[i].tok {
+                Tok::LParen => depth += 1,
+                Tok::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        // Found the matching close paren: if the *next* token
+                        // is a relational operator, the parenthesis was part
+                        // of an arithmetic expression.
+                        return !matches!(
+                            self.toks.get(i + 1).map(|t| &t.tok),
+                            Some(Tok::EqEq)
+                                | Some(Tok::NotEq)
+                                | Some(Tok::Lt)
+                                | Some(Tok::Le)
+                                | Some(Tok::Gt)
+                                | Some(Tok::Ge)
+                                | Some(Tok::Plus)
+                                | Some(Tok::Minus)
+                                | Some(Tok::Star)
+                        );
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        true
+    }
+
+    fn expr(&mut self) -> IrResult<ExprAst> {
+        let mut lhs = self.mul()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.mul()?;
+                lhs = ExprAst::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.mul()?;
+                lhs = ExprAst::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul(&mut self) -> IrResult<ExprAst> {
+        let mut lhs = self.unary()?;
+        while self.eat(&Tok::Star) {
+            let rhs = self.unary()?;
+            lhs = ExprAst::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> IrResult<ExprAst> {
+        if self.eat(&Tok::Minus) {
+            Ok(ExprAst::Neg(Box::new(self.unary()?)))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> IrResult<ExprAst> {
+        match self.advance() {
+            Some(Tok::Num(n)) => Ok(ExprAst::Num(n)),
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(ExprAst::Index(name, Box::new(idx)))
+                } else {
+                    Ok(ExprAst::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(t) => self.err(format!("expected an expression, found `{t}`")),
+            None => self.err("expected an expression, found end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_forward_like_program() {
+        let src = r#"
+            proc forward(n: int) {
+                var i: int; var a: int; var b: int;
+                assume(n >= 0);
+                i = 0; a = 0; b = 0;
+                while (i < n) {
+                    if (*) { a = a + 1; b = b + 2; } else { a = a + 2; b = b + 1; }
+                    i = i + 1;
+                }
+                assert(a + b == 3*n);
+            }
+        "#;
+        let p = parse_proc(src).unwrap();
+        assert_eq!(p.name, "forward");
+        assert_eq!(p.params.len(), 1);
+        assert!(p.num_statements() >= 10);
+    }
+
+    #[test]
+    fn parses_for_loops_and_arrays() {
+        let src = r#"
+            proc init_check(a: int[], n: int) {
+                var i: int;
+                for (i = 0; i < n; i++) { a[i] = 0; }
+                for (i = 0; i < n; i++) { assert(a[i] == 0); }
+            }
+        "#;
+        let p = parse_proc(src).unwrap();
+        assert_eq!(p.params[0].1, TypeAst::IntArray);
+        // for-desugaring produces while statements
+        let has_while = |stmts: &[StmtAst]| {
+            fn rec(s: &[StmtAst]) -> bool {
+                s.iter().any(|x| match x {
+                    StmtAst::While(..) => true,
+                    StmtAst::If(_, a, b) => rec(a) || rec(b),
+                    _ => false,
+                })
+            }
+            rec(stmts)
+        };
+        assert!(has_while(&p.body));
+    }
+
+    #[test]
+    fn parses_boolean_connectives() {
+        let src = "proc p(x: int, y: int) { assume(x >= 0 && (y > 0 || !(x == y))); }";
+        let p = parse_proc(src).unwrap();
+        match &p.body[0] {
+            StmtAst::Assume(BoolAst::And(..)) => {}
+            other => panic!("unexpected AST: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nondet_condition() {
+        let src = "proc p(x: int) { while (*) { x = x + 1; } if (*) { skip; } }";
+        let p = parse_proc(src).unwrap();
+        assert!(matches!(&p.body[0], StmtAst::While(CondAst::Nondet, _)));
+        assert!(matches!(&p.body[1], StmtAst::If(CondAst::Nondet, _, _)));
+    }
+
+    #[test]
+    fn multiplication_in_conditions() {
+        let src = "proc p(a: int, b: int, n: int) { assert(a + b == 3 * n); }";
+        let p = parse_proc(src).unwrap();
+        match &p.body[0] {
+            StmtAst::Assert(BoolAst::Rel(_, RelAst::Eq, rhs)) => {
+                assert!(matches!(rhs, ExprAst::Mul(..)));
+            }
+            other => panic!("unexpected AST: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_arithmetic_on_lhs_of_relation() {
+        let src = "proc p(x: int, y: int) { assume((x + y) * 2 >= 0); assume((x) == y); }";
+        assert!(parse_proc(src).is_ok());
+    }
+
+    #[test]
+    fn increment_decrement_sugar() {
+        let src = "proc p(x: int) { x++; x--; }";
+        let p = parse_proc(src).unwrap();
+        assert!(matches!(&p.body[0], StmtAst::Assign(_, ExprAst::Add(..))));
+        assert!(matches!(&p.body[1], StmtAst::Assign(_, ExprAst::Sub(..))));
+    }
+
+    #[test]
+    fn havoc_and_skip() {
+        let src = "proc p(x: int, y: int) { havoc x, y; skip; }";
+        let p = parse_proc(src).unwrap();
+        assert_eq!(p.body[0], StmtAst::Havoc(vec!["x".into(), "y".into()]));
+        assert_eq!(p.body[1], StmtAst::Skip);
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let src = "proc p(x: int) { x = 1 }";
+        let err = parse_proc(src).unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_on_garbage_statement() {
+        let src = "proc p(x: int) { 42; }";
+        assert!(parse_proc(src).is_err());
+    }
+
+    #[test]
+    fn error_on_two_procs_via_parse_proc() {
+        let src = "proc a() { skip; } proc b() { skip; }";
+        assert!(parse_proc(src).is_err());
+        assert_eq!(parse_procs(src).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        assert!(parse_procs("").is_err());
+    }
+
+    #[test]
+    fn nested_if_else() {
+        let src = r#"
+            proc p(x: int) {
+                if (x > 0) {
+                    if (x > 10) { x = 0; } else { x = 1; }
+                } else {
+                    x = 2;
+                }
+            }
+        "#;
+        let p = parse_proc(src).unwrap();
+        assert!(matches!(&p.body[0], StmtAst::If(..)));
+        assert_eq!(p.num_statements(), 5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Paths through a program's control-flow graph.
+//!
+//! A path is a sequence of transitions starting at the initial location in
+//! which consecutive transitions are contiguous (§3).  An *error path* ends
+//! at the error location.  Paths are produced by the abstract reachability
+//! analysis as candidate counterexamples and consumed by the feasibility
+//! check, the interpolation-based refiner, and the path-program
+//! construction.
+
+use crate::cfg::{Loc, Program, TransId, Transition};
+use crate::error::{IrError, IrResult};
+
+/// A syntactic path through a [`Program`]: a contiguous sequence of
+/// transition ids beginning at the program entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Path {
+    steps: Vec<TransId>,
+}
+
+impl Path {
+    /// Creates a path from transition ids, validating that it starts at the
+    /// program entry and that consecutive transitions are contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Path`] if the sequence is empty, does not start at
+    /// the entry location, or is not contiguous.
+    pub fn new(program: &Program, steps: Vec<TransId>) -> IrResult<Path> {
+        if steps.is_empty() {
+            return Err(IrError::path("a path must contain at least one transition"));
+        }
+        let first = program.transition(steps[0]);
+        if first.from != program.entry() {
+            return Err(IrError::path(format!(
+                "path starts at {} instead of the entry location {}",
+                program.loc_label(first.from),
+                program.loc_label(program.entry())
+            )));
+        }
+        for w in steps.windows(2) {
+            let a = program.transition(w[0]);
+            let b = program.transition(w[1]);
+            if a.to != b.from {
+                return Err(IrError::path(format!(
+                    "transitions are not contiguous: ... -> {} followed by {} -> ...",
+                    program.loc_label(a.to),
+                    program.loc_label(b.from)
+                )));
+            }
+        }
+        Ok(Path { steps })
+    }
+
+    /// Creates a path without validation.  Intended for callers that
+    /// construct paths step by step from an already-validated traversal
+    /// (e.g. the abstract reachability tree).
+    pub fn new_unchecked(steps: Vec<TransId>) -> Path {
+        Path { steps }
+    }
+
+    /// The transition ids of the path, in order.
+    pub fn steps(&self) -> &[TransId] {
+        &self.steps
+    }
+
+    /// The number of transitions in the path.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path contains no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The transitions of the path, resolved against `program`.
+    pub fn transitions<'p>(&self, program: &'p Program) -> Vec<&'p Transition> {
+        self.steps.iter().map(|&id| program.transition(id)).collect()
+    }
+
+    /// The sequence of `len() + 1` locations visited by the path.
+    pub fn locations(&self, program: &Program) -> Vec<Loc> {
+        let mut locs = Vec::with_capacity(self.steps.len() + 1);
+        if let Some(&first) = self.steps.first() {
+            locs.push(program.transition(first).from);
+        }
+        for &id in &self.steps {
+            locs.push(program.transition(id).to);
+        }
+        locs
+    }
+
+    /// The final location of the path.
+    pub fn last_loc(&self, program: &Program) -> Option<Loc> {
+        self.steps.last().map(|&id| program.transition(id).to)
+    }
+
+    /// Returns `true` if the path ends in the program's error location.
+    pub fn is_error_path(&self, program: &Program) -> bool {
+        self.last_loc(program) == Some(program.error())
+    }
+
+    /// Renders the path in the paper's notation, one transition per line.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for (i, &id) in self.steps.iter().enumerate() {
+            let t = program.transition(id);
+            out.push_str(&format!(
+                "{i}: ({}, {}, {})\n",
+                program.loc_label(t.from),
+                t.action,
+                program.loc_label(t.to)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::cfg::ProgramBuilder;
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    fn loopy() -> Program {
+        let mut b = ProgramBuilder::new("loopy");
+        b.int_var("i");
+        b.int_var("n");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let l2 = b.add_loc("L2");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(l0, Action::assign("i", Term::int(0)), l1); // 0
+        b.add_transition(
+            l1,
+            Action::assume(Formula::lt(Term::var("i"), Term::var("n"))),
+            l2,
+        ); // 1
+        b.add_transition(l2, Action::assign("i", Term::var("i").add(Term::int(1))), l1); // 2
+        b.add_transition(
+            l1,
+            Action::assume(Formula::gt(Term::var("i"), Term::var("n"))),
+            e,
+        ); // 3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_path_construction() {
+        let p = loopy();
+        let path =
+            Path::new(&p, vec![TransId(0), TransId(1), TransId(2), TransId(3)]).unwrap();
+        assert_eq!(path.len(), 4);
+        assert!(path.is_error_path(&p));
+        assert_eq!(path.locations(&p).len(), 5);
+        assert_eq!(path.locations(&p)[0], p.entry());
+        assert_eq!(path.last_loc(&p), Some(p.error()));
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let p = loopy();
+        assert!(Path::new(&p, vec![]).is_err());
+    }
+
+    #[test]
+    fn wrong_start_rejected() {
+        let p = loopy();
+        let err = Path::new(&p, vec![TransId(1)]).unwrap_err();
+        assert!(err.to_string().contains("entry"));
+    }
+
+    #[test]
+    fn non_contiguous_rejected() {
+        let p = loopy();
+        let err = Path::new(&p, vec![TransId(0), TransId(3), TransId(2)]).unwrap_err();
+        assert!(err.to_string().contains("contiguous"));
+    }
+
+    #[test]
+    fn non_error_path_detected() {
+        let p = loopy();
+        let path = Path::new(&p, vec![TransId(0), TransId(1)]).unwrap();
+        assert!(!path.is_error_path(&p));
+    }
+
+    #[test]
+    fn render_lists_every_step() {
+        let p = loopy();
+        let path = Path::new(&p, vec![TransId(0), TransId(3)]).unwrap();
+        let r = path.render(&p);
+        assert!(r.contains("0: (L0, i := 0, L1)"));
+        assert!(r.contains("1: (L1, [i > n], ERR)"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Path formulas: static single assignment encoding of paths.
+//!
+//! Following §2.1 of the paper, a path is translated into a *path formula*
+//! that is satisfiable iff the path is feasible in the concrete program.
+//! Each assignment introduces a fresh SSA version of the assigned variable;
+//! array writes become `Store` equations.  The per-step constraints are kept
+//! separate so that the interpolation-based refiner can split the formula
+//! into a prefix/suffix at every position.
+
+use crate::action::Action;
+use crate::cfg::Program;
+use crate::formula::Formula;
+use crate::path::Path;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::var::{Tag, VarRef};
+use std::collections::BTreeMap;
+
+/// A map from variable names to their current SSA version.
+pub type VersionMap = BTreeMap<Symbol, u32>;
+
+/// The SSA encoding of a path.
+#[derive(Clone, Debug)]
+pub struct PathFormula {
+    /// One constraint per path transition, over SSA-indexed variables.
+    pub steps: Vec<Formula>,
+    /// `versions[i]` is the SSA version of each variable *before* executing
+    /// transition `i`; `versions[len]` is the final version map.
+    pub versions: Vec<VersionMap>,
+}
+
+impl PathFormula {
+    /// The conjunction of all step constraints.
+    pub fn conjunction(&self) -> Formula {
+        Formula::and(self.steps.clone())
+    }
+
+    /// The number of transitions encoded.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the formula encodes an empty path.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Rewrites a formula over current-state program variables into the SSA
+    /// variables in effect at step `i` (0 ≤ i ≤ len).
+    ///
+    /// This is used to translate location invariants and predicates into the
+    /// path-formula name space.
+    pub fn at_step(&self, i: usize, f: &Formula) -> Formula {
+        let versions = &self.versions[i];
+        rename_to_versions(f, versions)
+    }
+
+    /// Rewrites an SSA formula at step `i` back to current-state program
+    /// variables (the inverse of [`PathFormula::at_step`] for variables that
+    /// are at their step-`i` version; other SSA variables are left
+    /// untouched).
+    pub fn unname_at_step(&self, i: usize, f: &Formula) -> Formula {
+        let versions = &self.versions[i];
+        f.map_vars(&|v| {
+            if let Tag::Idx(k) = v.tag {
+                if versions.get(&v.sym).copied().unwrap_or(0) == k {
+                    return Term::var(v.sym);
+                }
+            }
+            Term::Var(v)
+        })
+    }
+}
+
+/// Renames every current-state variable `x` in `f` to `x#versions[x]`
+/// (version 0 if absent).
+pub fn rename_to_versions(f: &Formula, versions: &VersionMap) -> Formula {
+    f.map_vars(&|v| {
+        if v.tag == Tag::Cur {
+            let ver = versions.get(&v.sym).copied().unwrap_or(0);
+            Term::Var(VarRef::idx(v.sym, ver))
+        } else {
+            Term::Var(v)
+        }
+    })
+}
+
+fn rename_term(t: &Term, versions: &VersionMap) -> Term {
+    t.map_vars(&|v| {
+        if v.tag == Tag::Cur {
+            let ver = versions.get(&v.sym).copied().unwrap_or(0);
+            Term::Var(VarRef::idx(v.sym, ver))
+        } else {
+            Term::Var(v)
+        }
+    })
+}
+
+/// Builds the SSA path formula for `path` in `program`.
+///
+/// The formula is the conjunction of one constraint per transition, exactly
+/// as in the worked example of §2.1: assumptions are renamed to the current
+/// versions, assignments introduce the next version of the assigned variable,
+/// array writes produce `a#k+1 = a#k{i := v}` equations, and havoc simply
+/// bumps versions without adding a constraint.
+pub fn path_formula(program: &Program, path: &Path) -> PathFormula {
+    let mut versions: VersionMap = BTreeMap::new();
+    for d in program.vars() {
+        versions.insert(d.sym, 0);
+    }
+    let mut steps = Vec::with_capacity(path.len());
+    let mut version_trace = vec![versions.clone()];
+
+    for t in path.transitions(program) {
+        let constraint = encode_action(&t.action, &mut versions);
+        steps.push(constraint);
+        version_trace.push(versions.clone());
+    }
+    PathFormula { steps, versions: version_trace }
+}
+
+/// Encodes a single action against the running version map, mutating the map
+/// to reflect the versions after the action.
+pub fn encode_action(action: &Action, versions: &mut VersionMap) -> Formula {
+    match action {
+        Action::Skip => Formula::True,
+        Action::Assume(g) => rename_to_versions(g, versions),
+        Action::Havoc(xs) => {
+            for x in xs {
+                *versions.entry(*x).or_insert(0) += 1;
+            }
+            Formula::True
+        }
+        Action::Assign(asgs) => {
+            // Parallel semantics: all right-hand sides read the pre-state.
+            let rhs: Vec<(Symbol, Term)> =
+                asgs.iter().map(|(x, t)| (*x, rename_term(t, versions))).collect();
+            let mut eqs = Vec::with_capacity(rhs.len());
+            for (x, t) in rhs {
+                let next = versions.get(&x).copied().unwrap_or(0) + 1;
+                versions.insert(x, next);
+                eqs.push(Formula::eq(Term::Var(VarRef::idx(x, next)), t));
+            }
+            Formula::and(eqs)
+        }
+        Action::ArrayAssign { array, index, value } => {
+            let idx = rename_term(index, versions);
+            let val = rename_term(value, versions);
+            let cur = versions.get(array).copied().unwrap_or(0);
+            let next = cur + 1;
+            versions.insert(*array, next);
+            Formula::eq(
+                Term::Var(VarRef::idx(*array, next)),
+                Term::Var(VarRef::idx(*array, cur)).store(idx, val),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::cfg::{ProgramBuilder, TransId};
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    /// The FORWARD-like counterexample of Figure 1(b), shrunk:
+    /// `[n >= 0]; i := 0; [i < n]; i := i + 1; [i >= n]`.
+    fn sample() -> (Program, Path) {
+        let mut b = ProgramBuilder::new("sample");
+        b.int_var("i");
+        b.int_var("n");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let l2 = b.add_loc("L2");
+        let l3 = b.add_loc("L3");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(
+            l0,
+            Action::assume(Formula::ge(Term::var("n"), Term::int(0))),
+            l1,
+        );
+        b.add_transition(l1, Action::assign("i", Term::int(0)), l2);
+        b.add_transition(
+            l2,
+            Action::assume(Formula::lt(Term::var("i"), Term::var("n"))),
+            l3,
+        );
+        b.add_transition(l3, Action::assign("i", Term::var("i").add(Term::int(1))), l2);
+        b.add_transition(
+            l2,
+            Action::assume(Formula::ge(Term::var("i"), Term::var("n"))),
+            e,
+        );
+        let p = b.build().unwrap();
+        let path = Path::new(
+            &p,
+            vec![TransId(0), TransId(1), TransId(2), TransId(3), TransId(4)],
+        )
+        .unwrap();
+        (p, path)
+    }
+
+    #[test]
+    fn versions_advance_on_assignment_only() {
+        let (p, path) = sample();
+        let pf = path_formula(&p, &path);
+        assert_eq!(pf.len(), 5);
+        // i: bumped at steps 1 (i:=0) and 3 (i:=i+1); n: never.
+        let i = Symbol::intern("i");
+        let n = Symbol::intern("n");
+        assert_eq!(pf.versions[0][&i], 0);
+        assert_eq!(pf.versions[2][&i], 1);
+        assert_eq!(pf.versions[4][&i], 2);
+        assert_eq!(pf.versions[5][&i], 2);
+        assert!(pf.versions.iter().all(|m| m[&n] == 0));
+    }
+
+    #[test]
+    fn step_constraints_match_paper_style() {
+        let (p, path) = sample();
+        let pf = path_formula(&p, &path);
+        assert_eq!(pf.steps[0].to_string(), "n#0 >= 0");
+        assert_eq!(pf.steps[1].to_string(), "i#1 = 0");
+        assert_eq!(pf.steps[2].to_string(), "i#1 < n#0");
+        assert_eq!(pf.steps[3].to_string(), "i#2 = (i#1 + 1)");
+        assert_eq!(pf.steps[4].to_string(), "i#2 >= n#0");
+    }
+
+    #[test]
+    fn at_step_renames_to_current_versions() {
+        let (p, path) = sample();
+        let pf = path_formula(&p, &path);
+        let inv = Formula::le(Term::var("i"), Term::var("n"));
+        assert_eq!(pf.at_step(0, &inv).to_string(), "i#0 <= n#0");
+        assert_eq!(pf.at_step(4, &inv).to_string(), "i#2 <= n#0");
+    }
+
+    #[test]
+    fn unname_at_step_inverts_at_step() {
+        let (p, path) = sample();
+        let pf = path_formula(&p, &path);
+        let inv = Formula::le(Term::var("i"), Term::var("n"));
+        let named = pf.at_step(4, &inv);
+        assert_eq!(pf.unname_at_step(4, &named), inv);
+    }
+
+    #[test]
+    fn array_writes_become_store_equations() {
+        let mut b = ProgramBuilder::new("arr");
+        b.array_var("a");
+        b.int_var("i");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(l0, Action::array_assign("a", Term::var("i"), Term::int(0)), l1);
+        b.add_transition(
+            l1,
+            Action::assume(Formula::ne(
+                Term::var("a").select(Term::var("i")),
+                Term::int(0),
+            )),
+            e,
+        );
+        let p = b.build().unwrap();
+        let path = Path::new(&p, vec![TransId(0), TransId(1)]).unwrap();
+        let pf = path_formula(&p, &path);
+        assert_eq!(pf.steps[0].to_string(), "a#1 = a#0{i#0 := 0}");
+        assert_eq!(pf.steps[1].to_string(), "a#1[i#0] != 0");
+    }
+
+    #[test]
+    fn havoc_bumps_without_constraint() {
+        let mut b = ProgramBuilder::new("h");
+        b.int_var("x");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        let e = b.add_loc("ERR");
+        b.set_entry(l0);
+        b.set_error(e);
+        b.add_transition(l0, Action::Havoc(vec![Symbol::intern("x")]), l1);
+        b.add_transition(
+            l1,
+            Action::assume(Formula::lt(Term::var("x"), Term::int(0))),
+            e,
+        );
+        let p = b.build().unwrap();
+        let path = Path::new(&p, vec![TransId(0), TransId(1)]).unwrap();
+        let pf = path_formula(&p, &path);
+        assert_eq!(pf.steps[0], Formula::True);
+        assert_eq!(pf.steps[1].to_string(), "x#1 < 0");
+    }
+
+    #[test]
+    fn parallel_assignment_reads_pre_state() {
+        let mut b = ProgramBuilder::new("swap");
+        b.int_var("x");
+        b.int_var("y");
+        let l0 = b.add_loc("L0");
+        let l1 = b.add_loc("L1");
+        b.set_entry(l0);
+        b.set_error(l1);
+        b.add_transition(
+            l0,
+            Action::Assign(vec![
+                (Symbol::intern("x"), Term::var("y")),
+                (Symbol::intern("y"), Term::var("x")),
+            ]),
+            l1,
+        );
+        let p = b.build().unwrap();
+        let path = Path::new(&p, vec![TransId(0)]).unwrap();
+        let pf = path_formula(&p, &path);
+        let s = pf.steps[0].to_string();
+        assert!(s.contains("x#1 = y#0"), "{s}");
+        assert!(s.contains("y#1 = x#0"), "{s}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Interned identifiers.
+//!
+//! Every variable, function symbol, and location label in the IR is an
+//! interned string.  Interning keeps the rest of the crate `Copy`-friendly:
+//! a [`Symbol`] is a 4-byte index into a process-global string table, so
+//! terms and formulas can be compared and hashed cheaply.
+//!
+//! The interner is append-only and never frees strings.  Programs handled by
+//! this library have at most a few hundred distinct identifiers, so the table
+//! stays tiny.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Two symbols are equal if and only if the strings they intern are equal.
+/// Symbols are cheap to copy and hash, and display as the original string.
+///
+/// # Examples
+///
+/// ```
+/// use pathinv_ir::Symbol;
+/// let a = Symbol::intern("x");
+/// let b = Symbol::intern("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { map: HashMap::new(), strings: Vec::new() }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        // Leaking is acceptable: the set of identifiers in a verification run
+        // is small and bounded by the input program text.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &'static str {
+        self.strings[id as usize]
+    }
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol.
+    pub fn intern(s: &str) -> Symbol {
+        Symbol(interner().lock().expect("symbol interner poisoned").intern(s))
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("symbol interner poisoned").resolve(self.0)
+    }
+
+    /// Returns a fresh symbol that is guaranteed not to collide with any
+    /// symbol interned so far, derived from `base` for readability.
+    ///
+    /// Used for Skolem constants and SSA temporaries.
+    pub fn fresh(base: &str) -> Symbol {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let candidate = format!("{base}!{n}");
+            let mut guard = interner().lock().expect("symbol interner poisoned");
+            if !guard.map.contains_key(candidate.as_str()) {
+                return Symbol(guard.intern(&candidate));
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha");
+        assert_eq!(b.as_str(), "beta");
+    }
+
+    #[test]
+    fn display_matches_source() {
+        let s = Symbol::intern("my_var_42");
+        assert_eq!(format!("{s}"), "my_var_42");
+        assert_eq!(format!("{s:?}"), "my_var_42");
+    }
+
+    #[test]
+    fn fresh_symbols_never_collide() {
+        let mut seen = HashSet::new();
+        seen.insert(Symbol::intern("tmp!0"));
+        for _ in 0..50 {
+            let f = Symbol::fresh("tmp");
+            assert!(seen.insert(f), "fresh symbol collided: {f}");
+        }
+    }
+
+    #[test]
+    fn symbols_are_usable_in_hash_maps() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(Symbol::intern("k"), 1);
+        m.insert(Symbol::intern("k"), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&Symbol::intern("k")], 2);
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "conv".into();
+        let b: Symbol = String::from("conv").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_consistent() {
+        let a = Symbol::intern("ord_a");
+        let b = Symbol::intern("ord_b");
+        // Ordering is by intern id, not lexicographic; it only needs to be a
+        // total order usable for canonical sorting.
+        assert_eq!(a.cmp(&b), a.cmp(&b));
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100).map(|i| Symbol::intern(&format!("c{}", i + t % 2))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(Symbol::intern("c0"), Symbol::intern("c0"));
+    }
+}

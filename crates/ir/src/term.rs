@@ -1,0 +1,475 @@
+//! First-order terms over integers, integer arrays, and uninterpreted
+//! functions.
+//!
+//! Terms are the expression language of transition constraints, invariants,
+//! and path formulas.  Arithmetic is kept syntactically general (arbitrary
+//! `Mul`), but the decision procedures in `pathinv-smt` only accept terms
+//! that are *linear* in the program variables; non-linear inputs are rejected
+//! there with an error rather than silently mishandled.
+
+use crate::symbol::Symbol;
+use crate::var::{Tag, VarRef};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term.
+///
+/// The variants cover exactly what the paper needs: linear integer
+/// arithmetic, array reads (`Select`), array updates (`Store`, written
+/// `a{i := v}` in the paper), uninterpreted function applications, and bound
+/// variables for universally quantified invariants.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// Integer constant.
+    Const(i128),
+    /// Occurrence of a program variable (scalar or array).
+    Var(VarRef),
+    /// Occurrence of a universally quantified index variable.
+    Bound(Symbol),
+    /// Sum of two terms.
+    Add(Box<Term>, Box<Term>),
+    /// Difference of two terms.
+    Sub(Box<Term>, Box<Term>),
+    /// Negation of a term.
+    Neg(Box<Term>),
+    /// Product of two terms.  Only linear products (at least one side reduces
+    /// to a constant) are accepted by the solvers.
+    Mul(Box<Term>, Box<Term>),
+    /// Array read `a[i]`.
+    Select(Box<Term>, Box<Term>),
+    /// Array update `a{i := v}`: the array equal to the first argument except
+    /// at the index given by the second argument, where it holds the third.
+    Store(Box<Term>, Box<Term>, Box<Term>),
+    /// Application of an uninterpreted function symbol.
+    App(Symbol, Vec<Term>),
+}
+
+impl Term {
+    /// Integer constant term.
+    pub fn int(c: i128) -> Term {
+        Term::Const(c)
+    }
+
+    /// Current-state occurrence of the variable named `name`.
+    pub fn var(name: impl Into<Symbol>) -> Term {
+        Term::Var(VarRef::cur(name.into()))
+    }
+
+    /// Next-state (primed) occurrence of the variable named `name`.
+    pub fn pvar(name: impl Into<Symbol>) -> Term {
+        Term::Var(VarRef::primed_of(name.into()))
+    }
+
+    /// SSA occurrence `name#idx`.
+    pub fn ivar(name: impl Into<Symbol>, idx: u32) -> Term {
+        Term::Var(VarRef::idx(name.into(), idx))
+    }
+
+    /// Occurrence of an arbitrary [`VarRef`].
+    pub fn vref(v: VarRef) -> Term {
+        Term::Var(v)
+    }
+
+    /// Occurrence of a universally quantified index variable.
+    pub fn bound(name: impl Into<Symbol>) -> Term {
+        Term::Bound(name.into())
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Term) -> Term {
+        Term::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Term) -> Term {
+        Term::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Term {
+        Term::Neg(Box::new(self))
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Term) -> Term {
+        Term::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// `c * self` for a constant coefficient `c`.
+    pub fn scale(self, c: i128) -> Term {
+        Term::Mul(Box::new(Term::Const(c)), Box::new(self))
+    }
+
+    /// Array read `self[index]`.
+    pub fn select(self, index: Term) -> Term {
+        Term::Select(Box::new(self), Box::new(index))
+    }
+
+    /// Array update `self{index := value}`.
+    pub fn store(self, index: Term, value: Term) -> Term {
+        Term::Store(Box::new(self), Box::new(index), Box::new(value))
+    }
+
+    /// Application `f(args...)` of an uninterpreted function symbol.
+    pub fn app(f: impl Into<Symbol>, args: Vec<Term>) -> Term {
+        Term::App(f.into(), args)
+    }
+
+    /// Returns `true` if this term is the integer constant `c`.
+    pub fn is_const(&self, c: i128) -> bool {
+        matches!(self, Term::Const(k) if *k == c)
+    }
+
+    /// Returns the constant value if the term folds to an integer constant.
+    pub fn as_const(&self) -> Option<i128> {
+        match self {
+            Term::Const(c) => Some(*c),
+            Term::Neg(t) => t.as_const().map(|c| -c),
+            Term::Add(a, b) => Some(a.as_const()? + b.as_const()?),
+            Term::Sub(a, b) => Some(a.as_const()? - b.as_const()?),
+            Term::Mul(a, b) => Some(a.as_const()? * b.as_const()?),
+            _ => None,
+        }
+    }
+
+    /// Calls `f` on this term and every subterm, pre-order.
+    pub fn for_each(&self, f: &mut impl FnMut(&Term)) {
+        f(self);
+        match self {
+            Term::Const(_) | Term::Var(_) | Term::Bound(_) => {}
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) | Term::Select(a, b) => {
+                a.for_each(f);
+                b.for_each(f);
+            }
+            Term::Neg(a) => a.for_each(f),
+            Term::Store(a, b, c) => {
+                a.for_each(f);
+                b.for_each(f);
+                c.for_each(f);
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.for_each(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every variable occurrence with `f`, rebuilding the term.
+    pub fn map_vars(&self, f: &impl Fn(VarRef) -> Term) -> Term {
+        match self {
+            Term::Const(c) => Term::Const(*c),
+            Term::Var(v) => f(*v),
+            Term::Bound(b) => Term::Bound(*b),
+            Term::Add(a, b) => Term::Add(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Term::Sub(a, b) => Term::Sub(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Term::Neg(a) => Term::Neg(Box::new(a.map_vars(f))),
+            Term::Mul(a, b) => Term::Mul(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Term::Select(a, b) => Term::Select(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Term::Store(a, b, c) => Term::Store(
+                Box::new(a.map_vars(f)),
+                Box::new(b.map_vars(f)),
+                Box::new(c.map_vars(f)),
+            ),
+            Term::App(g, args) => Term::App(*g, args.iter().map(|a| a.map_vars(f)).collect()),
+        }
+    }
+
+    /// Rewrites every bound-variable occurrence with `f`, rebuilding the term.
+    pub fn map_bound(&self, f: &impl Fn(Symbol) -> Term) -> Term {
+        match self {
+            Term::Const(c) => Term::Const(*c),
+            Term::Var(v) => Term::Var(*v),
+            Term::Bound(b) => f(*b),
+            Term::Add(a, b) => Term::Add(Box::new(a.map_bound(f)), Box::new(b.map_bound(f))),
+            Term::Sub(a, b) => Term::Sub(Box::new(a.map_bound(f)), Box::new(b.map_bound(f))),
+            Term::Neg(a) => Term::Neg(Box::new(a.map_bound(f))),
+            Term::Mul(a, b) => Term::Mul(Box::new(a.map_bound(f)), Box::new(b.map_bound(f))),
+            Term::Select(a, b) => Term::Select(Box::new(a.map_bound(f)), Box::new(b.map_bound(f))),
+            Term::Store(a, b, c) => Term::Store(
+                Box::new(a.map_bound(f)),
+                Box::new(b.map_bound(f)),
+                Box::new(c.map_bound(f)),
+            ),
+            Term::App(g, args) => Term::App(*g, args.iter().map(|a| a.map_bound(f)).collect()),
+        }
+    }
+
+    /// Substitutes the term `replacement` for every occurrence of the
+    /// variable reference `var`.
+    pub fn subst_var(&self, var: VarRef, replacement: &Term) -> Term {
+        self.map_vars(&|v| if v == var { replacement.clone() } else { Term::Var(v) })
+    }
+
+    /// Substitutes the term `replacement` for every occurrence of the bound
+    /// variable `b`.
+    pub fn subst_bound(&self, b: Symbol, replacement: &Term) -> Term {
+        self.map_bound(&|x| if x == b { replacement.clone() } else { Term::Bound(x) })
+    }
+
+    /// Converts all current-state variable occurrences into primed ones.
+    pub fn primed(&self) -> Term {
+        self.map_vars(&|v| {
+            Term::Var(if v.tag == Tag::Cur { v.primed() } else { v })
+        })
+    }
+
+    /// Converts all primed variable occurrences into current-state ones.
+    pub fn unprimed(&self) -> Term {
+        self.map_vars(&|v| {
+            Term::Var(if v.tag == Tag::Primed { v.unprimed() } else { v })
+        })
+    }
+
+    /// The set of variable references occurring in the term.
+    pub fn var_refs(&self) -> BTreeSet<VarRef> {
+        let mut set = BTreeSet::new();
+        self.for_each(&mut |t| {
+            if let Term::Var(v) = t {
+                set.insert(*v);
+            }
+        });
+        set
+    }
+
+    /// The set of variable names (ignoring tags) occurring in the term.
+    pub fn var_names(&self) -> BTreeSet<Symbol> {
+        self.var_refs().into_iter().map(|v| v.sym).collect()
+    }
+
+    /// The set of bound variables occurring in the term.
+    pub fn bound_vars(&self) -> BTreeSet<Symbol> {
+        let mut set = BTreeSet::new();
+        self.for_each(&mut |t| {
+            if let Term::Bound(b) = t {
+                set.insert(*b);
+            }
+        });
+        set
+    }
+
+    /// Returns `true` if the term contains an array `Select` or `Store`, or
+    /// an uninterpreted function application.
+    pub fn has_nonarithmetic(&self) -> bool {
+        let mut found = false;
+        self.for_each(&mut |t| {
+            if matches!(t, Term::Select(..) | Term::Store(..) | Term::App(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Performs constant folding and shallow algebraic simplification.
+    ///
+    /// The result is semantically equal to the input.  This is not a
+    /// normal form; the linear-arithmetic normaliser in `pathinv-smt` is the
+    /// canonicalising pass.
+    pub fn simplify(&self) -> Term {
+        match self {
+            Term::Const(_) | Term::Var(_) | Term::Bound(_) => self.clone(),
+            Term::Add(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Term::Const(x), Term::Const(y)) => Term::Const(x + y),
+                    (Term::Const(0), _) => b,
+                    (_, Term::Const(0)) => a,
+                    _ => Term::Add(Box::new(a), Box::new(b)),
+                }
+            }
+            Term::Sub(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Term::Const(x), Term::Const(y)) => Term::Const(x - y),
+                    (_, Term::Const(0)) => a,
+                    _ => Term::Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            Term::Neg(a) => {
+                let a = a.simplify();
+                match &a {
+                    Term::Const(x) => Term::Const(-x),
+                    Term::Neg(inner) => (**inner).clone(),
+                    _ => Term::Neg(Box::new(a)),
+                }
+            }
+            Term::Mul(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Term::Const(x), Term::Const(y)) => Term::Const(x * y),
+                    (Term::Const(0), _) | (_, Term::Const(0)) => Term::Const(0),
+                    (Term::Const(1), _) => b,
+                    (_, Term::Const(1)) => a,
+                    _ => Term::Mul(Box::new(a), Box::new(b)),
+                }
+            }
+            Term::Select(a, i) => Term::Select(Box::new(a.simplify()), Box::new(i.simplify())),
+            Term::Store(a, i, v) => Term::Store(
+                Box::new(a.simplify()),
+                Box::new(i.simplify()),
+                Box::new(v.simplify()),
+            ),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.simplify()).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Bound(b) => write!(f, "{b}"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Neg(a) => write!(f, "-({a})"),
+            Term::Mul(a, b) => write!(f, "({a} * {b})"),
+            Term::Select(a, i) => write!(f, "{a}[{i}]"),
+            Term::Store(a, i, v) => write!(f, "{a}{{{i} := {v}}}"),
+            Term::App(g, args) => {
+                write!(f, "{g}(")?;
+                for (k, a) in args.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<i128> for Term {
+    fn from(c: i128) -> Term {
+        Term::Const(c)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(c: i64) -> Term {
+        Term::Const(c as i128)
+    }
+}
+
+impl From<i32> for Term {
+    fn from(c: i32) -> Term {
+        Term::Const(c as i128)
+    }
+}
+
+impl From<VarRef> for Term {
+    fn from(v: VarRef) -> Term {
+        Term::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+    fn y() -> Term {
+        Term::var("y")
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let t = x().add(Term::int(3).mul(y()));
+        assert_eq!(t.to_string(), "(x + (3 * y))");
+        let sel = Term::var("a").select(x());
+        assert_eq!(sel.to_string(), "a[x]");
+        let st = Term::var("a").store(x(), Term::int(0));
+        assert_eq!(st.to_string(), "a{x := 0}");
+    }
+
+    #[test]
+    fn const_folding() {
+        let t = Term::int(2).add(Term::int(3)).mul(Term::int(4));
+        assert_eq!(t.simplify(), Term::Const(20));
+        assert_eq!(t.as_const(), Some(20));
+        let u = x().mul(Term::int(0));
+        assert_eq!(u.simplify(), Term::Const(0));
+        let v = x().add(Term::int(0));
+        assert_eq!(v.simplify(), x());
+    }
+
+    #[test]
+    fn as_const_on_variables_is_none() {
+        assert_eq!(x().as_const(), None);
+        assert_eq!(x().add(Term::int(1)).as_const(), None);
+    }
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let t = x().add(x()).sub(y());
+        let s = t.subst_var(VarRef::cur(Symbol::intern("x")), &Term::int(5));
+        assert_eq!(s.simplify().to_string(), "(10 - y)");
+    }
+
+    #[test]
+    fn priming_and_unpriming() {
+        let t = x().add(y());
+        let p = t.primed();
+        assert_eq!(p.to_string(), "(x' + y')");
+        assert_eq!(p.unprimed(), t);
+    }
+
+    #[test]
+    fn var_ref_collection() {
+        let t = x().add(Term::pvar("y")).add(Term::ivar("z", 2));
+        let refs = t.var_refs();
+        assert_eq!(refs.len(), 3);
+        let names = t.var_names();
+        assert!(names.contains(&Symbol::intern("x")));
+        assert!(names.contains(&Symbol::intern("y")));
+        assert!(names.contains(&Symbol::intern("z")));
+    }
+
+    #[test]
+    fn bound_var_collection_and_subst() {
+        let k = Symbol::intern("k");
+        let t = Term::var("a").select(Term::Bound(k)).add(Term::Bound(k));
+        assert_eq!(t.bound_vars().len(), 1);
+        let inst = t.subst_bound(k, &Term::int(7));
+        assert!(inst.bound_vars().is_empty());
+        assert_eq!(inst.to_string(), "(a[7] + 7)");
+    }
+
+    #[test]
+    fn nonarithmetic_detection() {
+        assert!(!x().add(y()).has_nonarithmetic());
+        assert!(Term::var("a").select(x()).has_nonarithmetic());
+        assert!(Term::app("f", vec![x()]).has_nonarithmetic());
+        assert!(Term::var("a").store(x(), y()).has_nonarithmetic());
+    }
+
+    #[test]
+    fn double_negation_simplifies() {
+        let t = x().neg().neg();
+        assert_eq!(t.simplify(), x());
+    }
+
+    #[test]
+    fn scale_builds_constant_product() {
+        let t = x().scale(3);
+        assert_eq!(t.to_string(), "(3 * x)");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Term = 5i32.into();
+        let b: Term = 5i64.into();
+        let c: Term = 5i128.into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,201 @@
+//! Variables, sorts, and variable references.
+//!
+//! The paper models a program as a transition system over a set of variables
+//! `X`; transition constraints range over `X ∪ X'` where primed variables
+//! denote next-state values.  When a path is turned into a *path formula*
+//! (static single assignment form, §2.1 of the paper) every assignment gets a
+//! fresh *indexed* version of the variable.  A [`VarRef`] captures all three
+//! kinds of occurrence through its [`Tag`].
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// The sort (type) of a program variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Mathematical integer.
+    Int,
+    /// Unbounded array of integers indexed by integers.
+    ArrayInt,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Int => write!(f, "int"),
+            Sort::ArrayInt => write!(f, "int[]"),
+        }
+    }
+}
+
+/// Distinguishes the three kinds of occurrences of a program variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tag {
+    /// Current-state occurrence `x` in a transition constraint or invariant.
+    Cur,
+    /// Next-state occurrence `x'` in a transition constraint.
+    Primed,
+    /// SSA occurrence `x_i` in a path formula.
+    Idx(u32),
+}
+
+impl Tag {
+    /// Returns `true` for the current-state tag.
+    pub fn is_cur(self) -> bool {
+        matches!(self, Tag::Cur)
+    }
+
+    /// Returns `true` for the next-state tag.
+    pub fn is_primed(self) -> bool {
+        matches!(self, Tag::Primed)
+    }
+}
+
+/// A reference to a program variable occurrence: the variable's name plus a
+/// [`Tag`] saying whether it is the current-state, next-state, or an SSA
+/// version of the variable.
+///
+/// # Examples
+///
+/// ```
+/// use pathinv_ir::{VarRef, Symbol};
+/// let x = VarRef::cur(Symbol::intern("x"));
+/// assert_eq!(x.to_string(), "x");
+/// assert_eq!(x.primed().to_string(), "x'");
+/// assert_eq!(x.indexed(3).to_string(), "x#3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarRef {
+    /// The variable name.
+    pub sym: Symbol,
+    /// The occurrence kind.
+    pub tag: Tag,
+}
+
+impl VarRef {
+    /// Current-state occurrence of `sym`.
+    pub fn cur(sym: Symbol) -> VarRef {
+        VarRef { sym, tag: Tag::Cur }
+    }
+
+    /// Next-state (primed) occurrence of `sym`.
+    pub fn primed_of(sym: Symbol) -> VarRef {
+        VarRef { sym, tag: Tag::Primed }
+    }
+
+    /// SSA occurrence `sym#idx`.
+    pub fn idx(sym: Symbol, idx: u32) -> VarRef {
+        VarRef { sym, tag: Tag::Idx(idx) }
+    }
+
+    /// Returns the same variable with the [`Tag::Primed`] tag.
+    pub fn primed(self) -> VarRef {
+        VarRef { sym: self.sym, tag: Tag::Primed }
+    }
+
+    /// Returns the same variable with the [`Tag::Cur`] tag.
+    pub fn unprimed(self) -> VarRef {
+        VarRef { sym: self.sym, tag: Tag::Cur }
+    }
+
+    /// Returns the same variable with an SSA index tag.
+    pub fn indexed(self, idx: u32) -> VarRef {
+        VarRef { sym: self.sym, tag: Tag::Idx(idx) }
+    }
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tag {
+            Tag::Cur => write!(f, "{}", self.sym),
+            Tag::Primed => write!(f, "{}'", self.sym),
+            Tag::Idx(i) => write!(f, "{}#{}", self.sym, i),
+        }
+    }
+}
+
+impl From<Symbol> for VarRef {
+    fn from(sym: Symbol) -> VarRef {
+        VarRef::cur(sym)
+    }
+}
+
+/// A variable declaration: a name together with its [`Sort`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VarDecl {
+    /// The variable name.
+    pub sym: Symbol,
+    /// The variable sort.
+    pub sort: Sort,
+}
+
+impl VarDecl {
+    /// Declares an integer variable.
+    pub fn int(name: &str) -> VarDecl {
+        VarDecl { sym: Symbol::intern(name), sort: Sort::Int }
+    }
+
+    /// Declares an integer-array variable.
+    pub fn array(name: &str) -> VarDecl {
+        VarDecl { sym: Symbol::intern(name), sort: Sort::ArrayInt }
+    }
+}
+
+impl fmt::Display for VarDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.sym, self.sort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let x = Symbol::intern("x");
+        assert_eq!(VarRef::cur(x).to_string(), "x");
+        assert_eq!(VarRef::primed_of(x).to_string(), "x'");
+        assert_eq!(VarRef::idx(x, 7).to_string(), "x#7");
+    }
+
+    #[test]
+    fn priming_round_trips() {
+        let x = VarRef::cur(Symbol::intern("y"));
+        assert_eq!(x.primed().unprimed(), x);
+        assert!(x.primed().tag.is_primed());
+        assert!(x.tag.is_cur());
+    }
+
+    #[test]
+    fn indexed_keeps_symbol() {
+        let x = VarRef::cur(Symbol::intern("z"));
+        let xi = x.indexed(4);
+        assert_eq!(xi.sym, x.sym);
+        assert_eq!(xi.tag, Tag::Idx(4));
+    }
+
+    #[test]
+    fn var_decl_constructors() {
+        let d = VarDecl::int("n");
+        assert_eq!(d.sort, Sort::Int);
+        assert_eq!(d.to_string(), "n: int");
+        let a = VarDecl::array("a");
+        assert_eq!(a.sort, Sort::ArrayInt);
+        assert_eq!(a.to_string(), "a: int[]");
+    }
+
+    #[test]
+    fn sort_display() {
+        assert_eq!(Sort::Int.to_string(), "int");
+        assert_eq!(Sort::ArrayInt.to_string(), "int[]");
+    }
+
+    #[test]
+    fn varref_equality_depends_on_tag() {
+        let x = Symbol::intern("w");
+        assert_ne!(VarRef::cur(x), VarRef::primed_of(x));
+        assert_ne!(VarRef::idx(x, 1), VarRef::idx(x, 2));
+        assert_eq!(VarRef::idx(x, 1), VarRef::idx(x, 1));
+    }
+}

@@ -1,0 +1,331 @@
+//! Congruence closure for ground equalities over uninterpreted functions.
+//!
+//! Array reads (after store elimination) and explicit uninterpreted function
+//! applications are congruent under equal arguments — the *functionality
+//! axiom* of §4.2 of the paper ("a read operation from the same array from
+//! the same position always produces the same value").  This module decides
+//! consistency of a conjunction of ground equalities and disequalities under
+//! that axiom, and reports the implied equivalence classes.  The combined
+//! solver uses it as an equational pre-filter before the more expensive
+//! arithmetic reasoning, in the spirit of Nelson–Oppen combination.
+
+use pathinv_ir::Term;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A congruence-closure engine over ground [`Term`]s.
+///
+/// Interpreted structure is deliberately ignored: `x + 1` is treated as the
+/// application of a binary function `+` to `x` and `1`.  This keeps the
+/// engine sound as a consistency *filter* (anything it reports inconsistent
+/// really is inconsistent); completeness for arithmetic is the simplex
+/// solver's job.
+#[derive(Clone, Debug, Default)]
+pub struct CongruenceClosure {
+    /// Flattened nodes: `(label, child node ids)`.
+    nodes: Vec<(String, Vec<usize>)>,
+    /// Map from flattened representation to node id.
+    index: BTreeMap<(String, Vec<usize>), usize>,
+    /// Union-find parent pointers.
+    parent: Vec<usize>,
+    /// For each representative, the application nodes with an argument in its
+    /// class (the "use list").
+    uses: Vec<Vec<usize>>,
+    /// Asserted disequalities (pairs of node ids).
+    disequalities: Vec<(usize, usize)>,
+    /// Distinct integer constants seen (they are pairwise distinct).
+    constants: BTreeMap<i128, usize>,
+}
+
+impl CongruenceClosure {
+    /// Creates an empty engine.
+    pub fn new() -> CongruenceClosure {
+        CongruenceClosure::default()
+    }
+
+    fn find(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn add_node(&mut self, label: String, children: Vec<usize>) -> usize {
+        let key = (label.clone(), children.clone());
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push((label, children.clone()));
+        self.parent.push(id);
+        self.uses.push(Vec::new());
+        self.index.insert(key, id);
+        for &c in &children {
+            let rc = self.find(c);
+            self.uses[rc].push(id);
+        }
+        // A node created after some of its arguments were merged may already
+        // be congruent to an existing node; detect that eagerly so that
+        // queries never miss equalities established before the node existed.
+        if !children.is_empty() {
+            for other in 0..id {
+                if self.congruent(id, other) {
+                    self.merge(id, other);
+                    break;
+                }
+            }
+        }
+        id
+    }
+
+    /// Interns a term, returning its node id.
+    pub fn add_term(&mut self, t: &Term) -> usize {
+        match t {
+            Term::Const(c) => {
+                let id = self.add_node(format!("#{c}"), vec![]);
+                self.constants.insert(*c, id);
+                id
+            }
+            Term::Var(v) => self.add_node(format!("var:{v}"), vec![]),
+            Term::Bound(b) => self.add_node(format!("bound:{b}"), vec![]),
+            Term::Neg(a) => {
+                let ca = self.add_term(a);
+                self.add_node("neg".into(), vec![ca])
+            }
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) => {
+                let label = match t {
+                    Term::Add(..) => "add",
+                    Term::Sub(..) => "sub",
+                    _ => "mul",
+                };
+                let ca = self.add_term(a);
+                let cb = self.add_term(b);
+                self.add_node(label.into(), vec![ca, cb])
+            }
+            Term::Select(a, i) => {
+                let ca = self.add_term(a);
+                let ci = self.add_term(i);
+                self.add_node("select".into(), vec![ca, ci])
+            }
+            Term::Store(a, i, v) => {
+                let ca = self.add_term(a);
+                let ci = self.add_term(i);
+                let cv = self.add_term(v);
+                self.add_node("store".into(), vec![ca, ci, cv])
+            }
+            Term::App(f, args) => {
+                let children: Vec<usize> = args.iter().map(|a| self.add_term(a)).collect();
+                self.add_node(format!("app:{f}"), children)
+            }
+        }
+    }
+
+    /// Merges the classes of two node ids, propagating congruences.
+    fn merge(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Union by moving ra under rb (size heuristics are unnecessary at
+        // this scale).
+        self.parent[ra] = rb;
+        let moved_uses = std::mem::take(&mut self.uses[ra]);
+        // Find congruent pairs among the uses of the two classes.
+        let mut pending = Vec::new();
+        for &u in &moved_uses {
+            for &v in &self.uses[rb] {
+                if u != v && self.congruent(u, v) {
+                    pending.push((u, v));
+                }
+            }
+        }
+        self.uses[rb].extend(moved_uses);
+        for (u, v) in pending {
+            self.merge(u, v);
+        }
+    }
+
+    fn congruent(&self, u: usize, v: usize) -> bool {
+        let (lu, cu) = &self.nodes[u];
+        let (lv, cv) = &self.nodes[v];
+        lu == lv
+            && cu.len() == cv.len()
+            && cu.iter().zip(cv.iter()).all(|(&a, &b)| self.find(a) == self.find(b))
+    }
+
+    /// Asserts the equality of two terms.
+    pub fn assert_eq(&mut self, a: &Term, b: &Term) {
+        let na = self.add_term(a);
+        let nb = self.add_term(b);
+        self.merge(na, nb);
+    }
+
+    /// Asserts the disequality of two terms.
+    pub fn assert_ne(&mut self, a: &Term, b: &Term) {
+        let na = self.add_term(a);
+        let nb = self.add_term(b);
+        self.disequalities.push((na, nb));
+    }
+
+    /// Returns `true` if the asserted equalities force the two terms into the
+    /// same class.
+    pub fn are_equal(&mut self, a: &Term, b: &Term) -> bool {
+        let na = self.add_term(a);
+        let nb = self.add_term(b);
+        self.find(na) == self.find(nb)
+    }
+
+    /// Checks consistency: no asserted disequality joins a class, and no two
+    /// distinct integer constants have been merged.
+    pub fn is_consistent(&self) -> bool {
+        for &(a, b) in &self.disequalities {
+            if self.find(a) == self.find(b) {
+                return false;
+            }
+        }
+        let mut reps: BTreeMap<usize, i128> = BTreeMap::new();
+        for (&c, &id) in &self.constants {
+            let r = self.find(id);
+            if let Some(&prev) = reps.get(&r) {
+                if prev != c {
+                    return false;
+                }
+            } else {
+                reps.insert(r, c);
+            }
+        }
+        true
+    }
+
+    /// Returns the implied equalities among the given terms: every unordered
+    /// pair that ends up in the same class.
+    pub fn implied_equalities(&mut self, terms: &[Term]) -> Vec<(Term, Term)> {
+        let ids: Vec<usize> = terms.iter().map(|t| self.add_term(t)).collect();
+        let mut out = Vec::new();
+        for i in 0..terms.len() {
+            for j in i + 1..terms.len() {
+                if self.find(ids[i]) == self.find(ids[j]) && terms[i] != terms[j] {
+                    out.push((terms[i].clone(), terms[j].clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// The number of distinct equivalence classes among all interned nodes.
+    pub fn num_classes(&self) -> usize {
+        let mut reps = BTreeSet::new();
+        for i in 0..self.nodes.len() {
+            reps.insert(self.find(i));
+        }
+        reps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+    fn y() -> Term {
+        Term::var("y")
+    }
+    fn z() -> Term {
+        Term::var("z")
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&x(), &y());
+        cc.assert_eq(&y(), &z());
+        assert!(cc.are_equal(&x(), &z()));
+        assert!(cc.is_consistent());
+    }
+
+    #[test]
+    fn congruence_of_function_applications() {
+        let mut cc = CongruenceClosure::new();
+        let fx = Term::app("f", vec![x()]);
+        let fy = Term::app("f", vec![y()]);
+        cc.add_term(&fx);
+        cc.add_term(&fy);
+        assert!(!cc.are_equal(&fx, &fy));
+        cc.assert_eq(&x(), &y());
+        assert!(cc.are_equal(&fx, &fy), "f(x) = f(y) must follow from x = y");
+    }
+
+    #[test]
+    fn congruence_of_array_reads() {
+        let mut cc = CongruenceClosure::new();
+        let a_i = Term::var("a").select(Term::var("i"));
+        let a_j = Term::var("a").select(Term::var("j"));
+        cc.assert_eq(&Term::var("i"), &Term::var("j"));
+        assert!(cc.are_equal(&a_i, &a_j));
+    }
+
+    #[test]
+    fn disequality_detection() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_ne(&x(), &y());
+        assert!(cc.is_consistent());
+        cc.assert_eq(&x(), &z());
+        cc.assert_eq(&z(), &y());
+        assert!(!cc.is_consistent());
+    }
+
+    #[test]
+    fn distinct_constants_clash() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&x(), &Term::int(1));
+        assert!(cc.is_consistent());
+        cc.assert_eq(&x(), &Term::int(2));
+        assert!(!cc.is_consistent());
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // x = y implies f(g(x), x) = f(g(y), y).
+        let mut cc = CongruenceClosure::new();
+        let t1 = Term::app("f", vec![Term::app("g", vec![x()]), x()]);
+        let t2 = Term::app("f", vec![Term::app("g", vec![y()]), y()]);
+        cc.add_term(&t1);
+        cc.add_term(&t2);
+        cc.assert_eq(&x(), &y());
+        assert!(cc.are_equal(&t1, &t2));
+    }
+
+    #[test]
+    fn different_functions_stay_apart() {
+        let mut cc = CongruenceClosure::new();
+        let fx = Term::app("f", vec![x()]);
+        let gx = Term::app("g", vec![x()]);
+        cc.add_term(&fx);
+        cc.add_term(&gx);
+        assert!(!cc.are_equal(&fx, &gx));
+        assert!(cc.is_consistent());
+    }
+
+    #[test]
+    fn implied_equalities_reported() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&x(), &y());
+        let eqs = cc.implied_equalities(&[x(), y(), z()]);
+        assert_eq!(eqs.len(), 1);
+        assert!(cc.num_classes() >= 2);
+    }
+
+    #[test]
+    fn arithmetic_terms_are_uninterpreted_but_congruent() {
+        let mut cc = CongruenceClosure::new();
+        let xp1 = x().add(Term::int(1));
+        let yp1 = y().add(Term::int(1));
+        cc.add_term(&xp1);
+        cc.add_term(&yp1);
+        cc.assert_eq(&x(), &y());
+        assert!(cc.are_equal(&xp1, &yp1));
+        // But it does NOT know that x + 1 = 1 + x: that is arithmetic.
+        assert!(!cc.are_equal(&xp1, &Term::int(1).add(x())));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the decision-procedure substrate.
+
+use std::fmt;
+
+/// Errors produced by the solvers in this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmtError {
+    /// A term that is not linear in the problem variables was given to a
+    /// linear-arithmetic component.
+    NonLinear {
+        /// Rendering of the offending term.
+        term: String,
+    },
+    /// A term of the wrong sort was encountered (e.g. an array used where an
+    /// integer is required).
+    SortMismatch {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An arithmetic overflow occurred in exact rational arithmetic.  The
+    /// solvers use 128-bit rationals; problem instances produced by this
+    /// library stay far below that, so an overflow indicates a malformed
+    /// input rather than a resource limit.
+    Overflow,
+    /// A formula was outside the supported fragment (e.g. a quantifier given
+    /// to the quantifier-free solver).
+    Unsupported {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A resource limit (case-split budget) was exhausted.
+    Budget {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl SmtError {
+    /// Convenience constructor for [`SmtError::Unsupported`].
+    pub fn unsupported(message: impl Into<String>) -> SmtError {
+        SmtError::Unsupported { message: message.into() }
+    }
+
+    /// Convenience constructor for [`SmtError::SortMismatch`].
+    pub fn sort_mismatch(message: impl Into<String>) -> SmtError {
+        SmtError::SortMismatch { message: message.into() }
+    }
+}
+
+impl fmt::Display for SmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtError::NonLinear { term } => write!(f, "term is not linear: {term}"),
+            SmtError::SortMismatch { message } => write!(f, "sort mismatch: {message}"),
+            SmtError::Overflow => write!(f, "rational arithmetic overflow"),
+            SmtError::Unsupported { message } => write!(f, "unsupported input: {message}"),
+            SmtError::Budget { message } => write!(f, "resource budget exhausted: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SmtError {}
+
+/// Result alias used throughout the crate.
+pub type SmtResult<T> = Result<T, SmtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SmtError::NonLinear { term: "x * y".into() }.to_string().contains("x * y"));
+        assert!(SmtError::unsupported("quantifier").to_string().contains("quantifier"));
+        assert_eq!(SmtError::Overflow.to_string(), "rational arithmetic overflow");
+    }
+}

@@ -1,0 +1,205 @@
+//! Fourier–Motzkin elimination of variables from conjunctions of linear
+//! constraints.
+//!
+//! Used to project intermediate SSA variables out of composed basic-path
+//! relations (strongest-postcondition propagation in `pathinv-invgen`) and as
+//! an independently testable quantifier-elimination substrate.  The
+//! procedure is exact over the rationals; its worst case is exponential, but
+//! the systems it is applied to here (a handful of constraints per basic
+//! path) are far below that regime.
+
+use crate::error::SmtResult;
+use crate::linexpr::{ConstrOp, LinConstraint};
+use crate::rat::Rat;
+use std::fmt::Debug;
+
+/// Eliminates each variable in `vars` from the conjunction `constraints`,
+/// returning an equivalent (over the remaining variables) conjunction.
+///
+/// Equalities mentioning an eliminated variable are used as definitions and
+/// substituted; remaining occurrences are eliminated by combining each lower
+/// bound with each upper bound.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow errors.
+pub fn eliminate<K: Ord + Clone + Debug>(
+    constraints: &[LinConstraint<K>],
+    vars: &[K],
+) -> SmtResult<Vec<LinConstraint<K>>> {
+    let mut current: Vec<LinConstraint<K>> = constraints.to_vec();
+    for v in vars {
+        current = eliminate_one(&current, v)?;
+    }
+    Ok(current)
+}
+
+fn eliminate_one<K: Ord + Clone + Debug>(
+    constraints: &[LinConstraint<K>],
+    v: &K,
+) -> SmtResult<Vec<LinConstraint<K>>> {
+    // Prefer substitution through an equality that mentions v.
+    if let Some(pos) = constraints
+        .iter()
+        .position(|c| c.op == ConstrOp::Eq && !c.expr.coeff(v).is_zero())
+    {
+        let def = &constraints[pos];
+        let a = def.expr.coeff(v);
+        // v = -(rest)/a  where def.expr = a*v + rest = 0.
+        let mut rest = def.expr.clone();
+        rest.add_term(v.clone(), a.neg()?)?;
+        let v_def = rest.scale(Rat::MINUS_ONE.div(a)?)?;
+        let mut out = Vec::new();
+        for (i, c) in constraints.iter().enumerate() {
+            if i == pos {
+                continue;
+            }
+            let coeff = c.expr.coeff(v);
+            if coeff.is_zero() {
+                out.push(c.clone());
+            } else {
+                let mut expr = c.expr.clone();
+                expr.add_term(v.clone(), coeff.neg()?)?;
+                let expr = expr.add(&v_def.scale(coeff)?)?;
+                out.push(LinConstraint::new(expr, c.op));
+            }
+        }
+        return Ok(out);
+    }
+
+    // Otherwise combine lower and upper bounds on v.
+    let mut lowers = Vec::new(); // constraints giving  v >= ...  (coefficient < 0)
+    let mut uppers = Vec::new(); // constraints giving  v <= ...  (coefficient > 0)
+    let mut rest = Vec::new();
+    for c in constraints {
+        let coeff = c.expr.coeff(v);
+        if coeff.is_zero() {
+            rest.push(c.clone());
+        } else if coeff.is_positive() {
+            uppers.push(c.clone());
+        } else {
+            lowers.push(c.clone());
+        }
+    }
+    let mut out = rest;
+    for lo in &lowers {
+        for up in &uppers {
+            let a = up.expr.coeff(v); // > 0
+            let b = lo.expr.coeff(v).neg()?; // > 0
+            // b*up + a*lo eliminates v.
+            let combined = up.expr.scale(b)?.add(&lo.expr.scale(a)?)?;
+            let op = if lo.op == ConstrOp::Lt || up.op == ConstrOp::Lt {
+                ConstrOp::Lt
+            } else {
+                ConstrOp::Le
+            };
+            out.push(LinConstraint::new(combined, op));
+        }
+    }
+    Ok(out)
+}
+
+/// Projects the constraints onto `keep`: eliminates every variable that
+/// occurs in the constraints but is not in `keep`.
+pub fn project<K: Ord + Clone + Debug>(
+    constraints: &[LinConstraint<K>],
+    keep: &[K],
+) -> SmtResult<Vec<LinConstraint<K>>> {
+    let mut to_eliminate = Vec::new();
+    for c in constraints {
+        for v in c.expr.vars() {
+            if !keep.contains(&v) && !to_eliminate.contains(&v) {
+                to_eliminate.push(v);
+            }
+        }
+    }
+    eliminate(constraints, &to_eliminate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex;
+    use pathinv_ir::{Formula, Term, VarRef};
+
+    fn c(f: Formula) -> LinConstraint<VarRef> {
+        LinConstraint::from_atom(&f.atoms()[0]).unwrap()
+    }
+    fn x() -> VarRef {
+        VarRef::cur("x".into())
+    }
+    fn y() -> VarRef {
+        VarRef::cur("y".into())
+    }
+
+    #[test]
+    fn eliminating_a_bounded_variable_combines_bounds() {
+        // x <= y, y <= 5  |- eliminate y: x <= 5.
+        let cs = vec![
+            c(Formula::le(Term::var("x"), Term::var("y"))),
+            c(Formula::le(Term::var("y"), Term::int(5))),
+        ];
+        let out = eliminate(&cs, &[y()]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].expr.coeff(&x()), Rat::ONE);
+        assert_eq!(out[0].expr.constant_part(), Rat::int(-5));
+        assert_eq!(out[0].op, ConstrOp::Le);
+    }
+
+    #[test]
+    fn equalities_are_substituted() {
+        // y = x + 1, y <= 5  |- eliminate y: x + 1 <= 5.
+        let cs = vec![
+            c(Formula::eq(Term::var("y"), Term::var("x").add(Term::int(1)))),
+            c(Formula::le(Term::var("y"), Term::int(5))),
+        ];
+        let out = eliminate(&cs, &[y()]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].expr.coeff(&x()), Rat::ONE);
+        assert_eq!(out[0].expr.constant_part(), Rat::int(-4));
+    }
+
+    #[test]
+    fn strictness_is_preserved() {
+        let cs = vec![
+            c(Formula::lt(Term::var("x"), Term::var("y"))),
+            c(Formula::le(Term::var("y"), Term::int(0))),
+        ];
+        let out = eliminate(&cs, &[y()]).unwrap();
+        assert_eq!(out[0].op, ConstrOp::Lt);
+    }
+
+    #[test]
+    fn projection_preserves_satisfiability() {
+        // A satisfiable system stays satisfiable after projection, and the
+        // projection no longer mentions the eliminated variables.
+        let cs = vec![
+            c(Formula::le(Term::var("x"), Term::var("y"))),
+            c(Formula::le(Term::var("y"), Term::var("z"))),
+            c(Formula::ge(Term::var("z"), Term::int(0))),
+        ];
+        let out = project(&cs, &[x()]).unwrap();
+        for cst in &out {
+            assert_eq!(cst.expr.vars(), vec![x()]);
+        }
+        assert!(simplex::solve(&out).unwrap().is_sat());
+    }
+
+    #[test]
+    fn projection_preserves_unsatisfiability() {
+        let cs = vec![
+            c(Formula::le(Term::var("x"), Term::var("y"))),
+            c(Formula::le(Term::var("y"), Term::var("x").sub(Term::int(1)))),
+        ];
+        assert!(!simplex::solve(&cs).unwrap().is_sat());
+        let out = project(&cs, &[x()]).unwrap();
+        assert!(!simplex::solve(&out).unwrap().is_sat(), "projection must stay infeasible");
+    }
+
+    #[test]
+    fn unconstrained_variable_elimination_drops_its_constraints() {
+        let cs = vec![c(Formula::le(Term::var("y"), Term::int(5)))];
+        let out = eliminate(&cs, &[y()]).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # pathinv-smt — decision-procedure substrate
+//!
+//! This crate implements, from scratch, every solver the Path Invariants
+//! algorithms need:
+//!
+//! * exact rational arithmetic ([`Rat`], [`DeltaRat`]),
+//! * linear expressions and constraints ([`LinExpr`], [`LinConstraint`]),
+//! * a general simplex for linear rational arithmetic with Farkas
+//!   infeasibility certificates ([`simplex`]),
+//! * Fourier–Motzkin elimination ([`fourier_motzkin`]),
+//! * congruence closure for uninterpreted functions ([`congruence`]),
+//! * a combined quantifier-free solver for linear arithmetic + arrays +
+//!   uninterpreted functions ([`solver`]), used for counterexample
+//!   feasibility checks and predicate-abstraction entailment queries,
+//! * Craig interpolation for linear rational arithmetic ([`interpolate`]),
+//!   used by the baseline (BLAST-style) refiner.
+//!
+//! The paper's implementation delegated this layer to SICStus CLP(Q); see
+//! DESIGN.md §4 for the substitution argument.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pathinv_ir::{Formula, Term};
+//! use pathinv_smt::Solver;
+//!
+//! let solver = Solver::new();
+//! let x = Term::var("x");
+//! let f = Formula::and(vec![
+//!     Formula::gt(x.clone(), Term::int(0)),
+//!     Formula::lt(x, Term::int(1)),
+//! ]);
+//! // No integer lies strictly between 0 and 1.
+//! assert!(!solver.is_sat(&f)?);
+//! # Ok::<(), pathinv_smt::SmtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod congruence;
+pub mod error;
+pub mod fourier_motzkin;
+pub mod interpolate;
+pub mod linexpr;
+pub mod rat;
+pub mod simplex;
+pub mod solver;
+
+pub use congruence::CongruenceClosure;
+pub use error::{SmtError, SmtResult};
+pub use interpolate::{interpolant_from_certificate, sequence_interpolants};
+pub use linexpr::{ConstrOp, LinConstraint, LinExpr};
+pub use rat::{DeltaRat, Rat};
+pub use simplex::{entails as lra_entails, solve as lra_solve, FarkasCertificate, LpResult};
+pub use solver::{Model, SatResult, Solver};

@@ -1,0 +1,635 @@
+//! A general simplex solver for conjunctions of linear constraints over the
+//! rationals, in the style of Dutertre and de Moura (SAT 2006).
+//!
+//! The solver decides feasibility of a set of [`LinConstraint`]s, returning
+//! either a satisfying rational assignment or a *Farkas certificate*: a
+//! non-negative combination of the constraints (equalities may take either
+//! sign) that sums to a contradiction.  The certificate is the workhorse of
+//! two other components: LRA interpolation ([`crate::interpolate`]) and the
+//! encoding of invariant-template constraints ([Colón et al. 2003], used in
+//! `pathinv-invgen`).
+//!
+//! Strict inequalities are handled symbolically with an infinitesimal `δ`
+//! ([`DeltaRat`]), so the solver is exact.
+
+use crate::error::{SmtError, SmtResult};
+use crate::linexpr::{ConstrOp, LinConstraint, LinExpr};
+use crate::rat::{DeltaRat, Rat};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// Outcome of a linear-programming feasibility query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpResult<K: Ord + Clone> {
+    /// The constraints are satisfiable; a witness assignment is returned
+    /// (variables not mentioned in any constraint are absent and may take any
+    /// value).
+    Sat(BTreeMap<K, Rat>),
+    /// The constraints are unsatisfiable; a Farkas certificate is returned.
+    Unsat(FarkasCertificate),
+}
+
+impl<K: Ord + Clone> LpResult<K> {
+    /// Returns `true` for the satisfiable outcome.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, LpResult::Sat(_))
+    }
+
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&BTreeMap<K, Rat>> {
+        match self {
+            LpResult::Sat(m) => Some(m),
+            LpResult::Unsat(_) => None,
+        }
+    }
+
+    /// Returns the certificate if unsatisfiable.
+    pub fn certificate(&self) -> Option<&FarkasCertificate> {
+        match self {
+            LpResult::Sat(_) => None,
+            LpResult::Unsat(c) => Some(c),
+        }
+    }
+}
+
+/// A Farkas certificate of infeasibility: one multiplier per input
+/// constraint such that the weighted sum of the constraint expressions has a
+/// zero variable part and a contradictory constant part.
+///
+/// Multipliers of `≤`/`<` constraints are non-negative; multipliers of `=`
+/// constraints may have either sign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FarkasCertificate {
+    /// One multiplier per input constraint, in input order.
+    pub multipliers: Vec<Rat>,
+}
+
+impl FarkasCertificate {
+    /// Checks that the certificate indeed proves infeasibility of the given
+    /// constraints.
+    ///
+    /// The combination `Σ λ_k · e_k` must have a zero variable part, the
+    /// multipliers of inequality constraints must be non-negative, and the
+    /// resulting constant must be positive — or non-negative with a strict
+    /// constraint carrying a positive multiplier.
+    pub fn verify<K: Ord + Clone>(&self, constraints: &[LinConstraint<K>]) -> SmtResult<bool> {
+        if self.multipliers.len() != constraints.len() {
+            return Ok(false);
+        }
+        let mut sum: LinExpr<K> = LinExpr::zero();
+        let mut strict_used = false;
+        let mut any_nonzero = false;
+        for (lambda, c) in self.multipliers.iter().zip(constraints) {
+            if lambda.is_zero() {
+                continue;
+            }
+            any_nonzero = true;
+            match c.op {
+                ConstrOp::Le => {
+                    if lambda.is_negative() {
+                        return Ok(false);
+                    }
+                }
+                ConstrOp::Lt => {
+                    if lambda.is_negative() {
+                        return Ok(false);
+                    }
+                    strict_used = true;
+                }
+                ConstrOp::Eq => {}
+            }
+            sum = sum.add(&c.expr.scale(*lambda)?)?;
+        }
+        if !any_nonzero || !sum.is_constant() {
+            return Ok(false);
+        }
+        let k = sum.constant_part();
+        Ok(k.is_positive() || (!k.is_negative() && strict_used))
+    }
+}
+
+/// Decides feasibility of a conjunction of linear constraints.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow errors from the exact rational arithmetic.
+pub fn solve<K: Ord + Clone + Debug>(
+    constraints: &[LinConstraint<K>],
+) -> SmtResult<LpResult<K>> {
+    Tableau::new(constraints)?.check()
+}
+
+/// Checks whether the conjunction of `constraints` entails `goal`
+/// (a single constraint), by refuting `constraints ∧ ¬goal`.
+///
+/// Only `≤`, `<` and `=` goals are supported; `=` goals are checked as the
+/// conjunction of the two inequalities.
+pub fn entails<K: Ord + Clone + Debug>(
+    constraints: &[LinConstraint<K>],
+    goal: &LinConstraint<K>,
+) -> SmtResult<bool> {
+    let negations: Vec<LinConstraint<K>> = match goal.op {
+        // ¬(e ≤ 0)  ≡  -e < 0
+        ConstrOp::Le => {
+            vec![LinConstraint::new(goal.expr.scale(Rat::MINUS_ONE)?, ConstrOp::Lt)]
+        }
+        // ¬(e < 0)  ≡  -e ≤ 0
+        ConstrOp::Lt => {
+            vec![LinConstraint::new(goal.expr.scale(Rat::MINUS_ONE)?, ConstrOp::Le)]
+        }
+        // ¬(e = 0)  ≡  e < 0 ∨ -e < 0 : check both cases.
+        ConstrOp::Eq => {
+            vec![
+                LinConstraint::new(goal.expr.clone(), ConstrOp::Lt),
+                LinConstraint::new(goal.expr.scale(Rat::MINUS_ONE)?, ConstrOp::Lt),
+            ]
+        }
+    };
+    for neg in negations {
+        let mut cs = constraints.to_vec();
+        cs.push(neg);
+        if solve(&cs)?.is_sat() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+struct Tableau<K: Ord + Clone> {
+    /// Number of problem variables.
+    num_vars: usize,
+    /// Total number of tableau variables (problem + one slack per constraint).
+    total: usize,
+    /// Key of each problem variable, by index.
+    keys: Vec<K>,
+    /// Lower and upper bounds of every tableau variable.
+    lower: Vec<Option<DeltaRat>>,
+    upper: Vec<Option<DeltaRat>>,
+    /// Current assignment.
+    beta: Vec<DeltaRat>,
+    /// Rows of basic variables: `basic -> coefficients over all variables`
+    /// (non-zero only at non-basic columns).
+    rows: BTreeMap<usize, Vec<Rat>>,
+    /// The operator of each constraint, for certificate verification.
+    ops: Vec<ConstrOp>,
+    /// Original constraint expressions (for certificate verification).
+    exprs: Vec<LinExpr<K>>,
+}
+
+impl<K: Ord + Clone + Debug> Tableau<K> {
+    fn new(constraints: &[LinConstraint<K>]) -> SmtResult<Self> {
+        // Index problem variables.
+        let mut index: BTreeMap<K, usize> = BTreeMap::new();
+        let mut keys = Vec::new();
+        for c in constraints {
+            for v in c.expr.vars() {
+                index.entry(v.clone()).or_insert_with(|| {
+                    keys.push(v.clone());
+                    keys.len() - 1
+                });
+            }
+        }
+        let num_vars = keys.len();
+        let total = num_vars + constraints.len();
+        let mut lower = vec![None; total];
+        let mut upper = vec![None; total];
+        let beta = vec![DeltaRat::ZERO; total];
+        let mut rows = BTreeMap::new();
+        let mut ops = Vec::with_capacity(constraints.len());
+        let mut exprs = Vec::with_capacity(constraints.len());
+
+        for (j, c) in constraints.iter().enumerate() {
+            let slack = num_vars + j;
+            let mut row = vec![Rat::ZERO; total];
+            for (v, coeff) in c.expr.terms() {
+                row[index[v]] = coeff;
+            }
+            rows.insert(slack, row);
+            // linpart ⋈ -constant
+            let bound = c.expr.constant_part().neg()?;
+            match c.op {
+                ConstrOp::Le => upper[slack] = Some(DeltaRat::real(bound)),
+                ConstrOp::Lt => upper[slack] = Some(DeltaRat::just_below(bound)),
+                ConstrOp::Eq => {
+                    upper[slack] = Some(DeltaRat::real(bound));
+                    lower[slack] = Some(DeltaRat::real(bound));
+                }
+            }
+            ops.push(c.op);
+            exprs.push(c.expr.clone());
+        }
+        Ok(Tableau { num_vars, total, keys, lower, upper, beta, rows, ops, exprs })
+    }
+
+    fn check(mut self) -> SmtResult<LpResult<K>> {
+        loop {
+            // Find the smallest-index basic variable violating a bound
+            // (Bland's rule guarantees termination).
+            let violated = self.rows.keys().copied().find(|&b| {
+                let v = self.beta[b];
+                self.lower[b].map_or(false, |l| v < l) || self.upper[b].map_or(false, |u| v > u)
+            });
+            let Some(b) = violated else {
+                return Ok(LpResult::Sat(self.extract_model()?));
+            };
+            let v = self.beta[b];
+            if self.lower[b].map_or(false, |l| v < l) {
+                // Need to increase x_b.
+                let target = self.lower[b].expect("bound checked");
+                let row = self.rows[&b].clone();
+                let pivot = (0..self.total).find(|&j| {
+                    if self.rows.contains_key(&j) || row[j].is_zero() {
+                        return false;
+                    }
+                    if row[j].is_positive() {
+                        self.upper[j].map_or(true, |u| self.beta[j] < u)
+                    } else {
+                        self.lower[j].map_or(true, |l| self.beta[j] > l)
+                    }
+                });
+                match pivot {
+                    Some(j) => self.pivot_and_update(b, j, target)?,
+                    None => return Ok(LpResult::Unsat(self.conflict(b, &row, true)?)),
+                }
+            } else {
+                // Need to decrease x_b.
+                let target = self.upper[b].expect("bound checked");
+                let row = self.rows[&b].clone();
+                let pivot = (0..self.total).find(|&j| {
+                    if self.rows.contains_key(&j) || row[j].is_zero() {
+                        return false;
+                    }
+                    if row[j].is_negative() {
+                        self.upper[j].map_or(true, |u| self.beta[j] < u)
+                    } else {
+                        self.lower[j].map_or(true, |l| self.beta[j] > l)
+                    }
+                });
+                match pivot {
+                    Some(j) => self.pivot_and_update(b, j, target)?,
+                    None => return Ok(LpResult::Unsat(self.conflict(b, &row, false)?)),
+                }
+            }
+        }
+    }
+
+    /// Builds the Farkas certificate for a conflict on basic variable `b`
+    /// whose row is `row`; `lower_violation` says which bound was violated.
+    fn conflict(
+        &self,
+        b: usize,
+        row: &[Rat],
+        lower_violation: bool,
+    ) -> SmtResult<FarkasCertificate> {
+        let m = self.ops.len();
+        let mut mult = vec![Rat::ZERO; m];
+        let constraint_of = |var: usize| -> Option<usize> {
+            if var >= self.num_vars {
+                Some(var - self.num_vars)
+            } else {
+                None
+            }
+        };
+        let cb = constraint_of(b).ok_or_else(|| {
+            SmtError::unsupported("internal error: conflict on an unbounded problem variable")
+        })?;
+        if lower_violation {
+            // -1 · e_b  +  Σ_j a_bj · e_j
+            mult[cb] = mult[cb].sub(Rat::ONE)?;
+            for (j, &a) in row.iter().enumerate() {
+                if a.is_zero() || j == b {
+                    continue;
+                }
+                let cj = constraint_of(j).ok_or_else(|| {
+                    SmtError::unsupported(
+                        "internal error: conflict row mentions an unbounded problem variable",
+                    )
+                })?;
+                mult[cj] = mult[cj].add(a)?;
+            }
+        } else {
+            // +1 · e_b  -  Σ_j a_bj · e_j
+            mult[cb] = mult[cb].add(Rat::ONE)?;
+            for (j, &a) in row.iter().enumerate() {
+                if a.is_zero() || j == b {
+                    continue;
+                }
+                let cj = constraint_of(j).ok_or_else(|| {
+                    SmtError::unsupported(
+                        "internal error: conflict row mentions an unbounded problem variable",
+                    )
+                })?;
+                mult[cj] = mult[cj].sub(a)?;
+            }
+        }
+        let cert = FarkasCertificate { multipliers: mult };
+        debug_assert!(
+            cert.verify(
+                &self
+                    .exprs
+                    .iter()
+                    .cloned()
+                    .zip(self.ops.iter().copied())
+                    .map(|(expr, op)| LinConstraint::new(expr, op))
+                    .collect::<Vec<_>>()
+            )? ,
+            "produced an invalid Farkas certificate"
+        );
+        Ok(cert)
+    }
+
+    fn pivot_and_update(&mut self, b: usize, j: usize, target: DeltaRat) -> SmtResult<()> {
+        let a_bj = self.rows[&b][j];
+        let theta = target.sub(self.beta[b])?.scale(a_bj.recip()?)?;
+        self.beta[b] = target;
+        self.beta[j] = self.beta[j].add(theta)?;
+        let basics: Vec<usize> = self.rows.keys().copied().collect();
+        for k in basics {
+            if k == b {
+                continue;
+            }
+            let a_kj = self.rows[&k][j];
+            if !a_kj.is_zero() {
+                self.beta[k] = self.beta[k].add(theta.scale(a_kj)?)?;
+            }
+        }
+        self.pivot(b, j)
+    }
+
+    fn pivot(&mut self, b: usize, j: usize) -> SmtResult<()> {
+        let row_b = self.rows.remove(&b).expect("pivot row must be basic");
+        let a = row_b[j];
+        // New row expressing x_j in terms of x_b and the other non-basics.
+        let mut row_j = vec![Rat::ZERO; self.total];
+        let a_inv = a.recip()?;
+        row_j[b] = a_inv;
+        for (k, &coeff) in row_b.iter().enumerate() {
+            if k == j || coeff.is_zero() {
+                continue;
+            }
+            row_j[k] = coeff.neg()?.mul(a_inv)?;
+        }
+        // Substitute x_j in all remaining rows.
+        for row in self.rows.values_mut() {
+            let c = row[j];
+            if c.is_zero() {
+                continue;
+            }
+            row[j] = Rat::ZERO;
+            for k in 0..row_j.len() {
+                if !row_j[k].is_zero() {
+                    row[k] = row[k].add(c.mul(row_j[k])?)?;
+                }
+            }
+        }
+        self.rows.insert(j, row_j);
+        Ok(())
+    }
+
+    /// Converts the delta-rational assignment of the problem variables into a
+    /// plain rational model by choosing a concrete small positive δ.
+    fn extract_model(&self) -> SmtResult<BTreeMap<K, Rat>> {
+        // Find a δ small enough that every original constraint still holds.
+        // Each constraint evaluates to A + B·δ; it imposes an upper limit on δ
+        // only when A < 0 and B > 0 (for ≤ / <) — see rat.rs for semantics.
+        let assign_real = |i: usize| self.beta[i].real;
+        let assign_delta = |i: usize| self.beta[i].delta;
+        let mut delta = Rat::ONE;
+        for (c, op) in self.exprs.iter().zip(self.ops.iter()) {
+            let mut a = c.constant_part();
+            let mut bcoef = Rat::ZERO;
+            for (v, coeff) in c.terms() {
+                let idx = self.keys.iter().position(|k| k == v).expect("indexed variable");
+                a = a.add(coeff.mul(assign_real(idx))?)?;
+                bcoef = bcoef.add(coeff.mul(assign_delta(idx))?)?;
+            }
+            match op {
+                ConstrOp::Le | ConstrOp::Lt => {
+                    if a.is_negative() && bcoef.is_positive() {
+                        // Need A + B·δ ≤ 0, i.e. δ ≤ -A/B; halve for strictness.
+                        let limit = a.neg()?.div(bcoef)?.div(Rat::int(2))?;
+                        if limit < delta {
+                            delta = limit;
+                        }
+                    }
+                }
+                ConstrOp::Eq => {}
+            }
+        }
+        let mut model = BTreeMap::new();
+        for (i, k) in self.keys.iter().enumerate() {
+            let value = self.beta[i].real.add(self.beta[i].delta.mul(delta)?)?;
+            model.insert(k.clone(), value);
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::{Formula, Term, VarRef};
+
+    fn c(f: Formula) -> LinConstraint<VarRef> {
+        LinConstraint::from_atom(&f.atoms()[0]).unwrap()
+    }
+
+    fn check_model(constraints: &[LinConstraint<VarRef>], model: &BTreeMap<VarRef, Rat>) {
+        for cst in constraints {
+            let holds = cst
+                .holds(&|v: &VarRef| model.get(v).copied().unwrap_or(Rat::ZERO))
+                .unwrap();
+            assert!(holds, "model {model:?} violates {cst}");
+        }
+    }
+
+    #[test]
+    fn satisfiable_system_produces_valid_model() {
+        let x = Term::var("x");
+        let y = Term::var("y");
+        let cs = vec![
+            c(Formula::le(x.clone(), Term::int(10))),
+            c(Formula::ge(x.clone(), Term::int(3))),
+            c(Formula::eq(y.clone(), x.clone().add(Term::int(2)))),
+            c(Formula::lt(y.clone(), Term::int(13))),
+        ];
+        match solve(&cs).unwrap() {
+            LpResult::Sat(m) => check_model(&cs, &m),
+            LpResult::Unsat(_) => panic!("system is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn infeasible_system_produces_valid_certificate() {
+        let x = Term::var("x");
+        let cs = vec![
+            c(Formula::ge(x.clone(), Term::int(5))),
+            c(Formula::le(x.clone(), Term::int(4))),
+        ];
+        match solve(&cs).unwrap() {
+            LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
+            LpResult::Sat(m) => panic!("system is infeasible, got model {m:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_inequalities_are_exact() {
+        let x = Term::var("x");
+        // x < 5 && x > 4 is satisfiable over the rationals.
+        let cs = vec![c(Formula::lt(x.clone(), Term::int(5))), c(Formula::gt(x.clone(), Term::int(4)))];
+        match solve(&cs).unwrap() {
+            LpResult::Sat(m) => check_model(&cs, &m),
+            LpResult::Unsat(_) => panic!("satisfiable over the rationals"),
+        }
+        // x < 5 && x >= 5 is not.
+        let cs = vec![c(Formula::lt(x.clone(), Term::int(5))), c(Formula::ge(x, Term::int(5)))];
+        match solve(&cs).unwrap() {
+            LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
+            LpResult::Sat(_) => panic!("infeasible"),
+        }
+    }
+
+    #[test]
+    fn equality_chain_propagates() {
+        let x = Term::var("x");
+        let y = Term::var("y");
+        let z = Term::var("z");
+        let cs = vec![
+            c(Formula::eq(x.clone(), y.clone().add(Term::int(1)))),
+            c(Formula::eq(y.clone(), z.clone().add(Term::int(1)))),
+            c(Formula::eq(z.clone(), Term::int(0))),
+            c(Formula::le(x.clone(), Term::int(1))),
+        ];
+        match solve(&cs).unwrap() {
+            LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
+            LpResult::Sat(m) => panic!("x must be 2, contradiction expected, got {m:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_path_formula_is_infeasible() {
+        // The path formula of Figure 1(b):
+        // n0 >= 0, i1 = 0, a1 = 0, b1 = 0, i1 < n0, a2 = a1+1, b2 = b1+2,
+        // i2 = i1+1, i2 >= n0, a2 + b2 != 3n0 (here: the > case).
+        //
+        // Infeasibility relies on the integrality of the variables, so every
+        // strict constraint is tightened (`e < 0` to `e + 1 <= 0`) exactly as
+        // the full solver does; see LinConstraint::tighten_for_integers.
+        let n0 = Term::ivar("n", 0);
+        let i1 = Term::ivar("i", 1);
+        let i2 = Term::ivar("i", 2);
+        let a1 = Term::ivar("a", 1);
+        let a2 = Term::ivar("a", 2);
+        let b1 = Term::ivar("b", 1);
+        let b2 = Term::ivar("b", 2);
+        let t = |f: Formula| c(f).tighten_for_integers().unwrap();
+        let cs = vec![
+            t(Formula::ge(n0.clone(), Term::int(0))),
+            t(Formula::eq(i1.clone(), Term::int(0))),
+            t(Formula::eq(a1.clone(), Term::int(0))),
+            t(Formula::eq(b1.clone(), Term::int(0))),
+            t(Formula::lt(i1.clone(), n0.clone())),
+            t(Formula::eq(a2.clone(), a1.clone().add(Term::int(1)))),
+            t(Formula::eq(b2.clone(), b1.clone().add(Term::int(2)))),
+            t(Formula::eq(i2.clone(), i1.clone().add(Term::int(1)))),
+            t(Formula::ge(i2.clone(), n0.clone())),
+        ];
+        let sum = a2.clone().add(b2.clone());
+        let gt_case = t(Formula::gt(sum.clone(), Term::int(3).mul(n0.clone())));
+        let lt_case = t(Formula::lt(sum, Term::int(3).mul(n0)));
+        for case in [gt_case, lt_case] {
+            let mut cs_case = cs.clone();
+            cs_case.push(case);
+            match solve(&cs_case).unwrap() {
+                LpResult::Unsat(cert) => assert!(cert.verify(&cs_case).unwrap()),
+                LpResult::Sat(m) => panic!("Figure 1(b) path formula must be infeasible: {m:?}"),
+            }
+        }
+        // Sanity: without the assertion the prefix is satisfiable.
+        match solve(&cs).unwrap() {
+            LpResult::Sat(m) => check_model(&cs, &m),
+            LpResult::Unsat(_) => panic!("prefix must be satisfiable"),
+        }
+    }
+
+    #[test]
+    fn entailment_queries() {
+        let x = Term::var("x");
+        let y = Term::var("y");
+        let ante = vec![
+            c(Formula::le(x.clone(), y.clone())),
+            c(Formula::le(y.clone(), Term::int(5))),
+        ];
+        assert!(entails(&ante, &c(Formula::le(x.clone(), Term::int(5)))).unwrap());
+        assert!(!entails(&ante, &c(Formula::le(x.clone(), Term::int(4)))).unwrap());
+        assert!(entails(&ante, &c(Formula::le(x.clone(), Term::int(6)))).unwrap());
+        // Equality goal.
+        let ante_eq = vec![
+            c(Formula::le(x.clone(), Term::int(3))),
+            c(Formula::ge(x.clone(), Term::int(3))),
+        ];
+        assert!(entails(&ante_eq, &c(Formula::eq(x.clone(), Term::int(3)))).unwrap());
+        assert!(!entails(&ante_eq, &c(Formula::eq(x, Term::int(4)))).unwrap());
+    }
+
+    #[test]
+    fn unconstrained_variables_get_some_value() {
+        let x = Term::var("x");
+        let cs = vec![c(Formula::le(x.clone(), x.clone().add(Term::int(1))))];
+        match solve(&cs).unwrap() {
+            LpResult::Sat(m) => check_model(&cs, &m),
+            LpResult::Unsat(_) => panic!("trivially satisfiable"),
+        }
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        let cs: Vec<LinConstraint<VarRef>> = vec![];
+        assert!(solve(&cs).unwrap().is_sat());
+    }
+
+    #[test]
+    fn contradictory_equalities_detected() {
+        let x = Term::var("x");
+        let cs = vec![
+            c(Formula::eq(x.clone(), Term::int(1))),
+            c(Formula::eq(x, Term::int(2))),
+        ];
+        match solve(&cs).unwrap() {
+            LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
+            LpResult::Sat(_) => panic!("infeasible"),
+        }
+    }
+
+    #[test]
+    fn larger_chain_is_handled() {
+        // x0 <= x1 <= ... <= x10, x10 <= x0 - 1 : infeasible.
+        let mut cs = Vec::new();
+        for i in 0..10 {
+            cs.push(c(Formula::le(Term::ivar("x", i), Term::ivar("x", i + 1))));
+        }
+        cs.push(c(Formula::le(Term::ivar("x", 10), Term::ivar("x", 0).sub(Term::int(1)))));
+        match solve(&cs).unwrap() {
+            LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
+            LpResult::Sat(_) => panic!("cycle with a strict drop must be infeasible"),
+        }
+        // Dropping the last constraint makes it satisfiable.
+        cs.pop();
+        assert!(solve(&cs).unwrap().is_sat());
+    }
+
+    #[test]
+    fn certificate_rejects_tampering() {
+        let x = Term::var("x");
+        let cs = vec![
+            c(Formula::ge(x.clone(), Term::int(5))),
+            c(Formula::le(x, Term::int(4))),
+        ];
+        let LpResult::Unsat(mut cert) = solve(&cs).unwrap() else {
+            panic!("infeasible");
+        };
+        assert!(cert.verify(&cs).unwrap());
+        cert.multipliers[0] = Rat::ZERO;
+        assert!(!cert.verify(&cs).unwrap());
+    }
+}

@@ -1,0 +1,44 @@
+//! Verify a program supplied on the command line (or a built-in default).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example custom_program -- path/to/program.imp [baseline]
+//! ```
+//!
+//! The optional `baseline` argument switches to the finite-path refiner so
+//! the two strategies can be compared on the same input.
+
+use path_invariants::{parse_program, Verifier};
+use std::env;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = env::args().collect();
+    let source = if args.len() > 1 && args[1] != "baseline" {
+        fs::read_to_string(&args[1])?
+    } else {
+        "proc sum(n: int) {
+             var i: int; var s: int;
+             assume(n >= 0);
+             i = 0; s = 0;
+             while (i < n) { s = s + 1; i = i + 1; }
+             assert(s == n);
+         }"
+        .to_string()
+    };
+    let baseline = args.iter().any(|a| a == "baseline");
+    let program = parse_program(&source)?;
+    let verifier =
+        if baseline { Verifier::path_predicates(8) } else { Verifier::path_invariants() };
+    println!(
+        "verifying `{}` with the {} refiner",
+        program.name(),
+        if baseline { "finite-path (baseline)" } else { "path-invariant" }
+    );
+    let result = verifier.verify(&program)?;
+    println!("verdict:     {:?}", result.verdict);
+    println!("refinements: {}", result.refinements);
+    println!("predicates:  {}", result.predicates);
+    Ok(())
+}

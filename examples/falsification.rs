@@ -1,0 +1,32 @@
+//! The falsification discussion of §6: a buggy INITCHECK variant.
+//!
+//! The loop writes `1` into every cell and the final assertion `a[0] == 0`
+//! genuinely fails.  No safe path-invariant map exists, so the refiner falls
+//! back to finite-path reasoning and CEGAR eventually finds (and confirms)
+//! the concrete counterexample.
+//!
+//! Run with `cargo run --example falsification`.
+
+use path_invariants::{parse_program, Verdict, Verifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper uses a loop bound of 100; a small bound keeps the concrete
+    // counterexample (which must unroll the loop completely) short.
+    let source = "
+        proc buggy_init(a: int[]) {
+            var i: int;
+            for (i = 0; i < 3; i++) { a[i] = 1; }
+            assert(a[0] == 0);
+        }
+    ";
+    let program = parse_program(source)?;
+    let result = Verifier::path_invariants().verify(&program)?;
+    match &result.verdict {
+        Verdict::Unsafe { path } => {
+            println!("bug confirmed after {} refinements; feasible error path:", result.refinements);
+            println!("{}", path.render(&program));
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    Ok(())
+}

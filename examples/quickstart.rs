@@ -1,0 +1,31 @@
+//! Quickstart: write a small program in the front-end language and verify it
+//! with CEGAR + path invariants.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use path_invariants::{parse_program, Verifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+        proc double_counter(n: int) {
+            var i: int; var j: int;
+            assume(n >= 0);
+            i = 0; j = 0;
+            while (i < n) { j = j + 2; i = i + 1; }
+            assert(j == 2 * n);
+        }
+    ";
+    let program = parse_program(source)?;
+    println!("verifying program `{}` with path-invariant refinement...", program.name());
+    let result = Verifier::path_invariants().verify(&program)?;
+    println!("verdict:     {:?}", result.verdict);
+    println!("refinements: {}", result.refinements);
+    println!("predicates:  {}", result.predicates);
+    println!("ART nodes:   {}", result.art_nodes);
+    for loc in result.predicate_map.locations() {
+        for p in result.predicate_map.at(loc) {
+            println!("  predicate at {}: {}", program.loc_label(loc), p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # path-invariants — reproduction of "Path Invariants" (PLDI 2007)
+//!
+//! This crate is the user-facing facade of the workspace: it re-exports the
+//! program representation (`pathinv-ir`), the decision procedures
+//! (`pathinv-smt`), the invariant synthesis (`pathinv-invgen`), and the CEGAR
+//! engine with path-invariant refinement (`pathinv-core`).
+//!
+//! ```
+//! use path_invariants::{parse_program, Verifier};
+//!
+//! let program = parse_program(
+//!     "proc lockstep(n: int) {
+//!          var i: int; var a: int; var b: int;
+//!          assume(n >= 0);
+//!          i = 0; a = 0; b = 0;
+//!          while (i < n) { a = a + 1; b = b + 1; i = i + 1; }
+//!          assert(a == b);
+//!      }",
+//! )?;
+//! let result = Verifier::path_invariants().verify(&program)?;
+//! assert!(result.verdict.is_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pathinv_core::{
+    path_program, CegarConfig, CoreError, CoreResult, PathInvariantRefiner, PathPredicateRefiner,
+    PathProgram, PredicateMap, Refiner, RefinerKind, Verdict, VerificationResult, Verifier,
+};
+pub use pathinv_invgen::{
+    interval_analyze, GeneratedInvariants, InvariantMap, InvgenError, PathInvariantGenerator,
+    SynthConfig, TemplateMap,
+};
+pub use pathinv_ir::{
+    corpus, parse_program, Action, Formula, IrError, Loc, Path, Program, ProgramBuilder, RelOp,
+    Symbol, Term, VarDecl,
+};
+pub use pathinv_smt::{SatResult, SmtError, Solver};

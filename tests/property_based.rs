@@ -1,0 +1,138 @@
+//! Property-based tests on the decision-procedure substrate and the IR,
+//! cross-checking the symbolic components against concrete evaluation.
+
+use path_invariants::{Formula, RelOp, Solver, Term};
+use pathinv_ir::Env;
+use pathinv_smt::{lra_solve, LinConstraint, LpResult, Rat};
+use proptest::prelude::*;
+
+/// A small random linear atom over three variables.
+fn atom_strategy() -> impl Strategy<Value = Formula> {
+    let coeff = -3i128..=3;
+    let op = prop_oneof![
+        Just(RelOp::Le),
+        Just(RelOp::Lt),
+        Just(RelOp::Ge),
+        Just(RelOp::Gt),
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+    ];
+    (coeff.clone(), coeff.clone(), coeff.clone(), -5i128..=5, op).prop_map(|(a, b, c, d, op)| {
+        let lhs = Term::var("x")
+            .scale(a)
+            .add(Term::var("y").scale(b))
+            .add(Term::var("z").scale(c));
+        Formula::atom(lhs, op, Term::int(d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rational arithmetic agrees with integer arithmetic on integers.
+    #[test]
+    fn rational_arithmetic_matches_integers(a in -1000i128..1000, b in -1000i128..1000) {
+        let ra = Rat::int(a);
+        let rb = Rat::int(b);
+        prop_assert_eq!(ra.add(rb).unwrap(), Rat::int(a + b));
+        prop_assert_eq!(ra.sub(rb).unwrap(), Rat::int(a - b));
+        prop_assert_eq!(ra.mul(rb).unwrap(), Rat::int(a * b));
+        prop_assert_eq!(ra.compare(rb).unwrap(), a.cmp(&b));
+    }
+
+    /// If the combined solver reports a model for a conjunction of atoms, the
+    /// model (when integral) indeed satisfies the conjunction under concrete
+    /// evaluation.
+    #[test]
+    fn solver_models_satisfy_the_formula(atoms in proptest::collection::vec(atom_strategy(), 1..5)) {
+        let f = Formula::and(atoms);
+        let solver = Solver::new();
+        if let Ok(path_invariants::SatResult::Sat(model)) = solver.check(&f) {
+            let mut env = Env::new();
+            let mut integral = true;
+            for name in ["x", "y", "z"] {
+                let v = model
+                    .value(pathinv_ir::VarRef::cur(pathinv_ir::Symbol::intern(name)))
+                    .unwrap_or(Rat::ZERO);
+                match v.as_integer() {
+                    Some(i) => {
+                        env.set_int(name, i);
+                    }
+                    None => integral = false,
+                }
+            }
+            if integral {
+                // The model is over the rational relaxation; when it happens
+                // to be integral it must satisfy the formula concretely.
+                prop_assert_eq!(env.eval_formula(&f), Some(true));
+            }
+        }
+    }
+
+    /// The simplex never reports unsat on a system that has an obvious
+    /// integer solution (soundness of the relaxation direction we rely on).
+    #[test]
+    fn simplex_is_sound_for_satisfiable_systems(
+        x in -5i128..=5, y in -5i128..=5,
+        c1 in -3i128..=3, c2 in -3i128..=3, d in -10i128..=10,
+    ) {
+        // Build a constraint that is satisfied by (x, y) by construction.
+        let lhs = c1 * x + c2 * y;
+        let atom = if lhs <= d {
+            Formula::le(
+                Term::var("x").scale(c1).add(Term::var("y").scale(c2)),
+                Term::int(d),
+            )
+        } else {
+            Formula::ge(
+                Term::var("x").scale(c1).add(Term::var("y").scale(c2)),
+                Term::int(d),
+            )
+        };
+        let constraints: Vec<LinConstraint<_>> = atom
+            .atoms()
+            .iter()
+            .map(|a| LinConstraint::from_atom(a).unwrap())
+            .collect();
+        match lra_solve(&constraints).unwrap() {
+            LpResult::Sat(_) => {}
+            LpResult::Unsat(_) => prop_assert!(false, "satisfiable system reported unsat"),
+        }
+    }
+
+    /// Farkas certificates returned for unsatisfiable systems always verify.
+    #[test]
+    fn farkas_certificates_verify(bound in 0i128..=5) {
+        // x >= bound + 1 && x <= bound is unsatisfiable for every bound.
+        let cs: Vec<LinConstraint<_>> = vec![
+            LinConstraint::from_atom(
+                &Formula::ge(Term::var("x"), Term::int(bound + 1)).atoms()[0],
+            )
+            .unwrap(),
+            LinConstraint::from_atom(&Formula::le(Term::var("x"), Term::int(bound)).atoms()[0])
+                .unwrap(),
+        ];
+        match lra_solve(&cs).unwrap() {
+            LpResult::Unsat(cert) => prop_assert!(cert.verify(&cs).unwrap()),
+            LpResult::Sat(_) => prop_assert!(false, "system must be unsatisfiable"),
+        }
+    }
+
+    /// Parsing and lowering never panic on structurally valid programs with
+    /// randomised constants, and the lowered CFG always has an entry-reachable
+    /// shape.
+    #[test]
+    fn lowering_produces_wellformed_cfgs(bound in 0i128..=20, inc in 1i128..=3) {
+        let src = format!(
+            "proc gen(n: int) {{
+                var i: int;
+                i = 0;
+                while (i < {bound}) {{ i = i + {inc}; }}
+                assert(i >= 0);
+            }}"
+        );
+        let program = path_invariants::parse_program(&src).unwrap();
+        prop_assert!(program.reachable_locs().contains(&program.entry()));
+        prop_assert!(!program.transitions().is_empty());
+    }
+}
