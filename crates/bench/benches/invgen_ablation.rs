@@ -10,8 +10,7 @@ use pathinv_smt::Rat;
 fn forward_templates() -> (pathinv_ir::Program, TemplateMap) {
     let program = corpus::forward();
     let l1 = corpus::find_loc(&program, "L1");
-    let vars =
-        [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
+    let vars = [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
     let mut t = TemplateMap::new();
     t.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
     t.add_scalar_row(l1, &vars, RowOp::Le).unwrap();

@@ -8,8 +8,7 @@ use pathinv_ir::{corpus, Symbol};
 fn bench_templates(c: &mut Criterion) {
     let program = corpus::forward();
     let l1 = corpus::find_loc(&program, "L1");
-    let vars =
-        [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
+    let vars = [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
     let mut group = c.benchmark_group("invgen_forward_templates");
     group.sample_size(10);
 

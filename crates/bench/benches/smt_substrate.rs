@@ -12,10 +12,7 @@ fn chain_constraints(n: usize) -> Vec<LinConstraint<pathinv_ir::VarRef>> {
         let f = Formula::le(Term::ivar("x", i as u32), Term::ivar("x", i as u32 + 1));
         cs.push(LinConstraint::from_atom(&f.atoms()[0]).unwrap());
     }
-    let f = Formula::le(
-        Term::ivar("x", n as u32),
-        Term::ivar("x", 0).sub(Term::int(1)),
-    );
+    let f = Formula::le(Term::ivar("x", n as u32), Term::ivar("x", 0).sub(Term::int(1)));
     cs.push(LinConstraint::from_atom(&f.atoms()[0]).unwrap());
     cs
 }
@@ -37,10 +34,7 @@ fn bench_smt(c: &mut Criterion) {
                 let f = if i == 0 {
                     Formula::eq(Term::ivar("i", 0), Term::int(0))
                 } else if i < 5 {
-                    Formula::eq(
-                        Term::ivar("i", i),
-                        Term::ivar("i", i - 1).add(Term::int(1)),
-                    )
+                    Formula::eq(Term::ivar("i", i), Term::ivar("i", i - 1).add(Term::int(1)))
                 } else {
                     Formula::lt(Term::ivar("i", 4), Term::int(2))
                 };
@@ -56,10 +50,7 @@ fn bench_smt(c: &mut Criterion) {
     group.bench_function("combined_solver/read_over_write", |b| {
         let solver = Solver::new();
         let f = Formula::and(vec![
-            Formula::eq(
-                Term::pvar("a"),
-                Term::var("a").store(Term::var("i"), Term::int(0)),
-            ),
+            Formula::eq(Term::pvar("a"), Term::var("a").store(Term::var("i"), Term::int(0))),
             Formula::ne(Term::var("j"), Term::var("i")),
             Formula::ne(
                 Term::pvar("a").select(Term::var("j")),

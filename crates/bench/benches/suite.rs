@@ -21,10 +21,8 @@ fn bench_suite(c: &mut Criterion) {
     });
 
     group.bench_function("verify_lockstep/path_invariants", |b| {
-        let (_, program) = corpus::suite_programs()
-            .into_iter()
-            .find(|(e, _)| e.name == "lockstep")
-            .unwrap();
+        let (_, program) =
+            corpus::suite_programs().into_iter().find(|(e, _)| e.name == "lockstep").unwrap();
         b.iter(|| {
             let r = Verifier::path_invariants().verify(&program).unwrap();
             assert!(r.verdict.is_safe());

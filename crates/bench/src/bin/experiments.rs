@@ -149,7 +149,11 @@ fn experiment_t5() {
                 );
             }
             for (loc, inv) in &generated.cutpoint_invariants {
-                println!("  invariant at {}: {}   (paper: a+b = 3i and a+b <= 3n)", pp.program.loc_label(*loc), inv);
+                println!(
+                    "  invariant at {}: {}   (paper: a+b = 3i and a+b <= 3n)",
+                    pp.program.loc_label(*loc),
+                    inv
+                );
             }
         }
         Err(e) => println!("FORWARD synthesis failed: {e}"),
@@ -209,7 +213,8 @@ fn experiment_d6() {
         result.refinements,
         start.elapsed(),
         match &result.verdict {
-            Verdict::Unsafe { .. } => "bug confirmed (as the paper predicts: no safe path-invariant map exists)",
+            Verdict::Unsafe { .. } =>
+                "bug confirmed (as the paper predicts: no safe path-invariant map exists)",
             Verdict::Safe => "UNEXPECTED proof",
             Verdict::Unknown { reason } => reason,
         }

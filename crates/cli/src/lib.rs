@@ -1,0 +1,414 @@
+//! # pathinv-cli — batch corpus verification harness
+//!
+//! Library half of the `pathinv-cli` binary: it assembles the benchmark
+//! task list (every program in [`pathinv_ir::corpus`] plus any `.pinv`
+//! source files), runs each (program, refiner) pair across a pool of worker
+//! threads, and renders the results as a JSON report and a human-readable
+//! summary table.
+//!
+//! The JSON report doubles as the substrate for golden-result regression
+//! testing: `tests/corpus_regression.rs` (in the workspace root package)
+//! re-runs the corpus and diffs the deterministic fields — verdict and
+//! refinement count per task — against the committed
+//! `tests/golden/corpus.json`, so a PR that flips a verdict or blows up
+//! refinement counts fails tier-1 immediately.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use json::Json;
+use pathinv_core::{CegarConfig, RefinerKind, Verdict, Verifier};
+use pathinv_ir::{corpus, parse_program, Program};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema version stamped into every report, bumped on breaking changes to
+/// the report layout.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Default refinement bound for the finite-path baseline, which is expected
+/// to diverge on the interesting programs; a modest bound keeps batch runs
+/// fast while still distinguishing "settled quickly" from "gave up".
+pub const DEFAULT_BASELINE_REFINEMENTS: usize = 6;
+
+/// One unit of work: a named program verified with one refinement strategy.
+pub struct BatchTask {
+    /// Report name of the program (corpus name or file path).
+    pub program_name: String,
+    /// The refinement strategy to run.
+    pub refiner: RefinerKind,
+    /// The program itself.
+    pub program: Program,
+    /// Full engine configuration for this task.
+    pub config: CegarConfig,
+}
+
+/// The outcome of one [`BatchTask`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskReport {
+    /// Report name of the program.
+    pub program_name: String,
+    /// `"path-invariants"` or `"path-predicates"`.
+    pub refiner: String,
+    /// `"safe"`, `"unsafe"`, `"unknown"`, or `"error"`.
+    pub verdict: String,
+    /// Free-form elaboration: counterexample length, give-up reason, or the
+    /// error message. Not compared by the regression test.
+    pub detail: String,
+    /// Refinement iterations performed (0 for errored tasks).
+    pub refinements: usize,
+    /// Predicates tracked at the end (0 for errored tasks).
+    pub predicates: usize,
+    /// Total ART nodes constructed (0 for errored tasks).
+    pub art_nodes: usize,
+    /// Wall-clock time for this task, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The outcome of a whole batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-task results, sorted by (program name, refiner) so the report is
+    /// stable regardless of scheduling order.
+    pub tasks: Vec<TaskReport>,
+    /// End-to-end wall clock for the whole batch, in milliseconds.
+    pub wall_ms_total: f64,
+}
+
+/// Renders a [`RefinerKind`] the way reports spell it.
+pub fn refiner_name(kind: RefinerKind) -> &'static str {
+    match kind {
+        RefinerKind::PathInvariants => "path-invariants",
+        RefinerKind::PathPredicates => "path-predicates",
+    }
+}
+
+/// Returns every named program in [`pathinv_ir::corpus`]: the paper's
+/// hand-built figures plus the parsed suite entries (prefixed `suite/`).
+pub fn corpus_programs() -> Vec<(String, Program)> {
+    let mut programs: Vec<(String, Program)> = vec![
+        ("FORWARD".to_string(), corpus::forward()),
+        ("INITCHECK".to_string(), corpus::initcheck()),
+        ("PARTITION".to_string(), corpus::partition()),
+        ("BUGGY_INITCHECK".to_string(), corpus::buggy_initcheck()),
+        ("FIGURE4".to_string(), corpus::figure4_program()),
+    ];
+    for (entry, program) in corpus::suite_programs() {
+        programs.push((format!("suite/{}", entry.name), program));
+    }
+    programs
+}
+
+/// Parses one `.pinv` source file into a named program.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the file cannot be read or parsed.
+pub fn load_pinv_file(path: &str) -> Result<(String, Program), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_program(&src).map_err(|e| format!("{path}: parse error: {e}"))?;
+    Ok((path.to_string(), program))
+}
+
+/// Which refiners a batch run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefinerChoice {
+    /// Only the paper's path-invariant refiner.
+    PathInvariants,
+    /// Only the finite-path baseline.
+    PathPredicates,
+    /// Both, as separate tasks per program.
+    Both,
+}
+
+impl RefinerChoice {
+    /// The refiner kinds this choice expands to.
+    pub fn kinds(self) -> Vec<RefinerKind> {
+        match self {
+            RefinerChoice::PathInvariants => vec![RefinerKind::PathInvariants],
+            RefinerChoice::PathPredicates => vec![RefinerKind::PathPredicates],
+            RefinerChoice::Both => {
+                vec![RefinerKind::PathInvariants, RefinerKind::PathPredicates]
+            }
+        }
+    }
+}
+
+/// Expands named programs into per-refiner [`BatchTask`]s.
+///
+/// `max_refinements` overrides the per-refiner default bound
+/// (40 for path invariants, [`DEFAULT_BASELINE_REFINEMENTS`] for the
+/// baseline) when set.
+pub fn make_tasks(
+    programs: Vec<(String, Program)>,
+    choice: RefinerChoice,
+    max_refinements: Option<usize>,
+) -> Vec<BatchTask> {
+    let mut tasks = Vec::new();
+    for (name, program) in programs {
+        for kind in choice.kinds() {
+            let mut config = match kind {
+                RefinerKind::PathInvariants => CegarConfig::path_invariants(),
+                RefinerKind::PathPredicates => {
+                    CegarConfig::path_predicates(DEFAULT_BASELINE_REFINEMENTS)
+                }
+            };
+            if let Some(bound) = max_refinements {
+                config.max_refinements = bound;
+            }
+            tasks.push(BatchTask {
+                program_name: name.clone(),
+                refiner: kind,
+                program: program.clone(),
+                config,
+            });
+        }
+    }
+    tasks
+}
+
+fn run_task(task: &BatchTask) -> TaskReport {
+    let start = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Verifier::new(task.config.clone()).verify(&task.program)
+    }));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (verdict, detail, refinements, predicates, art_nodes) = match outcome {
+        Ok(Ok(result)) => {
+            let (verdict, detail) = match &result.verdict {
+                Verdict::Safe => ("safe".to_string(), String::new()),
+                Verdict::Unsafe { path } => {
+                    ("unsafe".to_string(), format!("counterexample of {} steps", path.len()))
+                }
+                Verdict::Unknown { reason } => ("unknown".to_string(), reason.clone()),
+            };
+            (verdict, detail, result.refinements, result.predicates, result.art_nodes)
+        }
+        Ok(Err(e)) => ("error".to_string(), e.to_string(), 0, 0, 0),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("panic");
+            ("error".to_string(), format!("panicked: {msg}"), 0, 0, 0)
+        }
+    };
+    TaskReport {
+        program_name: task.program_name.clone(),
+        refiner: refiner_name(task.refiner).to_string(),
+        verdict,
+        detail,
+        refinements,
+        predicates,
+        art_nodes,
+        wall_ms,
+    }
+}
+
+/// Runs every task across `jobs` worker threads and collects a report.
+///
+/// Tasks are pulled from a shared queue, so long-running programs do not
+/// serialize the rest of the batch behind them. Results are re-sorted by
+/// (program, refiner) to keep the report independent of scheduling.
+pub fn run_batch(tasks: Vec<BatchTask>, jobs: usize) -> BatchReport {
+    let jobs = jobs.max(1).min(tasks.len().max(1));
+    let start = Instant::now();
+    let queue: Mutex<VecDeque<BatchTask>> = Mutex::new(tasks.into());
+    let results: Mutex<Vec<TaskReport>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let Some(task) = queue.lock().expect("task queue poisoned").pop_front() else {
+                    break;
+                };
+                let report = run_task(&task);
+                results.lock().expect("result sink poisoned").push(report);
+            });
+        }
+    });
+    let mut tasks = results.into_inner().expect("result sink poisoned");
+    tasks.sort_by(|a, b| {
+        (a.program_name.as_str(), a.refiner.as_str())
+            .cmp(&(b.program_name.as_str(), b.refiner.as_str()))
+    });
+    BatchReport { jobs, tasks, wall_ms_total: start.elapsed().as_secs_f64() * 1e3 }
+}
+
+impl TaskReport {
+    /// The full JSON rendering of this task.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("program", Json::Str(self.program_name.clone())),
+            ("refiner", Json::Str(self.refiner.clone())),
+            ("verdict", Json::Str(self.verdict.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("refinements", Json::Int(self.refinements as i64)),
+            ("predicates", Json::Int(self.predicates as i64)),
+            ("art_nodes", Json::Int(self.art_nodes as i64)),
+            ("wall_ms", Json::Float(round3(self.wall_ms))),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn count_verdicts(tasks: &[TaskReport], verdict: &str) -> i64 {
+    tasks.iter().filter(|t| t.verdict == verdict).count() as i64
+}
+
+impl BatchReport {
+    /// The full JSON rendering of this report.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("jobs", Json::Int(self.jobs as i64)),
+            ("tasks", Json::Array(self.tasks.iter().map(TaskReport::to_json).collect())),
+            (
+                "summary",
+                Json::object(vec![
+                    ("total", Json::Int(self.tasks.len() as i64)),
+                    ("safe", Json::Int(count_verdicts(&self.tasks, "safe"))),
+                    ("unsafe", Json::Int(count_verdicts(&self.tasks, "unsafe"))),
+                    ("unknown", Json::Int(count_verdicts(&self.tasks, "unknown"))),
+                    ("error", Json::Int(count_verdicts(&self.tasks, "error"))),
+                    ("wall_ms_total", Json::Float(round3(self.wall_ms_total))),
+                ]),
+            ),
+        ])
+    }
+
+    /// The golden snapshot rendering: only the fields that are deterministic
+    /// across runs and machines (no wall-clock times, no free-form details).
+    pub fn to_golden_json(&self) -> Json {
+        Json::object(vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            (
+                "tasks",
+                Json::Array(
+                    self.tasks
+                        .iter()
+                        .map(|t| {
+                            Json::object(vec![
+                                ("program", Json::Str(t.program_name.clone())),
+                                ("refiner", Json::Str(t.refiner.clone())),
+                                ("verdict", Json::Str(t.verdict.clone())),
+                                ("refinements", Json::Int(t.refinements as i64)),
+                                ("predicates", Json::Int(t.predicates as i64)),
+                                ("art_nodes", Json::Int(t.art_nodes as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A human-readable fixed-width summary table.
+    pub fn render_table(&self) -> String {
+        let name_width = self
+            .tasks
+            .iter()
+            .map(|t| t.program_name.len())
+            .chain(std::iter::once("program".len()))
+            .max()
+            .unwrap_or(8);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>10}\n",
+            "program", "refiner", "verdict", "refines", "preds", "ART nodes", "wall",
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(name_width + 66)));
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>10}\n",
+                t.program_name,
+                t.refiner,
+                t.verdict,
+                t.refinements,
+                t.predicates,
+                t.art_nodes,
+                format_ms(t.wall_ms),
+            ));
+        }
+        out.push_str(&format!("{}\n", "-".repeat(name_width + 66)));
+        out.push_str(&format!(
+            "{} tasks on {} workers in {}: {} safe, {} unsafe, {} unknown, {} errors\n",
+            self.tasks.len(),
+            self.jobs,
+            format_ms(self.wall_ms_total),
+            count_verdicts(&self.tasks, "safe"),
+            count_verdicts(&self.tasks, "unsafe"),
+            count_verdicts(&self.tasks, "unknown"),
+            count_verdicts(&self.tasks, "error"),
+        ));
+        out
+    }
+}
+
+fn format_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else {
+        format!("{ms:.1} ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_the_paper_programs_and_the_suite() {
+        let names: Vec<String> = corpus_programs().into_iter().map(|(n, _)| n).collect();
+        for expected in ["FORWARD", "INITCHECK", "PARTITION", "BUGGY_INITCHECK", "FIGURE4"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert!(names.iter().filter(|n| n.starts_with("suite/")).count() >= 8);
+    }
+
+    #[test]
+    fn make_tasks_expands_both_refiners() {
+        let programs = vec![("FIGURE4".to_string(), corpus::figure4_program())];
+        let tasks = make_tasks(programs, RefinerChoice::Both, None);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].config.max_refinements, 40);
+        assert_eq!(tasks[1].config.max_refinements, DEFAULT_BASELINE_REFINEMENTS);
+    }
+
+    #[test]
+    fn run_batch_is_order_independent_and_counts_match() {
+        let programs = vec![
+            ("FIGURE4".to_string(), corpus::figure4_program()),
+            (
+                "suite/lockstep".to_string(),
+                parse_program(corpus::suite().iter().find(|e| e.name == "lockstep").unwrap().src)
+                    .unwrap(),
+            ),
+        ];
+        let report = run_batch(make_tasks(programs, RefinerChoice::Both, None), 4);
+        assert_eq!(report.tasks.len(), 4);
+        let names: Vec<&str> = report.tasks.iter().map(|t| t.program_name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "report must be sorted by program name");
+        let json = report.to_json();
+        assert_eq!(json.get("schema_version").and_then(Json::as_int), Some(SCHEMA_VERSION));
+        assert_eq!(json.get("tasks").and_then(Json::as_array).map(<[Json]>::len), Some(4));
+    }
+
+    #[test]
+    fn figure4_is_unsafe_under_both_refiners() {
+        let programs = vec![("FIGURE4".to_string(), corpus::figure4_program())];
+        let report = run_batch(make_tasks(programs, RefinerChoice::Both, None), 2);
+        for t in &report.tasks {
+            assert_eq!(t.verdict, "unsafe", "{}: {}", t.refiner, t.detail);
+        }
+    }
+}

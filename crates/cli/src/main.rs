@@ -1,0 +1,171 @@
+//! Batch verification driver for the Path Invariants reproduction.
+//!
+//! Runs corpus programs and/or `.pinv` source files through the
+//! path-invariant and finite-path-predicate refiners in parallel, printing a
+//! summary table and optionally writing a JSON report (or a golden snapshot
+//! for the regression test).
+
+use pathinv_cli::{corpus_programs, load_pinv_file, make_tasks, run_batch, RefinerChoice};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pathinv-cli — batch verification over the Path Invariants corpus
+
+USAGE:
+    pathinv-cli [OPTIONS] [FILE.pinv ...]
+
+ARGS:
+    FILE.pinv ...          front-end source files to verify alongside/instead
+                           of the corpus
+
+OPTIONS:
+    --all                  verify every program in pathinv_ir::corpus
+    --refiner <WHICH>      path-invariants | path-predicates | both
+                           (default: both)
+    --max-refinements <N>  override the refinement bound for all tasks
+    --jobs <N>             worker threads (default: available parallelism)
+    --json <PATH>          write the full JSON report to PATH (`-` = stdout)
+    --golden <PATH>        write the deterministic golden snapshot to PATH
+    --quiet                suppress the summary table
+    --help                 show this help
+
+EXIT STATUS:
+    0  all tasks completed (verdicts may be safe/unsafe/unknown)
+    1  at least one task errored or an input file failed to load
+    2  usage error
+";
+
+struct Options {
+    all: bool,
+    files: Vec<String>,
+    choice: RefinerChoice,
+    max_refinements: Option<usize>,
+    jobs: usize,
+    json_path: Option<String>,
+    golden_path: Option<String>,
+    quiet: bool,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        all: false,
+        files: Vec::new(),
+        choice: RefinerChoice::Both,
+        max_refinements: None,
+        jobs: default_jobs(),
+        json_path: None,
+        golden_path: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--quiet" => opts.quiet = true,
+            "--refiner" => {
+                opts.choice = match value_for("--refiner")?.as_str() {
+                    "path-invariants" => RefinerChoice::PathInvariants,
+                    "path-predicates" => RefinerChoice::PathPredicates,
+                    "both" => RefinerChoice::Both,
+                    other => return Err(format!("unknown refiner `{other}`")),
+                }
+            }
+            "--max-refinements" => {
+                let v = value_for("--max-refinements")?;
+                opts.max_refinements =
+                    Some(v.parse().map_err(|_| format!("bad --max-refinements `{v}`"))?);
+            }
+            "--jobs" => {
+                let v = value_for("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = n;
+            }
+            "--json" => opts.json_path = Some(value_for("--json")?),
+            "--golden" => opts.golden_path = Some(value_for("--golden")?),
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if !opts.all && opts.files.is_empty() {
+        return Err("nothing to do: pass --all and/or .pinv files".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut programs = Vec::new();
+    let mut load_failures = 0usize;
+    if opts.all {
+        programs.extend(corpus_programs());
+    }
+    for file in &opts.files {
+        match load_pinv_file(file) {
+            Ok(named) => programs.push(named),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                load_failures += 1;
+            }
+        }
+    }
+    if programs.is_empty() {
+        eprintln!("error: no programs to verify");
+        return ExitCode::FAILURE;
+    }
+
+    let tasks = make_tasks(programs, opts.choice, opts.max_refinements);
+    let report = run_batch(tasks, opts.jobs);
+
+    if !opts.quiet {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = &opts.json_path {
+        let text = report.to_json().pretty();
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.golden_path {
+        let text = report.to_golden_json().pretty();
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let errors = report.tasks.iter().filter(|t| t.verdict == "error").count();
+    if errors > 0 || load_failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -45,7 +45,11 @@ pub struct CegarConfig {
 
 impl Default for CegarConfig {
     fn default() -> Self {
-        CegarConfig { refiner: RefinerKind::PathInvariants, max_refinements: 40, max_art_nodes: 20_000 }
+        CegarConfig {
+            refiner: RefinerKind::PathInvariants,
+            max_refinements: 40,
+            max_art_nodes: 20_000,
+        }
     }
 }
 
@@ -58,7 +62,11 @@ impl CegarConfig {
     /// The baseline configuration, typically with a modest refinement bound
     /// since it is expected to diverge on the interesting programs.
     pub fn path_predicates(max_refinements: usize) -> CegarConfig {
-        CegarConfig { refiner: RefinerKind::PathPredicates, max_refinements, ..CegarConfig::default() }
+        CegarConfig {
+            refiner: RefinerKind::PathPredicates,
+            max_refinements,
+            ..CegarConfig::default()
+        }
     }
 }
 
@@ -144,10 +152,36 @@ impl Verifier {
             RefinerKind::PathInvariants => Box::new(PathInvariantRefiner::new()),
         };
 
+        // Resource exhaustion (ART size, solver case-split budget) is an
+        // honest "unknown", not an engine failure; see `CoreError::
+        // is_resource_exhaustion`.
+        macro_rules! check_budget {
+            ($result:expr, $refinement:expr) => {
+                match $result {
+                    Ok(value) => value,
+                    Err(e) => {
+                        let e = CoreError::from(e);
+                        if e.is_resource_exhaustion() {
+                            return Ok(VerificationResult {
+                                verdict: Verdict::Unknown { reason: e.to_string() },
+                                refinements: $refinement,
+                                predicates: predicates.len(),
+                                art_nodes: total_nodes,
+                                predicate_map: predicates,
+                            });
+                        }
+                        return Err(e);
+                    }
+                }
+            };
+        }
+
         for refinement in 0..=self.config.max_refinements {
-            let reach = self.abstract_reachability(program, &predicates)?;
-            total_nodes += reach.nodes;
-            let Some(path) = reach.counterexample else {
+            let counterexample = check_budget!(
+                self.abstract_reachability(program, &predicates, &mut total_nodes),
+                refinement
+            );
+            let Some(path) = counterexample else {
                 return Ok(VerificationResult {
                     verdict: Verdict::Safe,
                     refinements: refinement,
@@ -158,7 +192,7 @@ impl Verifier {
             };
             // Counterexample analysis: feasibility of the path formula.
             let pf = ssa::path_formula(program, &path);
-            match solver.check(&pf.conjunction()).map_err(CoreError::from)? {
+            match check_budget!(solver.check(&pf.conjunction()), refinement) {
                 SatResult::Sat(_) => {
                     return Ok(VerificationResult {
                         verdict: Verdict::Unsafe { path },
@@ -174,7 +208,7 @@ impl Verifier {
                 break;
             }
             // Refinement.
-            let new_preds = refiner.refine(program, &path)?;
+            let new_preds = check_budget!(refiner.refine(program, &path), refinement);
             let mut added = 0;
             for (l, preds) in new_preds {
                 for p in preds {
@@ -213,20 +247,21 @@ impl Verifier {
         })
     }
 
-    /// One abstract reachability phase.
+    /// One abstract reachability phase.  Returns the abstract counterexample
+    /// path, if any.  `total_nodes` is incremented for every ART node
+    /// constructed, *as* it is constructed, so the statistic stays accurate
+    /// even when the phase aborts on the node limit or a solver error.
     fn abstract_reachability(
         &self,
         program: &Program,
         predicates: &PredicateMap,
-    ) -> CoreResult<ReachOutcome> {
+        total_nodes: &mut usize,
+    ) -> CoreResult<Option<Path>> {
         let post = AbstractPost::new(program);
         let mut nodes: Vec<ArtNode> = Vec::new();
         let mut worklist: VecDeque<usize> = VecDeque::new();
-        nodes.push(ArtNode {
-            loc: program.entry(),
-            state: AbstractState::top(),
-            parent: None,
-        });
+        nodes.push(ArtNode { loc: program.entry(), state: AbstractState::top(), parent: None });
+        *total_nodes += 1;
         worklist.push_back(0);
         while let Some(id) = worklist.pop_front() {
             if nodes.len() > self.config.max_art_nodes {
@@ -257,24 +292,22 @@ impl Verifier {
                     }
                     steps.reverse();
                     let path = Path::new(program, steps).map_err(CoreError::from)?;
-                    return Ok(ReachOutcome {
-                        counterexample: Some(path),
-                        nodes: nodes.len() + 1,
-                    });
+                    *total_nodes += 1; // the error node itself
+                    return Ok(Some(path));
                 }
                 // Coverage check: the new node is covered if an existing node
                 // at the same location is at least as weak.
-                let covered = nodes
-                    .iter()
-                    .any(|n| n.loc == child.loc && child.state.subsumed_by(&n.state));
+                let covered =
+                    nodes.iter().any(|n| n.loc == child.loc && child.state.subsumed_by(&n.state));
                 if covered {
                     continue;
                 }
                 nodes.push(child);
+                *total_nodes += 1;
                 worklist.push_back(nodes.len() - 1);
             }
         }
-        Ok(ReachOutcome { counterexample: None, nodes: nodes.len() })
+        Ok(None)
     }
 }
 
@@ -282,11 +315,6 @@ struct ArtNode {
     loc: Loc,
     state: AbstractState,
     parent: Option<(usize, TransId)>,
-}
-
-struct ReachOutcome {
-    counterexample: Option<Path>,
-    nodes: usize,
 }
 
 #[cfg(test)]

@@ -22,6 +22,22 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Whether this error reports a resource budget running out (ART size
+    /// limit or solver case-split budget) rather than a malformed input or an
+    /// internal failure.  The CEGAR driver converts such errors into
+    /// [`Verdict::Unknown`](crate::Verdict::Unknown) — the problem is
+    /// undecidable and giving up is an answer, not a crash.
+    pub fn is_resource_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Limit { .. }
+                | CoreError::Smt(SmtError::Budget { .. })
+                | CoreError::Invgen(InvgenError::Smt(SmtError::Budget { .. }))
+        )
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -189,11 +189,8 @@ mod tests {
         assert_eq!(natural_loops(&pp.program).len(), 1);
         // Only transitions of the counterexample occur: the else-branch
         // update (a := a+2; b := b+1) is absent.
-        let has_else = pp
-            .program
-            .transitions()
-            .iter()
-            .any(|t| t.action.to_string().contains("a + 2"));
+        let has_else =
+            pp.program.transitions().iter().any(|t| t.action.to_string().contains("a + 2"));
         assert!(!has_else, "the path program must not contain transitions outside the path");
         // Every path-program location maps back to an original location.
         for l in pp.program.locs() {
@@ -215,15 +212,10 @@ mod tests {
 
     #[test]
     fn loop_free_path_gives_a_straight_line_path_program() {
-        let p = pathinv_ir::parse_program(
-            "proc straight(x: int) { x = 1; assert(x == 2); }",
-        )
-        .unwrap();
+        let p =
+            pathinv_ir::parse_program("proc straight(x: int) { x = 1; assert(x == 2); }").unwrap();
         // Find the error path by walking the CFG.
-        let err_edge = p
-            .transition_ids()
-            .find(|&t| p.transition(t).to == p.error())
-            .unwrap();
+        let err_edge = p.transition_ids().find(|&t| p.transition(t).to == p.error()).unwrap();
         let first = p.outgoing(p.entry())[0];
         let path = Path::new(&p, vec![first, err_edge]).unwrap();
         let pp = path_program(&p, &path).unwrap();

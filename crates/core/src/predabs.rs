@@ -223,10 +223,7 @@ mod tests {
         let tid = corpus::find_transition(&p, "L0b", "L1");
         let t = p.transition(tid).clone();
         let preds = vec![
-            Formula::eq(
-                Term::var("a").add(Term::var("b")),
-                Term::int(3).mul(Term::var("i")),
-            ),
+            Formula::eq(Term::var("a").add(Term::var("b")), Term::int(3).mul(Term::var("i"))),
             Formula::ge(Term::var("i"), Term::int(1)),
         ];
         let next = post.post(&AbstractState::top(), &t, &preds).unwrap().unwrap();
@@ -242,8 +239,7 @@ mod tests {
         // Loop-entry guard [i < n] is infeasible from a state knowing i >= n.
         let tid = corpus::find_transition(&p, "L1", "L2");
         let t = p.transition(tid).clone();
-        let state =
-            AbstractState::from_literals(vec![Formula::ge(Term::var("i"), Term::var("n"))]);
+        let state = AbstractState::from_literals(vec![Formula::ge(Term::var("i"), Term::var("n"))]);
         assert!(post.post(&state, &t, &[]).unwrap().is_none());
     }
 
@@ -270,7 +266,7 @@ mod tests {
             Formula::eq(Term::var("a").select(Term::var("i")), Term::int(0)),
             Formula::ge(Term::var("i"), Term::int(0)),
         ]);
-        let next = post.post(&state, &t, &[inv.clone()]).unwrap().unwrap();
+        let next = post.post(&state, &t, std::slice::from_ref(&inv)).unwrap().unwrap();
         assert!(next.literals().any(|l| l == &inv), "quantified predicate must be preserved");
     }
 }

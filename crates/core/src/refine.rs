@@ -15,7 +15,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::pathprog::path_program;
 use pathinv_invgen::{InvgenError, PathInvariantGenerator, SynthConfig, TemplateAttempt};
 use pathinv_ir::{ssa, Action, Formula, Loc, Path, Program, Symbol, Term};
-use pathinv_smt::{sequence_interpolants, LinConstraint};
+use pathinv_smt::{sequence_interpolants, LinConstraint, SmtError};
 use std::collections::BTreeMap;
 
 /// New predicates produced by a refinement step, keyed by program location.
@@ -100,8 +100,9 @@ impl Refiner for PathPredicateRefiner {
                 };
                 let strict = pathinv_ir::Atom::new(atom.lhs.clone(), op, atom.rhs.clone());
                 match LinConstraint::from_atom(&strict) {
-                    Ok(c) => split_groups[*step]
-                        .push(c.tighten_for_integers().map_err(CoreError::from)?),
+                    Ok(c) => {
+                        split_groups[*step].push(c.tighten_for_integers().map_err(CoreError::from)?)
+                    }
                     Err(_) => ok = false,
                 }
             }
@@ -200,11 +201,16 @@ impl PathInvariantRefiner {
                 let preds = PathPredicateRefiner::new().refine(program, path)?;
                 Ok((preds, generated.attempts))
             }
-            Err(InvgenError::NoInvariant { .. }) | Err(InvgenError::Unsupported { .. }) => {
-                // No invariant within the template language (or the path
-                // program is outside the supported template fragment): fall
-                // back to finite-path refinement, as the paper suggests
-                // combining the technique with falsification methods (§6).
+            Err(InvgenError::NoInvariant { .. })
+            | Err(InvgenError::Unsupported { .. })
+            | Err(InvgenError::Smt(SmtError::Unsupported { .. }))
+            | Err(InvgenError::Smt(SmtError::Budget { .. })) => {
+                // No invariant within the template language, the path program
+                // is outside the supported template fragment (e.g. fractional
+                // template coefficients in an array bound), or the synthesis
+                // ran out of solver budget: fall back to finite-path
+                // refinement, as the paper suggests combining the technique
+                // with falsification methods (§6).
                 let preds = PathPredicateRefiner::new().refine(program, path)?;
                 Ok((preds, Vec::new()))
             }
@@ -270,10 +276,7 @@ fn propagate_candidates(
                 }
             }
             Action::ArrayAssign { array, index, value } => {
-                current.push(Formula::eq(
-                    Term::var(*array).select(index.clone()),
-                    value.clone(),
-                ));
+                current.push(Formula::eq(Term::var(*array).select(index.clone()), value.clone()));
             }
             Action::Assign(asgs) => {
                 let assigned: Vec<Symbol> = asgs.iter().map(|(x, _)| *x).collect();
@@ -310,8 +313,7 @@ fn transform_candidate(f: &Formula, action: &Action) -> Vec<Formula> {
                 // post decides whether they still hold.
                 return vec![f.clone()];
             }
-            let mentions_assigned =
-                asgs.iter().any(|(x, _)| f.var_names().contains(x));
+            let mentions_assigned = asgs.iter().any(|(x, _)| f.var_names().contains(x));
             if !mentions_assigned {
                 return vec![f.clone()];
             }
@@ -363,8 +365,7 @@ mod tests {
         let p = corpus::forward();
         let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
         let preds = PathPredicateRefiner::new().refine(&p, &path).unwrap();
-        let all: Vec<String> =
-            preds.values().flatten().map(|f| f.to_string()).collect();
+        let all: Vec<String> = preds.values().flatten().map(|f| f.to_string()).collect();
         // The first-iteration constants show up, as in §2.1.
         assert!(all.iter().any(|s| s.contains("i = 0")), "{all:?}");
         assert!(all.iter().any(|s| s.contains("a = 0") || s.contains("b = 0")), "{all:?}");
@@ -393,10 +394,7 @@ mod tests {
 
     #[test]
     fn candidate_transformation_is_exact_for_invertible_updates() {
-        let f = Formula::eq(
-            Term::var("a").add(Term::var("b")),
-            Term::int(3).mul(Term::var("i")),
-        );
+        let f = Formula::eq(Term::var("a").add(Term::var("b")), Term::int(3).mul(Term::var("i")));
         let action = Action::Assign(vec![
             (Symbol::intern("a"), Term::var("a").add(Term::int(1))),
             (Symbol::intern("b"), Term::var("b").add(Term::int(2))),

@@ -231,10 +231,7 @@ mod tests {
         let generated = PathInvariantGenerator::new().generate(&p).unwrap();
         assert_eq!(generated.attempts.len(), 1, "no template refinement required (§5)");
         assert!(generated.attempts[0].succeeded);
-        assert!(generated
-            .cutpoint_invariants
-            .values()
-            .all(|f| f.has_quantifier()));
+        assert!(generated.cutpoint_invariants.values().all(|f| f.has_quantifier()));
     }
 
     #[test]
@@ -248,10 +245,8 @@ mod tests {
 
     #[test]
     fn loop_free_program_yields_no_obligations() {
-        let p = pathinv_ir::parse_program(
-            "proc straight(x: int) { x = 1; assert(x == 1); }",
-        )
-        .unwrap();
+        let p =
+            pathinv_ir::parse_program("proc straight(x: int) { x = 1; assert(x == 1); }").unwrap();
         let generated = PathInvariantGenerator::new().generate(&p).unwrap();
         assert!(generated.cutpoint_invariants.is_empty());
         assert!(generated.attempts.is_empty());

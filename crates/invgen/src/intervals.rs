@@ -339,10 +339,9 @@ mod tests {
 
     #[test]
     fn invariant_rendering() {
-        let p = parse_program(
-            "proc r() { var i: int; i = 3; while (*) { skip; } assert(i == 3); }",
-        )
-        .unwrap();
+        let p =
+            parse_program("proc r() { var i: int; i = 3; while (*) { skip; } assert(i == 3); }")
+                .unwrap();
         let analysis = analyze(&p, 2);
         // Find some reachable location where i is pinned to 3.
         let pinned = p

@@ -54,9 +54,7 @@ impl InvariantMap {
         let solver = Solver::new();
         // (I0) Initiation.
         if !self.get(program.entry()).is_trivially_true() {
-            let ok = solver
-                .is_valid(&self.get(program.entry()))
-                .map_err(InvgenError::from)?;
+            let ok = solver.is_valid(&self.get(program.entry())).map_err(InvgenError::from)?;
             if !ok {
                 return Err(InvgenError::no_invariant(
                     "initiation fails: the entry invariant is not `true`",
@@ -127,15 +125,9 @@ mod tests {
         let l3 = corpus::find_loc(&p, "L3");
         let l4 = corpus::find_loc(&p, "L4");
         let body = Formula::and(vec![
-            Formula::eq(
-                Term::var("a").add(Term::var("b")),
-                Term::int(3).mul(Term::var("i")),
-            ),
+            Formula::eq(Term::var("a").add(Term::var("b")), Term::int(3).mul(Term::var("i"))),
             Formula::lt(Term::var("i"), Term::var("n")),
-            Formula::le(
-                Term::var("a").add(Term::var("b")),
-                Term::int(3).mul(Term::var("n")),
-            ),
+            Formula::le(Term::var("a").add(Term::var("b")), Term::int(3).mul(Term::var("n"))),
         ]);
         m.set(l2, body.clone());
         m.set(l3, body);
@@ -147,10 +139,7 @@ mod tests {
                     Term::int(3).mul(Term::var("i")).add(Term::int(3)),
                 ),
                 Formula::le(Term::var("i").add(Term::int(1)), Term::var("n")),
-                Formula::le(
-                    Term::var("a").add(Term::var("b")),
-                    Term::int(3).mul(Term::var("n")),
-                ),
+                Formula::le(Term::var("a").add(Term::var("b")), Term::int(3).mul(Term::var("n"))),
             ]),
         );
         m.check(&p).unwrap();

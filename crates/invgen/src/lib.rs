@@ -45,5 +45,5 @@ pub use heuristics::{GeneratedInvariants, PathInvariantGenerator, TemplateAttemp
 pub use intervals::{analyze as interval_analyze, Interval, IntervalAnalysis};
 pub use invmap::InvariantMap;
 pub use relation::{basic_paths, cutset, BasicPath};
-pub use synth::{synthesize, SynthConfig, Synthesis, SynthStats};
+pub use synth::{synthesize, SynthConfig, SynthStats, Synthesis};
 pub use template::{ParamId, ParamLin, ParamValuation, RowOp, Template, TemplateMap};

@@ -170,6 +170,9 @@ fn rename_term(t: &Term, versions: &BTreeMap<Symbol, u32>) -> Term {
 
 /// Abstracts array reads in a term, recording them, and returns a read-free
 /// term.
+// `versions` is threaded through for symmetry with `apply_action`; reads are
+// currently abstracted version-insensitively.
+#[allow(clippy::only_used_in_recursion)]
 fn abstract_reads(
     t: &Term,
     versions: &BTreeMap<Symbol, u32>,
@@ -201,18 +204,16 @@ fn abstract_reads(
             };
             let idx = abstract_reads(idx, versions, reads)?;
             let idx_expr = LinExpr::from_term(&idx)?;
-            if let Some(existing) =
-                reads.iter().find(|r| r.array == array && r.index == idx_expr)
-            {
+            if let Some(existing) = reads.iter().find(|r| r.array == array && r.index == idx_expr) {
                 return Ok(Term::Var(existing.result));
             }
             let result = VarRef::cur(Symbol::fresh(&format!("rd_{array}")));
             reads.push(ArrayRead { array, index: idx_expr, result });
             Ok(Term::Var(result))
         }
-        Term::Store(..) | Term::App(..) => Err(InvgenError::unsupported(format!(
-            "unexpected term `{t}` in a guarded command"
-        ))),
+        Term::Store(..) | Term::App(..) => {
+            Err(InvgenError::unsupported(format!("unexpected term `{t}` in a guarded command")))
+        }
     }
 }
 
@@ -254,8 +255,16 @@ fn apply_action(
                     Formula::True => {}
                     Formula::False => return Ok(vec![]),
                     Formula::Atom(a) => {
-                        let lhs = abstract_reads(&rename_term(&a.lhs, versions), versions, &mut new_reads)?;
-                        let rhs = abstract_reads(&rename_term(&a.rhs, versions), versions, &mut new_reads)?;
+                        let lhs = abstract_reads(
+                            &rename_term(&a.lhs, versions),
+                            versions,
+                            &mut new_reads,
+                        )?;
+                        let rhs = abstract_reads(
+                            &rename_term(&a.rhs, versions),
+                            versions,
+                            &mut new_reads,
+                        )?;
                         per_atom.push(atom_cases(&Atom::new(lhs, a.op, rhs))?);
                     }
                     other => {

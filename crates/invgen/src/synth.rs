@@ -293,10 +293,9 @@ fn encode_implication(
         add_vars(g.vars());
     }
 
-    let param_to_unknown =
-        |e: &LinExpr<ParamId>| -> InvgenResult<LinExpr<Unknown>> {
-            Ok(e.substitute(&|p: &ParamId| LinExpr::var(Unknown::Param(*p)))?)
-        };
+    let param_to_unknown = |e: &LinExpr<ParamId>| -> InvgenResult<LinExpr<Unknown>> {
+        Ok(e.substitute(&|p: &ParamId| LinExpr::var(Unknown::Param(*p)))?)
+    };
 
     let mut constraints: Vec<LinConstraint<Unknown>> = Vec::new();
 
@@ -373,11 +372,7 @@ pub fn conditions_for_basic_path(
     let source = templates.templates.get(&bp.from);
     let target = templates.templates.get(&bp.to);
     let mut out = Vec::new();
-    let path_label = format!(
-        "{} -> {}",
-        program.loc_label(bp.from),
-        program.loc_label(bp.to)
-    );
+    let path_label = format!("{} -> {}", program.loc_label(bp.from), program.loc_label(bp.to));
     for (case_idx, case) in bp.cases.iter().enumerate() {
         let label = |what: &str| format!("{path_label} [case {case_idx}] {what}");
         let retag_pre = |e: &ParamLin| e.retag_vars(&|v| bp.pre.get(&v.sym).copied().unwrap_or(v));
@@ -570,7 +565,8 @@ fn array_conditions(
             target_row.array
         )));
     }
-    let source_arr = source.and_then(|s| s.array_row.as_ref()).filter(|a| a.array == target_row.array);
+    let source_arr =
+        source.and_then(|s| s.array_row.as_ref()).filter(|a| a.array == target_row.array);
 
     // Fresh index variable k* and (if needed) a fresh variable for the
     // pre-state cell a[k*].
@@ -733,12 +729,8 @@ mod tests {
         let p = corpus::forward();
         let l1 = corpus::find_loc(&p, "L1");
         let mut templates = TemplateMap::new();
-        let vars = [
-            Symbol::intern("i"),
-            Symbol::intern("n"),
-            Symbol::intern("a"),
-            Symbol::intern("b"),
-        ];
+        let vars =
+            [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
         templates.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
         templates.add_scalar_row(l1, &vars, RowOp::Le).unwrap();
         let result = synthesize(&p, &templates, &SynthConfig::default()).unwrap();
@@ -751,10 +743,7 @@ mod tests {
             pathinv_ir::Term::var("a").add(pathinv_ir::Term::var("b")),
             pathinv_ir::Term::int(3).mul(pathinv_ir::Term::var("i")),
         );
-        assert!(
-            solver.entails(inv, &claim).unwrap(),
-            "invariant {inv} must imply a + b = 3i"
-        );
+        assert!(solver.entails(inv, &claim).unwrap(), "invariant {inv} must imply a + b = 3i");
         assert!(result.stats.lp_calls > 0);
     }
 
@@ -763,12 +752,8 @@ mod tests {
         let p = corpus::forward();
         let l1 = corpus::find_loc(&p, "L1");
         let mut templates = TemplateMap::new();
-        let vars = [
-            Symbol::intern("i"),
-            Symbol::intern("n"),
-            Symbol::intern("a"),
-            Symbol::intern("b"),
-        ];
+        let vars =
+            [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
         templates.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
         let err = synthesize(&p, &templates, &SynthConfig::default()).unwrap_err();
         assert!(matches!(err, InvgenError::NoInvariant { .. }));
@@ -813,9 +798,7 @@ mod tests {
         let l1 = corpus::find_loc(&p, "L1");
         let mut templates = TemplateMap::new();
         let scalars = [Symbol::intern("i")];
-        templates
-            .add_array_row(l1, Symbol::intern("a"), &scalars, RelOp::Eq)
-            .unwrap();
+        templates.add_array_row(l1, Symbol::intern("a"), &scalars, RelOp::Eq).unwrap();
         let err = synthesize(&p, &templates, &SynthConfig::default());
         assert!(err.is_err(), "the buggy INITCHECK variant must not admit a safe invariant map");
     }

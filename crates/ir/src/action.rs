@@ -410,11 +410,8 @@ mod tests {
     #[test]
     fn touches_array_detection() {
         assert!(Action::array_assign("a", Term::var("i"), Term::int(0)).touches_array());
-        assert!(Action::assume(Formula::eq(
-            Term::var("a").select(Term::var("i")),
-            Term::int(0)
-        ))
-        .touches_array());
+        assert!(Action::assume(Formula::eq(Term::var("a").select(Term::var("i")), Term::int(0)))
+            .touches_array());
         assert!(!Action::assign("x", Term::int(0)).touches_array());
     }
 }

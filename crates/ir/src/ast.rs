@@ -153,13 +153,11 @@ mod tests {
                 StmtAst::Assign("x".into(), ExprAst::Num(0)),
                 StmtAst::While(
                     CondAst::Nondet,
-                    vec![
-                        StmtAst::If(
-                            CondAst::Nondet,
-                            vec![StmtAst::Skip],
-                            vec![StmtAst::Skip, StmtAst::Skip],
-                        ),
-                    ],
+                    vec![StmtAst::If(
+                        CondAst::Nondet,
+                        vec![StmtAst::Skip],
+                        vec![StmtAst::Skip, StmtAst::Skip],
+                    )],
                 ),
             ],
         };

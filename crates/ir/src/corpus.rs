@@ -452,12 +452,7 @@ pub fn suite() -> Vec<SuiteEntry> {
             safe: true,
             needs_quantifiers: false,
         },
-        SuiteEntry {
-            name: "forward",
-            src: forward_src(),
-            safe: true,
-            needs_quantifiers: false,
-        },
+        SuiteEntry { name: "forward", src: forward_src(), safe: true, needs_quantifiers: false },
         SuiteEntry {
             name: "init_check",
             src: initcheck_src(),
@@ -546,10 +541,7 @@ mod tests {
         // The path formula matches the structure shown in §2.1.
         let pf = path_formula(&p, &path);
         assert!(pf.steps[0].to_string().contains("n#0 >= 0"));
-        assert!(pf
-            .conjunction()
-            .to_string()
-            .contains("i#1 = 0"));
+        assert!(pf.conjunction().to_string().contains("i#1 = 0"));
     }
 
     #[test]

@@ -135,16 +135,10 @@ impl Env {
             Term::Const(c) => Some(Value::Int(*c)),
             Term::Var(v) => self.vars.get(v).cloned(),
             Term::Bound(b) => self.bound.get(b).map(|&i| Value::Int(i)),
-            Term::Add(a, b) => {
-                Some(Value::Int(self.eval_int(a)?.checked_add(self.eval_int(b)?)?))
-            }
-            Term::Sub(a, b) => {
-                Some(Value::Int(self.eval_int(a)?.checked_sub(self.eval_int(b)?)?))
-            }
+            Term::Add(a, b) => Some(Value::Int(self.eval_int(a)?.checked_add(self.eval_int(b)?)?)),
+            Term::Sub(a, b) => Some(Value::Int(self.eval_int(a)?.checked_sub(self.eval_int(b)?)?)),
             Term::Neg(a) => Some(Value::Int(self.eval_int(a)?.checked_neg()?)),
-            Term::Mul(a, b) => {
-                Some(Value::Int(self.eval_int(a)?.checked_mul(self.eval_int(b)?)?))
-            }
+            Term::Mul(a, b) => Some(Value::Int(self.eval_int(a)?.checked_mul(self.eval_int(b)?)?)),
             Term::Select(a, i) => {
                 let arr = self.eval_term(a)?;
                 let idx = self.eval_int(i)?;
@@ -321,9 +315,7 @@ mod tests {
             Some(false)
         );
         assert_eq!(
-            env.eval_formula(
-                &Formula::lt(Term::var("x"), Term::int(0)).implies(Formula::False)
-            ),
+            env.eval_formula(&Formula::lt(Term::var("x"), Term::int(0)).implies(Formula::False)),
             Some(true)
         );
     }

@@ -366,8 +366,8 @@ mod tests {
 
     #[test]
     fn keywords_are_recognised() {
-        let toks = lex("proc var int while for if else assume assert havoc skip true false")
-            .unwrap();
+        let toks =
+            lex("proc var int while for if else assume assert havoc skip true false").unwrap();
         assert!(toks.iter().all(|t| matches!(t.tok, Tok::Kw(_))));
         assert_eq!(toks.len(), 13);
     }

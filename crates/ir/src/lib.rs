@@ -40,6 +40,7 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 pub mod path;
+pub mod pretty;
 pub mod ssa;
 pub mod symbol;
 pub mod term;
@@ -53,6 +54,7 @@ pub use formula::{Atom, Formula, RelOp};
 pub use lower::{lower_proc, parse_program, to_dnf};
 pub use parser::{parse_proc, parse_procs};
 pub use path::Path;
+pub use pretty::pretty_proc;
 pub use ssa::{path_formula, PathFormula};
 pub use symbol::Symbol;
 pub use term::Term;

@@ -51,12 +51,8 @@ pub fn lower_expr(e: &ExprAst, sorts: &HashMap<String, Sort>) -> IrResult<Term> 
             None => Err(IrError::lower(format!("undeclared variable `{name}`"))),
         },
         ExprAst::Index(name, idx) => match sorts.get(name) {
-            Some(Sort::ArrayInt) => {
-                Ok(Term::var(name.as_str()).select(lower_expr(idx, sorts)?))
-            }
-            Some(Sort::Int) => {
-                Err(IrError::lower(format!("variable `{name}` is not an array")))
-            }
+            Some(Sort::ArrayInt) => Ok(Term::var(name.as_str()).select(lower_expr(idx, sorts)?)),
+            Some(Sort::Int) => Err(IrError::lower(format!("variable `{name}` is not an array"))),
             None => Err(IrError::lower(format!("undeclared array `{name}`"))),
         },
         ExprAst::Add(a, b) => Ok(lower_expr(a, sorts)?.add(lower_expr(b, sorts)?)),
@@ -131,9 +127,9 @@ impl Lowerer {
         let mut builder = ProgramBuilder::new(&proc.name);
         let mut sorts = HashMap::new();
         let declare = |builder: &mut ProgramBuilder,
-                           sorts: &mut HashMap<String, Sort>,
-                           name: &str,
-                           ty: TypeAst|
+                       sorts: &mut HashMap<String, Sort>,
+                       name: &str,
+                       ty: TypeAst|
          -> IrResult<()> {
             let sort = match ty {
                 TypeAst::Int => Sort::Int,
@@ -169,9 +165,7 @@ impl Lowerer {
             }
             Ok(())
         }
-        collect_decls(&proc.body, &mut |name, ty| {
-            declare(&mut builder, &mut sorts, name, ty)
-        })?;
+        collect_decls(&proc.body, &mut |name, ty| declare(&mut builder, &mut sorts, name, ty))?;
         let error = builder.add_loc("ERR");
         Ok(Lowerer { builder, sorts, error, next_label: 0 })
     }
@@ -218,7 +212,7 @@ impl Lowerer {
                 self.builder.add_transition(from, Action::Skip, to);
             }
             StmtAst::Assign(x, e) => {
-                if self.sorts.get(x).is_none() {
+                if !self.sorts.contains_key(x) {
                     return Err(IrError::lower(format!("undeclared variable `{x}`")));
                 }
                 let t = lower_expr(e, &self.sorts)?;
@@ -238,7 +232,7 @@ impl Lowerer {
             }
             StmtAst::Havoc(names) => {
                 for n in names {
-                    if self.sorts.get(n).is_none() {
+                    if !self.sorts.contains_key(n) {
                         return Err(IrError::lower(format!("undeclared variable `{n}`")));
                     }
                 }
@@ -256,28 +250,26 @@ impl Lowerer {
                 // Passing branch continues.
                 self.add_guarded_edges(from, &f, to);
             }
-            StmtAst::If(cond, then_branch, else_branch) => {
-                match cond {
-                    CondAst::Nondet => {
-                        let t0 = self.fresh();
-                        let e0 = self.fresh();
-                        self.builder.add_transition(from, Action::Skip, t0);
-                        self.builder.add_transition(from, Action::Skip, e0);
-                        self.lower_block(then_branch, t0, to)?;
-                        self.lower_block(else_branch, e0, to)?;
-                    }
-                    CondAst::Expr(b) => {
-                        let f = lower_bool(b, &self.sorts)?;
-                        let neg = f.clone().not().nnf();
-                        let t0 = self.fresh();
-                        let e0 = self.fresh();
-                        self.add_guarded_edges(from, &f, t0);
-                        self.add_guarded_edges(from, &neg, e0);
-                        self.lower_block(then_branch, t0, to)?;
-                        self.lower_block(else_branch, e0, to)?;
-                    }
+            StmtAst::If(cond, then_branch, else_branch) => match cond {
+                CondAst::Nondet => {
+                    let t0 = self.fresh();
+                    let e0 = self.fresh();
+                    self.builder.add_transition(from, Action::Skip, t0);
+                    self.builder.add_transition(from, Action::Skip, e0);
+                    self.lower_block(then_branch, t0, to)?;
+                    self.lower_block(else_branch, e0, to)?;
                 }
-            }
+                CondAst::Expr(b) => {
+                    let f = lower_bool(b, &self.sorts)?;
+                    let neg = f.clone().not().nnf();
+                    let t0 = self.fresh();
+                    let e0 = self.fresh();
+                    self.add_guarded_edges(from, &f, t0);
+                    self.add_guarded_edges(from, &neg, e0);
+                    self.lower_block(then_branch, t0, to)?;
+                    self.lower_block(else_branch, e0, to)?;
+                }
+            },
             StmtAst::While(cond, body) => {
                 // `from` is the loop head.
                 match cond {
@@ -377,10 +369,8 @@ mod tests {
             }
         "#;
         let p = parse_program(src).unwrap();
-        let has_array_assign = p
-            .transitions()
-            .iter()
-            .any(|t| matches!(t.action, Action::ArrayAssign { .. }));
+        let has_array_assign =
+            p.transitions().iter().any(|t| matches!(t.action, Action::ArrayAssign { .. }));
         assert!(has_array_assign);
     }
 
@@ -419,7 +409,10 @@ mod tests {
         let y = Term::var("y");
         // (x>0 || y>0) && x=y  ->  two disjuncts
         let f = Formula::and(vec![
-            Formula::or(vec![Formula::gt(x.clone(), Term::int(0)), Formula::gt(y.clone(), Term::int(0))]),
+            Formula::or(vec![
+                Formula::gt(x.clone(), Term::int(0)),
+                Formula::gt(y.clone(), Term::int(0)),
+            ]),
             Formula::eq(x, y),
         ]);
         let d = to_dnf(&f);

@@ -248,17 +248,11 @@ impl Parser {
             Some(Tok::Kw(Kw::For)) => {
                 self.advance();
                 self.expect(&Tok::LParen)?;
-                let init = if self.peek() == Some(&Tok::Semi) {
-                    None
-                } else {
-                    Some(self.simple_stmt()?)
-                };
+                let init =
+                    if self.peek() == Some(&Tok::Semi) { None } else { Some(self.simple_stmt()?) };
                 self.expect(&Tok::Semi)?;
-                let cond = if self.peek() == Some(&Tok::Semi) {
-                    CondAst::Nondet
-                } else {
-                    self.cond()?
-                };
+                let cond =
+                    if self.peek() == Some(&Tok::Semi) { CondAst::Nondet } else { self.cond()? };
                 self.expect(&Tok::Semi)?;
                 let update = if self.peek() == Some(&Tok::RParen) {
                     None

@@ -135,25 +135,16 @@ mod tests {
         b.set_entry(l0);
         b.set_error(e);
         b.add_transition(l0, Action::assign("i", Term::int(0)), l1); // 0
-        b.add_transition(
-            l1,
-            Action::assume(Formula::lt(Term::var("i"), Term::var("n"))),
-            l2,
-        ); // 1
+        b.add_transition(l1, Action::assume(Formula::lt(Term::var("i"), Term::var("n"))), l2); // 1
         b.add_transition(l2, Action::assign("i", Term::var("i").add(Term::int(1))), l1); // 2
-        b.add_transition(
-            l1,
-            Action::assume(Formula::gt(Term::var("i"), Term::var("n"))),
-            e,
-        ); // 3
+        b.add_transition(l1, Action::assume(Formula::gt(Term::var("i"), Term::var("n"))), e); // 3
         b.build().unwrap()
     }
 
     #[test]
     fn valid_path_construction() {
         let p = loopy();
-        let path =
-            Path::new(&p, vec![TransId(0), TransId(1), TransId(2), TransId(3)]).unwrap();
+        let path = Path::new(&p, vec![TransId(0), TransId(1), TransId(2), TransId(3)]).unwrap();
         assert_eq!(path.len(), 4);
         assert!(path.is_error_path(&p));
         assert_eq!(path.locations(&p).len(), 5);

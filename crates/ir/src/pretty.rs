@@ -1,0 +1,270 @@
+//! Pretty-printer for the surface language.
+//!
+//! Renders a parsed [`ProcAst`] back to front-end source text such that
+//! re-parsing yields a structurally identical AST:
+//! `parse_proc(pretty_proc(&p)) == p` for every `p` produced by the parser.
+//! (ASTs built by hand with negative [`ExprAst::Num`] literals render as
+//! `-k`, which re-parses as [`ExprAst::Neg`] — the parser itself never
+//! produces negative literals, so parse/print round-trips are exact.)
+//!
+//! Printing is precedence-aware: parentheses appear only where the grammar
+//! needs them, so corpus programs render close to how they were written.
+
+use crate::ast::{BoolAst, CondAst, ExprAst, ProcAst, RelAst, StmtAst};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Binding strength of an expression node; higher binds tighter.
+fn expr_prec(e: &ExprAst) -> u8 {
+    match e {
+        ExprAst::Num(_) | ExprAst::Var(_) | ExprAst::Index(..) => 3,
+        ExprAst::Neg(_) => 2,
+        ExprAst::Mul(..) => 1,
+        ExprAst::Add(..) | ExprAst::Sub(..) => 0,
+    }
+}
+
+fn write_expr(out: &mut String, e: &ExprAst, min_prec: u8) {
+    let prec = expr_prec(e);
+    let parens = prec < min_prec;
+    if parens {
+        out.push('(');
+    }
+    match e {
+        ExprAst::Num(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ExprAst::Var(x) => out.push_str(x),
+        ExprAst::Index(a, i) => {
+            out.push_str(a);
+            out.push('[');
+            write_expr(out, i, 0);
+            out.push(']');
+        }
+        ExprAst::Neg(inner) => {
+            out.push('-');
+            write_expr(out, inner, 2);
+        }
+        ExprAst::Mul(l, r) => {
+            // `*` is left-associative: the right operand needs parens at
+            // equal precedence.
+            write_expr(out, l, 1);
+            out.push_str(" * ");
+            write_expr(out, r, 2);
+        }
+        ExprAst::Add(l, r) => {
+            write_expr(out, l, 0);
+            out.push_str(" + ");
+            write_expr(out, r, 1);
+        }
+        ExprAst::Sub(l, r) => {
+            write_expr(out, l, 0);
+            out.push_str(" - ");
+            write_expr(out, r, 1);
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+/// Binding strength of a boolean node; higher binds tighter.
+fn bool_prec(b: &BoolAst) -> u8 {
+    match b {
+        BoolAst::True | BoolAst::False | BoolAst::Rel(..) | BoolAst::Not(_) => 2,
+        BoolAst::And(..) => 1,
+        BoolAst::Or(..) => 0,
+    }
+}
+
+fn write_bool(out: &mut String, b: &BoolAst, min_prec: u8) {
+    let prec = bool_prec(b);
+    let parens = prec < min_prec;
+    if parens {
+        out.push('(');
+    }
+    match b {
+        BoolAst::True => out.push_str("true"),
+        BoolAst::False => out.push_str("false"),
+        BoolAst::Rel(l, op, r) => {
+            write_expr(out, l, 0);
+            let _ = write!(out, " {} ", rel_str(*op));
+            write_expr(out, r, 0);
+        }
+        BoolAst::Not(inner) => {
+            out.push('!');
+            // `!` applies to an atom or a parenthesized condition.
+            match inner.as_ref() {
+                BoolAst::True | BoolAst::False => write_bool(out, inner, 0),
+                _ => {
+                    out.push('(');
+                    write_bool(out, inner, 0);
+                    out.push(')');
+                }
+            }
+        }
+        BoolAst::And(l, r) => {
+            write_bool(out, l, 1);
+            out.push_str(" && ");
+            write_bool(out, r, 2);
+        }
+        BoolAst::Or(l, r) => {
+            write_bool(out, l, 0);
+            out.push_str(" || ");
+            write_bool(out, r, 1);
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+fn rel_str(op: RelAst) -> &'static str {
+    match op {
+        RelAst::Eq => "==",
+        RelAst::Ne => "!=",
+        RelAst::Lt => "<",
+        RelAst::Le => "<=",
+        RelAst::Gt => ">",
+        RelAst::Ge => ">=",
+    }
+}
+
+fn write_cond(out: &mut String, c: &CondAst) {
+    match c {
+        CondAst::Nondet => out.push('*'),
+        CondAst::Expr(b) => write_bool(out, b, 0),
+    }
+}
+
+fn write_block(out: &mut String, stmts: &[StmtAst], indent: usize) {
+    for s in stmts {
+        write_stmt(out, s, indent);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &StmtAst, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        StmtAst::VarDecl(x, ty) => {
+            let _ = writeln!(out, "{pad}var {x}: {ty};");
+        }
+        StmtAst::Assign(x, e) => {
+            let _ = write!(out, "{pad}{x} = ");
+            write_expr(out, e, 0);
+            out.push_str(";\n");
+        }
+        StmtAst::ArrayAssign(a, i, e) => {
+            let _ = write!(out, "{pad}{a}[");
+            write_expr(out, i, 0);
+            out.push_str("] = ");
+            write_expr(out, e, 0);
+            out.push_str(";\n");
+        }
+        StmtAst::Assume(b) => {
+            let _ = write!(out, "{pad}assume(");
+            write_bool(out, b, 0);
+            out.push_str(");\n");
+        }
+        StmtAst::Assert(b) => {
+            let _ = write!(out, "{pad}assert(");
+            write_bool(out, b, 0);
+            out.push_str(");\n");
+        }
+        StmtAst::Havoc(xs) => {
+            let _ = writeln!(out, "{pad}havoc {};", xs.join(", "));
+        }
+        StmtAst::Skip => {
+            let _ = writeln!(out, "{pad}skip;");
+        }
+        StmtAst::If(c, then_branch, else_branch) => {
+            let _ = write!(out, "{pad}if (");
+            write_cond(out, c);
+            out.push_str(") {\n");
+            write_block(out, then_branch, indent + 1);
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                write_block(out, else_branch, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        StmtAst::While(c, body) => {
+            let _ = write!(out, "{pad}while (");
+            write_cond(out, c);
+            out.push_str(") {\n");
+            write_block(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Renders a procedure back to surface syntax.
+pub fn pretty_proc(p: &ProcAst) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = p.params.iter().map(|(x, ty)| format!("{x}: {ty}")).collect();
+    let _ = writeln!(out, "proc {}({}) {{", p.name, params.join(", "));
+    write_block(&mut out, &p.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+impl fmt::Display for ProcAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&pretty_proc(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_proc;
+
+    fn roundtrip(src: &str) -> ProcAst {
+        let ast = parse_proc(src).expect("source must parse");
+        let printed = pretty_proc(&ast);
+        let back = parse_proc(&printed)
+            .unwrap_or_else(|e| panic!("printed source must re-parse: {e}\n{printed}"));
+        assert_eq!(back, ast, "round-trip changed the AST:\n{printed}");
+        ast
+    }
+
+    #[test]
+    fn roundtrips_operators_and_nesting() {
+        roundtrip(
+            "proc ops(n: int, a: int[]) {
+                var x: int; var y: int;
+                x = 1 + 2 * 3 - -4;
+                x = (1 + 2) * (3 - 4);
+                x = 2 * (3 * 4) - (1 - (2 - 3));
+                y = a[x + 1] - a[a[0]];
+                if (x < y && !(x == 0) || y >= n) { skip; } else { havoc x, y; }
+                while (*) { assume(x != y); x = x + 1; }
+                assert(x + y == 2 * n || true);
+            }",
+        );
+    }
+
+    #[test]
+    fn left_associative_subtraction_needs_no_parens_but_right_does() {
+        let ast =
+            parse_proc("proc s(n: int) { var x: int; x = n - 1 - 2; x = n - (1 - 2); }").unwrap();
+        let printed = pretty_proc(&ast);
+        assert!(printed.contains("x = n - 1 - 2;"), "{printed}");
+        assert!(printed.contains("x = n - (1 - 2);"), "{printed}");
+        roundtrip(&printed);
+    }
+
+    #[test]
+    fn for_loops_roundtrip_through_their_desugaring() {
+        // `for` desugars at parse time; the printed form re-parses to the
+        // identical desugared AST.
+        roundtrip(
+            "proc f(a: int[], n: int) {
+                var i: int;
+                for (i = 0; i < n; i++) { a[i] = 0; }
+            }",
+        );
+    }
+}

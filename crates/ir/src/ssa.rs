@@ -178,29 +178,14 @@ mod tests {
         let e = b.add_loc("ERR");
         b.set_entry(l0);
         b.set_error(e);
-        b.add_transition(
-            l0,
-            Action::assume(Formula::ge(Term::var("n"), Term::int(0))),
-            l1,
-        );
+        b.add_transition(l0, Action::assume(Formula::ge(Term::var("n"), Term::int(0))), l1);
         b.add_transition(l1, Action::assign("i", Term::int(0)), l2);
-        b.add_transition(
-            l2,
-            Action::assume(Formula::lt(Term::var("i"), Term::var("n"))),
-            l3,
-        );
+        b.add_transition(l2, Action::assume(Formula::lt(Term::var("i"), Term::var("n"))), l3);
         b.add_transition(l3, Action::assign("i", Term::var("i").add(Term::int(1))), l2);
-        b.add_transition(
-            l2,
-            Action::assume(Formula::ge(Term::var("i"), Term::var("n"))),
-            e,
-        );
+        b.add_transition(l2, Action::assume(Formula::ge(Term::var("i"), Term::var("n"))), e);
         let p = b.build().unwrap();
-        let path = Path::new(
-            &p,
-            vec![TransId(0), TransId(1), TransId(2), TransId(3), TransId(4)],
-        )
-        .unwrap();
+        let path = Path::new(&p, vec![TransId(0), TransId(1), TransId(2), TransId(3), TransId(4)])
+            .unwrap();
         (p, path)
     }
 
@@ -261,10 +246,7 @@ mod tests {
         b.add_transition(l0, Action::array_assign("a", Term::var("i"), Term::int(0)), l1);
         b.add_transition(
             l1,
-            Action::assume(Formula::ne(
-                Term::var("a").select(Term::var("i")),
-                Term::int(0),
-            )),
+            Action::assume(Formula::ne(Term::var("a").select(Term::var("i")), Term::int(0))),
             e,
         );
         let p = b.build().unwrap();
@@ -284,11 +266,7 @@ mod tests {
         b.set_entry(l0);
         b.set_error(e);
         b.add_transition(l0, Action::Havoc(vec![Symbol::intern("x")]), l1);
-        b.add_transition(
-            l1,
-            Action::assume(Formula::lt(Term::var("x"), Term::int(0))),
-            e,
-        );
+        b.add_transition(l1, Action::assume(Formula::lt(Term::var("x"), Term::int(0))), e);
         let p = b.build().unwrap();
         let path = Path::new(&p, vec![TransId(0), TransId(1)]).unwrap();
         let pf = path_formula(&p, &path);

@@ -209,16 +209,12 @@ impl Term {
 
     /// Converts all current-state variable occurrences into primed ones.
     pub fn primed(&self) -> Term {
-        self.map_vars(&|v| {
-            Term::Var(if v.tag == Tag::Cur { v.primed() } else { v })
-        })
+        self.map_vars(&|v| Term::Var(if v.tag == Tag::Cur { v.primed() } else { v }))
     }
 
     /// Converts all primed variable occurrences into current-state ones.
     pub fn unprimed(&self) -> Term {
-        self.map_vars(&|v| {
-            Term::Var(if v.tag == Tag::Primed { v.unprimed() } else { v })
-        })
+        self.map_vars(&|v| Term::Var(if v.tag == Tag::Primed { v.unprimed() } else { v }))
     }
 
     /// The set of variable references occurring in the term.
@@ -304,11 +300,9 @@ impl Term {
                 }
             }
             Term::Select(a, i) => Term::Select(Box::new(a.simplify()), Box::new(i.simplify())),
-            Term::Store(a, i, v) => Term::Store(
-                Box::new(a.simplify()),
-                Box::new(i.simplify()),
-                Box::new(v.simplify()),
-            ),
+            Term::Store(a, i, v) => {
+                Term::Store(Box::new(a.simplify()), Box::new(i.simplify()), Box::new(v.simplify()))
+            }
             Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.simplify()).collect()),
         }
     }

@@ -39,9 +39,8 @@ fn eliminate_one<K: Ord + Clone + Debug>(
     v: &K,
 ) -> SmtResult<Vec<LinConstraint<K>>> {
     // Prefer substitution through an equality that mentions v.
-    if let Some(pos) = constraints
-        .iter()
-        .position(|c| c.op == ConstrOp::Eq && !c.expr.coeff(v).is_zero())
+    if let Some(pos) =
+        constraints.iter().position(|c| c.op == ConstrOp::Eq && !c.expr.coeff(v).is_zero())
     {
         let def = &constraints[pos];
         let a = def.expr.coeff(v);
@@ -86,7 +85,7 @@ fn eliminate_one<K: Ord + Clone + Debug>(
         for up in &uppers {
             let a = up.expr.coeff(v); // > 0
             let b = lo.expr.coeff(v).neg()?; // > 0
-            // b*up + a*lo eliminates v.
+                                             // b*up + a*lo eliminates v.
             let combined = up.expr.scale(b)?.add(&lo.expr.scale(a)?)?;
             let op = if lo.op == ConstrOp::Lt || up.op == ConstrOp::Lt {
                 ConstrOp::Lt

@@ -97,11 +97,7 @@ mod tests {
     }
 
     /// Checks the defining properties of an interpolant for (A, B).
-    fn check_interpolant(
-        a: &[LinConstraint<VarRef>],
-        b: &[LinConstraint<VarRef>],
-        itp: &F,
-    ) {
+    fn check_interpolant(a: &[LinConstraint<VarRef>], b: &[LinConstraint<VarRef>], itp: &F) {
         match itp {
             F::True => {
                 // B alone must be unsatisfiable.
@@ -128,10 +124,8 @@ mod tests {
     #[test]
     fn simple_two_part_interpolant() {
         // A: x <= y, y <= 3    B: x >= 5
-        let a = vec![
-            c(F::le(Term::var("x"), Term::var("y"))),
-            c(F::le(Term::var("y"), Term::int(3))),
-        ];
+        let a =
+            vec![c(F::le(Term::var("x"), Term::var("y"))), c(F::le(Term::var("y"), Term::int(3)))];
         let b = vec![c(F::ge(Term::var("x"), Term::int(5)))];
         let groups = vec![a.clone(), b.clone()];
         let itps = sequence_interpolants(&groups).unwrap().unwrap();
@@ -172,10 +166,7 @@ mod tests {
     fn interpolant_can_be_constant_false() {
         // A is already contradictory.
         let groups = vec![
-            vec![
-                c(F::le(Term::var("x"), Term::int(0))),
-                c(F::ge(Term::var("x"), Term::int(1))),
-            ],
+            vec![c(F::le(Term::var("x"), Term::int(0))), c(F::ge(Term::var("x"), Term::int(1)))],
             vec![c(F::ge(Term::var("y"), Term::int(0)))],
         ];
         let itps = sequence_interpolants(&groups).unwrap().unwrap();
@@ -187,10 +178,7 @@ mod tests {
         // All the contradiction lives in B.
         let groups = vec![
             vec![c(F::ge(Term::var("y"), Term::int(0)))],
-            vec![
-                c(F::le(Term::var("x"), Term::int(0))),
-                c(F::ge(Term::var("x"), Term::int(1))),
-            ],
+            vec![c(F::le(Term::var("x"), Term::int(0))), c(F::ge(Term::var("x"), Term::int(1)))],
         ];
         let itps = sequence_interpolants(&groups).unwrap().unwrap();
         check_interpolant(&groups[0], &groups[1], &itps[0]);

@@ -113,9 +113,7 @@ impl FarkasCertificate {
 /// # Errors
 ///
 /// Propagates arithmetic overflow errors from the exact rational arithmetic.
-pub fn solve<K: Ord + Clone + Debug>(
-    constraints: &[LinConstraint<K>],
-) -> SmtResult<LpResult<K>> {
+pub fn solve<K: Ord + Clone + Debug>(constraints: &[LinConstraint<K>]) -> SmtResult<LpResult<K>> {
     Tableau::new(constraints)?.check()
 }
 
@@ -227,13 +225,13 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
             // (Bland's rule guarantees termination).
             let violated = self.rows.keys().copied().find(|&b| {
                 let v = self.beta[b];
-                self.lower[b].map_or(false, |l| v < l) || self.upper[b].map_or(false, |u| v > u)
+                self.lower[b].is_some_and(|l| v < l) || self.upper[b].is_some_and(|u| v > u)
             });
             let Some(b) = violated else {
                 return Ok(LpResult::Sat(self.extract_model()?));
             };
             let v = self.beta[b];
-            if self.lower[b].map_or(false, |l| v < l) {
+            if self.lower[b].is_some_and(|l| v < l) {
                 // Need to increase x_b.
                 let target = self.lower[b].expect("bound checked");
                 let row = self.rows[&b].clone();
@@ -242,9 +240,9 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                         return false;
                     }
                     if row[j].is_positive() {
-                        self.upper[j].map_or(true, |u| self.beta[j] < u)
+                        self.upper[j].is_none_or(|u| self.beta[j] < u)
                     } else {
-                        self.lower[j].map_or(true, |l| self.beta[j] > l)
+                        self.lower[j].is_none_or(|l| self.beta[j] > l)
                     }
                 });
                 match pivot {
@@ -260,9 +258,9 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                         return false;
                     }
                     if row[j].is_negative() {
-                        self.upper[j].map_or(true, |u| self.beta[j] < u)
+                        self.upper[j].is_none_or(|u| self.beta[j] < u)
                     } else {
-                        self.lower[j].map_or(true, |l| self.beta[j] > l)
+                        self.lower[j].is_none_or(|l| self.beta[j] > l)
                     }
                 });
                 match pivot {
@@ -332,7 +330,7 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                     .zip(self.ops.iter().copied())
                     .map(|(expr, op)| LinConstraint::new(expr, op))
                     .collect::<Vec<_>>()
-            )? ,
+            )?,
             "produced an invalid Farkas certificate"
         );
         Ok(cert)
@@ -436,9 +434,8 @@ mod tests {
 
     fn check_model(constraints: &[LinConstraint<VarRef>], model: &BTreeMap<VarRef, Rat>) {
         for cst in constraints {
-            let holds = cst
-                .holds(&|v: &VarRef| model.get(v).copied().unwrap_or(Rat::ZERO))
-                .unwrap();
+            let holds =
+                cst.holds(&|v: &VarRef| model.get(v).copied().unwrap_or(Rat::ZERO)).unwrap();
             assert!(holds, "model {model:?} violates {cst}");
         }
     }
@@ -462,10 +459,8 @@ mod tests {
     #[test]
     fn infeasible_system_produces_valid_certificate() {
         let x = Term::var("x");
-        let cs = vec![
-            c(Formula::ge(x.clone(), Term::int(5))),
-            c(Formula::le(x.clone(), Term::int(4))),
-        ];
+        let cs =
+            vec![c(Formula::ge(x.clone(), Term::int(5))), c(Formula::le(x.clone(), Term::int(4)))];
         match solve(&cs).unwrap() {
             LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
             LpResult::Sat(m) => panic!("system is infeasible, got model {m:?}"),
@@ -476,7 +471,8 @@ mod tests {
     fn strict_inequalities_are_exact() {
         let x = Term::var("x");
         // x < 5 && x > 4 is satisfiable over the rationals.
-        let cs = vec![c(Formula::lt(x.clone(), Term::int(5))), c(Formula::gt(x.clone(), Term::int(4)))];
+        let cs =
+            vec![c(Formula::lt(x.clone(), Term::int(5))), c(Formula::gt(x.clone(), Term::int(4)))];
         match solve(&cs).unwrap() {
             LpResult::Sat(m) => check_model(&cs, &m),
             LpResult::Unsat(_) => panic!("satisfiable over the rationals"),
@@ -556,18 +552,14 @@ mod tests {
     fn entailment_queries() {
         let x = Term::var("x");
         let y = Term::var("y");
-        let ante = vec![
-            c(Formula::le(x.clone(), y.clone())),
-            c(Formula::le(y.clone(), Term::int(5))),
-        ];
+        let ante =
+            vec![c(Formula::le(x.clone(), y.clone())), c(Formula::le(y.clone(), Term::int(5)))];
         assert!(entails(&ante, &c(Formula::le(x.clone(), Term::int(5)))).unwrap());
         assert!(!entails(&ante, &c(Formula::le(x.clone(), Term::int(4)))).unwrap());
         assert!(entails(&ante, &c(Formula::le(x.clone(), Term::int(6)))).unwrap());
         // Equality goal.
-        let ante_eq = vec![
-            c(Formula::le(x.clone(), Term::int(3))),
-            c(Formula::ge(x.clone(), Term::int(3))),
-        ];
+        let ante_eq =
+            vec![c(Formula::le(x.clone(), Term::int(3))), c(Formula::ge(x.clone(), Term::int(3)))];
         assert!(entails(&ante_eq, &c(Formula::eq(x.clone(), Term::int(3)))).unwrap());
         assert!(!entails(&ante_eq, &c(Formula::eq(x, Term::int(4)))).unwrap());
     }
@@ -591,10 +583,7 @@ mod tests {
     #[test]
     fn contradictory_equalities_detected() {
         let x = Term::var("x");
-        let cs = vec![
-            c(Formula::eq(x.clone(), Term::int(1))),
-            c(Formula::eq(x, Term::int(2))),
-        ];
+        let cs = vec![c(Formula::eq(x.clone(), Term::int(1))), c(Formula::eq(x, Term::int(2)))];
         match solve(&cs).unwrap() {
             LpResult::Unsat(cert) => assert!(cert.verify(&cs).unwrap()),
             LpResult::Sat(_) => panic!("infeasible"),
@@ -621,10 +610,7 @@ mod tests {
     #[test]
     fn certificate_rejects_tampering() {
         let x = Term::var("x");
-        let cs = vec![
-            c(Formula::ge(x.clone(), Term::int(5))),
-            c(Formula::le(x, Term::int(4))),
-        ];
+        let cs = vec![c(Formula::ge(x.clone(), Term::int(5))), c(Formula::le(x, Term::int(4)))];
         let LpResult::Unsat(mut cert) = solve(&cs).unwrap() else {
             panic!("infeasible");
         };

@@ -129,11 +129,8 @@ impl Solver {
         let original_vars: BTreeSet<VarRef> = f.var_refs();
         for cube in to_dnf(&f.nnf()) {
             if let Some(model) = self.check_cube(&cube, &budget)? {
-                let values = model
-                    .values
-                    .into_iter()
-                    .filter(|(v, _)| original_vars.contains(v))
-                    .collect();
+                let values =
+                    model.values.into_iter().filter(|(v, _)| original_vars.contains(v)).collect();
                 return Ok(SatResult::Sat(Model { values }));
             }
         }
@@ -171,8 +168,7 @@ impl Solver {
                 let mut skolemised = (**body).clone();
                 for v in vars {
                     let fresh = Symbol::fresh(&format!("sk_{v}"));
-                    skolemised = skolemised
-                        .map_terms(&|t| t.subst_bound(*v, &Term::var(fresh)));
+                    skolemised = skolemised.map_terms(&|t| t.subst_bound(*v, &Term::var(fresh)));
                 }
                 self.entails(antecedent, &skolemised)
             }
@@ -414,14 +410,12 @@ impl Solver {
                 {
                     let mut branch = constraints.clone();
                     for (x, y) in a.args.iter().zip(b.args.iter()) {
-                        branch.push(
-                            LinConstraint::eq(LinExpr::from_term(x)?, LinExpr::from_term(y)?)?,
-                        );
+                        branch.push(LinConstraint::eq(
+                            LinExpr::from_term(x)?,
+                            LinExpr::from_term(y)?,
+                        )?);
                     }
-                    branch.push(LinConstraint::eq(
-                        LinExpr::var(a.result),
-                        LinExpr::var(b.result),
-                    )?);
+                    branch.push(LinConstraint::eq(LinExpr::var(a.result), LinExpr::var(b.result))?);
                     if let Some(m) = self.solve_with_functionality(branch, instances, budget)? {
                         return Ok(Some(m));
                     }
@@ -439,9 +433,7 @@ impl Solver {
                             LinConstraint::new(diff, crate::linexpr::ConstrOp::Lt)
                                 .tighten_for_integers()?,
                         );
-                        if let Some(m) =
-                            self.solve_with_functionality(branch, instances, budget)?
-                        {
+                        if let Some(m) = self.solve_with_functionality(branch, instances, budget)? {
                             return Ok(Some(m));
                         }
                     }
@@ -471,9 +463,7 @@ fn check_no_negated_quantifier(f: &Formula, positive: bool) -> SmtResult<()> {
         }
         Formula::Forall(_, body) => {
             if !positive {
-                return Err(SmtError::unsupported(
-                    "universal quantifier in a negative position",
-                ));
+                return Err(SmtError::unsupported("universal quantifier in a negative position"));
             }
             check_no_negated_quantifier(body, positive)
         }
@@ -606,10 +596,7 @@ fn normalise_arrays(atoms: Vec<Atom>) -> SmtResult<(Vec<Atom>, Vec<StoreDef>)> {
                 (Term::Var(x), Term::Var(y)) => (*x, Term::Var(*y)),
                 _ => unreachable!("alias position checked"),
             };
-            work = work
-                .into_iter()
-                .map(|a| a.map_terms(&|t| t.subst_var(from, &to)))
-                .collect();
+            work = work.into_iter().map(|a| a.map_terms(&|t| t.subst_var(from, &to))).collect();
             defs = defs
                 .into_iter()
                 .map(|d| StoreDef {
@@ -665,12 +652,8 @@ fn find_read_over_write(atoms: &[Atom], defs: &[StoreDef]) -> Option<(Term, Term
                         }
                         Term::Var(v) => {
                             if let Some(d) = defs.iter().find(|d| d.var == *v) {
-                                found = Some((
-                                    t.clone(),
-                                    d.base.clone(),
-                                    d.idx.clone(),
-                                    d.val.clone(),
-                                ));
+                                found =
+                                    Some((t.clone(), d.base.clone(), d.idx.clone(), d.val.clone()));
                             }
                         }
                         _ => {}
@@ -714,10 +697,9 @@ fn replace_subterm(t: &Term, target: &Term, replacement: &Term) -> Term {
             Box::new(replace_subterm(b, target, replacement)),
             Box::new(replace_subterm(c, target, replacement)),
         ),
-        Term::App(f, args) => Term::App(
-            *f,
-            args.iter().map(|a| replace_subterm(a, target, replacement)).collect(),
-        ),
+        Term::App(f, args) => {
+            Term::App(*f, args.iter().map(|a| replace_subterm(a, target, replacement)).collect())
+        }
     }
 }
 
@@ -726,19 +708,16 @@ fn replace_subterm(t: &Term, target: &Term, replacement: &Term) -> Term {
 fn abstract_term(t: &Term, instances: &mut Vec<Instance>) -> Term {
     match t {
         Term::Const(_) | Term::Var(_) | Term::Bound(_) => t.clone(),
-        Term::Add(a, b) => Term::Add(
-            Box::new(abstract_term(a, instances)),
-            Box::new(abstract_term(b, instances)),
-        ),
-        Term::Sub(a, b) => Term::Sub(
-            Box::new(abstract_term(a, instances)),
-            Box::new(abstract_term(b, instances)),
-        ),
+        Term::Add(a, b) => {
+            Term::Add(Box::new(abstract_term(a, instances)), Box::new(abstract_term(b, instances)))
+        }
+        Term::Sub(a, b) => {
+            Term::Sub(Box::new(abstract_term(a, instances)), Box::new(abstract_term(b, instances)))
+        }
         Term::Neg(a) => Term::Neg(Box::new(abstract_term(a, instances))),
-        Term::Mul(a, b) => Term::Mul(
-            Box::new(abstract_term(a, instances)),
-            Box::new(abstract_term(b, instances)),
-        ),
+        Term::Mul(a, b) => {
+            Term::Mul(Box::new(abstract_term(a, instances)), Box::new(abstract_term(b, instances)))
+        }
         Term::Select(arr, idx) => {
             let idx = abstract_term(idx, instances);
             let fun = format!("read:{arr}");
@@ -885,10 +864,7 @@ mod tests {
         let s = solver();
         let f = F::and(vec![
             F::eq(Term::var("x"), Term::var("y")),
-            F::ne(
-                Term::app("f", vec![Term::var("x")]),
-                Term::app("f", vec![Term::var("y")]),
-            ),
+            F::ne(Term::app("f", vec![Term::var("x")]), Term::app("f", vec![Term::var("y")])),
         ]);
         assert!(!s.is_sat(&f).unwrap());
     }
@@ -914,10 +890,7 @@ mod tests {
         let f = F::and(vec![
             F::eq(Term::ivar("i", 1), Term::int(0)),
             F::lt(Term::ivar("i", 1), Term::ivar("n", 0)),
-            F::eq(
-                Term::ivar("a", 1),
-                Term::ivar("a", 0).store(Term::ivar("i", 1), Term::int(0)),
-            ),
+            F::eq(Term::ivar("a", 1), Term::ivar("a", 0).store(Term::ivar("i", 1), Term::int(0))),
             F::eq(Term::ivar("i", 2), Term::ivar("i", 1).add(Term::int(1))),
             F::ge(Term::ivar("i", 2), Term::ivar("n", 0)),
             F::eq(Term::ivar("i", 3), Term::int(0)),

@@ -1,0 +1,146 @@
+//! Cross-checks on the decision-procedure substrate:
+//!
+//! * the general simplex and Fourier–Motzkin elimination must agree on the
+//!   satisfiability of random linear systems (both are exact over the
+//!   rationals), simplex models must satisfy every constraint, and Farkas
+//!   certificates must verify;
+//! * congruence closure must decide satisfiability of equality chains with
+//!   a disequality correctly, including through uninterpreted function
+//!   applications.
+
+use pathinv_ir::{Symbol, Term, VarRef};
+use pathinv_smt::{
+    fourier_motzkin, lra_solve, CongruenceClosure, ConstrOp, LinConstraint, LinExpr, LpResult, Rat,
+};
+use proptest::prelude::*;
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+fn vref(name: &str) -> VarRef {
+    VarRef::cur(Symbol::intern(name))
+}
+
+/// A random normalized constraint `c1*x + c2*y + c3*z + d ⋈ 0`.
+fn constraint_strategy() -> impl Strategy<Value = LinConstraint<VarRef>> {
+    let coeff = -3i128..=3;
+    let op = prop_oneof![Just(ConstrOp::Le), Just(ConstrOp::Lt), Just(ConstrOp::Eq)];
+    (coeff.clone(), coeff.clone(), coeff, -5i128..=5, op).prop_map(|(a, b, c, d, op)| {
+        let mut e = LinExpr::constant(Rat::int(d));
+        for (name, k) in VARS.iter().zip([a, b, c]) {
+            e.add_term(vref(name), Rat::int(k)).expect("small coefficients cannot overflow");
+        }
+        LinConstraint::new(e, op)
+    })
+}
+
+/// Full Fourier–Motzkin elimination decides satisfiability: after projecting
+/// out every variable, the residue is variable-free and the conjunction is
+/// satisfiable iff every residual (constant) constraint holds.
+fn fm_is_sat(constraints: &[LinConstraint<VarRef>]) -> bool {
+    let residue =
+        fourier_motzkin::eliminate(constraints, &VARS.iter().map(|v| vref(v)).collect::<Vec<_>>())
+            .expect("elimination on small systems cannot overflow");
+    residue.iter().all(|c| {
+        assert!(c.expr.vars().is_empty(), "residue must be variable-free");
+        c.holds(&|_| Rat::ZERO).expect("constant evaluation cannot fail")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simplex and Fourier–Motzkin agree on random systems; models and
+    /// Farkas certificates check out.
+    #[test]
+    fn simplex_and_fourier_motzkin_agree(
+        constraints in proptest::collection::vec(constraint_strategy(), 1..6)
+    ) {
+        let fm_sat = fm_is_sat(&constraints);
+        match lra_solve(&constraints).expect("small systems cannot overflow") {
+            LpResult::Sat(model) => {
+                prop_assert!(
+                    fm_sat,
+                    "simplex found a model but Fourier–Motzkin says unsat: {constraints:?}"
+                );
+                for c in &constraints {
+                    prop_assert!(
+                        c.holds(&|k: &VarRef| {
+                            model.get(k).copied().unwrap_or(Rat::ZERO)
+                        }).expect("model evaluation cannot fail"),
+                        "simplex model violates {c:?}"
+                    );
+                }
+            }
+            LpResult::Unsat(cert) => {
+                prop_assert!(
+                    !fm_sat,
+                    "simplex says unsat but Fourier–Motzkin found the system satisfiable: \
+                     {constraints:?}"
+                );
+                prop_assert!(
+                    cert.verify(&constraints).expect("certificate check cannot overflow"),
+                    "Farkas certificate fails to verify for {constraints:?}"
+                );
+            }
+        }
+    }
+
+    /// An equality chain `t_0 = t_1 = ... = t_n` makes the endpoints equal;
+    /// adding `t_0 != t_n` is inconsistent, and omitting one link is not.
+    #[test]
+    fn congruence_closure_on_equality_chains(
+        n in 2usize..8,
+        missing in 0usize..8,
+        use_apps in proptest::prelude::any::<u8>(),
+    ) {
+        let use_apps = use_apps.is_multiple_of(2);
+        let term = |i: usize| {
+            let v = Term::var(format!("c{i}").as_str());
+            if use_apps { Term::app("f", vec![v]) } else { v }
+        };
+
+        // Complete chain: endpoints merge, a disequality breaks consistency.
+        let mut cc = CongruenceClosure::new();
+        for i in 0..n {
+            cc.assert_eq(&term(i), &term(i + 1));
+        }
+        prop_assert!(cc.is_consistent());
+        prop_assert!(cc.are_equal(&term(0), &term(n)));
+        cc.assert_ne(&term(0), &term(n));
+        prop_assert!(!cc.is_consistent(), "t0 = ... = tn together with t0 != tn must be unsat");
+
+        // Chain with one missing link: the endpoints stay separate, so the
+        // same disequality remains satisfiable.
+        let missing = missing % n;
+        let mut cc = CongruenceClosure::new();
+        for i in 0..n {
+            if i != missing {
+                cc.assert_eq(&term(i), &term(i + 1));
+            }
+        }
+        cc.assert_ne(&term(0), &term(n));
+        prop_assert!(
+            cc.is_consistent(),
+            "with link {missing} missing, t0 != tn must be satisfiable"
+        );
+        prop_assert!(!cc.are_equal(&term(0), &term(n)));
+    }
+
+    /// Congruence propagates through function applications: merging the
+    /// chain endpoints merges their images under `f`.
+    #[test]
+    fn congruence_propagates_through_applications(n in 1usize..6) {
+        let var = |i: usize| Term::var(format!("d{i}").as_str());
+        let mut cc = CongruenceClosure::new();
+        let f0 = Term::app("g", vec![var(0)]);
+        let fn_ = Term::app("g", vec![var(n)]);
+        cc.add_term(&f0);
+        cc.add_term(&fn_);
+        prop_assert!(!cc.are_equal(&f0, &fn_));
+        for i in 0..n {
+            cc.assert_eq(&var(i), &var(i + 1));
+        }
+        prop_assert!(cc.are_equal(&f0, &fn_), "g(d0) = g(dn) must follow from the chain");
+        prop_assert!(cc.is_consistent());
+    }
+}

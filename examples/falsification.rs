@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = Verifier::path_invariants().verify(&program)?;
     match &result.verdict {
         Verdict::Unsafe { path } => {
-            println!("bug confirmed after {} refinements; feasible error path:", result.refinements);
+            println!(
+                "bug confirmed after {} refinements; feasible error path:",
+                result.refinements
+            );
             println!("{}", path.render(&program));
         }
         other => println!("unexpected verdict: {other:?}"),

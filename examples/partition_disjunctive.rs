@@ -20,8 +20,11 @@ fn branch_counterexample(p: &Program, then_branch: bool) -> Vec<path_invariants:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = corpus::partition();
-    println!("program PARTITION has {} locations and {} transitions",
-        program.num_locs(), program.transitions().len());
+    println!(
+        "program PARTITION has {} locations and {} transitions",
+        program.num_locs(),
+        program.transitions().len()
+    );
 
     // Counterexample 1: one iteration through the then-branch (a[i] >= 0),
     // then the ge-check fails.
@@ -65,8 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, cex) in [("then-branch (ge)", cex_ge), ("else-branch (lt)", cex_lt)] {
         println!("\n=== spurious counterexample through the {name} ===");
         let pp = path_program(&program, &cex)?;
-        println!("path program: {} locations, {} transitions",
-            pp.program.num_locs(), pp.program.transitions().len());
+        println!(
+            "path program: {} locations, {} transitions",
+            pp.program.num_locs(),
+            pp.program.transitions().len()
+        );
         match generator.generate(&pp.program) {
             Ok(generated) => {
                 for (loc, inv) in &generated.cutpoint_invariants {

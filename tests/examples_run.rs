@@ -1,0 +1,60 @@
+//! Rot-guard for `examples/`: every committed example binary must build
+//! (cargo does that as part of `cargo test`) *and* run to successful exit.
+//!
+//! The example binaries land next to this test's own executable
+//! (`target/<profile>/examples/`), so the guard works for debug and release
+//! runs alike without spawning a nested cargo.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn examples_dir() -> PathBuf {
+    // this test binary: target/<profile>/deps/examples_run-<hash>
+    // example binaries: target/<profile>/examples/<name>
+    let exe = std::env::current_exe().expect("test binary has a path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .map(|profile| profile.join("examples"))
+        .expect("test binary must live under target/<profile>/deps")
+}
+
+fn committed_example_names() -> Vec<String> {
+    let src_dir = format!("{}/examples", env!("CARGO_MANIFEST_DIR"));
+    let mut names: Vec<String> = std::fs::read_dir(src_dir)
+        .expect("examples/ must exist")
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (path.extension().and_then(|x| x.to_str()) == Some("rs"))
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_example_runs_to_successful_exit() {
+    let names = committed_example_names();
+    assert!(names.len() >= 5, "expected the seed examples, found {names:?}");
+    let dir = examples_dir();
+    let mut failures = Vec::new();
+    for name in &names {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            failures.push(format!("{name}: binary not built at {}", bin.display()));
+            continue;
+        }
+        // No arguments: every example must have a sensible no-args mode.
+        match Command::new(&bin).output() {
+            Ok(out) if out.status.success() => {}
+            Ok(out) => failures.push(format!(
+                "{name}: exited with {}\nstdout:\n{}\nstderr:\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            )),
+            Err(e) => failures.push(format!("{name}: failed to spawn: {e}")),
+        }
+    }
+    assert!(failures.is_empty(), "examples rotted:\n{}", failures.join("\n"));
+}

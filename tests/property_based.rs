@@ -18,10 +18,7 @@ fn atom_strategy() -> impl Strategy<Value = Formula> {
         Just(RelOp::Ne),
     ];
     (coeff.clone(), coeff.clone(), coeff.clone(), -5i128..=5, op).prop_map(|(a, b, c, d, op)| {
-        let lhs = Term::var("x")
-            .scale(a)
-            .add(Term::var("y").scale(b))
-            .add(Term::var("z").scale(c));
+        let lhs = Term::var("x").scale(a).add(Term::var("y").scale(b)).add(Term::var("z").scale(c));
         Formula::atom(lhs, op, Term::int(d))
     })
 }

@@ -1,0 +1,107 @@
+//! Surface-language round-trip tests: `parse` → `pretty_proc` → `re-parse`
+//! must reproduce the identical AST for every program source we ship — the
+//! corpus sources, the suite entries, the committed `.pinv` programs, and the
+//! inline programs embedded in `examples/*.rs`.
+
+use pathinv_ir::parser::parse_procs;
+use pathinv_ir::{corpus, parse_program, pretty_proc};
+
+/// Asserts the parse/print/parse round-trip for one source text (which may
+/// declare several procedures).
+fn assert_roundtrip(label: &str, src: &str) {
+    let procs = parse_procs(src).unwrap_or_else(|e| panic!("{label}: parse failed: {e}"));
+    assert!(!procs.is_empty(), "{label}: no procedures parsed");
+    for ast in procs {
+        let printed = pretty_proc(&ast);
+        let back = pathinv_ir::parse_proc(&printed).unwrap_or_else(|e| {
+            panic!("{label}/{}: printed source failed to re-parse: {e}\n{printed}", ast.name)
+        });
+        assert_eq!(
+            back, ast,
+            "{label}/{}: round-trip changed the AST\nprinted:\n{printed}",
+            ast.name
+        );
+        // The printed source must also survive the full lowering pipeline.
+        parse_program(&printed).unwrap_or_else(|e| {
+            panic!("{label}/{}: printed source failed to lower: {e}", ast.name)
+        });
+    }
+}
+
+#[test]
+fn corpus_sources_roundtrip() {
+    assert_roundtrip("forward_src", corpus::forward_src());
+    assert_roundtrip("initcheck_src", corpus::initcheck_src());
+    assert_roundtrip("partition_src", corpus::partition_src());
+}
+
+#[test]
+fn suite_sources_roundtrip() {
+    for entry in corpus::suite() {
+        assert_roundtrip(entry.name, entry.src);
+    }
+}
+
+#[test]
+fn committed_pinv_programs_roundtrip() {
+    let dir = format!("{}/programs", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("programs/ directory must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pinv") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert_roundtrip(&path.display().to_string(), &src);
+        seen += 1;
+    }
+    assert!(seen >= 3, "expected the committed sample programs, found {seen}");
+}
+
+/// Extracts the inline `proc ...` program texts embedded as string literals
+/// in an example file, by brace matching from each `proc` keyword.
+fn extract_inline_programs(rust_src: &str) -> Vec<String> {
+    let bytes = rust_src.as_bytes();
+    let mut out = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = rust_src[search_from..].find("proc ") {
+        let start = search_from + rel;
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, &b) in bytes[start..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(start + i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        out.push(rust_src[start..end].to_string());
+        search_from = end;
+    }
+    out
+}
+
+#[test]
+fn example_inline_programs_roundtrip() {
+    let dir = format!("{}/examples", env!("CARGO_MANIFEST_DIR"));
+    let mut programs = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/ directory must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        for (i, program) in extract_inline_programs(&src).into_iter().enumerate() {
+            assert_roundtrip(&format!("{}#{i}", path.display()), &program);
+            programs += 1;
+        }
+    }
+    assert!(programs >= 3, "expected inline programs in the examples, found {programs}");
+}
