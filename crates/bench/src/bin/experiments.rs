@@ -4,19 +4,67 @@
 //! ```text
 //! cargo run --release -p pathinv-bench --bin experiments            # everything
 //! cargo run --release -p pathinv-bench --bin experiments -- f1 t5   # a subset
+//!
+//! # The deterministic benchmark trajectory (CI's bench-smoke job):
+//! cargo run --release -p pathinv-bench --bin experiments -- bench \
+//!     --bench-json BENCH_pr2.json --check tests/golden/bench.json
 //! ```
+//!
+//! The `bench` experiment exits nonzero when a task errors or when the
+//! emitted report drifts from the golden passed to `--check`.
 
+use pathinv_bench::experiments::{run_bench, BenchConfig};
 use pathinv_bench::{
     forward_with_cex, initcheck_with_cex, partition_with_ge_cex, partition_with_lt_cex,
 };
 use pathinv_core::{path_program, PathInvariantRefiner, Verdict, Verifier};
 use pathinv_invgen::PathInvariantGenerator;
 use pathinv_ir::{corpus, parse_program, Path, Program};
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Split flag/value pairs (for the bench experiment) from experiment ids.
+    let mut ids: Vec<String> = Vec::new();
+    let mut bench_config = BenchConfig::default();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        let parsed = match arg.as_str() {
+            "--bench-json" => value_for("--bench-json").map(|v| bench_config.bench_json = Some(v)),
+            "--bench-golden" => {
+                value_for("--bench-golden").map(|v| bench_config.bench_golden = Some(v))
+            }
+            "--check" => value_for("--check").map(|v| bench_config.check = Some(v)),
+            "--jobs" => value_for("--jobs").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| bench_config.jobs = Some(n.max(1)))
+                    .map_err(|_| format!("bad --jobs `{v}`"))
+            }),
+            // Reject unknown flags loudly: a typo like `--chck` must not be
+            // swallowed as an experiment id, silently skipping the drift
+            // check while exiting 0.
+            other if other.starts_with('-') => Err(format!("unknown option `{other}`")),
+            other => {
+                ids.push(other.to_string());
+                Ok(())
+            }
+        };
+        if let Err(msg) = parsed {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+    let bench_flagged = bench_config.bench_json.is_some()
+        || bench_config.bench_golden.is_some()
+        || bench_config.check.is_some()
+        || bench_config.jobs.is_some();
+    if ids.is_empty() && bench_flagged {
+        ids.push("bench".to_string());
+    }
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|a| a == id || a == "all");
     println!("Path Invariants (PLDI 2007) — experiment reproduction harness\n");
     if want("f1") {
         experiment_f1();
@@ -39,6 +87,17 @@ fn main() {
     if want("s1") {
         experiment_s1();
     }
+    // The trajectory verifies the corpus twice, so it is opt-in (by id,
+    // `all`, or any bench flag) rather than part of the bare default run.
+    if ids.iter().any(|a| a == "bench" || a == "all") {
+        banner("BENCH", "benchmark trajectory — corpus solver-call counters, cached vs uncached");
+        if let Err(msg) = run_bench(&bench_config) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
 }
 
 fn banner(id: &str, title: &str) {

@@ -1,0 +1,133 @@
+//! The deterministic benchmark-trajectory experiment (`bench`): verifies
+//! the full corpus under both refiners, cached and uncached, and emits the
+//! `BENCH_pr2.json` trajectory point.
+//!
+//! This is the CI entry point of the perf trajectory: the `bench-smoke` job
+//! runs it with `--check tests/golden/bench.json` and fails the build when
+//! the report schema or any deterministic field (verdict, refinement count,
+//! solver-call and cache counters) drifts from the committed golden.  Local
+//! regeneration after an intentional change is
+//! `cargo run --release -p pathinv-cli -- --bless`.
+
+use pathinv_cli::json::{self, Json};
+use pathinv_cli::trajectory::{run_trajectory, TrajectoryReport};
+
+/// Configuration of one `bench` experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchConfig {
+    /// Worker threads (defaults to available parallelism).
+    pub jobs: Option<usize>,
+    /// Where to write the full trajectory report (`BENCH_pr2.json`).
+    pub bench_json: Option<String>,
+    /// Where to write the deterministic golden projection.
+    pub bench_golden: Option<String>,
+    /// A committed golden to diff the run against; any drift is an error.
+    pub check: Option<String>,
+}
+
+/// Runs the trajectory experiment, writes the requested artifacts, and
+/// diffs against the committed golden when asked.
+///
+/// # Errors
+///
+/// Returns a human-readable message when a task errors, a file cannot be
+/// written, the golden cannot be read, or the run drifts from the golden.
+pub fn run_bench(config: &BenchConfig) -> Result<TrajectoryReport, String> {
+    let jobs = config
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!("verifying the corpus twice on {jobs} worker(s): cached, then uncached baseline");
+    let trajectory = run_trajectory(jobs);
+    print!("{}", trajectory.cached.render_table());
+    let errors = trajectory
+        .cached
+        .tasks
+        .iter()
+        .chain(trajectory.uncached.tasks.iter())
+        .filter(|t| t.verdict == "error")
+        .count();
+    if errors > 0 {
+        return Err(format!("{errors} task(s) errored; the trajectory point is not valid"));
+    }
+    let parity = trajectory.parity_failures();
+    if !parity.is_empty() {
+        return Err(format!(
+            "cached and uncached runs disagree on observable outcomes:\n  {}",
+            parity.join("\n  ")
+        ));
+    }
+    println!(
+        "solver calls: {} cached vs {} uncached baseline ({:.1}% saved; \
+         query hit rate {:.1}%, post-memo hit rate {:.1}%)",
+        trajectory.totals.solver_calls,
+        trajectory.baseline.solver_calls,
+        trajectory.solver_call_reduction() * 100.0,
+        rate(trajectory.totals.query_cache_hits, trajectory.totals.smt_queries) * 100.0,
+        rate(trajectory.totals.post_cache_hits, trajectory.totals.post_queries) * 100.0,
+    );
+    if let Some(path) = &config.bench_json {
+        std::fs::write(path, trajectory.to_json().pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &config.bench_golden {
+        std::fs::write(path, trajectory.to_golden_json().pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &config.check {
+        let golden = load_golden(path)?;
+        let failures = trajectory.check_against_golden(&golden);
+        if !failures.is_empty() {
+            return Err(format!(
+                "bench trajectory drifted from {path}:\n  {}\n\nIf the change is intentional, \
+                 regenerate the goldens with\n  cargo run --release -p pathinv-cli -- --bless",
+                failures.join("\n  ")
+            ));
+        }
+        println!("no drift against {path}");
+    }
+    Ok(trajectory)
+}
+
+/// Reads and parses a committed golden document.
+///
+/// # Errors
+///
+/// Returns a readable message when the file is missing or malformed.
+pub fn load_golden(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn rate(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The error paths of golden loading produce readable messages, not
+    /// panics.  (The full-corpus happy path is exercised by CI's
+    /// bench-smoke job; running it here would double the suite wall clock.)
+    #[test]
+    fn missing_and_malformed_goldens_are_errors_not_panics() {
+        let dir = std::env::temp_dir().join("pathinv-bench-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        for path in ["/nonexistent/golden.json", bad.to_str().unwrap()] {
+            let err = load_golden(path).unwrap_err();
+            assert!(err.contains(path), "{err}");
+        }
+        let good = dir.join("good.json");
+        std::fs::write(&good, "{\"bench_schema_version\": 1}").unwrap();
+        let doc = load_golden(good.to_str().unwrap()).unwrap();
+        assert_eq!(doc.get("bench_schema_version").and_then(Json::as_int), Some(1));
+    }
+}

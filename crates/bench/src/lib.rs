@@ -1,6 +1,9 @@
-//! Shared helpers for the benchmark harness and the experiment runner.
+//! Shared helpers for the benchmark harness and the experiment runner, plus
+//! the deterministic benchmark-trajectory experiment ([`experiments`]).
 
 #![warn(missing_docs)]
+
+pub mod experiments;
 
 use pathinv_ir::{corpus, Path, Program, TransId};
 

@@ -8,25 +8,28 @@
 //!
 //! The JSON report doubles as the substrate for golden-result regression
 //! testing: `tests/corpus_regression.rs` (in the workspace root package)
-//! re-runs the corpus and diffs the deterministic fields — verdict and
-//! refinement count per task — against the committed
-//! `tests/golden/corpus.json`, so a PR that flips a verdict or blows up
-//! refinement counts fails tier-1 immediately.
+//! re-runs the corpus and diffs the deterministic fields — verdict,
+//! refinement count, solver calls, and cache hits per task — against the
+//! committed `tests/golden/corpus.json`, so a PR that flips a verdict,
+//! blows up refinement counts, or regresses solver-call discipline fails
+//! tier-1 immediately.  The [`trajectory`] module builds the benchmark
+//! trajectory point (`BENCH_pr2.json`) on the same harness.
 
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod trajectory;
 
 use json::Json;
-use pathinv_core::{CegarConfig, RefinerKind, Verdict, Verifier};
+use pathinv_core::{CegarConfig, RefinerKind, Verdict, Verifier, VerifierStats};
 use pathinv_ir::{corpus, parse_program, Program};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Schema version stamped into every report, bumped on breaking changes to
-/// the report layout.
-pub const SCHEMA_VERSION: i64 = 1;
+/// the report layout.  Version 2 added the solver-call and cache counters.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
@@ -65,6 +68,8 @@ pub struct TaskReport {
     pub art_nodes: usize,
     /// Wall-clock time for this task, in milliseconds.
     pub wall_ms: f64,
+    /// Solver-call and cache statistics (all-zero for errored tasks).
+    pub stats: VerifierStats,
 }
 
 /// The outcome of a whole batch run.
@@ -177,7 +182,7 @@ fn run_task(task: &BatchTask) -> TaskReport {
         Verifier::new(task.config.clone()).verify(&task.program)
     }));
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let (verdict, detail, refinements, predicates, art_nodes) = match outcome {
+    let (verdict, detail, refinements, predicates, art_nodes, stats) = match outcome {
         Ok(Ok(result)) => {
             let (verdict, detail) = match &result.verdict {
                 Verdict::Safe => ("safe".to_string(), String::new()),
@@ -186,16 +191,16 @@ fn run_task(task: &BatchTask) -> TaskReport {
                 }
                 Verdict::Unknown { reason } => ("unknown".to_string(), reason.clone()),
             };
-            (verdict, detail, result.refinements, result.predicates, result.art_nodes)
+            (verdict, detail, result.refinements, result.predicates, result.art_nodes, result.stats)
         }
-        Ok(Err(e)) => ("error".to_string(), e.to_string(), 0, 0, 0),
+        Ok(Err(e)) => ("error".to_string(), e.to_string(), 0, 0, 0, VerifierStats::default()),
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("panic");
-            ("error".to_string(), format!("panicked: {msg}"), 0, 0, 0)
+            ("error".to_string(), format!("panicked: {msg}"), 0, 0, 0, VerifierStats::default())
         }
     };
     TaskReport {
@@ -207,6 +212,7 @@ fn run_task(task: &BatchTask) -> TaskReport {
         predicates,
         art_nodes,
         wall_ms,
+        stats,
     }
 }
 
@@ -242,6 +248,7 @@ pub fn run_batch(tasks: Vec<BatchTask>, jobs: usize) -> BatchReport {
 impl TaskReport {
     /// The full JSON rendering of this task.
     pub fn to_json(&self) -> Json {
+        let s = &self.stats;
         Json::object(vec![
             ("program", Json::Str(self.program_name.clone())),
             ("refiner", Json::Str(self.refiner.clone())),
@@ -251,6 +258,41 @@ impl TaskReport {
             ("predicates", Json::Int(self.predicates as i64)),
             ("art_nodes", Json::Int(self.art_nodes as i64)),
             ("wall_ms", Json::Float(round3(self.wall_ms))),
+            ("solver_calls", Json::Int(s.solver_calls as i64)),
+            ("simplex_calls", Json::Int(s.simplex_calls as i64)),
+            ("interpolant_calls", Json::Int(s.interpolant_calls as i64)),
+            ("smt_queries", Json::Int(s.smt_queries as i64)),
+            ("query_cache_hits", Json::Int(s.query_cache_hits as i64)),
+            ("post_queries", Json::Int(s.post_queries as i64)),
+            ("post_cache_hits", Json::Int(s.post_cache_hits as i64)),
+            ("query_hit_rate", Json::Float(round3(s.query_hit_rate()))),
+            (
+                "phases",
+                Json::object(vec![
+                    ("reach_solver_calls", Json::Int(s.reach_solver_calls as i64)),
+                    ("cex_solver_calls", Json::Int(s.cex_solver_calls as i64)),
+                    ("refine_solver_calls", Json::Int(s.refine_solver_calls as i64)),
+                    ("reach_ms", Json::Float(round3(s.reach_ms))),
+                    ("cex_ms", Json::Float(round3(s.cex_ms))),
+                    ("refine_ms", Json::Float(round3(s.refine_ms))),
+                ]),
+            ),
+        ])
+    }
+
+    /// The golden (regression-compared) JSON rendering: only fields that are
+    /// deterministic across runs, machines, and worker counts.
+    pub fn to_golden_task_json(&self) -> Json {
+        Json::object(vec![
+            ("program", Json::Str(self.program_name.clone())),
+            ("refiner", Json::Str(self.refiner.clone())),
+            ("verdict", Json::Str(self.verdict.clone())),
+            ("refinements", Json::Int(self.refinements as i64)),
+            ("predicates", Json::Int(self.predicates as i64)),
+            ("art_nodes", Json::Int(self.art_nodes as i64)),
+            ("solver_calls", Json::Int(self.stats.solver_calls as i64)),
+            ("query_cache_hits", Json::Int(self.stats.query_cache_hits as i64)),
+            ("post_cache_hits", Json::Int(self.stats.post_cache_hits as i64)),
         ])
     }
 }
@@ -291,23 +333,14 @@ impl BatchReport {
             ("schema_version", Json::Int(SCHEMA_VERSION)),
             (
                 "tasks",
-                Json::Array(
-                    self.tasks
-                        .iter()
-                        .map(|t| {
-                            Json::object(vec![
-                                ("program", Json::Str(t.program_name.clone())),
-                                ("refiner", Json::Str(t.refiner.clone())),
-                                ("verdict", Json::Str(t.verdict.clone())),
-                                ("refinements", Json::Int(t.refinements as i64)),
-                                ("predicates", Json::Int(t.predicates as i64)),
-                                ("art_nodes", Json::Int(t.art_nodes as i64)),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Array(self.tasks.iter().map(TaskReport::to_golden_task_json).collect()),
             ),
         ])
+    }
+
+    /// Sum of a per-task counter over the whole batch.
+    pub fn total(&self, field: impl Fn(&VerifierStats) -> u64) -> u64 {
+        self.tasks.iter().map(|t| field(&t.stats)).sum()
     }
 
     /// A human-readable fixed-width summary table.
@@ -321,25 +354,36 @@ impl BatchReport {
             .unwrap_or(8);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>10}\n",
-            "program", "refiner", "verdict", "refines", "preds", "ART nodes", "wall",
+            "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}  {:>10}\n",
+            "program",
+            "refiner",
+            "verdict",
+            "refines",
+            "preds",
+            "ART nodes",
+            "solver",
+            "hit%",
+            "wall",
         ));
-        out.push_str(&format!("{}\n", "-".repeat(name_width + 66)));
+        out.push_str(&format!("{}\n", "-".repeat(name_width + 83)));
         for t in &self.tasks {
             out.push_str(&format!(
-                "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>10}\n",
+                "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5.1}  {:>10}\n",
                 t.program_name,
                 t.refiner,
                 t.verdict,
                 t.refinements,
                 t.predicates,
                 t.art_nodes,
+                t.stats.solver_calls,
+                t.stats.query_hit_rate() * 100.0,
                 format_ms(t.wall_ms),
             ));
         }
-        out.push_str(&format!("{}\n", "-".repeat(name_width + 66)));
+        out.push_str(&format!("{}\n", "-".repeat(name_width + 83)));
         out.push_str(&format!(
-            "{} tasks on {} workers in {}: {} safe, {} unsafe, {} unknown, {} errors\n",
+            "{} tasks on {} workers in {}: {} safe, {} unsafe, {} unknown, {} errors; \
+             {} solver calls, {} cache hits\n",
             self.tasks.len(),
             self.jobs,
             format_ms(self.wall_ms_total),
@@ -347,6 +391,8 @@ impl BatchReport {
             count_verdicts(&self.tasks, "unsafe"),
             count_verdicts(&self.tasks, "unknown"),
             count_verdicts(&self.tasks, "error"),
+            self.total(|s| s.solver_calls),
+            self.total(|s| s.query_cache_hits + s.post_cache_hits),
         ));
         out
     }

@@ -5,6 +5,7 @@
 //! summary table and optionally writing a JSON report (or a golden snapshot
 //! for the regression test).
 
+use pathinv_cli::trajectory::run_trajectory;
 use pathinv_cli::{corpus_programs, load_pinv_file, make_tasks, run_batch, RefinerChoice};
 use std::process::ExitCode;
 
@@ -26,6 +27,12 @@ OPTIONS:
     --jobs <N>             worker threads (default: available parallelism)
     --json <PATH>          write the full JSON report to PATH (`-` = stdout)
     --golden <PATH>        write the deterministic golden snapshot to PATH
+    --no-cache             disable the incremental solver caches (same
+                           verdicts, more solver calls; for baselines)
+    --bless                regenerate every committed golden snapshot
+                           (tests/golden/corpus.json, tests/golden/bench.json)
+                           and the BENCH_pr2.json trajectory point; run from
+                           the repository root
     --quiet                suppress the summary table
     --help                 show this help
 
@@ -43,6 +50,8 @@ struct Options {
     jobs: usize,
     json_path: Option<String>,
     golden_path: Option<String>,
+    no_cache: bool,
+    bless: bool,
     quiet: bool,
 }
 
@@ -59,6 +68,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs: default_jobs(),
         json_path: None,
         golden_path: None,
+        no_cache: false,
+        bless: false,
         quiet: false,
     };
     let mut it = args.iter();
@@ -91,6 +102,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--json" => opts.json_path = Some(value_for("--json")?),
             "--golden" => opts.golden_path = Some(value_for("--golden")?),
+            "--no-cache" => opts.no_cache = true,
+            "--bless" => opts.bless = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -98,10 +111,77 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             file => opts.files.push(file.to_string()),
         }
     }
-    if !opts.all && opts.files.is_empty() {
-        return Err("nothing to do: pass --all and/or .pinv files".to_string());
+    if !opts.all && opts.files.is_empty() && !opts.bless {
+        return Err("nothing to do: pass --all, --bless, and/or .pinv files".to_string());
+    }
+    if opts.bless {
+        let conflicting = opts.all
+            || !opts.files.is_empty()
+            || opts.no_cache
+            || opts.max_refinements.is_some()
+            || opts.choice != RefinerChoice::Both
+            || opts.json_path.is_some()
+            || opts.golden_path.is_some();
+        if conflicting {
+            return Err("--bless runs the full corpus under a fixed configuration (both \
+                        refiners, cached + uncached); it only combines with --jobs and --quiet"
+                .to_string());
+        }
     }
     Ok(opts)
+}
+
+/// Regenerates every committed golden snapshot and the trajectory point.
+/// Paths are relative to the current directory, which must be the
+/// repository root.
+fn bless(jobs: usize) -> ExitCode {
+    const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
+    const BENCH_GOLDEN: &str = "tests/golden/bench.json";
+    const BENCH_POINT: &str = "BENCH_pr2.json";
+    if !std::path::Path::new("tests/golden").is_dir() {
+        eprintln!("error: tests/golden/ not found; run --bless from the repository root");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("blessing: verifying the corpus twice (cached + uncached baseline)...");
+    let trajectory = run_trajectory(jobs);
+    let errors = trajectory
+        .cached
+        .tasks
+        .iter()
+        .chain(trajectory.uncached.tasks.iter())
+        .filter(|t| t.verdict == "error")
+        .count();
+    if errors > 0 {
+        eprintln!("error: {errors} task(s) errored; refusing to bless broken goldens");
+        return ExitCode::FAILURE;
+    }
+    let parity = trajectory.parity_failures();
+    if !parity.is_empty() {
+        eprintln!(
+            "error: cached and uncached runs disagree on observable outcomes:\n  {}",
+            parity.join("\n  ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let writes = [
+        (CORPUS_GOLDEN, trajectory.cached.to_golden_json().pretty()),
+        (BENCH_GOLDEN, trajectory.to_golden_json().pretty()),
+        (BENCH_POINT, trajectory.to_json().pretty()),
+    ];
+    for (path, text) in writes {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("blessed {path}");
+    }
+    eprintln!(
+        "solver calls: {} cached vs {} uncached ({:.1}% saved)",
+        trajectory.totals.solver_calls,
+        trajectory.baseline.solver_calls,
+        trajectory.solver_call_reduction() * 100.0
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -117,6 +197,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.bless {
+        return bless(opts.jobs);
+    }
 
     let mut programs = Vec::new();
     let mut load_failures = 0usize;
@@ -137,7 +221,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let tasks = make_tasks(programs, opts.choice, opts.max_refinements);
+    let mut tasks = make_tasks(programs, opts.choice, opts.max_refinements);
+    if opts.no_cache {
+        for t in &mut tasks {
+            t.config.caching = false;
+        }
+    }
     let report = run_batch(tasks, opts.jobs);
 
     if !opts.quiet {

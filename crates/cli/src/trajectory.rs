@@ -1,0 +1,358 @@
+//! The benchmark-trajectory report: one deterministic measurement point of
+//! the corpus-wide solver workload, emitted as `BENCH_pr2.json`.
+//!
+//! A trajectory run verifies the full corpus under both refiners twice —
+//! once with the incremental caches on (the shipping configuration) and once
+//! with them off (the uncached baseline) — and reports, per task and in
+//! total: verdict, refinement count, solver calls, cache hits, hit rates,
+//! and wall-clock.  Verdicts and refinement counts are identical between the
+//! two runs by construction (the caches replay deterministic answers); the
+//! solver-call delta *is* the measured effect of the incremental layer.
+//!
+//! Everything except wall-clock is deterministic across runs, machines, and
+//! worker counts, so the deterministic projection
+//! ([`TrajectoryReport::to_golden_json`]) is committed as
+//! `tests/golden/bench.json` and CI fails when the schema or any
+//! deterministic field drifts ([`TrajectoryReport::check_against_golden`]).
+
+use crate::json::Json;
+use crate::{corpus_programs, make_tasks, BatchReport, RefinerChoice, SCHEMA_VERSION};
+
+/// Schema version of the trajectory report, bumped on breaking layout
+/// changes.  Distinct from the batch-report schema version, though both are
+/// stamped into the emitted JSON.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// Totals of the counters that matter for the trajectory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrajectoryTotals {
+    /// Combined-solver invocations summed over all tasks.
+    pub solver_calls: u64,
+    /// Boolean queries through the incremental contexts.
+    pub smt_queries: u64,
+    /// Context queries answered from the keyed cache.
+    pub query_cache_hits: u64,
+    /// Abstract-post cube requests.
+    pub post_queries: u64,
+    /// Cube requests answered from the post memo.
+    pub post_cache_hits: u64,
+}
+
+impl TrajectoryTotals {
+    fn from_batch(report: &BatchReport) -> TrajectoryTotals {
+        TrajectoryTotals {
+            solver_calls: report.total(|s| s.solver_calls),
+            smt_queries: report.total(|s| s.smt_queries),
+            query_cache_hits: report.total(|s| s.query_cache_hits),
+            post_queries: report.total(|s| s.post_queries),
+            post_cache_hits: report.total(|s| s.post_cache_hits),
+        }
+    }
+}
+
+/// The outcome of one trajectory run: the cached corpus batch, the uncached
+/// baseline batch, and their totals.
+#[derive(Clone, Debug)]
+pub struct TrajectoryReport {
+    /// The corpus run with the incremental caches on.
+    pub cached: BatchReport,
+    /// The corpus run with the caches off (same verdicts, more solver
+    /// calls).
+    pub uncached: BatchReport,
+    /// Totals of the cached run.
+    pub totals: TrajectoryTotals,
+    /// Totals of the uncached baseline.
+    pub baseline: TrajectoryTotals,
+}
+
+/// Runs the full corpus under both refiners, cached and uncached, across
+/// `jobs` worker threads.
+pub fn run_trajectory(jobs: usize) -> TrajectoryReport {
+    let cached = crate::run_batch(make_tasks(corpus_programs(), RefinerChoice::Both, None), jobs);
+    let mut baseline_tasks = make_tasks(corpus_programs(), RefinerChoice::Both, None);
+    for t in &mut baseline_tasks {
+        t.config.caching = false;
+    }
+    let uncached = crate::run_batch(baseline_tasks, jobs);
+    let totals = TrajectoryTotals::from_batch(&cached);
+    let baseline = TrajectoryTotals::from_batch(&uncached);
+    TrajectoryReport { cached, uncached, totals, baseline }
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
+}
+
+fn rate(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        round4(hits as f64 / total as f64)
+    }
+}
+
+impl TrajectoryReport {
+    /// Checks that the cached and uncached runs agree on every observable
+    /// outcome (verdict, refinements, predicates, ART nodes) — the
+    /// incremental layer must only change *how much solver work* a run
+    /// does, never what it concludes.  Returns the disagreements.
+    pub fn parity_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        if self.cached.tasks.len() != self.uncached.tasks.len() {
+            failures.push(format!(
+                "task counts differ: {} cached vs {} uncached",
+                self.cached.tasks.len(),
+                self.uncached.tasks.len()
+            ));
+            return failures;
+        }
+        for (c, u) in self.cached.tasks.iter().zip(self.uncached.tasks.iter()) {
+            let key = format!("{}/{}", c.program_name, c.refiner);
+            if (c.program_name.as_str(), c.refiner.as_str())
+                != (u.program_name.as_str(), u.refiner.as_str())
+            {
+                failures.push(format!("task order differs at {key}"));
+                continue;
+            }
+            for (what, cv, uv) in [
+                ("verdict", c.verdict.clone(), u.verdict.clone()),
+                ("refinements", c.refinements.to_string(), u.refinements.to_string()),
+                ("predicates", c.predicates.to_string(), u.predicates.to_string()),
+                ("art_nodes", c.art_nodes.to_string(), u.art_nodes.to_string()),
+            ] {
+                if cv != uv {
+                    failures.push(format!("{key}: {what} is {cv} cached but {uv} uncached"));
+                }
+            }
+        }
+        failures
+    }
+
+    /// Fraction of baseline solver calls eliminated by the caches, in
+    /// `[0, 1]`.
+    pub fn solver_call_reduction(&self) -> f64 {
+        if self.baseline.solver_calls == 0 {
+            return 0.0;
+        }
+        let saved = self.baseline.solver_calls.saturating_sub(self.totals.solver_calls);
+        saved as f64 / self.baseline.solver_calls as f64
+    }
+
+    /// The full JSON rendering (the contents of `BENCH_pr2.json`): the
+    /// deterministic fields plus wall-clock.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("bench_schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("suite", Json::Str("corpus".to_string())),
+            ("jobs", Json::Int(self.cached.jobs as i64)),
+            ("tasks", Json::Array(self.cached.tasks.iter().map(|t| t.to_json()).collect())),
+        ];
+        fields.push(("totals", self.totals_json(&self.totals, self.cached.wall_ms_total)));
+        fields.push((
+            "uncached_baseline",
+            self.totals_json(&self.baseline, self.uncached.wall_ms_total),
+        ));
+        fields.push((
+            "reduction",
+            Json::object(vec![
+                (
+                    "solver_calls_saved",
+                    Json::Int(
+                        self.baseline.solver_calls.saturating_sub(self.totals.solver_calls) as i64
+                    ),
+                ),
+                ("solver_calls_fraction", Json::Float(round4(self.solver_call_reduction()))),
+            ]),
+        ));
+        Json::object(fields)
+    }
+
+    fn totals_json(&self, t: &TrajectoryTotals, wall_ms: f64) -> Json {
+        Json::object(vec![
+            ("solver_calls", Json::Int(t.solver_calls as i64)),
+            ("smt_queries", Json::Int(t.smt_queries as i64)),
+            ("query_cache_hits", Json::Int(t.query_cache_hits as i64)),
+            ("post_queries", Json::Int(t.post_queries as i64)),
+            ("post_cache_hits", Json::Int(t.post_cache_hits as i64)),
+            ("query_hit_rate", Json::Float(rate(t.query_cache_hits, t.smt_queries))),
+            ("post_hit_rate", Json::Float(rate(t.post_cache_hits, t.post_queries))),
+            ("wall_ms", Json::Float((wall_ms * 1e3).round() / 1e3)),
+        ])
+    }
+
+    /// The deterministic projection committed as `tests/golden/bench.json`:
+    /// per-task verdict/refinement/counter fields and the counter totals,
+    /// with every wall-clock field dropped.
+    pub fn to_golden_json(&self) -> Json {
+        let totals_golden = |t: &TrajectoryTotals| {
+            Json::object(vec![
+                ("solver_calls", Json::Int(t.solver_calls as i64)),
+                ("smt_queries", Json::Int(t.smt_queries as i64)),
+                ("query_cache_hits", Json::Int(t.query_cache_hits as i64)),
+                ("post_queries", Json::Int(t.post_queries as i64)),
+                ("post_cache_hits", Json::Int(t.post_cache_hits as i64)),
+            ])
+        };
+        Json::object(vec![
+            ("bench_schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            (
+                "tasks",
+                Json::Array(self.cached.tasks.iter().map(|t| t.to_golden_task_json()).collect()),
+            ),
+            ("totals", totals_golden(&self.totals)),
+            ("uncached_baseline", totals_golden(&self.baseline)),
+        ])
+    }
+
+    /// Diffs this run's deterministic projection against a committed golden
+    /// document.  Returns the list of discrepancies (empty = no drift).
+    /// Schema-version mismatches, missing fields, and malformed documents
+    /// are reported as discrepancies, not panics, so CI gets a readable
+    /// failure.
+    pub fn check_against_golden(&self, golden: &Json) -> Vec<String> {
+        let mut failures = Vec::new();
+        let live = self.to_golden_json();
+        for version_field in ["bench_schema_version", "schema_version"] {
+            let got = golden.get(version_field).and_then(Json::as_int);
+            let want = live.get(version_field).and_then(Json::as_int);
+            if got != want {
+                failures.push(format!(
+                    "{version_field}: golden {got:?}, live {want:?} — regenerate the golden \
+                     (pathinv-cli --bless)"
+                ));
+            }
+        }
+        for section in ["totals", "uncached_baseline"] {
+            compare_objects(section, golden.get(section), live.get(section), &mut failures);
+        }
+        let golden_tasks = golden.get("tasks").and_then(Json::as_array).unwrap_or(&[]);
+        let live_tasks = live.get("tasks").and_then(Json::as_array).unwrap_or(&[]);
+        let key = |t: &Json| {
+            (
+                t.get("program").and_then(Json::as_str).unwrap_or("?").to_string(),
+                t.get("refiner").and_then(Json::as_str).unwrap_or("?").to_string(),
+            )
+        };
+        for lt in live_tasks {
+            let k = key(lt);
+            match golden_tasks.iter().find(|gt| key(gt) == k) {
+                None => failures.push(format!("{k:?}: produced but missing from bench golden")),
+                Some(gt) => compare_objects(&format!("{k:?}"), Some(gt), Some(lt), &mut failures),
+            }
+        }
+        for gt in golden_tasks {
+            let k = key(gt);
+            if !live_tasks.iter().any(|lt| key(lt) == k) {
+                failures.push(format!("{k:?}: in bench golden but not produced"));
+            }
+        }
+        failures
+    }
+}
+
+/// Compares two JSON objects field by field (both directions), recording
+/// mismatches under `label`.
+fn compare_objects(label: &str, golden: Option<&Json>, live: Option<&Json>, out: &mut Vec<String>) {
+    let (Some(Json::Object(g)), Some(Json::Object(l))) = (golden, live) else {
+        if golden != live {
+            out.push(format!("{label}: golden {golden:?}, live {live:?}"));
+        }
+        return;
+    };
+    for (k, lv) in l {
+        match g.iter().find(|(gk, _)| gk == k) {
+            None => out.push(format!("{label}.{k}: missing from golden")),
+            Some((_, gv)) if gv != lv => {
+                out.push(format!("{label}.{k}: golden {gv:?}, live {lv:?}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (k, _) in g {
+        if !l.iter().any(|(lk, _)| lk == k) {
+            out.push(format!("{label}.{k}: in golden but not produced"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// A miniature trajectory (two programs) exercises the full report
+    /// shape without paying for the corpus twice.
+    fn mini_trajectory() -> TrajectoryReport {
+        let slice = || {
+            corpus_programs()
+                .into_iter()
+                .filter(|(name, _)| name == "FIGURE4" || name == "FORWARD")
+                .collect::<Vec<_>>()
+        };
+        let cached = crate::run_batch(make_tasks(slice(), RefinerChoice::Both, None), 2);
+        let mut tasks = make_tasks(slice(), RefinerChoice::Both, None);
+        for t in &mut tasks {
+            t.config.caching = false;
+        }
+        let uncached = crate::run_batch(tasks, 2);
+        let totals = TrajectoryTotals::from_batch(&cached);
+        let baseline = TrajectoryTotals::from_batch(&uncached);
+        TrajectoryReport { cached, uncached, totals, baseline }
+    }
+
+    #[test]
+    fn report_shape_and_self_check() {
+        let report = mini_trajectory();
+        // Verdicts agree between cached and uncached runs.
+        for (c, u) in report.cached.tasks.iter().zip(report.uncached.tasks.iter()) {
+            assert_eq!(c.program_name, u.program_name);
+            assert_eq!(c.verdict, u.verdict);
+            assert_eq!(c.refinements, u.refinements);
+        }
+        // The uncached baseline never hits a cache.
+        assert_eq!(report.baseline.query_cache_hits, 0);
+        assert_eq!(report.baseline.post_cache_hits, 0);
+        // The emitted JSON parses and carries both schema stamps.
+        let doc = json::parse(&report.to_json().pretty()).expect("bench JSON must parse");
+        assert_eq!(
+            doc.get("bench_schema_version").and_then(Json::as_int),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("schema_version").and_then(Json::as_int), Some(SCHEMA_VERSION));
+        assert!(doc.get("uncached_baseline").is_some());
+        // A run checked against its own golden projection reports no drift.
+        let golden = json::parse(&report.to_golden_json().pretty()).unwrap();
+        assert_eq!(report.check_against_golden(&golden), Vec::<String>::new());
+    }
+
+    #[test]
+    fn drift_is_detected_field_by_field() {
+        let report = mini_trajectory();
+        let mut golden = report.to_golden_json();
+        // Corrupt one deterministic counter.
+        if let Json::Object(fields) = &mut golden {
+            for (k, v) in fields.iter_mut() {
+                if k == "totals" {
+                    if let Json::Object(tf) = v {
+                        for (tk, tv) in tf.iter_mut() {
+                            if tk == "solver_calls" {
+                                *tv = Json::Int(1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let failures = report.check_against_golden(&golden);
+        assert!(
+            failures.iter().any(|f| f.contains("totals.solver_calls")),
+            "corrupted counter must be reported: {failures:?}"
+        );
+        // A schema bump is reported too.
+        let stale = json::parse("{\"bench_schema_version\": 0, \"tasks\": []}").unwrap();
+        let failures = report.check_against_golden(&stale);
+        assert!(failures.iter().any(|f| f.contains("bench_schema_version")), "{failures:?}");
+    }
+}

@@ -3,9 +3,60 @@
 //! threads.
 
 use pathinv_cli::{load_pinv_file, make_tasks, run_batch, RefinerChoice};
+use std::process::Command;
 
 fn program_path(name: &str) -> String {
     format!("{}/../../programs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs the real `pathinv-cli` binary and returns its exit code.
+fn run_cli(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_pathinv-cli"))
+        .args(args)
+        .output()
+        .expect("pathinv-cli binary must run")
+        .status
+        .code()
+        .expect("pathinv-cli must exit normally")
+}
+
+fn temp_pinv(name: &str, src: &str) -> String {
+    let dir = std::env::temp_dir().join("pathinv-cli-exit-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+/// Exit-code contract: a task that *errors* (here: nonlinear arithmetic the
+/// solver rejects) must fail the run, even though the harness completes and
+/// reports it.
+#[test]
+fn errored_tasks_exit_nonzero() {
+    let bad = temp_pinv("nonlinear.pinv", "proc nl(x: int) { assert(x * x >= 0); }");
+    assert_eq!(run_cli(&["--quiet", &bad]), 1, "an errored task must exit 1");
+}
+
+/// Non-`safe` verdicts are results, not failures: an unsafe program exits 0.
+#[test]
+fn unsafe_verdicts_exit_zero() {
+    let buggy = temp_pinv("buggy.pinv", "proc b(x: int) { x = 1; assert(x == 2); }");
+    assert_eq!(run_cli(&["--quiet", &buggy]), 0, "a falsified program is a completed task");
+}
+
+/// A file that cannot be loaded fails the run even when every loadable task
+/// succeeds.
+#[test]
+fn load_failures_exit_nonzero() {
+    let ok = temp_pinv("fine.pinv", "proc ok(x: int) { x = 1; assert(x == 1); }");
+    assert_eq!(run_cli(&["--quiet", &ok, "/nonexistent/nope.pinv"]), 1);
+}
+
+/// Usage errors are distinguished from task failures.
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(run_cli(&["--refiner", "bogus"]), 2);
+    assert_eq!(run_cli(&[]), 2, "no inputs is a usage error");
 }
 
 #[test]

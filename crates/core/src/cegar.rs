@@ -16,11 +16,12 @@
 //!    removes the whole family of unwindings at once.
 
 use crate::error::{CoreError, CoreResult};
-use crate::predabs::{AbstractPost, AbstractState, PredicateMap};
+use crate::predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 use crate::refine::{PathInvariantRefiner, PathPredicateRefiner, Refiner};
 use pathinv_ir::{ssa, Loc, Path, Program, TransId};
-use pathinv_smt::{SatResult, Solver};
+use pathinv_smt::{stats_snapshot, ContextStats, SmtStats, SolverContext};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Which refinement strategy the engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +42,12 @@ pub struct CegarConfig {
     pub max_refinements: usize,
     /// Maximum number of ART nodes per reachability phase.
     pub max_art_nodes: usize,
+    /// Whether the abstract post is memoized and solver queries are cached
+    /// across the run (on by default).  Caching replays answers of the
+    /// deterministic solver, so verdicts, refinement counts, and ART sizes
+    /// are identical either way; switching it off exists to measure the
+    /// uncached solver-call baseline.
+    pub caching: bool,
 }
 
 impl Default for CegarConfig {
@@ -49,6 +56,7 @@ impl Default for CegarConfig {
             refiner: RefinerKind::PathInvariants,
             max_refinements: 40,
             max_art_nodes: 20_000,
+            caching: true,
         }
     }
 }
@@ -100,6 +108,65 @@ impl Verdict {
     }
 }
 
+/// Solver-work and phase-timing statistics of one verification run.
+///
+/// The counters are deterministic: they depend only on the program, the
+/// configuration, and the (deterministic) solver — not on the machine, the
+/// wall clock, or how many worker threads a batch uses.  The `*_ms` fields
+/// are wall-clock and are excluded from golden comparisons.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VerifierStats {
+    /// Top-level combined-solver invocations across the whole run
+    /// (including those made inside the refiners and invariant synthesis).
+    pub solver_calls: u64,
+    /// Simplex invocations across the whole run.
+    pub simplex_calls: u64,
+    /// Sequence-interpolant computations (the baseline refiner's engine).
+    pub interpolant_calls: u64,
+    /// Boolean queries issued through the incremental contexts.
+    pub smt_queries: u64,
+    /// Context queries answered from the keyed query cache.
+    pub query_cache_hits: u64,
+    /// Abstract-post cube computations requested.
+    pub post_queries: u64,
+    /// Cube requests answered from the post-result memo.
+    pub post_cache_hits: u64,
+    /// Solver calls spent in abstract reachability.
+    pub reach_solver_calls: u64,
+    /// Solver calls spent checking counterexample feasibility.
+    pub cex_solver_calls: u64,
+    /// Solver calls spent in refinement (interpolation, invariant
+    /// synthesis).
+    pub refine_solver_calls: u64,
+    /// Wall-clock spent in abstract reachability, in milliseconds.
+    pub reach_ms: f64,
+    /// Wall-clock spent checking counterexample feasibility, in
+    /// milliseconds.
+    pub cex_ms: f64,
+    /// Wall-clock spent in refinement, in milliseconds.
+    pub refine_ms: f64,
+}
+
+impl VerifierStats {
+    /// Query-cache hit rate in `[0, 1]` (`0` when no query was issued).
+    pub fn query_hit_rate(&self) -> f64 {
+        if self.smt_queries == 0 {
+            0.0
+        } else {
+            self.query_cache_hits as f64 / self.smt_queries as f64
+        }
+    }
+
+    /// Post-memo hit rate in `[0, 1]` (`0` when no cube was requested).
+    pub fn post_hit_rate(&self) -> f64 {
+        if self.post_queries == 0 {
+            0.0
+        } else {
+            self.post_cache_hits as f64 / self.post_queries as f64
+        }
+    }
+}
+
 /// The outcome of a verification run, with statistics.
 #[derive(Clone, Debug)]
 pub struct VerificationResult {
@@ -113,6 +180,8 @@ pub struct VerificationResult {
     pub art_nodes: usize,
     /// The final predicate map.
     pub predicate_map: PredicateMap,
+    /// Solver-call, cache, and phase-timing statistics.
+    pub stats: VerifierStats,
 }
 
 /// The CEGAR verification engine.
@@ -146,7 +215,15 @@ impl Verifier {
     pub fn verify(&self, program: &Program) -> CoreResult<VerificationResult> {
         let mut predicates = PredicateMap::new();
         let mut total_nodes = 0usize;
-        let solver = Solver::new();
+        let mut stats = VerifierStats::default();
+        let smt_start = stats_snapshot();
+        // One memoized abstract-post operator and one feasibility context
+        // for the whole CEGAR loop: reachability phases after a refinement
+        // step replay the unchanged parts of the previous ART from the
+        // caches instead of re-solving them.
+        let mut post = AbstractPost::with_caching(program, self.config.caching);
+        let cex_ctx =
+            if self.config.caching { SolverContext::new() } else { SolverContext::uncached() };
         let refiner: Box<dyn Refiner> = match self.config.refiner {
             RefinerKind::PathPredicates => Box::new(PathPredicateRefiner::new()),
             RefinerKind::PathInvariants => Box::new(PathInvariantRefiner::new()),
@@ -168,6 +245,12 @@ impl Verifier {
                                 predicates: predicates.len(),
                                 art_nodes: total_nodes,
                                 predicate_map: predicates,
+                                stats: finalize_stats(
+                                    stats,
+                                    &smt_start,
+                                    post.stats(),
+                                    cex_ctx.stats(),
+                                ),
                             });
                         }
                         return Err(e);
@@ -177,10 +260,13 @@ impl Verifier {
         }
 
         for refinement in 0..=self.config.max_refinements {
-            let counterexample = check_budget!(
-                self.abstract_reachability(program, &predicates, &mut total_nodes),
-                refinement
-            );
+            let phase = Instant::now();
+            let snap = stats_snapshot();
+            let reach =
+                self.abstract_reachability(program, &predicates, &mut post, &mut total_nodes);
+            stats.reach_ms += ms_since(phase);
+            stats.reach_solver_calls += stats_snapshot().since(&snap).sat_checks;
+            let counterexample = check_budget!(reach, refinement);
             let Some(path) = counterexample else {
                 return Ok(VerificationResult {
                     verdict: Verdict::Safe,
@@ -188,27 +274,36 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
+                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
                 });
             };
             // Counterexample analysis: feasibility of the path formula.
             let pf = ssa::path_formula(program, &path);
-            match check_budget!(solver.check(&pf.conjunction()), refinement) {
-                SatResult::Sat(_) => {
-                    return Ok(VerificationResult {
-                        verdict: Verdict::Unsafe { path },
-                        refinements: refinement,
-                        predicates: predicates.len(),
-                        art_nodes: total_nodes,
-                        predicate_map: predicates,
-                    });
-                }
-                SatResult::Unsat => {}
+            let phase = Instant::now();
+            let snap = stats_snapshot();
+            let feasibility = cex_ctx.is_sat_with(&pf.conjunction());
+            stats.cex_ms += ms_since(phase);
+            stats.cex_solver_calls += stats_snapshot().since(&snap).sat_checks;
+            if check_budget!(feasibility, refinement) {
+                return Ok(VerificationResult {
+                    verdict: Verdict::Unsafe { path },
+                    refinements: refinement,
+                    predicates: predicates.len(),
+                    art_nodes: total_nodes,
+                    predicate_map: predicates,
+                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+                });
             }
             if refinement == self.config.max_refinements {
                 break;
             }
             // Refinement.
-            let new_preds = check_budget!(refiner.refine(program, &path), refinement);
+            let phase = Instant::now();
+            let snap = stats_snapshot();
+            let refined = refiner.refine(program, &path);
+            stats.refine_ms += ms_since(phase);
+            stats.refine_solver_calls += stats_snapshot().since(&snap).sat_checks;
+            let new_preds = check_budget!(refined, refinement);
             let mut added = 0;
             for (l, preds) in new_preds {
                 for p in preds {
@@ -229,6 +324,7 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
+                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
                 });
             }
         }
@@ -244,6 +340,7 @@ impl Verifier {
             predicates: predicates.len(),
             art_nodes: total_nodes,
             predicate_map: predicates,
+            stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
         })
     }
 
@@ -255,9 +352,9 @@ impl Verifier {
         &self,
         program: &Program,
         predicates: &PredicateMap,
+        post: &mut AbstractPost<'_>,
         total_nodes: &mut usize,
     ) -> CoreResult<Option<Path>> {
-        let post = AbstractPost::new(program);
         let mut nodes: Vec<ArtNode> = Vec::new();
         let mut worklist: VecDeque<usize> = VecDeque::new();
         nodes.push(ArtNode { loc: program.entry(), state: AbstractState::top(), parent: None });
@@ -317,6 +414,30 @@ struct ArtNode {
     parent: Option<(usize, TransId)>,
 }
 
+/// Converts an elapsed [`Instant`] into milliseconds.
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Fills the run-total counters of `stats` from the substrate snapshot delta
+/// and the cache counters of the post operator and feasibility context.
+fn finalize_stats(
+    mut stats: VerifierStats,
+    smt_start: &SmtStats,
+    post: PostStats,
+    cex: ContextStats,
+) -> VerifierStats {
+    let delta = stats_snapshot().since(smt_start);
+    stats.solver_calls = delta.sat_checks;
+    stats.simplex_calls = delta.simplex_calls;
+    stats.interpolant_calls = delta.interpolant_calls;
+    stats.smt_queries = post.smt_queries + cex.queries;
+    stats.query_cache_hits = post.query_cache_hits + cex.cache_hits;
+    stats.post_queries = post.post_queries;
+    stats.post_cache_hits = post.post_cache_hits;
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +495,41 @@ mod tests {
         .unwrap();
         let result = Verifier::path_invariants().verify(&p).unwrap();
         assert!(result.verdict.is_safe(), "{:?}", result.verdict);
+    }
+
+    #[test]
+    fn caching_changes_solver_calls_but_nothing_observable() {
+        let p = corpus::forward();
+        let cached = Verifier::path_invariants().verify(&p).unwrap();
+        let uncached = Verifier::new(CegarConfig { caching: false, ..CegarConfig::default() })
+            .verify(&p)
+            .unwrap();
+        // The caches replay deterministic answers, so every observable
+        // outcome is identical...
+        assert_eq!(cached.verdict.is_safe(), uncached.verdict.is_safe());
+        assert_eq!(cached.refinements, uncached.refinements);
+        assert_eq!(cached.predicates, uncached.predicates);
+        assert_eq!(cached.art_nodes, uncached.art_nodes);
+        // ...but the cached run answers a share of its queries from memory.
+        assert_eq!(uncached.stats.query_cache_hits, 0);
+        assert_eq!(uncached.stats.post_cache_hits, 0);
+        assert!(cached.stats.post_cache_hits > 0, "{:?}", cached.stats);
+        assert!(
+            cached.stats.solver_calls < uncached.stats.solver_calls,
+            "caching must save solver calls: {} vs {}",
+            cached.stats.solver_calls,
+            uncached.stats.solver_calls
+        );
+        // Phase counters decompose the total (up to calls outside the three
+        // phases, of which there are none).
+        for r in [&cached, &uncached] {
+            assert_eq!(
+                r.stats.reach_solver_calls + r.stats.cex_solver_calls + r.stats.refine_solver_calls,
+                r.stats.solver_calls,
+                "{:?}",
+                r.stats
+            );
+        }
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod pathprog;
 pub mod predabs;
 pub mod refine;
 
-pub use cegar::{CegarConfig, RefinerKind, Verdict, VerificationResult, Verifier};
+pub use cegar::{CegarConfig, RefinerKind, Verdict, VerificationResult, Verifier, VerifierStats};
 pub use error::{CoreError, CoreResult};
 pub use pathprog::{path_program, PathProgram};
-pub use predabs::{AbstractPost, AbstractState, PredicateMap};
+pub use predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 pub use refine::{NewPredicates, PathInvariantRefiner, PathPredicateRefiner, Refiner};

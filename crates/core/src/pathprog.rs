@@ -1,6 +1,6 @@
 //! Path programs (§3 of the paper).
 //!
-//! A spurious counterexample π is generalised into the *path program* P[π]:
+//! A spurious counterexample π is generalised into the *path program* P\[π\]:
 //! the smallest syntactic sub-program of P that contains π.  Its locations
 //! are pairs `(ℓ, i)` of an original location and a path position, plus
 //! "hatted" copies `(ℓ̂, i)` at the positions where π exits a loop it had

@@ -9,8 +9,9 @@
 //! instantiates its refinement scheme on (§4.1).
 
 use pathinv_ir::{Formula, Loc, Program, Transition};
-use pathinv_smt::{SmtResult, Solver};
+use pathinv_smt::{SmtResult, SolverContext};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 /// The predicate map Π: the predicates tracked at each location.
 #[derive(Clone, Debug, Default)]
@@ -111,6 +112,11 @@ impl AbstractState {
         other.literals.is_subset(&self.literals)
     }
 
+    /// Returns `true` if the state carries exactly this literal.
+    pub fn contains(&self, f: &Formula) -> bool {
+        self.literals.contains(f)
+    }
+
     /// Number of literals.
     pub fn len(&self) -> usize {
         self.literals.len()
@@ -122,17 +128,77 @@ impl AbstractState {
     }
 }
 
-/// The abstract post operator.
+/// Cache-usage counters of one [`AbstractPost`] operator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PostStats {
+    /// Abstract-post computations requested.
+    pub post_queries: u64,
+    /// Requests answered from the post-result memo without any solver work.
+    pub post_cache_hits: u64,
+    /// Boolean solver queries issued through the incremental context
+    /// (feasibility + entailment; post-memo hits issue none).
+    pub smt_queries: u64,
+    /// Context queries answered from the keyed query cache.
+    pub query_cache_hits: u64,
+}
+
+/// The abstract post operator, incremental at three levels.
+///
+/// The CEGAR loop re-runs abstract reachability from scratch after every
+/// refinement step, so the same `(abstract state, transition)` pairs are
+/// re-expanded over and over.  This operator exploits that:
+///
+/// * **post-result memo** — the full cube result for a
+///   `(transition relation, abstract state, tracked predicates)` key is
+///   remembered, so a re-expansion with an unchanged predicate set costs no
+///   solver call at all.  The key includes the tracked predicates, which is
+///   what *invalidates* stale cubes when refinement grows the predicate map:
+///   a location with new predicates forms a new key and is recomputed.
+/// * **query cache** — the underlying [`SolverContext`] memoizes each
+///   individual feasibility/entailment query under its assumption stack, so
+///   even a recomputed cube only pays for the queries about the *new*
+///   predicates; the verdicts for previously tracked predicates replay from
+///   the cache.
+/// * **frame-carried literals** — a literal already decided in the source
+///   state whose variables the transition does not assign is carried to the
+///   successor without a solver query.  This is exact, not an
+///   approximation: the transition relation contains the frame equality
+///   `x' = x` for every unassigned variable, so the carried literal's primed
+///   entailment holds by construction (and the feasibility of the edge is
+///   still checked first, so an infeasible guard can never be masked).
+///
+/// All three layers reproduce answers the deterministic solver would give,
+/// so an incremental operator is observationally identical to a fresh one —
+/// only cheaper.  The operator is therefore created once per verification
+/// run and shared across all reachability phases (see the CEGAR driver).
 #[derive(Debug)]
 pub struct AbstractPost<'a> {
     program: &'a Program,
-    solver: Solver,
+    ctx: SolverContext,
+    caching: bool,
+    memo: BTreeMap<String, Option<AbstractState>>,
+    post_queries: u64,
+    post_cache_hits: u64,
 }
 
 impl<'a> AbstractPost<'a> {
-    /// Creates the operator for a program.
+    /// Creates the operator for a program, with memoization enabled.
     pub fn new(program: &'a Program) -> AbstractPost<'a> {
-        AbstractPost { program, solver: Solver::new() }
+        AbstractPost::with_caching(program, true)
+    }
+
+    /// Creates the operator with memoization switched on or off (the
+    /// uncached operator re-solves every query; results are identical).
+    pub fn with_caching(program: &'a Program, caching: bool) -> AbstractPost<'a> {
+        let ctx = if caching { SolverContext::new() } else { SolverContext::uncached() };
+        AbstractPost {
+            program,
+            ctx,
+            caching,
+            memo: BTreeMap::new(),
+            post_queries: 0,
+            post_cache_hits: 0,
+        }
     }
 
     /// Computes the abstract successor of `state` (at `t.from`) under
@@ -145,21 +211,69 @@ impl<'a> AbstractPost<'a> {
     ///
     /// Propagates solver errors.
     pub fn post(
-        &self,
+        &mut self,
         state: &AbstractState,
         t: &Transition,
         preds: &[Formula],
     ) -> SmtResult<Option<AbstractState>> {
+        self.post_queries += 1;
         let rel = t.action.to_relation(self.program.vars());
-        let ante = Formula::and(vec![state.to_formula(), rel]);
+        let key = self.caching.then(|| memo_key(&rel, state, preds));
+        if let Some(cached) = key.as_ref().and_then(|k| self.memo.get(k)) {
+            self.post_cache_hits += 1;
+            return Ok(cached.clone());
+        }
+        // Scope the antecedent (known literals + transition relation) for
+        // the whole group of queries about this edge.
+        self.ctx.push();
+        self.ctx.assume(state.to_formula());
+        self.ctx.assume(rel);
+        let carry = self.caching.then(|| t.action.assigned_vars());
+        let result = Self::post_under_assumptions(&self.ctx, state, preds, carry.as_ref());
+        self.ctx.pop();
+        let result = result?;
+        if let Some(k) = key {
+            self.memo.insert(k, result.clone());
+        }
+        Ok(result)
+    }
+
+    /// The cube computation proper, against the context's assumption stack.
+    /// When `assigned` is given (incremental mode), literals decided in the
+    /// source state whose variables the transition leaves untouched are
+    /// carried over without a query.
+    fn post_under_assumptions(
+        ctx: &SolverContext,
+        state: &AbstractState,
+        preds: &[Formula],
+        assigned: Option<&BTreeSet<pathinv_ir::Symbol>>,
+    ) -> SmtResult<Option<AbstractState>> {
         // Infeasible edges produce no abstract successor.
-        if !self.solver.is_sat(&ante)? {
+        if !ctx.is_sat()? {
             return Ok(None);
         }
         let mut literals = BTreeSet::new();
         for p in preds {
+            if let Some(assigned) = assigned {
+                if p.var_names().is_disjoint(assigned) {
+                    // Frame-preserving edge for this predicate: a decided
+                    // literal survives verbatim; an undecided one must still
+                    // be queried (the guard may newly decide it).
+                    if state.contains(p) {
+                        literals.insert(p.clone());
+                        continue;
+                    }
+                    if !p.has_quantifier() {
+                        let negated = p.clone().not();
+                        if state.contains(&negated) {
+                            literals.insert(negated);
+                            continue;
+                        }
+                    }
+                }
+            }
             let primed = p.primed();
-            if self.solver.entails(&ante, &primed)? {
+            if ctx.entails(&primed)? {
                 literals.insert(p.clone());
             } else if !p.has_quantifier() {
                 // Track the negative literal as well when it is provable
@@ -167,13 +281,44 @@ impl<'a> AbstractPost<'a> {
                 // fragment, so quantified predicates are only tracked
                 // positively).
                 let negated = p.clone().not();
-                if self.solver.entails(&ante, &negated.primed())? {
+                if ctx.entails(&negated.primed())? {
                     literals.insert(negated);
                 }
             }
         }
         Ok(Some(AbstractState { literals }))
     }
+
+    /// Cache-usage counters accumulated by this operator.
+    pub fn stats(&self) -> PostStats {
+        let c = self.ctx.stats();
+        PostStats {
+            post_queries: self.post_queries,
+            post_cache_hits: self.post_cache_hits,
+            smt_queries: c.queries,
+            query_cache_hits: c.cache_hits,
+        }
+    }
+}
+
+/// The memo key of one abstract-post cube: the transition relation (which
+/// fully determines the edge semantics), the abstract state, and the tracked
+/// predicate list, all in their canonical renderings.  Renderings are
+/// injective on formula structure, so distinct cubes never collide.
+fn memo_key(rel: &Formula, state: &AbstractState, preds: &[Formula]) -> String {
+    let mut key = String::with_capacity(64);
+    let _ = write!(key, "{rel}");
+    key.push('\u{1}');
+    for l in state.literals() {
+        let _ = write!(key, "{l}");
+        key.push('\u{2}');
+    }
+    key.push('\u{1}');
+    for p in preds {
+        let _ = write!(key, "{p}");
+        key.push('\u{2}');
+    }
+    key
 }
 
 #[cfg(test)]
@@ -218,7 +363,7 @@ mod tests {
     #[test]
     fn post_tracks_predicates_across_assignment() {
         let p = corpus::forward();
-        let post = AbstractPost::new(&p);
+        let mut post = AbstractPost::new(&p);
         // Transition L0b -> L1: i := 0; a := 0; b := 0.
         let tid = corpus::find_transition(&p, "L0b", "L1");
         let t = p.transition(tid).clone();
@@ -235,7 +380,7 @@ mod tests {
     #[test]
     fn post_detects_infeasible_guard() {
         let p = corpus::forward();
-        let post = AbstractPost::new(&p);
+        let mut post = AbstractPost::new(&p);
         // Loop-entry guard [i < n] is infeasible from a state knowing i >= n.
         let tid = corpus::find_transition(&p, "L1", "L2");
         let t = p.transition(tid).clone();
@@ -246,7 +391,7 @@ mod tests {
     #[test]
     fn quantified_predicates_are_tracked_positively() {
         let p = corpus::initcheck();
-        let post = AbstractPost::new(&p);
+        let mut post = AbstractPost::new(&p);
         let k = pathinv_ir::Symbol::intern("k");
         let inv = Formula::forall(
             vec![k],
@@ -268,5 +413,59 @@ mod tests {
         ]);
         let next = post.post(&state, &t, std::slice::from_ref(&inv)).unwrap().unwrap();
         assert!(next.literals().any(|l| l == &inv), "quantified predicate must be preserved");
+    }
+
+    #[test]
+    fn repeated_posts_hit_the_memo_and_agree_with_fresh_results() {
+        let p = corpus::forward();
+        let mut cached = AbstractPost::new(&p);
+        let mut fresh = AbstractPost::with_caching(&p, false);
+        let tid = corpus::find_transition(&p, "L0b", "L1");
+        let t = p.transition(tid).clone();
+        let preds = vec![Formula::ge(Term::var("i"), Term::int(0))];
+        let first = cached.post(&AbstractState::top(), &t, &preds).unwrap();
+        let second = cached.post(&AbstractState::top(), &t, &preds).unwrap();
+        assert_eq!(first, second, "a memo hit must replay the identical cube");
+        let stats = cached.stats();
+        assert_eq!(stats.post_queries, 2);
+        assert_eq!(stats.post_cache_hits, 1);
+        // The uncached operator answers identically but never hits.
+        let plain = fresh.post(&AbstractState::top(), &t, &preds).unwrap();
+        assert_eq!(plain, first);
+        fresh.post(&AbstractState::top(), &t, &preds).unwrap();
+        assert_eq!(fresh.stats().post_cache_hits, 0);
+        assert!(fresh.stats().query_cache_hits == 0, "uncached context must not cache");
+    }
+
+    #[test]
+    fn memo_is_invalidated_when_the_predicate_set_grows() {
+        // The scenario of a refinement step: the same (state, transition)
+        // pair is re-expanded after the predicate map gained a predicate.
+        // The grown predicate set forms a new memo key, so the cached cube
+        // for the old set must NOT be replayed — the new predicate has to
+        // show up in the result.
+        let p = corpus::forward();
+        let mut post = AbstractPost::new(&p);
+        let tid = corpus::find_transition(&p, "L0b", "L1");
+        let t = p.transition(tid).clone();
+        let p1 = Formula::ge(Term::var("i"), Term::int(0));
+        let p2 = Formula::eq(Term::var("a").add(Term::var("b")), Term::int(3).mul(Term::var("i")));
+        let small =
+            post.post(&AbstractState::top(), &t, std::slice::from_ref(&p1)).unwrap().unwrap();
+        assert!(small.literals().any(|l| l == &p1));
+        assert!(!small.literals().any(|l| l == &p2));
+        let grown =
+            post.post(&AbstractState::top(), &t, &[p1.clone(), p2.clone()]).unwrap().unwrap();
+        assert!(
+            grown.literals().any(|l| l == &p2),
+            "the new predicate must be tracked after growth, not masked by a stale cube"
+        );
+        let stats = post.stats();
+        assert_eq!(stats.post_cache_hits, 0, "a grown predicate set must miss the memo");
+        // The entailment about p1 under the identical antecedent, however,
+        // replays from the query cache instead of re-solving.
+        assert!(stats.query_cache_hits >= 1, "per-predicate queries must be reused: {stats:?}");
+        // And the recomputed cube still agrees with the old one on p1.
+        assert!(grown.literals().any(|l| l == &p1));
     }
 }

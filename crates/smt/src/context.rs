@@ -1,0 +1,346 @@
+//! An incremental solving context over the combined solver.
+//!
+//! The CEGAR engine issues thousands of closely related queries: the same
+//! abstract state conjoined with the same transition relation, asked about
+//! one predicate after another, re-asked on every abstract-reachability
+//! phase as the predicate map grows.  A [`SolverContext`] makes that shape
+//! cheap in two ways:
+//!
+//! * **scoped assumptions** — callers [`push`](SolverContext::push) a frame,
+//!   [`assume`](SolverContext::assume) the facts that stay fixed across a
+//!   group of queries (the abstract state, the transition relation), issue
+//!   the queries, and [`pop`](SolverContext::pop) the frame.  The context
+//!   assembles the antecedent once per query from the live stack instead of
+//!   forcing every call site to rebuild conjunctions by hand.
+//! * **a keyed query cache** — every boolean query (satisfiability of the
+//!   stack, entailment of a consequent) is memoized under a key derived from
+//!   the assumption stack and the query formula.  The underlying
+//!   [`Solver`] is deterministic, so replaying a cached answer is
+//!   observationally identical to re-solving — it just skips the case
+//!   splitting.  Queries that *error* (case-split budget, unsupported
+//!   fragment) are never cached, so error behaviour is also unchanged.
+//!
+//! Cache keys are the pretty-printed renderings of the assumption stack and
+//! the query.  Renderings are deterministic functions of the formula
+//! structure, every distinct formula renders distinctly, and — unlike
+//! hashes — keys cannot collide, so a hit is always sound.  The cache
+//! outlives pops on purpose: a re-pushed assumption set hits the entries it
+//! populated earlier, which is exactly the reuse pattern of re-running
+//! abstract reachability after a refinement step.
+
+use crate::error::SmtResult;
+use crate::solver::Solver;
+use pathinv_ir::Formula;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Usage counters of one [`SolverContext`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Boolean queries answered (satisfiability + entailment).
+    pub queries: u64,
+    /// Queries answered from the cache without touching the solver.
+    pub cache_hits: u64,
+    /// Entries currently stored in the cache.
+    pub cache_entries: u64,
+}
+
+impl ContextStats {
+    /// Cache hit rate in `[0, 1]`; `0` when no query was issued.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// An incremental context: a scoped assumption stack plus a keyed cache of
+/// boolean query results, on top of the (stateless, deterministic)
+/// combined [`Solver`].
+#[derive(Debug)]
+pub struct SolverContext {
+    solver: Solver,
+    /// The assumption stack, flattened; `frames` records the stack heights
+    /// at which [`push`](SolverContext::push) was called.
+    assumptions: Vec<Formula>,
+    frames: Vec<usize>,
+    caching: bool,
+    cache: RefCell<BTreeMap<String, bool>>,
+    queries: Cell<u64>,
+    hits: Cell<u64>,
+}
+
+impl Default for SolverContext {
+    fn default() -> Self {
+        SolverContext::new()
+    }
+}
+
+impl SolverContext {
+    /// Creates a caching context over a default [`Solver`].
+    pub fn new() -> SolverContext {
+        SolverContext::with_solver(Solver::new(), true)
+    }
+
+    /// Creates a context with caching disabled: every query goes to the
+    /// solver.  Used to measure the uncached baseline; answers are identical
+    /// to the caching context's.
+    pub fn uncached() -> SolverContext {
+        SolverContext::with_solver(Solver::new(), false)
+    }
+
+    /// Creates a context over an explicit solver (e.g. with a custom
+    /// case-split budget).
+    pub fn with_solver(solver: Solver, caching: bool) -> SolverContext {
+        SolverContext {
+            solver,
+            assumptions: Vec::new(),
+            frames: Vec::new(),
+            caching,
+            cache: RefCell::new(BTreeMap::new()),
+            queries: Cell::new(0),
+            hits: Cell::new(0),
+        }
+    }
+
+    /// Whether query results are being cached.
+    pub fn is_caching(&self) -> bool {
+        self.caching
+    }
+
+    /// Opens a new assumption frame.
+    pub fn push(&mut self) {
+        self.frames.push(self.assumptions.len());
+    }
+
+    /// Discards every assumption made since the matching
+    /// [`push`](SolverContext::push).  Returns `false` (and does nothing)
+    /// if no frame is open.
+    pub fn pop(&mut self) -> bool {
+        match self.frames.pop() {
+            Some(height) => {
+                self.assumptions.truncate(height);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds an assumption to the current frame.  Trivially true assumptions
+    /// are dropped.
+    pub fn assume(&mut self, f: Formula) {
+        if !matches!(f, Formula::True) {
+            self.assumptions.push(f);
+        }
+    }
+
+    /// Number of open frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of live assumptions across all frames.
+    pub fn num_assumptions(&self) -> usize {
+        self.assumptions.len()
+    }
+
+    /// The conjunction of the live assumption stack.
+    pub fn antecedent(&self) -> Formula {
+        Formula::and(self.assumptions.clone())
+    }
+
+    /// Decides satisfiability of the assumption stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (unsupported fragment, case-split budget).
+    pub fn is_sat(&self) -> SmtResult<bool> {
+        // The key already renders the full assumption stack, so the query
+        // part is trivially `true`; the conjunction is only built on a
+        // cache miss.
+        self.cached("sat", &Formula::True, |s| s.is_sat(&self.antecedent()))
+    }
+
+    /// Decides satisfiability of the assumption stack conjoined with
+    /// `extra`, without mutating the stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn is_sat_with(&self, extra: &Formula) -> SmtResult<bool> {
+        self.cached("sat", extra, |s| {
+            s.is_sat(&Formula::and(vec![self.antecedent(), extra.clone()]))
+        })
+    }
+
+    /// Returns `true` if the assumption stack entails `consequent`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn entails(&self, consequent: &Formula) -> SmtResult<bool> {
+        self.cached("ent", consequent, |s| s.entails(&self.antecedent(), consequent))
+    }
+
+    /// Usage counters of this context.
+    pub fn stats(&self) -> ContextStats {
+        ContextStats {
+            queries: self.queries.get(),
+            cache_hits: self.hits.get(),
+            cache_entries: self.cache.borrow().len() as u64,
+        }
+    }
+
+    /// Drops every cached result (the counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Answers a boolean query through the cache.  The key couples the query
+    /// kind and formula with the full assumption stack, so an answer is only
+    /// ever replayed for an identical (stack, query) pair.  Errors are
+    /// propagated and never cached.
+    fn cached(
+        &self,
+        kind: &str,
+        query: &Formula,
+        solve: impl FnOnce(&Solver) -> SmtResult<bool>,
+    ) -> SmtResult<bool> {
+        self.queries.set(self.queries.get() + 1);
+        if !self.caching {
+            return solve(&self.solver);
+        }
+        let key = self.key(kind, query);
+        if let Some(&answer) = self.cache.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return Ok(answer);
+        }
+        let answer = solve(&self.solver)?;
+        self.cache.borrow_mut().insert(key, answer);
+        Ok(answer)
+    }
+
+    fn key(&self, kind: &str, query: &Formula) -> String {
+        let mut key = String::with_capacity(64);
+        key.push_str(kind);
+        for a in &self.assumptions {
+            key.push('\u{1}');
+            let _ = write!(key, "{a}");
+        }
+        key.push('\u{2}');
+        let _ = write!(key, "{query}");
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::Term;
+
+    fn lt(x: &str, k: i128) -> Formula {
+        Formula::lt(Term::var(x), Term::int(k))
+    }
+
+    fn ge(x: &str, k: i128) -> Formula {
+        Formula::ge(Term::var(x), Term::int(k))
+    }
+
+    #[test]
+    fn push_pop_scopes_assumptions() {
+        let mut ctx = SolverContext::new();
+        ctx.assume(ge("x", 0));
+        assert!(ctx.is_sat().unwrap());
+        ctx.push();
+        ctx.assume(lt("x", 0));
+        assert!(!ctx.is_sat().unwrap());
+        assert!(ctx.pop());
+        assert!(ctx.is_sat().unwrap());
+        assert_eq!(ctx.num_assumptions(), 1);
+        assert!(!ctx.pop(), "no frame left to pop");
+    }
+
+    #[test]
+    fn identical_queries_hit_the_cache() {
+        let mut ctx = SolverContext::new();
+        ctx.assume(ge("x", 1));
+        assert!(ctx.entails(&ge("x", 0)).unwrap());
+        assert!(ctx.entails(&ge("x", 0)).unwrap());
+        let stats = ctx.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_survives_pop_and_repush() {
+        let mut ctx = SolverContext::new();
+        for round in 0..2 {
+            ctx.push();
+            ctx.assume(ge("x", 5));
+            assert!(ctx.entails(&ge("x", 3)).unwrap());
+            assert!(ctx.pop());
+            if round == 1 {
+                assert_eq!(ctx.stats().cache_hits, 1, "second round must reuse the first");
+            }
+        }
+    }
+
+    #[test]
+    fn different_stacks_do_not_share_answers() {
+        let mut ctx = SolverContext::new();
+        ctx.push();
+        ctx.assume(ge("x", 5));
+        assert!(ctx.entails(&ge("x", 3)).unwrap());
+        ctx.pop();
+        ctx.push();
+        ctx.assume(ge("x", 2));
+        assert!(!ctx.entails(&ge("x", 3)).unwrap());
+        ctx.pop();
+        assert_eq!(ctx.stats().cache_hits, 0);
+        assert_eq!(ctx.stats().cache_entries, 2);
+    }
+
+    #[test]
+    fn uncached_context_answers_identically_without_hits() {
+        let mut cached = SolverContext::new();
+        let mut plain = SolverContext::uncached();
+        for ctx in [&mut cached, &mut plain] {
+            ctx.assume(ge("x", 0));
+            ctx.assume(lt("x", 10));
+            for _ in 0..2 {
+                assert!(ctx.is_sat().unwrap());
+                assert!(ctx.entails(&lt("x", 11)).unwrap());
+                assert!(!ctx.entails(&lt("x", 5)).unwrap());
+            }
+        }
+        assert_eq!(cached.stats().queries, plain.stats().queries);
+        assert_eq!(cached.stats().cache_hits, 3);
+        assert_eq!(plain.stats().cache_hits, 0);
+        assert_eq!(plain.stats().cache_entries, 0);
+    }
+
+    #[test]
+    fn is_sat_with_does_not_mutate_the_stack() {
+        let mut ctx = SolverContext::new();
+        ctx.assume(ge("x", 0));
+        assert!(!ctx.is_sat_with(&lt("x", 0)).unwrap());
+        assert_eq!(ctx.num_assumptions(), 1);
+        assert!(ctx.is_sat().unwrap());
+    }
+
+    #[test]
+    fn clear_cache_forces_resolving() {
+        let mut ctx = SolverContext::new();
+        ctx.assume(ge("x", 1));
+        assert!(ctx.entails(&ge("x", 0)).unwrap());
+        ctx.clear_cache();
+        assert_eq!(ctx.stats().cache_entries, 0);
+        assert!(ctx.entails(&ge("x", 0)).unwrap());
+        assert_eq!(ctx.stats().cache_hits, 0);
+    }
+}

@@ -72,6 +72,7 @@ pub fn interpolant_from_certificate(
 pub fn sequence_interpolants(
     groups: &[Vec<LinConstraint<VarRef>>],
 ) -> SmtResult<Option<Vec<Formula>>> {
+    crate::stats::record_interpolant_call();
     let flat: Vec<LinConstraint<VarRef>> = groups.iter().flatten().cloned().collect();
     let certificate = match solve(&flat)? {
         LpResult::Sat(_) => return Ok(None),

@@ -13,7 +13,13 @@
 //!   uninterpreted functions ([`solver`]), used for counterexample
 //!   feasibility checks and predicate-abstraction entailment queries,
 //! * Craig interpolation for linear rational arithmetic ([`interpolate`]),
-//!   used by the baseline (BLAST-style) refiner.
+//!   used by the baseline (BLAST-style) refiner,
+//! * an incremental solving layer ([`context`]): a [`SolverContext`] with a
+//!   scoped assumption stack (push/pop) and a keyed cache of boolean query
+//!   results, which the CEGAR engine reuses across abstract-post and
+//!   feasibility queries,
+//! * thread-local call counters ([`stats`]) so harnesses can report solver
+//!   work per verification task.
 //!
 //! The paper's implementation delegated this layer to SICStus CLP(Q); see
 //! DESIGN.md §4 for the substitution argument.
@@ -38,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod congruence;
+pub mod context;
 pub mod error;
 pub mod fourier_motzkin;
 pub mod interpolate;
@@ -45,11 +52,14 @@ pub mod linexpr;
 pub mod rat;
 pub mod simplex;
 pub mod solver;
+pub mod stats;
 
 pub use congruence::CongruenceClosure;
+pub use context::{ContextStats, SolverContext};
 pub use error::{SmtError, SmtResult};
 pub use interpolate::{interpolant_from_certificate, sequence_interpolants};
 pub use linexpr::{ConstrOp, LinConstraint, LinExpr};
 pub use rat::{DeltaRat, Rat};
 pub use simplex::{entails as lra_entails, solve as lra_solve, FarkasCertificate, LpResult};
 pub use solver::{Model, SatResult, Solver};
+pub use stats::{snapshot as stats_snapshot, SmtStats};

@@ -227,7 +227,7 @@ impl LinExpr<VarRef> {
 }
 
 impl LinConstraint<VarRef> {
-    /// Converts the constraint back into an IR [`Formula`] with integer
+    /// Converts the constraint back into an IR [`Formula`](pathinv_ir::Formula) with integer
     /// coefficients (`expr ⋈ 0` becomes `scaled_expr ⋈ 0`).
     pub fn to_formula(&self) -> SmtResult<pathinv_ir::Formula> {
         let (term, _) = self.expr.to_scaled_term()?;

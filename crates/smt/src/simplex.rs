@@ -114,6 +114,7 @@ impl FarkasCertificate {
 ///
 /// Propagates arithmetic overflow errors from the exact rational arithmetic.
 pub fn solve<K: Ord + Clone + Debug>(constraints: &[LinConstraint<K>]) -> SmtResult<LpResult<K>> {
+    crate::stats::record_simplex_call();
     Tableau::new(constraints)?.check()
 }
 

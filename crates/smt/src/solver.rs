@@ -124,6 +124,7 @@ impl Solver {
     /// non-linear arithmetic, and [`SmtError::Budget`] if the case-split
     /// budget is exhausted.
     pub fn check(&self, f: &Formula) -> SmtResult<SatResult> {
+        crate::stats::record_sat_check();
         check_no_negated_quantifier(f, true)?;
         let budget = Cell::new(self.max_branches);
         let original_vars: BTreeSet<VarRef> = f.var_refs();

@@ -1,0 +1,156 @@
+//! Property tests for the incremental solving layer: a [`SolverContext`]
+//! driven through a random sequence of push/assume/pop operations must
+//! answer every satisfiability and entailment query exactly like a fresh
+//! stateless [`Solver`] given the equivalent conjunction — with caching on
+//! (where repeated stack states replay memoized answers) and with caching
+//! off.  This is the soundness argument for the query cache: a hit is
+//! observationally indistinguishable from re-solving.
+
+use pathinv_ir::{Formula, Term};
+use pathinv_smt::{Solver, SolverContext};
+use proptest::prelude::*;
+
+/// One step of a random interaction with the context.
+#[derive(Clone, Debug)]
+enum StackOp {
+    Push,
+    Pop,
+    Assume(Formula),
+}
+
+/// A random linear atom `a*x + b*y + c ⋈ 0` over two variables with small
+/// coefficients — small enough that conjunctions stay cheap to decide, rich
+/// enough to produce both satisfiable and unsatisfiable stacks.
+fn atom_strategy() -> impl Strategy<Value = Formula> {
+    (-3i128..=3, -3i128..=3, -4i128..=4, 0u8..=4).prop_map(|(a, b, c, op)| {
+        let lhs = Term::int(a)
+            .mul(Term::var("x"))
+            .add(Term::int(b).mul(Term::var("y")))
+            .add(Term::int(c));
+        let rhs = Term::int(0);
+        match op {
+            0 => Formula::le(lhs, rhs),
+            1 => Formula::lt(lhs, rhs),
+            2 => Formula::ge(lhs, rhs),
+            3 => Formula::eq(lhs, rhs),
+            _ => Formula::ne(lhs, rhs),
+        }
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = StackOp> {
+    prop_oneof![
+        Just(StackOp::Push),
+        Just(StackOp::Pop),
+        atom_strategy().prop_map(StackOp::Assume),
+        atom_strategy().prop_map(StackOp::Assume),
+    ]
+}
+
+/// A shadow model of the context: the flat assumption list plus the frame
+/// heights, maintained with plain `Vec` operations.
+#[derive(Default)]
+struct Shadow {
+    assumptions: Vec<Formula>,
+    frames: Vec<usize>,
+}
+
+impl Shadow {
+    fn apply(&mut self, op: &StackOp) {
+        match op {
+            StackOp::Push => self.frames.push(self.assumptions.len()),
+            StackOp::Pop => {
+                if let Some(h) = self.frames.pop() {
+                    self.assumptions.truncate(h);
+                }
+            }
+            StackOp::Assume(f) => self.assumptions.push(f.clone()),
+        }
+    }
+
+    fn conjunction(&self) -> Formula {
+        Formula::and(self.assumptions.clone())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// After every operation of a random stack script, the context's
+    /// satisfiability answer equals a fresh solver's answer on the
+    /// equivalent conjunction, and the cached and uncached contexts agree.
+    #[test]
+    fn random_stack_scripts_match_fresh_solver(ops in proptest::collection::vec(op_strategy(), 1..12)) {
+        let fresh = Solver::new();
+        let mut cached = SolverContext::new();
+        let mut uncached = SolverContext::uncached();
+        let mut shadow = Shadow::default();
+        for op in &ops {
+            match op {
+                StackOp::Push => {
+                    cached.push();
+                    uncached.push();
+                }
+                StackOp::Pop => {
+                    cached.pop();
+                    uncached.pop();
+                }
+                StackOp::Assume(f) => {
+                    cached.assume(f.clone());
+                    uncached.assume(f.clone());
+                }
+            }
+            shadow.apply(op);
+            prop_assert_eq!(cached.num_assumptions(), shadow.assumptions.len());
+            let expected = fresh.is_sat(&shadow.conjunction()).expect("small systems stay in budget");
+            let got_cached = cached.is_sat().expect("context must stay in budget");
+            let got_uncached = uncached.is_sat().expect("context must stay in budget");
+            prop_assert_eq!(got_cached, expected);
+            prop_assert_eq!(got_uncached, expected);
+        }
+        // Entailment of each assumed atom (and one foreign atom) must also
+        // match the fresh solver on the final stack.
+        let ante = shadow.conjunction();
+        let mut goals: Vec<Formula> = shadow.assumptions.clone();
+        goals.push(Formula::ge(Term::var("x").add(Term::var("y")), Term::int(-9)));
+        for goal in goals {
+            let expected = fresh.entails(&ante, &goal).expect("entailment stays in budget");
+            prop_assert_eq!(cached.entails(&goal).expect("context entailment"), expected);
+            prop_assert_eq!(uncached.entails(&goal).expect("context entailment"), expected);
+        }
+        // Replaying the whole script's final query hits the cache, and the
+        // cache never answered differently from the fresh solver above.
+        let stats = cached.stats();
+        prop_assert!(stats.cache_hits <= stats.queries);
+    }
+
+    /// Popping every frame restores the exact pre-push answers: the stack is
+    /// checked before pushing, after pushing extra constraints, and after
+    /// popping them again.
+    #[test]
+    fn pop_restores_previous_answers(
+        base in proptest::collection::vec(atom_strategy(), 0..4),
+        extra in proptest::collection::vec(atom_strategy(), 1..4),
+    ) {
+        let fresh = Solver::new();
+        let mut ctx = SolverContext::new();
+        for f in &base {
+            ctx.assume(f.clone());
+        }
+        let before = ctx.is_sat().expect("base stack in budget");
+        prop_assert_eq!(before, fresh.is_sat(&Formula::and(base.clone())).unwrap());
+        ctx.push();
+        for f in &extra {
+            ctx.assume(f.clone());
+        }
+        let mut all = base.clone();
+        all.extend(extra.iter().cloned());
+        let inner = ctx.is_sat().expect("pushed stack in budget");
+        prop_assert_eq!(inner, fresh.is_sat(&Formula::and(all)).unwrap());
+        prop_assert!(ctx.pop());
+        let after = ctx.is_sat().expect("post-pop stack in budget");
+        prop_assert_eq!(after, before);
+        // The post-pop query is a replay of the pre-push query: cache hit.
+        prop_assert!(ctx.stats().cache_hits >= 1);
+    }
+}

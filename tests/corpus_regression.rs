@@ -2,15 +2,17 @@
 //!
 //! Re-runs every corpus program through both refiners (in parallel, through
 //! the same harness the `pathinv-cli` binary uses) and diffs the
-//! deterministic outcome fields — verdict and refinement count per
-//! (program, refiner) task — against the committed snapshot in
-//! `tests/golden/corpus.json`.  Any PR that flips a verdict or changes how
-//! many refinements a proof needs fails here immediately.
+//! deterministic outcome fields — verdict, refinement count, solver calls,
+//! and cache hits per (program, refiner) task — against the committed
+//! snapshot in `tests/golden/corpus.json`.  Any PR that flips a verdict,
+//! changes how many refinements a proof needs, or regresses the solver-call
+//! discipline fails here immediately.
 //!
-//! To regenerate the snapshot after an *intentional* change:
+//! To regenerate the snapshot (and the benchmark goldens) after an
+//! *intentional* change:
 //!
 //! ```text
-//! cargo run --release -p pathinv-cli -- --all --golden tests/golden/corpus.json
+//! cargo run --release -p pathinv-cli -- --bless
 //! ```
 
 use pathinv_cli::json::{self, Json};
@@ -22,6 +24,9 @@ use std::collections::BTreeMap;
 struct Outcome {
     verdict: String,
     refinements: i64,
+    solver_calls: i64,
+    query_cache_hits: i64,
+    post_cache_hits: i64,
 }
 
 type OutcomeMap = BTreeMap<(String, String), Outcome>;
@@ -39,13 +44,18 @@ fn outcomes_from_golden_json(doc: &Json) -> OutcomeMap {
                 .unwrap_or_else(|| panic!("golden task missing string field `{name}`"))
                 .to_string()
         };
+        let int_field = |name: &str| {
+            task.get(name)
+                .and_then(Json::as_int)
+                .unwrap_or_else(|| panic!("golden task missing int field `{name}`"))
+        };
         let key = (field("program"), field("refiner"));
         let outcome = Outcome {
             verdict: field("verdict"),
-            refinements: task
-                .get("refinements")
-                .and_then(Json::as_int)
-                .expect("golden task missing int field `refinements`"),
+            refinements: int_field("refinements"),
+            solver_calls: int_field("solver_calls"),
+            query_cache_hits: int_field("query_cache_hits"),
+            post_cache_hits: int_field("post_cache_hits"),
         };
         assert!(map.insert(key.clone(), outcome).is_none(), "duplicate golden task {key:?}");
     }
@@ -93,8 +103,8 @@ fn corpus_verdicts_and_refinement_counts_match_golden_snapshot() {
     assert!(
         failures.is_empty(),
         "corpus results drifted from tests/golden/corpus.json:\n  {}\n\n\
-         If the change is intentional, regenerate the snapshot with\n  \
-         cargo run --release -p pathinv-cli -- --all --golden tests/golden/corpus.json",
+         If the change is intentional, regenerate the snapshots with\n  \
+         cargo run --release -p pathinv-cli -- --bless",
         failures.join("\n  ")
     );
 

@@ -170,7 +170,7 @@ fn buggy_suite_members_are_not_proved() {
         let verifier = Verifier::new(path_invariants::CegarConfig {
             refiner: path_invariants::RefinerKind::PathInvariants,
             max_refinements: 6,
-            max_art_nodes: 20_000,
+            ..path_invariants::CegarConfig::default()
         });
         let result = verifier.verify(&program).unwrap();
         assert!(!result.verdict.is_safe(), "{}: {:?}", entry.name, result.verdict);

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access, so this crate implements the
 //! subset of the proptest API that the workspace's property-based tests use:
-//! the [`proptest!`] macro (with `#![proptest_config(..)]`), [`Strategy`] with
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), [`Strategy`](strategy::Strategy) with
 //! `prop_map`, integer-range and tuple strategies, [`strategy::Just`],
 //! [`prop_oneof!`], [`collection::vec`], and the `prop_assert*` macros.
 //!
