@@ -2,50 +2,118 @@
 //!
 //! Library half of the `pathinv-cli` binary: it assembles the benchmark
 //! task list (every program in [`pathinv_ir::corpus`] plus any `.pinv`
-//! source files), runs each (program, refiner) pair across a pool of worker
+//! source files), runs each (program, engine) pair across a pool of worker
 //! threads, and renders the results as a JSON report and a human-readable
 //! summary table.
 //!
+//! Three verification engines are available behind the
+//! [`VerificationEngine`] abstraction —
+//! CEGAR (with either refiner), bounded model checking, and PDR-lite — and
+//! the [`EngineChoice::Portfolio`] selection runs all of them per program,
+//! feeding the [`differential`] harness that hard-fails on any cross-engine
+//! verdict disagreement.
+//!
 //! The JSON report doubles as the substrate for golden-result regression
 //! testing: `tests/corpus_regression.rs` (in the workspace root package)
-//! re-runs the corpus and diffs the deterministic fields — verdict,
-//! refinement count, solver calls, and cache hits per task — against the
-//! committed `tests/golden/corpus.json`, so a PR that flips a verdict,
-//! blows up refinement counts, or regresses solver-call discipline fails
-//! tier-1 immediately.  The [`trajectory`] module builds the benchmark
-//! trajectory point (`BENCH_pr2.json`) on the same harness.
+//! re-runs the full portfolio over the corpus and diffs the deterministic
+//! fields — verdict, refinement count, solver calls, cache hits, and the
+//! per-engine exploration counters per task — against the committed
+//! `tests/golden/corpus.json`, so a PR that flips a verdict, blows up
+//! refinement counts, or regresses solver-call discipline fails tier-1
+//! immediately.  The [`trajectory`] module builds the benchmark trajectory
+//! point (`BENCH_pr2.json`) on the same harness.
 
 #![warn(missing_docs)]
 
+pub mod differential;
 pub mod json;
 pub mod trajectory;
 
 use json::Json;
-use pathinv_core::{CegarConfig, RefinerKind, Verdict, Verifier, VerifierStats};
+use pathinv_core::{
+    BmcConfig, BmcEngine, CegarConfig, PdrConfig, PdrEngine, RefinerKind, Verdict,
+    VerificationEngine, Verifier, VerifierStats,
+};
 use pathinv_ir::{corpus, parse_program, Program};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Schema version stamped into every report, bumped on breaking changes to
-/// the report layout.  Version 2 added the solver-call and cache counters.
-pub const SCHEMA_VERSION: i64 = 2;
+/// the report layout.  Version 2 added the solver-call and cache counters;
+/// version 3 added the engine dimension (the `engine` field, the
+/// `engine_depth`/`engine_nodes`/`engine_lemmas` counters, and the
+/// differential section of portfolio reports).
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
 /// fast while still distinguishing "settled quickly" from "gave up".
 pub const DEFAULT_BASELINE_REFINEMENTS: usize = 6;
 
-/// One unit of work: a named program verified with one refinement strategy.
+/// The refiner column value for engines that have no refiner dimension
+/// (everything except CEGAR).
+pub const NO_REFINER: &str = "-";
+
+/// The engine (with configuration) one [`BatchTask`] runs.
+#[derive(Clone, Debug)]
+pub enum TaskEngine {
+    /// The CEGAR driver with the configured refiner.
+    Cegar(CegarConfig),
+    /// The bounded model checker.
+    Bmc(BmcConfig),
+    /// The PDR-lite frame engine.
+    Pdr(PdrConfig),
+}
+
+impl TaskEngine {
+    /// The engine's report name (`"cegar"`, `"bmc"`, `"pdr"`).
+    pub fn engine_name(&self) -> &'static str {
+        match self {
+            TaskEngine::Cegar(_) => "cegar",
+            TaskEngine::Bmc(_) => "bmc",
+            TaskEngine::Pdr(_) => "pdr",
+        }
+    }
+
+    /// The refiner column for reports: the CEGAR refiner name, or
+    /// [`NO_REFINER`] for engines without a refiner dimension.
+    pub fn refiner_name(&self) -> &'static str {
+        match self {
+            TaskEngine::Cegar(config) => refiner_name(config.refiner),
+            _ => NO_REFINER,
+        }
+    }
+
+    /// Builds the runnable engine.
+    pub fn build(&self) -> Box<dyn VerificationEngine> {
+        match self {
+            TaskEngine::Cegar(config) => Box::new(Verifier::new(config.clone())),
+            TaskEngine::Bmc(config) => Box::new(BmcEngine::new(*config)),
+            TaskEngine::Pdr(config) => Box::new(PdrEngine::new(*config)),
+        }
+    }
+}
+
+/// One unit of work: a named program verified with one engine.
 pub struct BatchTask {
     /// Report name of the program (corpus name or file path).
     pub program_name: String,
-    /// The refinement strategy to run.
-    pub refiner: RefinerKind,
+    /// The engine (and configuration) to run.
+    pub engine: TaskEngine,
     /// The program itself.
     pub program: Program,
-    /// Full engine configuration for this task.
-    pub config: CegarConfig,
+}
+
+impl BatchTask {
+    /// Disables the incremental caches on CEGAR tasks (`--no-cache`).  A
+    /// no-op for BMC, whose context is uncached by design, and for PDR,
+    /// whose query cache is integral to obligation retries.
+    pub fn disable_cegar_caching(&mut self) {
+        if let TaskEngine::Cegar(config) = &mut self.engine {
+            config.caching = false;
+        }
+    }
 }
 
 /// The outcome of one [`BatchTask`].
@@ -53,22 +121,27 @@ pub struct BatchTask {
 pub struct TaskReport {
     /// Report name of the program.
     pub program_name: String,
-    /// `"path-invariants"` or `"path-predicates"`.
+    /// `"cegar"`, `"bmc"`, or `"pdr"`.
+    pub engine: String,
+    /// `"path-invariants"`, `"path-predicates"`, or [`NO_REFINER`] for
+    /// engines without a refiner dimension.
     pub refiner: String,
     /// `"safe"`, `"unsafe"`, `"unknown"`, or `"error"`.
     pub verdict: String,
     /// Free-form elaboration: counterexample length, give-up reason, or the
     /// error message. Not compared by the regression test.
     pub detail: String,
-    /// Refinement iterations performed (0 for errored tasks).
+    /// Refinement iterations performed (CEGAR only; 0 otherwise).
     pub refinements: usize,
-    /// Predicates tracked at the end (0 for errored tasks).
+    /// Predicates tracked at the end (CEGAR) or invariant lemmas of a PDR
+    /// proof; 0 for errored tasks.
     pub predicates: usize,
-    /// Total ART nodes constructed (0 for errored tasks).
+    /// Total ART nodes constructed (CEGAR only; 0 otherwise).
     pub art_nodes: usize,
     /// Wall-clock time for this task, in milliseconds.
     pub wall_ms: f64,
-    /// Solver-call and cache statistics (all-zero for errored tasks).
+    /// Solver-call, cache, and engine-exploration statistics (all-zero for
+    /// errored tasks).
     pub stats: VerifierStats,
 }
 
@@ -77,8 +150,8 @@ pub struct TaskReport {
 pub struct BatchReport {
     /// Worker threads used.
     pub jobs: usize,
-    /// Per-task results, sorted by (program name, refiner) so the report is
-    /// stable regardless of scheduling order.
+    /// Per-task results, sorted by (program name, engine, refiner) so the
+    /// report is stable regardless of scheduling order.
     pub tasks: Vec<TaskReport>,
     /// End-to-end wall clock for the whole batch, in milliseconds.
     pub wall_ms_total: f64,
@@ -92,8 +165,14 @@ pub fn refiner_name(kind: RefinerKind) -> &'static str {
     }
 }
 
-/// Returns every named program in [`pathinv_ir::corpus`]: the paper's
-/// hand-built figures plus the parsed suite entries (prefixed `suite/`).
+/// The committed sample program `programs/array_reset_bug.pinv`, embedded so
+/// that the corpus (and therefore the golden regression) always exercises
+/// it.
+pub const ARRAY_RESET_BUG_SRC: &str = include_str!("../../../programs/array_reset_bug.pinv");
+
+/// Returns every named program in [`pathinv_ir::corpus`] — the paper's
+/// hand-built figures plus the parsed suite entries (prefixed `suite/`) —
+/// and the committed `.pinv` sample `pinv/array_reset_bug`.
 pub fn corpus_programs() -> Vec<(String, Program)> {
     let mut programs: Vec<(String, Program)> = vec![
         ("FORWARD".to_string(), corpus::forward()),
@@ -105,6 +184,11 @@ pub fn corpus_programs() -> Vec<(String, Program)> {
     for (entry, program) in corpus::suite_programs() {
         programs.push((format!("suite/{}", entry.name), program));
     }
+    programs.push((
+        "pinv/array_reset_bug".to_string(),
+        parse_program(ARRAY_RESET_BUG_SRC)
+            .expect("committed sample programs/array_reset_bug.pinv must parse"),
+    ));
     programs
 }
 
@@ -119,7 +203,7 @@ pub fn load_pinv_file(path: &str) -> Result<(String, Program), String> {
     Ok((path.to_string(), program))
 }
 
-/// Which refiners a batch run exercises.
+/// Which refiners the CEGAR tasks of a batch run exercise.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RefinerChoice {
     /// Only the paper's path-invariant refiner.
@@ -143,19 +227,43 @@ impl RefinerChoice {
     }
 }
 
-/// Expands named programs into per-refiner [`BatchTask`]s.
+/// Which engines a batch run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Only the CEGAR driver (refiners per [`RefinerChoice`]).
+    Cegar,
+    /// Only the bounded model checker.
+    Bmc,
+    /// Only the PDR-lite frame engine.
+    Pdr,
+    /// Every engine, as separate tasks per program; enables the
+    /// [`differential`] cross-checking section of the report.
+    Portfolio,
+}
+
+impl EngineChoice {
+    /// Whether this choice runs more than one engine (and therefore feeds
+    /// the differential harness).
+    pub fn is_portfolio(self) -> bool {
+        self == EngineChoice::Portfolio
+    }
+}
+
+/// Expands named programs into per-engine [`BatchTask`]s.
 ///
-/// `max_refinements` overrides the per-refiner default bound
-/// (40 for path invariants, [`DEFAULT_BASELINE_REFINEMENTS`] for the
-/// baseline) when set.
+/// CEGAR tasks are expanded per `refiners`; `max_refinements` overrides the
+/// per-refiner default bound (40 for path invariants,
+/// [`DEFAULT_BASELINE_REFINEMENTS`] for the baseline) when set.  BMC and
+/// PDR tasks use their default configurations.
 pub fn make_tasks(
     programs: Vec<(String, Program)>,
-    choice: RefinerChoice,
+    engines: EngineChoice,
+    refiners: RefinerChoice,
     max_refinements: Option<usize>,
 ) -> Vec<BatchTask> {
-    let mut tasks = Vec::new();
-    for (name, program) in programs {
-        for kind in choice.kinds() {
+    let mut task_engines: Vec<TaskEngine> = Vec::new();
+    if matches!(engines, EngineChoice::Cegar | EngineChoice::Portfolio) {
+        for kind in refiners.kinds() {
             let mut config = match kind {
                 RefinerKind::PathInvariants => CegarConfig::path_invariants(),
                 RefinerKind::PathPredicates => {
@@ -165,11 +273,22 @@ pub fn make_tasks(
             if let Some(bound) = max_refinements {
                 config.max_refinements = bound;
             }
+            task_engines.push(TaskEngine::Cegar(config));
+        }
+    }
+    if matches!(engines, EngineChoice::Bmc | EngineChoice::Portfolio) {
+        task_engines.push(TaskEngine::Bmc(BmcConfig::default()));
+    }
+    if matches!(engines, EngineChoice::Pdr | EngineChoice::Portfolio) {
+        task_engines.push(TaskEngine::Pdr(PdrConfig::default()));
+    }
+    let mut tasks = Vec::new();
+    for (name, program) in programs {
+        for engine in &task_engines {
             tasks.push(BatchTask {
                 program_name: name.clone(),
-                refiner: kind,
+                engine: engine.clone(),
                 program: program.clone(),
-                config,
             });
         }
     }
@@ -178,9 +297,9 @@ pub fn make_tasks(
 
 fn run_task(task: &BatchTask) -> TaskReport {
     let start = Instant::now();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        Verifier::new(task.config.clone()).verify(&task.program)
-    }));
+    let engine = task.engine.build();
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.verify(&task.program)));
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let (verdict, detail, refinements, predicates, art_nodes, stats) = match outcome {
         Ok(Ok(result)) => {
@@ -205,7 +324,8 @@ fn run_task(task: &BatchTask) -> TaskReport {
     };
     TaskReport {
         program_name: task.program_name.clone(),
-        refiner: refiner_name(task.refiner).to_string(),
+        engine: task.engine.engine_name().to_string(),
+        refiner: task.engine.refiner_name().to_string(),
         verdict,
         detail,
         refinements,
@@ -216,11 +336,25 @@ fn run_task(task: &BatchTask) -> TaskReport {
     }
 }
 
+/// The deterministic ordering of engine columns in reports and in the
+/// differential combination: CEGAR first (path invariants before the
+/// baseline), then BMC, then PDR-lite.
+pub fn engine_rank(engine: &str, refiner: &str) -> usize {
+    match (engine, refiner) {
+        ("cegar", "path-invariants") => 0,
+        ("cegar", _) => 1,
+        ("bmc", _) => 2,
+        ("pdr", _) => 3,
+        _ => 4,
+    }
+}
+
 /// Runs every task across `jobs` worker threads and collects a report.
 ///
 /// Tasks are pulled from a shared queue, so long-running programs do not
 /// serialize the rest of the batch behind them. Results are re-sorted by
-/// (program, refiner) to keep the report independent of scheduling.
+/// (program, engine rank, refiner) to keep the report independent of
+/// scheduling.
 pub fn run_batch(tasks: Vec<BatchTask>, jobs: usize) -> BatchReport {
     let jobs = jobs.max(1).min(tasks.len().max(1));
     let start = Instant::now();
@@ -239,18 +373,33 @@ pub fn run_batch(tasks: Vec<BatchTask>, jobs: usize) -> BatchReport {
     });
     let mut tasks = results.into_inner().expect("result sink poisoned");
     tasks.sort_by(|a, b| {
-        (a.program_name.as_str(), a.refiner.as_str())
-            .cmp(&(b.program_name.as_str(), b.refiner.as_str()))
+        (a.program_name.as_str(), engine_rank(&a.engine, &a.refiner), a.refiner.as_str()).cmp(&(
+            b.program_name.as_str(),
+            engine_rank(&b.engine, &b.refiner),
+            b.refiner.as_str(),
+        ))
     });
     BatchReport { jobs, tasks, wall_ms_total: start.elapsed().as_secs_f64() * 1e3 }
 }
 
 impl TaskReport {
+    /// The column label combining engine and refiner (`"cegar/path-
+    /// invariants"`, `"bmc"`, ...), used by the differential harness and the
+    /// summary table.
+    pub fn engine_label(&self) -> String {
+        if self.refiner == NO_REFINER {
+            self.engine.clone()
+        } else {
+            format!("{}/{}", self.engine, self.refiner)
+        }
+    }
+
     /// The full JSON rendering of this task.
     pub fn to_json(&self) -> Json {
         let s = &self.stats;
         Json::object(vec![
             ("program", Json::Str(self.program_name.clone())),
+            ("engine", Json::Str(self.engine.clone())),
             ("refiner", Json::Str(self.refiner.clone())),
             ("verdict", Json::Str(self.verdict.clone())),
             ("detail", Json::Str(self.detail.clone())),
@@ -266,6 +415,9 @@ impl TaskReport {
             ("post_queries", Json::Int(s.post_queries as i64)),
             ("post_cache_hits", Json::Int(s.post_cache_hits as i64)),
             ("query_hit_rate", Json::Float(round3(s.query_hit_rate()))),
+            ("engine_depth", Json::Int(s.engine_depth as i64)),
+            ("engine_nodes", Json::Int(s.engine_nodes as i64)),
+            ("engine_lemmas", Json::Int(s.engine_lemmas as i64)),
             (
                 "phases",
                 Json::object(vec![
@@ -285,6 +437,7 @@ impl TaskReport {
     pub fn to_golden_task_json(&self) -> Json {
         Json::object(vec![
             ("program", Json::Str(self.program_name.clone())),
+            ("engine", Json::Str(self.engine.clone())),
             ("refiner", Json::Str(self.refiner.clone())),
             ("verdict", Json::Str(self.verdict.clone())),
             ("refinements", Json::Int(self.refinements as i64)),
@@ -293,6 +446,9 @@ impl TaskReport {
             ("solver_calls", Json::Int(self.stats.solver_calls as i64)),
             ("query_cache_hits", Json::Int(self.stats.query_cache_hits as i64)),
             ("post_cache_hits", Json::Int(self.stats.post_cache_hits as i64)),
+            ("engine_depth", Json::Int(self.stats.engine_depth as i64)),
+            ("engine_nodes", Json::Int(self.stats.engine_nodes as i64)),
+            ("engine_lemmas", Json::Int(self.stats.engine_lemmas as i64)),
         ])
     }
 }
@@ -306,7 +462,9 @@ fn count_verdicts(tasks: &[TaskReport], verdict: &str) -> i64 {
 }
 
 impl BatchReport {
-    /// The full JSON rendering of this report.
+    /// The full JSON rendering of this report.  Portfolio runs append the
+    /// differential section separately (see
+    /// [`differential::DifferentialReport::to_json`]).
     pub fn to_json(&self) -> Json {
         Json::object(vec![
             ("schema_version", Json::Int(SCHEMA_VERSION)),
@@ -352,25 +510,25 @@ impl BatchReport {
             .chain(std::iter::once("program".len()))
             .max()
             .unwrap_or(8);
+        let engine_width = self
+            .tasks
+            .iter()
+            .map(|t| t.engine_label().len())
+            .chain(std::iter::once("engine".len()))
+            .max()
+            .unwrap_or(6);
+        let rule = name_width + engine_width + 69;
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}  {:>10}\n",
-            "program",
-            "refiner",
-            "verdict",
-            "refines",
-            "preds",
-            "ART nodes",
-            "solver",
-            "hit%",
-            "wall",
+            "{:<name_width$}  {:<engine_width$}  {:<8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}  {:>10}\n",
+            "program", "engine", "verdict", "refines", "preds", "ART nodes", "solver", "hit%", "wall",
         ));
-        out.push_str(&format!("{}\n", "-".repeat(name_width + 83)));
+        out.push_str(&format!("{}\n", "-".repeat(rule)));
         for t in &self.tasks {
             out.push_str(&format!(
-                "{:<name_width$}  {:<16}  {:<8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5.1}  {:>10}\n",
+                "{:<name_width$}  {:<engine_width$}  {:<8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5.1}  {:>10}\n",
                 t.program_name,
-                t.refiner,
+                t.engine_label(),
                 t.verdict,
                 t.refinements,
                 t.predicates,
@@ -380,7 +538,7 @@ impl BatchReport {
                 format_ms(t.wall_ms),
             ));
         }
-        out.push_str(&format!("{}\n", "-".repeat(name_width + 83)));
+        out.push_str(&format!("{}\n", "-".repeat(rule)));
         out.push_str(&format!(
             "{} tasks on {} workers in {}: {} safe, {} unsafe, {} unknown, {} errors; \
              {} solver calls, {} cache hits\n",
@@ -417,15 +575,36 @@ mod tests {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
         assert!(names.iter().filter(|n| n.starts_with("suite/")).count() >= 8);
+        assert!(
+            names.contains(&"pinv/array_reset_bug".to_string()),
+            "the committed sample program must be part of the corpus"
+        );
     }
 
     #[test]
-    fn make_tasks_expands_both_refiners() {
+    fn embedded_sample_matches_the_committed_file() {
+        // `include_str!` guarantees this at compile time; the assertion
+        // documents the invariant for readers.
+        assert!(ARRAY_RESET_BUG_SRC.contains("proc array_reset_bug"));
+    }
+
+    #[test]
+    fn make_tasks_expands_cegar_refiners() {
         let programs = vec![("FIGURE4".to_string(), corpus::figure4_program())];
-        let tasks = make_tasks(programs, RefinerChoice::Both, None);
+        let tasks = make_tasks(programs, EngineChoice::Cegar, RefinerChoice::Both, None);
         assert_eq!(tasks.len(), 2);
-        assert_eq!(tasks[0].config.max_refinements, 40);
-        assert_eq!(tasks[1].config.max_refinements, DEFAULT_BASELINE_REFINEMENTS);
+        let TaskEngine::Cegar(c0) = &tasks[0].engine else { panic!("cegar expected") };
+        let TaskEngine::Cegar(c1) = &tasks[1].engine else { panic!("cegar expected") };
+        assert_eq!(c0.max_refinements, 40);
+        assert_eq!(c1.max_refinements, DEFAULT_BASELINE_REFINEMENTS);
+    }
+
+    #[test]
+    fn make_tasks_portfolio_runs_every_engine() {
+        let programs = vec![("FIGURE4".to_string(), corpus::figure4_program())];
+        let tasks = make_tasks(programs, EngineChoice::Portfolio, RefinerChoice::Both, None);
+        let labels: Vec<&str> = tasks.iter().map(|t| t.engine.engine_name()).collect();
+        assert_eq!(labels, ["cegar", "cegar", "bmc", "pdr"]);
     }
 
     #[test]
@@ -438,7 +617,8 @@ mod tests {
                     .unwrap(),
             ),
         ];
-        let report = run_batch(make_tasks(programs, RefinerChoice::Both, None), 4);
+        let report =
+            run_batch(make_tasks(programs, EngineChoice::Cegar, RefinerChoice::Both, None), 4);
         assert_eq!(report.tasks.len(), 4);
         let names: Vec<&str> = report.tasks.iter().map(|t| t.program_name.as_str()).collect();
         let mut sorted = names.clone();
@@ -450,11 +630,20 @@ mod tests {
     }
 
     #[test]
-    fn figure4_is_unsafe_under_both_refiners() {
+    fn figure4_is_unsafe_under_every_engine() {
         let programs = vec![("FIGURE4".to_string(), corpus::figure4_program())];
-        let report = run_batch(make_tasks(programs, RefinerChoice::Both, None), 2);
+        let report =
+            run_batch(make_tasks(programs, EngineChoice::Portfolio, RefinerChoice::Both, None), 2);
+        assert_eq!(report.tasks.len(), 4);
         for t in &report.tasks {
-            assert_eq!(t.verdict, "unsafe", "{}: {}", t.refiner, t.detail);
+            assert_eq!(t.verdict, "unsafe", "{}: {}", t.engine_label(), t.detail);
         }
+    }
+
+    #[test]
+    fn engine_rank_orders_cegar_first() {
+        assert!(engine_rank("cegar", "path-invariants") < engine_rank("cegar", "path-predicates"));
+        assert!(engine_rank("cegar", "path-predicates") < engine_rank("bmc", NO_REFINER));
+        assert!(engine_rank("bmc", NO_REFINER) < engine_rank("pdr", NO_REFINER));
     }
 }

@@ -1,12 +1,17 @@
 //! Batch verification driver for the Path Invariants reproduction.
 //!
-//! Runs corpus programs and/or `.pinv` source files through the
-//! path-invariant and finite-path-predicate refiners in parallel, printing a
-//! summary table and optionally writing a JSON report (or a golden snapshot
-//! for the regression test).
+//! Runs corpus programs and/or `.pinv` source files through the configured
+//! verification engines (CEGAR with either refiner, bounded model checking,
+//! PDR-lite, or the whole portfolio) in parallel, printing a summary table
+//! and optionally writing a JSON report (or a golden snapshot for the
+//! regression test).  Portfolio runs cross-check verdicts between engines
+//! and fail on any disagreement.
 
-use pathinv_cli::trajectory::run_trajectory;
-use pathinv_cli::{corpus_programs, load_pinv_file, make_tasks, run_batch, RefinerChoice};
+use pathinv_cli::differential::DifferentialReport;
+use pathinv_cli::trajectory::trajectory_from_cached;
+use pathinv_cli::{
+    corpus_programs, load_pinv_file, make_tasks, run_batch, EngineChoice, RefinerChoice,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -21,14 +26,18 @@ ARGS:
 
 OPTIONS:
     --all                  verify every program in pathinv_ir::corpus
+    --engine <WHICH>       cegar | bmc | pdr | portfolio (default: cegar);
+                           portfolio runs every engine per program across the
+                           worker pool, reports the combined verdict, and
+                           exits 1 on any cross-engine verdict disagreement
     --refiner <WHICH>      path-invariants | path-predicates | both
-                           (default: both)
-    --max-refinements <N>  override the refinement bound for all tasks
+                           (default: both; applies to cegar tasks)
+    --max-refinements <N>  override the refinement bound for cegar tasks
     --jobs <N>             worker threads (default: available parallelism)
     --json <PATH>          write the full JSON report to PATH (`-` = stdout)
     --golden <PATH>        write the deterministic golden snapshot to PATH
-    --no-cache             disable the incremental solver caches (same
-                           verdicts, more solver calls; for baselines)
+    --no-cache             disable the incremental solver caches on cegar
+                           tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
                            and the BENCH_pr2.json trajectory point; run from
@@ -38,13 +47,15 @@ OPTIONS:
 
 EXIT STATUS:
     0  all tasks completed (verdicts may be safe/unsafe/unknown)
-    1  at least one task errored or an input file failed to load
+    1  at least one task errored, an input file failed to load, or a
+       portfolio run found a cross-engine verdict disagreement
     2  usage error
 ";
 
 struct Options {
     all: bool,
     files: Vec<String>,
+    engines: EngineChoice,
     choice: RefinerChoice,
     max_refinements: Option<usize>,
     jobs: usize,
@@ -63,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         all: false,
         files: Vec::new(),
+        engines: EngineChoice::Cegar,
         choice: RefinerChoice::Both,
         max_refinements: None,
         jobs: default_jobs(),
@@ -72,6 +84,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bless: false,
         quiet: false,
     };
+    let mut engine_set = false;
+    let mut refiner_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for =
@@ -79,13 +93,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--all" => opts.all = true,
             "--quiet" => opts.quiet = true,
+            "--engine" => {
+                opts.engines = match value_for("--engine")?.as_str() {
+                    "cegar" => EngineChoice::Cegar,
+                    "bmc" => EngineChoice::Bmc,
+                    "pdr" => EngineChoice::Pdr,
+                    "portfolio" => EngineChoice::Portfolio,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+                engine_set = true;
+            }
             "--refiner" => {
                 opts.choice = match value_for("--refiner")?.as_str() {
                     "path-invariants" => RefinerChoice::PathInvariants,
                     "path-predicates" => RefinerChoice::PathPredicates,
                     "both" => RefinerChoice::Both,
                     other => return Err(format!("unknown refiner `{other}`")),
-                }
+                };
+                refiner_set = true;
             }
             "--max-refinements" => {
                 let v = value_for("--max-refinements")?;
@@ -111,6 +136,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             file => opts.files.push(file.to_string()),
         }
     }
+    if matches!(opts.engines, EngineChoice::Bmc | EngineChoice::Pdr) {
+        // Refiner-related flags would be silently meaningless without CEGAR
+        // tasks; reject them instead of ignoring them.
+        if opts.max_refinements.is_some() {
+            return Err("--max-refinements only applies to cegar tasks".to_string());
+        }
+        if refiner_set {
+            return Err("--refiner only applies to cegar tasks".to_string());
+        }
+    }
     if !opts.all && opts.files.is_empty() && !opts.bless {
         return Err("nothing to do: pass --all, --bless, and/or .pinv files".to_string());
     }
@@ -120,11 +155,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.no_cache
             || opts.max_refinements.is_some()
             || opts.choice != RefinerChoice::Both
+            || engine_set
             || opts.json_path.is_some()
             || opts.golden_path.is_some();
         if conflicting {
-            return Err("--bless runs the full corpus under a fixed configuration (both \
-                        refiners, cached + uncached); it only combines with --jobs and --quiet"
+            return Err("--bless runs the full corpus under a fixed configuration (the whole \
+                        engine portfolio, plus the cached + uncached cegar trajectory); it only \
+                        combines with --jobs and --quiet"
                 .to_string());
         }
     }
@@ -142,8 +179,40 @@ fn bless(jobs: usize) -> ExitCode {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
     }
-    eprintln!("blessing: verifying the corpus twice (cached + uncached baseline)...");
-    let trajectory = run_trajectory(jobs);
+    eprintln!("blessing: verifying the corpus with the whole engine portfolio...");
+    let portfolio = run_batch(
+        make_tasks(corpus_programs(), EngineChoice::Portfolio, RefinerChoice::Both, None),
+        jobs,
+    );
+    let portfolio_errors = portfolio.tasks.iter().filter(|t| t.verdict == "error").count();
+    if portfolio_errors > 0 {
+        eprintln!("error: {portfolio_errors} task(s) errored; refusing to bless broken goldens");
+        return ExitCode::FAILURE;
+    }
+    let diff = DifferentialReport::from_batch(&portfolio);
+    let disagreements = diff.disagreements();
+    if !disagreements.is_empty() {
+        eprintln!(
+            "error: cross-engine verdict disagreements; refusing to bless:\n  {}",
+            disagreements.join("\n  ")
+        );
+        return ExitCode::FAILURE;
+    }
+    eprint!("{}", diff.render_summary());
+    // The portfolio already contains the cached CEGAR corpus run; reuse its
+    // cegar subset as the trajectory's cached side (the counters are
+    // deterministic, so this is identical to a fresh run) and only the
+    // uncached baseline is verified again.  The subset's wall clock is the
+    // serial-equivalent sum of its task times.
+    let cegar_tasks: Vec<_> =
+        portfolio.tasks.iter().filter(|t| t.engine == "cegar").cloned().collect();
+    let cached = pathinv_cli::BatchReport {
+        jobs: portfolio.jobs,
+        wall_ms_total: cegar_tasks.iter().map(|t| t.wall_ms).sum(),
+        tasks: cegar_tasks,
+    };
+    eprintln!("blessing: verifying the corpus again (uncached cegar baseline)...");
+    let trajectory = trajectory_from_cached(cached, jobs);
     let errors = trajectory
         .cached
         .tasks
@@ -164,7 +233,7 @@ fn bless(jobs: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let writes = [
-        (CORPUS_GOLDEN, trajectory.cached.to_golden_json().pretty()),
+        (CORPUS_GOLDEN, portfolio.to_golden_json().pretty()),
         (BENCH_GOLDEN, trajectory.to_golden_json().pretty()),
         (BENCH_POINT, trajectory.to_json().pretty()),
     ];
@@ -221,19 +290,27 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut tasks = make_tasks(programs, opts.choice, opts.max_refinements);
+    let mut tasks = make_tasks(programs, opts.engines, opts.choice, opts.max_refinements);
     if opts.no_cache {
         for t in &mut tasks {
-            t.config.caching = false;
+            t.disable_cegar_caching();
         }
     }
     let report = run_batch(tasks, opts.jobs);
+    let differential = opts.engines.is_portfolio().then(|| DifferentialReport::from_batch(&report));
 
     if !opts.quiet {
         print!("{}", report.render_table());
+        if let Some(diff) = &differential {
+            print!("{}", diff.render_summary());
+        }
     }
     if let Some(path) = &opts.json_path {
-        let text = report.to_json().pretty();
+        let mut doc = report.to_json();
+        if let (Some(diff), pathinv_cli::json::Json::Object(fields)) = (&differential, &mut doc) {
+            fields.push(("differential".to_string(), diff.to_json()));
+        }
+        let text = doc.pretty();
         if path == "-" {
             print!("{text}");
         } else if let Err(e) = std::fs::write(path, text) {
@@ -252,7 +329,11 @@ fn main() -> ExitCode {
     }
 
     let errors = report.tasks.iter().filter(|t| t.verdict == "error").count();
-    if errors > 0 || load_failures > 0 {
+    let disagreements = differential.as_ref().map(|d| d.disagreements().len()).unwrap_or(0);
+    if disagreements > 0 {
+        eprintln!("error: {disagreements} cross-engine verdict disagreement(s)");
+    }
+    if errors > 0 || load_failures > 0 || disagreements > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -16,7 +16,9 @@
 //! deterministic field drifts ([`TrajectoryReport::check_against_golden`]).
 
 use crate::json::Json;
-use crate::{corpus_programs, make_tasks, BatchReport, RefinerChoice, SCHEMA_VERSION};
+use crate::{
+    corpus_programs, make_tasks, BatchReport, EngineChoice, RefinerChoice, SCHEMA_VERSION,
+};
 
 /// Schema version of the trajectory report, bumped on breaking layout
 /// changes.  Distinct from the batch-report schema version, though both are
@@ -68,10 +70,24 @@ pub struct TrajectoryReport {
 /// Runs the full corpus under both refiners, cached and uncached, across
 /// `jobs` worker threads.
 pub fn run_trajectory(jobs: usize) -> TrajectoryReport {
-    let cached = crate::run_batch(make_tasks(corpus_programs(), RefinerChoice::Both, None), jobs);
-    let mut baseline_tasks = make_tasks(corpus_programs(), RefinerChoice::Both, None);
+    let cached = crate::run_batch(
+        make_tasks(corpus_programs(), EngineChoice::Cegar, RefinerChoice::Both, None),
+        jobs,
+    );
+    trajectory_from_cached(cached, jobs)
+}
+
+/// Builds the trajectory from an already-computed cached CEGAR corpus batch
+/// — e.g. the CEGAR subset of a portfolio run, so `--bless` does not verify
+/// the corpus a third time — re-running only the uncached baseline.
+/// `cached` must hold exactly the corpus CEGAR tasks with caching on; the
+/// counters are deterministic, so a reused batch is identical to a fresh
+/// one.
+pub fn trajectory_from_cached(cached: BatchReport, jobs: usize) -> TrajectoryReport {
+    let mut baseline_tasks =
+        make_tasks(corpus_programs(), EngineChoice::Cegar, RefinerChoice::Both, None);
     for t in &mut baseline_tasks {
-        t.config.caching = false;
+        t.disable_cegar_caching();
     }
     let uncached = crate::run_batch(baseline_tasks, jobs);
     let totals = TrajectoryTotals::from_batch(&cached);
@@ -291,10 +307,13 @@ mod tests {
                 .filter(|(name, _)| name == "FIGURE4" || name == "FORWARD")
                 .collect::<Vec<_>>()
         };
-        let cached = crate::run_batch(make_tasks(slice(), RefinerChoice::Both, None), 2);
-        let mut tasks = make_tasks(slice(), RefinerChoice::Both, None);
+        let cached = crate::run_batch(
+            make_tasks(slice(), EngineChoice::Cegar, RefinerChoice::Both, None),
+            2,
+        );
+        let mut tasks = make_tasks(slice(), EngineChoice::Cegar, RefinerChoice::Both, None);
         for t in &mut tasks {
-            t.config.caching = false;
+            t.disable_cegar_caching();
         }
         let uncached = crate::run_batch(tasks, 2);
         let totals = TrajectoryTotals::from_batch(&cached);

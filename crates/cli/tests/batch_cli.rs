@@ -2,7 +2,7 @@
 //! end-to-end verification of the committed sample programs across worker
 //! threads.
 
-use pathinv_cli::{load_pinv_file, make_tasks, run_batch, RefinerChoice};
+use pathinv_cli::{load_pinv_file, make_tasks, run_batch, EngineChoice, RefinerChoice};
 use std::process::Command;
 
 fn program_path(name: &str) -> String {
@@ -56,7 +56,36 @@ fn load_failures_exit_nonzero() {
 #[test]
 fn usage_errors_exit_two() {
     assert_eq!(run_cli(&["--refiner", "bogus"]), 2);
+    assert_eq!(run_cli(&["--engine", "bogus"]), 2);
+    assert_eq!(run_cli(&["--engine", "bmc", "--max-refinements", "3", "x.pinv"]), 2);
+    assert_eq!(run_cli(&["--engine", "pdr", "--refiner", "both", "x.pinv"]), 2);
     assert_eq!(run_cli(&[]), 2, "no inputs is a usage error");
+}
+
+/// The portfolio cross-checks engines end-to-end through the real binary:
+/// agreeing engines exit 0 even when some report `unknown`.
+#[test]
+fn portfolio_agreement_exits_zero() {
+    let safe = temp_pinv("pf_safe.pinv", "proc ok(x: int) { x = 1; assert(x == 1); }");
+    let buggy = temp_pinv("pf_bug.pinv", "proc b(x: int) { x = 1; assert(x == 2); }");
+    assert_eq!(run_cli(&["--quiet", "--engine", "portfolio", &safe, &buggy]), 0);
+}
+
+/// A single non-CEGAR engine is selectable on its own; a bounded `unknown`
+/// is a completed task, not a failure.
+#[test]
+fn single_engine_selection_runs_bmc_alone() {
+    let loopy = temp_pinv(
+        "pf_loop.pinv",
+        "proc l(n: int) {
+            var i: int;
+            assume(n >= 0);
+            i = 0;
+            while (i < n) { i = i + 1; }
+            assert(i >= n);
+        }",
+    );
+    assert_eq!(run_cli(&["--quiet", "--engine", "bmc", &loopy]), 0);
 }
 
 #[test]
@@ -78,7 +107,7 @@ fn committed_sample_programs_verify_as_documented() {
         load_pinv_file(&program_path("lockstep.pinv")).unwrap(),
         load_pinv_file(&program_path("array_reset_bug.pinv")).unwrap(),
     ];
-    let report = run_batch(make_tasks(programs, RefinerChoice::Both, None), 4);
+    let report = run_batch(make_tasks(programs, EngineChoice::Cegar, RefinerChoice::Both, None), 4);
     assert_eq!(report.tasks.len(), 4);
     for t in &report.tasks {
         if t.program_name.ends_with("lockstep.pinv") {
@@ -92,7 +121,10 @@ fn committed_sample_programs_verify_as_documented() {
 #[test]
 fn triple_sum_needs_the_relational_path_invariant() {
     let programs = vec![load_pinv_file(&program_path("triple_sum.pinv")).unwrap()];
-    let report = run_batch(make_tasks(programs, RefinerChoice::PathInvariants, None), 1);
+    let report = run_batch(
+        make_tasks(programs, EngineChoice::Cegar, RefinerChoice::PathInvariants, None),
+        1,
+    );
     assert_eq!(report.tasks.len(), 1);
     assert_eq!(
         report.tasks[0].verdict, "safe",

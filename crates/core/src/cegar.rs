@@ -138,6 +138,17 @@ pub struct VerifierStats {
     /// Solver calls spent in refinement (interpolation, invariant
     /// synthesis).
     pub refine_solver_calls: u64,
+    /// Deepest exploration level the engine reached: the longest unrolled
+    /// path for [`BmcEngine`](crate::BmcEngine), the highest frame index for
+    /// [`PdrEngine`](crate::PdrEngine); `0` for CEGAR, whose progress notion
+    /// (refinement iterations) is reported separately.
+    pub engine_depth: u64,
+    /// Engine-specific work units: transition expansions for BMC, proof
+    /// obligations processed for PDR-lite; `0` for CEGAR, whose ART size is
+    /// reported separately.
+    pub engine_nodes: u64,
+    /// Frame lemmas learned by PDR-lite; `0` for the other engines.
+    pub engine_lemmas: u64,
     /// Wall-clock spent in abstract reachability, in milliseconds.
     pub reach_ms: f64,
     /// Wall-clock spent checking counterexample feasibility, in

@@ -1,0 +1,154 @@
+//! The engine abstraction: one interface over every verification algorithm.
+//!
+//! The workspace grew from a single CEGAR driver into a portfolio of
+//! complementary algorithms — CEGAR with path-invariant refinement
+//! ([`Verifier`]), bounded model checking ([`BmcEngine`]), and
+//! property-directed reachability ([`PdrEngine`]).
+//! [`VerificationEngine`] is the contract
+//! they all satisfy, so that harnesses (the batch CLI, the differential
+//! corpus checker, the benchmarks) can treat engines uniformly.
+//!
+//! # Soundness obligations
+//!
+//! Every implementation must uphold the verdict contract (DESIGN.md §8):
+//!
+//! * [`Verdict::Safe`] may only be returned when the engine holds a *proof*
+//!   that the error location is unreachable — a safe inductive invariant
+//!   (CEGAR, PDR) or an exhaustive exploration of every program path (BMC
+//!   with no path truncated at the depth bound).
+//! * [`Verdict::Unsafe`] may only be returned together with a concrete
+//!   counterexample [`Path`](pathinv_ir::Path) whose SSA path formula is
+//!   satisfiable.  Abstract or generalized traces must be re-validated
+//!   against the concrete semantics before the verdict is emitted.
+//! * [`Verdict::Unknown`] is the honest answer everywhere else (resource
+//!   bounds, incomplete search, unsupported fragments).  Engines must *never*
+//!   turn a resource limit into `Safe`/`Unsafe`, and must convert resource
+//!   exhaustion errors into `Unknown` rather than failing the run
+//!   (see [`CoreError::is_resource_exhaustion`](crate::CoreError)).
+//!
+//! Under this contract two engines can disagree only by one proving and the
+//! other giving up — a `Safe` verdict from one engine and an `Unsafe` verdict
+//! from another on the same program is always a bug in one of them, which is
+//! exactly what the differential corpus harness in `pathinv-cli` checks.
+//!
+//! # Statistics
+//!
+//! Engines report their work through
+//! [`VerificationResult::stats`]: the substrate counters (solver calls,
+//! simplex calls, interpolants) are filled from the thread-local snapshots,
+//! and the engine-specific counters
+//! ([`engine_depth`](crate::VerifierStats::engine_depth),
+//! [`engine_nodes`](crate::VerifierStats::engine_nodes),
+//! [`engine_lemmas`](crate::VerifierStats::engine_lemmas)) describe each
+//! algorithm's own exploration.  All counters must be deterministic functions
+//! of the program and the engine configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use pathinv_core::{engine_named, VerificationEngine};
+//! use pathinv_ir::parse_program;
+//!
+//! let program = parse_program(
+//!     "proc bug(x: int) { x = 1; assert(x == 2); }",
+//! )?;
+//! // Every engine finds this straight-line bug.
+//! for name in ["cegar", "bmc", "pdr"] {
+//!     let engine = engine_named(name).expect("known engine");
+//!     let result = engine.verify(&program)?;
+//!     assert!(result.verdict.is_unsafe(), "{name}: {:?}", result.verdict);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::bmc::BmcEngine;
+use crate::cegar::{Verdict, VerificationResult, Verifier};
+use crate::error::CoreResult;
+use crate::pdr::PdrEngine;
+use pathinv_ir::Program;
+
+/// A verification algorithm: anything that can decide (or give up on) the
+/// reachability of a program's error location.
+///
+/// See the [module documentation](self) for the soundness obligations every
+/// implementation must uphold.
+pub trait VerificationEngine {
+    /// The short engine name used in reports, goldens, and CLI flags
+    /// (`"cegar"`, `"bmc"`, `"pdr"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the engine on `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-input and internal solver errors.  Resource
+    /// exhaustion must be reported as [`Verdict::Unknown`], not as an error.
+    fn verify(&self, program: &Program) -> CoreResult<VerificationResult>;
+}
+
+impl VerificationEngine for Verifier {
+    fn name(&self) -> &'static str {
+        "cegar"
+    }
+
+    fn verify(&self, program: &Program) -> CoreResult<VerificationResult> {
+        Verifier::verify(self, program)
+    }
+}
+
+/// Constructs a default-configured engine by its report name
+/// (`"cegar"`, `"bmc"`, or `"pdr"`); returns `None` for unknown names.
+///
+/// Harnesses that need non-default configurations construct the engine types
+/// directly ([`Verifier::new`], [`BmcEngine::new`](crate::BmcEngine::new),
+/// [`PdrEngine::new`](crate::PdrEngine::new)).
+pub fn engine_named(name: &str) -> Option<Box<dyn VerificationEngine>> {
+    match name {
+        "cegar" => Some(Box::new(Verifier::path_invariants())),
+        "bmc" => Some(Box::new(BmcEngine::default())),
+        "pdr" => Some(Box::new(PdrEngine::default())),
+        _ => None,
+    }
+}
+
+/// Renders a verdict the way reports and the differential harness spell it:
+/// `"safe"`, `"unsafe"`, or `"unknown"`.
+pub fn verdict_name(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Safe => "safe",
+        Verdict::Unsafe { .. } => "unsafe",
+        Verdict::Unknown { .. } => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::parse_program;
+
+    #[test]
+    fn engine_named_resolves_all_report_names() {
+        for name in ["cegar", "bmc", "pdr"] {
+            let engine = engine_named(name).expect("known engine");
+            assert_eq!(engine.name(), name);
+        }
+        assert!(engine_named("portfolio").is_none(), "portfolio is a harness, not an engine");
+    }
+
+    #[test]
+    fn every_engine_settles_a_straight_line_program() {
+        let safe = parse_program("proc ok(x: int) { x = 1; assert(x == 1); }").unwrap();
+        let buggy = parse_program("proc bug(x: int) { x = 1; assert(x == 2); }").unwrap();
+        for name in ["cegar", "bmc", "pdr"] {
+            let engine = engine_named(name).unwrap();
+            assert!(engine.verify(&safe).unwrap().verdict.is_safe(), "{name} on safe");
+            assert!(engine.verify(&buggy).unwrap().verdict.is_unsafe(), "{name} on buggy");
+        }
+    }
+
+    #[test]
+    fn verdict_names_match_report_spelling() {
+        assert_eq!(verdict_name(&Verdict::Safe), "safe");
+        assert_eq!(verdict_name(&Verdict::Unknown { reason: "x".into() }), "unknown");
+    }
+}

@@ -14,6 +14,17 @@
 //! * [`cegar`] — the CEGAR driver (abstract reachability tree,
 //!   counterexample feasibility, refinement) with a pluggable refiner.
 //!
+//! Around the paper's algorithm the crate grew an engine portfolio behind
+//! one interface:
+//!
+//! * [`engine`] — the [`VerificationEngine`] trait every algorithm
+//!   implements, with its soundness contract (DESIGN.md §8).
+//! * [`bmc`] — a bounded model checker: depth-first loop unrolling over the
+//!   SSA-encoded CFG with incremental solver push/pop.
+//! * [`pdr`] — PDR-lite: property-directed reachability over frames of
+//!   predicate clauses, generalized by literal dropping and Farkas
+//!   interpolants.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -36,14 +47,20 @@
 
 #![warn(missing_docs)]
 
+pub mod bmc;
 pub mod cegar;
+pub mod engine;
 pub mod error;
 pub mod pathprog;
+pub mod pdr;
 pub mod predabs;
 pub mod refine;
 
+pub use bmc::{BmcConfig, BmcEngine};
 pub use cegar::{CegarConfig, RefinerKind, Verdict, VerificationResult, Verifier, VerifierStats};
+pub use engine::{engine_named, verdict_name, VerificationEngine};
 pub use error::{CoreError, CoreResult};
 pub use pathprog::{path_program, PathProgram};
+pub use pdr::{PdrConfig, PdrEngine};
 pub use predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 pub use refine::{NewPredicates, PathInvariantRefiner, PathPredicateRefiner, Refiner};

@@ -25,8 +25,9 @@
 #![warn(missing_docs)]
 
 pub use pathinv_core::{
-    path_program, CegarConfig, CoreError, CoreResult, PathInvariantRefiner, PathPredicateRefiner,
-    PathProgram, PredicateMap, Refiner, RefinerKind, Verdict, VerificationResult, Verifier,
+    engine_named, path_program, BmcConfig, BmcEngine, CegarConfig, CoreError, CoreResult,
+    PathInvariantRefiner, PathPredicateRefiner, PathProgram, PdrConfig, PdrEngine, PredicateMap,
+    Refiner, RefinerKind, Verdict, VerificationEngine, VerificationResult, Verifier,
 };
 pub use pathinv_invgen::{
     interval_analyze, GeneratedInvariants, InvariantMap, InvgenError, PathInvariantGenerator,

@@ -1,12 +1,15 @@
 //! Golden-result regression test over the verification corpus.
 //!
-//! Re-runs every corpus program through both refiners (in parallel, through
-//! the same harness the `pathinv-cli` binary uses) and diffs the
+//! Re-runs every corpus program through the whole engine portfolio — CEGAR
+//! with both refiners, bounded model checking, and PDR-lite — in parallel,
+//! through the same harness the `pathinv-cli` binary uses, and diffs the
 //! deterministic outcome fields — verdict, refinement count, solver calls,
-//! and cache hits per (program, refiner) task — against the committed
-//! snapshot in `tests/golden/corpus.json`.  Any PR that flips a verdict,
-//! changes how many refinements a proof needs, or regresses the solver-call
-//! discipline fails here immediately.
+//! cache hits, and the per-engine exploration counters per
+//! (program, engine, refiner) task — against the committed snapshot in
+//! `tests/golden/corpus.json`.  Any PR that flips a verdict, changes how
+//! many refinements a proof needs, or regresses the solver-call discipline
+//! fails here immediately.  The same run feeds the differential check: no
+//! two engines may reach contradictory conclusions on any corpus program.
 //!
 //! To regenerate the snapshot (and the benchmark goldens) after an
 //! *intentional* change:
@@ -15,8 +18,9 @@
 //! cargo run --release -p pathinv-cli -- --bless
 //! ```
 
+use pathinv_cli::differential::DifferentialReport;
 use pathinv_cli::json::{self, Json};
-use pathinv_cli::{corpus_programs, make_tasks, run_batch, RefinerChoice};
+use pathinv_cli::{corpus_programs, make_tasks, run_batch, EngineChoice, RefinerChoice};
 use std::collections::BTreeMap;
 
 /// The deterministic fields of one task outcome.
@@ -27,9 +31,12 @@ struct Outcome {
     solver_calls: i64,
     query_cache_hits: i64,
     post_cache_hits: i64,
+    engine_depth: i64,
+    engine_nodes: i64,
+    engine_lemmas: i64,
 }
 
-type OutcomeMap = BTreeMap<(String, String), Outcome>;
+type OutcomeMap = BTreeMap<(String, String, String), Outcome>;
 
 fn outcomes_from_golden_json(doc: &Json) -> OutcomeMap {
     let tasks = doc
@@ -49,13 +56,16 @@ fn outcomes_from_golden_json(doc: &Json) -> OutcomeMap {
                 .and_then(Json::as_int)
                 .unwrap_or_else(|| panic!("golden task missing int field `{name}`"))
         };
-        let key = (field("program"), field("refiner"));
+        let key = (field("program"), field("engine"), field("refiner"));
         let outcome = Outcome {
             verdict: field("verdict"),
             refinements: int_field("refinements"),
             solver_calls: int_field("solver_calls"),
             query_cache_hits: int_field("query_cache_hits"),
             post_cache_hits: int_field("post_cache_hits"),
+            engine_depth: int_field("engine_depth"),
+            engine_nodes: int_field("engine_nodes"),
+            engine_lemmas: int_field("engine_lemmas"),
         };
         assert!(map.insert(key.clone(), outcome).is_none(), "duplicate golden task {key:?}");
     }
@@ -77,7 +87,10 @@ fn corpus_verdicts_and_refinement_counts_match_golden_snapshot() {
     );
     let golden = outcomes_from_golden_json(&golden_doc);
 
-    let report = run_batch(make_tasks(corpus_programs(), RefinerChoice::Both, None), jobs());
+    let report = run_batch(
+        make_tasks(corpus_programs(), EngineChoice::Portfolio, RefinerChoice::Both, None),
+        jobs(),
+    );
 
     // The emitted JSON must itself be valid and loadable (the report is the
     // substrate other tooling consumes).
@@ -110,8 +123,17 @@ fn corpus_verdicts_and_refinement_counts_match_golden_snapshot() {
 
     // No corpus program may crash the harness.
     for t in &report.tasks {
-        assert_ne!(t.verdict, "error", "{}/{}: {}", t.program_name, t.refiner, t.detail);
+        assert_ne!(t.verdict, "error", "{}/{}: {}", t.program_name, t.engine_label(), t.detail);
     }
+
+    // The differential oracle: no two engines may reach contradictory
+    // conclusions on any corpus program.
+    let diff = DifferentialReport::from_batch(&report);
+    assert_eq!(
+        diff.disagreements(),
+        Vec::<String>::new(),
+        "cross-engine verdict disagreement on the corpus"
+    );
 }
 
 #[test]
@@ -123,7 +145,7 @@ fn full_report_json_is_valid_and_consistent_with_summary() {
         .filter(|(name, _)| name == "FIGURE4" || name == "suite/init_backward_bug")
         .collect();
     assert_eq!(programs.len(), 2);
-    let report = run_batch(make_tasks(programs, RefinerChoice::Both, None), 2);
+    let report = run_batch(make_tasks(programs, EngineChoice::Cegar, RefinerChoice::Both, None), 2);
     let doc = json::parse(&report.to_json().pretty()).expect("report JSON must parse");
 
     let tasks = doc.get("tasks").and_then(Json::as_array).unwrap();

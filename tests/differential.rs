@@ -1,0 +1,125 @@
+//! Edge-case tests for the differential (cross-engine) corpus harness.
+//!
+//! The happy path — the full portfolio agreeing on the whole corpus — is
+//! covered by `corpus_regression.rs`.  These tests pin down the tricky
+//! corners of the agreement rules: bounded engines giving up must never
+//! count as disagreement, an engine erroring on a single program must be
+//! surfaced rather than masked, and the portfolio report (including every
+//! deterministic counter) must be byte-identical regardless of how many
+//! worker threads executed it.
+
+use pathinv_cli::differential::DifferentialReport;
+use pathinv_cli::{
+    corpus_programs, make_tasks, run_batch, BatchTask, EngineChoice, RefinerChoice, TaskEngine,
+};
+use pathinv_core::{BmcConfig, CegarConfig, PdrConfig};
+use pathinv_ir::corpus;
+
+/// A deterministic corpus slice with a safe program (needs a relational
+/// invariant), an unsafe one, and an array bug from a committed `.pinv`
+/// sample.
+fn slice() -> Vec<(String, pathinv_ir::Program)> {
+    corpus_programs()
+        .into_iter()
+        .filter(|(name, _)| {
+            name == "FIGURE4" || name == "suite/lockstep" || name == "pinv/array_reset_bug"
+        })
+        .collect()
+}
+
+/// An engine hitting its resource bound reports `unknown`, and the
+/// differential harness treats that as "no opinion" — never as a
+/// disagreement with a conclusive engine.
+#[test]
+fn engine_timeout_is_unknown_and_not_a_disagreement() {
+    let p = corpus::forward();
+    // A BMC budget so small it cannot even leave the initialisation code,
+    // next to a CEGAR engine that proves the program.
+    let tasks = vec![
+        BatchTask {
+            program_name: "FORWARD".to_string(),
+            engine: TaskEngine::Cegar(CegarConfig::path_invariants()),
+            program: p.clone(),
+        },
+        BatchTask {
+            program_name: "FORWARD".to_string(),
+            engine: TaskEngine::Bmc(BmcConfig { max_depth: 26, max_checks: 3 }),
+            program: p.clone(),
+        },
+        BatchTask {
+            program_name: "FORWARD".to_string(),
+            engine: TaskEngine::Pdr(PdrConfig { max_obligations: 2, ..PdrConfig::default() }),
+            program: p,
+        },
+    ];
+    let report = run_batch(tasks, 2);
+    let verdicts: Vec<(&str, &str)> =
+        report.tasks.iter().map(|t| (t.engine.as_str(), t.verdict.as_str())).collect();
+    assert_eq!(
+        verdicts,
+        vec![("cegar", "safe"), ("bmc", "unknown"), ("pdr", "unknown")],
+        "details: {:?}",
+        report.tasks.iter().map(|t| t.detail.clone()).collect::<Vec<_>>()
+    );
+    // The give-up reasons name the exhausted resource.
+    assert!(report.tasks[1].detail.contains("feasibility checks"), "{}", report.tasks[1].detail);
+    assert!(report.tasks[2].detail.contains("obligations"), "{}", report.tasks[2].detail);
+    let diff = DifferentialReport::from_batch(&report);
+    assert_eq!(diff.disagreements(), Vec::<String>::new());
+    assert_eq!(diff.programs[0].combined, "safe", "the conclusive engine decides");
+}
+
+/// A program that errors in some engines but not others: the differential
+/// harness surfaces the per-engine error and still combines the surviving
+/// verdicts.  (Nonlinear arithmetic is outside the solver's fragment, so
+/// every engine that must *reason* about `x * x` errors; the verdict
+/// bookkeeping must not let those errors hide or fabricate conclusions.)
+#[test]
+fn errored_engines_are_surfaced_not_masked() {
+    let p = pathinv_ir::parse_program("proc nl(x: int) { assert(x * x >= 0); }").unwrap();
+    let tasks = make_tasks(
+        vec![("nonlinear".to_string(), p)],
+        EngineChoice::Portfolio,
+        RefinerChoice::PathInvariants,
+        None,
+    );
+    let report = run_batch(tasks, 2);
+    let diff = DifferentialReport::from_batch(&report);
+    let errored: Vec<&str> =
+        report.tasks.iter().filter(|t| t.verdict == "error").map(|t| t.engine.as_str()).collect();
+    assert!(!errored.is_empty(), "at least one engine must hit the unsupported fragment");
+    assert_eq!(diff.errors().len(), errored.len(), "every errored engine is reported");
+    assert_eq!(diff.disagreements(), Vec::<String>::new(), "errors are not verdicts");
+}
+
+/// The portfolio's deterministic projection — verdicts and every golden
+/// counter — is identical across `--jobs 1/3/4`.  This is the property that
+/// makes the schema-v3 goldens meaningful on any machine.
+#[test]
+fn portfolio_report_is_deterministic_across_worker_counts() {
+    let golden_for = |jobs: usize| {
+        let tasks = make_tasks(slice(), EngineChoice::Portfolio, RefinerChoice::Both, None);
+        run_batch(tasks, jobs).to_golden_json().pretty()
+    };
+    let one = golden_for(1);
+    let three = golden_for(3);
+    let four = golden_for(4);
+    assert_eq!(one, three, "jobs=1 vs jobs=3");
+    assert_eq!(three, four, "jobs=3 vs jobs=4");
+}
+
+/// The combined portfolio verdict is deterministic too, and the slice's
+/// programs conclude as documented.
+#[test]
+fn portfolio_combined_verdicts_on_the_slice() {
+    let tasks = make_tasks(slice(), EngineChoice::Portfolio, RefinerChoice::Both, None);
+    let report = run_batch(tasks, 3);
+    let diff = DifferentialReport::from_batch(&report);
+    assert_eq!(diff.disagreements(), Vec::<String>::new());
+    let combined: Vec<(&str, &str)> =
+        diff.programs.iter().map(|p| (p.program.as_str(), p.combined.as_str())).collect();
+    assert_eq!(
+        combined,
+        vec![("FIGURE4", "unsafe"), ("pinv/array_reset_bug", "unsafe"), ("suite/lockstep", "safe"),]
+    );
+}
