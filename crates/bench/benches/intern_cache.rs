@@ -1,0 +1,115 @@
+//! Micro-benchmarks of this PR's solver-core changes: hash-consed
+//! interning, id-keyed vs rendered-string cache keys, and warm-started vs
+//! cold simplex checks over a shared constraint prefix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathinv_ir::{Formula, FormulaId, SeqId, Term};
+use pathinv_smt::{lra_solve, IncrementalSimplex, LinConstraint};
+use std::collections::HashMap;
+
+/// A moderately deep formula of the shape the abstract post assumes: an
+/// abstract state conjoined with a transition relation.
+fn stack_formulas(n: usize) -> Vec<Formula> {
+    (0..n)
+        .map(|i| {
+            let i = i as i128;
+            Formula::and(vec![
+                Formula::ge(Term::var("i"), Term::int(i)),
+                Formula::eq(Term::var("a").select(Term::var("i").add(Term::int(i))), Term::int(0)),
+                Formula::le(Term::var("i").add(Term::var("n").scale(i)), Term::int(100)),
+            ])
+        })
+        .collect()
+}
+
+fn prefix_constraints(n: usize) -> Vec<LinConstraint<pathinv_ir::VarRef>> {
+    let mut cs = Vec::new();
+    for i in 0..n {
+        let f = Formula::le(Term::ivar("x", i as u32), Term::ivar("x", i as u32 + 1));
+        cs.push(LinConstraint::from_atom(&f.atoms()[0]).unwrap());
+    }
+    cs
+}
+
+fn bench_intern_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern_cache");
+    group.sample_size(30);
+
+    // Interning an already-interned formula is the steady-state cost of
+    // building a cache key (one table lookup per node).
+    let formulas = stack_formulas(12);
+    for f in &formulas {
+        FormulaId::intern(f);
+    }
+    group.bench_function("intern/formula_steady_state", |b| {
+        b.iter(|| {
+            for f in &formulas {
+                black_box(FormulaId::intern(f));
+            }
+        });
+    });
+
+    // Cache-key construction + lookup, id-keyed (this PR) vs the rendered
+    // string keys the context used before: the id path interns the query
+    // and hashes a 12-byte tuple, the string path renders the whole stack.
+    let stack_ids: Vec<u32> = formulas.iter().map(|f| FormulaId::intern(f).raw()).collect();
+    let query = Formula::ge(Term::var("i"), Term::int(3));
+    let mut id_cache: HashMap<(u32, u32), bool> = HashMap::new();
+    id_cache.insert((SeqId::intern(&stack_ids).raw(), FormulaId::intern(&query).raw()), true);
+    group.bench_function("cache_lookup/id_keyed", |b| {
+        b.iter(|| {
+            let key = (SeqId::intern(&stack_ids).raw(), FormulaId::intern(&query).raw());
+            black_box(id_cache.get(&key));
+        });
+    });
+    let mut string_cache: HashMap<String, bool> = HashMap::new();
+    let render = |formulas: &[Formula], query: &Formula| {
+        use std::fmt::Write as _;
+        let mut key = String::with_capacity(64);
+        for f in formulas {
+            let _ = write!(key, "{f}\u{1}");
+        }
+        let _ = write!(key, "\u{2}{query}");
+        key
+    };
+    string_cache.insert(render(&formulas, &query), true);
+    group.bench_function("cache_lookup/string_keyed", |b| {
+        b.iter(|| {
+            let key = render(&formulas, &query);
+            black_box(string_cache.get(&key));
+        });
+    });
+
+    // Warm-started incremental re-check vs rebuilding the tableau cold for
+    // every extension of a shared 24-constraint prefix.
+    let prefix = prefix_constraints(24);
+    let extension = {
+        let f = Formula::ge(Term::ivar("x", 24), Term::int(0));
+        LinConstraint::from_atom(&f.atoms()[0]).unwrap()
+    };
+    group.bench_function("simplex/cold_resolve_per_extension", |b| {
+        b.iter(|| {
+            let mut cs = prefix.clone();
+            cs.push(extension.clone());
+            assert!(lra_solve(&cs).unwrap().is_sat());
+        });
+    });
+    group.bench_function("simplex/warm_check_per_extension", |b| {
+        let mut tab = IncrementalSimplex::new();
+        for c in &prefix {
+            tab.push_constraint(c).unwrap();
+        }
+        assert!(tab.check().unwrap());
+        b.iter(|| {
+            let cp = tab.checkpoint();
+            tab.push_constraint(&extension).unwrap();
+            assert!(tab.check().unwrap());
+            tab.pop_to(cp).unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_intern_cache);
+criterion_main!(benches);

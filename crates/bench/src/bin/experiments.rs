@@ -7,11 +7,14 @@
 //!
 //! # The deterministic benchmark trajectory (CI's bench-smoke job):
 //! cargo run --release -p pathinv-bench --bin experiments -- bench \
-//!     --bench-json BENCH_pr2.json --check tests/golden/bench.json
+//!     --bench-json BENCH_pr4.json --check tests/golden/bench.json \
+//!     --compare-previous BENCH_pr2.json
 //! ```
 //!
-//! The `bench` experiment exits nonzero when a task errors or when the
-//! emitted report drifts from the golden passed to `--check`.
+//! The `bench` experiment exits nonzero when a task errors, when the
+//! emitted report drifts from the golden passed to `--check`, or when any
+//! per-task `solver_calls`/`simplex_calls` counter regresses against the
+//! previous trajectory point passed to `--compare-previous`.
 
 use pathinv_bench::experiments::{run_bench, BenchConfig};
 use pathinv_bench::{
@@ -38,6 +41,9 @@ fn main() -> ExitCode {
                 value_for("--bench-golden").map(|v| bench_config.bench_golden = Some(v))
             }
             "--check" => value_for("--check").map(|v| bench_config.check = Some(v)),
+            "--compare-previous" => {
+                value_for("--compare-previous").map(|v| bench_config.compare_previous = Some(v))
+            }
             "--jobs" => value_for("--jobs").and_then(|v| {
                 v.parse::<usize>()
                     .map(|n| bench_config.jobs = Some(n.max(1)))
@@ -60,6 +66,7 @@ fn main() -> ExitCode {
     let bench_flagged = bench_config.bench_json.is_some()
         || bench_config.bench_golden.is_some()
         || bench_config.check.is_some()
+        || bench_config.compare_previous.is_some()
         || bench_config.jobs.is_some();
     if ids.is_empty() && bench_flagged {
         ids.push("bench".to_string());

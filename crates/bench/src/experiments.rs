@@ -1,12 +1,15 @@
 //! The deterministic benchmark-trajectory experiment (`bench`): verifies
 //! the full corpus under both refiners, cached and uncached, and emits the
-//! `BENCH_pr2.json` trajectory point.
+//! `BENCH_pr4.json` trajectory point.
 //!
 //! This is the CI entry point of the perf trajectory: the `bench-smoke` job
-//! runs it with `--check tests/golden/bench.json` and fails the build when
-//! the report schema or any deterministic field (verdict, refinement count,
-//! solver-call and cache counters) drifts from the committed golden.  Local
-//! regeneration after an intentional change is
+//! runs it with `--check tests/golden/bench.json` (fails the build when the
+//! report schema or any deterministic field — verdict, refinement count,
+//! solver-call and cache counters — drifts from the committed golden) and
+//! `--compare-previous BENCH_pr2.json` (fails on any per-task
+//! `solver_calls`/`simplex_calls` regression against the committed previous
+//! trajectory point; wall-clock stays informational).  Local regeneration
+//! after an intentional change is
 //! `cargo run --release -p pathinv-cli -- --bless`.
 
 use pathinv_cli::json::{self, Json};
@@ -17,12 +20,16 @@ use pathinv_cli::trajectory::{run_trajectory, TrajectoryReport};
 pub struct BenchConfig {
     /// Worker threads (defaults to available parallelism).
     pub jobs: Option<usize>,
-    /// Where to write the full trajectory report (`BENCH_pr2.json`).
+    /// Where to write the full trajectory report (`BENCH_pr4.json`).
     pub bench_json: Option<String>,
     /// Where to write the deterministic golden projection.
     pub bench_golden: Option<String>,
     /// A committed golden to diff the run against; any drift is an error.
     pub check: Option<String>,
+    /// A committed *previous* trajectory point (`BENCH_pr2.json`); any
+    /// per-task `solver_calls` or `simplex_calls` regression against it is
+    /// an error.
+    pub compare_previous: Option<String>,
 }
 
 /// Runs the trajectory experiment, writes the requested artifacts, and
@@ -65,6 +72,10 @@ pub fn run_bench(config: &BenchConfig) -> Result<TrajectoryReport, String> {
         rate(trajectory.totals.query_cache_hits, trajectory.totals.smt_queries) * 100.0,
         rate(trajectory.totals.post_cache_hits, trajectory.totals.post_queries) * 100.0,
     );
+    println!(
+        "simplex: {} cold solves + {} warm incremental re-checks (cached run)",
+        trajectory.totals.simplex_calls, trajectory.totals.simplex_warm_checks,
+    );
     if let Some(path) = &config.bench_json {
         std::fs::write(path, trajectory.to_json().pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -87,7 +98,53 @@ pub fn run_bench(config: &BenchConfig) -> Result<TrajectoryReport, String> {
         }
         println!("no drift against {path}");
     }
+    if let Some(path) = &config.compare_previous {
+        let previous = load_golden(path)?;
+        let regressions = counter_regressions(&previous, &trajectory.to_json());
+        if !regressions.is_empty() {
+            return Err(format!(
+                "per-task counter regression against the previous trajectory point {path}:\n  {}",
+                regressions.join("\n  ")
+            ));
+        }
+        println!("no per-task solver_calls/simplex_calls regression against {path}");
+    }
     Ok(trajectory)
+}
+
+/// Compares two full trajectory documents task by task (matched on
+/// `(program, refiner)`) and reports every *increase* of a gated counter —
+/// `solver_calls` or `simplex_calls` — in `current` over `previous`, plus
+/// any task the current run no longer produces.  New tasks (absent from the
+/// previous point) and wall-clock changes are not regressions.
+pub fn counter_regressions(previous: &Json, current: &Json) -> Vec<String> {
+    const GATED: [&str; 2] = ["solver_calls", "simplex_calls"];
+    let tasks = |doc: &Json| -> Vec<Json> {
+        doc.get("tasks").and_then(Json::as_array).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let key = |t: &Json| {
+        (
+            t.get("program").and_then(Json::as_str).unwrap_or("?").to_string(),
+            t.get("refiner").and_then(Json::as_str).unwrap_or("?").to_string(),
+        )
+    };
+    let current_tasks = tasks(current);
+    let mut out = Vec::new();
+    for prev in tasks(previous) {
+        let k = key(&prev);
+        let Some(cur) = current_tasks.iter().find(|t| key(t) == k) else {
+            out.push(format!("{k:?}: in the previous trajectory point but not produced"));
+            continue;
+        };
+        for field in GATED {
+            let was = prev.get(field).and_then(Json::as_int).unwrap_or(0);
+            let now = cur.get(field).and_then(Json::as_int).unwrap_or(0);
+            if now > was {
+                out.push(format!("{k:?}: {field} regressed {was} -> {now}"));
+            }
+        }
+    }
+    out
 }
 
 /// Reads and parses a committed golden document.
@@ -129,5 +186,43 @@ mod tests {
         std::fs::write(&good, "{\"bench_schema_version\": 1}").unwrap();
         let doc = load_golden(good.to_str().unwrap()).unwrap();
         assert_eq!(doc.get("bench_schema_version").and_then(Json::as_int), Some(1));
+    }
+
+    /// The previous-point comparison flags exactly the per-task increases of
+    /// the gated counters, tolerates improvements and new tasks, and reports
+    /// tasks that vanished.
+    #[test]
+    fn counter_regression_gate_flags_increases_only() {
+        let previous = json::parse(
+            r#"{"tasks": [
+                {"program": "A", "refiner": "path-invariants",
+                 "solver_calls": 100, "simplex_calls": 500, "wall_ms": 10.0},
+                {"program": "B", "refiner": "path-predicates",
+                 "solver_calls": 50, "simplex_calls": 80, "wall_ms": 5.0},
+                {"program": "GONE", "refiner": "path-invariants",
+                 "solver_calls": 1, "simplex_calls": 1, "wall_ms": 1.0}
+            ]}"#,
+        )
+        .unwrap();
+        let current = json::parse(
+            r#"{"tasks": [
+                {"program": "A", "refiner": "path-invariants",
+                 "solver_calls": 90, "simplex_calls": 501, "wall_ms": 99.0},
+                {"program": "B", "refiner": "path-predicates",
+                 "solver_calls": 50, "simplex_calls": 40, "wall_ms": 50.0},
+                {"program": "NEW", "refiner": "path-invariants",
+                 "solver_calls": 9999, "simplex_calls": 9999, "wall_ms": 1.0}
+            ]}"#,
+        )
+        .unwrap();
+        let regressions = counter_regressions(&previous, &current);
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert!(
+            regressions.iter().any(|r| r.contains('A') && r.contains("simplex_calls")),
+            "{regressions:?}"
+        );
+        assert!(regressions.iter().any(|r| r.contains("GONE")), "{regressions:?}");
+        // Identical documents never regress (wall-clock is informational).
+        assert!(counter_regressions(&previous, &previous).is_empty());
     }
 }

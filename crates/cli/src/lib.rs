@@ -21,7 +21,7 @@
 //! `tests/golden/corpus.json`, so a PR that flips a verdict, blows up
 //! refinement counts, or regresses solver-call discipline fails tier-1
 //! immediately.  The [`trajectory`] module builds the benchmark trajectory
-//! point (`BENCH_pr2.json`) on the same harness.
+//! point (`BENCH_pr4.json`) on the same harness.
 
 #![warn(missing_docs)]
 
@@ -43,8 +43,11 @@ use std::time::Instant;
 /// the report layout.  Version 2 added the solver-call and cache counters;
 /// version 3 added the engine dimension (the `engine` field, the
 /// `engine_depth`/`engine_nodes`/`engine_lemmas` counters, and the
-/// differential section of portfolio reports).
-pub const SCHEMA_VERSION: i64 = 3;
+/// differential section of portfolio reports); version 4 split the simplex
+/// accounting into cold solves (`simplex_calls`) and warm incremental
+/// re-checks (`simplex_warm_checks`), added per-phase simplex counters, and
+/// pinned `simplex_calls`/`interpolant_calls` in the golden projections.
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
@@ -409,6 +412,7 @@ impl TaskReport {
             ("wall_ms", Json::Float(round3(self.wall_ms))),
             ("solver_calls", Json::Int(s.solver_calls as i64)),
             ("simplex_calls", Json::Int(s.simplex_calls as i64)),
+            ("simplex_warm_checks", Json::Int(s.simplex_warm_checks as i64)),
             ("interpolant_calls", Json::Int(s.interpolant_calls as i64)),
             ("smt_queries", Json::Int(s.smt_queries as i64)),
             ("query_cache_hits", Json::Int(s.query_cache_hits as i64)),
@@ -424,6 +428,9 @@ impl TaskReport {
                     ("reach_solver_calls", Json::Int(s.reach_solver_calls as i64)),
                     ("cex_solver_calls", Json::Int(s.cex_solver_calls as i64)),
                     ("refine_solver_calls", Json::Int(s.refine_solver_calls as i64)),
+                    ("reach_simplex_calls", Json::Int(s.reach_simplex_calls as i64)),
+                    ("cex_simplex_calls", Json::Int(s.cex_simplex_calls as i64)),
+                    ("refine_simplex_calls", Json::Int(s.refine_simplex_calls as i64)),
                     ("reach_ms", Json::Float(round3(s.reach_ms))),
                     ("cex_ms", Json::Float(round3(s.cex_ms))),
                     ("refine_ms", Json::Float(round3(s.refine_ms))),
@@ -444,6 +451,9 @@ impl TaskReport {
             ("predicates", Json::Int(self.predicates as i64)),
             ("art_nodes", Json::Int(self.art_nodes as i64)),
             ("solver_calls", Json::Int(self.stats.solver_calls as i64)),
+            ("simplex_calls", Json::Int(self.stats.simplex_calls as i64)),
+            ("simplex_warm_checks", Json::Int(self.stats.simplex_warm_checks as i64)),
+            ("interpolant_calls", Json::Int(self.stats.interpolant_calls as i64)),
             ("query_cache_hits", Json::Int(self.stats.query_cache_hits as i64)),
             ("post_cache_hits", Json::Int(self.stats.post_cache_hits as i64)),
             ("engine_depth", Json::Int(self.stats.engine_depth as i64)),

@@ -40,7 +40,7 @@ OPTIONS:
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr2.json trajectory point; run from
+                           and the BENCH_pr4.json trajectory point; run from
                            the repository root
     --quiet                suppress the summary table
     --help                 show this help
@@ -174,7 +174,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr2.json";
+    const BENCH_POINT: &str = "BENCH_pr4.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;

@@ -1,5 +1,7 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr2.json`.
+//! the corpus-wide solver workload, emitted as `BENCH_pr4.json`
+//! (`BENCH_pr2.json` is the committed previous point the bench-smoke CI job
+//! diffs against for per-task counter regressions).
 //!
 //! A trajectory run verifies the full corpus under both refiners twice —
 //! once with the incremental caches on (the shipping configuration) and once
@@ -22,14 +24,19 @@ use crate::{
 
 /// Schema version of the trajectory report, bumped on breaking layout
 /// changes.  Distinct from the batch-report schema version, though both are
-/// stamped into the emitted JSON.
-pub const BENCH_SCHEMA_VERSION: i64 = 1;
+/// stamped into the emitted JSON.  Version 2 added the cold/warm simplex
+/// totals.
+pub const BENCH_SCHEMA_VERSION: i64 = 2;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrajectoryTotals {
     /// Combined-solver invocations summed over all tasks.
     pub solver_calls: u64,
+    /// Cold simplex solves (tableau constructions) summed over all tasks.
+    pub simplex_calls: u64,
+    /// Warm incremental simplex re-checks summed over all tasks.
+    pub simplex_warm_checks: u64,
     /// Boolean queries through the incremental contexts.
     pub smt_queries: u64,
     /// Context queries answered from the keyed cache.
@@ -44,6 +51,8 @@ impl TrajectoryTotals {
     fn from_batch(report: &BatchReport) -> TrajectoryTotals {
         TrajectoryTotals {
             solver_calls: report.total(|s| s.solver_calls),
+            simplex_calls: report.total(|s| s.simplex_calls),
+            simplex_warm_checks: report.total(|s| s.simplex_warm_checks),
             smt_queries: report.total(|s| s.smt_queries),
             query_cache_hits: report.total(|s| s.query_cache_hits),
             post_queries: report.total(|s| s.post_queries),
@@ -154,7 +163,7 @@ impl TrajectoryReport {
         saved as f64 / self.baseline.solver_calls as f64
     }
 
-    /// The full JSON rendering (the contents of `BENCH_pr2.json`): the
+    /// The full JSON rendering (the contents of `BENCH_pr4.json`): the
     /// deterministic fields plus wall-clock.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -187,6 +196,8 @@ impl TrajectoryReport {
     fn totals_json(&self, t: &TrajectoryTotals, wall_ms: f64) -> Json {
         Json::object(vec![
             ("solver_calls", Json::Int(t.solver_calls as i64)),
+            ("simplex_calls", Json::Int(t.simplex_calls as i64)),
+            ("simplex_warm_checks", Json::Int(t.simplex_warm_checks as i64)),
             ("smt_queries", Json::Int(t.smt_queries as i64)),
             ("query_cache_hits", Json::Int(t.query_cache_hits as i64)),
             ("post_queries", Json::Int(t.post_queries as i64)),
@@ -204,6 +215,8 @@ impl TrajectoryReport {
         let totals_golden = |t: &TrajectoryTotals| {
             Json::object(vec![
                 ("solver_calls", Json::Int(t.solver_calls as i64)),
+                ("simplex_calls", Json::Int(t.simplex_calls as i64)),
+                ("simplex_warm_checks", Json::Int(t.simplex_warm_checks as i64)),
                 ("smt_queries", Json::Int(t.smt_queries as i64)),
                 ("query_cache_hits", Json::Int(t.query_cache_hits as i64)),
                 ("post_queries", Json::Int(t.post_queries as i64)),

@@ -40,6 +40,15 @@ pub struct CegarConfig {
     pub refiner: RefinerKind,
     /// Maximum number of refinement iterations before giving up.
     pub max_refinements: usize,
+    /// Maximum number of *consecutive fallback* refinements (the
+    /// path-invariant refiner degenerating to finite-path refutation
+    /// because synthesis found no invariant map) before giving up.  Repeated
+    /// synthesis failure means the counterexample family cannot be
+    /// eliminated within the template language, so continuing reproduces
+    /// exactly the divergent unrolling the paper criticises (§2.1) at
+    /// quadratically growing cost; the paper's remedy is a falsification
+    /// engine (§6), available here as the BMC portfolio member.
+    pub max_fallback_refinements: usize,
     /// Maximum number of ART nodes per reachability phase.
     pub max_art_nodes: usize,
     /// Whether the abstract post is memoized and solver queries are cached
@@ -55,6 +64,7 @@ impl Default for CegarConfig {
         CegarConfig {
             refiner: RefinerKind::PathInvariants,
             max_refinements: 40,
+            max_fallback_refinements: 6,
             max_art_nodes: 20_000,
             caching: true,
         }
@@ -119,8 +129,12 @@ pub struct VerifierStats {
     /// Top-level combined-solver invocations across the whole run
     /// (including those made inside the refiners and invariant synthesis).
     pub solver_calls: u64,
-    /// Simplex invocations across the whole run.
+    /// Cold simplex solves (tableau constructions) across the whole run.
     pub simplex_calls: u64,
+    /// Warm-started incremental simplex re-checks across the whole run
+    /// (tableau reuse over a shared constraint prefix; see
+    /// `pathinv_smt::IncrementalSimplex`).
+    pub simplex_warm_checks: u64,
     /// Sequence-interpolant computations (the baseline refiner's engine).
     pub interpolant_calls: u64,
     /// Boolean queries issued through the incremental contexts.
@@ -138,6 +152,13 @@ pub struct VerifierStats {
     /// Solver calls spent in refinement (interpolation, invariant
     /// synthesis).
     pub refine_solver_calls: u64,
+    /// Simplex calls spent in abstract reachability.
+    pub reach_simplex_calls: u64,
+    /// Simplex calls spent checking counterexample feasibility.
+    pub cex_simplex_calls: u64,
+    /// Simplex calls spent in refinement (interpolation, invariant
+    /// synthesis — where the Farkas systems of template search live).
+    pub refine_simplex_calls: u64,
     /// Deepest exploration level the engine reached: the longest unrolled
     /// path for [`BmcEngine`](crate::BmcEngine), the highest frame index for
     /// [`PdrEngine`](crate::PdrEngine); `0` for CEGAR, whose progress notion
@@ -242,16 +263,20 @@ impl Verifier {
 
         // Resource exhaustion (ART size, solver case-split budget) is an
         // honest "unknown", not an engine failure; see `CoreError::
-        // is_resource_exhaustion`.
+        // is_resource_exhaustion`.  The reason names the engine phase that
+        // consumed the budget — a refinement-phase exhaustion would
+        // otherwise read like a reachability failure.
         macro_rules! check_budget {
-            ($result:expr, $refinement:expr) => {
+            ($result:expr, $refinement:expr, $phase:expr) => {
                 match $result {
                     Ok(value) => value,
                     Err(e) => {
                         let e = CoreError::from(e);
                         if e.is_resource_exhaustion() {
                             return Ok(VerificationResult {
-                                verdict: Verdict::Unknown { reason: e.to_string() },
+                                verdict: Verdict::Unknown {
+                                    reason: format!("{} phase: {e}", $phase),
+                                },
                                 refinements: $refinement,
                                 predicates: predicates.len(),
                                 art_nodes: total_nodes,
@@ -270,14 +295,17 @@ impl Verifier {
             };
         }
 
+        let mut consecutive_fallbacks = 0usize;
         for refinement in 0..=self.config.max_refinements {
             let phase = Instant::now();
             let snap = stats_snapshot();
             let reach =
                 self.abstract_reachability(program, &predicates, &mut post, &mut total_nodes);
             stats.reach_ms += ms_since(phase);
-            stats.reach_solver_calls += stats_snapshot().since(&snap).sat_checks;
-            let counterexample = check_budget!(reach, refinement);
+            let delta = stats_snapshot().since(&snap);
+            stats.reach_solver_calls += delta.sat_checks;
+            stats.reach_simplex_calls += delta.simplex_calls;
+            let counterexample = check_budget!(reach, refinement, "abstract reachability (reach)");
             let Some(path) = counterexample else {
                 return Ok(VerificationResult {
                     verdict: Verdict::Safe,
@@ -294,8 +322,10 @@ impl Verifier {
             let snap = stats_snapshot();
             let feasibility = cex_ctx.is_sat_with(&pf.conjunction());
             stats.cex_ms += ms_since(phase);
-            stats.cex_solver_calls += stats_snapshot().since(&snap).sat_checks;
-            if check_budget!(feasibility, refinement) {
+            let delta = stats_snapshot().since(&snap);
+            stats.cex_solver_calls += delta.sat_checks;
+            stats.cex_simplex_calls += delta.simplex_calls;
+            if check_budget!(feasibility, refinement, "counterexample feasibility (cex)") {
                 return Ok(VerificationResult {
                     verdict: Verdict::Unsafe { path },
                     refinements: refinement,
@@ -313,10 +343,17 @@ impl Verifier {
             let snap = stats_snapshot();
             let refined = refiner.refine(program, &path);
             stats.refine_ms += ms_since(phase);
-            stats.refine_solver_calls += stats_snapshot().since(&snap).sat_checks;
-            let new_preds = check_budget!(refined, refinement);
+            let delta = stats_snapshot().since(&snap);
+            stats.refine_solver_calls += delta.sat_checks;
+            stats.refine_simplex_calls += delta.simplex_calls;
+            let refined = check_budget!(refined, refinement, "refinement (refine)");
+            if refined.fell_back {
+                consecutive_fallbacks += 1;
+            } else {
+                consecutive_fallbacks = 0;
+            }
             let mut added = 0;
-            for (l, preds) in new_preds {
+            for (l, preds) in refined.predicates {
                 for p in preds {
                     if predicates.add(l, p) {
                         added += 1;
@@ -329,6 +366,25 @@ impl Verifier {
                         reason: format!(
                             "refinement with {} made no progress on a spurious counterexample",
                             refiner.name()
+                        ),
+                    },
+                    refinements: refinement + 1,
+                    predicates: predicates.len(),
+                    art_nodes: total_nodes,
+                    predicate_map: predicates,
+                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+                });
+            }
+            if self.config.max_fallback_refinements != 0
+                && consecutive_fallbacks >= self.config.max_fallback_refinements
+            {
+                return Ok(VerificationResult {
+                    verdict: Verdict::Unknown {
+                        reason: format!(
+                            "invariant synthesis failed on {consecutive_fallbacks} consecutive \
+                             refinements; the counterexample family has no invariant within the \
+                             template language, so further refinement would only unroll the loop \
+                             (combine with a falsification engine, §6)"
                         ),
                     },
                     refinements: refinement + 1,
@@ -441,6 +497,7 @@ fn finalize_stats(
     let delta = stats_snapshot().since(smt_start);
     stats.solver_calls = delta.sat_checks;
     stats.simplex_calls = delta.simplex_calls;
+    stats.simplex_warm_checks = delta.simplex_warm_checks;
     stats.interpolant_calls = delta.interpolant_calls;
     stats.smt_queries = post.smt_queries + cex.queries;
     stats.query_cache_hits = post.query_cache_hits + cex.cache_hits;
@@ -541,6 +598,56 @@ mod tests {
                 r.stats
             );
         }
+    }
+
+    #[test]
+    fn resource_exhaustion_names_the_consuming_phase() {
+        // An ART limit of 1 node exhausts during abstract reachability; the
+        // Unknown reason must say so instead of reading like a generic
+        // solver failure.
+        let p = corpus::forward();
+        let config = CegarConfig { max_art_nodes: 1, ..CegarConfig::default() };
+        let result = Verifier::new(config).verify(&p).unwrap();
+        match result.verdict {
+            Verdict::Unknown { ref reason } => {
+                assert!(
+                    reason.contains("abstract reachability (reach) phase"),
+                    "reason must name the phase: {reason}"
+                );
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consecutive_synthesis_fallbacks_stop_the_run() {
+        // A buggy array loop: synthesis finds no invariant (there is none),
+        // so every refinement falls back to finite-path predicates.  With a
+        // fallback bound of 1 the engine stops after the first consecutive
+        // fallback instead of unrolling towards the counterexample.
+        let p = parse_program(
+            "proc buggy(a: int[]) {
+                var i: int;
+                for (i = 0; i < 3; i++) { a[i] = 1; }
+                assert(a[0] == 0);
+            }",
+        )
+        .unwrap();
+        let config = CegarConfig { max_fallback_refinements: 1, ..CegarConfig::default() };
+        let result = Verifier::new(config).verify(&p).unwrap();
+        match result.verdict {
+            Verdict::Unknown { ref reason } => {
+                assert!(
+                    reason.contains("invariant synthesis failed on 1 consecutive"),
+                    "reason must name the fallback cutoff: {reason}"
+                );
+            }
+            other => panic!("expected Unknown under the fallback bound, got {other:?}"),
+        }
+        // With the default bound the same program is falsified (the cutoff
+        // only fires on *consecutive* fallbacks beyond the bound).
+        let result = Verifier::path_invariants().verify(&p).unwrap();
+        assert!(result.verdict.is_unsafe(), "{:?}", result.verdict);
     }
 
     #[test]

@@ -134,6 +134,7 @@ impl VerificationEngine for PdrEngine {
         let stats = VerifierStats {
             solver_calls: delta.sat_checks,
             simplex_calls: delta.simplex_calls,
+            simplex_warm_checks: delta.simplex_warm_checks,
             interpolant_calls: delta.interpolant_calls,
             smt_queries: ctx_stats.queries,
             query_cache_hits: ctx_stats.cache_hits,

@@ -8,10 +8,9 @@
 //! by BLAST-style model checkers, which is exactly the abstraction the paper
 //! instantiates its refinement scheme on (§4.1).
 
-use pathinv_ir::{Formula, Loc, Program, Transition};
+use pathinv_ir::{Formula, FormulaId, Loc, Program, SeqId, Transition};
 use pathinv_smt::{SmtResult, SolverContext};
-use std::collections::{BTreeMap, BTreeSet};
-use std::fmt::Write as _;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The predicate map Π: the predicates tracked at each location.
 #[derive(Clone, Debug, Default)]
@@ -176,10 +175,18 @@ pub struct AbstractPost<'a> {
     program: &'a Program,
     ctx: SolverContext,
     caching: bool,
-    memo: BTreeMap<String, Option<AbstractState>>,
+    memo: HashMap<PostKey, Option<AbstractState>>,
     post_queries: u64,
     post_cache_hits: u64,
 }
+
+/// The memo key of one abstract-post cube: the hash-consed ids of the
+/// transition relation (which fully determines the edge semantics), the
+/// abstract state's literal set, and the tracked predicate list.  Hash
+/// consing is injective on formula structure, so distinct cubes never
+/// collide — the property the previous rendered-string keys bought with an
+/// `O(formula size)` allocation per lookup, now a `Copy` triple.
+type PostKey = (u32, u32, u32);
 
 impl<'a> AbstractPost<'a> {
     /// Creates the operator for a program, with memoization enabled.
@@ -195,7 +202,7 @@ impl<'a> AbstractPost<'a> {
             program,
             ctx,
             caching,
-            memo: BTreeMap::new(),
+            memo: HashMap::new(),
             post_queries: 0,
             post_cache_hits: 0,
         }
@@ -219,6 +226,7 @@ impl<'a> AbstractPost<'a> {
         self.post_queries += 1;
         let rel = t.action.to_relation(self.program.vars());
         let key = self.caching.then(|| memo_key(&rel, state, preds));
+
         if let Some(cached) = key.as_ref().and_then(|k| self.memo.get(k)) {
             self.post_cache_hits += 1;
             return Ok(cached.clone());
@@ -301,24 +309,14 @@ impl<'a> AbstractPost<'a> {
     }
 }
 
-/// The memo key of one abstract-post cube: the transition relation (which
-/// fully determines the edge semantics), the abstract state, and the tracked
-/// predicate list, all in their canonical renderings.  Renderings are
-/// injective on formula structure, so distinct cubes never collide.
-fn memo_key(rel: &Formula, state: &AbstractState, preds: &[Formula]) -> String {
-    let mut key = String::with_capacity(64);
-    let _ = write!(key, "{rel}");
-    key.push('\u{1}');
-    for l in state.literals() {
-        let _ = write!(key, "{l}");
-        key.push('\u{2}');
-    }
-    key.push('\u{1}');
-    for p in preds {
-        let _ = write!(key, "{p}");
-        key.push('\u{2}');
-    }
-    key
+/// Builds the [`PostKey`] of one abstract-post cube.  The state's literal
+/// set is interned in its canonical (BTreeSet) order and the predicate list
+/// in tracking order, so key equality is exactly structural equality of the
+/// cube inputs.
+fn memo_key(rel: &Formula, state: &AbstractState, preds: &[Formula]) -> PostKey {
+    let state_ids: Vec<u32> = state.literals().map(|l| FormulaId::intern(l).raw()).collect();
+    let pred_ids: Vec<u32> = preds.iter().map(|p| FormulaId::intern(p).raw()).collect();
+    (FormulaId::intern(rel).raw(), SeqId::intern(&state_ids).raw(), SeqId::intern(&pred_ids).raw())
 }
 
 #[cfg(test)]

@@ -21,6 +21,32 @@ use std::collections::BTreeMap;
 /// New predicates produced by a refinement step, keyed by program location.
 pub type NewPredicates = BTreeMap<Loc, Vec<Formula>>;
 
+/// The outcome of one refinement step.
+#[derive(Clone, Debug, Default)]
+pub struct Refinement {
+    /// The new predicates, keyed by program location.
+    pub predicates: NewPredicates,
+    /// `true` when the refiner's *primary* strategy failed and the
+    /// predicates came from a fallback.  The path-invariant refiner sets
+    /// this when invariant synthesis found no invariant map and finite-path
+    /// refutation was used instead — the signal the CEGAR driver uses to
+    /// detect that refinement has degenerated into the divergent baseline
+    /// behaviour (see [`CegarConfig::max_fallback_refinements`](crate::CegarConfig)).
+    pub fell_back: bool,
+}
+
+impl Refinement {
+    /// A primary-strategy refinement producing `predicates`.
+    pub fn primary(predicates: NewPredicates) -> Refinement {
+        Refinement { predicates, fell_back: false }
+    }
+
+    /// A fallback refinement producing `predicates`.
+    pub fn fallback(predicates: NewPredicates) -> Refinement {
+        Refinement { predicates, fell_back: true }
+    }
+}
+
 /// A refinement strategy.
 pub trait Refiner {
     /// A short name used in reports and benchmarks.
@@ -33,7 +59,7 @@ pub trait Refiner {
     ///
     /// Propagates solver errors; refiners must not be called on feasible
     /// paths.
-    fn refine(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates>;
+    fn refine(&self, program: &Program, path: &Path) -> CoreResult<Refinement>;
 }
 
 /// The baseline refiner: predicates from the infeasible path formula
@@ -53,7 +79,15 @@ impl Refiner for PathPredicateRefiner {
         "path-predicates"
     }
 
-    fn refine(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates> {
+    fn refine(&self, program: &Program, path: &Path) -> CoreResult<Refinement> {
+        Ok(Refinement::primary(self.path_predicates(program, path)?))
+    }
+}
+
+impl PathPredicateRefiner {
+    /// The finite-path predicate computation (interpolants + path atoms),
+    /// shared with the path-invariant refiner's fallback.
+    fn path_predicates(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates> {
         let pf = ssa::path_formula(program, path);
         let locs = path.locations(program);
         let mut out: NewPredicates = BTreeMap::new();
@@ -177,7 +211,7 @@ impl PathInvariantRefiner {
         &self,
         program: &Program,
         path: &Path,
-    ) -> CoreResult<(NewPredicates, Vec<TemplateAttempt>)> {
+    ) -> CoreResult<(Refinement, Vec<TemplateAttempt>)> {
         let pp = path_program(program, path)?;
         let generator = match &self.config {
             Some(c) => PathInvariantGenerator::with_config(c.clone()),
@@ -194,12 +228,14 @@ impl PathInvariantRefiner {
                     cut_invs.insert(orig, Formula::and(vec![cur, inv.clone()]));
                 }
                 let preds = propagate_candidates(program, path, &cut_invs);
-                Ok((preds, generated.attempts))
+                Ok((Refinement::primary(preds), generated.attempts))
             }
             Ok(generated) => {
-                // Loop-free path program: fall back to plain path refutation.
-                let preds = PathPredicateRefiner::new().refine(program, path)?;
-                Ok((preds, generated.attempts))
+                // Loop-free path program: plain path refutation is complete
+                // here (there is no unwinding family to diverge on), so this
+                // is not a synthesis failure.
+                let preds = PathPredicateRefiner::new().path_predicates(program, path)?;
+                Ok((Refinement::primary(preds), generated.attempts))
             }
             Err(InvgenError::NoInvariant { .. })
             | Err(InvgenError::Unsupported { .. })
@@ -210,9 +246,10 @@ impl PathInvariantRefiner {
                 // template coefficients in an array bound), or the synthesis
                 // ran out of solver budget: fall back to finite-path
                 // refinement, as the paper suggests combining the technique
-                // with falsification methods (§6).
-                let preds = PathPredicateRefiner::new().refine(program, path)?;
-                Ok((preds, Vec::new()))
+                // with falsification methods (§6).  Marked as a fallback so
+                // the CEGAR driver can detect repeated synthesis failure.
+                let preds = PathPredicateRefiner::new().path_predicates(program, path)?;
+                Ok((Refinement::fallback(preds), Vec::new()))
             }
             Err(other) => Err(CoreError::from(other)),
         }
@@ -224,7 +261,7 @@ impl Refiner for PathInvariantRefiner {
         "path-invariants"
     }
 
-    fn refine(&self, program: &Program, path: &Path) -> CoreResult<NewPredicates> {
+    fn refine(&self, program: &Program, path: &Path) -> CoreResult<Refinement> {
         Ok(self.refine_with_attempts(program, path)?.0)
     }
 }
@@ -364,7 +401,7 @@ mod tests {
     fn baseline_refiner_produces_constant_tracking_predicates() {
         let p = corpus::forward();
         let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
-        let preds = PathPredicateRefiner::new().refine(&p, &path).unwrap();
+        let preds = PathPredicateRefiner::new().refine(&p, &path).unwrap().predicates;
         let all: Vec<String> = preds.values().flatten().map(|f| f.to_string()).collect();
         // The first-iteration constants show up, as in §2.1.
         assert!(all.iter().any(|s| s.contains("i = 0")), "{all:?}");
@@ -377,7 +414,9 @@ mod tests {
         let p = corpus::forward();
         let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
         let refiner = PathInvariantRefiner::new();
-        let (preds, attempts) = refiner.refine_with_attempts(&p, &path).unwrap();
+        let (refinement, attempts) = refiner.refine_with_attempts(&p, &path).unwrap();
+        assert!(!refinement.fell_back, "FORWARD synthesis must succeed");
+        let preds = refinement.predicates;
         assert!(!attempts.is_empty(), "the template attempts must be reported");
         let l1 = corpus::find_loc(&p, "L1");
         let at_l1: Vec<String> = preds[&l1].iter().map(|f| f.to_string()).collect();

@@ -26,7 +26,7 @@ use crate::error::{InvgenError, InvgenResult};
 use crate::relation::{basic_paths, BasicPath, RelationCase};
 use crate::template::{ParamId, ParamLin, ParamValuation, RowOp, Template, TemplateMap};
 use pathinv_ir::{Formula, Loc, Program, RelOp, Symbol, VarRef};
-use pathinv_smt::{ConstrOp, LinConstraint, LinExpr, LpResult, Rat};
+use pathinv_smt::{ConstrOp, IncrementalSimplex, LinConstraint, LinExpr, LpResult, Rat};
 use std::collections::BTreeMap;
 
 /// Unknowns of the generated linear constraint system.
@@ -122,6 +122,18 @@ pub struct SynthStats {
     pub choices_explored: usize,
 }
 
+/// One partial solution of the frontier search: the accumulated constraint
+/// system, the live incremental tableau over it (the warm-start state for
+/// every extension), and the witness model of its last real feasibility
+/// check (empty before the first; unknowns absent from the witness read as
+/// zero).
+#[derive(Clone, Debug, Default)]
+struct FrontierEntry {
+    constraints: Vec<LinConstraint<Unknown>>,
+    tableau: IncrementalSimplex<Unknown>,
+    witness: BTreeMap<Unknown, Rat>,
+}
+
 /// Result of a successful synthesis.
 #[derive(Clone, Debug)]
 pub struct Synthesis {
@@ -158,10 +170,23 @@ pub fn synthesize(
     });
     let mut stats = SynthStats { implications: implications.len(), ..Default::default() };
 
-    let mut frontier: Vec<Vec<LinConstraint<Unknown>>> = vec![Vec::new()];
+    // Each frontier entry carries a live incremental tableau over its
+    // accumulated system and the witness of its last real feasibility
+    // check.  An extension first evaluates the new rows under the witness
+    // (absent unknowns read as zero, matching the simplex convention for
+    // unconstrained variables): a witness that already satisfies them
+    // proves the extension feasible with no simplex work at all.
+    // Otherwise the parent tableau is cloned, the new rows are pushed, and
+    // the system is re-checked *warm* from the feasible assignment of the
+    // shared prefix — the option rows are the only thing the simplex has
+    // to repair, instead of re-solving the whole accumulated system cold
+    // per option.  Feasibility decisions — and therefore the frontier
+    // contents, the synthesised invariants, and every downstream verdict —
+    // are identical to cold-solving every extension.
+    let mut frontier: Vec<FrontierEntry> = vec![FrontierEntry::default()];
     for (idx, imp) in implications.iter().enumerate() {
         let options = encode_options(imp, idx as u32, config)?;
-        let mut next: Vec<Vec<LinConstraint<Unknown>>> = Vec::new();
+        let mut next: Vec<FrontierEntry> = Vec::new();
         for acc in &frontier {
             let mut kept = 0;
             for opt in &options {
@@ -169,11 +194,40 @@ pub fn synthesize(
                     break;
                 }
                 stats.choices_explored += 1;
-                let mut combined = acc.clone();
+                let witness_holds = {
+                    let lookup = |u: &Unknown| acc.witness.get(u).copied().unwrap_or(Rat::ZERO);
+                    let mut all = true;
+                    for c in opt {
+                        if !c.holds(&lookup)? {
+                            all = false;
+                            break;
+                        }
+                    }
+                    all
+                };
+                let mut combined = acc.constraints.clone();
                 combined.extend(opt.iter().cloned());
+                if witness_holds {
+                    let mut tableau = acc.tableau.clone();
+                    for c in opt {
+                        tableau.push_constraint(c)?;
+                    }
+                    next.push(FrontierEntry {
+                        constraints: combined,
+                        tableau,
+                        witness: acc.witness.clone(),
+                    });
+                    kept += 1;
+                    continue;
+                }
                 stats.lp_calls += 1;
-                if pathinv_smt::lra_solve(&combined)?.is_sat() {
-                    next.push(combined);
+                let mut tableau = acc.tableau.clone();
+                for c in opt {
+                    tableau.push_constraint(c)?;
+                }
+                if tableau.check()? {
+                    let witness = tableau.model()?;
+                    next.push(FrontierEntry { constraints: combined, tableau, witness });
                     kept += 1;
                 }
             }
@@ -196,7 +250,8 @@ pub fn synthesize(
     // (the LP works over the rationals); such entries are skipped in favour
     // of the next surviving entry.
     let mut last_error: Option<InvgenError> = None;
-    for constraints in frontier {
+    for entry in frontier {
+        let constraints = entry.constraints;
         let valuation = match pathinv_smt::lra_solve(&constraints)? {
             LpResult::Sat(model) => model
                 .into_iter()

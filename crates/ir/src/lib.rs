@@ -36,6 +36,7 @@ pub mod corpus;
 pub mod error;
 pub mod eval;
 pub mod formula;
+pub mod intern;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
@@ -51,6 +52,7 @@ pub use cfg::{Loc, Program, ProgramBuilder, TransId, Transition};
 pub use error::{IrError, IrResult};
 pub use eval::{Env, Value};
 pub use formula::{Atom, Formula, RelOp};
+pub use intern::{FormulaId, SeqId, TermId};
 pub use lower::{lower_proc, parse_program, to_dnf};
 pub use parser::{parse_proc, parse_procs};
 pub use path::Path;

@@ -1,0 +1,157 @@
+//! Property tests for the hash-consing layer: interned equality, structural
+//! equality, and pretty-print equality must coincide on arbitrary formulas,
+//! and interning must round-trip.
+//!
+//! These three equivalences are what make an interned id a sound cache key:
+//! the solver caches used to key on pretty-printed renderings (injective on
+//! structure), so `id(f) == id(g) ⇔ f == g ⇔ render(f) == render(g)` proves
+//! the id-keyed caches replay answers for exactly the same query pairs the
+//! rendered-string caches did.
+
+use pathinv_ir::{Formula, FormulaId, RelOp, SeqId, Symbol, Term, TermId};
+use proptest::prelude::*;
+
+/// Builds a term from a "gene" sequence with a small stack machine, so that
+/// arbitrary nesting over every `Term` constructor is reachable from the
+/// vendored proptest stub's flat generators.
+fn term_from_genes(genes: &[(u8, i128)]) -> Term {
+    let mut stack: Vec<Term> = vec![Term::var("x")];
+    for &(op, c) in genes {
+        let top = stack.pop().unwrap_or_else(|| Term::var("x"));
+        match op % 10 {
+            0 => stack.push(Term::int(c)),
+            1 => {
+                stack.push(top);
+                stack.push(Term::var("y"));
+            }
+            2 => {
+                stack.push(top);
+                stack.push(Term::bound("k"));
+            }
+            3 => {
+                let snd = stack.pop().unwrap_or_else(|| Term::int(c));
+                stack.push(snd.add(top));
+            }
+            4 => {
+                let snd = stack.pop().unwrap_or_else(|| Term::int(c));
+                stack.push(snd.sub(top));
+            }
+            5 => stack.push(top.neg()),
+            6 => stack.push(top.scale(c)),
+            7 => stack.push(Term::var("a").select(top)),
+            8 => {
+                let snd = stack.pop().unwrap_or_else(|| Term::int(c));
+                stack.push(Term::var("a").store(snd, top));
+            }
+            _ => stack.push(Term::app("f", vec![top])),
+        }
+    }
+    stack.into_iter().reduce(|a, b| a.add(b)).expect("stack starts non-empty")
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    proptest::collection::vec((0u8..=9, -9i128..=9), 0..8).prop_map(|g| term_from_genes(&g))
+}
+
+/// Builds a formula from genes the same way: atoms from a term stack,
+/// boolean structure from a formula stack.
+fn formula_from_genes(genes: &[(u8, i128)]) -> Formula {
+    let ops = [RelOp::Le, RelOp::Lt, RelOp::Ge, RelOp::Gt, RelOp::Eq, RelOp::Ne];
+    let mut stack: Vec<Formula> = Vec::new();
+    for (i, &(op, c)) in genes.iter().enumerate() {
+        let top = stack.pop().unwrap_or(Formula::True);
+        match op % 8 {
+            0 => {
+                stack.push(top);
+                let lhs = term_from_genes(&genes[..i.min(4)]);
+                stack.push(Formula::atom(lhs, ops[(c.unsigned_abs() % 6) as usize], Term::int(c)));
+            }
+            1 => {
+                stack.push(top);
+                stack.push(Formula::False);
+            }
+            2 => stack.push(Formula::Not(Box::new(top))),
+            3 => {
+                let snd = stack.pop().unwrap_or(Formula::True);
+                stack.push(Formula::And(vec![snd, top]));
+            }
+            4 => {
+                let snd = stack.pop().unwrap_or(Formula::False);
+                stack.push(Formula::Or(vec![snd, top]));
+            }
+            5 => {
+                let snd = stack.pop().unwrap_or(Formula::True);
+                stack.push(Formula::Implies(Box::new(snd), Box::new(top)));
+            }
+            6 => stack.push(Formula::Forall(vec![Symbol::intern("k")], Box::new(top))),
+            _ => {
+                stack.push(top);
+                stack.push(Formula::eq(Term::var("a").select(Term::int(c)), Term::int(c)));
+            }
+        }
+    }
+    Formula::And(stack)
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    proptest::collection::vec((0u8..=7, -9i128..=9), 0..8).prop_map(|g| formula_from_genes(&g))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interned equality ⇔ structural equality ⇔ pretty-print equality,
+    /// for terms.
+    #[test]
+    fn term_id_equality_is_structural_and_rendered_equality(
+        a in term_strategy(),
+        b in term_strategy(),
+    ) {
+        let ids_equal = TermId::intern(&a) == TermId::intern(&b);
+        prop_assert_eq!(ids_equal, a == b);
+        prop_assert!(
+            ids_equal == (a.to_string() == b.to_string()),
+            "id equality must match rendering equality: `{}` vs `{}`", a, b
+        );
+    }
+
+    /// Interned equality ⇔ structural equality ⇔ pretty-print equality,
+    /// for formulas.
+    #[test]
+    fn formula_id_equality_is_structural_and_rendered_equality(
+        f in formula_strategy(),
+        g in formula_strategy(),
+    ) {
+        let ids_equal = FormulaId::intern(&f) == FormulaId::intern(&g);
+        prop_assert_eq!(ids_equal, f == g);
+        prop_assert!(
+            ids_equal == (f.to_string() == g.to_string()),
+            "id equality must match rendering equality: `{}` vs `{}`", f, g
+        );
+    }
+
+    /// Interning round-trips: the reconstructed value is structurally equal
+    /// to the original, and re-interning it reproduces the same id.
+    #[test]
+    fn interning_round_trips(f in formula_strategy(), t in term_strategy()) {
+        let fid = FormulaId::intern(&f);
+        prop_assert_eq!(&fid.to_formula(), &f);
+        prop_assert_eq!(FormulaId::intern(&fid.to_formula()), fid);
+        let tid = TermId::intern(&t);
+        prop_assert_eq!(&tid.to_term(), &t);
+        prop_assert_eq!(TermId::intern(&tid.to_term()), tid);
+    }
+
+    /// Sequence interning is injective: two id sequences share a `SeqId`
+    /// exactly when they are element-wise equal, and the cons-chain identity
+    /// of a stack is reproducible step by step.
+    #[test]
+    fn seq_interning_is_injective(
+        xs in proptest::collection::vec(0u32..50, 0..6),
+        ys in proptest::collection::vec(0u32..50, 0..6),
+    ) {
+        prop_assert_eq!(SeqId::intern(&xs) == SeqId::intern(&ys), xs == ys);
+        let chain = |ids: &[u32]| ids.iter().fold(SeqId::empty(), |acc, &i| SeqId::cons(acc, i));
+        prop_assert_eq!(chain(&xs) == chain(&ys), xs == ys);
+    }
+}

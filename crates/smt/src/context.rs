@@ -20,20 +20,24 @@
 //!   splitting.  Queries that *error* (case-split budget, unsupported
 //!   fragment) are never cached, so error behaviour is also unchanged.
 //!
-//! Cache keys are the pretty-printed renderings of the assumption stack and
-//! the query.  Renderings are deterministic functions of the formula
-//! structure, every distinct formula renders distinctly, and — unlike
-//! hashes — keys cannot collide, so a hit is always sound.  The cache
-//! outlives pops on purpose: a re-pushed assumption set hits the entries it
-//! populated earlier, which is exactly the reuse pattern of re-running
-//! abstract reachability after a refinement step.
+//! Cache keys are hash-consed ids: every assumed formula is interned
+//! ([`FormulaId`]), the assumption *stack* is identified by a cons-chain of
+//! interned pairs ([`SeqId`]) updated in `O(1)` per
+//! [`assume`](SolverContext::assume), and a query key is the `Copy` triple
+//! `(stack id, query kind, query id)`.  Hash consing is injective on
+//! formula structure — structurally distinct stacks or queries get distinct
+//! ids — so a hit is always sound, exactly like the pretty-printed string
+//! keys this replaced, but without allocating or comparing a rendering of
+//! the whole stack on every query.  The cache outlives pops on purpose: a
+//! re-pushed assumption set rebuilds the same cons-chain id and hits the
+//! entries it populated earlier, which is exactly the reuse pattern of
+//! re-running abstract reachability after a refinement step.
 
 use crate::error::SmtResult;
 use crate::solver::Solver;
-use pathinv_ir::Formula;
+use pathinv_ir::{Formula, FormulaId, SeqId};
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use std::collections::HashMap;
 
 /// Usage counters of one [`SolverContext`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,12 +70,30 @@ pub struct SolverContext {
     /// The assumption stack, flattened; `frames` records the stack heights
     /// at which [`push`](SolverContext::push) was called.
     assumptions: Vec<Formula>,
+    /// `stack_ids[k]` is the hash-consed identity of the first `k + 1`
+    /// assumptions (a cons-chain: each entry interns `(previous, formula)`),
+    /// maintained in lock-step with `assumptions`.
+    stack_ids: Vec<SeqId>,
     frames: Vec<usize>,
     caching: bool,
-    cache: RefCell<BTreeMap<String, bool>>,
+    cache: RefCell<HashMap<QueryKey, bool>>,
     queries: Cell<u64>,
     hits: Cell<u64>,
 }
+
+/// The kind of a cached boolean query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum QueryKind {
+    /// Satisfiability of the stack (possibly conjoined with an extra
+    /// formula).
+    Sat,
+    /// Entailment of a consequent by the stack.
+    Entails,
+}
+
+/// A cache key: the hash-consed stack identity, the query kind, and the
+/// hash-consed query formula.  `Copy`, 12 bytes, `O(1)` to hash and compare.
+type QueryKey = (u32, QueryKind, u32);
 
 impl Default for SolverContext {
     fn default() -> Self {
@@ -98,9 +120,10 @@ impl SolverContext {
         SolverContext {
             solver,
             assumptions: Vec::new(),
+            stack_ids: Vec::new(),
             frames: Vec::new(),
             caching,
-            cache: RefCell::new(BTreeMap::new()),
+            cache: RefCell::new(HashMap::new()),
             queries: Cell::new(0),
             hits: Cell::new(0),
         }
@@ -123,6 +146,7 @@ impl SolverContext {
         match self.frames.pop() {
             Some(height) => {
                 self.assumptions.truncate(height);
+                self.stack_ids.truncate(height);
                 true
             }
             None => false,
@@ -130,9 +154,16 @@ impl SolverContext {
     }
 
     /// Adds an assumption to the current frame.  Trivially true assumptions
-    /// are dropped.
+    /// are dropped.  The stack's hash-consed identity is only maintained
+    /// when caching is on — the uncached baseline never reads a cache key,
+    /// so it must not pay for (or contend on) interning either.
     pub fn assume(&mut self, f: Formula) {
         if !matches!(f, Formula::True) {
+            if self.caching {
+                let fid = FormulaId::intern(&f);
+                let prev = self.stack_ids.last().copied().unwrap_or_else(SeqId::empty);
+                self.stack_ids.push(SeqId::cons(prev, fid.raw()));
+            }
             self.assumptions.push(f);
         }
     }
@@ -158,10 +189,10 @@ impl SolverContext {
     ///
     /// Propagates solver errors (unsupported fragment, case-split budget).
     pub fn is_sat(&self) -> SmtResult<bool> {
-        // The key already renders the full assumption stack, so the query
-        // part is trivially `true`; the conjunction is only built on a
-        // cache miss.
-        self.cached("sat", &Formula::True, |s| s.is_sat(&self.antecedent()))
+        // The key already identifies the full assumption stack, so the
+        // query part is trivially `true`; the conjunction is only built on
+        // a cache miss.
+        self.cached(QueryKind::Sat, &Formula::True, |s| s.is_sat(&self.antecedent()))
     }
 
     /// Decides satisfiability of the assumption stack conjoined with
@@ -171,7 +202,7 @@ impl SolverContext {
     ///
     /// Propagates solver errors.
     pub fn is_sat_with(&self, extra: &Formula) -> SmtResult<bool> {
-        self.cached("sat", extra, |s| {
+        self.cached(QueryKind::Sat, extra, |s| {
             s.is_sat(&Formula::and(vec![self.antecedent(), extra.clone()]))
         })
     }
@@ -182,7 +213,7 @@ impl SolverContext {
     ///
     /// Propagates solver errors.
     pub fn entails(&self, consequent: &Formula) -> SmtResult<bool> {
-        self.cached("ent", consequent, |s| s.entails(&self.antecedent(), consequent))
+        self.cached(QueryKind::Entails, consequent, |s| s.entails(&self.antecedent(), consequent))
     }
 
     /// Usage counters of this context.
@@ -200,12 +231,13 @@ impl SolverContext {
     }
 
     /// Answers a boolean query through the cache.  The key couples the query
-    /// kind and formula with the full assumption stack, so an answer is only
-    /// ever replayed for an identical (stack, query) pair.  Errors are
-    /// propagated and never cached.
+    /// kind and the interned query formula with the hash-consed identity of
+    /// the full assumption stack, so an answer is only ever replayed for an
+    /// identical (stack, query) pair.  Errors are propagated and never
+    /// cached.
     fn cached(
         &self,
-        kind: &str,
+        kind: QueryKind,
         query: &Formula,
         solve: impl FnOnce(&Solver) -> SmtResult<bool>,
     ) -> SmtResult<bool> {
@@ -213,7 +245,8 @@ impl SolverContext {
         if !self.caching {
             return solve(&self.solver);
         }
-        let key = self.key(kind, query);
+        let stack = self.stack_ids.last().copied().unwrap_or_else(SeqId::empty);
+        let key: QueryKey = (stack.raw(), kind, FormulaId::intern(query).raw());
         if let Some(&answer) = self.cache.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
             return Ok(answer);
@@ -221,18 +254,6 @@ impl SolverContext {
         let answer = solve(&self.solver)?;
         self.cache.borrow_mut().insert(key, answer);
         Ok(answer)
-    }
-
-    fn key(&self, kind: &str, query: &Formula) -> String {
-        let mut key = String::with_capacity(64);
-        key.push_str(kind);
-        for a in &self.assumptions {
-            key.push('\u{1}');
-            let _ = write!(key, "{a}");
-        }
-        key.push('\u{2}');
-        let _ = write!(key, "{query}");
-        key
     }
 }
 

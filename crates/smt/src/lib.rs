@@ -60,6 +60,8 @@ pub use error::{SmtError, SmtResult};
 pub use interpolate::{interpolant_from_certificate, sequence_interpolants};
 pub use linexpr::{ConstrOp, LinConstraint, LinExpr};
 pub use rat::{DeltaRat, Rat};
-pub use simplex::{entails as lra_entails, solve as lra_solve, FarkasCertificate, LpResult};
+pub use simplex::{
+    entails as lra_entails, solve as lra_solve, FarkasCertificate, IncrementalSimplex, LpResult,
+};
 pub use solver::{Model, SatResult, Solver};
 pub use stats::{snapshot as stats_snapshot, SmtStats};

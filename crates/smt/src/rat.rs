@@ -103,7 +103,22 @@ impl Rat {
     }
 
     /// Checked addition.
+    ///
+    /// Fast paths: adding zero is the identity, and when both operands are
+    /// integers (`den == 1` — the overwhelmingly common case in the tableau
+    /// arithmetic) the sum needs neither cross-multiplication nor gcd
+    /// normalisation.
     pub fn add(self, other: Rat) -> SmtResult<Rat> {
+        if other.num == 0 {
+            return Ok(self);
+        }
+        if self.num == 0 {
+            return Ok(other);
+        }
+        if self.den == 1 && other.den == 1 {
+            let num = self.num.checked_add(other.num).ok_or(SmtError::Overflow)?;
+            return Ok(Rat { num, den: 1 });
+        }
         let l = self.num.checked_mul(other.den).ok_or(SmtError::Overflow)?;
         let r = other.num.checked_mul(self.den).ok_or(SmtError::Overflow)?;
         let num = l.checked_add(r).ok_or(SmtError::Overflow)?;
@@ -117,7 +132,24 @@ impl Rat {
     }
 
     /// Checked multiplication.
+    ///
+    /// Fast paths: multiplication by zero or ±1 short-circuits, and two
+    /// integers multiply without gcd normalisation (a product of integers
+    /// is already in lowest terms over denominator 1).
     pub fn mul(self, other: Rat) -> SmtResult<Rat> {
+        if self.num == 0 || other.num == 0 {
+            return Ok(Rat::ZERO);
+        }
+        if self == Rat::ONE {
+            return Ok(other);
+        }
+        if other == Rat::ONE {
+            return Ok(self);
+        }
+        if self.den == 1 && other.den == 1 {
+            let num = self.num.checked_mul(other.num).ok_or(SmtError::Overflow)?;
+            return Ok(Rat { num, den: 1 });
+        }
         let num = self.num.checked_mul(other.num).ok_or(SmtError::Overflow)?;
         let den = self.den.checked_mul(other.den).ok_or(SmtError::Overflow)?;
         Rat::new(num, den)

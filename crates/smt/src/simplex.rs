@@ -108,14 +108,38 @@ impl FarkasCertificate {
     }
 }
 
-/// Decides feasibility of a conjunction of linear constraints.
+/// Decides feasibility of a conjunction of linear constraints, building a
+/// fresh tableau (a *cold* solve; counted in
+/// [`SmtStats::simplex_calls`](crate::SmtStats)).
+///
+/// Incremental callers that extend an already-checked system should keep an
+/// [`IncrementalSimplex`] instead: its warm re-checks start from the
+/// feasible assignment of the shared constraint prefix rather than
+/// rebuilding the tableau from scratch.
 ///
 /// # Errors
 ///
 /// Propagates arithmetic overflow errors from the exact rational arithmetic.
 pub fn solve<K: Ord + Clone + Debug>(constraints: &[LinConstraint<K>]) -> SmtResult<LpResult<K>> {
     crate::stats::record_simplex_call();
-    Tableau::new(constraints)?.check()
+    let mut tab = IncrementalSimplex::new();
+    // Register every problem variable before the first constraint so the
+    // column order (problem variables first, then slacks) — and therefore
+    // the pivot sequence and the extracted model — matches a batch-built
+    // tableau exactly.
+    for c in constraints {
+        for v in c.expr.vars() {
+            tab.ensure_column(&v);
+        }
+    }
+    for c in constraints {
+        tab.push_constraint(c)?;
+    }
+    if tab.check_inner()? {
+        Ok(LpResult::Sat(tab.extract_model()?))
+    } else {
+        Ok(LpResult::Unsat(tab.take_certificate()))
+    }
 }
 
 /// Checks whether the conjunction of `constraints` entails `goal`
@@ -154,73 +178,243 @@ pub fn entails<K: Ord + Clone + Debug>(
     Ok(true)
 }
 
-struct Tableau<K: Ord + Clone> {
-    /// Number of problem variables.
-    num_vars: usize,
-    /// Total number of tableau variables (problem + one slack per constraint).
-    total: usize,
-    /// Key of each problem variable, by index.
-    keys: Vec<K>,
-    /// Lower and upper bounds of every tableau variable.
+/// One active constraint of an [`IncrementalSimplex`]: its expression, its
+/// operator, and the tableau column of its slack variable.
+#[derive(Clone, Debug)]
+struct ActiveConstraint<K: Ord + Clone> {
+    expr: LinExpr<K>,
+    op: ConstrOp,
+    slack: usize,
+}
+
+/// An incremental simplex solver with constraint push/pop and warm-started
+/// re-checks.
+///
+/// The tableau — column layout, basis, and the current assignment — is kept
+/// across [`push_constraint`](IncrementalSimplex::push_constraint) /
+/// [`pop_to`](IncrementalSimplex::pop_to) boundaries, so a
+/// [`check`](IncrementalSimplex::check) after extending an already-feasible
+/// system starts from the feasible assignment of the shared constraint
+/// prefix and typically needs a handful of pivots, instead of rebuilding
+/// and re-solving the whole tableau as the cold [`solve`] entry point does.
+/// Warm re-checks are counted in
+/// [`SmtStats::simplex_warm_checks`](crate::SmtStats), separately from the
+/// cold tableau constructions in
+/// [`SmtStats::simplex_calls`](crate::SmtStats).
+///
+/// Answers are identical to a cold solve of the active constraint set: the
+/// arithmetic is exact, so only the number of pivots — never the verdict —
+/// depends on the starting assignment.  (Witness models may differ between
+/// warm and cold runs; both are exact witnesses.)  Farkas certificates are
+/// available after a failed check via
+/// [`take_certificate`](IncrementalSimplex::take_certificate).
+#[derive(Clone, Debug)]
+pub struct IncrementalSimplex<K: Ord + Clone> {
+    /// Column of each problem variable.
+    index: BTreeMap<K, usize>,
+    /// Problem-variable key of each column (`None` for slack columns).
+    keys: Vec<Option<K>>,
+    /// Active constraints, in push order.
+    constraints: Vec<ActiveConstraint<K>>,
+    /// Lower and upper bounds of every tableau column.
     lower: Vec<Option<DeltaRat>>,
     upper: Vec<Option<DeltaRat>>,
     /// Current assignment.
     beta: Vec<DeltaRat>,
-    /// Rows of basic variables: `basic -> coefficients over all variables`
+    /// Rows of basic variables: `basic -> coefficients over all columns`
     /// (non-zero only at non-basic columns).
     rows: BTreeMap<usize, Vec<Rat>>,
-    /// The operator of each constraint, for certificate verification.
-    ops: Vec<ConstrOp>,
-    /// Original constraint expressions (for certificate verification).
-    exprs: Vec<LinExpr<K>>,
+    /// Farkas certificate of the most recent failed check.
+    conflict: Option<FarkasCertificate>,
 }
 
-impl<K: Ord + Clone + Debug> Tableau<K> {
-    fn new(constraints: &[LinConstraint<K>]) -> SmtResult<Self> {
-        // Index problem variables.
-        let mut index: BTreeMap<K, usize> = BTreeMap::new();
-        let mut keys = Vec::new();
-        for c in constraints {
-            for v in c.expr.vars() {
-                index.entry(v.clone()).or_insert_with(|| {
-                    keys.push(v.clone());
-                    keys.len() - 1
-                });
-            }
-        }
-        let num_vars = keys.len();
-        let total = num_vars + constraints.len();
-        let mut lower = vec![None; total];
-        let mut upper = vec![None; total];
-        let beta = vec![DeltaRat::ZERO; total];
-        let mut rows = BTreeMap::new();
-        let mut ops = Vec::with_capacity(constraints.len());
-        let mut exprs = Vec::with_capacity(constraints.len());
+impl<K: Ord + Clone + Debug> Default for IncrementalSimplex<K> {
+    fn default() -> Self {
+        IncrementalSimplex::new()
+    }
+}
 
-        for (j, c) in constraints.iter().enumerate() {
-            let slack = num_vars + j;
-            let mut row = vec![Rat::ZERO; total];
-            for (v, coeff) in c.expr.terms() {
-                row[index[v]] = coeff;
-            }
-            rows.insert(slack, row);
-            // linpart ⋈ -constant
-            let bound = c.expr.constant_part().neg()?;
-            match c.op {
-                ConstrOp::Le => upper[slack] = Some(DeltaRat::real(bound)),
-                ConstrOp::Lt => upper[slack] = Some(DeltaRat::just_below(bound)),
-                ConstrOp::Eq => {
-                    upper[slack] = Some(DeltaRat::real(bound));
-                    lower[slack] = Some(DeltaRat::real(bound));
-                }
-            }
-            ops.push(c.op);
-            exprs.push(c.expr.clone());
+impl<K: Ord + Clone + Debug> IncrementalSimplex<K> {
+    /// Creates an empty (trivially satisfiable) system.
+    pub fn new() -> IncrementalSimplex<K> {
+        IncrementalSimplex {
+            index: BTreeMap::new(),
+            keys: Vec::new(),
+            constraints: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            beta: Vec::new(),
+            rows: BTreeMap::new(),
+            conflict: None,
         }
-        Ok(Tableau { num_vars, total, keys, lower, upper, beta, rows, ops, exprs })
     }
 
-    fn check(mut self) -> SmtResult<LpResult<K>> {
+    /// Number of active constraints — the token
+    /// [`pop_to`](IncrementalSimplex::pop_to) restores to.
+    pub fn checkpoint(&self) -> usize {
+        self.constraints.len()
+    }
+
+    fn total(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Appends a fresh column; returns its index.
+    fn add_column(&mut self, key: Option<K>) -> usize {
+        let col = self.keys.len();
+        self.keys.push(key);
+        self.lower.push(None);
+        self.upper.push(None);
+        self.beta.push(DeltaRat::ZERO);
+        for row in self.rows.values_mut() {
+            row.push(Rat::ZERO);
+        }
+        col
+    }
+
+    /// Registers a problem variable, assigning it a column if new.
+    fn ensure_column(&mut self, v: &K) -> usize {
+        if let Some(&col) = self.index.get(v) {
+            return col;
+        }
+        let col = self.add_column(Some(v.clone()));
+        self.index.insert(v.clone(), col);
+        col
+    }
+
+    /// Adds a constraint to the system.  The new slack row is expressed over
+    /// the current non-basic columns (basic variables are substituted by
+    /// their rows), so the tableau invariant — and the feasible assignment
+    /// of the existing prefix — survives the push.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow.
+    pub fn push_constraint(&mut self, c: &LinConstraint<K>) -> SmtResult<()> {
+        for v in c.expr.vars() {
+            self.ensure_column(&v);
+        }
+        let slack = self.add_column(None);
+        let mut row = vec![Rat::ZERO; self.total()];
+        for (v, coeff) in c.expr.terms() {
+            let col = self.index[v];
+            if let Some(basic_row) = self.rows.get(&col) {
+                let basic_row = basic_row.clone();
+                for (k, &a) in basic_row.iter().enumerate() {
+                    if !a.is_zero() {
+                        row[k] = row[k].add(coeff.mul(a)?)?;
+                    }
+                }
+            } else {
+                row[col] = row[col].add(coeff)?;
+            }
+        }
+        let mut value = DeltaRat::ZERO;
+        for (k, &a) in row.iter().enumerate() {
+            if !a.is_zero() {
+                value = value.add(self.beta[k].scale(a)?)?;
+            }
+        }
+        self.beta[slack] = value;
+        self.rows.insert(slack, row);
+        let bound = c.expr.constant_part().neg()?;
+        match c.op {
+            ConstrOp::Le => self.upper[slack] = Some(DeltaRat::real(bound)),
+            ConstrOp::Lt => self.upper[slack] = Some(DeltaRat::just_below(bound)),
+            ConstrOp::Eq => {
+                self.upper[slack] = Some(DeltaRat::real(bound));
+                self.lower[slack] = Some(DeltaRat::real(bound));
+            }
+        }
+        self.constraints.push(ActiveConstraint { expr: c.expr.clone(), op: c.op, slack });
+        Ok(())
+    }
+
+    /// Removes every constraint pushed after `checkpoint`; the shared
+    /// prefix keeps its tableau and assignment.  Popped slack columns are
+    /// reclaimed when they sit at the end of the column range (the common
+    /// LIFO push/pop discipline), so a long case-split search does not
+    /// widen the tableau monotonically; a popped slack buried under
+    /// still-active columns merely goes dead (zero in every row, no
+    /// bounds) until the columns above it are reclaimed too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from basis restoration pivots.
+    pub fn pop_to(&mut self, checkpoint: usize) -> SmtResult<()> {
+        while self.constraints.len() > checkpoint {
+            let dropped = self.constraints.pop().expect("len checked");
+            let s = dropped.slack;
+            self.lower[s] = None;
+            self.upper[s] = None;
+            if !self.rows.contains_key(&s) {
+                // The slack was pivoted into the non-basic set; bring it
+                // back to the basis so the remaining rows stop referencing
+                // it, then discard its row.  (Once zeroed everywhere and
+                // unbounded, a dead column can never re-enter the basis:
+                // pivot targets need a non-zero row coefficient.)
+                let referencing =
+                    self.rows.iter().find(|(_, row)| !row[s].is_zero()).map(|(&b, _)| b);
+                if let Some(b) = referencing {
+                    self.pivot(b, s)?;
+                }
+            }
+            self.rows.remove(&s);
+            self.conflict = None;
+        }
+        self.reclaim_trailing_dead_columns();
+        Ok(())
+    }
+
+    /// Truncates every trailing column that is a dead slack: not a problem
+    /// variable, not the slack of an active constraint, not basic, and
+    /// (invariantly, after `pop_to`'s basis restoration) zero in every row.
+    fn reclaim_trailing_dead_columns(&mut self) {
+        while let Some(last) = self.total().checked_sub(1) {
+            let is_dead_slack = self.keys[last].is_none()
+                && !self.rows.contains_key(&last)
+                && self.lower[last].is_none()
+                && self.upper[last].is_none()
+                && self.constraints.iter().all(|c| c.slack != last)
+                && self.rows.values().all(|row| row[last].is_zero());
+            if !is_dead_slack {
+                break;
+            }
+            self.keys.pop();
+            self.lower.pop();
+            self.upper.pop();
+            self.beta.pop();
+            for row in self.rows.values_mut() {
+                row.pop();
+            }
+        }
+    }
+
+    /// Decides feasibility of the active constraints, warm-starting from
+    /// the current assignment.  On `false`, a Farkas certificate over the
+    /// active constraints is available via
+    /// [`take_certificate`](IncrementalSimplex::take_certificate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow.
+    pub fn check(&mut self) -> SmtResult<bool> {
+        crate::stats::record_simplex_warm_check();
+        self.check_inner()
+    }
+
+    /// Decides feasibility counting the check as a *cold* solve — used by
+    /// in-crate callers for the first check after building a tableau, which
+    /// is exactly the work [`solve`] would have done.
+    pub(crate) fn check_fresh(&mut self) -> SmtResult<bool> {
+        crate::stats::record_simplex_call();
+        self.check_inner()
+    }
+
+    /// The Bland-rule main loop (no stats recording; shared by warm checks
+    /// and the cold [`solve`] entry point).
+    fn check_inner(&mut self) -> SmtResult<bool> {
+        self.conflict = None;
         loop {
             // Find the smallest-index basic variable violating a bound
             // (Bland's rule guarantees termination).
@@ -229,14 +423,14 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                 self.lower[b].is_some_and(|l| v < l) || self.upper[b].is_some_and(|u| v > u)
             });
             let Some(b) = violated else {
-                return Ok(LpResult::Sat(self.extract_model()?));
+                return Ok(true);
             };
             let v = self.beta[b];
             if self.lower[b].is_some_and(|l| v < l) {
                 // Need to increase x_b.
                 let target = self.lower[b].expect("bound checked");
                 let row = self.rows[&b].clone();
-                let pivot = (0..self.total).find(|&j| {
+                let pivot = (0..self.total()).find(|&j| {
                     if self.rows.contains_key(&j) || row[j].is_zero() {
                         return false;
                     }
@@ -248,13 +442,16 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                 });
                 match pivot {
                     Some(j) => self.pivot_and_update(b, j, target)?,
-                    None => return Ok(LpResult::Unsat(self.conflict(b, &row, true)?)),
+                    None => {
+                        self.conflict = Some(self.build_conflict(b, &row, true)?);
+                        return Ok(false);
+                    }
                 }
             } else {
                 // Need to decrease x_b.
                 let target = self.upper[b].expect("bound checked");
                 let row = self.rows[&b].clone();
-                let pivot = (0..self.total).find(|&j| {
+                let pivot = (0..self.total()).find(|&j| {
                     if self.rows.contains_key(&j) || row[j].is_zero() {
                         return false;
                     }
@@ -266,32 +463,39 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                 });
                 match pivot {
                     Some(j) => self.pivot_and_update(b, j, target)?,
-                    None => return Ok(LpResult::Unsat(self.conflict(b, &row, false)?)),
+                    None => {
+                        self.conflict = Some(self.build_conflict(b, &row, false)?);
+                        return Ok(false);
+                    }
                 }
             }
         }
     }
 
+    /// The Farkas certificate of the most recent failed check, if any.
+    pub fn take_certificate(&mut self) -> FarkasCertificate {
+        self.conflict.take().expect("take_certificate requires a failed check")
+    }
+
     /// Builds the Farkas certificate for a conflict on basic variable `b`
     /// whose row is `row`; `lower_violation` says which bound was violated.
-    fn conflict(
+    fn build_conflict(
         &self,
         b: usize,
         row: &[Rat],
         lower_violation: bool,
     ) -> SmtResult<FarkasCertificate> {
-        let m = self.ops.len();
-        let mut mult = vec![Rat::ZERO; m];
-        let constraint_of = |var: usize| -> Option<usize> {
-            if var >= self.num_vars {
-                Some(var - self.num_vars)
-            } else {
-                None
-            }
+        let mut slack_to_constraint: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, c) in self.constraints.iter().enumerate() {
+            slack_to_constraint.insert(c.slack, i);
+        }
+        let mut mult = vec![Rat::ZERO; self.constraints.len()];
+        let constraint_of = |col: usize| -> SmtResult<usize> {
+            slack_to_constraint.get(&col).copied().ok_or_else(|| {
+                SmtError::unsupported("internal error: conflict row mentions an unbounded column")
+            })
         };
-        let cb = constraint_of(b).ok_or_else(|| {
-            SmtError::unsupported("internal error: conflict on an unbounded problem variable")
-        })?;
+        let cb = constraint_of(b)?;
         if lower_violation {
             // -1 · e_b  +  Σ_j a_bj · e_j
             mult[cb] = mult[cb].sub(Rat::ONE)?;
@@ -299,11 +503,7 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                 if a.is_zero() || j == b {
                     continue;
                 }
-                let cj = constraint_of(j).ok_or_else(|| {
-                    SmtError::unsupported(
-                        "internal error: conflict row mentions an unbounded problem variable",
-                    )
-                })?;
+                let cj = constraint_of(j)?;
                 mult[cj] = mult[cj].add(a)?;
             }
         } else {
@@ -313,11 +513,7 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
                 if a.is_zero() || j == b {
                     continue;
                 }
-                let cj = constraint_of(j).ok_or_else(|| {
-                    SmtError::unsupported(
-                        "internal error: conflict row mentions an unbounded problem variable",
-                    )
-                })?;
+                let cj = constraint_of(j)?;
                 mult[cj] = mult[cj].sub(a)?;
             }
         }
@@ -325,11 +521,9 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
         debug_assert!(
             cert.verify(
                 &self
-                    .exprs
+                    .constraints
                     .iter()
-                    .cloned()
-                    .zip(self.ops.iter().copied())
-                    .map(|(expr, op)| LinConstraint::new(expr, op))
+                    .map(|c| LinConstraint::new(c.expr.clone(), c.op))
                     .collect::<Vec<_>>()
             )?,
             "produced an invalid Farkas certificate"
@@ -359,7 +553,7 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
         let row_b = self.rows.remove(&b).expect("pivot row must be basic");
         let a = row_b[j];
         // New row expressing x_j in terms of x_b and the other non-basics.
-        let mut row_j = vec![Rat::ZERO; self.total];
+        let mut row_j = vec![Rat::ZERO; self.total()];
         let a_inv = a.recip()?;
         row_j[b] = a_inv;
         for (k, &coeff) in row_b.iter().enumerate() {
@@ -385,24 +579,32 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
         Ok(())
     }
 
+    /// The current witness assignment of the problem variables (valid after
+    /// a successful check).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from the δ instantiation.
+    pub fn model(&self) -> SmtResult<BTreeMap<K, Rat>> {
+        self.extract_model()
+    }
+
     /// Converts the delta-rational assignment of the problem variables into a
     /// plain rational model by choosing a concrete small positive δ.
     fn extract_model(&self) -> SmtResult<BTreeMap<K, Rat>> {
-        // Find a δ small enough that every original constraint still holds.
+        // Find a δ small enough that every active constraint still holds.
         // Each constraint evaluates to A + B·δ; it imposes an upper limit on δ
         // only when A < 0 and B > 0 (for ≤ / <) — see rat.rs for semantics.
-        let assign_real = |i: usize| self.beta[i].real;
-        let assign_delta = |i: usize| self.beta[i].delta;
         let mut delta = Rat::ONE;
-        for (c, op) in self.exprs.iter().zip(self.ops.iter()) {
-            let mut a = c.constant_part();
+        for c in &self.constraints {
+            let mut a = c.expr.constant_part();
             let mut bcoef = Rat::ZERO;
-            for (v, coeff) in c.terms() {
-                let idx = self.keys.iter().position(|k| k == v).expect("indexed variable");
-                a = a.add(coeff.mul(assign_real(idx))?)?;
-                bcoef = bcoef.add(coeff.mul(assign_delta(idx))?)?;
+            for (v, coeff) in c.expr.terms() {
+                let idx = self.index[v];
+                a = a.add(coeff.mul(self.beta[idx].real)?)?;
+                bcoef = bcoef.add(coeff.mul(self.beta[idx].delta)?)?;
             }
-            match op {
+            match c.op {
                 ConstrOp::Le | ConstrOp::Lt => {
                     if a.is_negative() && bcoef.is_positive() {
                         // Need A + B·δ ≤ 0, i.e. δ ≤ -A/B; halve for strictness.
@@ -416,8 +618,8 @@ impl<K: Ord + Clone + Debug> Tableau<K> {
             }
         }
         let mut model = BTreeMap::new();
-        for (i, k) in self.keys.iter().enumerate() {
-            let value = self.beta[i].real.add(self.beta[i].delta.mul(delta)?)?;
+        for (k, &col) in &self.index {
+            let value = self.beta[col].real.add(self.beta[col].delta.mul(delta)?)?;
             model.insert(k.clone(), value);
         }
         Ok(model)

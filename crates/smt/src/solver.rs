@@ -17,15 +17,26 @@
 //! applications of uninterpreted functions (with functionality enforced
 //! lazily), and the resulting conjunctions of linear constraints are decided
 //! by the simplex solver with integer tightening of strict inequalities.
+//!
+//! The boolean structure is decided by a DPLL-style search over the NNF
+//! skeleton (`CubeSearch`) instead of eager DNF expansion: atoms decided
+//! so far form a *cube prefix*, disjunctions are unit-resolved against the
+//! prefix, the prefix's theory-consistency is checked (and memoized under
+//! its hash-consed atom-set id) before every case split, and a
+//! theory-inconsistent prefix prunes its entire subtree of cubes at once.
+//! On the quantified queries of the array programs this replaces the
+//! exponential cube enumeration — the old enumerator exhausted the
+//! case-split budget on BUGGY_INITCHECK — with a search whose budget
+//! consumption tracks the theory work actually performed.
 
 use crate::congruence::CongruenceClosure;
 use crate::error::{SmtError, SmtResult};
 use crate::linexpr::{LinConstraint, LinExpr};
 use crate::rat::Rat;
-use crate::simplex::{solve as lra_solve, LpResult};
-use pathinv_ir::{to_dnf, Atom, Formula, RelOp, Symbol, Term, VarRef};
+use crate::simplex::{solve as lra_solve, IncrementalSimplex};
+use pathinv_ir::{Atom, Formula, FormulaId, RelOp, SeqId, Symbol, Term, VarRef};
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// A model: rational values for the integer-sorted variables of the query.
@@ -128,14 +139,17 @@ impl Solver {
         check_no_negated_quantifier(f, true)?;
         let budget = Cell::new(self.max_branches);
         let original_vars: BTreeSet<VarRef> = f.var_refs();
-        for cube in to_dnf(&f.nnf()) {
-            if let Some(model) = self.check_cube(&cube, &budget)? {
+        let mut search = CubeSearch::default();
+        let mut pending = VecDeque::new();
+        pending.push_back(f.nnf());
+        match search.dpll(self, pending, Vec::new(), Vec::new(), false, &budget)? {
+            Some(model) => {
                 let values =
                     model.values.into_iter().filter(|(v, _)| original_vars.contains(v)).collect();
-                return Ok(SatResult::Sat(Model { values }));
+                Ok(SatResult::Sat(Model { values }))
             }
+            None => Ok(SatResult::Unsat),
         }
-        Ok(SatResult::Unsat)
     }
 
     /// Decides satisfiability of a conjunction of formulas.
@@ -188,75 +202,6 @@ impl Solver {
         self.entails(&Formula::True, f)
     }
 
-    /// Checks one DNF cube.  Returns a model if the cube is satisfiable.
-    fn check_cube(&self, cube: &Formula, budget: &Cell<usize>) -> SmtResult<Option<Model>> {
-        let mut atoms: Vec<Atom> = Vec::new();
-        let mut universals: Vec<(Vec<Symbol>, Formula)> = Vec::new();
-        for conj in cube.conjuncts() {
-            match conj {
-                Formula::True => {}
-                Formula::False => return Ok(None),
-                Formula::Atom(a) => atoms.push(a),
-                Formula::Forall(vars, body) => universals.push((vars, *body)),
-                other => {
-                    return Err(SmtError::unsupported(format!(
-                        "unexpected conjunct shape after DNF: {other}"
-                    )))
-                }
-            }
-        }
-        if universals.is_empty() {
-            return self.solve_atoms(atoms, budget);
-        }
-        // Instantiate every universal at every array-index term occurring in
-        // the ground part of the cube (the hierarchic reduction of §4.2).
-        let candidates = index_candidates(&atoms);
-        let mut instantiated: Vec<Formula> = atoms.into_iter().map(Formula::Atom).collect();
-        for (vars, body) in universals {
-            if candidates.is_empty() {
-                // No relevant index: the universal constrains no read in this
-                // query; dropping it is sound for unsatisfiability detection
-                // (it only weakens the antecedent).
-                continue;
-            }
-            for combo in cartesian(&candidates, vars.len()) {
-                let mut inst = body.clone();
-                for (v, t) in vars.iter().zip(combo.iter()) {
-                    inst = inst.map_terms(&|term| term.subst_bound(*v, t));
-                }
-                instantiated.push(inst);
-            }
-        }
-        // The instantiated bodies may contain implications; re-normalise.
-        let qf = Formula::and(instantiated);
-        for sub_cube in to_dnf(&qf.nnf()) {
-            let mut sub_atoms = Vec::new();
-            let mut ok = true;
-            for conj in sub_cube.conjuncts() {
-                match conj {
-                    Formula::True => {}
-                    Formula::False => {
-                        ok = false;
-                        break;
-                    }
-                    Formula::Atom(a) => sub_atoms.push(a),
-                    other => {
-                        return Err(SmtError::unsupported(format!(
-                            "nested quantifier after instantiation: {other}"
-                        )))
-                    }
-                }
-            }
-            if !ok {
-                continue;
-            }
-            if let Some(m) = self.solve_atoms(sub_atoms, budget)? {
-                return Ok(Some(m));
-            }
-        }
-        Ok(None)
-    }
-
     /// Decides a conjunction of ground atoms by recursive case splitting:
     /// disequalities, then read-over-write, then the base theory combination.
     fn solve_atoms(&self, atoms: Vec<Atom>, budget: &Cell<usize>) -> SmtResult<Option<Model>> {
@@ -266,6 +211,27 @@ impl Solver {
             });
         }
         budget.set(budget.get() - 1);
+
+        // 0. Conflict-driven pruning: when a non-trivial case-split tree is
+        //    coming up, first check the *linear relaxation* of the
+        //    conjunction (disequalities dropped, reads abstracted, no
+        //    functionality) with one simplex call.  An unsatisfiable
+        //    relaxation refutes every branch of the split tree at once —
+        //    this is what keeps the SSA path formulas of deeply unrolled
+        //    counterexamples (a disequality per store step) from burning the
+        //    case-split budget on arithmetic that is already contradictory.
+        //    A single pending disequality is split directly: its two
+        //    branches cost about as much as the relaxation itself, and on a
+        //    satisfiable query the relaxation along the witnessing branch is
+        //    pure overhead.  Two or more disequalities mean a four-leaf (or
+        //    larger) split tree, where one pruning call is always worth it —
+        //    and the read-over-write chains of unrolled array programs renew
+        //    their disequality supply at every miss step, so deep chains
+        //    keep qualifying.
+        let ne_count = atoms.iter().filter(|a| a.op == RelOp::Ne).count();
+        if ne_count >= 2 && !self.relaxation_is_sat(&atoms)? {
+            return Ok(None);
+        }
 
         // 1. Split the first disequality.
         if let Some(pos) = atoms.iter().position(|a| a.op == RelOp::Ne) {
@@ -326,6 +292,42 @@ impl Solver {
         self.solve_base(&atoms, budget)
     }
 
+    /// The linear relaxation of a ground conjunction: disequalities are
+    /// dropped, array reads and applications are abstracted by fresh
+    /// variables (identical reads share one, a congruence-lite that costs
+    /// nothing), store structure is ignored, and the remaining linear
+    /// skeleton is decided with a single simplex call.  Every dropped or
+    /// weakened constraint only *removes* information, so `false` certifies
+    /// the original conjunction unsatisfiable; `true` says nothing.
+    ///
+    /// Atoms outside the linear fragment (non-linear products, array-sorted
+    /// equalities) are *skipped*, not errored: skipping only weakens the
+    /// relaxation further, and the strict path must stay the sole source of
+    /// `NonLinear` errors — it may legitimately refute such a cube through
+    /// the congruence pre-filter without ever reaching the linear
+    /// converter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow.
+    fn relaxation_is_sat(&self, atoms: &[Atom]) -> SmtResult<bool> {
+        let mut instances: Vec<Instance> = Vec::new();
+        let mut constraints: Vec<LinConstraint<VarRef>> = Vec::new();
+        for a in atoms {
+            if a.op == RelOp::Ne {
+                continue;
+            }
+            let lhs = abstract_term(&a.lhs, &mut instances);
+            let rhs = abstract_term(&a.rhs, &mut instances);
+            match LinConstraint::from_atom(&Atom::new(lhs, a.op, rhs)) {
+                Ok(c) => constraints.push(c.tighten_for_integers()?),
+                Err(SmtError::SortMismatch { .. } | SmtError::NonLinear { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(lra_solve(&constraints)?.is_sat())
+    }
+
     /// Base-case theory combination: congruence pre-filter, abstraction of
     /// reads/applications by fresh variables, simplex with lazy functionality
     /// enforcement.
@@ -360,14 +362,24 @@ impl Solver {
                 Err(e) => return Err(e),
             }
         }
-        self.solve_with_functionality(constraints, &instances, budget)
+        // One tableau for the whole functionality search: the base
+        // constraints are its shared prefix, and every branch of the lazy
+        // functionality enforcement pushes its extra constraints, re-checks
+        // warm from the prefix's feasible assignment, and pops — instead of
+        // rebuilding (and cold-resolving) the tableau per branch.
+        let mut tab: IncrementalSimplex<VarRef> = IncrementalSimplex::new();
+        for c in &constraints {
+            tab.push_constraint(c)?;
+        }
+        self.solve_with_functionality(&mut tab, &instances, budget, true)
     }
 
     fn solve_with_functionality(
         &self,
-        constraints: Vec<LinConstraint<VarRef>>,
+        tab: &mut IncrementalSimplex<VarRef>,
         instances: &[Instance],
         budget: &Cell<usize>,
+        fresh: bool,
     ) -> SmtResult<Option<Model>> {
         if budget.get() == 0 {
             return Err(SmtError::Budget {
@@ -375,10 +387,11 @@ impl Solver {
             });
         }
         budget.set(budget.get() - 1);
-        let model = match lra_solve(&constraints)? {
-            LpResult::Unsat(_) => return Ok(None),
-            LpResult::Sat(m) => m,
-        };
+        let sat = if fresh { tab.check_fresh()? } else { tab.check()? };
+        if !sat {
+            return Ok(None);
+        }
+        let model = tab.model()?;
         let lookup = |v: &VarRef| model.get(v).copied().unwrap_or(Rat::ZERO);
         // Find a violated functionality axiom.
         for i in 0..instances.len() {
@@ -409,32 +422,38 @@ impl Solver {
                 // Violation: f(args) must be equal when the arguments are.
                 // Case A: force the arguments and results equal.
                 {
-                    let mut branch = constraints.clone();
+                    let cp = tab.checkpoint();
                     for (x, y) in a.args.iter().zip(b.args.iter()) {
-                        branch.push(LinConstraint::eq(
+                        tab.push_constraint(&LinConstraint::eq(
                             LinExpr::from_term(x)?,
                             LinExpr::from_term(y)?,
-                        )?);
+                        )?)?;
                     }
-                    branch.push(LinConstraint::eq(LinExpr::var(a.result), LinExpr::var(b.result))?);
-                    if let Some(m) = self.solve_with_functionality(branch, instances, budget)? {
+                    tab.push_constraint(&LinConstraint::eq(
+                        LinExpr::var(a.result),
+                        LinExpr::var(b.result),
+                    )?)?;
+                    let found = self.solve_with_functionality(tab, instances, budget, false)?;
+                    tab.pop_to(cp)?;
+                    if let Some(m) = found {
                         return Ok(Some(m));
                     }
                 }
                 // Case B: some argument differs (strictly, in either
                 // direction).
-                for (k, (x, y)) in a.args.iter().zip(b.args.iter()).enumerate() {
-                    let _ = k;
+                for (x, y) in a.args.iter().zip(b.args.iter()) {
                     let ex = LinExpr::from_term(x)?;
                     let ey = LinExpr::from_term(y)?;
                     for flip in [false, true] {
                         let diff = if flip { ey.sub(&ex)? } else { ex.sub(&ey)? };
-                        let mut branch = constraints.clone();
-                        branch.push(
-                            LinConstraint::new(diff, crate::linexpr::ConstrOp::Lt)
+                        let cp = tab.checkpoint();
+                        tab.push_constraint(
+                            &LinConstraint::new(diff, crate::linexpr::ConstrOp::Lt)
                                 .tighten_for_integers()?,
-                        );
-                        if let Some(m) = self.solve_with_functionality(branch, instances, budget)? {
+                        )?;
+                        let found = self.solve_with_functionality(tab, instances, budget, false)?;
+                        tab.pop_to(cp)?;
+                        if let Some(m) = found {
                             return Ok(Some(m));
                         }
                     }
@@ -443,6 +462,189 @@ impl Solver {
             }
         }
         Ok(Some(Model { values: model }))
+    }
+}
+
+/// DPLL-style search over the boolean skeleton of one query.
+///
+/// The state of one search node is the *cube prefix* (the atoms decided so
+/// far), the not-yet-branched disjunctions, and the universals collected on
+/// this branch.  The search alternates unit propagation (flattening
+/// conjunctions, resolving disjuncts against decided atoms, promoting unit
+/// disjunctions) with case splits on the smallest remaining disjunction.
+/// Before every split the prefix is checked for theory consistency; an
+/// inconsistent prefix prunes the whole subtree — the conflict-driven
+/// replacement for enumerating (and separately refuting) every DNF cube
+/// that extends it.
+///
+/// Theory verdicts are memoized under the hash-consed id of the canonical
+/// (sorted, deduplicated) decided-atom set, so sibling branches that decide
+/// the same atoms in a different order, and the final check of a cube whose
+/// prefix was already checked, replay the verdict without touching the
+/// simplex.  The memo lives for one [`Solver::check`] call; cross-query
+/// reuse is the [`SolverContext`](crate::SolverContext) cache's job.
+#[derive(Default)]
+struct CubeSearch {
+    /// Canonical decided-atom set id → satisfiability (with witness).
+    verdicts: HashMap<SeqId, Option<Model>>,
+}
+
+impl CubeSearch {
+    /// Searches for a theory-consistent cube of the pending formulas.
+    ///
+    /// `decided` is the inherited cube prefix, `universals` the quantified
+    /// conjuncts collected so far, and `instantiated` marks the inner layer
+    /// (after universal instantiation), where further quantifiers are
+    /// outside the supported fragment.
+    fn dpll(
+        &mut self,
+        solver: &Solver,
+        mut pending: VecDeque<Formula>,
+        mut decided: Vec<Atom>,
+        mut universals: Vec<(Vec<Symbol>, Formula)>,
+        instantiated: bool,
+        budget: &Cell<usize>,
+    ) -> SmtResult<Option<Model>> {
+        let mut disjunctions: Vec<Vec<Formula>> = Vec::new();
+        // Unit propagation to fixpoint.
+        loop {
+            while let Some(f) = pending.pop_front() {
+                match f {
+                    Formula::True => {}
+                    Formula::False => return Ok(None),
+                    Formula::Atom(a) => decided.push(a),
+                    Formula::And(parts) => {
+                        for (i, p) in parts.into_iter().enumerate() {
+                            pending.insert(i, p);
+                        }
+                    }
+                    Formula::Or(parts) => disjunctions.push(parts),
+                    Formula::Forall(vars, body) => {
+                        if instantiated {
+                            return Err(SmtError::unsupported(format!(
+                                "nested quantifier after instantiation: forall {vars:?}. {body}"
+                            )));
+                        }
+                        universals.push((vars, *body));
+                    }
+                    other => {
+                        return Err(SmtError::unsupported(format!(
+                            "unexpected connective shape after NNF: {other}"
+                        )))
+                    }
+                }
+            }
+            // Resolve every disjunction against the decided atoms:
+            // syntactically satisfied disjunctions are dropped, refuted
+            // disjuncts removed, unit disjunctions promoted to the prefix.
+            let decided_set: HashSet<&Atom> = decided.iter().collect();
+            let mut promoted = false;
+            let mut kept: Vec<Vec<Formula>> = Vec::new();
+            'ors: for parts in disjunctions.drain(..) {
+                let mut remaining: Vec<Formula> = Vec::with_capacity(parts.len());
+                for p in parts {
+                    match &p {
+                        Formula::True => continue 'ors,
+                        Formula::False => {}
+                        Formula::Atom(a) => {
+                            if decided_set.contains(a) {
+                                continue 'ors;
+                            }
+                            if !decided_set.contains(&a.negated()) {
+                                remaining.push(p);
+                            }
+                        }
+                        _ => remaining.push(p),
+                    }
+                }
+                match remaining.len() {
+                    0 => return Ok(None), // every disjunct refuted
+                    1 => {
+                        pending.push_back(remaining.pop().expect("len checked"));
+                        promoted = true;
+                    }
+                    _ => kept.push(remaining),
+                }
+            }
+            disjunctions = kept;
+            if !promoted && pending.is_empty() {
+                break;
+            }
+        }
+        // Case split on the smallest remaining disjunction — after pruning
+        // the branch if the prefix is already theory-inconsistent.
+        if !disjunctions.is_empty() {
+            if self.theory_check(solver, &decided, budget)?.is_none() {
+                return Ok(None);
+            }
+            let pick = disjunctions
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, d)| (d.len(), *i))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            let branches = disjunctions.remove(pick);
+            let rest: Vec<Formula> = disjunctions.into_iter().map(Formula::Or).collect();
+            for branch in branches {
+                let mut pending = VecDeque::with_capacity(rest.len() + 1);
+                pending.push_back(branch);
+                pending.extend(rest.iter().cloned());
+                if let Some(m) = self.dpll(
+                    solver,
+                    pending,
+                    decided.clone(),
+                    universals.clone(),
+                    instantiated,
+                    budget,
+                )? {
+                    return Ok(Some(m));
+                }
+            }
+            return Ok(None);
+        }
+        // Complete cube.  Instantiate the universals at every array-index
+        // term of the ground atoms (the hierarchic reduction of §4.2) and
+        // search the instantiated layer; with no candidate index a universal
+        // constrains no read in this query and dropping it is sound for
+        // unsatisfiability detection (it only weakens the antecedent).
+        if !universals.is_empty() {
+            let candidates = index_candidates(&decided);
+            if !candidates.is_empty() {
+                let mut inst_pending = VecDeque::new();
+                for (vars, body) in &universals {
+                    for combo in cartesian(&candidates, vars.len()) {
+                        let mut inst = body.clone();
+                        for (v, t) in vars.iter().zip(combo.iter()) {
+                            inst = inst.map_terms(&|term| term.subst_bound(*v, t));
+                        }
+                        inst_pending.push_back(inst.nnf());
+                    }
+                }
+                return self.dpll(solver, inst_pending, decided, Vec::new(), true, budget);
+            }
+        }
+        self.theory_check(solver, &decided, budget)
+    }
+
+    /// Decides the conjunction of `decided` in the theory, memoized under
+    /// the canonical hash-consed id of the atom set.
+    fn theory_check(
+        &mut self,
+        solver: &Solver,
+        decided: &[Atom],
+        budget: &Cell<usize>,
+    ) -> SmtResult<Option<Model>> {
+        let mut ids: Vec<u32> =
+            decided.iter().map(|a| FormulaId::intern(&Formula::Atom(a.clone())).raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let key = SeqId::intern(&ids);
+        if let Some(cached) = self.verdicts.get(&key) {
+            return Ok(cached.clone());
+        }
+        let result = solver.solve_atoms(decided.to_vec(), budget)?;
+        self.verdicts.insert(key, result.clone());
+        Ok(result)
     }
 }
 
@@ -975,6 +1177,23 @@ mod tests {
             }
             SatResult::Unsat => panic!("satisfiable"),
         }
+    }
+
+    #[test]
+    fn relaxation_skips_nonlinear_atoms_instead_of_erroring() {
+        // The strict path refutes this cube through the congruence
+        // pre-filter / the equality contradiction without ever converting
+        // the non-linear atom; the relaxation guard (triggered by the two
+        // disequalities) must not turn that into a NonLinear error.
+        let s = solver();
+        let f = F::and(vec![
+            F::eq(Term::var("x"), Term::int(1)),
+            F::eq(Term::var("x"), Term::int(2)),
+            F::le(Term::var("y").mul(Term::var("z")), Term::int(5)),
+            F::ne(Term::var("u"), Term::var("v")),
+            F::ne(Term::var("w"), Term::var("t")),
+        ]);
+        assert!(!s.is_sat(&f).unwrap(), "decidably unsat despite the non-linear atom");
     }
 
     #[test]

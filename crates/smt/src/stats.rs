@@ -25,10 +25,18 @@ pub struct SmtStats {
     /// Top-level [`Solver::check`](crate::Solver::check) invocations
     /// (each decides one formula; entailment queries bottom out here).
     pub sat_checks: u64,
-    /// Simplex solver invocations ([`lra_solve`](crate::lra_solve)); this is
-    /// the innermost "real work" unit shared by satisfiability, entailment,
-    /// interpolation, and invariant synthesis.
+    /// Cold simplex solves ([`lra_solve`](crate::lra_solve)): tableau
+    /// constructions followed by a full feasibility run.  This is the
+    /// innermost "real work" unit shared by satisfiability, entailment,
+    /// interpolation, and invariant synthesis.  Warm re-checks of an
+    /// [`IncrementalSimplex`](crate::IncrementalSimplex) are counted in
+    /// [`simplex_warm_checks`](SmtStats::simplex_warm_checks) instead: they
+    /// reuse the tableau of the shared constraint prefix and typically cost
+    /// a handful of pivots, not a rebuild.
     pub simplex_calls: u64,
+    /// Warm-started incremental simplex re-checks
+    /// ([`IncrementalSimplex::check`](crate::IncrementalSimplex::check)).
+    pub simplex_warm_checks: u64,
     /// Sequence-interpolant computations
     /// ([`sequence_interpolants`](crate::sequence_interpolants)).
     pub interpolant_calls: u64,
@@ -42,6 +50,7 @@ impl SmtStats {
         SmtStats {
             sat_checks: self.sat_checks - earlier.sat_checks,
             simplex_calls: self.simplex_calls - earlier.simplex_calls,
+            simplex_warm_checks: self.simplex_warm_checks - earlier.simplex_warm_checks,
             interpolant_calls: self.interpolant_calls - earlier.interpolant_calls,
         }
     }
@@ -53,6 +62,7 @@ impl SmtStats {
         SmtStats {
             sat_checks: self.sat_checks + other.sat_checks,
             simplex_calls: self.simplex_calls + other.simplex_calls,
+            simplex_warm_checks: self.simplex_warm_checks + other.simplex_warm_checks,
             interpolant_calls: self.interpolant_calls + other.interpolant_calls,
         }
     }
@@ -62,6 +72,7 @@ thread_local! {
     static STATS: Cell<SmtStats> = const { Cell::new(SmtStats {
         sat_checks: 0,
         simplex_calls: 0,
+        simplex_warm_checks: 0,
         interpolant_calls: 0,
     }) };
 }
@@ -87,6 +98,10 @@ pub(crate) fn record_simplex_call() {
     bump(|s| s.simplex_calls += 1);
 }
 
+pub(crate) fn record_simplex_warm_check() {
+    bump(|s| s.simplex_warm_checks += 1);
+}
+
 pub(crate) fn record_interpolant_call() {
     bump(|s| s.interpolant_calls += 1);
 }
@@ -101,9 +116,18 @@ mod tests {
         record_sat_check();
         record_simplex_call();
         record_simplex_call();
+        record_simplex_warm_check();
         record_interpolant_call();
         let delta = snapshot().since(&before);
-        assert_eq!(delta, SmtStats { sat_checks: 1, simplex_calls: 2, interpolant_calls: 1 });
+        assert_eq!(
+            delta,
+            SmtStats {
+                sat_checks: 1,
+                simplex_calls: 2,
+                simplex_warm_checks: 1,
+                interpolant_calls: 1
+            }
+        );
         let doubled = delta.plus(&delta);
         assert_eq!(doubled.simplex_calls, 4);
     }

@@ -124,6 +124,46 @@ proptest! {
         prop_assert!(stats.cache_hits <= stats.queries);
     }
 
+    /// Replaying an identical stack script against the *same* context
+    /// answers every query from the id-keyed cache: the hash-consed
+    /// cons-chain stack identity is reproducible, so the second pass adds
+    /// no cache entries, hits on every query, and agrees with the first
+    /// pass (and therefore with the fresh solver, by the test above).
+    #[test]
+    fn replayed_scripts_hit_the_id_keyed_cache(ops in proptest::collection::vec(op_strategy(), 1..10)) {
+        let mut ctx = SolverContext::new();
+        let run = |ctx: &mut SolverContext| -> Vec<bool> {
+            // An outer frame brackets the whole script so the replay starts
+            // from the identical (empty) stack; script pops never cross it.
+            ctx.push();
+            let mut answers = Vec::new();
+            for op in &ops {
+                match op {
+                    StackOp::Push => ctx.push(),
+                    StackOp::Pop => {
+                        if ctx.depth() > 1 {
+                            ctx.pop();
+                        }
+                    }
+                    StackOp::Assume(f) => ctx.assume(f.clone()),
+                }
+                answers.push(ctx.is_sat().expect("small systems stay in budget"));
+            }
+            while ctx.depth() > 0 {
+                ctx.pop();
+            }
+            answers
+        };
+        let first = run(&mut ctx);
+        let entries_after_first = ctx.stats().cache_entries;
+        let hits_before = ctx.stats().cache_hits;
+        let second = run(&mut ctx);
+        prop_assert_eq!(first, second);
+        let stats = ctx.stats();
+        prop_assert_eq!(stats.cache_entries, entries_after_first);
+        prop_assert_eq!(stats.cache_hits, hits_before + ops.len() as u64);
+    }
+
     /// Popping every frame restores the exact pre-push answers: the stack is
     /// checked before pushing, after pushing extra constraints, and after
     /// popping them again.

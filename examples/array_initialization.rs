@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // This is what `PathInvariantRefiner` falls back to internally;
             // calling the baseline directly avoids repeating the synthesis
             // that just failed.
-            let preds = PathPredicateRefiner::new().refine(&program, &cex)?;
+            let preds = PathPredicateRefiner::new().refine(&program, &cex)?.predicates;
             let total: usize = preds.values().map(Vec::len).sum();
             println!("  fallback produced {total} finite-path predicates, e.g.:");
             for (loc, fs) in preds.iter().take(3) {

@@ -58,8 +58,8 @@ fn initcheck_quantified_path_invariants() {
     // (quantified ones when the path-program synthesis succeeds, finite-path
     // ones otherwise).
     let refiner = PathInvariantRefiner::new();
-    let preds = path_invariants::Refiner::refine(&refiner, &program, &cex).unwrap();
-    assert!(!preds.is_empty());
+    let refinement = path_invariants::Refiner::refine(&refiner, &program, &cex).unwrap();
+    assert!(!refinement.predicates.is_empty());
 }
 
 /// PARTITION (§2.3): the two branch-specific path programs produce the two
