@@ -7,8 +7,8 @@
 //!
 //! # The deterministic benchmark trajectory (CI's bench-smoke job):
 //! cargo run --release -p pathinv-bench --bin experiments -- bench \
-//!     --bench-json BENCH_pr4.json --check tests/golden/bench.json \
-//!     --compare-previous BENCH_pr2.json
+//!     --bench-json BENCH_pr5.json --check tests/golden/bench.json \
+//!     --compare-previous BENCH_pr4.json
 //! ```
 //!
 //! The `bench` experiment exits nonzero when a task errors, when the

@@ -1,16 +1,18 @@
 //! The deterministic benchmark-trajectory experiment (`bench`): verifies
 //! the full corpus under both refiners, cached and uncached, and emits the
-//! `BENCH_pr4.json` trajectory point.
+//! `BENCH_pr5.json` trajectory point.
 //!
 //! This is the CI entry point of the perf trajectory: the `bench-smoke` job
 //! runs it with `--check tests/golden/bench.json` (fails the build when the
 //! report schema or any deterministic field — verdict, refinement count,
 //! solver-call and cache counters — drifts from the committed golden) and
-//! `--compare-previous BENCH_pr2.json` (fails on any per-task
-//! `solver_calls`/`simplex_calls` regression against the committed previous
-//! trajectory point; wall-clock stays informational).  Local regeneration
-//! after an intentional change is
-//! `cargo run --release -p pathinv-cli -- --bless`.
+//! `--compare-previous BENCH_pr4.json` (fails on any per-task regression of
+//! a gated counter — `solver_calls`, `simplex_calls`, the refine-phase cold
+//! simplex calls `phases.refine_simplex_calls`, and the synthesis frontier
+//! `synth_branches_explored` — against the committed previous trajectory
+//! point; wall-clock stays informational, and counters the previous point's
+//! schema predates are not gated).  Local regeneration after an intentional
+//! change is `cargo run --release -p pathinv-cli -- --bless`.
 
 use pathinv_cli::json::{self, Json};
 use pathinv_cli::trajectory::{run_trajectory, TrajectoryReport};
@@ -20,15 +22,16 @@ use pathinv_cli::trajectory::{run_trajectory, TrajectoryReport};
 pub struct BenchConfig {
     /// Worker threads (defaults to available parallelism).
     pub jobs: Option<usize>,
-    /// Where to write the full trajectory report (`BENCH_pr4.json`).
+    /// Where to write the full trajectory report (`BENCH_pr5.json`).
     pub bench_json: Option<String>,
     /// Where to write the deterministic golden projection.
     pub bench_golden: Option<String>,
     /// A committed golden to diff the run against; any drift is an error.
     pub check: Option<String>,
-    /// A committed *previous* trajectory point (`BENCH_pr2.json`); any
-    /// per-task `solver_calls` or `simplex_calls` regression against it is
-    /// an error.
+    /// A committed *previous* trajectory point (`BENCH_pr4.json`); any
+    /// per-task regression of a gated counter (`solver_calls`,
+    /// `simplex_calls`, `phases.refine_simplex_calls`,
+    /// `synth_branches_explored`) against it is an error.
     pub compare_previous: Option<String>,
 }
 
@@ -107,18 +110,45 @@ pub fn run_bench(config: &BenchConfig) -> Result<TrajectoryReport, String> {
                 regressions.join("\n  ")
             ));
         }
-        println!("no per-task solver_calls/simplex_calls regression against {path}");
+        println!(
+            "no per-task regression of the gated counters (solver_calls, simplex_calls, \
+             refine_simplex_calls, synth_branches_explored) against {path}"
+        );
     }
     Ok(trajectory)
 }
 
 /// Compares two full trajectory documents task by task (matched on
 /// `(program, refiner)`) and reports every *increase* of a gated counter —
-/// `solver_calls` or `simplex_calls` — in `current` over `previous`, plus
-/// any task the current run no longer produces.  New tasks (absent from the
-/// previous point) and wall-clock changes are not regressions.
+/// `solver_calls`, `simplex_calls`, the refine-phase cold simplex calls
+/// (`phases.refine_simplex_calls`), or the synthesis frontier size
+/// (`synth_branches_explored`) — in `current` over `previous`, plus any
+/// task the current run no longer produces.  New tasks (absent from the
+/// previous point), wall-clock changes, and counters the previous point's
+/// schema does not carry are not regressions.
+///
+/// Tasks whose verdict *improved* — `unknown` previously, concluded
+/// (`safe`/`unsafe`) now — are exempt from counter gating: a task that
+/// used to give up and now finishes legitimately does more solver work,
+/// and counting that as a regression would forbid exactly the improvement
+/// the trajectory exists to measure.  (Verdict *regressions* are caught by
+/// the golden corpus snapshot, not this gate.)
 pub fn counter_regressions(previous: &Json, current: &Json) -> Vec<String> {
-    const GATED: [&str; 2] = ["solver_calls", "simplex_calls"];
+    /// A gated counter: its report label and the path to read it from a
+    /// task object (top-level field, or one nested under `phases`).
+    const GATED: [(&str, &[&str]); 4] = [
+        ("solver_calls", &["solver_calls"]),
+        ("simplex_calls", &["simplex_calls"]),
+        ("refine_simplex_calls", &["phases", "refine_simplex_calls"]),
+        ("synth_branches_explored", &["synth_branches_explored"]),
+    ];
+    fn lookup(task: &Json, path: &[&str]) -> Option<i64> {
+        let mut v = task;
+        for key in path {
+            v = v.get(key)?;
+        }
+        v.as_int()
+    }
     let tasks = |doc: &Json| -> Vec<Json> {
         doc.get("tasks").and_then(Json::as_array).map(<[Json]>::to_vec).unwrap_or_default()
     };
@@ -136,11 +166,21 @@ pub fn counter_regressions(previous: &Json, current: &Json) -> Vec<String> {
             out.push(format!("{k:?}: in the previous trajectory point but not produced"));
             continue;
         };
-        for field in GATED {
-            let was = prev.get(field).and_then(Json::as_int).unwrap_or(0);
-            let now = cur.get(field).and_then(Json::as_int).unwrap_or(0);
+        let verdict = |t: &Json| t.get("verdict").and_then(Json::as_str).unwrap_or("?").to_string();
+        let (was_verdict, now_verdict) = (verdict(&prev), verdict(cur));
+        if was_verdict == "unknown" && matches!(now_verdict.as_str(), "safe" | "unsafe") {
+            // The task used to give up and now concludes: extra solver work
+            // is the price of the better verdict, not a regression.
+            continue;
+        }
+        for (label, path) in GATED {
+            // A counter the previous point's schema predates cannot have a
+            // baseline to regress against; skip it rather than treating the
+            // missing value as zero.
+            let Some(was) = lookup(&prev, path) else { continue };
+            let now = lookup(cur, path).unwrap_or(0);
             if now > was {
-                out.push(format!("{k:?}: {field} regressed {was} -> {now}"));
+                out.push(format!("{k:?}: {label} regressed {was} -> {now}"));
             }
         }
     }
@@ -189,39 +229,65 @@ mod tests {
     }
 
     /// The previous-point comparison flags exactly the per-task increases of
-    /// the gated counters, tolerates improvements and new tasks, and reports
-    /// tasks that vanished.
+    /// the gated counters, tolerates improvements, new tasks, and counters
+    /// the previous schema predates, and reports tasks that vanished.
     #[test]
     fn counter_regression_gate_flags_increases_only() {
         let previous = json::parse(
             r#"{"tasks": [
                 {"program": "A", "refiner": "path-invariants",
-                 "solver_calls": 100, "simplex_calls": 500, "wall_ms": 10.0},
+                 "solver_calls": 100, "simplex_calls": 500, "wall_ms": 10.0,
+                 "synth_branches_explored": 40,
+                 "phases": {"refine_simplex_calls": 7}},
                 {"program": "B", "refiner": "path-predicates",
                  "solver_calls": 50, "simplex_calls": 80, "wall_ms": 5.0},
                 {"program": "GONE", "refiner": "path-invariants",
-                 "solver_calls": 1, "simplex_calls": 1, "wall_ms": 1.0}
+                 "solver_calls": 1, "simplex_calls": 1, "wall_ms": 1.0},
+                {"program": "IMPROVED", "refiner": "path-invariants",
+                 "verdict": "unknown", "solver_calls": 10, "simplex_calls": 10}
             ]}"#,
         )
         .unwrap();
         let current = json::parse(
             r#"{"tasks": [
                 {"program": "A", "refiner": "path-invariants",
-                 "solver_calls": 90, "simplex_calls": 501, "wall_ms": 99.0},
+                 "solver_calls": 90, "simplex_calls": 501, "wall_ms": 99.0,
+                 "synth_branches_explored": 41,
+                 "phases": {"refine_simplex_calls": 3}},
                 {"program": "B", "refiner": "path-predicates",
-                 "solver_calls": 50, "simplex_calls": 40, "wall_ms": 50.0},
+                 "solver_calls": 50, "simplex_calls": 40, "wall_ms": 50.0,
+                 "synth_branches_explored": 9999,
+                 "phases": {"refine_simplex_calls": 9999}},
                 {"program": "NEW", "refiner": "path-invariants",
-                 "solver_calls": 9999, "simplex_calls": 9999, "wall_ms": 1.0}
+                 "solver_calls": 9999, "simplex_calls": 9999, "wall_ms": 1.0},
+                {"program": "IMPROVED", "refiner": "path-invariants",
+                 "verdict": "safe", "solver_calls": 500, "simplex_calls": 500}
             ]}"#,
         )
         .unwrap();
         let regressions = counter_regressions(&previous, &current);
-        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
         assert!(
             regressions.iter().any(|r| r.contains('A') && r.contains("simplex_calls")),
             "{regressions:?}"
         );
+        // The frontier counter regressed on A (40 -> 41) and is gated; on B
+        // the previous point predates the counter, so 9999 is not gated.
+        assert!(
+            regressions.iter().any(|r| r.contains('A') && r.contains("synth_branches_explored")),
+            "{regressions:?}"
+        );
+        assert!(
+            !regressions.iter().any(|r| r.contains('B')),
+            "counters absent from the previous schema must not gate: {regressions:?}"
+        );
         assert!(regressions.iter().any(|r| r.contains("GONE")), "{regressions:?}");
+        // A task that used to be unknown and now concludes is exempt, even
+        // though every gated counter grew.
+        assert!(
+            !regressions.iter().any(|r| r.contains("IMPROVED")),
+            "verdict improvements must not gate: {regressions:?}"
+        );
         // Identical documents never regress (wall-clock is informational).
         assert!(counter_regressions(&previous, &previous).is_empty());
     }

@@ -21,7 +21,7 @@
 //! `tests/golden/corpus.json`, so a PR that flips a verdict, blows up
 //! refinement counts, or regresses solver-call discipline fails tier-1
 //! immediately.  The [`trajectory`] module builds the benchmark trajectory
-//! point (`BENCH_pr4.json`) on the same harness.
+//! point (`BENCH_pr5.json`) on the same harness.
 
 #![warn(missing_docs)]
 
@@ -46,8 +46,12 @@ use std::time::Instant;
 /// differential section of portfolio reports); version 4 split the simplex
 /// accounting into cold solves (`simplex_calls`) and warm incremental
 /// re-checks (`simplex_warm_checks`), added per-phase simplex counters, and
-/// pinned `simplex_calls`/`interpolant_calls` in the golden projections.
-pub const SCHEMA_VERSION: i64 = 4;
+/// pinned `simplex_calls`/`interpolant_calls` in the golden projections;
+/// version 5 added the invariant-synthesis counters
+/// (`synth_systems_solved`, `synth_branches_explored`,
+/// `synth_branches_pruned`, `synth_cores_learned`, `synth_memo_hits`) and
+/// pinned them in the golden projections.
+pub const SCHEMA_VERSION: i64 = 5;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
@@ -422,6 +426,11 @@ impl TaskReport {
             ("engine_depth", Json::Int(s.engine_depth as i64)),
             ("engine_nodes", Json::Int(s.engine_nodes as i64)),
             ("engine_lemmas", Json::Int(s.engine_lemmas as i64)),
+            ("synth_systems_solved", Json::Int(s.synth_systems_solved as i64)),
+            ("synth_branches_explored", Json::Int(s.synth_branches_explored as i64)),
+            ("synth_branches_pruned", Json::Int(s.synth_branches_pruned as i64)),
+            ("synth_cores_learned", Json::Int(s.synth_cores_learned as i64)),
+            ("synth_memo_hits", Json::Int(s.synth_memo_hits as i64)),
             (
                 "phases",
                 Json::object(vec![
@@ -459,6 +468,12 @@ impl TaskReport {
             ("engine_depth", Json::Int(self.stats.engine_depth as i64)),
             ("engine_nodes", Json::Int(self.stats.engine_nodes as i64)),
             ("engine_lemmas", Json::Int(self.stats.engine_lemmas as i64)),
+            ("refine_simplex_calls", Json::Int(self.stats.refine_simplex_calls as i64)),
+            ("synth_systems_solved", Json::Int(self.stats.synth_systems_solved as i64)),
+            ("synth_branches_explored", Json::Int(self.stats.synth_branches_explored as i64)),
+            ("synth_branches_pruned", Json::Int(self.stats.synth_branches_pruned as i64)),
+            ("synth_cores_learned", Json::Int(self.stats.synth_cores_learned as i64)),
+            ("synth_memo_hits", Json::Int(self.stats.synth_memo_hits as i64)),
         ])
     }
 }

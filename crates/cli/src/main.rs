@@ -19,10 +19,16 @@ pathinv-cli — batch verification over the Path Invariants corpus
 
 USAGE:
     pathinv-cli [OPTIONS] [FILE.pinv ...]
+    pathinv-cli trajectory --history [DIR]
 
 ARGS:
     FILE.pinv ...          front-end source files to verify alongside/instead
                            of the corpus
+
+SUBCOMMANDS:
+    trajectory --history   aggregate every committed BENCH_*.json trajectory
+                           point (in DIR, default the current directory) into
+                           one per-PR summary table
 
 OPTIONS:
     --all                  verify every program in pathinv_ir::corpus
@@ -40,7 +46,7 @@ OPTIONS:
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr4.json trajectory point; run from
+                           and the BENCH_pr5.json trajectory point; run from
                            the repository root
     --quiet                suppress the summary table
     --help                 show this help
@@ -174,7 +180,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr4.json";
+    const BENCH_POINT: &str = "BENCH_pr5.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
@@ -253,8 +259,52 @@ fn bless(jobs: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `trajectory --history` subcommand: render every committed
+/// `BENCH_*.json` point in the given directory as one table.
+fn trajectory_history(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut history = false;
+    for arg in args {
+        match arg.as_str() {
+            "--history" => history = true,
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown trajectory option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => {
+                if dir.replace(path.to_string()).is_some() {
+                    eprintln!("error: trajectory takes at most one directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    if !history {
+        eprintln!("error: the trajectory subcommand requires --history\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| ".".to_string()));
+    match pathinv_cli::trajectory::collect_history(&dir) {
+        Ok(points) if points.is_empty() => {
+            eprintln!("error: no BENCH_*.json trajectory points found in {}", dir.display());
+            ExitCode::FAILURE
+        }
+        Ok(points) => {
+            print!("{}", pathinv_cli::trajectory::render_history(&points));
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trajectory") {
+        return trajectory_history(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {

@@ -1,7 +1,9 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr4.json`
-//! (`BENCH_pr2.json` is the committed previous point the bench-smoke CI job
-//! diffs against for per-task counter regressions).
+//! the corpus-wide solver workload, emitted as `BENCH_pr5.json`
+//! (`BENCH_pr4.json` is the committed previous point the bench-smoke CI job
+//! diffs against for per-task counter regressions), plus the [`render_history`]
+//! aggregation that renders every committed `BENCH_*.json` as one per-PR
+//! table (`pathinv-cli trajectory --history`).
 //!
 //! A trajectory run verifies the full corpus under both refiners twice —
 //! once with the incremental caches on (the shipping configuration) and once
@@ -25,8 +27,10 @@ use crate::{
 /// Schema version of the trajectory report, bumped on breaking layout
 /// changes.  Distinct from the batch-report schema version, though both are
 /// stamped into the emitted JSON.  Version 2 added the cold/warm simplex
-/// totals.
-pub const BENCH_SCHEMA_VERSION: i64 = 2;
+/// totals; version 3 added the refine-phase cold-simplex total and the
+/// invariant-synthesis counters (systems solved, branches
+/// explored/pruned, cores learned, memo hits).
+pub const BENCH_SCHEMA_VERSION: i64 = 3;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,6 +49,20 @@ pub struct TrajectoryTotals {
     pub post_queries: u64,
     /// Cube requests answered from the post memo.
     pub post_cache_hits: u64,
+    /// Cold simplex solves attributed to the refinement phase (where the
+    /// Farkas systems of invariant synthesis live) — the counter the PR 5
+    /// acceptance gate tracks.
+    pub refine_simplex_calls: u64,
+    /// LP systems solved by the synthesis frontier search.
+    pub synth_systems_solved: u64,
+    /// Frontier branches explored by the synthesis search.
+    pub synth_branches_explored: u64,
+    /// Branches pruned by conflict cores and presolve refutation.
+    pub synth_branches_pruned: u64,
+    /// Minimal Farkas conflict cores learned.
+    pub synth_cores_learned: u64,
+    /// Syntheses replayed from the cross-refinement memo.
+    pub synth_memo_hits: u64,
 }
 
 impl TrajectoryTotals {
@@ -57,6 +75,12 @@ impl TrajectoryTotals {
             query_cache_hits: report.total(|s| s.query_cache_hits),
             post_queries: report.total(|s| s.post_queries),
             post_cache_hits: report.total(|s| s.post_cache_hits),
+            refine_simplex_calls: report.total(|s| s.refine_simplex_calls),
+            synth_systems_solved: report.total(|s| s.synth_systems_solved),
+            synth_branches_explored: report.total(|s| s.synth_branches_explored),
+            synth_branches_pruned: report.total(|s| s.synth_branches_pruned),
+            synth_cores_learned: report.total(|s| s.synth_cores_learned),
+            synth_memo_hits: report.total(|s| s.synth_memo_hits),
         }
     }
 }
@@ -163,7 +187,7 @@ impl TrajectoryReport {
         saved as f64 / self.baseline.solver_calls as f64
     }
 
-    /// The full JSON rendering (the contents of `BENCH_pr4.json`): the
+    /// The full JSON rendering (the contents of `BENCH_pr5.json`): the
     /// deterministic fields plus wall-clock.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -202,6 +226,12 @@ impl TrajectoryReport {
             ("query_cache_hits", Json::Int(t.query_cache_hits as i64)),
             ("post_queries", Json::Int(t.post_queries as i64)),
             ("post_cache_hits", Json::Int(t.post_cache_hits as i64)),
+            ("refine_simplex_calls", Json::Int(t.refine_simplex_calls as i64)),
+            ("synth_systems_solved", Json::Int(t.synth_systems_solved as i64)),
+            ("synth_branches_explored", Json::Int(t.synth_branches_explored as i64)),
+            ("synth_branches_pruned", Json::Int(t.synth_branches_pruned as i64)),
+            ("synth_cores_learned", Json::Int(t.synth_cores_learned as i64)),
+            ("synth_memo_hits", Json::Int(t.synth_memo_hits as i64)),
             ("query_hit_rate", Json::Float(rate(t.query_cache_hits, t.smt_queries))),
             ("post_hit_rate", Json::Float(rate(t.post_cache_hits, t.post_queries))),
             ("wall_ms", Json::Float((wall_ms * 1e3).round() / 1e3)),
@@ -221,6 +251,12 @@ impl TrajectoryReport {
                 ("query_cache_hits", Json::Int(t.query_cache_hits as i64)),
                 ("post_queries", Json::Int(t.post_queries as i64)),
                 ("post_cache_hits", Json::Int(t.post_cache_hits as i64)),
+                ("refine_simplex_calls", Json::Int(t.refine_simplex_calls as i64)),
+                ("synth_systems_solved", Json::Int(t.synth_systems_solved as i64)),
+                ("synth_branches_explored", Json::Int(t.synth_branches_explored as i64)),
+                ("synth_branches_pruned", Json::Int(t.synth_branches_pruned as i64)),
+                ("synth_cores_learned", Json::Int(t.synth_cores_learned as i64)),
+                ("synth_memo_hits", Json::Int(t.synth_memo_hits as i64)),
             ])
         };
         Json::object(vec![
@@ -279,6 +315,104 @@ impl TrajectoryReport {
         }
         failures
     }
+}
+
+/// Collects every committed `BENCH_*.json` trajectory point in `dir`,
+/// sorted by the embedded PR number (then name), each parsed as JSON.
+///
+/// # Errors
+///
+/// Returns a readable message when the directory cannot be read or a point
+/// is malformed JSON; an *absent* field inside a point is not an error (the
+/// history table renders older schemas with `-` placeholders).
+pub fn collect_history(dir: &std::path::Path) -> Result<Vec<(String, Json)>, String> {
+    let mut names: Vec<String> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {dir:?}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    // Natural order: by the numeric suffix of `BENCH_prN.json` when present
+    // (so `pr10` sorts after `pr9`), then lexicographically.
+    let pr_number = |name: &str| -> i64 {
+        name.trim_start_matches("BENCH_pr")
+            .trim_end_matches(".json")
+            .parse::<i64>()
+            .unwrap_or(i64::MAX)
+    };
+    names.sort_by_key(|n| (pr_number(n), n.clone()));
+    let mut points = Vec::new();
+    for name in names {
+        let path = dir.join(&name);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let doc =
+            crate::json::parse(&text).map_err(|e| format!("{name} is not valid JSON: {e}"))?;
+        points.push((name, doc));
+    }
+    Ok(points)
+}
+
+/// Renders the trajectory history — one row per committed `BENCH_*.json`
+/// point — as a fixed-width table: verdict counts over the cached CEGAR
+/// tasks, the headline counter totals, and wall-clock.  Fields a point's
+/// schema predates render as `-`, so the whole perf trajectory is readable
+/// without parsing any JSON.
+pub fn render_history(points: &[(String, Json)]) -> String {
+    let int_total = |doc: &Json, field: &str| -> Option<i64> {
+        doc.get("totals").and_then(|t| t.get(field)).and_then(Json::as_int)
+    };
+    let opt = |v: Option<i64>| v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16}  {:>5}  {:>4}  {:>6}  {:>7}  {:>7}  {:>8}  {:>11}  {:>10}  {:>9}  {:>8}\n",
+        "point",
+        "tasks",
+        "safe",
+        "unsafe",
+        "unknown",
+        "solver",
+        "simplex",
+        "warm checks",
+        "refine cold",
+        "memo hits",
+        "wall",
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(114)));
+    for (name, doc) in points {
+        let tasks = doc.get("tasks").and_then(Json::as_array).unwrap_or(&[]);
+        let verdicts = |which: &str| {
+            tasks.iter().filter(|t| t.get("verdict").and_then(Json::as_str) == Some(which)).count()
+        };
+        let wall = doc
+            .get("totals")
+            .and_then(|t| t.get("wall_ms"))
+            .and_then(|v| match v {
+                Json::Float(x) => Some(*x),
+                Json::Int(i) => Some(*i as f64),
+                _ => None,
+            })
+            .map(|ms| format!("{:.2} s", ms / 1000.0))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<16}  {:>5}  {:>4}  {:>6}  {:>7}  {:>7}  {:>8}  {:>11}  {:>10}  {:>9}  {:>8}\n",
+            name.trim_end_matches(".json"),
+            tasks.len(),
+            verdicts("safe"),
+            verdicts("unsafe"),
+            verdicts("unknown"),
+            opt(int_total(doc, "solver_calls")),
+            opt(int_total(doc, "simplex_calls")),
+            opt(int_total(doc, "simplex_warm_checks")),
+            opt(int_total(doc, "refine_simplex_calls")),
+            opt(int_total(doc, "synth_memo_hits")),
+            wall,
+        ));
+    }
+    out
 }
 
 /// Compares two JSON objects field by field (both directions), recording
@@ -357,6 +491,47 @@ mod tests {
         // A run checked against its own golden projection reports no drift.
         let golden = json::parse(&report.to_golden_json().pretty()).unwrap();
         assert_eq!(report.check_against_golden(&golden), Vec::<String>::new());
+    }
+
+    #[test]
+    fn history_table_orders_points_and_tolerates_old_schemas() {
+        let dir =
+            std::env::temp_dir().join(format!("pathinv-trajectory-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // An old-schema point (no simplex/synth totals) and two newer ones,
+        // written out of order; pr10 must sort after pr9.
+        std::fs::write(
+            dir.join("BENCH_pr10.json"),
+            r#"{"tasks": [{"verdict": "safe"}],
+                "totals": {"solver_calls": 10, "simplex_calls": 20,
+                           "simplex_warm_checks": 30, "refine_simplex_calls": 5,
+                           "synth_memo_hits": 2, "wall_ms": 1500.0}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_pr2.json"),
+            r#"{"tasks": [{"verdict": "unknown"}, {"verdict": "unsafe"}],
+                "totals": {"solver_calls": 99, "wall_ms": 2000.0}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_pr9.json"),
+            r#"{"tasks": [], "totals": {"solver_calls": 50, "wall_ms": 100.0}}"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("not-a-point.json"), "{}").unwrap();
+        let points = collect_history(&dir).unwrap();
+        let names: Vec<&str> = points.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["BENCH_pr2.json", "BENCH_pr9.json", "BENCH_pr10.json"]);
+        let table = render_history(&points);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[2].starts_with("BENCH_pr2"), "{table}");
+        assert!(lines[4].starts_with("BENCH_pr10"), "{table}");
+        // Old schemas render missing counters as placeholders, not zeros.
+        assert!(lines[2].contains('-'), "{table}");
+        assert!(lines[4].contains("1.50 s"), "{table}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

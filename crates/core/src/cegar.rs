@@ -18,6 +18,7 @@
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 use crate::refine::{PathInvariantRefiner, PathPredicateRefiner, Refiner};
+use pathinv_invgen::{synth_stats_snapshot, SynthCounters};
 use pathinv_ir::{ssa, Loc, Path, Program, TransId};
 use pathinv_smt::{stats_snapshot, ContextStats, SmtStats, SolverContext};
 use std::collections::VecDeque;
@@ -170,6 +171,21 @@ pub struct VerifierStats {
     pub engine_nodes: u64,
     /// Frame lemmas learned by PDR-lite; `0` for the other engines.
     pub engine_lemmas: u64,
+    /// LP feasibility systems solved by the invariant-synthesis frontier
+    /// search (witness-replayed and conflict-pruned extensions solve none);
+    /// `0` for engines without synthesis.
+    pub synth_systems_solved: u64,
+    /// Frontier branches (partial solution × multiplier choice) the
+    /// synthesis search considered, including pruned ones.
+    pub synth_branches_explored: u64,
+    /// Synthesis branches skipped without solver work (covered by a learned
+    /// conflict core, or refuted by presolve constant folding).
+    pub synth_branches_pruned: u64,
+    /// Minimal Farkas conflict cores learned from infeasible synthesis
+    /// extensions.
+    pub synth_cores_learned: u64,
+    /// Syntheses replayed from the cross-refinement path-program memo.
+    pub synth_memo_hits: u64,
     /// Wall-clock spent in abstract reachability, in milliseconds.
     pub reach_ms: f64,
     /// Wall-clock spent checking counterexample feasibility, in
@@ -249,6 +265,7 @@ impl Verifier {
         let mut total_nodes = 0usize;
         let mut stats = VerifierStats::default();
         let smt_start = stats_snapshot();
+        let synth_start = synth_stats_snapshot();
         // One memoized abstract-post operator and one feasibility context
         // for the whole CEGAR loop: reachability phases after a refinement
         // step replay the unchanged parts of the previous ART from the
@@ -284,6 +301,7 @@ impl Verifier {
                                 stats: finalize_stats(
                                     stats,
                                     &smt_start,
+                                    &synth_start,
                                     post.stats(),
                                     cex_ctx.stats(),
                                 ),
@@ -313,7 +331,13 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
-                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+                    stats: finalize_stats(
+                        stats,
+                        &smt_start,
+                        &synth_start,
+                        post.stats(),
+                        cex_ctx.stats(),
+                    ),
                 });
             };
             // Counterexample analysis: feasibility of the path formula.
@@ -332,7 +356,13 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
-                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+                    stats: finalize_stats(
+                        stats,
+                        &smt_start,
+                        &synth_start,
+                        post.stats(),
+                        cex_ctx.stats(),
+                    ),
                 });
             }
             if refinement == self.config.max_refinements {
@@ -372,7 +402,13 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
-                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+                    stats: finalize_stats(
+                        stats,
+                        &smt_start,
+                        &synth_start,
+                        post.stats(),
+                        cex_ctx.stats(),
+                    ),
                 });
             }
             if self.config.max_fallback_refinements != 0
@@ -391,7 +427,13 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
-                    stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+                    stats: finalize_stats(
+                        stats,
+                        &smt_start,
+                        &synth_start,
+                        post.stats(),
+                        cex_ctx.stats(),
+                    ),
                 });
             }
         }
@@ -407,7 +449,7 @@ impl Verifier {
             predicates: predicates.len(),
             art_nodes: total_nodes,
             predicate_map: predicates,
-            stats: finalize_stats(stats, &smt_start, post.stats(), cex_ctx.stats()),
+            stats: finalize_stats(stats, &smt_start, &synth_start, post.stats(), cex_ctx.stats()),
         })
     }
 
@@ -491,10 +533,17 @@ fn ms_since(start: Instant) -> f64 {
 fn finalize_stats(
     mut stats: VerifierStats,
     smt_start: &SmtStats,
+    synth_start: &SynthCounters,
     post: PostStats,
     cex: ContextStats,
 ) -> VerifierStats {
     let delta = stats_snapshot().since(smt_start);
+    let synth = synth_stats_snapshot().since(synth_start);
+    stats.synth_systems_solved = synth.systems_solved;
+    stats.synth_branches_explored = synth.branches_explored;
+    stats.synth_branches_pruned = synth.branches_pruned;
+    stats.synth_cores_learned = synth.cores_learned;
+    stats.synth_memo_hits = synth.memo_hits;
     stats.solver_calls = delta.sat_checks;
     stats.simplex_calls = delta.simplex_calls;
     stats.simplex_warm_checks = delta.simplex_warm_checks;

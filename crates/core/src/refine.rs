@@ -13,10 +13,16 @@
 
 use crate::error::{CoreError, CoreResult};
 use crate::pathprog::path_program;
-use pathinv_invgen::{InvgenError, PathInvariantGenerator, SynthConfig, TemplateAttempt};
-use pathinv_ir::{ssa, Action, Formula, Loc, Path, Program, Symbol, Term};
-use pathinv_smt::{sequence_interpolants, LinConstraint, SmtError};
-use std::collections::BTreeMap;
+use pathinv_invgen::{
+    GeneratedInvariants, InvgenError, InvgenResult, PathInvariantGenerator, SynthConfig,
+    TemplateAttempt,
+};
+use pathinv_ir::{
+    ssa, Action, Formula, FormulaId, Loc, Path, Program, SeqId, Symbol, Term, TermId,
+};
+use pathinv_smt::{LinConstraint, SequenceInterpolator, SmtError};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 
 /// New predicates produced by a refinement step, keyed by program location.
 pub type NewPredicates = BTreeMap<Loc, Vec<Formula>>;
@@ -103,6 +109,9 @@ impl PathPredicateRefiner {
         //    as array-blind as the paper describes).  Disequality atoms are
         //    split into their two strict cases; interpolants are computed for
         //    every unsatisfiable combination of cases and their atoms merged.
+        //    Every combination shares the whole group skeleton, so the split
+        //    family runs on one incremental tableau (a checkpointed warm
+        //    re-check per combination) instead of a cold solve each.
         let mut groups: Vec<Vec<LinConstraint<_>>> = Vec::new();
         let mut ne_atoms: Vec<(usize, pathinv_ir::Atom)> = Vec::new();
         for (i, step) in pf.steps.iter().enumerate() {
@@ -123,8 +132,9 @@ impl PathPredicateRefiner {
             }
             groups.push(group);
         }
+        let mut interpolator = SequenceInterpolator::new(groups).map_err(CoreError::from)?;
         for combo in 0..(1usize << ne_atoms.len()) {
-            let mut split_groups = groups.clone();
+            let mut extras = Vec::with_capacity(ne_atoms.len());
             let mut ok = true;
             for (bit, (step, atom)) in ne_atoms.iter().enumerate() {
                 let op = if combo & (1 << bit) == 0 {
@@ -135,7 +145,7 @@ impl PathPredicateRefiner {
                 let strict = pathinv_ir::Atom::new(atom.lhs.clone(), op, atom.rhs.clone());
                 match LinConstraint::from_atom(&strict) {
                     Ok(c) => {
-                        split_groups[*step].push(c.tighten_for_integers().map_err(CoreError::from)?)
+                        extras.push((*step, c.tighten_for_integers().map_err(CoreError::from)?))
                     }
                     Err(_) => ok = false,
                 }
@@ -143,7 +153,7 @@ impl PathPredicateRefiner {
             if !ok {
                 continue;
             }
-            if let Some(itps) = sequence_interpolants(&split_groups).map_err(CoreError::from)? {
+            if let Some(itps) = interpolator.interpolants(&extras).map_err(CoreError::from)? {
                 for (j, itp) in itps.into_iter().enumerate() {
                     let at_step = j + 1;
                     let renamed = pf.unname_at_step(at_step, &itp);
@@ -187,22 +197,72 @@ impl PathPredicateRefiner {
 
 /// The paper's refiner: build the path program, synthesise path invariants,
 /// and track their atoms (propagated through the loop bodies) as predicates.
+///
+/// Synthesis outcomes are memoized *across refinements of one verification
+/// run*, keyed on the interned structure of the path program: a CEGAR run whose refinement repeatedly
+/// generalises counterexamples to the same path program — e.g. successive
+/// unwindings of a loop the template language cannot capture, which produce
+/// the identical path program every time — pays for synthesis once and
+/// replays the outcome in `O(1)` afterwards.  The memo lives in the refiner
+/// instance (one per verification run), so counters stay deterministic
+/// across worker counts; memo replays are counted in
+/// [`pathinv_invgen::SynthCounters::memo_hits`].
 #[derive(Clone, Debug, Default)]
 pub struct PathInvariantRefiner {
     config: Option<SynthConfig>,
+    memo: RefCell<HashMap<SeqId, InvgenResult<GeneratedInvariants>>>,
+}
+
+/// A structural key for a path program, built from PR 4's interning tables:
+/// entry/error locations, the interned variable terms, and per transition
+/// the endpoint locations plus the [`FormulaId`] of its transition relation
+/// (which captures assignments, guards, array writes, and havoc frame
+/// conditions exactly).  Two path programs share a key if and only if they
+/// are the same control-flow graph over the same relations — in which case
+/// invariant synthesis is deterministic and its outcome reusable.
+fn path_program_key(pp: &Program) -> SeqId {
+    let mut ids: Vec<u32> = vec![pp.entry().0, pp.error().0];
+    for v in pp.int_vars() {
+        ids.push(TermId::intern(&Term::var(v)).raw());
+    }
+    ids.push(u32::MAX); // separator: vars above, transitions below
+    for t in pp.transitions() {
+        ids.push(t.from.0);
+        ids.push(t.to.0);
+        ids.push(FormulaId::intern(&t.action.to_relation(pp.vars())).raw());
+    }
+    SeqId::intern(&ids)
 }
 
 impl PathInvariantRefiner {
     /// Creates the path-invariant refiner with the default synthesis
     /// configuration.
     pub fn new() -> PathInvariantRefiner {
-        PathInvariantRefiner { config: None }
+        PathInvariantRefiner::default()
     }
 
     /// Creates the refiner with an explicit synthesis configuration (used by
     /// the ablation benchmarks).
     pub fn with_config(config: SynthConfig) -> PathInvariantRefiner {
-        PathInvariantRefiner { config: Some(config) }
+        PathInvariantRefiner { config: Some(config), memo: RefCell::new(HashMap::new()) }
+    }
+
+    /// Generates invariants for the path program, replaying a memoized
+    /// outcome when the same path program was synthesised earlier in this
+    /// run.
+    fn generate_memoized(&self, pp: &Program) -> InvgenResult<GeneratedInvariants> {
+        let key = path_program_key(pp);
+        if let Some(cached) = self.memo.borrow().get(&key) {
+            pathinv_invgen::stats::record_memo_hit();
+            return cached.clone();
+        }
+        let generator = match &self.config {
+            Some(c) => PathInvariantGenerator::with_config(c.clone()),
+            None => PathInvariantGenerator::new(),
+        };
+        let outcome = generator.generate(pp);
+        self.memo.borrow_mut().insert(key, outcome.clone());
+        outcome
     }
 
     /// Runs the refiner and also returns the template attempts (for the
@@ -213,11 +273,7 @@ impl PathInvariantRefiner {
         path: &Path,
     ) -> CoreResult<(Refinement, Vec<TemplateAttempt>)> {
         let pp = path_program(program, path)?;
-        let generator = match &self.config {
-            Some(c) => PathInvariantGenerator::with_config(c.clone()),
-            None => PathInvariantGenerator::new(),
-        };
-        match generator.generate(&pp.program) {
+        match self.generate_memoized(&pp.program) {
             Ok(generated) if !generated.cutpoint_invariants.is_empty() => {
                 // Map the cut-point invariants back to original locations and
                 // propagate candidate predicates along the path.
@@ -429,6 +485,45 @@ mod tests {
         // Intermediate loop locations receive propagated candidates.
         let l4 = corpus::find_loc(&p, "L4");
         assert!(preds.contains_key(&l4), "propagation must reach L4");
+    }
+
+    #[test]
+    fn repeated_syntheses_of_the_same_path_program_hit_the_memo() {
+        let p = corpus::forward();
+        let path = Path::new(&p, corpus::forward_counterexample(&p)).unwrap();
+        let refiner = PathInvariantRefiner::new();
+        let before = pathinv_invgen::synth_stats_snapshot();
+        let first = refiner.refine(&p, &path).unwrap();
+        let after_first = pathinv_invgen::synth_stats_snapshot().since(&before);
+        assert_eq!(after_first.memo_hits, 0, "first synthesis cannot hit the memo");
+        assert!(after_first.systems_solved > 0, "first synthesis must solve systems");
+        let second = refiner.refine(&p, &path).unwrap();
+        let after_second = pathinv_invgen::synth_stats_snapshot().since(&before);
+        assert_eq!(after_second.memo_hits, 1, "identical path program must replay");
+        assert_eq!(
+            after_second.systems_solved, after_first.systems_solved,
+            "the replay must not re-run the search"
+        );
+        assert_eq!(first.predicates, second.predicates, "replayed outcome must be identical");
+        // A fresh refiner has a fresh memo (per-run determinism).
+        let fresh = PathInvariantRefiner::new();
+        fresh.refine(&p, &path).unwrap();
+        let after_fresh = pathinv_invgen::synth_stats_snapshot().since(&before);
+        assert_eq!(after_fresh.memo_hits, 1, "a new run must not see the old memo");
+    }
+
+    #[test]
+    fn path_program_keys_distinguish_different_programs() {
+        let forward = corpus::forward();
+        let fw_path = Path::new(&forward, corpus::forward_counterexample(&forward)).unwrap();
+        let init = corpus::initcheck();
+        let ic_path = Path::new(&init, corpus::initcheck_counterexample(&init)).unwrap();
+        let pp1 = path_program(&forward, &fw_path).unwrap();
+        let pp2 = path_program(&init, &ic_path).unwrap();
+        assert_ne!(path_program_key(&pp1.program), path_program_key(&pp2.program));
+        // Rebuilding the same path program yields the same key.
+        let pp1b = path_program(&forward, &fw_path).unwrap();
+        assert_eq!(path_program_key(&pp1.program), path_program_key(&pp1b.program));
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //!   quantified array row `∀k: p1(X) ≤ k ≤ p2(X) → a[k] ⋈ p3(X)`.
 //! * [`relation`] — cut points and basic-path relations in constraint form.
 //! * [`synth`] — the Farkas encoding of initiation / consecution / safety and
-//!   the bilinear search that instantiates template parameters.
+//!   the bilinear search that instantiates template parameters, organised as
+//!   a conflict-driven best-first frontier.
+//! * [`mod@presolve`] — Gaussian elimination of equalities, row
+//!   dedup/subsumption, and trivial-conflict detection applied to every
+//!   Farkas system before it reaches the simplex.
+//! * [`stats`] — thread-local synthesis counters (systems solved, branches
+//!   explored/pruned, cores learned, memo hits) for the experiment harness.
 //! * [`heuristics`] — the §5 driver: propose a template, refine it on failure
 //!   (equality → equality + inequality), quantified templates for array
 //!   programs.
@@ -36,7 +42,9 @@ pub mod error;
 pub mod heuristics;
 pub mod intervals;
 pub mod invmap;
+pub mod presolve;
 pub mod relation;
+pub mod stats;
 pub mod synth;
 pub mod template;
 
@@ -44,6 +52,8 @@ pub use error::{InvgenError, InvgenResult};
 pub use heuristics::{GeneratedInvariants, PathInvariantGenerator, TemplateAttempt};
 pub use intervals::{analyze as interval_analyze, Interval, IntervalAnalysis};
 pub use invmap::InvariantMap;
+pub use presolve::{complete_witness, presolve, presolve_tagged, PresolvedSystem};
 pub use relation::{basic_paths, cutset, BasicPath};
+pub use stats::{snapshot as synth_stats_snapshot, SynthCounters};
 pub use synth::{synthesize, SynthConfig, SynthStats, Synthesis};
 pub use template::{ParamId, ParamLin, ParamValuation, RowOp, Template, TemplateMap};

@@ -1,0 +1,382 @@
+//! Presolve for Farkas constraint systems: Gaussian elimination of
+//! equalities, row deduplication/subsumption, and trivial-conflict
+//! detection — all *before* any simplex call.
+//!
+//! The bilinear search of [`synth`](crate::synth) accumulates large systems
+//! of linear constraints over the template parameters and Farkas
+//! multipliers.  Most of those rows are equalities that merely *define* one
+//! unknown in terms of others (per-variable coefficient matching equations),
+//! and many of the rest are duplicates or dominated variants of rows already
+//! present.  Presolve removes all of that with exact rational arithmetic:
+//!
+//! * **Equality elimination** — an equality row `c·x + r = 0` whose pivot
+//!   `x` is eliminable (per the caller's predicate) is removed and `x` is
+//!   substituted by `-r/c` in every other row.  The substitution is recorded
+//!   so witnesses of the reduced system extend to witnesses of the original
+//!   ([`complete_witness`]).
+//! * **Dedup/subsumption** — rows with an identical variable part are
+//!   folded: the tightest inequality wins, an equality absorbs the
+//!   inequalities it implies, and contradictory combinations (two
+//!   equalities with different constants, an equality violating an
+//!   inequality) are reported as a conflict without ever building a
+//!   tableau.
+//! * **Trivial rows** — variable-free rows are evaluated: true ones are
+//!   dropped, false ones are a conflict.
+//!
+//! Presolved systems are *equisatisfiable* with their originals, with
+//! constructive witnesses both ways: a witness of the original satisfies
+//! the reduced rows directly (they are consequences), and a witness of the
+//! reduced rows extends to the original by back-substituting the eliminated
+//! definitions (`tests/presolve_props.rs` proves both directions on random
+//! systems).
+//!
+//! Every row carries a *dependency set* of caller-chosen tags (the search
+//! uses frontier decision positions); substitution and folding union the
+//! tags of every row that contributed, so a downstream conflict can be
+//! attributed to the decisions that produced it (the raw material of the
+//! conflict-driven pruning in [`synth`](crate::synth)).
+
+use crate::error::InvgenResult;
+use pathinv_smt::{ConstrOp, LinConstraint, LinExpr, Rat};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// A sorted, deduplicated set of dependency tags (decision positions in the
+/// synthesis search).
+pub type Deps = Vec<u32>;
+
+/// Unions two dependency sets, keeping the sorted/deduplicated invariant.
+pub fn union_deps(a: &Deps, b: &Deps) -> Deps {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The outcome of presolving a constraint system.
+#[derive(Clone, Debug)]
+pub struct PresolvedSystem<K: Ord + Clone> {
+    /// The surviving rows, in original order, each with the union of the
+    /// dependency tags that produced it.
+    pub rows: Vec<(LinConstraint<K>, Deps)>,
+    /// The eliminated definitions `x := e`, in elimination order.  Later
+    /// definitions never mention earlier-eliminated unknowns, so witnesses
+    /// are completed by back-substituting in *reverse* order
+    /// ([`complete_witness`]).
+    pub eliminated: Vec<(K, LinExpr<K>, Deps)>,
+    /// When presolve already proves the system infeasible (a variable-free
+    /// row that fails, or contradictory same-variable-part rows): the
+    /// dependency tags of the contradiction.  `rows` is unspecified in that
+    /// case.
+    pub conflict: Option<Deps>,
+}
+
+/// Presolves `rows` (each tagged with its dependency set), eliminating only
+/// unknowns accepted by `may_eliminate`.
+///
+/// The search passes a predicate rejecting unknowns that already occur in
+/// its incremental tableau — eliminating those would *weaken* the combined
+/// system, because the rows already pushed keep mentioning them.  Standalone
+/// callers (property tests, the final-system solve) accept everything.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the exact rational arithmetic.
+pub fn presolve_tagged<K: Ord + Clone + Debug>(
+    rows: Vec<(LinConstraint<K>, Deps)>,
+    may_eliminate: &dyn Fn(&K) -> bool,
+) -> InvgenResult<PresolvedSystem<K>> {
+    let mut rows = rows;
+    let mut eliminated: Vec<(K, LinExpr<K>, Deps)> = Vec::new();
+
+    // Phase 1: Gaussian elimination of equalities.  Scan for the first
+    // equality row with an eliminable pivot (the Ord-least such variable —
+    // a documented, deterministic choice), substitute it out everywhere,
+    // and repeat until no equality can be reduced further.
+    loop {
+        let mut pivot: Option<(usize, K)> = None;
+        'scan: for (i, (c, _)) in rows.iter().enumerate() {
+            if c.op != ConstrOp::Eq {
+                continue;
+            }
+            for v in c.expr.vars() {
+                if may_eliminate(&v) {
+                    pivot = Some((i, v));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((i, x)) = pivot else { break };
+        let (row, row_deps) = rows.remove(i);
+        let a = row.expr.coeff(&x);
+        // x := -(row - a·x) / a
+        let rest = row.expr.add(&LinExpr::scaled_var(x.clone(), a.neg()?))?;
+        let def = rest.scale(a.recip()?.neg()?)?;
+        for (c, deps) in &mut rows {
+            let b = c.expr.coeff(&x);
+            if b.is_zero() {
+                continue;
+            }
+            c.expr = c.expr.add(&LinExpr::scaled_var(x.clone(), b.neg()?))?.add(&def.scale(b)?)?;
+            *deps = union_deps(deps, &row_deps);
+        }
+        eliminated.push((x, def, row_deps));
+    }
+
+    // Phase 2: trivial rows, duplicates, and same-variable-part folding.
+    // Rows are grouped by their variable part; within a group the equality
+    // (if any) dominates, inequalities keep only the tightest
+    // representative, and contradictions surface as a presolve conflict.
+    struct Group {
+        eq: Option<(Rat, Deps, usize)>,
+        le: Option<(Rat, Deps, usize)>,
+        lt: Option<(Rat, Deps, usize)>,
+    }
+    let mut groups: BTreeMap<Vec<(K, Rat)>, Group> = BTreeMap::new();
+    let mut conflict: Option<Deps> = None;
+    'fold: for (idx, (c, deps)) in rows.iter().enumerate() {
+        let constant = c.expr.constant_part();
+        if c.expr.is_constant() {
+            let holds = match c.op {
+                ConstrOp::Le => !constant.is_positive(),
+                ConstrOp::Lt => constant.is_negative(),
+                ConstrOp::Eq => constant.is_zero(),
+            };
+            if holds {
+                continue; // trivially true: drop
+            }
+            conflict = Some(deps.clone());
+            break 'fold;
+        }
+        let key: Vec<(K, Rat)> = c.expr.terms().map(|(k, r)| (k.clone(), r)).collect();
+        let group = groups.entry(key).or_insert(Group { eq: None, le: None, lt: None });
+        // A larger constant is a tighter `e + const ⋈ 0` row.
+        let slot = match c.op {
+            ConstrOp::Eq => {
+                if let Some((other, other_deps, _)) = &group.eq {
+                    if *other != constant {
+                        conflict = Some(union_deps(deps, other_deps));
+                        break 'fold;
+                    }
+                    continue; // duplicate equality
+                }
+                &mut group.eq
+            }
+            ConstrOp::Le => &mut group.le,
+            ConstrOp::Lt => &mut group.lt,
+        };
+        match slot {
+            Some((best, _, _)) if *best >= constant => {} // dominated: drop
+            _ => *slot = Some((constant, deps.clone(), idx)),
+        }
+    }
+    if conflict.is_some() {
+        return Ok(PresolvedSystem { rows, eliminated, conflict });
+    }
+
+    let mut keep: Vec<(usize, LinConstraint<K>, Deps)> = Vec::new();
+    for (key, group) in groups {
+        let var_part = || {
+            let mut e = LinExpr::zero();
+            for (k, r) in &key {
+                e = e.add(&LinExpr::scaled_var(k.clone(), *r)).expect("rebuild cannot overflow");
+            }
+            e
+        };
+        if let Some((c_eq, eq_deps, idx)) = group.eq {
+            // The equality pins the variable part to -c_eq; inequalities are
+            // either implied (dropped) or contradictory.
+            for (strict, slot) in [(false, &group.le), (true, &group.lt)] {
+                let Some((c_ineq, ineq_deps, _)) = slot else { continue };
+                let violated = if strict { *c_ineq >= c_eq } else { *c_ineq > c_eq };
+                if violated {
+                    let conflict = union_deps(&eq_deps, ineq_deps);
+                    return Ok(PresolvedSystem { rows, eliminated, conflict: Some(conflict) });
+                }
+            }
+            let mut e = var_part();
+            e.add_constant(c_eq).expect("rebuild cannot overflow");
+            keep.push((idx, LinConstraint::new(e, ConstrOp::Eq), eq_deps));
+            continue;
+        }
+        // Between `e + c_le ≤ 0` and `e + c_lt < 0`, the strict row wins
+        // ties and larger constants; otherwise the non-strict row implies
+        // the strict one.
+        let (le, lt) = (group.le, group.lt);
+        let folded: Vec<(Rat, Deps, usize, ConstrOp)> = match (le, lt) {
+            (Some((cl, dl, il)), Some((cs, ds, is_))) => {
+                if cs >= cl {
+                    vec![(cs, ds, is_, ConstrOp::Lt)]
+                } else {
+                    vec![(cl, dl, il, ConstrOp::Le)]
+                }
+            }
+            (Some((cl, dl, il)), None) => vec![(cl, dl, il, ConstrOp::Le)],
+            (None, Some((cs, ds, is_))) => vec![(cs, ds, is_, ConstrOp::Lt)],
+            (None, None) => vec![],
+        };
+        for (constant, deps, idx, op) in folded {
+            let mut e = var_part();
+            e.add_constant(constant).expect("rebuild cannot overflow");
+            keep.push((idx, LinConstraint::new(e, op), deps));
+        }
+    }
+    keep.sort_by_key(|(idx, _, _)| *idx);
+    let rows = keep.into_iter().map(|(_, c, d)| (c, d)).collect();
+    Ok(PresolvedSystem { rows, eliminated, conflict: None })
+}
+
+/// Presolves an untagged system (row `i` gets dependency tag `i`), allowing
+/// every unknown to be eliminated.  This is the standalone entry point used
+/// by the property tests and the microbenchmarks.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow.
+pub fn presolve<K: Ord + Clone + Debug>(
+    constraints: &[LinConstraint<K>],
+) -> InvgenResult<PresolvedSystem<K>> {
+    let tagged = constraints
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.clone(), vec![i as u32]))
+        .collect::<Vec<_>>();
+    presolve_tagged(tagged, &|_| true)
+}
+
+/// Extends a witness of the reduced rows to a witness of the original
+/// system by back-substituting the eliminated definitions in reverse
+/// elimination order (unknowns absent from the witness read as zero, the
+/// simplex convention for unconstrained variables).
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the evaluations.
+pub fn complete_witness<K: Ord + Clone>(
+    witness: &mut BTreeMap<K, Rat>,
+    eliminated: &[(K, LinExpr<K>, Deps)],
+) -> InvgenResult<()> {
+    for (x, def, _) in eliminated.iter().rev() {
+        let v = def.eval(&|k: &K| witness.get(k).copied().unwrap_or(Rat::ZERO))?;
+        witness.insert(x.clone(), v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: &[(u32, i128)], constant: i128) -> LinConstraint<u32> {
+        row(coeffs, constant, ConstrOp::Le)
+    }
+
+    fn eq(coeffs: &[(u32, i128)], constant: i128) -> LinConstraint<u32> {
+        row(coeffs, constant, ConstrOp::Eq)
+    }
+
+    fn row(coeffs: &[(u32, i128)], constant: i128, op: ConstrOp) -> LinConstraint<u32> {
+        let mut e = LinExpr::constant(Rat::int(constant));
+        for &(v, c) in coeffs {
+            e.add_term(v, Rat::int(c)).unwrap();
+        }
+        LinConstraint::new(e, op)
+    }
+
+    #[test]
+    fn equalities_are_eliminated_and_witnesses_complete() {
+        // x = y + 1, x + y <= 4  presolves to  2y + 1 <= 4-ish (one row).
+        let cs = vec![eq(&[(0, 1), (1, -1)], -1), le(&[(0, 1), (1, 1)], -4)];
+        let p = presolve(&cs).unwrap();
+        assert!(p.conflict.is_none());
+        assert_eq!(p.eliminated.len(), 1);
+        assert_eq!(p.rows.len(), 1);
+        // Solve the reduced row trivially (y = 0) and back-substitute.
+        let mut witness: BTreeMap<u32, Rat> = BTreeMap::new();
+        complete_witness(&mut witness, &p.eliminated).unwrap();
+        for c in &cs {
+            assert!(c.holds(&|v| witness.get(v).copied().unwrap_or(Rat::ZERO)).unwrap(), "{c}");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_dominated_rows_fold() {
+        // x <= 3 (i.e. x - 3 <= 0), x <= 5, x <= 3 again: one row survives,
+        // the tightest.
+        let cs = vec![le(&[(0, 1)], -3), le(&[(0, 1)], -5), le(&[(0, 1)], -3)];
+        let p = presolve(&cs).unwrap();
+        assert!(p.conflict.is_none());
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].0.expr.constant_part(), Rat::int(-3));
+    }
+
+    #[test]
+    fn contradictory_equalities_conflict_without_simplex() {
+        let cs = [eq(&[(0, 1)], -1), eq(&[(0, 1)], -2)];
+        // Block elimination so the same-variable-part fold sees both.
+        let tagged = cs.iter().enumerate().map(|(i, c)| (c.clone(), vec![i as u32])).collect();
+        let p = presolve_tagged::<u32>(tagged, &|_| false).unwrap();
+        assert_eq!(p.conflict, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn equality_violating_inequality_conflicts() {
+        // x = 5 and x <= 4.
+        let cs = [eq(&[(0, 1)], -5), le(&[(0, 1)], -4)];
+        let tagged = cs.iter().enumerate().map(|(i, c)| (c.clone(), vec![i as u32])).collect();
+        let p = presolve_tagged::<u32>(tagged, &|_| false).unwrap();
+        assert_eq!(p.conflict, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn trivially_false_constant_rows_conflict() {
+        // x = 1 eliminates x; 1 <= 0 remains.
+        let cs = vec![eq(&[(0, 1)], -1), le(&[(0, 1)], -1 + 2)];
+        let p = presolve(&cs).unwrap();
+        assert_eq!(p.conflict, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn elimination_respects_the_predicate() {
+        let cs = [eq(&[(0, 1), (1, -1)], 0), le(&[(0, 1)], -2)];
+        let tagged: Vec<_> =
+            cs.iter().enumerate().map(|(i, c)| (c.clone(), vec![i as u32])).collect();
+        // Variable 0 is off-limits; variable 1 is eliminated instead.
+        let p = presolve_tagged::<u32>(tagged, &|v| *v == 1).unwrap();
+        assert_eq!(p.eliminated.len(), 1);
+        assert_eq!(p.eliminated[0].0, 1);
+    }
+
+    #[test]
+    fn deps_union_through_substitution() {
+        // Row 0 defines x; row 1 uses x; the surviving row carries both tags.
+        let cs = vec![eq(&[(0, 1), (1, -2)], 0), le(&[(0, 1), (1, 1)], -6)];
+        let p = presolve(&cs).unwrap();
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn union_deps_merges_sorted_sets() {
+        assert_eq!(union_deps(&vec![1, 3, 5], &vec![2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union_deps(&vec![], &vec![4]), vec![4]);
+    }
+}

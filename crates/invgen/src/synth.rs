@@ -13,9 +13,26 @@
 //! bilinearity is resolved by enumerating the multipliers of template rows
 //! over a small candidate set (they are small integers in every published
 //! example) while the multipliers of concrete rows and the template
-//! parameters themselves stay as exact-rational LP unknowns.  The enumeration
-//! is organised as a frontier search over the conditions, pruning multiplier
-//! choices that make the accumulated LP infeasible.
+//! parameters themselves stay as exact-rational LP unknowns.
+//!
+//! The enumeration is organised as a *conflict-driven, presolved, best-first*
+//! frontier search over the conditions (DESIGN.md §10):
+//!
+//! * every candidate row batch is [presolved](mod@crate::presolve) before it
+//!   touches a tableau — concrete-row multipliers are Gaussian-eliminated
+//!   out of the per-implication encodings once, parameter equalities are
+//!   eliminated out of the accumulated system per branch, duplicate and
+//!   dominated rows are dropped, and contradictions detected by constant
+//!   folding never reach the simplex at all;
+//! * infeasible extensions yield a *minimal Farkas conflict* (an IIS from
+//!   [`IncrementalSimplex::minimal_infeasible_subsystem`]) which is mapped
+//!   back to the multiplier decisions that produced its rows; every future
+//!   branch whose decision set contains a learned conflict core is skipped
+//!   without solver work;
+//! * candidate extensions are processed best-first — fewest non-zero
+//!   multipliers first, under a documented deterministic total order
+//!   (`multiplier_choices`) — so the surviving frontier holds the least
+//!   surprising Farkas proofs regardless of how many branches were pruned.
 //!
 //! Universally quantified array rows are reduced to scalar implications
 //! exactly as in §4.2: a fresh index `k*`, a case split on whether the read
@@ -23,14 +40,16 @@
 //! condition (8) with array reads replaced by fresh variables.
 
 use crate::error::{InvgenError, InvgenResult};
+use crate::presolve::{complete_witness, presolve_tagged, union_deps, Deps};
 use crate::relation::{basic_paths, BasicPath, RelationCase};
+use crate::stats;
 use crate::template::{ParamId, ParamLin, ParamValuation, RowOp, Template, TemplateMap};
 use pathinv_ir::{Formula, Loc, Program, RelOp, Symbol, VarRef};
-use pathinv_smt::{ConstrOp, IncrementalSimplex, LinConstraint, LinExpr, LpResult, Rat};
-use std::collections::BTreeMap;
+use pathinv_smt::{ConstrOp, IncrementalSimplex, LinConstraint, LinExpr, Rat};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Unknowns of the generated linear constraint system.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Unknown {
     /// A template parameter.
     Param(ParamId),
@@ -98,6 +117,16 @@ pub struct SynthConfig {
     /// Maximum number of feasible extensions kept per partial solution and
     /// condition.
     pub max_options_per_step: usize,
+    /// Whether constraint batches are presolved (multiplier/parameter
+    /// equality elimination, dedup/subsumption, constant-folding conflicts)
+    /// before reaching the simplex.  On by default; off is the raw-system
+    /// ablation baseline used by the `synth_frontier` microbenchmark.
+    pub presolve: bool,
+    /// Whether infeasible extensions learn minimal Farkas conflict cores
+    /// that prune every later branch containing them.  On by default; off
+    /// is the purely enumerative frontier of the pre-conflict-driven
+    /// pipeline.
+    pub conflict_driven: bool,
 }
 
 impl Default for SynthConfig {
@@ -105,8 +134,14 @@ impl Default for SynthConfig {
         SynthConfig {
             ineq_multipliers: vec![Rat::ZERO, Rat::ONE, Rat::int(2)],
             eq_multipliers: vec![Rat::MINUS_ONE, Rat::ZERO, Rat::ONE],
-            max_frontier: 12,
+            // A 24-wide beam is what the INITCHECK-family path programs
+            // need to keep the generalising branch alive past the loop-exit
+            // range conditions; conflict-driven pruning makes the wider
+            // beam cheaper than the old 12-wide enumerative one.
+            max_frontier: 24,
             max_options_per_step: 6,
+            presolve: true,
+            conflict_driven: true,
         }
     }
 }
@@ -116,23 +151,49 @@ impl Default for SynthConfig {
 pub struct SynthStats {
     /// Number of verification conditions (implications) generated.
     pub implications: usize,
-    /// Number of LP feasibility checks performed.
+    /// Number of LP feasibility checks performed (witness-satisfied and
+    /// conflict-pruned extensions cost none).
     pub lp_calls: usize,
     /// Number of multiplier choices explored.
     pub choices_explored: usize,
+    /// Branches skipped without solver work: covered by a learned conflict
+    /// core, or refuted by presolve constant folding alone.
+    pub branches_pruned: usize,
+    /// Minimal Farkas conflict cores learned from infeasible extensions.
+    pub cores_learned: usize,
 }
 
-/// One partial solution of the frontier search: the accumulated constraint
-/// system, the live incremental tableau over it (the warm-start state for
-/// every extension), and the witness model of its last real feasibility
-/// check (empty before the first; unknowns absent from the witness read as
-/// zero).
+/// One partial solution of the frontier search: the multiplier decisions
+/// taken so far, the live incremental tableau over the accumulated
+/// (presolved) system, the witness model of its last real feasibility check
+/// (empty before the first; unknowns absent from the witness read as zero),
+/// and the presolve bookkeeping — eliminated definitions for witness
+/// completion, the per-pushed-row decision dependencies for conflict-core
+/// mapping, and the row/variable sets already in the tableau for cross-batch
+/// dedup and elimination safety.
 #[derive(Clone, Debug, Default)]
 struct FrontierEntry {
-    constraints: Vec<LinConstraint<Unknown>>,
+    /// Option index chosen per implication, in implication order.
+    decisions: Vec<u32>,
     tableau: IncrementalSimplex<Unknown>,
     witness: BTreeMap<Unknown, Rat>,
+    /// Eliminated definitions `x := e` in elimination order (branch-level
+    /// parameter eliminations; per-option multiplier eliminations never
+    /// resurface and are not recorded).
+    subst: Vec<(Unknown, LinExpr<Unknown>, Deps)>,
+    /// Decision dependencies of each pushed tableau row, in push order.
+    row_deps: Vec<Deps>,
+    /// Rows already pushed (cross-batch duplicates are skipped).
+    seen_rows: HashSet<LinConstraint<Unknown>>,
+    /// Unknowns already appearing in pushed rows (they must never be
+    /// eliminated: the pushed rows would keep referencing them).
+    seen_vars: BTreeSet<Unknown>,
 }
+
+/// A learned conflict core: a set of `(implication position, option index)`
+/// decisions that is jointly infeasible.  Any branch whose decision set
+/// contains every pair is skipped without solver work.
+type ConflictCore = Vec<(u32, u32)>;
 
 /// Result of a successful synthesis.
 #[derive(Clone, Debug)]
@@ -171,68 +232,176 @@ pub fn synthesize(
     let mut stats = SynthStats { implications: implications.len(), ..Default::default() };
 
     // Each frontier entry carries a live incremental tableau over its
-    // accumulated system and the witness of its last real feasibility
-    // check.  An extension first evaluates the new rows under the witness
-    // (absent unknowns read as zero, matching the simplex convention for
-    // unconstrained variables): a witness that already satisfies them
-    // proves the extension feasible with no simplex work at all.
-    // Otherwise the parent tableau is cloned, the new rows are pushed, and
-    // the system is re-checked *warm* from the feasible assignment of the
-    // shared prefix — the option rows are the only thing the simplex has
-    // to repair, instead of re-solving the whole accumulated system cold
-    // per option.  Feasibility decisions — and therefore the frontier
-    // contents, the synthesised invariants, and every downstream verdict —
-    // are identical to cold-solving every extension.
+    // accumulated (presolved) system and the witness of its last real
+    // feasibility check.  Extensions are processed best-first (fewest
+    // non-zero multipliers, then the documented deterministic order) and
+    // pass through three filters before any simplex work:
+    //
+    // 1. *conflict cores* — a branch whose decision set contains a learned
+    //    core is infeasible by an already-extracted minimal Farkas
+    //    conflict;
+    // 2. *presolve* — the option rows, rewritten through the branch's
+    //    eliminated definitions, are reduced (equality elimination,
+    //    dedup/subsumption against the batch and the tableau,
+    //    constant-folding refutation);
+    // 3. *witness replay* — a parent witness that already satisfies the
+    //    reduced rows proves the extension feasible outright (eliminated
+    //    unknowns extend the witness by their definitions, so reduced-row
+    //    satisfaction is equivalent to raw-row satisfaction).
+    //
+    // Only extensions surviving all three reach the warm incremental
+    // re-check, and an infeasible re-check pays for itself by learning the
+    // conflict core that prunes the rest of its subtree.
     let mut frontier: Vec<FrontierEntry> = vec![FrontierEntry::default()];
+    let mut learned: Vec<ConflictCore> = Vec::new();
     for (idx, imp) in implications.iter().enumerate() {
         let options = encode_options(imp, idx as u32, config)?;
-        let mut next: Vec<FrontierEntry> = Vec::new();
-        for acc in &frontier {
-            let mut kept = 0;
-            for opt in &options {
-                if kept >= config.max_options_per_step {
-                    break;
-                }
-                stats.choices_explored += 1;
-                let witness_holds = {
-                    let lookup = |u: &Unknown| acc.witness.get(u).copied().unwrap_or(Rat::ZERO);
-                    let mut all = true;
-                    for c in opt {
-                        if !c.holds(&lookup)? {
-                            all = false;
-                            break;
-                        }
-                    }
-                    all
-                };
-                let mut combined = acc.constraints.clone();
-                combined.extend(opt.iter().cloned());
-                if witness_holds {
-                    let mut tableau = acc.tableau.clone();
-                    for c in opt {
-                        tableau.push_constraint(c)?;
-                    }
-                    next.push(FrontierEntry {
-                        constraints: combined,
-                        tableau,
-                        witness: acc.witness.clone(),
-                    });
-                    kept += 1;
-                    continue;
-                }
-                stats.lp_calls += 1;
-                let mut tableau = acc.tableau.clone();
-                for c in opt {
-                    tableau.push_constraint(c)?;
-                }
-                if tableau.check()? {
-                    let witness = tableau.model()?;
-                    next.push(FrontierEntry { constraints: combined, tableau, witness });
-                    kept += 1;
-                }
+        let pos = idx as u32;
+
+        // Best-first candidate order across the whole frontier: simplest
+        // option first, then parent order, then option order.  The sort is
+        // stable and every key component is deterministic.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for parent in 0..frontier.len() {
+            for opt in 0..options.len() {
+                candidates.push((parent, opt));
             }
+        }
+        candidates.sort_by_key(|&(parent, opt)| (options[opt].score, parent, opt));
+
+        let mut next: Vec<FrontierEntry> = Vec::new();
+        let mut kept_per_parent = vec![0usize; frontier.len()];
+        for (parent, opt_idx) in candidates {
             if next.len() >= config.max_frontier {
                 break;
+            }
+            if kept_per_parent[parent] >= config.max_options_per_step {
+                continue;
+            }
+            let acc = &frontier[parent];
+            let option = &options[opt_idx];
+            stats.choices_explored += 1;
+            stats::record_branch_explored();
+
+            // Filter 1: learned conflict cores.
+            if config.conflict_driven {
+                let covered = |core: &ConflictCore| {
+                    core.iter().all(|&(p, o)| {
+                        if p == pos {
+                            o == opt_idx as u32
+                        } else {
+                            acc.decisions.get(p as usize) == Some(&o)
+                        }
+                    })
+                };
+                if learned.iter().any(covered) {
+                    stats.branches_pruned += 1;
+                    stats::record_branch_pruned();
+                    continue;
+                }
+            }
+
+            // Rewrite the option rows through the branch's eliminated
+            // definitions (in creation order; later definitions never
+            // mention earlier-eliminated unknowns).
+            let mut rows: Vec<(LinConstraint<Unknown>, Deps)> =
+                option.rows.iter().map(|c| (c.clone(), vec![pos])).collect();
+            for (x, def, def_deps) in &acc.subst {
+                for (c, deps) in &mut rows {
+                    let b = c.expr.coeff(x);
+                    if b.is_zero() {
+                        continue;
+                    }
+                    c.expr = c
+                        .expr
+                        .add(&LinExpr::scaled_var(*x, b.neg().map_err(InvgenError::from)?))?
+                        .add(&def.scale(b)?)?;
+                    *deps = union_deps(deps, def_deps);
+                }
+            }
+
+            // Filter 2: presolve the batch (eliminating only unknowns the
+            // tableau has never seen — eliminating a live column would
+            // weaken the pushed rows).
+            let mut new_elims: Vec<(Unknown, LinExpr<Unknown>, Deps)> = Vec::new();
+            if config.presolve {
+                let presolved = presolve_tagged(rows, &|u| !acc.seen_vars.contains(u))?;
+                if let Some(conflict_deps) = presolved.conflict {
+                    // Refuted by constant folding alone: learn the core and
+                    // move on without touching a tableau.
+                    stats.branches_pruned += 1;
+                    stats::record_branch_pruned();
+                    if config.conflict_driven {
+                        learn_core(
+                            &mut learned,
+                            &mut stats,
+                            &conflict_deps,
+                            &acc.decisions,
+                            pos,
+                            opt_idx as u32,
+                        );
+                    }
+                    continue;
+                }
+                rows = presolved.rows;
+                new_elims = presolved.eliminated;
+                // Cross-batch dedup: rows already in the tableau are
+                // already enforced.
+                rows.retain(|(c, _)| !acc.seen_rows.contains(c));
+            }
+
+            // Filter 3: witness replay on the reduced rows.
+            let witness_holds = {
+                let lookup = |u: &Unknown| acc.witness.get(u).copied().unwrap_or(Rat::ZERO);
+                let mut all = true;
+                for (c, _) in &rows {
+                    if !c.holds(&lookup)? {
+                        all = false;
+                        break;
+                    }
+                }
+                all
+            };
+
+            let mut child = acc.clone();
+            child.decisions.push(opt_idx as u32);
+            child.subst.extend(new_elims);
+            for (c, deps) in &rows {
+                child.tableau.push_constraint(c)?;
+                child.row_deps.push(deps.clone());
+                child.seen_rows.insert(c.clone());
+                for v in c.expr.vars() {
+                    child.seen_vars.insert(v);
+                }
+            }
+            if witness_holds {
+                next.push(child);
+                kept_per_parent[parent] += 1;
+                continue;
+            }
+            stats.lp_calls += 1;
+            stats::record_system_solved();
+            if child.tableau.check()? {
+                child.witness = child.tableau.model()?;
+                next.push(child);
+                kept_per_parent[parent] += 1;
+            } else if config.conflict_driven {
+                // Shrink the conflict to an irreducible infeasible
+                // subsystem and map its rows back to the decisions that
+                // produced them.
+                let core_rows = child.tableau.minimal_infeasible_subsystem()?;
+                let mut core_deps: Deps = Vec::new();
+                for i in core_rows {
+                    core_deps = union_deps(&core_deps, &child.row_deps[i]);
+                }
+                learn_core(
+                    &mut learned,
+                    &mut stats,
+                    &core_deps,
+                    &acc.decisions,
+                    pos,
+                    opt_idx as u32,
+                );
             }
         }
         if next.is_empty() {
@@ -241,71 +410,258 @@ pub fn synthesize(
                 imp.label
             )));
         }
-        next.truncate(config.max_frontier);
         frontier = next;
     }
 
-    // Extract a model from the surviving partial solutions.  A solution may
-    // instantiate an array-bound expression with a fractional coefficient
-    // (the LP works over the rationals); such entries are skipped in favour
-    // of the next surviving entry.
+    // Extract a model from the surviving partial solutions.  Every entry is
+    // feasible and carries a witness of its reduced system; completing it
+    // through the eliminated definitions yields a witness of the full
+    // accumulated Farkas system — normally no further solving is needed.  A
+    // witness may still instantiate an array-bound expression with a
+    // fractional coefficient (the LP works over the rationals); the first
+    // such entry retries once with a cold solve of its full system (a fresh
+    // Bland-rule model often lands on integral vertices the warm witness
+    // missed).  Later entries skip the retry: their systems differ from the
+    // first by a few multiplier choices, so a fresh model is fractional for
+    // the same reason, and one cold call per synthesis keeps the
+    // refine-phase cold-simplex budget flat.
     let mut last_error: Option<InvgenError> = None;
-    for entry in frontier {
-        let constraints = entry.constraints;
-        let valuation = match pathinv_smt::lra_solve(&constraints)? {
-            LpResult::Sat(model) => model
-                .into_iter()
-                .filter_map(|(u, r)| match u {
-                    Unknown::Param(p) => Some((p, r)),
-                    Unknown::Mu { .. } => None,
-                })
-                .collect::<ParamValuation>(),
-            LpResult::Unsat(_) => continue,
-        };
-        match templates.instantiate(&valuation) {
-            Ok(invariants) => return Ok(Synthesis { invariants, valuation, stats }),
+    let mut retried = false;
+    let growth_params = templates.array_bound_growth_params();
+    for mut entry in frontier {
+        strengthen_array_bounds(&mut entry, &growth_params, &mut stats)?;
+        let mut completed = entry.witness.clone();
+        complete_witness(&mut completed, &entry.subst)?;
+        match instantiate_from(templates, completed) {
+            Ok(result) => {
+                return Ok(Synthesis { invariants: result.0, valuation: result.1, stats })
+            }
             Err(e) => last_error = Some(e),
         }
+        if retried {
+            continue;
+        }
+        retried = true;
+        // Cold retry on the reconstructed full system: the pushed rows plus
+        // the eliminated definitions as equality rows.
+        let mut system = entry.tableau.active_constraints();
+        for (x, def, _) in &entry.subst {
+            let expr = LinExpr::var(*x).sub(def)?;
+            system.push(LinConstraint::new(expr, ConstrOp::Eq));
+        }
+        if let pathinv_smt::LpResult::Sat(model) = pathinv_smt::lra_solve(&system)? {
+            match instantiate_from(templates, model) {
+                Ok(result) => {
+                    return Ok(Synthesis { invariants: result.0, valuation: result.1, stats })
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
     }
-    Err(last_error.unwrap_or_else(|| {
-        InvgenError::no_invariant("every surviving frontier entry became infeasible")
-    }))
+    Err(match last_error {
+        // Every surviving entry instantiated fractionally: within these
+        // multiplier bounds there is no template-expressible invariant
+        // (the rational relaxation admits solutions the integer-indexed
+        // array quantifier cannot express).
+        Some(e) => InvgenError::no_invariant(format!(
+            "no surviving frontier entry instantiates to a template invariant ({e})"
+        )),
+        None => InvgenError::no_invariant("every surviving frontier entry became infeasible"),
+    })
+}
+
+/// Biases a surviving entry's witness toward *growing* array ranges: for
+/// each upper-bound coefficient parameter of a quantified template row, the
+/// constraint `p ≥ 1` is tentatively pushed (rewritten through the branch's
+/// eliminated definitions) and kept when the system stays feasible — a
+/// checkpointed warm re-check per parameter, no cold solving.
+///
+/// Every witness of the strengthened system is still a witness of the
+/// original, so soundness is untouched; the bias only selects, among the
+/// valid invariant maps, one whose quantified range tracks a program
+/// variable (the §5 shape `0 ≤ k ≤ i-1`) over a degenerate constant range
+/// that would force another round of loop unrolling downstream.
+fn strengthen_array_bounds(
+    entry: &mut FrontierEntry,
+    growth_params: &[ParamId],
+    stats: &mut SynthStats,
+) -> InvgenResult<()> {
+    for p in growth_params {
+        let u = Unknown::Param(*p);
+        // Rewrite the parameter through the branch's eliminated
+        // definitions (in creation order, as everywhere else).
+        let mut expr = LinExpr::var(u);
+        for (x, def, _) in &entry.subst {
+            let b = expr.coeff(x);
+            if b.is_zero() {
+                continue;
+            }
+            expr = expr
+                .add(&LinExpr::scaled_var(*x, b.neg().map_err(InvgenError::from)?))?
+                .add(&def.scale(b)?)?;
+        }
+        // p ≥ 1, normalised as 1 - p ≤ 0.
+        let row = LinExpr::constant(Rat::ONE).sub(&expr)?;
+        let checkpoint = entry.tableau.checkpoint();
+        entry.tableau.push_constraint(&LinConstraint::new(row, ConstrOp::Le))?;
+        stats.lp_calls += 1;
+        stats::record_system_solved();
+        if entry.tableau.check()? {
+            entry.witness = entry.tableau.model()?;
+        } else {
+            entry.tableau.pop_to(checkpoint)?;
+        }
+    }
+    Ok(())
+}
+
+/// Filters a witness down to the template parameters and instantiates the
+/// template map under it.
+fn instantiate_from(
+    templates: &TemplateMap,
+    witness: BTreeMap<Unknown, Rat>,
+) -> InvgenResult<(BTreeMap<Loc, Formula>, ParamValuation)> {
+    let valuation = witness
+        .into_iter()
+        .filter_map(|(u, r)| match u {
+            Unknown::Param(p) => Some((p, r)),
+            Unknown::Mu { .. } => None,
+        })
+        .collect::<ParamValuation>();
+    let invariants = templates.instantiate(&valuation)?;
+    Ok((invariants, valuation))
+}
+
+/// Records a conflict core (decision positions → the options chosen there),
+/// deduplicating against already-learned cores.
+fn learn_core(
+    learned: &mut Vec<ConflictCore>,
+    stats: &mut SynthStats,
+    core_deps: &Deps,
+    decisions: &[u32],
+    pos: u32,
+    opt: u32,
+) {
+    let core: ConflictCore = core_deps
+        .iter()
+        .map(|&p| (p, if p == pos { opt } else { decisions[p as usize] }))
+        .collect();
+    if !learned.contains(&core) {
+        learned.push(core);
+        stats.cores_learned += 1;
+        stats::record_core_learned();
+    }
+}
+
+/// One candidate extension of an implication: the (possibly presolved) rows
+/// to push, and the best-first score (non-zero multiplier count of the
+/// generating choice).
+struct EncodedOption {
+    rows: Vec<LinConstraint<Unknown>>,
+    score: usize,
 }
 
 /// Generates the Farkas option encodings (variant × multiplier choice) for an
 /// implication.
+///
+/// With presolve enabled, each option's rows are reduced once here, shared
+/// by every branch that considers the option: the implication's concrete-row
+/// multipliers occur nowhere else in the accumulated system, so their
+/// defining equalities are Gaussian-eliminated context-free.  Options whose
+/// reduced system is already contradictory, and options whose reduced rows
+/// duplicate an earlier option's, are dropped outright.
 fn encode_options(
     imp: &Implication,
     index: u32,
     config: &SynthConfig,
-) -> InvgenResult<Vec<Vec<LinConstraint<Unknown>>>> {
+) -> InvgenResult<Vec<EncodedOption>> {
     let lambda_choices = multiplier_choices(&imp.parametric, config);
-    let mut out = Vec::new();
+    let mut out: Vec<EncodedOption> = Vec::new();
+    let mut seen: HashSet<Vec<LinConstraint<Unknown>>> = HashSet::new();
     for lambda in &lambda_choices {
+        let score = lambda.iter().filter(|c| !c.is_zero()).count();
+        let mut variants = Vec::new();
         match &imp.consequent {
             Consequent::Row(expr) => {
-                out.push(encode_implication(imp, index, lambda, Some(expr))?);
-                out.push(encode_implication(imp, index, lambda, None)?);
+                variants.push(encode_implication(imp, index, lambda, Some(expr))?);
+                variants.push(encode_implication(imp, index, lambda, None)?);
             }
             Consequent::False => {
-                out.push(encode_implication(imp, index, lambda, None)?);
+                variants.push(encode_implication(imp, index, lambda, None)?);
             }
+        }
+        for rows in variants {
+            let rows = if config.presolve {
+                let tagged = rows.into_iter().map(|c| (c, vec![index])).collect();
+                let presolved = presolve_tagged(tagged, &|u| matches!(u, Unknown::Mu { .. }))?;
+                if presolved.conflict.is_some() {
+                    // Self-contradictory under this multiplier choice: the
+                    // option can never extend any branch.
+                    continue;
+                }
+                presolved.rows.into_iter().map(|(c, _)| c).collect::<Vec<_>>()
+            } else {
+                rows
+            };
+            if config.presolve && !seen.insert(rows.clone()) {
+                // Distinct multiplier choices frequently reduce to the same
+                // row set; later (higher-score) duplicates add nothing.
+                continue;
+            }
+            out.push(EncodedOption { rows, score });
         }
     }
     Ok(out)
 }
 
-/// Enumerates candidate multiplier vectors for the parametric rows.
+/// Enumerates candidate multiplier vectors for the parametric rows, in the
+/// documented total order, with symmetric and dominated choices pruned.
+///
+/// **Order** (fully deterministic, independent of platform and worker
+/// count): ascending by the number of non-zero multipliers, ties broken
+/// lexicographically by each row's *candidate index* (its position in
+/// `ineq_multipliers`/`eq_multipliers`), rows compared left to right.
+/// Best-first traversal of the frontier relies on this order being total.
+///
+/// **Pruning** (choices removed without losing any satisfiable encoding):
+///
+/// * *symmetric rows* — when rows `i < j` are identical (same parametric
+///   expression and operator), swapping their multipliers produces the
+///   same encoded system; only choices with candidate index non-decreasing
+///   across each identical-row group are kept;
+/// * *dominated (zero) rows* — a row whose expression is identically zero
+///   contributes `λ·0` for any `λ`; it is pinned to its first candidate.
 fn multiplier_choices(rows: &[ParamRow], config: &SynthConfig) -> Vec<Vec<Rat>> {
-    let mut choices: Vec<Vec<Rat>> = vec![Vec::new()];
-    for row in rows {
+    // First identical row (the group leader) per row, if any.
+    let leader: Vec<Option<usize>> = rows
+        .iter()
+        .enumerate()
+        .map(|(j, r)| rows[..j].iter().position(|r2| r2.op == r.op && r2.expr == r.expr))
+        .collect();
+    let is_zero = |e: &ParamLin| {
+        e.constant.is_constant()
+            && e.constant.constant_part().is_zero()
+            && e.coeffs.values().all(|c| c.is_constant() && c.constant_part().is_zero())
+    };
+    // Enumerate candidate-index vectors.
+    let mut choices: Vec<Vec<usize>> = vec![Vec::new()];
+    for (j, row) in rows.iter().enumerate() {
         let candidates = match row.op {
             RowOp::Le => &config.ineq_multipliers,
             RowOp::Eq => &config.eq_multipliers,
         };
         let mut next = Vec::with_capacity(choices.len() * candidates.len());
         for prefix in &choices {
-            for &c in candidates {
+            let range = if is_zero(&row.expr) {
+                // Pin to a zero candidate when one exists (any multiplier
+                // of a zero row encodes identically), else the first.
+                let pin = candidates.iter().position(|c| c.is_zero()).unwrap_or(0);
+                pin..(pin + 1).min(candidates.len())
+            } else {
+                let min = leader[j].map(|i| prefix[i]).unwrap_or(0);
+                min..candidates.len()
+            };
+            for c in range {
                 let mut v = prefix.clone();
                 v.push(c);
                 next.push(v);
@@ -313,10 +669,15 @@ fn multiplier_choices(rows: &[ParamRow], config: &SynthConfig) -> Vec<Vec<Rat>> 
         }
         choices = next;
     }
-    // Prefer "simple" choices (mostly zeros) first so that the search keeps
-    // the least surprising Farkas proofs.
-    choices.sort_by_key(|v| v.iter().filter(|c| !c.is_zero()).count());
-    choices
+    let value = |j: usize, c: usize| match rows[j].op {
+        RowOp::Le => config.ineq_multipliers[c],
+        RowOp::Eq => config.eq_multipliers[c],
+    };
+    choices.sort_by_key(|v| {
+        let nonzeros = v.iter().enumerate().filter(|&(j, &c)| !value(j, c).is_zero()).count();
+        (nonzeros, v.clone())
+    });
+    choices.into_iter().map(|v| v.iter().enumerate().map(|(j, &c)| value(j, c)).collect()).collect()
 }
 
 /// Encodes one implication under a fixed multiplier choice.
@@ -858,15 +1219,143 @@ mod tests {
         assert!(err.is_err(), "the buggy INITCHECK variant must not admit a safe invariant map");
     }
 
+    fn param_row(p: u32, op: RowOp) -> ParamRow {
+        let mut expr = ParamLin::zero();
+        expr.add_param_coeff(VarRef::cur(Symbol::intern("x")), crate::template::ParamId(p))
+            .unwrap();
+        ParamRow { expr, op }
+    }
+
     #[test]
-    fn multiplier_choice_ordering_prefers_zeros() {
+    fn multiplier_choices_follow_the_documented_total_order() {
+        // Distinct rows, no pruning: the order is (non-zero count
+        // ascending, then lexicographic by candidate index).  For one Le
+        // row (candidates 0, 1, 2) and one Eq row (candidates -1, 0, 1):
+        let config = SynthConfig::default();
+        let rows = vec![param_row(0, RowOp::Le), param_row(1, RowOp::Eq)];
+        let choices = multiplier_choices(&rows, &config);
+        assert_eq!(choices.len(), 9);
+        // All-zero first, then one non-zero in index order, then two.
+        assert_eq!(choices[0], vec![Rat::ZERO, Rat::ZERO]);
+        let nonzeros = |v: &Vec<Rat>| v.iter().filter(|c| !c.is_zero()).count();
+        for pair in choices.windows(2) {
+            assert!(
+                nonzeros(&pair[0]) <= nonzeros(&pair[1]),
+                "non-zero counts must be non-decreasing: {choices:?}"
+            );
+        }
+        // The full order is reproducible run to run (total order, no
+        // platform dependence): spot-check the head.
+        assert_eq!(choices[1], vec![Rat::ZERO, Rat::MINUS_ONE]);
+        assert_eq!(choices[2], vec![Rat::ZERO, Rat::ONE]);
+        assert_eq!(choices[3], vec![Rat::ONE, Rat::ZERO]);
+    }
+
+    #[test]
+    fn identical_rows_are_symmetry_pruned() {
+        // Two identical Le rows: only index-non-decreasing choices survive
+        // (6 of the raw 9), and the encoded systems lose nothing — every
+        // pruned choice is a permutation of a kept one.
+        let config = SynthConfig::default();
+        let rows = vec![param_row(0, RowOp::Le), param_row(0, RowOp::Le)];
+        let choices = multiplier_choices(&rows, &config);
+        assert_eq!(choices.len(), 6, "{choices:?}");
+        let idx_of = |r: &Rat| config.ineq_multipliers.iter().position(|c| c == r).unwrap();
+        for v in &choices {
+            assert!(idx_of(&v[0]) <= idx_of(&v[1]), "not canonical: {v:?}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_are_pinned() {
         let config = SynthConfig::default();
         let rows = vec![
             ParamRow { expr: ParamLin::zero(), op: RowOp::Le },
             ParamRow { expr: ParamLin::zero(), op: RowOp::Eq },
         ];
         let choices = multiplier_choices(&rows, &config);
-        assert_eq!(choices[0], vec![Rat::ZERO, Rat::ZERO]);
-        assert_eq!(choices.len(), 9);
+        assert_eq!(choices, vec![vec![Rat::ZERO, Rat::ZERO]]);
+    }
+
+    #[test]
+    fn ablation_flags_reproduce_the_same_invariants_workload() {
+        // Presolve and conflict-driven pruning change how much work the
+        // search does, never whether it succeeds: FORWARD synthesises an
+        // invariant under every flag combination, and the buggy variant
+        // fails under every combination.
+        let p = corpus::forward();
+        let l1 = corpus::find_loc(&p, "L1");
+        for (presolve, conflict_driven) in
+            [(true, true), (true, false), (false, true), (false, false)]
+        {
+            let config = SynthConfig { presolve, conflict_driven, ..SynthConfig::default() };
+            let mut templates = TemplateMap::new();
+            let vars = [
+                Symbol::intern("i"),
+                Symbol::intern("n"),
+                Symbol::intern("a"),
+                Symbol::intern("b"),
+            ];
+            templates.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
+            templates.add_scalar_row(l1, &vars, RowOp::Le).unwrap();
+            let result = synthesize(&p, &templates, &config)
+                .unwrap_or_else(|e| panic!("presolve={presolve} cdcl={conflict_driven}: {e}"));
+            let inv = &result.invariants[&l1];
+            let solver = pathinv_smt::Solver::new();
+            let claim = Formula::eq(
+                pathinv_ir::Term::var("a").add(pathinv_ir::Term::var("b")),
+                pathinv_ir::Term::int(3).mul(pathinv_ir::Term::var("i")),
+            );
+            assert!(
+                solver.entails(inv, &claim).unwrap(),
+                "presolve={presolve} cdcl={conflict_driven}: invariant {inv} too weak"
+            );
+        }
+        let buggy = corpus::buggy_initcheck();
+        let l1 = corpus::find_loc(&buggy, "L1");
+        for (presolve, conflict_driven) in [(true, true), (false, false)] {
+            let config = SynthConfig { presolve, conflict_driven, ..SynthConfig::default() };
+            let mut templates = TemplateMap::new();
+            templates
+                .add_array_row(l1, Symbol::intern("a"), &[Symbol::intern("i")], RelOp::Eq)
+                .unwrap();
+            assert!(
+                synthesize(&buggy, &templates, &config).is_err(),
+                "presolve={presolve} cdcl={conflict_driven}: buggy variant must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn conflict_driven_search_prunes_branches_on_failing_systems() {
+        // The buggy INITCHECK variant exercises the unsat path heavily:
+        // the conflict-driven search must learn cores and prune branches
+        // the enumerative baseline pays LP calls for.
+        let p = corpus::buggy_initcheck();
+        let l1 = corpus::find_loc(&p, "L1");
+        let templates = || {
+            let mut t = TemplateMap::new();
+            t.add_array_row(l1, Symbol::intern("a"), &[Symbol::intern("i")], RelOp::Eq).unwrap();
+            t
+        };
+        let run = |conflict_driven: bool| {
+            let config = SynthConfig { conflict_driven, ..SynthConfig::default() };
+            let before = crate::stats::snapshot();
+            let err = synthesize(&p, &templates(), &config).unwrap_err();
+            assert!(matches!(err, InvgenError::NoInvariant { .. }));
+            crate::stats::snapshot().since(&before)
+        };
+        let enumerative = run(false);
+        let driven = run(true);
+        assert_eq!(enumerative.cores_learned, 0);
+        assert_eq!(enumerative.branches_pruned, 0);
+        assert!(driven.cores_learned > 0, "{driven:?}");
+        assert!(driven.branches_pruned > 0, "{driven:?}");
+        assert!(
+            driven.systems_solved < enumerative.systems_solved,
+            "conflict cores must save LP work: {} vs {}",
+            driven.systems_solved,
+            enumerative.systems_solved
+        );
     }
 }

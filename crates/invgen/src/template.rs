@@ -362,6 +362,30 @@ impl TemplateMap {
         }
         Ok(out)
     }
+
+    /// The parameters that make an array-row range *grow*: the per-variable
+    /// coefficients of each quantified row's upper bound, in deterministic
+    /// (location, variable) order.
+    ///
+    /// The Farkas system of an array program usually admits both the
+    /// generalising invariant (`∀k: 0 ≤ k ≤ i-1 → a[k] = 0`) and degenerate
+    /// constant-range ones (`0 ≤ k ≤ 0`) — both are sound for the path
+    /// program, but only the former eliminates every loop unwinding at
+    /// once.  The synthesiser uses these parameters to bias model
+    /// extraction toward ranges that track a program variable (§5's
+    /// intent), instead of whichever vertex the feasibility search happens
+    /// to land on.
+    pub fn array_bound_growth_params(&self) -> Vec<ParamId> {
+        let mut out = Vec::new();
+        for t in self.templates.values() {
+            if let Some(arr) = &t.array_row {
+                for coeff in arr.upper.coeffs.values() {
+                    out.extend(coeff.vars());
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,93 @@
+//! Property test: presolved Farkas systems are *equisatisfiable* with their
+//! originals, with constructive witnesses in both directions.
+//!
+//! For random constraint systems (mixing equalities, inequalities, and
+//! strict inequalities over a small unknown set, with duplicate-prone small
+//! coefficients so the dedup/subsumption and elimination paths all fire):
+//!
+//! * solving the raw system and the presolved system yields the same sat
+//!   verdict (a presolve-detected conflict counts as unsat);
+//! * when satisfiable, the raw model satisfies every presolved row (the
+//!   reduced rows are consequences of the original system), and the
+//!   presolved model — completed by back-substituting the eliminated
+//!   definitions — satisfies every raw row.
+
+use pathinv_invgen::presolve::{complete_witness, presolve};
+use pathinv_smt::{lra_solve, ConstrOp, LinConstraint, LinExpr, LpResult, Rat};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random constraint over four unknowns with tiny coefficients (small
+/// ranges make duplicated variable parts — the dedup/fold cases — common).
+fn constraint_strategy() -> impl Strategy<Value = LinConstraint<u32>> {
+    let coeff = -2i128..=2;
+    let op = prop_oneof![
+        Just(ConstrOp::Eq),
+        Just(ConstrOp::Le),
+        Just(ConstrOp::Le),
+        Just(ConstrOp::Lt),
+    ];
+    (coeff.clone(), coeff.clone(), coeff.clone(), coeff, -3i128..=3, op).prop_map(
+        |(a, b, c, d, k, op)| {
+            let mut e = LinExpr::constant(Rat::int(k));
+            for (v, coeff) in [(0u32, a), (1, b), (2, c), (3, d)] {
+                e.add_term(v, Rat::int(coeff)).expect("small coefficients cannot overflow");
+            }
+            LinConstraint::new(e, op)
+        },
+    )
+}
+
+fn satisfies(model: &BTreeMap<u32, Rat>, rows: &[LinConstraint<u32>]) -> bool {
+    rows.iter().all(|c| {
+        c.holds(&|v: &u32| model.get(v).copied().unwrap_or(Rat::ZERO))
+            .expect("evaluation cannot overflow")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Raw and presolved systems have the same sat verdict, with valid
+    /// witnesses both ways.
+    #[test]
+    fn presolve_is_equisatisfiable_with_witnesses(
+        constraints in proptest::collection::vec(constraint_strategy(), 1..8)
+    ) {
+        let raw = lra_solve(&constraints).expect("small systems cannot overflow");
+        let p = presolve(&constraints).expect("small systems cannot overflow");
+        if p.conflict.is_some() {
+            prop_assert!(
+                !raw.is_sat(),
+                "presolve found a conflict in a satisfiable system: {constraints:?}"
+            );
+            return Ok(());
+        }
+        let reduced_rows: Vec<LinConstraint<u32>> =
+            p.rows.iter().map(|(c, _)| c.clone()).collect();
+        let reduced = lra_solve(&reduced_rows).expect("small systems cannot overflow");
+        prop_assert!(
+            raw.is_sat() == reduced.is_sat(),
+            "sat verdicts must agree: {constraints:?} presolved to {reduced_rows:?}"
+        );
+        if let LpResult::Sat(raw_model) = &raw {
+            // The reduced rows are consequences of the raw system, so the
+            // raw witness satisfies them as-is.
+            prop_assert!(
+                satisfies(raw_model, &reduced_rows),
+                "raw witness must satisfy the presolved rows: {constraints:?}"
+            );
+        }
+        if let LpResult::Sat(reduced_model) = reduced {
+            // The reduced witness extends to the raw system by
+            // back-substituting the eliminated definitions.
+            let mut completed = reduced_model;
+            complete_witness(&mut completed, &p.eliminated)
+                .expect("back-substitution cannot overflow");
+            prop_assert!(
+                satisfies(&completed, &constraints),
+                "completed presolved witness must satisfy the raw system: {constraints:?}"
+            );
+        }
+    }
+}

@@ -14,10 +14,10 @@
 //! `G_1, ..., G_n` are obtained by cutting the same certificate at every
 //! position, which makes them inductive by construction.
 
-use crate::error::SmtResult;
+use crate::error::{SmtError, SmtResult};
 use crate::linexpr::{ConstrOp, LinConstraint, LinExpr};
 use crate::rat::Rat;
-use crate::simplex::{solve, FarkasCertificate, LpResult};
+use crate::simplex::{solve, FarkasCertificate, IncrementalSimplex, LpResult};
 use pathinv_ir::{Formula, VarRef};
 
 /// Computes the interpolant for the partition of `constraints` into the
@@ -85,6 +85,107 @@ pub fn sequence_interpolants(
         out.push(interpolant_from_certificate(&flat, &certificate, cut)?);
     }
     Ok(Some(out))
+}
+
+/// Incremental sequence interpolation over a fixed group skeleton.
+///
+/// The baseline refiner splits every disequality atom of a path formula
+/// into its two strict cases and interpolates each unsatisfiable
+/// combination — `2^k` queries that share the entire group skeleton and
+/// differ only in `k` extra strict rows.  [`sequence_interpolants`] would
+/// rebuild and cold-solve the full system per combination; this type pushes
+/// the skeleton into an [`IncrementalSimplex`] once and answers every
+/// combination with a checkpointed push / warm re-check / pop cycle, so a
+/// whole split family costs *zero* cold simplex solves.
+///
+/// Interpolants are derived from the warm check's Farkas certificate with
+/// the extra rows re-ordered into their home groups, exactly as if the
+/// combined system had been interpolated flat.
+pub struct SequenceInterpolator {
+    tableau: IncrementalSimplex<VarRef>,
+    groups: Vec<Vec<LinConstraint<VarRef>>>,
+}
+
+impl SequenceInterpolator {
+    /// Builds the interpolator by pushing the group skeleton (no
+    /// feasibility check happens yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow.
+    pub fn new(groups: Vec<Vec<LinConstraint<VarRef>>>) -> SmtResult<SequenceInterpolator> {
+        let mut tableau = IncrementalSimplex::new();
+        for c in groups.iter().flatten() {
+            tableau.push_constraint(c)?;
+        }
+        Ok(SequenceInterpolator { tableau, groups })
+    }
+
+    /// Sequence interpolants for the skeleton with each `(group, row)` extra
+    /// appended to its group, or `None` when the combined system is
+    /// satisfiable.  Counted as one interpolant computation; the
+    /// feasibility decision is a warm incremental re-check.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range group index; propagates
+    /// arithmetic overflow.
+    pub fn interpolants(
+        &mut self,
+        extras: &[(usize, LinConstraint<VarRef>)],
+    ) -> SmtResult<Option<Vec<Formula>>> {
+        crate::stats::record_interpolant_call();
+        if let Some((g, _)) = extras.iter().find(|(g, _)| *g >= self.groups.len()) {
+            return Err(SmtError::unsupported(format!(
+                "extra interpolation row targets group {g} of {}",
+                self.groups.len()
+            )));
+        }
+        let checkpoint = self.tableau.checkpoint();
+        for (_, c) in extras {
+            self.tableau.push_constraint(c)?;
+        }
+        if self.tableau.check()? {
+            self.tableau.pop_to(checkpoint)?;
+            return Ok(None);
+        }
+        let certificate = self.tableau.take_certificate();
+        self.tableau.pop_to(checkpoint)?;
+
+        // Re-order into the virtual flat system: group 0's skeleton rows,
+        // then group 0's extras (in `extras` order), then group 1, ...  The
+        // push order was skeleton-flat followed by all extras, so permute
+        // the certificate multipliers accordingly.
+        let base_len: usize = self.groups.iter().map(Vec::len).sum();
+        let mut flat: Vec<LinConstraint<VarRef>> = Vec::with_capacity(base_len + extras.len());
+        let mut multipliers: Vec<Rat> = Vec::with_capacity(base_len + extras.len());
+        let mut cuts: Vec<usize> = Vec::new();
+        let mut base_pos = 0;
+        for (g, group) in self.groups.iter().enumerate() {
+            for c in group {
+                flat.push(c.clone());
+                multipliers.push(certificate.multipliers[base_pos]);
+                base_pos += 1;
+            }
+            for (e, (eg, c)) in extras.iter().enumerate() {
+                if *eg == g {
+                    flat.push(c.clone());
+                    multipliers.push(certificate.multipliers[base_len + e]);
+                }
+            }
+            cuts.push(flat.len());
+        }
+        let virtual_cert = FarkasCertificate { multipliers };
+        debug_assert!(
+            virtual_cert.verify(&flat)?,
+            "re-ordered interpolation certificate must stay valid"
+        );
+        let mut out = Vec::new();
+        for &cut in cuts.iter().take(cuts.len().saturating_sub(1)) {
+            out.push(interpolant_from_certificate(&flat, &virtual_cert, cut)?);
+        }
+        Ok(Some(out))
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +262,54 @@ mod tests {
             let b: Vec<_> = groups[k + 1..].iter().flatten().cloned().collect();
             check_interpolant(&a, &b, itp);
         }
+    }
+
+    #[test]
+    fn incremental_interpolator_matches_flat_interpolation_semantics() {
+        // The counter path with the final bound supplied as a per-query
+        // extra strict row, both directions (the disequality-split shape).
+        let groups = vec![
+            vec![c(F::eq(Term::ivar("i", 0), Term::int(0)))],
+            vec![c(F::eq(Term::ivar("i", 1), Term::ivar("i", 0).add(Term::int(1))))],
+            vec![c(F::eq(Term::ivar("i", 2), Term::ivar("i", 1).add(Term::int(1))))],
+            vec![],
+        ];
+        let cold_before = crate::stats::snapshot();
+        let mut itp = SequenceInterpolator::new(groups.clone()).unwrap();
+        // i2 < 1 in group 3: infeasible; interpolants must satisfy the
+        // defining properties at every cut.
+        let low = (3usize, c(F::lt(Term::ivar("i", 2), Term::int(1))));
+        let out = itp.interpolants(std::slice::from_ref(&low)).unwrap().unwrap();
+        // i2 > 1 in group 3: satisfiable; and the tableau survives for the
+        // next query (the pop restored the skeleton).
+        let high = (3usize, c(F::gt(Term::ivar("i", 2), Term::int(1))));
+        assert!(itp.interpolants(&[high]).unwrap().is_none());
+        let again = itp.interpolants(std::slice::from_ref(&low)).unwrap().unwrap();
+        assert_eq!(again.len(), 3);
+        // The whole family cost zero cold simplex solves.
+        let delta = crate::stats::snapshot().since(&cold_before);
+        assert_eq!(delta.simplex_calls, 0, "incremental interpolation must not cold-solve");
+        assert!(delta.simplex_warm_checks >= 3);
+        assert_eq!(delta.interpolant_calls, 3);
+        assert_eq!(out.len(), 3);
+        for (k, f) in out.iter().enumerate() {
+            let mut a: Vec<_> = groups[..=k].iter().flatten().cloned().collect();
+            let mut b: Vec<_> = groups[k + 1..].iter().flatten().cloned().collect();
+            if low.0 <= k {
+                a.push(low.1.clone());
+            } else {
+                b.push(low.1.clone());
+            }
+            check_interpolant(&a, &b, f);
+        }
+    }
+
+    #[test]
+    fn incremental_interpolator_rejects_bad_group_index() {
+        let groups = vec![vec![c(F::le(Term::var("x"), Term::int(3)))]];
+        let mut itp = SequenceInterpolator::new(groups).unwrap();
+        let extra = (4usize, c(F::ge(Term::var("x"), Term::int(5))));
+        assert!(itp.interpolants(&[extra]).is_err());
     }
 
     #[test]

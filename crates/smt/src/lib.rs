@@ -57,7 +57,7 @@ pub mod stats;
 pub use congruence::CongruenceClosure;
 pub use context::{ContextStats, SolverContext};
 pub use error::{SmtError, SmtResult};
-pub use interpolate::{interpolant_from_certificate, sequence_interpolants};
+pub use interpolate::{interpolant_from_certificate, sequence_interpolants, SequenceInterpolator};
 pub use linexpr::{ConstrOp, LinConstraint, LinExpr};
 pub use rat::{DeltaRat, Rat};
 pub use simplex::{

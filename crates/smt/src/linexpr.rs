@@ -13,7 +13,7 @@ use std::fmt;
 
 /// A linear expression `Σ cᵢ·xᵢ + c` with rational coefficients over
 /// variables of type `K`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LinExpr<K: Ord + Clone = VarRef> {
     coeffs: BTreeMap<K, Rat>,
     constant: Rat,
@@ -288,7 +288,7 @@ impl fmt::Display for ConstrOp {
 }
 
 /// A normalised linear constraint `expr ⋈ 0`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LinConstraint<K: Ord + Clone = VarRef> {
     /// The linear expression.
     pub expr: LinExpr<K>,

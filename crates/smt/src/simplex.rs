@@ -477,6 +477,79 @@ impl<K: Ord + Clone + Debug> IncrementalSimplex<K> {
         self.conflict.take().expect("take_certificate requires a failed check")
     }
 
+    /// The support of the most recent conflict: indices (in push order) of
+    /// the active constraints carrying a non-zero Farkas multiplier.  This
+    /// is an infeasible subsystem, but not necessarily an irreducible one —
+    /// see [`minimal_infeasible_subsystem`](IncrementalSimplex::minimal_infeasible_subsystem).
+    ///
+    /// Valid after a failed [`check`](IncrementalSimplex::check) until the
+    /// certificate is taken or the system changes.
+    pub fn conflict_core(&self) -> Option<Vec<usize>> {
+        let cert = self.conflict.as_ref()?;
+        Some(
+            cert.multipliers
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.is_zero())
+                .map(|(i, _)| i)
+                .collect(),
+        )
+    }
+
+    /// The active constraints, in push order (the index space of
+    /// [`conflict_core`](IncrementalSimplex::conflict_core)).
+    pub fn active_constraints(&self) -> Vec<LinConstraint<K>> {
+        self.constraints.iter().map(|c| LinConstraint::new(c.expr.clone(), c.op)).collect()
+    }
+
+    /// Shrinks the conflict support of the most recent failed check into an
+    /// *irreducible* infeasible subsystem (IIS, a minimal Farkas conflict):
+    /// the returned indices name an infeasible subset of the active
+    /// constraints from which no row can be dropped without the remainder
+    /// becoming satisfiable.
+    ///
+    /// Uses the standard deletion filter over the certificate support,
+    /// scanning in ascending index order for determinism, on *one* reused
+    /// scratch tableau: rows already decided to stay form the persistent
+    /// prefix, and each candidate is probed by pushing the undecided suffix
+    /// at a checkpoint, warm re-checking, and popping — so the whole filter
+    /// costs one probe (a genuine tableau-reuse warm check) per support
+    /// row, never a cold rebuild.  The certificate support is typically a
+    /// handful of rows, so the filter is cheap relative to the conflict
+    /// that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow; returns an error if no failed check
+    /// is pending.
+    pub fn minimal_infeasible_subsystem(&self) -> SmtResult<Vec<usize>> {
+        let support = self.conflict_core().ok_or_else(|| {
+            SmtError::unsupported("minimal_infeasible_subsystem requires a failed check")
+        })?;
+        let rows = self.active_constraints();
+        // Invariant: `scratch` holds exactly the kept rows, and
+        // kept ∪ support[i..] is infeasible when candidate `i` is reached.
+        let mut scratch: IncrementalSimplex<K> = IncrementalSimplex::new();
+        let mut kept: Vec<usize> = Vec::new();
+        for (i, &candidate) in support.iter().enumerate() {
+            let checkpoint = scratch.checkpoint();
+            for &j in &support[i + 1..] {
+                scratch.push_constraint(&rows[j])?;
+            }
+            let droppable = !scratch.check()?;
+            scratch.pop_to(checkpoint)?;
+            if !droppable {
+                scratch.push_constraint(&rows[candidate])?;
+                kept.push(candidate);
+            }
+        }
+        debug_assert!(
+            !scratch.check()?,
+            "the shrunk core must still be infeasible (certificate support was not?)"
+        );
+        Ok(kept)
+    }
+
     /// Builds the Farkas certificate for a conflict on basic variable `b`
     /// whose row is `row`; `lower_violation` says which bound was violated.
     fn build_conflict(
@@ -808,6 +881,47 @@ mod tests {
         // Dropping the last constraint makes it satisfiable.
         cs.pop();
         assert!(solve(&cs).unwrap().is_sat());
+    }
+
+    #[test]
+    fn conflict_core_is_minimal() {
+        // x >= 5, x <= 4, y <= 0 (irrelevant), x <= 3 (redundant with x <= 4
+        // for the conflict): the IIS must be exactly two rows that are
+        // jointly infeasible, and dropping either must make it satisfiable.
+        let x = Term::var("x");
+        let y = Term::var("y");
+        let cs = vec![
+            c(Formula::ge(x.clone(), Term::int(5))),
+            c(Formula::le(x.clone(), Term::int(4))),
+            c(Formula::le(y, Term::int(0))),
+            c(Formula::le(x, Term::int(3))),
+        ];
+        let mut tab = IncrementalSimplex::new();
+        for cst in &cs {
+            tab.push_constraint(cst).unwrap();
+        }
+        assert!(!tab.check().unwrap());
+        let core = tab.minimal_infeasible_subsystem().unwrap();
+        assert!(core.contains(&0), "the lower bound is in every conflict: {core:?}");
+        assert_eq!(core.len(), 2, "{core:?}");
+        // The core subsystem is infeasible; dropping any row makes it sat.
+        let sub: Vec<_> = core.iter().map(|&i| cs[i].clone()).collect();
+        assert!(!solve(&sub).unwrap().is_sat());
+        for drop in 0..sub.len() {
+            let mut reduced = sub.clone();
+            reduced.remove(drop);
+            assert!(solve(&reduced).unwrap().is_sat(), "core must be irreducible");
+        }
+    }
+
+    #[test]
+    fn conflict_core_requires_a_failed_check() {
+        let mut tab: IncrementalSimplex<VarRef> = IncrementalSimplex::new();
+        assert!(tab.conflict_core().is_none());
+        assert!(tab.minimal_infeasible_subsystem().is_err());
+        tab.push_constraint(&c(Formula::le(Term::var("x"), Term::int(1)))).unwrap();
+        assert!(tab.check().unwrap());
+        assert!(tab.conflict_core().is_none());
     }
 
     #[test]

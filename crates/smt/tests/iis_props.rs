@@ -1,0 +1,69 @@
+//! Property test for irreducible-infeasible-subsystem (IIS) extraction:
+//! on every random infeasible system, the subsystem named by
+//! `IncrementalSimplex::minimal_infeasible_subsystem` must itself be
+//! infeasible, and dropping *any* single row of it must make the remainder
+//! satisfiable (irreducibility — the defining property of a minimal Farkas
+//! conflict).
+
+use pathinv_ir::{Symbol, VarRef};
+use pathinv_smt::{lra_solve, ConstrOp, IncrementalSimplex, LinConstraint, LinExpr, Rat};
+use proptest::prelude::*;
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+fn vref(name: &str) -> VarRef {
+    VarRef::cur(Symbol::intern(name))
+}
+
+/// A random normalized constraint `c1*x + c2*y + c3*z + d ⋈ 0`, biased
+/// toward small coefficients so infeasible combinations are common.
+fn constraint_strategy() -> impl Strategy<Value = LinConstraint<VarRef>> {
+    let coeff = -2i128..=2;
+    let op = prop_oneof![Just(ConstrOp::Le), Just(ConstrOp::Lt), Just(ConstrOp::Eq)];
+    (coeff.clone(), coeff.clone(), coeff, -4i128..=4, op).prop_map(|(a, b, c, d, op)| {
+        let mut e = LinExpr::constant(Rat::int(d));
+        for (name, k) in VARS.iter().zip([a, b, c]) {
+            e.add_term(vref(name), Rat::int(k)).expect("small coefficients cannot overflow");
+        }
+        LinConstraint::new(e, op)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// IIS extraction returns an infeasible, irreducible subsystem of every
+    /// infeasible input system (satisfiable inputs are skipped — there is
+    /// no conflict to extract).
+    #[test]
+    fn iis_is_infeasible_and_irreducible(
+        constraints in proptest::collection::vec(constraint_strategy(), 2..8)
+    ) {
+        let mut tab = IncrementalSimplex::new();
+        for c in &constraints {
+            tab.push_constraint(c).expect("small systems cannot overflow");
+        }
+        if tab.check().expect("small systems cannot overflow") {
+            // Satisfiable: nothing to extract.
+            prop_assert!(tab.conflict_core().is_none());
+            return Ok(());
+        }
+        let core = tab.minimal_infeasible_subsystem().expect("failed check pending");
+        prop_assert!(!core.is_empty());
+        let sub: Vec<LinConstraint<VarRef>> =
+            core.iter().map(|&i| constraints[i].clone()).collect();
+        prop_assert!(
+            !lra_solve(&sub).expect("small systems cannot overflow").is_sat(),
+            "IIS must be infeasible: {core:?} of {constraints:?}"
+        );
+        for drop in 0..sub.len() {
+            let mut reduced = sub.clone();
+            reduced.remove(drop);
+            prop_assert!(
+                lra_solve(&reduced).expect("small systems cannot overflow").is_sat(),
+                "dropping row {drop} of the IIS must make it satisfiable: \
+                 {core:?} of {constraints:?}"
+            );
+        }
+    }
+}

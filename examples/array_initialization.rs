@@ -5,13 +5,14 @@
 //! program of Figure 2(c), and synthesises the quantified invariant
 //! `∀k: p1 ≤ k ≤ p2 → a[k] = p3` exactly as §4.2 describes.
 //!
-//! The synthesis is demonstrated on the INITCHECK program itself, whose two
-//! loops are exactly the loops of the Figure 2(c) path program.  Running the
-//! bounded-multiplier search on the path program built from the Figure 2(b)
-//! counterexample — whose main chain additionally contains one unrolled
-//! iteration of each loop — is a known limitation (see EXPERIMENTS.md); the
-//! engine then falls back to finite-path predicates, which this example also
-//! demonstrates instead of failing.
+//! The synthesis is demonstrated on the INITCHECK program itself (whose two
+//! loops are exactly the loops of the Figure 2(c) path program) and on the
+//! path program built from the Figure 2(b) counterexample — whose main chain
+//! additionally contains one unrolled iteration of each loop.  The latter
+//! needed PR 5's conflict-driven search (see EXPERIMENTS.md): the old
+//! 12-wide enumerative frontier lost the generalising branch and fell back
+//! to finite-path predicates; the fallback path is kept below for synthesis
+//! configurations where it still triggers.
 //!
 //! Run with `cargo run --example array_initialization`.
 
@@ -47,9 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  invariant at {}: {}", program.loc_label(*loc), inv);
     }
 
-    // On the path program itself, the bounded multiplier search does not
-    // find a quantified invariant (the documented limitation); the refiner
-    // falls back to finite-path predicates rather than failing.
+    // The path program itself synthesises too (since PR 5's conflict-driven
+    // search); should a narrower configuration fail here, the refiner falls
+    // back to finite-path predicates rather than failing, as shown below.
     println!("\nrefining directly on the Figure 2(b) counterexample:");
     match PathInvariantGenerator::new().generate(&pp.program) {
         Ok(g) => {
@@ -58,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         Err(e) => {
-            println!("  path-program synthesis hit the documented limitation: {e}");
+            println!("  path-program synthesis found no invariant: {e}");
             // This is what `PathInvariantRefiner` falls back to internally;
             // calling the baseline directly avoids repeating the synthesis
             // that just failed.

@@ -26,12 +26,14 @@ fn forward_path_invariants_prove_baseline_diverges() {
 /// INITCHECK (§2.2): universally quantified invariants justify the assertion.
 ///
 /// The quantified synthesis is exercised on the INITCHECK program itself (its
-/// two loops are exactly the loops of the Figure 2(c) path program).  Running
-/// the synthesis on the path program built from the Figure 2(b)
-/// counterexample — whose main chain additionally contains one unrolled
-/// iteration of each loop — is a known limitation of the bounded multiplier
-/// search and is recorded in EXPERIMENTS.md; the refiner then falls back to
-/// finite-path predicates instead of failing.
+/// two loops are exactly the loops of the Figure 2(c) path program) *and* on
+/// the path program built from the Figure 2(b) counterexample — whose main
+/// chain additionally contains one unrolled iteration of each loop.  The
+/// latter was a known limitation of the 12-wide enumerative frontier (the
+/// generalising branch fell off the beam at the loop-exit range conditions
+/// and the refiner fell back to finite-path predicates); the conflict-driven
+/// 24-wide search of PR 5 synthesises it, which is what makes full CEGAR
+/// prove INITCHECK safe.
 #[test]
 fn initcheck_quantified_path_invariants() {
     let program = corpus::initcheck();
@@ -46,7 +48,9 @@ fn initcheck_quantified_path_invariants() {
     let pp = path_program(&program, &cex).unwrap();
     assert_eq!(pp.hatted_blocks.len(), 2);
 
-    // Quantified invariant synthesis for the two-loop array program.
+    // Quantified invariant synthesis for the two-loop array program, with
+    // ranges that grow with the loop variable (the §5 shape) rather than
+    // degenerate constant ranges.
     let generated = PathInvariantGenerator::new().generate(&program).unwrap();
     assert!(
         generated.cutpoint_invariants.values().all(|f| f.has_quantifier()),
@@ -54,12 +58,19 @@ fn initcheck_quantified_path_invariants() {
         generated.cutpoint_invariants
     );
 
-    // Refinement on the counterexample never errors; it produces predicates
-    // (quantified ones when the path-program synthesis succeeds, finite-path
-    // ones otherwise).
+    // The path-program synthesis succeeds too: refinement is primary (no
+    // finite-path fallback) and tracks quantified predicates.
     let refiner = PathInvariantRefiner::new();
     let refinement = path_invariants::Refiner::refine(&refiner, &program, &cex).unwrap();
-    assert!(!refinement.predicates.is_empty());
+    assert!(!refinement.fell_back, "the Figure 2(b) path program must synthesise");
+    assert!(
+        refinement.predicates.values().flatten().any(pathinv_ir::Formula::has_quantifier),
+        "refinement must track a quantified predicate"
+    );
+
+    // And the end-to-end consequence: full CEGAR proves INITCHECK.
+    let result = path_invariants::Verifier::path_invariants().verify(&program).unwrap();
+    assert!(result.verdict.is_safe(), "INITCHECK must be proved safe: {:?}", result.verdict);
 }
 
 /// PARTITION (§2.3): the two branch-specific path programs produce the two
