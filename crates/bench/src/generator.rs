@@ -1,0 +1,872 @@
+//! Seeded, deterministic `.pinv` scenario generator with
+//! known-by-construction verdicts.
+//!
+//! A [`Scenario`] is a small structured specification — a program *family*
+//! mirroring the paper's shapes (lockstep counters, partition-style
+//! disjunctive splits, array init and reset, nested loops) plus integer knobs
+//! and an optional *mutation* (off-by-one, guard-flip, assignment-swap).
+//! [`realize`] turns a scenario into concrete `.pinv` source through the
+//! front-end AST and pretty-printer, re-parses it, and certifies its verdict
+//! with the bounded exhaustive concrete search in [`pathinv_ir::exec`]:
+//!
+//! - unmutated scenarios are **safe by construction** (each family asserts
+//!   exactly the invariant its loops establish); the oracle must agree, and a
+//!   disagreement is reported as a generator defect, not silently dropped;
+//! - mutated scenarios are kept as **unsafe only when the oracle produces a
+//!   concrete witness trace** (inputs, transitions, havoc values) that
+//!   independently replays into the error location — harmless mutations are
+//!   kept as additional safe programs.
+//!
+//! Generation is a pure function of the seed: the RNG is the vendored
+//! proptest [`TestRng`], scenarios are drawn single-threadedly, and the
+//! oracle is deterministic, so `generate_campaign(seed, count)` yields a
+//! byte-identical program set on every run and machine.
+//!
+//! ## Array discipline
+//!
+//! Array-family programs take their array as an (arbitrary) parameter, but
+//! the families and their mutation sites are arranged so that, on every
+//! error path, each asserted cell is either already written or compared
+//! against a *nonzero* constant.  Under that discipline a concrete replay
+//! that defaults unwritten cells to `0` agrees with the symbolic engines
+//! (which treat unwritten cells as unconstrained): a model can only rely on
+//! an unwritten cell to violate `= c` with `c != 0`, which the `0` default
+//! also violates.  Array families therefore never flip `assume` operators
+//! (which could force reads of unconstrained cells in `= 0` positions).
+
+use pathinv_ir::ast::{BoolAst, CondAst, ExprAst, ProcAst, RelAst, StmtAst, TypeAst};
+use pathinv_ir::exec::{self, ConcreteOutcome, SearchLimits, Witness};
+use pathinv_ir::{parse_program, pretty_proc, IrError, Program, Symbol};
+use proptest::shrink::Shrink;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+/// The structured program families the generator draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Two counters advanced by the same stride; asserts their fixed offset.
+    Lockstep,
+    /// A nondeterministic split incrementing one of two accumulators;
+    /// asserts their sum tracks the loop counter.
+    Partition,
+    /// Writes a constant into `a[0..n)`; asserts a bounded cell holds it.
+    ArrayInit,
+    /// Writes a constant then zeroes `a[0..n)`; asserts a bounded cell is 0.
+    ArrayReset,
+    /// Two nested counters; asserts the inner counter meets its bound each
+    /// round and the outer counter meets its bound at the end.
+    Nested,
+    /// Two lockstep counters whose sum is even by construction; asserts the
+    /// sum differs from an odd constant.  Safe over the integers, but the
+    /// error path is satisfiable over the rationals (`n = k - 1/2`), so this
+    /// family specifically stresses integer-exactness of counterexamples.
+    Parity,
+}
+
+impl Family {
+    /// All families, in generation-index order.
+    pub const ALL: [Family; 6] = [
+        Family::Lockstep,
+        Family::Partition,
+        Family::ArrayInit,
+        Family::ArrayReset,
+        Family::Nested,
+        Family::Parity,
+    ];
+
+    /// Short name used in generated program identifiers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Lockstep => "lockstep",
+            Family::Partition => "partition",
+            Family::ArrayInit => "arrayinit",
+            Family::ArrayReset => "arrayreset",
+            Family::Nested => "nested",
+            Family::Parity => "parity",
+        }
+    }
+}
+
+/// The kinds of bugs the mutation layer can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Bump one mutation-eligible integer constant by one.
+    OffByOne,
+    /// Negate one mutation-eligible relational operator.
+    GuardFlip,
+    /// Exchange the right-hand sides of one eligible assignment pair.
+    AssignSwap,
+}
+
+/// A mutation: a kind plus the index of the eligible site it targets.
+///
+/// Sites are counted per kind in program order; a site index beyond the
+/// family's eligible sites leaves the program unmutated (the scenario then
+/// realizes as a safe program).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mutation {
+    /// What to inject.
+    pub kind: MutationKind,
+    /// Which eligible site (per kind, in program order) to hit.
+    pub site: u8,
+}
+
+/// A structured program specification: family, knobs, optional mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// The program family.
+    pub family: Family,
+    /// Input upper bound / array extent knob (`1..=3` from the strategy).
+    pub bound: u8,
+    /// Loop stride knob (`1..=2` from the strategy).
+    pub stride: u8,
+    /// Initial-offset knob (`0..=2` from the strategy).
+    pub offset: u8,
+    /// When set, inputs are local variables receiving `havoc` instead of
+    /// procedure parameters.
+    pub havoc_input: bool,
+    /// The injected bug, if any.
+    pub mutation: Option<Mutation>,
+}
+
+impl Scenario {
+    /// The proptest strategy drawing scenarios; pure function of the RNG.
+    pub fn strategy() -> impl Strategy<Value = Scenario> {
+        (0u8..6, 1u8..=3, 1u8..=2, 0u8..=2, 0u8..=1, 0u8..4, 0u8..3).prop_map(
+            |(family, bound, stride, offset, havoc, mkind, site)| Scenario {
+                family: Family::ALL[family as usize],
+                bound,
+                stride,
+                offset,
+                havoc_input: havoc == 1,
+                mutation: match mkind {
+                    0 => None,
+                    1 => Some(Mutation { kind: MutationKind::OffByOne, site }),
+                    2 => Some(Mutation { kind: MutationKind::GuardFlip, site }),
+                    _ => Some(Mutation { kind: MutationKind::AssignSwap, site }),
+                },
+            },
+        )
+    }
+
+    /// A well-founded size measure: every shrink candidate strictly
+    /// decreases it, so greedy minimization terminates.
+    pub fn measure(&self) -> u32 {
+        u32::from(self.bound)
+            + u32::from(self.stride)
+            + u32::from(self.offset)
+            + u32::from(self.havoc_input)
+            + self.mutation.map_or(0, |m| u32::from(m.site))
+    }
+
+    /// The value domain and budgets for the concrete oracle: wide enough to
+    /// cover every assume-bounded input and every off-by-one/stride
+    /// excursion the mutation layer can produce.
+    pub fn oracle_limits(&self) -> SearchLimits {
+        SearchLimits {
+            domain: (-1..=i128::from(self.bound) + 3).collect(),
+            max_depth: 512,
+            max_steps: 400_000,
+        }
+    }
+
+    /// Builds the AST and the oracle's input-variable list.
+    fn build(&self, name: &str) -> (ProcAst, Vec<String>) {
+        let mut m = Mutator::new(self.mutation);
+        let (params, body, inputs) = match self.family {
+            Family::Lockstep => self.lockstep(&mut m),
+            Family::Partition => self.partition(&mut m),
+            Family::ArrayInit => self.array_init(&mut m),
+            Family::ArrayReset => self.array_reset(&mut m),
+            Family::Nested => self.nested(&mut m),
+            Family::Parity => self.parity(&mut m),
+        };
+        (ProcAst { name: name.to_string(), params, body }, inputs)
+    }
+
+    /// Declares `name` as an input: a parameter, or (havoc variant) a local
+    /// that is havocked on entry.  `assumes` bound it either way.
+    fn input_int(
+        &self,
+        name: &str,
+        assumes: Vec<StmtAst>,
+        params: &mut Vec<(String, TypeAst)>,
+        body: &mut Vec<StmtAst>,
+        inputs: &mut Vec<String>,
+    ) {
+        if self.havoc_input {
+            body.push(StmtAst::VarDecl(name.to_string(), TypeAst::Int));
+            body.push(StmtAst::Havoc(vec![name.to_string()]));
+        } else {
+            params.push((name.to_string(), TypeAst::Int));
+            inputs.push(name.to_string());
+        }
+        body.extend(assumes);
+    }
+
+    fn lockstep(&self, m: &mut Mutator) -> (Vec<(String, TypeAst)>, Vec<StmtAst>, Vec<String>) {
+        let (b, s, off) =
+            (i128::from(self.bound), i128::from(self.stride), i128::from(self.offset));
+        // Site order fixes which constant/operator each mutation index hits.
+        let assert_op = m.relop(RelAst::Eq);
+        let lo_op = m.relop(RelAst::Ge);
+        let hi_op = m.relop(RelAst::Le);
+        let a_init = m.konst(off);
+        let a_stride = m.konst(s);
+        let bound = m.konst(b);
+        let (upd_a, upd_b) =
+            m.swap_rhs(("a", add(var("a"), num(a_stride))), ("b", add(var("b"), num(s))));
+        let (mut params, mut body, mut inputs) = (Vec::new(), Vec::new(), Vec::new());
+        self.input_int(
+            "n",
+            vec![
+                StmtAst::Assume(rel(var("n"), lo_op, num(0))),
+                StmtAst::Assume(rel(var("n"), hi_op, num(bound))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        body.extend([
+            decl_int("i"),
+            decl_int("a"),
+            decl_int("b"),
+            assign("i", num(0)),
+            assign("a", num(a_init)),
+            assign("b", num(0)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![upd_a, upd_b, assign("i", add(var("i"), num(1)))],
+            ),
+            StmtAst::Assert(rel(var("a"), assert_op, add(var("b"), num(off)))),
+        ]);
+        (params, body, inputs)
+    }
+
+    fn partition(&self, m: &mut Mutator) -> (Vec<(String, TypeAst)>, Vec<StmtAst>, Vec<String>) {
+        let (b, s) = (i128::from(self.bound), i128::from(self.stride));
+        let assert_op = m.relop(RelAst::Eq);
+        let lo_op = m.relop(RelAst::Ge);
+        let hi_op = m.relop(RelAst::Le);
+        let lo_stride = m.konst(s);
+        let hi_init = m.konst(0);
+        let bound = m.konst(b);
+        let (upd_lo, upd_hi) =
+            m.swap_rhs(("lo", add(var("lo"), num(lo_stride))), ("hi", add(var("hi"), num(s))));
+        let (mut params, mut body, mut inputs) = (Vec::new(), Vec::new(), Vec::new());
+        self.input_int(
+            "n",
+            vec![
+                StmtAst::Assume(rel(var("n"), lo_op, num(0))),
+                StmtAst::Assume(rel(var("n"), hi_op, num(bound))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        body.extend([
+            decl_int("i"),
+            decl_int("lo"),
+            decl_int("hi"),
+            assign("i", num(0)),
+            assign("lo", num(0)),
+            assign("hi", num(hi_init)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![
+                    StmtAst::If(CondAst::Nondet, vec![upd_lo], vec![upd_hi]),
+                    assign("i", add(var("i"), num(1))),
+                ],
+            ),
+            StmtAst::Assert(rel(add(var("lo"), var("hi")), assert_op, mul(num(s), var("i")))),
+        ]);
+        (params, body, inputs)
+    }
+
+    fn array_init(&self, m: &mut Mutator) -> (Vec<(String, TypeAst)>, Vec<StmtAst>, Vec<String>) {
+        let b = i128::from(self.bound);
+        // Array families only expose the assert's operator to guard-flips:
+        // flipped assumes could make the error condition read unconstrained
+        // cells in a `= 0` position, which the zero-default replay cannot
+        // reproduce (see the module docs).
+        let assert_op = m.relop(RelAst::Eq);
+        let val = m.konst(7);
+        let i_init = m.konst(0);
+        let stride = m.konst(1);
+        let mut params = vec![("a".to_string(), TypeAst::IntArray)];
+        let (mut body, mut inputs) = (Vec::new(), Vec::new());
+        self.input_int(
+            "n",
+            vec![
+                StmtAst::Assume(rel(var("n"), RelAst::Ge, num(1))),
+                StmtAst::Assume(rel(var("n"), RelAst::Le, num(b))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        self.input_int(
+            "k",
+            vec![
+                StmtAst::Assume(rel(var("k"), RelAst::Ge, num(0))),
+                StmtAst::Assume(rel(var("k"), RelAst::Lt, var("n"))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        body.extend([
+            decl_int("i"),
+            assign("i", num(i_init)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![
+                    StmtAst::ArrayAssign("a".to_string(), var("i"), num(val)),
+                    assign("i", add(var("i"), num(stride))),
+                ],
+            ),
+            StmtAst::Assert(rel(index("a", var("k")), assert_op, num(7))),
+        ]);
+        (params, body, inputs)
+    }
+
+    fn array_reset(&self, m: &mut Mutator) -> (Vec<(String, TypeAst)>, Vec<StmtAst>, Vec<String>) {
+        let b = i128::from(self.bound);
+        let assert_op = m.relop(RelAst::Eq);
+        let i2_init = m.konst(0);
+        let stride2 = m.konst(1);
+        let bound = m.konst(b);
+        let (w1, w2) = m.swap_vals(num(7), num(0));
+        let mut params = vec![("a".to_string(), TypeAst::IntArray)];
+        let (mut body, mut inputs) = (Vec::new(), Vec::new());
+        self.input_int(
+            "n",
+            vec![
+                StmtAst::Assume(rel(var("n"), RelAst::Ge, num(1))),
+                StmtAst::Assume(rel(var("n"), RelAst::Le, num(bound))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        self.input_int(
+            "k",
+            vec![
+                StmtAst::Assume(rel(var("k"), RelAst::Ge, num(0))),
+                StmtAst::Assume(rel(var("k"), RelAst::Lt, var("n"))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        body.extend([
+            decl_int("i"),
+            assign("i", num(0)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![
+                    StmtAst::ArrayAssign("a".to_string(), var("i"), w1),
+                    assign("i", add(var("i"), num(1))),
+                ],
+            ),
+            assign("i", num(i2_init)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![
+                    StmtAst::ArrayAssign("a".to_string(), var("i"), w2),
+                    assign("i", add(var("i"), num(stride2))),
+                ],
+            ),
+            StmtAst::Assert(rel(index("a", var("k")), assert_op, num(0))),
+        ]);
+        (params, body, inputs)
+    }
+
+    fn nested(&self, m: &mut Mutator) -> (Vec<(String, TypeAst)>, Vec<StmtAst>, Vec<String>) {
+        let b = i128::from(self.bound);
+        let inner_op = m.relop(RelAst::Eq);
+        let outer_op = m.relop(RelAst::Eq);
+        let n_lo_op = m.relop(RelAst::Ge);
+        let j_init = m.konst(0);
+        let j_stride = m.konst(1);
+        let bound = m.konst(b);
+        let (upd_c, upd_j) =
+            m.swap_rhs(("c", add(var("c"), num(1))), ("j", add(var("j"), num(j_stride))));
+        let (mut params, mut body, mut inputs) = (Vec::new(), Vec::new(), Vec::new());
+        self.input_int(
+            "n",
+            vec![
+                StmtAst::Assume(rel(var("n"), n_lo_op, num(0))),
+                StmtAst::Assume(rel(var("n"), RelAst::Le, num(bound))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        self.input_int(
+            "m",
+            vec![
+                StmtAst::Assume(rel(var("m"), RelAst::Ge, num(0))),
+                StmtAst::Assume(rel(var("m"), RelAst::Le, num(b))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        body.extend([
+            decl_int("i"),
+            decl_int("j"),
+            decl_int("c"),
+            assign("c", num(0)),
+            assign("j", num(0)),
+            assign("i", num(0)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![
+                    assign("j", num(j_init)),
+                    StmtAst::While(
+                        CondAst::Expr(rel(var("j"), RelAst::Lt, var("m"))),
+                        vec![upd_c, upd_j],
+                    ),
+                    StmtAst::Assert(rel(var("j"), inner_op, var("m"))),
+                    assign("i", add(var("i"), num(1))),
+                ],
+            ),
+            StmtAst::Assert(rel(var("i"), outer_op, var("n"))),
+        ]);
+        (params, body, inputs)
+    }
+
+    fn parity(&self, m: &mut Mutator) -> (Vec<(String, TypeAst)>, Vec<StmtAst>, Vec<String>) {
+        let (b, off) = (i128::from(self.bound), i128::from(self.offset));
+        let assert_op = m.relop(RelAst::Ne);
+        let lo_op = m.relop(RelAst::Ge);
+        let hi_op = m.relop(RelAst::Le);
+        let odd = m.konst(1);
+        let a_init = m.konst(off);
+        let bound = m.konst(b);
+        let (upd_a, upd_b) = m.swap_rhs(("a", add(var("a"), num(1))), ("b", add(var("b"), num(1))));
+        let (mut params, mut body, mut inputs) = (Vec::new(), Vec::new(), Vec::new());
+        self.input_int(
+            "n",
+            vec![
+                StmtAst::Assume(rel(var("n"), lo_op, num(0))),
+                StmtAst::Assume(rel(var("n"), hi_op, num(bound))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        self.input_int(
+            "k",
+            vec![
+                StmtAst::Assume(rel(var("k"), RelAst::Ge, num(0))),
+                StmtAst::Assume(rel(var("k"), RelAst::Le, num(b))),
+            ],
+            &mut params,
+            &mut body,
+            &mut inputs,
+        );
+        // a + b = 2*(off + n) after the loop — even relative to 2*off — so it
+        // can never equal the odd value 2*(off + k) + 1 for *integer* k.  The
+        // loop guards pin n to the unrolling count (strict inequalities are
+        // integer-tightened), but k is only bounded non-strictly: over the
+        // rationals the error path is satisfiable at k = n - 1/2.  The family
+        // is therefore a tripwire for rational-relaxation unsoundness in
+        // counterexample feasibility checks.
+        body.extend([
+            decl_int("i"),
+            decl_int("a"),
+            decl_int("b"),
+            assign("i", num(0)),
+            assign("a", num(a_init)),
+            assign("b", num(off)),
+            StmtAst::While(
+                CondAst::Expr(rel(var("i"), RelAst::Lt, var("n"))),
+                vec![upd_a, upd_b, assign("i", add(var("i"), num(1)))],
+            ),
+            StmtAst::Assert(rel(
+                add(var("a"), var("b")),
+                assert_op,
+                add(mul(num(2), add(num(off), var("k"))), num(odd)),
+            )),
+        ]);
+        (params, body, inputs)
+    }
+}
+
+impl Shrink for Scenario {
+    fn shrink_candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        if self.bound > 1 {
+            out.push(Scenario { bound: self.bound - 1, ..self.clone() });
+        }
+        if self.stride > 1 {
+            out.push(Scenario { stride: self.stride - 1, ..self.clone() });
+        }
+        if self.offset > 0 {
+            out.push(Scenario { offset: self.offset - 1, ..self.clone() });
+        }
+        if self.havoc_input {
+            out.push(Scenario { havoc_input: false, ..self.clone() });
+        }
+        if let Some(m) = self.mutation {
+            if m.site > 0 {
+                out.push(Scenario {
+                    mutation: Some(Mutation { site: m.site - 1, ..m }),
+                    ..self.clone()
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Applies at most one mutation, matching eligible sites in program order.
+struct Mutator {
+    mutation: Option<Mutation>,
+    seen: [u8; 3],
+}
+
+impl Mutator {
+    fn new(mutation: Option<Mutation>) -> Mutator {
+        Mutator { mutation, seen: [0; 3] }
+    }
+
+    /// Counts an eligible site of `kind`; true when it is the target.
+    fn hit(&mut self, kind: MutationKind) -> bool {
+        let idx = kind as usize;
+        let site = self.seen[idx];
+        self.seen[idx] += 1;
+        self.mutation == Some(Mutation { kind, site })
+    }
+
+    /// An off-by-one-eligible constant.
+    fn konst(&mut self, k: i128) -> i128 {
+        if self.hit(MutationKind::OffByOne) {
+            k + 1
+        } else {
+            k
+        }
+    }
+
+    /// A guard-flip-eligible relational operator.
+    fn relop(&mut self, op: RelAst) -> RelAst {
+        if self.hit(MutationKind::GuardFlip) {
+            match op {
+                RelAst::Eq => RelAst::Ne,
+                RelAst::Ne => RelAst::Eq,
+                RelAst::Lt => RelAst::Ge,
+                RelAst::Ge => RelAst::Lt,
+                RelAst::Le => RelAst::Gt,
+                RelAst::Gt => RelAst::Le,
+            }
+        } else {
+            op
+        }
+    }
+
+    /// A swap-eligible pair of assignments; on hit the right-hand sides are
+    /// exchanged.
+    fn swap_rhs(&mut self, a: (&str, ExprAst), b: (&str, ExprAst)) -> (StmtAst, StmtAst) {
+        let ((ax, ae), (bx, be)) = (a, b);
+        if self.hit(MutationKind::AssignSwap) {
+            (assign(ax, be), assign(bx, ae))
+        } else {
+            (assign(ax, ae), assign(bx, be))
+        }
+    }
+
+    /// A swap-eligible pair of plain values (e.g. array write constants).
+    fn swap_vals(&mut self, a: ExprAst, b: ExprAst) -> (ExprAst, ExprAst) {
+        if self.hit(MutationKind::AssignSwap) {
+            (b, a)
+        } else {
+            (a, b)
+        }
+    }
+}
+
+fn num(k: i128) -> ExprAst {
+    if k < 0 {
+        ExprAst::Neg(Box::new(ExprAst::Num(-k)))
+    } else {
+        ExprAst::Num(k)
+    }
+}
+
+fn var(x: &str) -> ExprAst {
+    ExprAst::Var(x.to_string())
+}
+
+fn index(a: &str, i: ExprAst) -> ExprAst {
+    ExprAst::Index(a.to_string(), Box::new(i))
+}
+
+fn add(a: ExprAst, b: ExprAst) -> ExprAst {
+    ExprAst::Add(Box::new(a), Box::new(b))
+}
+
+fn mul(a: ExprAst, b: ExprAst) -> ExprAst {
+    ExprAst::Mul(Box::new(a), Box::new(b))
+}
+
+fn rel(a: ExprAst, op: RelAst, b: ExprAst) -> BoolAst {
+    BoolAst::Rel(a, op, b)
+}
+
+fn assign(x: &str, e: ExprAst) -> StmtAst {
+    StmtAst::Assign(x.to_string(), e)
+}
+
+fn decl_int(x: &str) -> StmtAst {
+    StmtAst::VarDecl(x.to_string(), TypeAst::Int)
+}
+
+/// The oracle-certified expectation for a generated program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// The concrete search covered every behaviour without reaching the
+    /// error location.
+    Safe,
+    /// The concrete search found this replayable error trace.
+    Unsafe(Witness),
+}
+
+/// A generated, certified program ready for the differential harness.
+#[derive(Clone, Debug)]
+pub struct GeneratedProgram {
+    /// Position in the campaign's draw sequence.
+    pub index: usize,
+    /// The scenario this program realizes.
+    pub scenario: Scenario,
+    /// The program name (also the identifier inside `source`).
+    pub name: String,
+    /// Pretty-printed `.pinv` source.
+    pub source: String,
+    /// The parsed control-flow graph.
+    pub program: Program,
+    /// Oracle input variables (program parameters).
+    pub inputs: Vec<Symbol>,
+    /// True when no mutation was applied: the family argues safety by
+    /// construction, independently of the oracle.
+    pub constructed_safe: bool,
+    /// The oracle's certified verdict.
+    pub expected: Expected,
+}
+
+/// The outcome of realizing one scenario.
+#[derive(Debug)]
+pub enum Realized {
+    /// The scenario produced a certified program.
+    Kept(Box<GeneratedProgram>),
+    /// The oracle could not certify a verdict within budget; the scenario is
+    /// deterministically skipped.
+    Discarded(String),
+    /// The generator contradicted itself (unparseable output, or a
+    /// constructed-safe scenario that is concretely unsafe).  A defect is a
+    /// real bug in this workspace and is surfaced as a campaign finding.
+    Defect(String),
+}
+
+/// Realizes one scenario: AST → pretty → parse → concrete certification.
+pub fn realize(scenario: &Scenario, index: usize) -> Realized {
+    let name = format!("fz{}_{}", index, scenario.family.label());
+    let (ast, input_names) = scenario.build(&name);
+    let source = pretty_proc(&ast);
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            return Realized::Defect(format!(
+                "{name}: generated source does not round-trip through the parser: {e}\n{source}"
+            ));
+        }
+    };
+    let inputs: Vec<Symbol> = input_names.iter().map(|s| Symbol::intern(s)).collect();
+    match exec::search(&program, &inputs, &scenario.oracle_limits()) {
+        ConcreteOutcome::Safe => Realized::Kept(Box::new(GeneratedProgram {
+            index,
+            scenario: scenario.clone(),
+            name,
+            source,
+            program,
+            inputs,
+            constructed_safe: scenario.mutation.is_none(),
+            expected: Expected::Safe,
+        })),
+        ConcreteOutcome::Unsafe(witness) => {
+            if scenario.mutation.is_none() {
+                return Realized::Defect(format!(
+                    "{name}: constructed-safe scenario {scenario:?} is concretely unsafe \
+                     (witness steps {:?})\n{source}",
+                    witness.steps
+                ));
+            }
+            Realized::Kept(Box::new(GeneratedProgram {
+                index,
+                scenario: scenario.clone(),
+                name,
+                source,
+                program,
+                inputs,
+                constructed_safe: false,
+                expected: Expected::Unsafe(witness),
+            }))
+        }
+        ConcreteOutcome::Unknown => {
+            Realized::Discarded(format!("{name}: concrete oracle budget exhausted"))
+        }
+    }
+}
+
+/// A full deterministic generation run.
+#[derive(Debug)]
+pub struct Campaign {
+    /// The seed the campaign was generated from.
+    pub seed: u64,
+    /// The certified programs, in draw order.
+    pub programs: Vec<GeneratedProgram>,
+    /// Draw indices skipped because the oracle ran out of budget.
+    pub discarded: Vec<String>,
+    /// Generator self-contradictions (these are findings, not skips).
+    pub defects: Vec<String>,
+}
+
+/// Generates `count` certified programs from `seed`.
+///
+/// Single-threaded and a pure function of its arguments: the same seed and
+/// count produce byte-identical sources in the same order on every run.
+pub fn generate_campaign(seed: u64, count: usize) -> Campaign {
+    let mut rng = TestRng::from_seed(seed);
+    let strategy = Scenario::strategy();
+    let mut campaign =
+        Campaign { seed, programs: Vec::new(), discarded: Vec::new(), defects: Vec::new() };
+    let mut attempt = 0usize;
+    while campaign.programs.len() < count && attempt < count.saturating_mul(10) + 16 {
+        let scenario = strategy.new_value(&mut rng);
+        match realize(&scenario, attempt) {
+            Realized::Kept(p) => campaign.programs.push(*p),
+            Realized::Discarded(reason) => campaign.discarded.push(reason),
+            Realized::Defect(detail) => campaign.defects.push(detail),
+        }
+        attempt += 1;
+    }
+    campaign
+}
+
+/// Convenience for tests and the CLI: parse failure of a promoted
+/// reproducer is an [`IrError`], never a panic.
+pub fn parse_generated(source: &str) -> Result<Program, IrError> {
+    parse_program(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::exec::replay;
+    use proptest::shrink::minimize;
+
+    fn all_scenarios_unmutated() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for family in Family::ALL {
+            for bound in 1..=3 {
+                for stride in 1..=2 {
+                    for offset in 0..=2 {
+                        for havoc_input in [false, true] {
+                            out.push(Scenario {
+                                family,
+                                bound,
+                                stride,
+                                offset,
+                                havoc_input,
+                                mutation: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unmutated_families_are_concretely_safe() {
+        for s in all_scenarios_unmutated() {
+            match realize(&s, 0) {
+                Realized::Kept(p) => {
+                    assert_eq!(p.expected, Expected::Safe, "family soundness: {s:?}");
+                    assert!(p.constructed_safe);
+                }
+                other => panic!("{s:?} did not realize cleanly: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn certified_mutants_replay_to_error() {
+        let mut unsafe_seen = 0;
+        for kind in [MutationKind::OffByOne, MutationKind::GuardFlip, MutationKind::AssignSwap] {
+            for family in Family::ALL {
+                for site in 0..3 {
+                    let s = Scenario {
+                        family,
+                        bound: 2,
+                        stride: 1,
+                        offset: 1,
+                        havoc_input: false,
+                        mutation: Some(Mutation { kind, site }),
+                    };
+                    if let Realized::Kept(p) = realize(&s, 0) {
+                        if let Expected::Unsafe(w) = &p.expected {
+                            unsafe_seen += 1;
+                            assert!(
+                                replay(&p.program, &w.steps, &w.inputs, &w.havocs).reaches_error(),
+                                "witness for {s:?} must replay"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(unsafe_seen >= 10, "mutation layer found only {unsafe_seen} certified bugs");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_campaign(42, 40);
+        let b = generate_campaign(42, 40);
+        let srcs = |c: &Campaign| c.programs.iter().map(|p| p.source.clone()).collect::<Vec<_>>();
+        assert_eq!(srcs(&a), srcs(&b));
+        assert_eq!(a.programs.len(), 40);
+        assert!(a.defects.is_empty(), "generator defects: {:?}", a.defects);
+    }
+
+    #[test]
+    fn campaign_mixes_safe_and_unsafe() {
+        let c = generate_campaign(7, 60);
+        let safes = c.programs.iter().filter(|p| p.expected == Expected::Safe).count();
+        let unsafes = c.programs.len() - safes;
+        assert!(
+            safes >= 10 && unsafes >= 10,
+            "unbalanced campaign: {safes} safe, {unsafes} unsafe"
+        );
+    }
+
+    #[test]
+    fn shrinking_scenarios_terminates_at_measure_minimum() {
+        let s = Scenario {
+            family: Family::Lockstep,
+            bound: 3,
+            stride: 2,
+            offset: 2,
+            havoc_input: true,
+            mutation: Some(Mutation { kind: MutationKind::OffByOne, site: 2 }),
+        };
+        // Predicate "always still fails": minimization must bottom out.
+        let (min, stats) = minimize(s, |_| true, 10_000);
+        assert!(!stats.budget_exhausted);
+        // bound and stride bottom out at 1, everything else at 0.
+        assert_eq!(min.measure(), 2, "fully shrunk scenario: {min:?}");
+        assert_eq!((min.bound, min.stride, min.offset, min.havoc_input), (1, 1, 0, false));
+    }
+}

@@ -1,9 +1,10 @@
 //! Shared helpers for the benchmark harness and the experiment runner, plus
-//! the deterministic benchmark-trajectory experiment ([`experiments`]).
+//! the seeded scenario [`generator`] used by the differential fuzzing
+//! campaign.
 
 #![warn(missing_docs)]
 
-pub mod experiments;
+pub mod generator;
 
 use pathinv_ir::{corpus, Path, Program, TransId};
 

@@ -2,13 +2,13 @@
 //! paper-vs-measured report.  See EXPERIMENTS.md for the recorded results.
 //!
 //! ```text
-//! cargo run --release -p pathinv-bench --bin experiments            # everything
-//! cargo run --release -p pathinv-bench --bin experiments -- f1 t5   # a subset
+//! cargo run --release -p pathinv-cli --bin experiments            # everything
+//! cargo run --release -p pathinv-cli --bin experiments -- f1 t5   # a subset
 //!
 //! # The deterministic benchmark trajectory (CI's bench-smoke job):
-//! cargo run --release -p pathinv-bench --bin experiments -- bench \
-//!     --bench-json BENCH_pr5.json --check tests/golden/bench.json \
-//!     --compare-previous BENCH_pr4.json
+//! cargo run --release -p pathinv-cli --bin experiments -- bench \
+//!     --bench-json BENCH_pr6.json --check tests/golden/bench.json \
+//!     --compare-previous BENCH_pr5.json
 //! ```
 //!
 //! The `bench` experiment exits nonzero when a task errors, when the
@@ -16,10 +16,10 @@
 //! per-task `solver_calls`/`simplex_calls` counter regresses against the
 //! previous trajectory point passed to `--compare-previous`.
 
-use pathinv_bench::experiments::{run_bench, BenchConfig};
 use pathinv_bench::{
     forward_with_cex, initcheck_with_cex, partition_with_ge_cex, partition_with_lt_cex,
 };
+use pathinv_cli::experiments::{run_bench, BenchConfig};
 use pathinv_core::{path_program, PathInvariantRefiner, Verdict, Verifier};
 use pathinv_invgen::PathInvariantGenerator;
 use pathinv_ir::{corpus, parse_program, Path, Program};

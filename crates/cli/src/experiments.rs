@@ -1,12 +1,12 @@
 //! The deterministic benchmark-trajectory experiment (`bench`): verifies
 //! the full corpus under both refiners, cached and uncached, and emits the
-//! `BENCH_pr5.json` trajectory point.
+//! `BENCH_pr6.json` trajectory point.
 //!
 //! This is the CI entry point of the perf trajectory: the `bench-smoke` job
 //! runs it with `--check tests/golden/bench.json` (fails the build when the
 //! report schema or any deterministic field — verdict, refinement count,
 //! solver-call and cache counters — drifts from the committed golden) and
-//! `--compare-previous BENCH_pr4.json` (fails on any per-task regression of
+//! `--compare-previous BENCH_pr5.json` (fails on any per-task regression of
 //! a gated counter — `solver_calls`, `simplex_calls`, the refine-phase cold
 //! simplex calls `phases.refine_simplex_calls`, and the synthesis frontier
 //! `synth_branches_explored` — against the committed previous trajectory
@@ -14,21 +14,21 @@
 //! schema predates are not gated).  Local regeneration after an intentional
 //! change is `cargo run --release -p pathinv-cli -- --bless`.
 
-use pathinv_cli::json::{self, Json};
-use pathinv_cli::trajectory::{run_trajectory, TrajectoryReport};
+use crate::json::{self, Json};
+use crate::trajectory::{run_trajectory, TrajectoryReport};
 
 /// Configuration of one `bench` experiment run.
 #[derive(Clone, Debug, Default)]
 pub struct BenchConfig {
     /// Worker threads (defaults to available parallelism).
     pub jobs: Option<usize>,
-    /// Where to write the full trajectory report (`BENCH_pr5.json`).
+    /// Where to write the full trajectory report (`BENCH_pr6.json`).
     pub bench_json: Option<String>,
     /// Where to write the deterministic golden projection.
     pub bench_golden: Option<String>,
     /// A committed golden to diff the run against; any drift is an error.
     pub check: Option<String>,
-    /// A committed *previous* trajectory point (`BENCH_pr4.json`); any
+    /// A committed *previous* trajectory point (`BENCH_pr5.json`); any
     /// per-task regression of a gated counter (`solver_calls`,
     /// `simplex_calls`, `phases.refine_simplex_calls`,
     /// `synth_branches_explored`) against it is an error.
@@ -133,6 +133,14 @@ pub fn run_bench(config: &BenchConfig) -> Result<TrajectoryReport, String> {
 /// and counting that as a regression would forbid exactly the improvement
 /// the trajectory exists to measure.  (Verdict *regressions* are caught by
 /// the golden corpus snapshot, not this gate.)
+///
+/// Similarly, across the bench-schema v4 boundary (the point where
+/// counterexamples are certified integral before a task concludes
+/// `unsafe`), tasks that are `unsafe` in *both* points are exempt: the
+/// certification's solver calls are a class of work the pre-v4 baseline
+/// never performed, so a pre-v4 point has no like-for-like counter to
+/// regress against on exactly those tasks.  Once both points are v4+, the
+/// exemption disappears and `unsafe` tasks gate again.
 pub fn counter_regressions(previous: &Json, current: &Json) -> Vec<String> {
     /// A gated counter: its report label and the path to read it from a
     /// task object (top-level field, or one nested under `phases`).
@@ -158,6 +166,9 @@ pub fn counter_regressions(previous: &Json, current: &Json) -> Vec<String> {
             t.get("refiner").and_then(Json::as_str).unwrap_or("?").to_string(),
         )
     };
+    let bench_schema =
+        |doc: &Json| -> i64 { doc.get("bench_schema_version").and_then(Json::as_int).unwrap_or(0) };
+    let crosses_certification_boundary = bench_schema(previous) < 4 && bench_schema(current) >= 4;
     let current_tasks = tasks(current);
     let mut out = Vec::new();
     for prev in tasks(previous) {
@@ -171,6 +182,12 @@ pub fn counter_regressions(previous: &Json, current: &Json) -> Vec<String> {
         if was_verdict == "unknown" && matches!(now_verdict.as_str(), "safe" | "unsafe") {
             // The task used to give up and now concludes: extra solver work
             // is the price of the better verdict, not a regression.
+            continue;
+        }
+        if crosses_certification_boundary && was_verdict == "unsafe" && now_verdict == "unsafe" {
+            // The previous point predates integral counterexample
+            // certification, whose solver calls land exactly on tasks that
+            // conclude `unsafe`; there is no like-for-like baseline.
             continue;
         }
         for (label, path) in GATED {
@@ -290,5 +307,50 @@ mod tests {
         );
         // Identical documents never regress (wall-clock is informational).
         assert!(counter_regressions(&previous, &previous).is_empty());
+    }
+
+    /// Across the bench-schema v4 boundary (integral counterexample
+    /// certification), `unsafe` tasks are exempt from counter gating; once
+    /// both points are v4, the exemption disappears, and it never covers
+    /// non-`unsafe` tasks.
+    #[test]
+    fn certification_boundary_exempts_unsafe_tasks_once() {
+        let pre_v4 = json::parse(
+            r#"{"bench_schema_version": 3, "tasks": [
+                {"program": "BUG", "refiner": "path-invariants",
+                 "verdict": "unsafe", "solver_calls": 25, "simplex_calls": 32},
+                {"program": "OK", "refiner": "path-invariants",
+                 "verdict": "safe", "solver_calls": 10, "simplex_calls": 10}
+            ]}"#,
+        )
+        .unwrap();
+        let v4 = json::parse(
+            r#"{"bench_schema_version": 4, "tasks": [
+                {"program": "BUG", "refiner": "path-invariants",
+                 "verdict": "unsafe", "solver_calls": 26, "simplex_calls": 35},
+                {"program": "OK", "refiner": "path-invariants",
+                 "verdict": "safe", "solver_calls": 11, "simplex_calls": 10}
+            ]}"#,
+        )
+        .unwrap();
+        let regressions = counter_regressions(&pre_v4, &v4);
+        assert!(
+            !regressions.iter().any(|r| r.contains("BUG")),
+            "certification cost on unsafe tasks must not gate across the boundary: {regressions:?}"
+        );
+        assert!(
+            regressions.iter().any(|r| r.contains("OK") && r.contains("solver_calls")),
+            "safe tasks still gate across the boundary: {regressions:?}"
+        );
+        // v4 vs v4: the exemption is spent, unsafe tasks gate normally.
+        let v4_worse = json::parse(
+            r#"{"bench_schema_version": 4, "tasks": [
+                {"program": "BUG", "refiner": "path-invariants",
+                 "verdict": "unsafe", "solver_calls": 27, "simplex_calls": 35}
+            ]}"#,
+        )
+        .unwrap();
+        let later = counter_regressions(&v4, &v4_worse);
+        assert!(later.iter().any(|r| r.contains("BUG") && r.contains("solver_calls")), "{later:?}");
     }
 }

@@ -21,11 +21,13 @@
 //! `tests/golden/corpus.json`, so a PR that flips a verdict, blows up
 //! refinement counts, or regresses solver-call discipline fails tier-1
 //! immediately.  The [`trajectory`] module builds the benchmark trajectory
-//! point (`BENCH_pr5.json`) on the same harness.
+//! point (`BENCH_pr6.json`) on the same harness.
 
 #![warn(missing_docs)]
 
 pub mod differential;
+pub mod experiments;
+pub mod fuzz;
 pub mod json;
 pub mod trajectory;
 
@@ -177,9 +179,20 @@ pub fn refiner_name(kind: RefinerKind) -> &'static str {
 /// it.
 pub const ARRAY_RESET_BUG_SRC: &str = include_str!("../../../programs/array_reset_bug.pinv");
 
+/// Minimized fuzzer reproducer for the rational-relaxation bug
+/// (`programs/rational_cex_parity.pinv`): integer-safe, but its error path is
+/// rationally satisfiable at a half-integral input.
+pub const RATIONAL_CEX_PARITY_SRC: &str =
+    include_str!("../../../programs/rational_cex_parity.pinv");
+
+/// Loop-free distillation of the same bug
+/// (`programs/half_integer_bug.pinv`): `assert(x + x != 1)` only fails at
+/// x = 1/2, so every engine must prove it safe or say unknown.
+pub const HALF_INTEGER_BUG_SRC: &str = include_str!("../../../programs/half_integer_bug.pinv");
+
 /// Returns every named program in [`pathinv_ir::corpus`] — the paper's
 /// hand-built figures plus the parsed suite entries (prefixed `suite/`) —
-/// and the committed `.pinv` sample `pinv/array_reset_bug`.
+/// and the committed `.pinv` samples (prefixed `pinv/`).
 pub fn corpus_programs() -> Vec<(String, Program)> {
     let mut programs: Vec<(String, Program)> = vec![
         ("FORWARD".to_string(), corpus::forward()),
@@ -191,11 +204,18 @@ pub fn corpus_programs() -> Vec<(String, Program)> {
     for (entry, program) in corpus::suite_programs() {
         programs.push((format!("suite/{}", entry.name), program));
     }
-    programs.push((
-        "pinv/array_reset_bug".to_string(),
-        parse_program(ARRAY_RESET_BUG_SRC)
-            .expect("committed sample programs/array_reset_bug.pinv must parse"),
-    ));
+    for (name, src) in [
+        ("array_reset_bug", ARRAY_RESET_BUG_SRC),
+        ("rational_cex_parity", RATIONAL_CEX_PARITY_SRC),
+        ("half_integer_bug", HALF_INTEGER_BUG_SRC),
+    ] {
+        programs.push((
+            format!("pinv/{name}"),
+            parse_program(src).unwrap_or_else(|e| {
+                panic!("committed sample programs/{name}.pinv must parse: {e}")
+            }),
+        ));
+    }
     programs
 }
 
@@ -600,17 +620,21 @@ mod tests {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
         assert!(names.iter().filter(|n| n.starts_with("suite/")).count() >= 8);
-        assert!(
-            names.contains(&"pinv/array_reset_bug".to_string()),
-            "the committed sample program must be part of the corpus"
-        );
+        for sample in ["array_reset_bug", "rational_cex_parity", "half_integer_bug"] {
+            assert!(
+                names.contains(&format!("pinv/{sample}")),
+                "the committed sample program {sample} must be part of the corpus"
+            );
+        }
     }
 
     #[test]
-    fn embedded_sample_matches_the_committed_file() {
-        // `include_str!` guarantees this at compile time; the assertion
-        // documents the invariant for readers.
+    fn embedded_samples_match_the_committed_files() {
+        // `include_str!` guarantees this at compile time; the assertions
+        // document the invariant for readers.
         assert!(ARRAY_RESET_BUG_SRC.contains("proc array_reset_bug"));
+        assert!(RATIONAL_CEX_PARITY_SRC.contains("proc rational_cex_parity"));
+        assert!(HALF_INTEGER_BUG_SRC.contains("proc half_integer_bug"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pathinv-cli — batch verification over the Path Invariants corpus
 USAGE:
     pathinv-cli [OPTIONS] [FILE.pinv ...]
     pathinv-cli trajectory --history [DIR]
+    pathinv-cli fuzz [FUZZ OPTIONS]
 
 ARGS:
     FILE.pinv ...          front-end source files to verify alongside/instead
@@ -29,6 +30,21 @@ SUBCOMMANDS:
     trajectory --history   aggregate every committed BENCH_*.json trajectory
                            point (in DIR, default the current directory) into
                            one per-PR summary table
+    fuzz                   generate a seeded differential-fuzzing campaign and
+                           cross-check every program three ways (engine vs
+                           engine, verifier vs concrete interpreter, cached vs
+                           uncached); exits 1 on any disagreement
+
+FUZZ OPTIONS:
+    --seed <N>             campaign seed (default: 0)
+    --count <N>            certified programs to generate (default: 200)
+    --jobs <N>             worker threads (default: available parallelism);
+                           never affects the report, only wall-clock
+    --json <PATH>          write the deterministic JSON report (`-` = stdout)
+    --reproducers <DIR>    write each shrunk finding as a .pinv reproducer
+    --cache-sample <N>     programs also checked cached-vs-uncached (default: 10)
+    --shrink-budget <N>    candidate scenarios tested per finding (default: 48)
+    --quiet                suppress the campaign summary
 
 OPTIONS:
     --all                  verify every program in pathinv_ir::corpus
@@ -46,7 +62,7 @@ OPTIONS:
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr5.json trajectory point; run from
+                           and the BENCH_pr6.json trajectory point; run from
                            the repository root
     --quiet                suppress the summary table
     --help                 show this help
@@ -180,7 +196,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr5.json";
+    const BENCH_POINT: &str = "BENCH_pr6.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
@@ -300,10 +316,103 @@ fn trajectory_history(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `fuzz` subcommand: seeded generation plus three-way differential
+/// cross-checking; exits 1 on any finding.
+fn fuzz_main(args: &[String]) -> ExitCode {
+    let mut opts = pathinv_cli::fuzz::FuzzOptions { jobs: default_jobs(), ..Default::default() };
+    let mut json_path: Option<String> = None;
+    let mut reproducer_dir: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    let mut parse = || -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value_for =
+                |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+            match arg.as_str() {
+                "--seed" => {
+                    let v = value_for("--seed")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+                }
+                "--count" => {
+                    let v = value_for("--count")?;
+                    opts.count = v.parse().map_err(|_| format!("bad --count `{v}`"))?;
+                }
+                "--jobs" => {
+                    let v = value_for("--jobs")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                    opts.jobs = n;
+                }
+                "--cache-sample" => {
+                    let v = value_for("--cache-sample")?;
+                    opts.cache_sample =
+                        v.parse().map_err(|_| format!("bad --cache-sample `{v}`"))?;
+                }
+                "--shrink-budget" => {
+                    let v = value_for("--shrink-budget")?;
+                    opts.shrink_budget =
+                        v.parse().map_err(|_| format!("bad --shrink-budget `{v}`"))?;
+                }
+                "--json" => json_path = Some(value_for("--json")?),
+                "--reproducers" => reproducer_dir = Some(value_for("--reproducers")?),
+                "--quiet" => quiet = true,
+                other => return Err(format!("unknown fuzz option `{other}`")),
+            }
+        }
+        Ok(())
+    };
+    if let Err(msg) = parse() {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let report = pathinv_cli::fuzz::run_fuzz(&opts);
+    if !quiet {
+        print!("{}", report.render_summary());
+    }
+    if let Some(path) = &json_path {
+        let text = report.to_json().pretty();
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &reproducer_dir {
+        if !report.findings.is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            for f in &report.findings {
+                if f.source.is_empty() {
+                    continue;
+                }
+                let path = format!("{dir}/{}", f.reproducer_name());
+                if let Err(e) = std::fs::write(&path, &f.source) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("reproducer written: {path}");
+            }
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trajectory") {
         return trajectory_history(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,

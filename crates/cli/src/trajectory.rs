@@ -1,6 +1,6 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr5.json`
-//! (`BENCH_pr4.json` is the committed previous point the bench-smoke CI job
+//! the corpus-wide solver workload, emitted as `BENCH_pr6.json`
+//! (`BENCH_pr5.json` is the committed previous point the bench-smoke CI job
 //! diffs against for per-task counter regressions), plus the [`render_history`]
 //! aggregation that renders every committed `BENCH_*.json` as one per-PR
 //! table (`pathinv-cli trajectory --history`).
@@ -29,8 +29,13 @@ use crate::{
 /// stamped into the emitted JSON.  Version 2 added the cold/warm simplex
 /// totals; version 3 added the refine-phase cold-simplex total and the
 /// invariant-synthesis counters (systems solved, branches
-/// explored/pruned, cores learned, memo hits).
-pub const BENCH_SCHEMA_VERSION: i64 = 3;
+/// explored/pruned, cores learned, memo hits); version 4 marks the point
+/// where counterexamples are certified integral before a task concludes
+/// `unsafe`, so concluded-`unsafe` tasks carry the certification's solver
+/// calls — counters that pre-v4 points did not account for (the
+/// `--compare-previous` gate exempts exactly those tasks across the v4
+/// boundary).
+pub const BENCH_SCHEMA_VERSION: i64 = 4;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -187,7 +192,7 @@ impl TrajectoryReport {
         saved as f64 / self.baseline.solver_calls as f64
     }
 
-    /// The full JSON rendering (the contents of `BENCH_pr5.json`): the
+    /// The full JSON rendering (the contents of `BENCH_pr6.json`): the
     /// deterministic fields plus wall-clock.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![

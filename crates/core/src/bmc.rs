@@ -39,13 +39,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::cegar::{Verdict, VerificationResult, VerifierStats};
+use crate::cegar::{Verdict, VerificationResult, VerifierStats, CEX_INTEGRALITY_NODES};
 use crate::engine::VerificationEngine;
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::PredicateMap;
 use pathinv_ir::ssa::{encode_action, VersionMap};
-use pathinv_ir::{Formula, Loc, Path, Program, TransId};
-use pathinv_smt::{stats_snapshot, SolverContext};
+use pathinv_ir::{ssa, Formula, Loc, Path, Program, TransId};
+use pathinv_smt::{stats_snapshot, IntSatResult, Solver, SolverContext};
 
 /// Configuration of the bounded model checker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -261,7 +261,28 @@ impl<'p> Search<'p> {
                 steps.push(tid);
                 self.deepest = self.deepest.max(steps.len());
                 let path = Path::new(program, steps).map_err(CoreError::from)?;
-                return Ok(SearchOutcome::Counterexample(path));
+                // The stack is only rationally satisfiable — a relaxation
+                // for this integer-valued language.  Certify the path over
+                // the integers before reporting it; an integrally
+                // infeasible error edge is pruned like any other infeasible
+                // step, and an undecided one degrades the exploration to
+                // inexhaustive (unknown, never a wrong verdict).
+                let pf = ssa::path_formula(program, &path);
+                match Solver::new()
+                    .check_integral(&pf.conjunction(), CEX_INTEGRALITY_NODES)
+                    .map_err(CoreError::from)?
+                {
+                    IntSatResult::Sat(_) => return Ok(SearchOutcome::Counterexample(path)),
+                    IntSatResult::Unsat => {
+                        self.ctx.pop();
+                        continue;
+                    }
+                    IntSatResult::Unknown => {
+                        self.truncated = true;
+                        self.ctx.pop();
+                        continue;
+                    }
+                }
             }
             self.steps.push(tid);
             self.deepest = self.deepest.max(self.steps.len());

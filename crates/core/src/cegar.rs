@@ -20,9 +20,17 @@ use crate::predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 use crate::refine::{PathInvariantRefiner, PathPredicateRefiner, Refiner};
 use pathinv_invgen::{synth_stats_snapshot, SynthCounters};
 use pathinv_ir::{ssa, Loc, Path, Program, TransId};
-use pathinv_smt::{stats_snapshot, ContextStats, SmtStats, SolverContext};
+use pathinv_smt::{stats_snapshot, ContextStats, IntSatResult, SmtStats, Solver, SolverContext};
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Branch-and-bound node budget for certifying a rationally feasible
+/// counterexample path as satisfiable *over the integers* before reporting
+/// it.  Error paths are conjunctions of simple bounds and equalities, so the
+/// search almost always settles within a handful of nodes; the budget only
+/// guards against pathological inputs, where exhaustion degrades the verdict
+/// to unknown.
+pub const CEX_INTEGRALITY_NODES: usize = 10_000;
 
 /// Which refinement strategy the engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -341,17 +349,63 @@ impl Verifier {
                 });
             };
             // Counterexample analysis: feasibility of the path formula.
+            // Rational satisfiability is only a relaxation for this
+            // integer-valued language (non-strict bounds admit fractional
+            // models the program cannot reach), so a rationally feasible
+            // path is certified with a branch-and-bound integrality check
+            // before it is reported as a bug.
             let pf = ssa::path_formula(program, &path);
             let phase = Instant::now();
             let snap = stats_snapshot();
-            let feasibility = cex_ctx.is_sat_with(&pf.conjunction());
+            let feasibility = match cex_ctx.is_sat_with(&pf.conjunction()) {
+                Ok(true) => {
+                    Solver::new().check_integral(&pf.conjunction(), CEX_INTEGRALITY_NODES).map(Some)
+                }
+                Ok(false) => Ok(None),
+                Err(e) => Err(e),
+            };
             stats.cex_ms += ms_since(phase);
             let delta = stats_snapshot().since(&snap);
             stats.cex_solver_calls += delta.sat_checks;
             stats.cex_simplex_calls += delta.simplex_calls;
-            if check_budget!(feasibility, refinement, "counterexample feasibility (cex)") {
+            let certified =
+                check_budget!(feasibility, refinement, "counterexample feasibility (cex)");
+            // An integrally infeasible (or undecided) rational model cannot
+            // be refined away either: the refiners' interpolation arguments
+            // are rational, and a rationally satisfiable path formula has no
+            // rational refutation to interpolate.  The honest verdict is
+            // unknown, never unsafe.
+            let unknown_reason = match certified {
+                None => None,
+                Some(IntSatResult::Sat(_)) => {
+                    return Ok(VerificationResult {
+                        verdict: Verdict::Unsafe { path },
+                        refinements: refinement,
+                        predicates: predicates.len(),
+                        art_nodes: total_nodes,
+                        predicate_map: predicates,
+                        stats: finalize_stats(
+                            stats,
+                            &smt_start,
+                            &synth_start,
+                            post.stats(),
+                            cex_ctx.stats(),
+                        ),
+                    });
+                }
+                Some(IntSatResult::Unsat) => Some(
+                    "counterexample path is feasible over the rationals but has no \
+                     integral model; rational interpolation cannot refine it away"
+                        .to_string(),
+                ),
+                Some(IntSatResult::Unknown) => Some(format!(
+                    "counterexample integrality check exhausted its \
+                     {CEX_INTEGRALITY_NODES}-node branch-and-bound budget"
+                )),
+            };
+            if let Some(reason) = unknown_reason {
                 return Ok(VerificationResult {
-                    verdict: Verdict::Unsafe { path },
+                    verdict: Verdict::Unknown { reason },
                     refinements: refinement,
                     predicates: predicates.len(),
                     art_nodes: total_nodes,

@@ -65,12 +65,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::cegar::{Verdict, VerificationResult, VerifierStats};
+use crate::cegar::{Verdict, VerificationResult, VerifierStats, CEX_INTEGRALITY_NODES};
 use crate::engine::VerificationEngine;
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::PredicateMap;
 use pathinv_ir::{ssa, Action, Formula, Loc, Path, Program, RelOp, TransId};
-use pathinv_smt::{sequence_interpolants, stats_snapshot, LinConstraint, SolverContext};
+use pathinv_smt::{
+    sequence_interpolants, stats_snapshot, IntSatResult, LinConstraint, Solver, SolverContext,
+};
 use std::collections::BTreeMap;
 
 /// Configuration of the PDR-lite engine.
@@ -304,23 +306,36 @@ impl<'p> Pdr<'p> {
         Ok(BlockOutcome::Blocked)
     }
 
-    /// Validates a candidate trace against the concrete path semantics.
+    /// Validates a candidate trace against the concrete path semantics: the
+    /// path formula must be satisfiable, and — since rational satisfiability
+    /// is only a relaxation for this integer-valued language — satisfiable
+    /// *over the integers*, certified by branch and bound.
     fn conclude_from_trace(&mut self, trace: Vec<TransId>) -> CoreResult<(Verdict, PredicateMap)> {
         let path = Path::new(self.program, trace).map_err(CoreError::from)?;
         let pf = ssa::path_formula(self.program, &path);
-        if self.ctx.is_sat_with(&pf.conjunction()).map_err(CoreError::from)? {
-            Ok((Verdict::Unsafe { path }, PredicateMap::new()))
-        } else {
+        let unknown = |reason: &str| {
+            Ok((Verdict::Unknown { reason: reason.to_string() }, PredicateMap::new()))
+        };
+        if !self.ctx.is_sat_with(&pf.conjunction()).map_err(CoreError::from)? {
             // Only reachable through the havoc overapproximation in the
             // preimage; the honest answer is to give up.
-            Ok((
-                Verdict::Unknown {
-                    reason: "PDR-lite produced a spurious counterexample trace \
-                             (inexact havoc preimage)"
-                        .to_string(),
-                },
-                PredicateMap::new(),
-            ))
+            return unknown(
+                "PDR-lite produced a spurious counterexample trace (inexact havoc preimage)",
+            );
+        }
+        match Solver::new()
+            .check_integral(&pf.conjunction(), CEX_INTEGRALITY_NODES)
+            .map_err(CoreError::from)?
+        {
+            IntSatResult::Sat(_) => Ok((Verdict::Unsafe { path }, PredicateMap::new())),
+            IntSatResult::Unsat => unknown(
+                "PDR-lite counterexample trace is feasible over the rationals but has no \
+                 integral model",
+            ),
+            IntSatResult::Unknown => unknown(
+                "PDR-lite counterexample integrality check exhausted its branch-and-bound \
+                 budget",
+            ),
         }
     }
 

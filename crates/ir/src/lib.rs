@@ -35,6 +35,7 @@ pub mod cfg;
 pub mod corpus;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod formula;
 pub mod intern;
 pub mod lexer;

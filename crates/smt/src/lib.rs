@@ -63,5 +63,5 @@ pub use rat::{DeltaRat, Rat};
 pub use simplex::{
     entails as lra_entails, solve as lra_solve, FarkasCertificate, IncrementalSimplex, LpResult,
 };
-pub use solver::{Model, SatResult, Solver};
+pub use solver::{IntSatResult, Model, SatResult, Solver};
 pub use stats::{snapshot as stats_snapshot, SmtStats};

@@ -87,6 +87,18 @@ impl SatResult {
     }
 }
 
+/// Outcome of an integral satisfiability query ([`Solver::check_integral`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntSatResult {
+    /// Satisfiable over the integers; the attached model is fully integral.
+    Sat(Model),
+    /// Unsatisfiable over the integers.
+    Unsat,
+    /// The branch-and-bound node budget ran out before a conclusion; callers
+    /// must treat this conservatively (never as a verdict).
+    Unknown,
+}
+
 /// The combined solver.  Construct once and reuse; the solver itself is
 /// stateless apart from a branch budget.
 #[derive(Clone, Debug)]
@@ -155,6 +167,64 @@ impl Solver {
     /// Decides satisfiability of a conjunction of formulas.
     pub fn check_conjunction(&self, fs: &[Formula]) -> SmtResult<SatResult> {
         self.check(&Formula::and(fs.to_vec()))
+    }
+
+    /// Decides satisfiability *over the integers* by branch-and-bound on top
+    /// of the rational relaxation.
+    ///
+    /// [`Solver::check`] decides the rational relaxation: only strict
+    /// inequalities are tightened for integrality, so an equality like
+    /// `x + x = 1` is rationally satisfiable (`x = 1/2`) with no integer
+    /// solution.  Rational-UNSAT still implies integer-UNSAT, so `Safe`
+    /// proofs built on `check` are sound — but *satisfiability* claims (and
+    /// the counterexamples they justify) are not.  This method closes that
+    /// gap: whenever the relaxation produces a fractional value for a
+    /// variable `v` with value `r`, it branches on `v <= floor(r)` versus
+    /// `v >= floor(r) + 1` (both of which exclude `r`) and recurses, up to
+    /// `max_nodes` branch nodes.
+    ///
+    /// Returns [`IntSatResult::Sat`] only with a fully integral model,
+    /// [`IntSatResult::Unsat`] when every branch is (rationally, hence
+    /// integrally) unsatisfiable, and [`IntSatResult::Unknown`] when the
+    /// node budget runs out — callers must treat `Unknown` conservatively
+    /// and never turn it into a verdict.
+    ///
+    /// Branching only ever targets integer-sorted variables: array variables
+    /// never receive values from the linear core (reads are abstracted by
+    /// fresh integer instances), so every valued variable is arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::check`].
+    pub fn check_integral(&self, f: &Formula, max_nodes: usize) -> SmtResult<IntSatResult> {
+        let mut nodes = max_nodes;
+        self.branch_and_bound(f, &mut nodes)
+    }
+
+    fn branch_and_bound(&self, f: &Formula, nodes: &mut usize) -> SmtResult<IntSatResult> {
+        let model = match self.check(f)? {
+            SatResult::Unsat => return Ok(IntSatResult::Unsat),
+            SatResult::Sat(model) => model,
+        };
+        let Some((&v, &r)) = model.values.iter().find(|(_, r)| !r.is_integer()) else {
+            return Ok(IntSatResult::Sat(model));
+        };
+        if *nodes == 0 {
+            return Ok(IntSatResult::Unknown);
+        }
+        *nodes -= 1;
+        let lo = r.floor();
+        let below = Formula::and(vec![f.clone(), Formula::le(Term::Var(v), Term::int(lo))]);
+        let above = Formula::and(vec![f.clone(), Formula::ge(Term::Var(v), Term::int(lo + 1))]);
+        let mut exhausted = false;
+        for branch in [below, above] {
+            match self.branch_and_bound(&branch, nodes)? {
+                IntSatResult::Sat(m) => return Ok(IntSatResult::Sat(m)),
+                IntSatResult::Unsat => {}
+                IntSatResult::Unknown => exhausted = true,
+            }
+        }
+        Ok(if exhausted { IntSatResult::Unknown } else { IntSatResult::Unsat })
     }
 
     /// Returns `true` if the formula is satisfiable.
@@ -1239,5 +1309,47 @@ mod tests {
         assert!(s.is_sat(&good).unwrap());
         let bad = F::and(vec![base, F::eq(Term::ivar("a", 2).select(Term::int(0)), Term::int(5))]);
         assert!(!s.is_sat(&bad).unwrap());
+    }
+
+    #[test]
+    fn integral_check_refutes_fractional_only_models() {
+        let s = solver();
+        // x + x = 1 is rationally satisfiable (x = 1/2) but has no integer
+        // solution; the plain check must say sat and the integral check unsat.
+        let f = F::eq(Term::var("x").add(Term::var("x")), Term::int(1));
+        assert!(s.is_sat(&f).unwrap());
+        assert_eq!(s.check_integral(&f, 64).unwrap(), IntSatResult::Unsat);
+    }
+
+    #[test]
+    fn integral_check_finds_integer_models() {
+        let s = solver();
+        // 2x + 3y = 7 with 0 <= x, y <= 5 has integer solutions (x=2, y=1).
+        let f = F::and(vec![
+            F::eq(
+                Term::int(2).mul(Term::var("x")).add(Term::int(3).mul(Term::var("y"))),
+                Term::int(7),
+            ),
+            F::ge(Term::var("x"), Term::int(0)),
+            F::ge(Term::var("y"), Term::int(0)),
+            F::le(Term::var("x"), Term::int(5)),
+            F::le(Term::var("y"), Term::int(5)),
+        ]);
+        let IntSatResult::Sat(m) = s.check_integral(&f, 64).unwrap() else {
+            panic!("expected an integral model");
+        };
+        for r in m.values.values() {
+            assert!(r.is_integer(), "model must be integral, got {m}");
+        }
+        let x = m.value(VarRef::cur(Symbol::intern("x"))).unwrap().as_integer().unwrap();
+        let y = m.value(VarRef::cur(Symbol::intern("y"))).unwrap().as_integer().unwrap();
+        assert_eq!(2 * x + 3 * y, 7);
+    }
+
+    #[test]
+    fn integral_check_reports_unknown_on_exhausted_budget() {
+        let s = solver();
+        let f = F::eq(Term::var("x").add(Term::var("x")), Term::int(1));
+        assert_eq!(s.check_integral(&f, 0).unwrap(), IntSatResult::Unknown);
     }
 }

@@ -1,0 +1,189 @@
+//! Agreement between the concrete interpreter ([`pathinv_ir::exec`]) and the
+//! symbolic SSA path encoding ([`pathinv_ir::path_formula`]).
+//!
+//! The differential fuzzer's counterexample validation leans on three
+//! conventions these tests pin down:
+//!
+//! 1. **Havoc handling** — `encode_action` bumps the havocked variable's SSA
+//!    version without adding a constraint, so the model value of the *bumped*
+//!    version (`pf.versions[i + 1]`) is the havoc result that `replay`
+//!    consumes.
+//! 2. **Assertion-location attribution** — `assert(c)` lowers to an edge into
+//!    the error location guarded by `!c`; a concrete witness's final
+//!    transition identifies *which* assertion failed.
+//! 3. **Stuck evaluation** — arithmetic the interpreter cannot perform
+//!    (overflow) makes the search inexhaustive, so the outcome degrades to
+//!    `Unknown`, never to a wrong `Safe`.
+//!
+//! The language has no division or modulo (`ExprAst` is `Num`/`Var`/`Index`/
+//! `Add`/`Sub`/`Mul`/`Neg`), so there are no rounding-direction gaps between
+//! the interpreter and the solver to test: integer division simply cannot be
+//! expressed.  `tests/roundtrip.rs` keeps the surface grammar honest, and the
+//! overflow test below covers the one arithmetic partiality that does exist.
+
+use pathinv_ir::exec::{replay, search, ConcreteOutcome, SearchLimits};
+use pathinv_ir::{parse_program, path_formula, Action, Formula, Path, Symbol, Term, VarRef};
+use pathinv_smt::{IntSatResult, Solver};
+use std::collections::BTreeMap;
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+fn limits() -> SearchLimits {
+    SearchLimits { domain: (-2..=4).collect(), max_depth: 64, max_steps: 50_000 }
+}
+
+/// Havoc agreement, symbolic side: the path formula of a concrete havoc
+/// witness is satisfiable over the integers, and the havoc value can be read
+/// back from the model at the bumped SSA version.
+#[test]
+fn havoc_witness_model_is_read_at_the_bumped_version() {
+    let p = parse_program(
+        "proc h() {
+             var x: int;
+             havoc x;
+             assume(x >= 1); assume(x <= 3);
+             assert(x != 2);
+         }",
+    )
+    .unwrap();
+    let ConcreteOutcome::Unsafe(w) = search(&p, &[], &limits()) else {
+        panic!("error must be concretely reachable");
+    };
+    assert_eq!(w.havocs, vec![2]);
+    let path = w.to_path(&p).expect("witness has steps");
+    let pf = path_formula(&p, &path);
+    let solver = Solver::new();
+    let IntSatResult::Sat(model) = solver.check_integral(&pf.conjunction(), 1024).unwrap() else {
+        panic!("concrete witness path must be integrally satisfiable");
+    };
+    // Locate the havoc transition on the path and read the model at the
+    // version in effect *after* it — the same convention the fuzz harness
+    // uses to turn engine counterexamples into replayable witnesses.
+    let mut havocs = Vec::new();
+    for (i, t) in path.transitions(&p).iter().enumerate() {
+        if let Action::Havoc(xs) = &t.action {
+            for &x in xs {
+                let version = pf.versions[i + 1].get(&x).copied().unwrap_or(0);
+                let value =
+                    model.value(VarRef::idx(x, version)).expect("havocked var is constrained");
+                assert!(value.is_integer());
+                havocs.push(value.floor());
+            }
+        }
+    }
+    assert_eq!(havocs, vec![2], "model must pin the havoc result to the only failing value");
+    assert!(replay(&p, path.steps(), &BTreeMap::new(), &havocs).reaches_error());
+}
+
+/// Havoc agreement, negative side: a havoc-reachable error that the assumes
+/// rule out concretely must also be unreachable symbolically.
+#[test]
+fn infeasible_havoc_paths_agree() {
+    let p = parse_program(
+        "proc h() {
+             var x: int;
+             havoc x;
+             assume(x >= 0);
+             assert(x >= 0);
+         }",
+    )
+    .unwrap();
+    assert_eq!(search(&p, &[], &limits()), ConcreteOutcome::Safe);
+    // The only error path (havoc; assume; assert-negation) is unsatisfiable.
+    let error_path = {
+        let mut steps = Vec::new();
+        let mut loc = p.entry();
+        while loc != p.error() {
+            // Take the edge into the error location when one leaves `loc`
+            // (the negated assert); otherwise follow the straight line.
+            let out = p.outgoing(loc);
+            let t = *out
+                .iter()
+                .find(|&&t| p.transition(t).to == p.error())
+                .or_else(|| out.first())
+                .expect("walk must not fall off the program before reaching error");
+            steps.push(t);
+            loc = p.transition(t).to;
+        }
+        Path::new(&p, steps).unwrap()
+    };
+    let pf = path_formula(&p, &error_path);
+    let solver = Solver::new();
+    assert_eq!(solver.check_integral(&pf.conjunction(), 1024).unwrap(), IntSatResult::Unsat);
+}
+
+/// A failing program with two assertions: the witness's final transition must
+/// be the negation of the assertion that actually fails, not just "some"
+/// error edge.
+#[test]
+fn failing_assert_is_attributed_to_its_own_guard() {
+    let p = parse_program(
+        "proc two(x: int) {
+             assume(x >= 0); assume(x <= 1);
+             assert(x >= 0);
+             assert(x != 1);
+         }",
+    )
+    .unwrap();
+    let ConcreteOutcome::Unsafe(w) = search(&p, &[sym("x")], &limits()) else {
+        panic!("x = 1 must violate the second assertion");
+    };
+    assert_eq!(w.inputs.get(&sym("x")), Some(&1));
+    let last = *w.steps.last().unwrap();
+    let t = p.transition(last);
+    assert_eq!(t.to, p.error());
+    // The error edge's guard is the negation of the *second* assert.
+    let Action::Assume(g) = &t.action else { panic!("error edge must be guarded") };
+    assert_eq!(*g, Formula::eq(Term::var("x"), Term::int(1)), "wrong assertion attributed: {g}");
+    assert!(replay(&p, &w.steps, &w.inputs, &w.havocs).reaches_error());
+}
+
+/// Arithmetic the interpreter cannot evaluate (i128 overflow) must degrade
+/// the search to `Unknown` — a wrong `Safe` here would poison the fuzzer's
+/// ground truth.
+#[test]
+fn overflow_makes_the_search_unknown_not_safe() {
+    let p = parse_program(
+        "proc o() {
+             var x: int;
+             x = 170141183460469231731687303715884105727;
+             x = x + 1;
+             assert(x >= 0);
+         }",
+    )
+    .unwrap();
+    assert_eq!(search(&p, &[], &limits()), ConcreteOutcome::Unknown);
+}
+
+/// Error-path audit, lexer: a numeric literal beyond i128 is a diagnostic,
+/// not a panic.
+#[test]
+fn out_of_range_literal_is_an_error_not_a_panic() {
+    let err =
+        parse_program("proc p() { var x: int; x = 999999999999999999999999999999999999999; }")
+            .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "unexpected diagnostic: {err}");
+}
+
+/// Error-path audit, parser: malformed syntax near every statement form
+/// returns `Err` (the fuzz harness feeds generated-valid programs, so any
+/// parser panic would surface as a campaign crash rather than a finding).
+#[test]
+fn malformed_syntax_is_an_error_not_a_panic() {
+    for src in [
+        "proc p( { }",
+        "proc p() { var x; }",
+        "proc p() { x = ; }",
+        "proc p() { if (x { } }",
+        "proc p() { while x) { } }",
+        "proc p() { assert(); }",
+        "proc p() { a[0 = 1; }",
+        "proc p() { havoc ; }",
+        "proc p() }",
+        "proc p() { assume(x ><= 1); }",
+    ] {
+        assert!(parse_program(src).is_err(), "`{src}` must be rejected with a diagnostic");
+    }
+}

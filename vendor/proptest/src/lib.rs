@@ -8,9 +8,10 @@
 //!
 //! Generation is pseudo-random but **deterministic**: every test function
 //! derives its RNG seed from its own name, so failures reproduce across runs
-//! and machines. There is no shrinking; the failing case number is reported
-//! and is stable under the deterministic seeding.
+//! and machines. The `proptest!` macro itself does not shrink; callers that
+//! need minimization drive the standalone greedy reducer in [`shrink`].
 
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,105 @@
+//! Greedy shrinking: reduce a failing value to a local minimum that still
+//! fails.
+//!
+//! Upstream proptest interleaves shrinking with its `ValueTree` machinery;
+//! this stand-in exposes the part the workspace needs as a standalone
+//! fixed-point driver. A type opts in by implementing [`Shrink`], proposing
+//! strictly-simpler candidate values; [`minimize`] repeatedly replaces the
+//! current value with the first candidate that still satisfies the failure
+//! predicate, until no candidate does (a local minimum) or the step budget
+//! runs out.
+//!
+//! The driver is deterministic: candidates are tried in the order the
+//! implementor returns them, and the predicate is the only source of
+//! branching. Predicates are typically expensive (e.g. re-running a whole
+//! verifier portfolio), so the budget bounds the total number of predicate
+//! invocations, not just accepted steps.
+
+/// Types that can propose strictly-simpler versions of themselves.
+pub trait Shrink: Sized {
+    /// Candidate simplifications, most aggressive first.
+    ///
+    /// Every candidate must be *strictly smaller* under some well-founded
+    /// measure (fewer loop iterations, smaller constants, fewer statements),
+    /// otherwise [`minimize`] may loop until the budget is exhausted instead
+    /// of converging.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+/// Statistics from a [`minimize`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Number of candidates accepted (the value got simpler this many times).
+    pub accepted: usize,
+    /// Total predicate invocations, accepted or not.
+    pub tested: usize,
+    /// True when the run stopped because the budget ran out rather than
+    /// because a local minimum was reached.
+    pub budget_exhausted: bool,
+}
+
+/// Greedily minimizes `value` under `still_fails`.
+///
+/// `still_fails(&candidate)` must return `true` when the candidate still
+/// exhibits the failure being minimized. The input `value` itself is assumed
+/// to fail and is never re-tested. At most `budget` predicate calls are made.
+pub fn minimize<T: Shrink>(
+    mut value: T,
+    mut still_fails: impl FnMut(&T) -> bool,
+    budget: usize,
+) -> (T, ShrinkStats) {
+    let mut stats = ShrinkStats { accepted: 0, tested: 0, budget_exhausted: false };
+    'outer: loop {
+        let candidates = value.shrink_candidates();
+        for candidate in candidates {
+            if stats.tested >= budget {
+                stats.budget_exhausted = true;
+                break 'outer;
+            }
+            stats.tested += 1;
+            if still_fails(&candidate) {
+                value = candidate;
+                stats.accepted += 1;
+                continue 'outer;
+            }
+        }
+        // No candidate still fails: local minimum.
+        break;
+    }
+    (value, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Shrink for u32 {
+        fn shrink_candidates(&self) -> Vec<u32> {
+            if *self == 0 {
+                return Vec::new();
+            }
+            let mut out = vec![*self / 2];
+            if *self > 1 {
+                out.push(*self - 1);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn converges_to_smallest_failing() {
+        // Failure: value >= 17. Minimum failing value is 17.
+        let (v, stats) = minimize(1000u32, |v| *v >= 17, 10_000);
+        assert_eq!(v, 17);
+        assert!(!stats.budget_exhausted);
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn budget_zero_returns_input() {
+        let (v, stats) = minimize(99u32, |_| true, 0);
+        assert_eq!(v, 99);
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.tested, 0);
+    }
+}

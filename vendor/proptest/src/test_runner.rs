@@ -61,6 +61,15 @@ impl TestRng {
         TestRng { state: h | 1 }
     }
 
+    /// Seeds the RNG from a caller-chosen numeric seed.
+    ///
+    /// Distinct seeds map to distinct states; the `| 1` mirrors
+    /// [`TestRng::from_name`]'s guarantee that the state is nonzero, and the
+    /// multiplier decorrelates small consecutive seeds.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1 }
+    }
+
     /// Next raw 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
