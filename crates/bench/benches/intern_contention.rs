@@ -1,0 +1,109 @@
+//! Contention micro-benchmark for the sharded intern tables.
+//!
+//! The intern tables are process-wide; before sharding, a single locked map
+//! meant every worker thread of the racing harness and the parallel beam
+//! serialized on the same mutex just to build a term.  The tables are now
+//! split into 16 hash-keyed shards, each behind its own `RwLock`, and the
+//! steady-state hit takes only a read lock — so concurrent interning scales
+//! with threads instead of queueing.
+//!
+//! Two scenarios, each at 1, 4, and 16 threads:
+//!
+//! * `steady_state`: every thread re-interns the same pre-interned formulas
+//!   (pure read-lock traffic — the common case inside a verification run,
+//!   and the case that used to serialize hardest on the single lock);
+//! * `mixed`: threads intern overlapping but partially distinct terms, so
+//!   read traffic is punctuated by write-lock insertions on various shards.
+//!
+//! Timings are machine-dependent; the figures quoted in EXPERIMENTS.md (intern-shard contention)
+//! come from one representative run.  What the benchmark *asserts* is only
+//! id agreement — every thread must see identical ids for identical terms,
+//! whatever the interleaving.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathinv_ir::{Formula, FormulaId, Term, TermId};
+
+/// Formulas of the shape the engines intern hottest: abstract states and
+/// path-formula conjuncts over a few scalars and an array.
+fn workload(n: usize) -> Vec<Formula> {
+    (0..n)
+        .map(|i| {
+            let i = i as i128;
+            Formula::and(vec![
+                Formula::ge(Term::var("i"), Term::int(i)),
+                Formula::eq(Term::var("a").select(Term::var("i").add(Term::int(i))), Term::int(0)),
+                Formula::le(Term::var("i").add(Term::var("n").scale(i)), Term::int(100)),
+            ])
+        })
+        .collect()
+}
+
+/// Terms with a thread-distinct suffix, forcing write-lock insertions that
+/// land on different shards.
+fn fresh_terms(thread: usize, round: usize) -> Vec<Term> {
+    (0..8)
+        .map(|k| {
+            Term::ivar("c", (thread * 1009 + round * 31 + k) as u32)
+                .add(Term::int((round + k) as i128))
+        })
+        .collect()
+}
+
+fn run_threads(threads: usize, work: impl Fn(usize) + Sync) {
+    if threads == 1 {
+        work(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let work = &work;
+            scope.spawn(move || work(t));
+        }
+    });
+}
+
+fn bench_intern_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern_contention");
+    group.sample_size(20);
+
+    let formulas = workload(16);
+    let expected: Vec<u32> = formulas.iter().map(|f| FormulaId::intern(f).raw()).collect();
+
+    for threads in [1usize, 4, 16] {
+        group.bench_function(format!("steady_state/{threads}_threads"), |b| {
+            b.iter(|| {
+                run_threads(threads, |_| {
+                    for (f, want) in formulas.iter().zip(&expected) {
+                        let id = FormulaId::intern(f).raw();
+                        assert_eq!(id, *want, "interned ids must be stable across threads");
+                        black_box(id);
+                    }
+                });
+            });
+        });
+    }
+
+    for threads in [1usize, 4, 16] {
+        let round = std::sync::atomic::AtomicUsize::new(0);
+        group.bench_function(format!("mixed/{threads}_threads"), |b| {
+            b.iter(|| {
+                // A fresh round each iteration keeps the write-path live
+                // instead of devolving into steady-state hits.
+                let r = round.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                run_threads(threads, |t| {
+                    for (f, want) in formulas.iter().zip(&expected) {
+                        assert_eq!(FormulaId::intern(f).raw(), *want);
+                    }
+                    for term in fresh_terms(t, r) {
+                        black_box(TermId::intern(&term));
+                    }
+                });
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_intern_contention);
+criterion_main!(benches);

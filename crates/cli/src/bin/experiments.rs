@@ -7,8 +7,8 @@
 //!
 //! # The deterministic benchmark trajectory (CI's bench-smoke job):
 //! cargo run --release -p pathinv-cli --bin experiments -- bench \
-//!     --bench-json BENCH_pr6.json --check tests/golden/bench.json \
-//!     --compare-previous BENCH_pr5.json
+//!     --bench-json BENCH_pr7.json --check tests/golden/bench.json \
+//!     --compare-previous BENCH_pr6.json
 //! ```
 //!
 //! The `bench` experiment exits nonzero when a task errors, when the
@@ -283,6 +283,7 @@ fn experiment_d6() {
                 "bug confirmed (as the paper predicts: no safe path-invariant map exists)",
             Verdict::Safe => "UNEXPECTED proof",
             Verdict::Unknown { reason } => reason,
+            Verdict::Cancelled => "UNEXPECTED cancellation (no token was installed)",
         }
     );
     println!("(the paper uses a loop bound of 100; the bound here is 3 so the concrete\n counterexample, which must unroll the loop, stays short)");
@@ -320,6 +321,7 @@ fn verdict_summary(
             Verdict::Safe => format!("safe ({} ref, {:.1?})", res.refinements, elapsed),
             Verdict::Unsafe { .. } => format!("bug ({} ref, {:.1?})", res.refinements, elapsed),
             Verdict::Unknown { .. } => format!("unknown ({} ref)", res.refinements),
+            Verdict::Cancelled => "cancelled".to_string(),
         },
         Err(e) => format!("error: {e}"),
     }

@@ -191,6 +191,10 @@ impl DifferentialReport {
 
 /// Combines one program's verdicts: disagreement dominates; otherwise the
 /// first conclusive verdict in engine order; otherwise `unknown`.
+///
+/// Only `safe` and `unsafe` carry an opinion.  `unknown`, `error`, and
+/// `cancelled` (a lane stopped by the racing harness) all fall through: a
+/// cancelled engine never contradicts — and never corroborates — anything.
 fn combine(verdicts: &[EngineVerdict]) -> String {
     let safe = verdicts.iter().any(|v| v.verdict == "safe");
     let unsafe_ = verdicts.iter().any(|v| v.verdict == "unsafe");
@@ -254,6 +258,23 @@ mod tests {
         let diff = DifferentialReport::from_batch(&report);
         assert_eq!(diff.disagreements().len(), 1, "{:?}", diff.programs);
         assert_eq!(diff.programs.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_is_no_opinion() {
+        // A lane the racing harness cancelled must neither contradict nor
+        // corroborate: the combination skips it exactly like `unknown`.
+        let report = batch(vec![
+            task("P", "cegar", "path-invariants", "cancelled"),
+            task("P", "bmc", "-", "unsafe"),
+            task("Q", "cegar", "path-invariants", "cancelled"),
+            task("Q", "bmc", "-", "cancelled"),
+        ]);
+        let diff = DifferentialReport::from_batch(&report);
+        assert!(diff.disagreements().is_empty());
+        assert_eq!(diff.programs[0].combined, "unsafe");
+        assert_eq!(diff.programs[1].combined, "unknown");
+        assert!(diff.errors().is_empty(), "cancelled is not an error");
     }
 
     #[test]

@@ -202,6 +202,9 @@ fn run_engine(engine: &TaskEngine, program: &Program) -> EngineVerdict {
             Verdict::Safe => EngineVerdict::Safe,
             Verdict::Unsafe { path } => EngineVerdict::Unsafe(path),
             Verdict::Unknown { reason } => EngineVerdict::Unknown(reason),
+            // Unreachable with the fresh token `verify` passes; treated as
+            // an error so it can never masquerade as a real verdict.
+            Verdict::Cancelled => EngineVerdict::Error("cancelled without a token".to_string()),
         },
         Ok(Err(e)) => EngineVerdict::Error(e.to_string()),
         Err(panic) => {

@@ -21,7 +21,7 @@
 //! `tests/golden/corpus.json`, so a PR that flips a verdict, blows up
 //! refinement counts, or regresses solver-call discipline fails tier-1
 //! immediately.  The [`trajectory`] module builds the benchmark trajectory
-//! point (`BENCH_pr6.json`) on the same harness.
+//! point (`BENCH_pr7.json`) on the same harness.
 
 #![warn(missing_docs)]
 
@@ -29,6 +29,7 @@ pub mod differential;
 pub mod experiments;
 pub mod fuzz;
 pub mod json;
+pub mod race;
 pub mod trajectory;
 
 use json::Json;
@@ -52,8 +53,12 @@ use std::time::Instant;
 /// version 5 added the invariant-synthesis counters
 /// (`synth_systems_solved`, `synth_branches_explored`,
 /// `synth_branches_pruned`, `synth_cores_learned`, `synth_memo_hits`) and
-/// pinned them in the golden projections.
-pub const SCHEMA_VERSION: i64 = 5;
+/// pinned them in the golden projections; version 6 added the racing
+/// harness (`--race`): `cancelled` joined the verdict vocabulary, and race
+/// reports (per-program winner plus per-lane time-to-first-verdict) appear
+/// in `--race --json` output and in the `race` section of trajectory
+/// points — never in golden projections, whose fields are unchanged.
+pub const SCHEMA_VERSION: i64 = 6;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
@@ -121,6 +126,17 @@ impl BatchTask {
     pub fn disable_cegar_caching(&mut self) {
         if let TaskEngine::Cegar(config) = &mut self.engine {
             config.caching = false;
+        }
+    }
+
+    /// Sets the parallel-beam worker count on CEGAR tasks
+    /// (`--beam-workers`).  The parallel beam merges deterministically, so
+    /// verdicts, invariants, and golden counters are unchanged at any
+    /// worker count; only wall-clock (and the non-golden work counters of
+    /// synthesis) can differ.  A no-op for BMC and PDR.
+    pub fn set_beam_workers(&mut self, workers: usize) {
+        if let TaskEngine::Cegar(config) = &mut self.engine {
+            config.synth_workers = workers.max(1);
         }
     }
 }
@@ -323,10 +339,21 @@ pub fn make_tasks(
 }
 
 fn run_task(task: &BatchTask) -> TaskReport {
+    run_task_with_cancel(task, &pathinv_core::CancellationToken::new())
+}
+
+/// Runs one task under `token`, reporting a cancelled run honestly as the
+/// `"cancelled"` verdict (the racing harness cancels losing lanes; a default
+/// batch run passes a fresh token and never sees it).
+pub(crate) fn run_task_with_cancel(
+    task: &BatchTask,
+    token: &pathinv_core::CancellationToken,
+) -> TaskReport {
     let start = Instant::now();
     let engine = task.engine.build();
-    let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.verify(&task.program)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.verify_with_cancel(&task.program, token)
+    }));
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let (verdict, detail, refinements, predicates, art_nodes, stats) = match outcome {
         Ok(Ok(result)) => {
@@ -336,6 +363,9 @@ fn run_task(task: &BatchTask) -> TaskReport {
                     ("unsafe".to_string(), format!("counterexample of {} steps", path.len()))
                 }
                 Verdict::Unknown { reason } => ("unknown".to_string(), reason.clone()),
+                Verdict::Cancelled => {
+                    ("cancelled".to_string(), "cancelled by the racing harness".to_string())
+                }
             };
             (verdict, detail, result.refinements, result.predicates, result.art_nodes, result.stats)
         }

@@ -52,9 +52,19 @@ OPTIONS:
                            portfolio runs every engine per program across the
                            worker pool, reports the combined verdict, and
                            exits 1 on any cross-engine verdict disagreement
+    --race                 race the four portfolio lanes per program instead
+                           of running them all to completion: the first
+                           conclusive verdict cancels the other lanes
+                           cooperatively; reports the winner and every
+                           lane's time-to-first-verdict, and exits 1 if two
+                           conclusive lanes ever disagree
     --refiner <WHICH>      path-invariants | path-predicates | both
                            (default: both; applies to cegar tasks)
     --max-refinements <N>  override the refinement bound for cegar tasks
+    --beam-workers <N>     worker threads for the invariant-synthesis beam
+                           on cegar tasks (default: 1); results are
+                           byte-identical at any count, only wall-clock
+                           changes
     --jobs <N>             worker threads (default: available parallelism)
     --json <PATH>          write the full JSON report to PATH (`-` = stdout)
     --golden <PATH>        write the deterministic golden snapshot to PATH
@@ -62,15 +72,15 @@ OPTIONS:
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr6.json trajectory point; run from
-                           the repository root
+                           and the BENCH_pr7.json trajectory point (including
+                           its race section); run from the repository root
     --quiet                suppress the summary table
     --help                 show this help
 
 EXIT STATUS:
     0  all tasks completed (verdicts may be safe/unsafe/unknown)
     1  at least one task errored, an input file failed to load, or a
-       portfolio run found a cross-engine verdict disagreement
+       portfolio/race run found a cross-engine verdict disagreement
     2  usage error
 ";
 
@@ -80,6 +90,8 @@ struct Options {
     engines: EngineChoice,
     choice: RefinerChoice,
     max_refinements: Option<usize>,
+    beam_workers: Option<usize>,
+    race: bool,
     jobs: usize,
     json_path: Option<String>,
     golden_path: Option<String>,
@@ -99,6 +111,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         engines: EngineChoice::Cegar,
         choice: RefinerChoice::Both,
         max_refinements: None,
+        beam_workers: None,
+        race: false,
         jobs: default_jobs(),
         json_path: None,
         golden_path: None,
@@ -139,6 +153,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.max_refinements =
                     Some(v.parse().map_err(|_| format!("bad --max-refinements `{v}`"))?);
             }
+            "--beam-workers" => {
+                let v = value_for("--beam-workers")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --beam-workers `{v}`"))?;
+                if n == 0 {
+                    return Err("--beam-workers must be at least 1".to_string());
+                }
+                opts.beam_workers = Some(n);
+            }
+            "--race" => opts.race = true,
             "--jobs" => {
                 let v = value_for("--jobs")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
@@ -166,6 +189,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         if refiner_set {
             return Err("--refiner only applies to cegar tasks".to_string());
+        }
+        if opts.beam_workers.is_some() {
+            return Err("--beam-workers only applies to cegar tasks".to_string());
+        }
+    }
+    if opts.race {
+        // A race always runs the whole default-configured portfolio; flags
+        // that would reshape the lanes are rejected, not silently ignored.
+        let conflicting = engine_set
+            || refiner_set
+            || opts.max_refinements.is_some()
+            || opts.beam_workers.is_some()
+            || opts.no_cache
+            || opts.golden_path.is_some()
+            || opts.bless;
+        if conflicting {
+            return Err("--race runs the default engine portfolio per program; it only combines \
+                        with --all, .pinv files, --jobs, --json, and --quiet"
+                .to_string());
         }
     }
     if !opts.all && opts.files.is_empty() && !opts.bless {
@@ -196,7 +238,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr6.json";
+    const BENCH_POINT: &str = "BENCH_pr7.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
@@ -234,7 +276,26 @@ fn bless(jobs: usize) -> ExitCode {
         tasks: cegar_tasks,
     };
     eprintln!("blessing: verifying the corpus again (uncached cegar baseline)...");
-    let trajectory = trajectory_from_cached(cached, jobs);
+    let mut trajectory = trajectory_from_cached(cached, jobs);
+    eprintln!("blessing: racing the portfolio over the corpus (4 lanes per program)...");
+    let race = pathinv_cli::race::run_race(corpus_programs(), jobs.min(4));
+    let race_mismatches = race.mismatches();
+    if !race_mismatches.is_empty() {
+        eprintln!(
+            "error: racing lanes disagree; refusing to bless:\n  {}",
+            race_mismatches.join("\n  ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let race_vs_portfolio = race.mismatches_against_portfolio(&diff);
+    if !race_vs_portfolio.is_empty() {
+        eprintln!(
+            "error: racing verdicts contradict the portfolio; refusing to bless:\n  {}",
+            race_vs_portfolio.join("\n  ")
+        );
+        return ExitCode::FAILURE;
+    }
+    trajectory.race = Some(race);
     let errors = trajectory
         .cached
         .tasks
@@ -273,6 +334,41 @@ fn bless(jobs: usize) -> ExitCode {
         trajectory.solver_call_reduction() * 100.0
     );
     ExitCode::SUCCESS
+}
+
+/// The `--race` path: race the portfolio lanes per program, print the race
+/// table, and hard-fail on any conclusive-lane disagreement or lane error.
+fn race_main(
+    programs: Vec<(String, pathinv_ir::Program)>,
+    opts: &Options,
+    load_failures: usize,
+) -> ExitCode {
+    let report = pathinv_cli::race::run_race(programs, opts.jobs);
+    if !opts.quiet {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = &opts.json_path {
+        let text = report.to_json().pretty();
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mismatches = report.mismatches();
+    for m in &mismatches {
+        eprintln!("error: race verdict mismatch: {m}");
+    }
+    let errors = report.errors();
+    for e in &errors {
+        eprintln!("error: {e}");
+    }
+    if mismatches.is_empty() && errors.is_empty() && load_failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// The `trajectory --history` subcommand: render every committed
@@ -449,10 +545,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if opts.race {
+        return race_main(programs, &opts, load_failures);
+    }
+
     let mut tasks = make_tasks(programs, opts.engines, opts.choice, opts.max_refinements);
     if opts.no_cache {
         for t in &mut tasks {
             t.disable_cegar_caching();
+        }
+    }
+    if let Some(workers) = opts.beam_workers {
+        for t in &mut tasks {
+            t.set_beam_workers(workers);
         }
     }
     let report = run_batch(tasks, opts.jobs);

@@ -1,6 +1,6 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr6.json`
-//! (`BENCH_pr5.json` is the committed previous point the bench-smoke CI job
+//! the corpus-wide solver workload, emitted as `BENCH_pr7.json`
+//! (`BENCH_pr6.json` is the committed previous point the bench-smoke CI job
 //! diffs against for per-task counter regressions), plus the [`render_history`]
 //! aggregation that renders every committed `BENCH_*.json` as one per-PR
 //! table (`pathinv-cli trajectory --history`).
@@ -34,8 +34,11 @@ use crate::{
 /// `unsafe`, so concluded-`unsafe` tasks carry the certification's solver
 /// calls — counters that pre-v4 points did not account for (the
 /// `--compare-previous` gate exempts exactly those tasks across the v4
-/// boundary).
-pub const BENCH_SCHEMA_VERSION: i64 = 4;
+/// boundary); version 5 added the optional `race` section (per-program
+/// winner and per-lane time-to-first-verdict from a racing portfolio run)
+/// to the emitted point — timing data only, absent from the golden
+/// projection, whose deterministic fields are unchanged.
+pub const BENCH_SCHEMA_VERSION: i64 = 5;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -103,6 +106,10 @@ pub struct TrajectoryReport {
     pub totals: TrajectoryTotals,
     /// Totals of the uncached baseline.
     pub baseline: TrajectoryTotals,
+    /// An optional racing-portfolio run over the same corpus, rendered as
+    /// the `race` section of the emitted point (never of the golden
+    /// projection — race timings are machine-dependent by nature).
+    pub race: Option<crate::race::RaceReport>,
 }
 
 /// Runs the full corpus under both refiners, cached and uncached, across
@@ -130,7 +137,7 @@ pub fn trajectory_from_cached(cached: BatchReport, jobs: usize) -> TrajectoryRep
     let uncached = crate::run_batch(baseline_tasks, jobs);
     let totals = TrajectoryTotals::from_batch(&cached);
     let baseline = TrajectoryTotals::from_batch(&uncached);
-    TrajectoryReport { cached, uncached, totals, baseline }
+    TrajectoryReport { cached, uncached, totals, baseline, race: None }
 }
 
 fn round4(x: f64) -> f64 {
@@ -192,8 +199,10 @@ impl TrajectoryReport {
         saved as f64 / self.baseline.solver_calls as f64
     }
 
-    /// The full JSON rendering (the contents of `BENCH_pr6.json`): the
-    /// deterministic fields plus wall-clock.
+    /// The full JSON rendering (the contents of `BENCH_pr7.json`): the
+    /// deterministic fields plus wall-clock, and — when a racing run was
+    /// attached — the `race` section with the per-program winner and every
+    /// lane's time-to-first-verdict.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("bench_schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
@@ -219,6 +228,9 @@ impl TrajectoryReport {
                 ("solver_calls_fraction", Json::Float(round4(self.solver_call_reduction()))),
             ]),
         ));
+        if let Some(race) = &self.race {
+            fields.push(("race", race.to_json()));
+        }
         Json::object(fields)
     }
 
@@ -470,7 +482,7 @@ mod tests {
         let uncached = crate::run_batch(tasks, 2);
         let totals = TrajectoryTotals::from_batch(&cached);
         let baseline = TrajectoryTotals::from_batch(&uncached);
-        TrajectoryReport { cached, uncached, totals, baseline }
+        TrajectoryReport { cached, uncached, totals, baseline, race: None }
     }
 
     #[test]
@@ -494,6 +506,23 @@ mod tests {
         assert_eq!(doc.get("schema_version").and_then(Json::as_int), Some(SCHEMA_VERSION));
         assert!(doc.get("uncached_baseline").is_some());
         // A run checked against its own golden projection reports no drift.
+        let golden = json::parse(&report.to_golden_json().pretty()).unwrap();
+        assert_eq!(report.check_against_golden(&golden), Vec::<String>::new());
+    }
+
+    #[test]
+    fn race_section_is_emitted_but_never_golden() {
+        let mut report = mini_trajectory();
+        assert!(report.to_json().get("race").is_none(), "no race attached, no section");
+        let slice: Vec<_> =
+            corpus_programs().into_iter().filter(|(name, _)| name == "FIGURE4").collect();
+        report.race = Some(crate::race::run_race(slice, 4));
+        let doc = json::parse(&report.to_json().pretty()).unwrap();
+        let race = doc.get("race").expect("attached race must be emitted");
+        assert_eq!(race.get("mode").and_then(Json::as_str), Some("race"));
+        // The golden projection stays deterministic: no race timings.
+        assert!(report.to_golden_json().get("race").is_none());
+        // The attached section does not disturb the golden comparison.
         let golden = json::parse(&report.to_golden_json().pretty()).unwrap();
         assert_eq!(report.check_against_golden(&golden), Vec::<String>::new());
     }

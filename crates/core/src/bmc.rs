@@ -45,7 +45,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::predabs::PredicateMap;
 use pathinv_ir::ssa::{encode_action, VersionMap};
 use pathinv_ir::{ssa, Formula, Loc, Path, Program, TransId};
-use pathinv_smt::{stats_snapshot, IntSatResult, Solver, SolverContext};
+use pathinv_smt::{stats_snapshot, CancellationToken, IntSatResult, Solver, SolverContext};
 
 /// Configuration of the bounded model checker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,10 +117,15 @@ impl VerificationEngine for BmcEngine {
         "bmc"
     }
 
-    fn verify(&self, program: &Program) -> CoreResult<VerificationResult> {
+    fn verify_with_cancel(
+        &self,
+        program: &Program,
+        token: &CancellationToken,
+    ) -> CoreResult<VerificationResult> {
+        let _ambient = token.install();
         let smt_start = stats_snapshot();
         let mut search = Search::new(program, self.config);
-        let verdict = match search.run() {
+        let verdict = match search.run(token) {
             Ok(SearchOutcome::Counterexample(path)) => Verdict::Unsafe { path },
             Ok(SearchOutcome::Exhausted) => Verdict::Safe,
             Ok(SearchOutcome::Truncated) => Verdict::Unknown {
@@ -131,7 +136,9 @@ impl VerificationEngine for BmcEngine {
                 ),
             },
             Err(e) => {
-                if e.is_resource_exhaustion() {
+                if e.is_cancellation() {
+                    Verdict::Cancelled
+                } else if e.is_resource_exhaustion() {
                     Verdict::Unknown { reason: e.to_string() }
                 } else {
                     return Err(e);
@@ -195,7 +202,7 @@ impl<'p> Search<'p> {
         }
     }
 
-    fn run(&mut self) -> CoreResult<SearchOutcome> {
+    fn run(&mut self, token: &CancellationToken) -> CoreResult<SearchOutcome> {
         let program = self.program;
         // Syntactically unreachable error locations need no search at all.
         if !program.reachable_locs().contains(&program.error()) {
@@ -215,6 +222,9 @@ impl<'p> Search<'p> {
         let mut frames =
             vec![SearchFrame { loc: program.entry(), versions: initial_versions, next_out: 0 }];
         while let Some((loc, next_out)) = frames.last().map(|f| (f.loc, f.next_out)) {
+            // Same granularity as the check-budget accounting below: one
+            // poll per transition unrolling.
+            token.check().map_err(CoreError::from)?;
             // A frame at the depth bound with outgoing transitions cannot be
             // expanded: the exploration is no longer exhaustive.
             if self.steps.len() >= self.config.max_depth && !program.outgoing(loc).is_empty() {

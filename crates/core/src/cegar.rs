@@ -18,9 +18,11 @@
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 use crate::refine::{PathInvariantRefiner, PathPredicateRefiner, Refiner};
-use pathinv_invgen::{synth_stats_snapshot, SynthCounters};
+use pathinv_invgen::{synth_stats_snapshot, SynthConfig, SynthCounters};
 use pathinv_ir::{ssa, Loc, Path, Program, TransId};
-use pathinv_smt::{stats_snapshot, ContextStats, IntSatResult, SmtStats, Solver, SolverContext};
+use pathinv_smt::{
+    stats_snapshot, CancellationToken, ContextStats, IntSatResult, SmtStats, Solver, SolverContext,
+};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -60,6 +62,12 @@ pub struct CegarConfig {
     pub max_fallback_refinements: usize,
     /// Maximum number of ART nodes per reachability phase.
     pub max_art_nodes: usize,
+    /// Worker threads for the invariant-synthesis beam search (`1` = the
+    /// sequential search).  The parallel evaluator merges candidate results
+    /// in a deterministic order, so the synthesized invariants are
+    /// byte-identical at any worker count (DESIGN.md §12); only wall-clock
+    /// changes.  Ignored by the baseline path-predicate refiner.
+    pub synth_workers: usize,
     /// Whether the abstract post is memoized and solver queries are cached
     /// across the run (on by default).  Caching replays answers of the
     /// deterministic solver, so verdicts, refinement counts, and ART sizes
@@ -75,6 +83,7 @@ impl Default for CegarConfig {
             max_refinements: 40,
             max_fallback_refinements: 6,
             max_art_nodes: 20_000,
+            synth_workers: 1,
             caching: true,
         }
     }
@@ -113,6 +122,13 @@ pub enum Verdict {
         /// Why the engine stopped.
         reason: String,
     },
+    /// The run was stopped cooperatively by its
+    /// [`CancellationToken`] — the racing
+    /// harness already had a conclusive verdict from another engine.  This
+    /// is deliberately distinct from [`Verdict::Unknown`]: the engine did
+    /// not give up, it was told to stop, and no resource-exhaustion reason
+    /// would be honest.
+    Cancelled,
 }
 
 impl Verdict {
@@ -124,6 +140,12 @@ impl Verdict {
     /// Returns `true` for [`Verdict::Unsafe`].
     pub fn is_unsafe(&self) -> bool {
         matches!(self, Verdict::Unsafe { .. })
+    }
+
+    /// Returns `true` for the conclusive verdicts ([`Verdict::Safe`] and
+    /// [`Verdict::Unsafe`]) — the ones that settle a race.
+    pub fn is_conclusive(&self) -> bool {
+        self.is_safe() || self.is_unsafe()
     }
 }
 
@@ -269,6 +291,26 @@ impl Verifier {
     /// Propagates solver and invariant-generation errors; resource exhaustion
     /// is reported through [`Verdict::Unknown`], not as an error.
     pub fn verify(&self, program: &Program) -> CoreResult<VerificationResult> {
+        self.verify_with_cancel(program, &CancellationToken::new())
+    }
+
+    /// Runs CEGAR on `program`, polling `token` at every ART expansion and
+    /// every solver budget check; a cancellation yields
+    /// [`Verdict::Cancelled`] with the statistics accumulated so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and invariant-generation errors; resource exhaustion
+    /// and cancellation are reported through the verdict, not as errors.
+    pub fn verify_with_cancel(
+        &self,
+        program: &Program,
+        token: &CancellationToken,
+    ) -> CoreResult<VerificationResult> {
+        // The solver substrate's budget checks poll the ambient token, so a
+        // cancellation surfaces as `SmtError::Cancelled` from whichever
+        // phase is running when the flag is set.
+        let _ambient = token.install();
         let mut predicates = PredicateMap::new();
         let mut total_nodes = 0usize;
         let mut stats = VerifierStats::default();
@@ -283,6 +325,12 @@ impl Verifier {
             if self.config.caching { SolverContext::new() } else { SolverContext::uncached() };
         let refiner: Box<dyn Refiner> = match self.config.refiner {
             RefinerKind::PathPredicates => Box::new(PathPredicateRefiner::new()),
+            RefinerKind::PathInvariants if self.config.synth_workers > 1 => {
+                Box::new(PathInvariantRefiner::with_config(SynthConfig {
+                    parallel_workers: self.config.synth_workers,
+                    ..SynthConfig::default()
+                }))
+            }
             RefinerKind::PathInvariants => Box::new(PathInvariantRefiner::new()),
         };
 
@@ -297,6 +345,22 @@ impl Verifier {
                     Ok(value) => value,
                     Err(e) => {
                         let e = CoreError::from(e);
+                        if e.is_cancellation() {
+                            return Ok(VerificationResult {
+                                verdict: Verdict::Cancelled,
+                                refinements: $refinement,
+                                predicates: predicates.len(),
+                                art_nodes: total_nodes,
+                                predicate_map: predicates,
+                                stats: finalize_stats(
+                                    stats,
+                                    &smt_start,
+                                    &synth_start,
+                                    post.stats(),
+                                    cex_ctx.stats(),
+                                ),
+                            });
+                        }
                         if e.is_resource_exhaustion() {
                             return Ok(VerificationResult {
                                 verdict: Verdict::Unknown {
@@ -325,8 +389,13 @@ impl Verifier {
         for refinement in 0..=self.config.max_refinements {
             let phase = Instant::now();
             let snap = stats_snapshot();
-            let reach =
-                self.abstract_reachability(program, &predicates, &mut post, &mut total_nodes);
+            let reach = self.abstract_reachability(
+                program,
+                &predicates,
+                &mut post,
+                &mut total_nodes,
+                token,
+            );
             stats.reach_ms += ms_since(phase);
             let delta = stats_snapshot().since(&snap);
             stats.reach_solver_calls += delta.sat_checks;
@@ -517,6 +586,7 @@ impl Verifier {
         predicates: &PredicateMap,
         post: &mut AbstractPost<'_>,
         total_nodes: &mut usize,
+        token: &CancellationToken,
     ) -> CoreResult<Option<Path>> {
         let mut nodes: Vec<ArtNode> = Vec::new();
         let mut worklist: VecDeque<usize> = VecDeque::new();
@@ -524,6 +594,10 @@ impl Verifier {
         *total_nodes += 1;
         worklist.push_back(0);
         while let Some(id) = worklist.pop_front() {
+            // Same granularity as the node-limit check below: cancellation
+            // is noticed within one ART expansion even when every post
+            // query hits the memo and no solver budget check runs.
+            token.check().map_err(CoreError::from)?;
             if nodes.len() > self.config.max_art_nodes {
                 return Err(CoreError::Limit {
                     message: format!(

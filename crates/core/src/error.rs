@@ -36,6 +36,20 @@ impl CoreError {
                 | CoreError::Invgen(InvgenError::Smt(SmtError::Budget { .. }))
         )
     }
+
+    /// Whether this error reports a cooperative cancellation (the racing
+    /// harness set the engine's
+    /// [`CancellationToken`](pathinv_smt::CancellationToken)) rather than a
+    /// failure.  Engines convert such errors into
+    /// [`Verdict::Cancelled`](crate::Verdict::Cancelled) — an honest "I was
+    /// told to stop", distinct from both resource exhaustion and real errors.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Smt(SmtError::Cancelled)
+                | CoreError::Invgen(InvgenError::Smt(SmtError::Cancelled))
+        )
+    }
 }
 
 impl fmt::Display for CoreError {

@@ -64,3 +64,7 @@ pub use pathprog::{path_program, PathProgram};
 pub use pdr::{PdrConfig, PdrEngine};
 pub use predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 pub use refine::{NewPredicates, PathInvariantRefiner, PathPredicateRefiner, Refiner};
+
+// Part of the `VerificationEngine::verify_with_cancel` signature, re-exported
+// so harnesses need not depend on `pathinv-smt` just to build a token.
+pub use pathinv_smt::CancellationToken;

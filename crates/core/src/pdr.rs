@@ -71,7 +71,8 @@ use crate::error::{CoreError, CoreResult};
 use crate::predabs::PredicateMap;
 use pathinv_ir::{ssa, Action, Formula, Loc, Path, Program, RelOp, TransId};
 use pathinv_smt::{
-    sequence_interpolants, stats_snapshot, IntSatResult, LinConstraint, Solver, SolverContext,
+    sequence_interpolants, stats_snapshot, CancellationToken, IntSatResult, LinConstraint, Solver,
+    SolverContext,
 };
 use std::collections::BTreeMap;
 
@@ -118,13 +119,20 @@ impl VerificationEngine for PdrEngine {
         "pdr"
     }
 
-    fn verify(&self, program: &Program) -> CoreResult<VerificationResult> {
+    fn verify_with_cancel(
+        &self,
+        program: &Program,
+        token: &CancellationToken,
+    ) -> CoreResult<VerificationResult> {
+        let _ambient = token.install();
         let smt_start = stats_snapshot();
         let mut state = Pdr::new(program, self.config);
-        let (verdict, predicate_map) = match state.run() {
+        let (verdict, predicate_map) = match state.run(token) {
             Ok(conclusion) => conclusion,
             Err(e) => {
-                if e.is_resource_exhaustion() {
+                if e.is_cancellation() {
+                    (Verdict::Cancelled, PredicateMap::new())
+                } else if e.is_resource_exhaustion() {
                     (Verdict::Unknown { reason: e.to_string() }, PredicateMap::new())
                 } else {
                     return Err(e);
@@ -212,7 +220,7 @@ impl<'p> Pdr<'p> {
         }
     }
 
-    fn run(&mut self) -> CoreResult<(Verdict, PredicateMap)> {
+    fn run(&mut self, token: &CancellationToken) -> CoreResult<(Verdict, PredicateMap)> {
         let program = self.program;
         if !program.reachable_locs().contains(&program.error()) {
             return Ok((Verdict::Safe, PredicateMap::new()));
@@ -225,7 +233,7 @@ impl<'p> Pdr<'p> {
         }
         for level in 1..=self.config.max_frames {
             self.top_frame = level;
-            match self.block(level)? {
+            match self.block(level, token)? {
                 BlockOutcome::Candidate(trace) => return self.conclude_from_trace(trace),
                 BlockOutcome::Blocked => {}
             }
@@ -247,7 +255,7 @@ impl<'p> Pdr<'p> {
 
     /// Blocks the error location at frame `top` by discharging obligations
     /// depth-first, or returns a candidate counterexample trace.
-    fn block(&mut self, top: usize) -> CoreResult<BlockOutcome> {
+    fn block(&mut self, top: usize, token: &CancellationToken) -> CoreResult<BlockOutcome> {
         let program = self.program;
         let mut stack = vec![Obligation {
             frame: top,
@@ -256,6 +264,9 @@ impl<'p> Pdr<'p> {
             trace: Vec::new(),
         }];
         'obligations: while let Some(ob) = stack.last().cloned() {
+            // Same granularity as the obligation budget: one poll per proof
+            // obligation.
+            token.check().map_err(CoreError::from)?;
             self.obligations += 1;
             if self.obligations > self.config.max_obligations {
                 return Err(CoreError::Limit {

@@ -261,7 +261,11 @@ impl PathInvariantRefiner {
             None => PathInvariantGenerator::new(),
         };
         let outcome = generator.generate(pp);
-        self.memo.borrow_mut().insert(key, outcome.clone());
+        // A cancelled synthesis is not an outcome of the path program — a
+        // later (uncancelled) run must not replay it from the memo.
+        if !matches!(outcome, Err(InvgenError::Smt(SmtError::Cancelled))) {
+            self.memo.borrow_mut().insert(key, outcome.clone());
+        }
         outcome
     }
 

@@ -127,6 +127,15 @@ pub struct SynthConfig {
     /// is the purely enumerative frontier of the pre-conflict-driven
     /// pipeline.
     pub conflict_driven: bool,
+    /// Worker threads evaluating beam candidates (`1` = the sequential
+    /// search).  Candidates are evaluated in parallel waves and merged in
+    /// the sequential candidate order, so the surviving frontier — and with
+    /// it the synthesized invariants and valuation — is byte-identical at
+    /// any worker count (DESIGN.md §12).  Work *counters* (LP calls, pruned
+    /// branches) may differ: a worker can evaluate a candidate the
+    /// sequential search would have skipped via a core learned moments
+    /// earlier, or one the merge then drops at a frontier cap.
+    pub parallel_workers: usize,
 }
 
 impl Default for SynthConfig {
@@ -142,6 +151,7 @@ impl Default for SynthConfig {
             max_options_per_step: 6,
             presolve: true,
             conflict_driven: true,
+            parallel_workers: 1,
         }
     }
 }
@@ -269,141 +279,27 @@ pub fn synthesize(
         }
         candidates.sort_by_key(|&(parent, opt)| (options[opt].score, parent, opt));
 
-        let mut next: Vec<FrontierEntry> = Vec::new();
-        let mut kept_per_parent = vec![0usize; frontier.len()];
-        for (parent, opt_idx) in candidates {
-            if next.len() >= config.max_frontier {
-                break;
-            }
-            if kept_per_parent[parent] >= config.max_options_per_step {
-                continue;
-            }
-            let acc = &frontier[parent];
-            let option = &options[opt_idx];
-            stats.choices_explored += 1;
-            stats::record_branch_explored();
-
-            // Filter 1: learned conflict cores.
-            if config.conflict_driven {
-                let covered = |core: &ConflictCore| {
-                    core.iter().all(|&(p, o)| {
-                        if p == pos {
-                            o == opt_idx as u32
-                        } else {
-                            acc.decisions.get(p as usize) == Some(&o)
-                        }
-                    })
-                };
-                if learned.iter().any(covered) {
-                    stats.branches_pruned += 1;
-                    stats::record_branch_pruned();
-                    continue;
-                }
-            }
-
-            // Rewrite the option rows through the branch's eliminated
-            // definitions (in creation order; later definitions never
-            // mention earlier-eliminated unknowns).
-            let mut rows: Vec<(LinConstraint<Unknown>, Deps)> =
-                option.rows.iter().map(|c| (c.clone(), vec![pos])).collect();
-            for (x, def, def_deps) in &acc.subst {
-                for (c, deps) in &mut rows {
-                    let b = c.expr.coeff(x);
-                    if b.is_zero() {
-                        continue;
-                    }
-                    c.expr = c
-                        .expr
-                        .add(&LinExpr::scaled_var(*x, b.neg().map_err(InvgenError::from)?))?
-                        .add(&def.scale(b)?)?;
-                    *deps = union_deps(deps, def_deps);
-                }
-            }
-
-            // Filter 2: presolve the batch (eliminating only unknowns the
-            // tableau has never seen — eliminating a live column would
-            // weaken the pushed rows).
-            let mut new_elims: Vec<(Unknown, LinExpr<Unknown>, Deps)> = Vec::new();
-            if config.presolve {
-                let presolved = presolve_tagged(rows, &|u| !acc.seen_vars.contains(u))?;
-                if let Some(conflict_deps) = presolved.conflict {
-                    // Refuted by constant folding alone: learn the core and
-                    // move on without touching a tableau.
-                    stats.branches_pruned += 1;
-                    stats::record_branch_pruned();
-                    if config.conflict_driven {
-                        learn_core(
-                            &mut learned,
-                            &mut stats,
-                            &conflict_deps,
-                            &acc.decisions,
-                            pos,
-                            opt_idx as u32,
-                        );
-                    }
-                    continue;
-                }
-                rows = presolved.rows;
-                new_elims = presolved.eliminated;
-                // Cross-batch dedup: rows already in the tableau are
-                // already enforced.
-                rows.retain(|(c, _)| !acc.seen_rows.contains(c));
-            }
-
-            // Filter 3: witness replay on the reduced rows.
-            let witness_holds = {
-                let lookup = |u: &Unknown| acc.witness.get(u).copied().unwrap_or(Rat::ZERO);
-                let mut all = true;
-                for (c, _) in &rows {
-                    if !c.holds(&lookup)? {
-                        all = false;
-                        break;
-                    }
-                }
-                all
-            };
-
-            let mut child = acc.clone();
-            child.decisions.push(opt_idx as u32);
-            child.subst.extend(new_elims);
-            for (c, deps) in &rows {
-                child.tableau.push_constraint(c)?;
-                child.row_deps.push(deps.clone());
-                child.seen_rows.insert(c.clone());
-                for v in c.expr.vars() {
-                    child.seen_vars.insert(v);
-                }
-            }
-            if witness_holds {
-                next.push(child);
-                kept_per_parent[parent] += 1;
-                continue;
-            }
-            stats.lp_calls += 1;
-            stats::record_system_solved();
-            if child.tableau.check()? {
-                child.witness = child.tableau.model()?;
-                next.push(child);
-                kept_per_parent[parent] += 1;
-            } else if config.conflict_driven {
-                // Shrink the conflict to an irreducible infeasible
-                // subsystem and map its rows back to the decisions that
-                // produced them.
-                let core_rows = child.tableau.minimal_infeasible_subsystem()?;
-                let mut core_deps: Deps = Vec::new();
-                for i in core_rows {
-                    core_deps = union_deps(&core_deps, &child.row_deps[i]);
-                }
-                learn_core(
-                    &mut learned,
-                    &mut stats,
-                    &core_deps,
-                    &acc.decisions,
-                    pos,
-                    opt_idx as u32,
-                );
-            }
-        }
+        let next = if config.parallel_workers > 1 {
+            advance_frontier_parallel(
+                &frontier,
+                &options,
+                &candidates,
+                pos,
+                &mut learned,
+                config,
+                &mut stats,
+            )?
+        } else {
+            advance_frontier_sequential(
+                &frontier,
+                &options,
+                &candidates,
+                pos,
+                &mut learned,
+                config,
+                &mut stats,
+            )?
+        };
         if next.is_empty() {
             return Err(InvgenError::no_invariant(format!(
                 "condition `{}` has no solution within the multiplier bounds",
@@ -468,6 +364,341 @@ pub fn synthesize(
         )),
         None => InvgenError::no_invariant("every surviving frontier entry became infeasible"),
     })
+}
+
+/// Outcome of evaluating one `(parent, option)` candidate against a fixed
+/// core set.  The feasible child is a deterministic function of the parent
+/// entry and the option alone — cores and caps only decide whether the
+/// evaluation *runs*, never what it produces — which is what makes the
+/// parallel evaluator's ordered merge byte-identical to the sequential
+/// search (DESIGN.md §12).
+enum CandidateOutcome {
+    /// Skipped by a learned conflict core (filter 1): the branch repeats an
+    /// already-extracted minimal Farkas conflict.
+    CoveredByCore,
+    /// Refuted by presolve constant folding (filter 2); carries the
+    /// decision dependencies of the contradiction for core learning.
+    PresolveConflict(Deps),
+    /// Feasible: the extended entry, and whether a real LP check ran
+    /// (`false` when the parent witness replayed, filter 3).
+    Feasible(Box<FrontierEntry>, bool),
+    /// Infeasible under the warm re-check; carries the minimal-conflict
+    /// decision dependencies when conflict learning is on.
+    Infeasible(Option<Deps>),
+}
+
+/// Runs one candidate through the three filters and (when they pass) the
+/// warm feasibility re-check.  Reads only `acc`, `option`, and `learned`;
+/// never mutates shared state — the caller merges the outcome.
+fn evaluate_candidate(
+    acc: &FrontierEntry,
+    option: &EncodedOption,
+    pos: u32,
+    opt_idx: u32,
+    learned: &[ConflictCore],
+    config: &SynthConfig,
+) -> InvgenResult<CandidateOutcome> {
+    // Filter 1: learned conflict cores.
+    if config.conflict_driven {
+        let covered = |core: &ConflictCore| {
+            core.iter().all(|&(p, o)| {
+                if p == pos {
+                    o == opt_idx
+                } else {
+                    acc.decisions.get(p as usize) == Some(&o)
+                }
+            })
+        };
+        if learned.iter().any(covered) {
+            return Ok(CandidateOutcome::CoveredByCore);
+        }
+    }
+
+    // Rewrite the option rows through the branch's eliminated
+    // definitions (in creation order; later definitions never
+    // mention earlier-eliminated unknowns).
+    let mut rows: Vec<(LinConstraint<Unknown>, Deps)> =
+        option.rows.iter().map(|c| (c.clone(), vec![pos])).collect();
+    for (x, def, def_deps) in &acc.subst {
+        for (c, deps) in &mut rows {
+            let b = c.expr.coeff(x);
+            if b.is_zero() {
+                continue;
+            }
+            c.expr = c
+                .expr
+                .add(&LinExpr::scaled_var(*x, b.neg().map_err(InvgenError::from)?))?
+                .add(&def.scale(b)?)?;
+            *deps = union_deps(deps, def_deps);
+        }
+    }
+
+    // Filter 2: presolve the batch (eliminating only unknowns the
+    // tableau has never seen — eliminating a live column would
+    // weaken the pushed rows).
+    let mut new_elims: Vec<(Unknown, LinExpr<Unknown>, Deps)> = Vec::new();
+    if config.presolve {
+        let presolved = presolve_tagged(rows, &|u| !acc.seen_vars.contains(u))?;
+        if let Some(conflict_deps) = presolved.conflict {
+            // Refuted by constant folding alone, without touching a tableau.
+            return Ok(CandidateOutcome::PresolveConflict(conflict_deps));
+        }
+        rows = presolved.rows;
+        new_elims = presolved.eliminated;
+        // Cross-batch dedup: rows already in the tableau are
+        // already enforced.
+        rows.retain(|(c, _)| !acc.seen_rows.contains(c));
+    }
+
+    // Filter 3: witness replay on the reduced rows.
+    let witness_holds = {
+        let lookup = |u: &Unknown| acc.witness.get(u).copied().unwrap_or(Rat::ZERO);
+        let mut all = true;
+        for (c, _) in &rows {
+            if !c.holds(&lookup)? {
+                all = false;
+                break;
+            }
+        }
+        all
+    };
+
+    let mut child = acc.clone();
+    child.decisions.push(opt_idx);
+    child.subst.extend(new_elims);
+    for (c, deps) in &rows {
+        child.tableau.push_constraint(c)?;
+        child.row_deps.push(deps.clone());
+        child.seen_rows.insert(c.clone());
+        for v in c.expr.vars() {
+            child.seen_vars.insert(v);
+        }
+    }
+    if witness_holds {
+        return Ok(CandidateOutcome::Feasible(Box::new(child), false));
+    }
+    // Recorded before the check, exactly as the pre-parallel loop did, so
+    // an aborted run's thread-local counters still include the attempt.
+    stats::record_system_solved();
+    if child.tableau.check()? {
+        child.witness = child.tableau.model()?;
+        Ok(CandidateOutcome::Feasible(Box::new(child), true))
+    } else if config.conflict_driven {
+        // Shrink the conflict to an irreducible infeasible
+        // subsystem and map its rows back to the decisions that
+        // produced them.
+        let core_rows = child.tableau.minimal_infeasible_subsystem()?;
+        let mut core_deps: Deps = Vec::new();
+        for i in core_rows {
+            core_deps = union_deps(&core_deps, &child.row_deps[i]);
+        }
+        Ok(CandidateOutcome::Infeasible(Some(core_deps)))
+    } else {
+        Ok(CandidateOutcome::Infeasible(None))
+    }
+}
+
+/// Folds one evaluated candidate into the next frontier, bumping the
+/// counters the way the sequential loop does and learning any conflict
+/// core the evaluation extracted.
+#[allow(clippy::too_many_arguments)]
+fn merge_outcome(
+    outcome: CandidateOutcome,
+    parent: usize,
+    opt: u32,
+    pos: u32,
+    parent_decisions: &[u32],
+    next: &mut Vec<FrontierEntry>,
+    kept_per_parent: &mut [usize],
+    learned: &mut Vec<ConflictCore>,
+    config: &SynthConfig,
+    stats: &mut SynthStats,
+) {
+    match outcome {
+        CandidateOutcome::CoveredByCore => {
+            stats.branches_pruned += 1;
+            stats::record_branch_pruned();
+        }
+        CandidateOutcome::PresolveConflict(conflict_deps) => {
+            stats.branches_pruned += 1;
+            stats::record_branch_pruned();
+            if config.conflict_driven {
+                learn_core(learned, stats, &conflict_deps, parent_decisions, pos, opt);
+            }
+        }
+        CandidateOutcome::Feasible(child, used_lp) => {
+            if used_lp {
+                stats.lp_calls += 1;
+            }
+            next.push(*child);
+            kept_per_parent[parent] += 1;
+        }
+        CandidateOutcome::Infeasible(core_deps) => {
+            stats.lp_calls += 1;
+            if let Some(deps) = core_deps {
+                learn_core(learned, stats, &deps, parent_decisions, pos, opt);
+            }
+        }
+    }
+}
+
+/// The sequential frontier advance: candidates in best-first order, caps
+/// applied before evaluation, cores learned as soon as they are extracted.
+#[allow(clippy::too_many_arguments)]
+fn advance_frontier_sequential(
+    frontier: &[FrontierEntry],
+    options: &[EncodedOption],
+    candidates: &[(usize, usize)],
+    pos: u32,
+    learned: &mut Vec<ConflictCore>,
+    config: &SynthConfig,
+    stats: &mut SynthStats,
+) -> InvgenResult<Vec<FrontierEntry>> {
+    let mut next: Vec<FrontierEntry> = Vec::new();
+    let mut kept_per_parent = vec![0usize; frontier.len()];
+    for &(parent, opt_idx) in candidates {
+        if next.len() >= config.max_frontier {
+            break;
+        }
+        if kept_per_parent[parent] >= config.max_options_per_step {
+            continue;
+        }
+        // One cancellation poll per beam candidate — the poll granularity
+        // the racing harness's contract promises for synthesis.
+        pathinv_smt::check_ambient().map_err(InvgenError::from)?;
+        stats.choices_explored += 1;
+        stats::record_branch_explored();
+        let outcome = evaluate_candidate(
+            &frontier[parent],
+            &options[opt_idx],
+            pos,
+            opt_idx as u32,
+            learned,
+            config,
+        )?;
+        merge_outcome(
+            outcome,
+            parent,
+            opt_idx as u32,
+            pos,
+            &frontier[parent].decisions,
+            &mut next,
+            &mut kept_per_parent,
+            learned,
+            config,
+            stats,
+        );
+    }
+    Ok(next)
+}
+
+/// The parallel frontier advance: candidates are evaluated in waves on
+/// scoped worker threads and merged *in the sequential candidate order*.
+///
+/// Determinism argument (DESIGN.md §12): a candidate's outcome is a pure
+/// function of its parent entry and option — cores only *skip* evaluations
+/// of branches that are infeasible by construction (a covered branch
+/// re-pushes a jointly infeasible row set, so it could never enter `next`),
+/// and the frontier/per-parent caps are re-applied during the ordered
+/// merge.  The surviving entries and their order — hence the synthesized
+/// invariants — are therefore identical to the sequential search at any
+/// worker count.  Only the work counters can differ, because workers may
+/// evaluate candidates the sequential loop would have skipped.
+#[allow(clippy::too_many_arguments)]
+fn advance_frontier_parallel(
+    frontier: &[FrontierEntry],
+    options: &[EncodedOption],
+    candidates: &[(usize, usize)],
+    pos: u32,
+    learned: &mut Vec<ConflictCore>,
+    config: &SynthConfig,
+    stats: &mut SynthStats,
+) -> InvgenResult<Vec<FrontierEntry>> {
+    let workers = config.parallel_workers;
+    let mut next: Vec<FrontierEntry> = Vec::new();
+    let mut kept_per_parent = vec![0usize; frontier.len()];
+    // Waves keep speculation bounded: the sequential search stops once the
+    // frontier fills, so evaluating every candidate eagerly would waste the
+    // tail.  A few candidates per worker per wave is enough to keep every
+    // worker busy without racing far past the caps.
+    let wave_size = workers * 4;
+    let mut cursor = 0usize;
+    'waves: while cursor < candidates.len() && next.len() < config.max_frontier {
+        // One cancellation poll per wave (workers do not inherit the
+        // coordinator's ambient token; the coordinator polls for them).
+        pathinv_smt::check_ambient().map_err(InvgenError::from)?;
+        let wave = &candidates[cursor..candidates.len().min(cursor + wave_size)];
+        cursor += wave.len();
+        // Evaluate the wave concurrently against the wave-start core set.
+        // Contiguous chunks preserve candidate order across the flatten.
+        let chunk_len = wave.len().div_ceil(workers);
+        let cores: &[ConflictCore] = learned;
+        let wave_outcomes: Vec<InvgenResult<CandidateOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let smt_before = pathinv_smt::stats_snapshot();
+                        let synth_before = stats::snapshot();
+                        let outcomes: Vec<InvgenResult<CandidateOutcome>> = chunk
+                            .iter()
+                            .map(|&(parent, opt_idx)| {
+                                evaluate_candidate(
+                                    &frontier[parent],
+                                    &options[opt_idx],
+                                    pos,
+                                    opt_idx as u32,
+                                    cores,
+                                    config,
+                                )
+                            })
+                            .collect();
+                        (
+                            outcomes,
+                            pathinv_smt::stats_snapshot().since(&smt_before),
+                            stats::snapshot().since(&synth_before),
+                        )
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(wave.len());
+            for handle in handles {
+                let (outcomes, smt_delta, synth_delta) =
+                    handle.join().expect("beam worker panicked");
+                // Fold the workers' thread-local counters back into the
+                // coordinator's, so a caller's snapshot delta around the
+                // whole synthesis still accounts for every call.
+                pathinv_smt::stats::add(&smt_delta);
+                stats::add(&synth_delta);
+                all.extend(outcomes);
+            }
+            all
+        });
+        // Ordered merge: identical cap logic, identical push order.
+        for (&(parent, opt_idx), outcome) in wave.iter().zip(wave_outcomes) {
+            if next.len() >= config.max_frontier {
+                break 'waves;
+            }
+            if kept_per_parent[parent] >= config.max_options_per_step {
+                continue;
+            }
+            stats.choices_explored += 1;
+            stats::record_branch_explored();
+            merge_outcome(
+                outcome?,
+                parent,
+                opt_idx as u32,
+                pos,
+                &frontier[parent].decisions,
+                &mut next,
+                &mut kept_per_parent,
+                learned,
+                config,
+                stats,
+            );
+        }
+    }
+    Ok(next)
 }
 
 /// Biases a surviving entry's witness toward *growing* array ranges: for
@@ -1357,5 +1588,93 @@ mod tests {
             driven.systems_solved,
             enumerative.systems_solved
         );
+    }
+
+    #[test]
+    fn parallel_beam_is_byte_identical_to_sequential() {
+        // The ordered-merge determinism argument (DESIGN.md §12) made
+        // concrete: at every worker count, on a succeeding task and on a
+        // failing one, the synthesized invariants and the parameter
+        // valuation must equal the sequential run's exactly.
+        let forward = corpus::forward();
+        let fwd_l1 = corpus::find_loc(&forward, "L1");
+        let forward_templates = || {
+            let mut t = TemplateMap::new();
+            let vars = [
+                Symbol::intern("i"),
+                Symbol::intern("n"),
+                Symbol::intern("a"),
+                Symbol::intern("b"),
+            ];
+            t.add_scalar_row(fwd_l1, &vars, RowOp::Eq).unwrap();
+            t.add_scalar_row(fwd_l1, &vars, RowOp::Le).unwrap();
+            t
+        };
+        let initcheck = corpus::initcheck();
+        let init_l1 = corpus::find_loc(&initcheck, "L1");
+        let init_l3 = corpus::find_loc(&initcheck, "L3");
+        let initcheck_templates = || {
+            let mut t = TemplateMap::new();
+            let scalars = [Symbol::intern("i"), Symbol::intern("n")];
+            let a = Symbol::intern("a");
+            t.add_array_row(init_l1, a, &scalars, RelOp::Eq).unwrap();
+            t.add_array_row(init_l3, a, &scalars, RelOp::Eq).unwrap();
+            t
+        };
+
+        for (program, templates) in
+            [(&forward, forward_templates()), (&initcheck, initcheck_templates())]
+        {
+            let sequential = synthesize(program, &templates, &SynthConfig::default()).unwrap();
+            for workers in [2, 4, 16] {
+                let config = SynthConfig { parallel_workers: workers, ..SynthConfig::default() };
+                let parallel = synthesize(program, &templates, &config).unwrap();
+                assert_eq!(
+                    parallel.invariants, sequential.invariants,
+                    "{workers} workers: invariants diverged"
+                );
+                assert_eq!(
+                    parallel.valuation, sequential.valuation,
+                    "{workers} workers: valuation diverged"
+                );
+            }
+        }
+
+        // Failure is deterministic too: the parallel search must exhaust
+        // the same frontier and report the same NoInvariant.
+        let buggy = corpus::buggy_initcheck();
+        let l1 = corpus::find_loc(&buggy, "L1");
+        let mut templates = TemplateMap::new();
+        templates
+            .add_array_row(l1, Symbol::intern("a"), &[Symbol::intern("i")], RelOp::Eq)
+            .unwrap();
+        let config = SynthConfig { parallel_workers: 4, ..SynthConfig::default() };
+        let err = synthesize(&buggy, &templates, &config).unwrap_err();
+        assert!(matches!(err, InvgenError::NoInvariant { .. }));
+    }
+
+    #[test]
+    fn synthesis_polls_the_ambient_cancellation_token() {
+        // Both drivers poll `check_ambient` — the sequential one per beam
+        // candidate, the parallel one per wave — so a pre-cancelled ambient
+        // token stops the search before it completes.
+        let p = corpus::forward();
+        let l1 = corpus::find_loc(&p, "L1");
+        let vars =
+            [Symbol::intern("i"), Symbol::intern("n"), Symbol::intern("a"), Symbol::intern("b")];
+        let mut templates = TemplateMap::new();
+        templates.add_scalar_row(l1, &vars, RowOp::Eq).unwrap();
+        templates.add_scalar_row(l1, &vars, RowOp::Le).unwrap();
+        for workers in [1, 4] {
+            let token = pathinv_smt::CancellationToken::new();
+            token.cancel();
+            let _ambient = token.install();
+            let config = SynthConfig { parallel_workers: workers, ..SynthConfig::default() };
+            let err = synthesize(&p, &templates, &config).unwrap_err();
+            assert!(
+                matches!(err, InvgenError::Smt(pathinv_smt::SmtError::Cancelled)),
+                "{workers} workers: expected cancellation, got {err:?}"
+            );
+        }
     }
 }

@@ -15,15 +15,40 @@
 //! * [`SeqId`] — a hash-consed sequence of raw ids (used for assumption
 //!   stacks, decided-atom sets, and tracked-predicate lists).
 //!
-//! Like [`Symbol`], the tables are guarded by one process-global mutex —
-//! ids must mean the same thing on every thread, and the batch harness
-//! pins each verification task to one worker, so contention is bounded by
-//! the worker count (sharding the tables by hash is the known next step if
-//! a many-core box ever makes the lock hot).  The tables are process-global,
-//! append-only, and never freed: the set of distinct terms a verification
-//! run builds is bounded by the program text plus the predicates discovered
-//! by refinement, which stays tiny.  Ids are only meaningful within the
-//! process that produced them and must never be persisted.
+//! ## Sharding and the stability guarantees
+//!
+//! Ids must mean the same thing on every thread, so the tables are
+//! process-global — but a single global mutex would serialize the parallel
+//! beam evaluator and the racing portfolio (DESIGN.md §12) on every intern.
+//! Each table is therefore split into `SHARD_COUNT` shards, each behind
+//! its own `RwLock`.  The discipline:
+//!
+//! * **Keying.**  A node's shard is a pure function of the node's own hash
+//!   (children already being ids, the hash is shallow and cheap), computed
+//!   with a fixed-key hasher so it does not vary per thread or per table.
+//!   Structurally equal nodes therefore always land in the same shard, and
+//!   the uniqueness check only ever needs that one shard's lock.
+//! * **Id encoding.**  An id packs the shard index into its low
+//!   `SHARD_BITS` bits and the position within the shard above them.
+//!   Decoding needs no map lookup, and ids allocated by different shards can
+//!   never collide.
+//! * **Lock scope.**  Children are interned *before* their parent node is
+//!   built, so no lock is ever held across recursion and no intern ever
+//!   takes two shard locks — lock ordering is trivial and deadlock-free.
+//!   Lookups take the read lock; a miss upgrades by re-acquiring for write
+//!   and re-checking (another thread may have interned the node in the
+//!   window, and both racers then agree on the id the winner allocated).
+//! * **Stability.**  Once returned, an id is *stable for the process
+//!   lifetime*: shards are append-only and never freed, so `to_term`/
+//!   `to_formula` on a stored id always succeeds, and id equality remains
+//!   structural equality forever.  The *numeric values* of ids depend on
+//!   interning order (and thus on thread interleaving); only id equality is
+//!   meaningful, and ids must never be persisted or compared across
+//!   processes.
+//!
+//! The set of distinct terms a verification run builds is bounded by the
+//! program text plus the predicates discovered by refinement, which stays
+//! tiny — so append-only tables do not grow without bound.
 //!
 //! The key soundness property (exercised by the workspace property tests):
 //! for all formulas `f`, `g`,
@@ -36,8 +61,18 @@ use crate::formula::{Atom, Formula, RelOp};
 use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::var::VarRef;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+/// Number of lock shards per table.  A small power of two: enough to make
+/// contention negligible at the worker counts the harness uses (≤ 16
+/// threads), cheap enough that the per-shard `HashMap`s stay warm.
+const SHARD_COUNT: usize = 16;
+/// Bits of an id reserved for the shard index (`2^SHARD_BITS ==
+/// SHARD_COUNT`).
+const SHARD_BITS: u32 = 4;
 
 /// A hash-consed [`Term`]: a 4-byte id with `O(1)` equality and hashing.
 /// Two terms intern to the same id if and only if they are structurally
@@ -85,44 +120,84 @@ enum FormulaNode {
     Forall(Box<[Symbol]>, FormulaId),
 }
 
-/// One append-only hash-consing table.
-struct Table<N> {
+/// One append-only hash-consing shard.  `map` holds the *inner* (per-shard)
+/// index; the encoded id is produced by [`Sharded::intern`].
+struct Shard<N> {
     map: HashMap<N, u32>,
     nodes: Vec<N>,
 }
 
-impl<N: Clone + Eq + std::hash::Hash> Table<N> {
-    fn new() -> Table<N> {
-        Table { map: HashMap::new(), nodes: Vec::new() }
+impl<N> Shard<N> {
+    fn new() -> Shard<N> {
+        Shard { map: HashMap::new(), nodes: Vec::new() }
+    }
+}
+
+/// A hash-consing table split into [`SHARD_COUNT`] independently locked
+/// shards.  See the module docs for the keying and id-encoding discipline.
+struct Sharded<N> {
+    shards: [RwLock<Shard<N>>; SHARD_COUNT],
+}
+
+impl<N: Clone + Eq + Hash> Sharded<N> {
+    fn new() -> Sharded<N> {
+        Sharded { shards: std::array::from_fn(|_| RwLock::new(Shard::new())) }
     }
 
-    fn intern(&mut self, node: N) -> u32 {
-        if let Some(&id) = self.map.get(&node) {
-            return id;
+    /// The shard a node belongs to: a fixed-key hash of the node itself, so
+    /// the mapping is identical on every thread of the process.
+    fn shard_of(node: &N) -> usize {
+        let mut h = DefaultHasher::new();
+        node.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    fn encode(inner: u32, shard: usize) -> u32 {
+        (inner << SHARD_BITS) | shard as u32
+    }
+
+    fn intern(&self, node: N) -> u32 {
+        let shard_idx = Self::shard_of(&node);
+        {
+            let shard = self.shards[shard_idx].read().expect("intern shard poisoned");
+            if let Some(&inner) = shard.map.get(&node) {
+                return Self::encode(inner, shard_idx);
+            }
         }
-        let id = u32::try_from(self.nodes.len()).expect("intern table overflow");
-        self.nodes.push(node.clone());
-        self.map.insert(node, id);
-        id
+        let mut shard = self.shards[shard_idx].write().expect("intern shard poisoned");
+        // Re-check under the write lock: another thread may have interned
+        // the node between our read unlock and write lock.
+        if let Some(&inner) = shard.map.get(&node) {
+            return Self::encode(inner, shard_idx);
+        }
+        let inner = u32::try_from(shard.nodes.len()).expect("intern shard overflow");
+        assert!(inner <= u32::MAX >> SHARD_BITS, "intern shard overflow");
+        shard.nodes.push(node.clone());
+        shard.map.insert(node, inner);
+        Self::encode(inner, shard_idx)
     }
 
-    fn get(&self, id: u32) -> &N {
-        &self.nodes[id as usize]
+    fn get(&self, id: u32) -> N {
+        let shard_idx = (id as usize) % SHARD_COUNT;
+        let inner = (id >> SHARD_BITS) as usize;
+        self.shards[shard_idx].read().expect("intern shard poisoned").nodes[inner].clone()
     }
 }
 
 struct Interner {
-    terms: Table<TermNode>,
-    formulas: Table<FormulaNode>,
-    seqs: Table<Box<[u32]>>,
+    terms: Sharded<TermNode>,
+    formulas: Sharded<FormulaNode>,
+    seqs: Sharded<Box<[u32]>>,
 }
 
 impl Interner {
     fn new() -> Interner {
-        Interner { terms: Table::new(), formulas: Table::new(), seqs: Table::new() }
+        Interner { terms: Sharded::new(), formulas: Sharded::new(), seqs: Sharded::new() }
     }
 
-    fn intern_term(&mut self, t: &Term) -> TermId {
+    // Children are interned before the parent node is assembled, so each
+    // `Sharded::intern` call below runs with no other shard lock held.
+    fn intern_term(&self, t: &Term) -> TermId {
         let node = match t {
             Term::Const(c) => TermNode::Const(*c),
             Term::Var(v) => TermNode::Var(*v),
@@ -142,7 +217,7 @@ impl Interner {
         TermId(self.terms.intern(node))
     }
 
-    fn intern_formula(&mut self, f: &Formula) -> FormulaId {
+    fn intern_formula(&self, f: &Formula) -> FormulaId {
         let node = match f {
             Formula::True => FormulaNode::True,
             Formula::False => FormulaNode::False,
@@ -167,7 +242,7 @@ impl Interner {
     }
 
     fn term(&self, id: TermId) -> Term {
-        match self.terms.get(id.0).clone() {
+        match self.terms.get(id.0) {
             TermNode::Const(c) => Term::Const(c),
             TermNode::Var(v) => Term::Var(v),
             TermNode::Bound(b) => Term::Bound(b),
@@ -184,7 +259,7 @@ impl Interner {
     }
 
     fn formula(&self, id: FormulaId) -> Formula {
-        match self.formulas.get(id.0).clone() {
+        match self.formulas.get(id.0) {
             FormulaNode::True => Formula::True,
             FormulaNode::False => Formula::False,
             FormulaNode::Atom(l, op, r) => Formula::Atom(Atom::new(self.term(l), op, self.term(r))),
@@ -203,20 +278,20 @@ impl Interner {
     }
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| Mutex::new(Interner::new()))
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(Interner::new)
 }
 
 impl TermId {
     /// Interns `t`, returning its hash-consed id.
     pub fn intern(t: &Term) -> TermId {
-        interner().lock().expect("intern table poisoned").intern_term(t)
+        interner().intern_term(t)
     }
 
     /// Reconstructs the term this id stands for.
     pub fn to_term(self) -> Term {
-        interner().lock().expect("intern table poisoned").term(self)
+        interner().term(self)
     }
 
     /// The raw id, for embedding in a [`SeqId`] sequence.
@@ -228,12 +303,12 @@ impl TermId {
 impl FormulaId {
     /// Interns `f`, returning its hash-consed id.
     pub fn intern(f: &Formula) -> FormulaId {
-        interner().lock().expect("intern table poisoned").intern_formula(f)
+        interner().intern_formula(f)
     }
 
     /// Reconstructs the formula this id stands for.
     pub fn to_formula(self) -> Formula {
-        interner().lock().expect("intern table poisoned").formula(self)
+        interner().formula(self)
     }
 
     /// The raw id, for embedding in a [`SeqId`] sequence.
@@ -246,8 +321,7 @@ impl SeqId {
     /// Interns a sequence of raw ids.  Element order is significant: two
     /// sequences share an id exactly when they are element-wise equal.
     pub fn intern(ids: &[u32]) -> SeqId {
-        let mut guard = interner().lock().expect("intern table poisoned");
-        SeqId(guard.seqs.intern(ids.into()))
+        SeqId(interner().seqs.intern(ids.into()))
     }
 
     /// The empty sequence.
@@ -348,5 +422,39 @@ mod tests {
         // Re-building the same stack step by step reproduces the same ids.
         assert_eq!(SeqId::cons(SeqId::cons(SeqId::empty(), 7), 9), s2);
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids_across_shards() {
+        // Many distinct constants scatter across shards; their encoded ids
+        // must still be pairwise distinct and round-trip exactly.
+        let ids: Vec<TermId> = (0..200).map(|i| TermId::intern(&Term::int(i))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.to_term(), Term::int(i as i128));
+            for other in &ids[i + 1..] {
+                assert_ne!(id, other);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_ids() {
+        // Every thread interns the same batch of terms; hash consing must
+        // make them all agree on every id, regardless of interleaving.
+        let make = |i: i128| x().add(Term::int(i)).mul(Term::var("y").sub(Term::int(i)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (0..64).map(|i| TermId::intern(&make(i))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<TermId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &results[1..] {
+            assert_eq!(ids, &results[0]);
+        }
+        for (i, id) in results[0].iter().enumerate() {
+            assert_eq!(id.to_term(), make(i as i128));
+        }
     }
 }

@@ -1,0 +1,170 @@
+//! Cooperative cancellation for long-running solver work.
+//!
+//! The racing portfolio (DESIGN.md §12) runs several verification engines on
+//! one program concurrently and stops the losers as soon as a conclusive
+//! verdict lands.  Engines are single-threaded loops over solver calls, so
+//! cancellation is *cooperative*: the winner's harness sets a shared flag,
+//! and every engine polls it at the same places it already polls its
+//! resource budgets.  A cancelled computation unwinds with
+//! [`SmtError::Cancelled`], which the engines convert into their distinct
+//! cancelled verdict — never into a wrong (or misleadingly-reasoned) one.
+//!
+//! Two polling styles cover every call site:
+//!
+//! * **Explicit** — harness-facing code holds a [`CancellationToken`] and
+//!   calls [`CancellationToken::is_cancelled`] (or bails with
+//!   [`CancellationToken::check`]) at loop heads it owns.
+//! * **Ambient** — deep call sites that no token threads through (the
+//!   combined solver's case-split budget checks, the invariant-synthesis
+//!   beam loop) poll the *thread's* installed token via [`check_ambient`].
+//!   An engine installs its token for the duration of a run with
+//!   [`CancellationToken::install`]; the returned guard restores the
+//!   previous ambient token on drop, so nested scopes compose.
+//!
+//! Tokens are a thin wrapper over an `Arc<AtomicBool>`: cloning shares the
+//! flag, setting it is a release store, polling an acquire load.  A token is
+//! set-once — there is deliberately no way to un-cancel.
+
+use crate::error::{SmtError, SmtResult};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.  Clones observe the same flag; dropping a
+/// clone never resets it.
+///
+/// ```
+/// use pathinv_smt::CancellationToken;
+///
+/// let token = CancellationToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Sets the flag.  Every clone — on any thread — observes the
+    /// cancellation at its next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Polls the flag.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Polls the flag and fails with [`SmtError::Cancelled`] when set — the
+    /// one-liner for `?`-style loop heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtError::Cancelled`] when the token has been cancelled.
+    pub fn check(&self) -> SmtResult<()> {
+        if self.is_cancelled() {
+            Err(SmtError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Installs this token as the current thread's *ambient* token for the
+    /// lifetime of the returned guard, so deep call sites without a token
+    /// parameter can poll it through [`check_ambient`].  The previous
+    /// ambient token (if any) is restored when the guard drops.
+    #[must_use = "the token is only ambient while the guard lives"]
+    pub fn install(&self) -> AmbientGuard {
+        let previous = AMBIENT.with(|cell| cell.replace(Some(self.clone())));
+        AmbientGuard { previous }
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<CancellationToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed ambient token on drop.  Returned by
+/// [`CancellationToken::install`].
+#[must_use = "dropping the guard immediately uninstalls the token"]
+pub struct AmbientGuard {
+    previous: Option<CancellationToken>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|cell| *cell.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Polls the current thread's ambient token (a no-op when none is
+/// installed).  This is the poll the solver substrate's budget checks and
+/// the synthesis beam loop use — the exact sites that already bound
+/// runaway work, so cancellation latency is bounded by the same granularity
+/// as budget enforcement.
+///
+/// # Errors
+///
+/// Returns [`SmtError::Cancelled`] when an ambient token is installed and
+/// has been cancelled.
+pub fn check_ambient() -> SmtResult<()> {
+    AMBIENT.with(|cell| match cell.borrow().as_ref() {
+        Some(token) => token.check(),
+        None => Ok(()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(token.check().is_ok());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.check(), Err(SmtError::Cancelled));
+    }
+
+    #[test]
+    fn ambient_token_is_scoped_and_nestable() {
+        assert!(check_ambient().is_ok(), "no ambient token installed");
+        let outer = CancellationToken::new();
+        let inner = CancellationToken::new();
+        let outer_guard = outer.install();
+        {
+            let _inner_guard = inner.install();
+            inner.cancel();
+            assert_eq!(check_ambient(), Err(SmtError::Cancelled));
+        }
+        // The inner guard restored the (un-cancelled) outer token.
+        assert!(check_ambient().is_ok());
+        outer.cancel();
+        assert_eq!(check_ambient(), Err(SmtError::Cancelled));
+        drop(outer_guard);
+        assert!(check_ambient().is_ok(), "guard drop uninstalls the token");
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancellationToken::new();
+        let observer = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().unwrap());
+    }
+}

@@ -33,6 +33,13 @@ pub enum SmtError {
         /// Human-readable description.
         message: String,
     },
+    /// The computation was cancelled cooperatively (see [`crate::cancel`]).
+    /// This is not a solver failure: a racing harness asked the run to stop
+    /// because another engine already produced a conclusive verdict.  It is
+    /// deliberately distinct from [`SmtError::Budget`] so engines can report
+    /// an honest "cancelled" outcome instead of a misleading
+    /// resource-exhaustion reason.
+    Cancelled,
 }
 
 impl SmtError {
@@ -55,6 +62,7 @@ impl fmt::Display for SmtError {
             SmtError::Overflow => write!(f, "rational arithmetic overflow"),
             SmtError::Unsupported { message } => write!(f, "unsupported input: {message}"),
             SmtError::Budget { message } => write!(f, "resource budget exhausted: {message}"),
+            SmtError::Cancelled => write!(f, "computation cancelled by the racing harness"),
         }
     }
 }
@@ -73,5 +81,6 @@ mod tests {
         assert!(SmtError::NonLinear { term: "x * y".into() }.to_string().contains("x * y"));
         assert!(SmtError::unsupported("quantifier").to_string().contains("quantifier"));
         assert_eq!(SmtError::Overflow.to_string(), "rational arithmetic overflow");
+        assert!(SmtError::Cancelled.to_string().contains("cancelled"));
     }
 }

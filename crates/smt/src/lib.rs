@@ -19,7 +19,10 @@
 //!   results, which the CEGAR engine reuses across abstract-post and
 //!   feasibility queries,
 //! * thread-local call counters ([`stats`]) so harnesses can report solver
-//!   work per verification task.
+//!   work per verification task,
+//! * cooperative cancellation ([`cancel`]): a [`CancellationToken`] the
+//!   racing portfolio sets and the solvers' budget-poll sites observe, so a
+//!   losing engine stops within one poll interval of the winner's verdict.
 //!
 //! The paper's implementation delegated this layer to SICStus CLP(Q); see
 //! DESIGN.md §4 for the substitution argument.
@@ -43,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod congruence;
 pub mod context;
 pub mod error;
@@ -54,6 +58,7 @@ pub mod simplex;
 pub mod solver;
 pub mod stats;
 
+pub use cancel::{check_ambient, AmbientGuard, CancellationToken};
 pub use congruence::CongruenceClosure;
 pub use context::{ContextStats, SolverContext};
 pub use error::{SmtError, SmtResult};

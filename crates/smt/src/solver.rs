@@ -275,6 +275,7 @@ impl Solver {
     /// Decides a conjunction of ground atoms by recursive case splitting:
     /// disequalities, then read-over-write, then the base theory combination.
     fn solve_atoms(&self, atoms: Vec<Atom>, budget: &Cell<usize>) -> SmtResult<Option<Model>> {
+        crate::cancel::check_ambient()?;
         if budget.get() == 0 {
             return Err(SmtError::Budget {
                 message: "case-split budget exhausted in the combined solver".into(),
@@ -451,6 +452,7 @@ impl Solver {
         budget: &Cell<usize>,
         fresh: bool,
     ) -> SmtResult<Option<Model>> {
+        crate::cancel::check_ambient()?;
         if budget.get() == 0 {
             return Err(SmtError::Budget {
                 message: "case-split budget exhausted while enforcing functionality".into(),
