@@ -1,0 +1,236 @@
+//! Validation of bounded-unroll safety certificates.
+//!
+//! BMC's `Safe` verdict is the claim: *every* path from the entry location
+//! either terminates or becomes infeasible within `depth` transitions, and
+//! no feasible path reaches the error location.  The checker re-establishes
+//! the claim by its own depth-first unrolling of the CFG, pruning prefixes
+//! it can refute ([`crate::refute`]) and rejecting the certificate if
+//!
+//! * a path reaches the error location and its path formula cannot be
+//!   refuted, or
+//! * a path reaches the certified depth with outgoing transitions left and
+//!   cannot be refuted (the bound does not actually exhaust the program).
+//!
+//! Pruning is only attempted after `Assume` transitions (the other actions
+//! preserve satisfiability of the prefix), mirroring where infeasibility can
+//! actually arise.  Since Fourier–Motzkin elimination is exact over the
+//! rationals, the checker prunes at least as much as any rationally-complete
+//! engine on scalar programs; on array programs its abstraction is weaker,
+//! and an honest `Unsupported` results when the node budget runs out.
+
+use crate::certificate::{BoundedCert, CertVerdict};
+use crate::refute::{CheckLimits, Refutation, Refuter};
+use pathinv_ir::ssa::{encode_action, VersionMap};
+use pathinv_ir::{Action, Formula, Loc, Program};
+use std::collections::BTreeSet;
+
+struct Unroller<'a> {
+    program: &'a Program,
+    depth: usize,
+    refuter: Refuter,
+    nodes_left: usize,
+    /// Locations from which the error location is reachable in the CFG
+    /// *graph*.  Subtrees rooted elsewhere can never produce an error path,
+    /// so truncating them at the depth bound is harmless and they are
+    /// skipped outright — this is also what validates BMC's search-free
+    /// `Safe` on programs whose error location is syntactically unreachable.
+    can_reach_error: BTreeSet<Loc>,
+}
+
+enum Unroll {
+    Ok,
+    Failed(CertVerdict),
+}
+
+/// Checks that `cert.depth` genuinely exhausts `program`.
+pub fn check_bounded(program: &Program, cert: &BoundedCert, limits: &CheckLimits) -> CertVerdict {
+    let mut unroller = Unroller {
+        program,
+        depth: cert.depth,
+        refuter: Refuter::new(limits),
+        nodes_left: limits.max_unroll_nodes,
+        can_reach_error: backward_reachable(program),
+    };
+    let versions: VersionMap = program.vars().iter().map(|d| (d.sym, 0)).collect();
+    let mut prefix = Vec::new();
+    match unroller.dfs(program.entry(), versions, &mut prefix, 0) {
+        Unroll::Ok => CertVerdict::Valid,
+        Unroll::Failed(v) => v,
+    }
+}
+
+impl Unroller<'_> {
+    fn dfs(
+        &mut self,
+        loc: Loc,
+        versions: VersionMap,
+        prefix: &mut Vec<Formula>,
+        depth: usize,
+    ) -> Unroll {
+        if !self.can_reach_error.contains(&loc) {
+            // No continuation of this prefix can reach the error location;
+            // whether the bound exhausts it is irrelevant to the claim.
+            return Unroll::Ok;
+        }
+        if self.nodes_left == 0 {
+            return Unroll::Failed(CertVerdict::Unsupported {
+                reason: "bounded unroll: node budget exhausted".into(),
+            });
+        }
+        self.nodes_left -= 1;
+
+        if loc == self.program.error() {
+            // The engine claims no feasible error path exists: this prefix
+            // must be refutable.
+            return match self.refuter.refute(&Formula::and(prefix.clone())) {
+                Refutation::Refuted => Unroll::Ok,
+                Refutation::NotRefuted => Unroll::Failed(CertVerdict::Invalid {
+                    reason: format!("error path of length {depth} not refuted"),
+                }),
+                Refutation::Budget => Unroll::Failed(budget()),
+            };
+        }
+        let outgoing = self.program.outgoing(loc);
+        if outgoing.is_empty() {
+            return Unroll::Ok;
+        }
+        if depth >= self.depth {
+            // The certificate claims exhaustion at this depth, so a prefix
+            // that still has outgoing transitions must already be
+            // infeasible.
+            return match self.refuter.refute(&Formula::and(prefix.clone())) {
+                Refutation::Refuted => Unroll::Ok,
+                Refutation::NotRefuted => Unroll::Failed(CertVerdict::Invalid {
+                    reason: format!(
+                        "path reaches certified depth {} at {} without refutation",
+                        self.depth,
+                        self.program.loc_label(loc)
+                    ),
+                }),
+                Refutation::Budget => Unroll::Failed(budget()),
+            };
+        }
+        for &tid in outgoing {
+            let t = self.program.transition(tid);
+            let mut next_versions = versions.clone();
+            let constraint = encode_action(&t.action, &mut next_versions);
+            prefix.push(constraint);
+            // Only an assumption can make a feasible prefix infeasible;
+            // prune there (sound either way — pruning requires a refutation).
+            let prune = if matches!(t.action, Action::Assume(_)) {
+                match self.refuter.refute(&Formula::and(prefix.clone())) {
+                    Refutation::Refuted => true,
+                    Refutation::NotRefuted => false,
+                    Refutation::Budget => {
+                        prefix.pop();
+                        return Unroll::Failed(budget());
+                    }
+                }
+            } else {
+                false
+            };
+            if !prune {
+                match self.dfs(t.to, next_versions, prefix, depth + 1) {
+                    Unroll::Ok => {}
+                    failed => {
+                        prefix.pop();
+                        return failed;
+                    }
+                }
+            }
+            prefix.pop();
+        }
+        Unroll::Ok
+    }
+}
+
+fn budget() -> CertVerdict {
+    CertVerdict::Unsupported { reason: "bounded unroll: refutation budget exhausted".into() }
+}
+
+/// The locations from which the error location is reachable, by backward
+/// traversal over the CFG's incoming edges.
+fn backward_reachable(program: &Program) -> BTreeSet<Loc> {
+    let mut seen = BTreeSet::from([program.error()]);
+    let mut frontier = vec![program.error()];
+    while let Some(loc) = frontier.pop() {
+        for &tid in program.incoming(loc) {
+            let from = program.transition(tid).from;
+            if seen.insert(from) {
+                frontier.push(from);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::parse_program;
+
+    #[test]
+    fn accepts_an_exhaustive_bound_on_a_terminating_loop() {
+        let p = parse_program(
+            "proc ok(n: int) {
+                 var i: int;
+                 assume(n >= 0); assume(n <= 2);
+                 i = 0;
+                 while (i < n) { i = i + 1; }
+                 assert(i == n);
+             }",
+        )
+        .unwrap();
+        let v = check_bounded(&p, &BoundedCert { depth: 32 }, &CheckLimits::default());
+        assert_eq!(v, CertVerdict::Valid, "{v:?}");
+    }
+
+    #[test]
+    fn rejects_a_bound_that_does_not_exhaust_the_loop() {
+        let p = parse_program(
+            "proc ok(n: int) {
+                 var i: int;
+                 assume(n >= 0); assume(n <= 2);
+                 i = 0;
+                 while (i < n) { i = i + 1; }
+                 assert(i == n);
+             }",
+        )
+        .unwrap();
+        // Depth 3 cannot even reach the loop exit for n = 2.
+        let v = check_bounded(&p, &BoundedCert { depth: 3 }, &CheckLimits::default());
+        assert!(matches!(v, CertVerdict::Invalid { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_when_an_error_path_is_actually_feasible() {
+        let p = parse_program("proc bug(x: int) { x = 1; assert(x == 2); }").unwrap();
+        let v = check_bounded(&p, &BoundedCert { depth: 8 }, &CheckLimits::default());
+        assert!(matches!(v, CertVerdict::Invalid { reason } if reason.contains("error path")));
+    }
+
+    #[test]
+    fn subtrees_that_cannot_reach_the_error_are_exempt_from_the_bound() {
+        // No assert: the error location is syntactically unreachable, so
+        // even an unbounded loop validates at any depth.
+        let p = parse_program(
+            "proc spin(n: int) {
+                 var i: int;
+                 i = 0;
+                 while (i < n) { i = i + 1; }
+             }",
+        )
+        .unwrap();
+        let v = check_bounded(&p, &BoundedCert { depth: 1 }, &CheckLimits::default());
+        assert_eq!(v, CertVerdict::Valid, "{v:?}");
+    }
+
+    #[test]
+    fn integrality_refutes_half_integer_error_paths() {
+        // The error path needs x + x = 1: rationally satisfiable,
+        // integrally refuted by the gcd test.
+        let p = parse_program("proc h(x: int) { assert(x + x != 1); }").unwrap();
+        let v = check_bounded(&p, &BoundedCert { depth: 8 }, &CheckLimits::default());
+        assert_eq!(v, CertVerdict::Valid, "{v:?}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Certificate formats: the auditable artifacts engines attach to their
+//! verdicts.
+//!
+//! A certificate is everything an independent party needs to re-establish a
+//! verdict *without re-running verification*:
+//!
+//! * [`InvariantCert`] — a per-location inductive invariant map proving
+//!   `Safe` (CEGAR's final abstract reachability states, PDR's closed
+//!   frame).
+//! * [`BoundedCert`] — BMC's exhaustive-unroll claim proving `Safe`: every
+//!   path from the entry either terminates or becomes infeasible within the
+//!   stated depth, and every path into the error location is refutable.
+//! * [`TraceCert`] — a concrete integral counterexample proving `Unsafe`:
+//!   transition steps, initial input values, and havoc results, replayable
+//!   by the [`pathinv_ir::eval`]-based interpreter.
+//!
+//! Certificates render to a canonical text form ([`Certificate::render`])
+//! from which a stable digest is computed, so golden tests can pin them the
+//! same way they pin verdicts.
+
+use pathinv_ir::{Formula, Loc, Symbol, TransId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A per-location inductive invariant map.
+///
+/// The map must cover *every* location of the program it certifies; the
+/// checker validates initiation (the entry invariant is valid), consecution
+/// (each transition preserves the map), and error exclusion (the error
+/// invariant is unsatisfiable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantCert {
+    /// The invariant at each location, over current-state program variables.
+    pub invariants: BTreeMap<Loc, Formula>,
+}
+
+/// BMC's bounded-exhaustive safety claim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundedCert {
+    /// The unrolling depth within which every program path terminates or
+    /// becomes infeasible.
+    pub depth: usize,
+}
+
+/// A concrete integral counterexample trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCert {
+    /// The transitions taken, in order, from the entry location.
+    pub steps: Vec<TransId>,
+    /// Initial values of the program's scalar variables (absent means `0`,
+    /// the interpreter's convention).
+    pub inputs: BTreeMap<Symbol, i128>,
+    /// Havoc results, consumed in execution order.
+    pub havocs: Vec<i128>,
+}
+
+/// A verdict's certificate: the proof artifact an engine emits alongside
+/// `Safe` or `Unsafe`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Certificate {
+    /// A safety proof by inductive invariant.
+    Inductive(InvariantCert),
+    /// A safety proof by exhaustive bounded unrolling.
+    BoundedUnroll(BoundedCert),
+    /// An unsafety proof by concrete counterexample.
+    Trace(TraceCert),
+}
+
+impl Certificate {
+    /// The certificate kind as it appears in reports: `"inductive"`,
+    /// `"bounded-unroll"`, or `"trace"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Certificate::Inductive(_) => "inductive",
+            Certificate::BoundedUnroll(_) => "bounded-unroll",
+            Certificate::Trace(_) => "trace",
+        }
+    }
+
+    /// True when the certificate claims safety (so it must accompany a
+    /// `Safe` verdict; a [`Certificate::Trace`] must accompany `Unsafe`).
+    pub fn claims_safety(&self) -> bool {
+        !matches!(self, Certificate::Trace(_))
+    }
+
+    /// A size measure for reports: atoms in an invariant map, the depth of
+    /// a bounded-unroll claim, steps plus values in a trace.
+    pub fn size(&self) -> usize {
+        match self {
+            Certificate::Inductive(c) => {
+                c.invariants.values().map(|f| f.atoms().len().max(1)).sum()
+            }
+            Certificate::BoundedUnroll(c) => c.depth,
+            Certificate::Trace(c) => c.steps.len() + c.inputs.len() + c.havocs.len(),
+        }
+    }
+
+    /// A canonical text rendering, the input of [`Certificate::digest`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Certificate::Inductive(c) => {
+                out.push_str("inductive\n");
+                for (loc, inv) in &c.invariants {
+                    let _ = writeln!(out, "L{}: {inv}", loc.index());
+                }
+            }
+            Certificate::BoundedUnroll(c) => {
+                let _ = writeln!(out, "bounded-unroll depth={}", c.depth);
+            }
+            Certificate::Trace(c) => {
+                out.push_str("trace\nsteps:");
+                for s in &c.steps {
+                    let _ = write!(out, " {}", s.index());
+                }
+                out.push_str("\ninputs:");
+                for (sym, v) in &c.inputs {
+                    let _ = write!(out, " {sym}={v}");
+                }
+                out.push_str("\nhavocs:");
+                for v in &c.havocs {
+                    let _ = write!(out, " {v}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// A stable 64-bit FNV-1a digest of the canonical rendering, printed as
+    /// 16 hex digits.  Deterministic across runs for deterministic engines,
+    /// which is what lets golden tests pin certificates.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.render().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// The checker's typed answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertVerdict {
+    /// The certificate independently establishes the verdict.
+    Valid,
+    /// The certificate does not establish the verdict; the reason names the
+    /// failing obligation.
+    Invalid {
+        /// Which obligation failed and where.
+        reason: String,
+    },
+    /// The checker ran out of budget or the certificate lies outside the
+    /// fragment it decides; nothing is claimed either way.
+    Unsupported {
+        /// What resource or fragment limit was hit.
+        reason: String,
+    },
+}
+
+impl CertVerdict {
+    /// True for [`CertVerdict::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CertVerdict::Valid)
+    }
+
+    /// The verdict as it appears in reports: `"valid"`, `"invalid"`, or
+    /// `"unsupported"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CertVerdict::Valid => "valid",
+            CertVerdict::Invalid { .. } => "invalid",
+            CertVerdict::Unsupported { .. } => "unsupported",
+        }
+    }
+
+    /// The failure reason, when there is one.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            CertVerdict::Valid => None,
+            CertVerdict::Invalid { reason } | CertVerdict::Unsupported { reason } => Some(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::Term;
+
+    #[test]
+    fn digests_are_stable_and_distinguish_contents() {
+        let a = Certificate::BoundedUnroll(BoundedCert { depth: 10 });
+        let b = Certificate::BoundedUnroll(BoundedCert { depth: 11 });
+        assert_eq!(a.digest(), a.digest());
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest().len(), 16);
+    }
+
+    #[test]
+    fn kinds_and_safety_claims() {
+        let t = Certificate::Trace(TraceCert {
+            steps: vec![],
+            inputs: BTreeMap::new(),
+            havocs: vec![],
+        });
+        assert_eq!(t.kind(), "trace");
+        assert!(!t.claims_safety());
+        let inv = Certificate::Inductive(InvariantCert { invariants: BTreeMap::new() });
+        assert!(inv.claims_safety());
+        assert_eq!(inv.kind(), "inductive");
+    }
+
+    #[test]
+    fn invariant_size_counts_atoms() {
+        let mut invariants = BTreeMap::new();
+        invariants.insert(
+            Loc(0),
+            Formula::and(vec![
+                Formula::ge(Term::var("x"), Term::int(0)),
+                Formula::le(Term::var("x"), Term::int(5)),
+            ]),
+        );
+        invariants.insert(Loc(1), Formula::False);
+        let c = Certificate::Inductive(InvariantCert { invariants });
+        // Two atoms at L0, one (minimum) for the atomless False at L1.
+        assert_eq!(c.size(), 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Validation of concrete counterexample trace certificates, and the one
+//! shared decoder from solver models to traces.
+//!
+//! An `Unsafe` verdict ships a [`TraceCert`]: transition steps, initial
+//! input values, and havoc results.  Checking it needs no solver at all —
+//! the certificate replays on the [`pathinv_ir::eval`]-based interpreter
+//! ([`pathinv_ir::exec::replay`]), which verifies the steps are contiguous
+//! from the entry, every guard evaluates to true, and execution ends in the
+//! error location.  A trace that replays is a self-contained refutation of
+//! safety.
+//!
+//! [`decode_model`] is the *single* implementation of the model-to-trace
+//! convention (the `eval_ssa_parity` contract): initial values are read at
+//! SSA version 0, and each havoc result is read at the version the havoc
+//! transition bumps its variable to (`versions[i + 1]`).  Every engine and
+//! the fuzzer's witness validator decode through this function, so the
+//! convention cannot drift per engine.
+
+use crate::certificate::{CertVerdict, TraceCert};
+use pathinv_ir::exec::{replay, ReplayOutcome};
+use pathinv_ir::ssa::PathFormula;
+use pathinv_ir::{Path, Program, Sort, Symbol, VarRef};
+use pathinv_smt::{Model, Rat};
+use std::collections::BTreeMap;
+
+/// Replays a trace certificate and checks it ends in the error location.
+pub fn check_trace(program: &Program, cert: &TraceCert) -> CertVerdict {
+    if !cert.steps.is_empty() && Path::new(program, cert.steps.clone()).is_err() {
+        return CertVerdict::Invalid {
+            reason: "trace steps are not a contiguous path from the entry".into(),
+        };
+    }
+    match replay(program, &cert.steps, &cert.inputs, &cert.havocs) {
+        ReplayOutcome::ReachesError => CertVerdict::Valid,
+        ReplayOutcome::Diverges(reason) => CertVerdict::Invalid { reason },
+    }
+}
+
+/// Decodes an integral path-formula model into a replayable trace.
+///
+/// * **Inputs** are the SSA version-0 values of the program's scalar
+///   variables (a variable absent from the model is unconstrained; the
+///   interpreter's default `0` is then one of its admissible values).
+/// * **Havoc results** are read at the version each havoc transition bumps
+///   its variable to: `pf.versions[i + 1]` after transition `i`, exactly as
+///   `pathinv_ir::ssa::encode_action` assigns versions and as
+///   `tests/eval_ssa_parity.rs` pins.
+///
+/// The model must be integral (produced by
+/// [`pathinv_smt::Solver::check_integral`]); values are floored, which is
+/// exact on integral rationals.
+pub fn decode_model(program: &Program, path: &Path, pf: &PathFormula, model: &Model) -> TraceCert {
+    fn int_at(model: &Model, v: VarRef) -> i128 {
+        model.value(v).map_or(0, Rat::floor)
+    }
+    let inputs: BTreeMap<Symbol, i128> = program
+        .vars()
+        .iter()
+        .filter(|d| d.sort == Sort::Int)
+        .filter_map(|d| model.value(VarRef::idx(d.sym, 0)).map(|r| (d.sym, r.floor())))
+        .collect();
+    let mut havocs: Vec<i128> = Vec::new();
+    for (i, t) in path.transitions(program).iter().enumerate() {
+        if let pathinv_ir::Action::Havoc(xs) = &t.action {
+            for &x in xs {
+                let version = pf.versions[i + 1].get(&x).copied().unwrap_or(0);
+                havocs.push(int_at(model, VarRef::idx(x, version)));
+            }
+        }
+    }
+    TraceCert { steps: path.steps().to_vec(), inputs, havocs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathinv_ir::exec::{search, ConcreteOutcome, SearchLimits};
+    use pathinv_ir::parse_program;
+
+    #[test]
+    fn a_searched_witness_checks_valid() {
+        let p = parse_program(
+            "proc bug(x: int) {
+                 assume(x >= 0); assume(x <= 3);
+                 assert(x != 2);
+             }",
+        )
+        .unwrap();
+        let limits = SearchLimits { domain: (-1..=4).collect(), ..SearchLimits::default() };
+        let ConcreteOutcome::Unsafe(w) = search(&p, &[Symbol::intern("x")], &limits) else {
+            panic!("expected a concrete witness");
+        };
+        let cert = TraceCert { steps: w.steps, inputs: w.inputs, havocs: w.havocs };
+        assert_eq!(check_trace(&p, &cert), CertVerdict::Valid);
+    }
+
+    #[test]
+    fn truncated_traces_are_rejected() {
+        let p = parse_program("proc bug(x: int) { x = 1; assert(x == 2); }").unwrap();
+        let limits = SearchLimits::default();
+        let ConcreteOutcome::Unsafe(w) = search(&p, &[], &limits) else {
+            panic!("expected a concrete witness");
+        };
+        let mut steps = w.steps.clone();
+        steps.pop();
+        let cert = TraceCert { steps, inputs: w.inputs, havocs: w.havocs };
+        assert!(matches!(check_trace(&p, &cert), CertVerdict::Invalid { .. }));
+    }
+
+    #[test]
+    fn perturbed_inputs_that_break_a_guard_are_rejected() {
+        let p = parse_program(
+            "proc g(x: int) {
+                 assume(x > 0);
+                 assert(x < 0);
+             }",
+        )
+        .unwrap();
+        let limits = SearchLimits::default();
+        let ConcreteOutcome::Unsafe(w) = search(&p, &[Symbol::intern("x")], &limits) else {
+            panic!("expected a concrete witness");
+        };
+        let mut inputs = w.inputs.clone();
+        inputs.insert(Symbol::intern("x"), 0);
+        let cert = TraceCert { steps: w.steps, inputs, havocs: w.havocs };
+        assert!(matches!(check_trace(&p, &cert), CertVerdict::Invalid { .. }));
+    }
+}

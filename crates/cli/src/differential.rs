@@ -225,6 +225,12 @@ mod tests {
             predicates: 0,
             art_nodes: 0,
             wall_ms: 0.0,
+            cert_kind: String::new(),
+            cert_size: 0,
+            cert_digest: String::new(),
+            cert_verdict: String::new(),
+            cert_reason: String::new(),
+            cert_check_ms: 0.0,
             stats: VerifierStats::default(),
         }
     }

@@ -30,10 +30,11 @@ use crate::{TaskEngine, DEFAULT_BASELINE_REFINEMENTS};
 use pathinv_bench::generator::{
     generate_campaign, realize, Expected, GeneratedProgram, Realized, Scenario,
 };
+use pathinv_check::{check_certificate, decode_model, Certificate, CheckLimits};
 use pathinv_core::{BmcConfig, CegarConfig, PdrConfig, Verdict};
 use pathinv_ir::exec::replay;
-use pathinv_ir::{path_formula, Path, Program, Symbol, VarRef};
-use pathinv_smt::{IntSatResult, Model, Solver};
+use pathinv_ir::{path_formula, Path, Program};
+use pathinv_smt::{IntSatResult, Solver};
 use proptest::shrink::minimize;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -57,11 +58,21 @@ pub struct FuzzOptions {
     pub cache_sample: usize,
     /// Shrink budget: maximum candidate scenarios tested per finding.
     pub shrink_budget: usize,
+    /// Audit every engine certificate with the independent checker: a
+    /// conclusive verdict without a valid certificate becomes a finding.
+    pub certify: bool,
 }
 
 impl Default for FuzzOptions {
     fn default() -> Self {
-        FuzzOptions { seed: 0, count: 200, jobs: 1, cache_sample: 10, shrink_budget: 48 }
+        FuzzOptions {
+            seed: 0,
+            count: 200,
+            jobs: 1,
+            cache_sample: 10,
+            shrink_budget: 48,
+            certify: false,
+        }
     }
 }
 
@@ -90,6 +101,11 @@ pub enum FindingKind {
     WitnessReplayFailed,
     /// Cached and uncached CEGAR runs disagree on the verdict.
     CacheParity,
+    /// A conclusive verdict without a certificate (`--certify` only).
+    CertificateMissing,
+    /// A certificate the independent checker rejected, or one attached to
+    /// an inconclusive verdict (`--certify` only).
+    CertificateRejected,
 }
 
 impl FindingKind {
@@ -106,6 +122,8 @@ impl FindingKind {
             FindingKind::CexReplayDiverged => "cex-replay-diverged",
             FindingKind::WitnessReplayFailed => "witness-replay-failed",
             FindingKind::CacheParity => "cache-parity",
+            FindingKind::CertificateMissing => "certificate-missing",
+            FindingKind::CertificateRejected => "certificate-rejected",
         }
     }
 }
@@ -154,6 +172,9 @@ pub struct FuzzReport {
     pub cexes_validated: usize,
     /// Programs that also ran the cached-vs-uncached parity check.
     pub cache_checked: usize,
+    /// Engine certificates audited by the independent checker (`--certify`
+    /// runs only; one audit per engine verdict, conclusive or not).
+    pub certs_audited: usize,
     /// All disagreements, shrunk where possible, in deterministic order.
     pub findings: Vec<Finding>,
 }
@@ -195,31 +216,30 @@ fn engine_label(engine: &TaskEngine) -> String {
     }
 }
 
-fn run_engine(engine: &TaskEngine, program: &Program) -> EngineVerdict {
+fn run_engine(engine: &TaskEngine, program: &Program) -> (EngineVerdict, Option<Certificate>) {
     let built = engine.build();
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| built.verify(program))) {
-        Ok(Ok(result)) => match result.verdict {
-            Verdict::Safe => EngineVerdict::Safe,
-            Verdict::Unsafe { path } => EngineVerdict::Unsafe(path),
-            Verdict::Unknown { reason } => EngineVerdict::Unknown(reason),
-            // Unreachable with the fresh token `verify` passes; treated as
-            // an error so it can never masquerade as a real verdict.
-            Verdict::Cancelled => EngineVerdict::Error("cancelled without a token".to_string()),
-        },
-        Ok(Err(e)) => EngineVerdict::Error(e.to_string()),
+        Ok(Ok(result)) => {
+            let verdict = match result.verdict {
+                Verdict::Safe => EngineVerdict::Safe,
+                Verdict::Unsafe { path } => EngineVerdict::Unsafe(path),
+                Verdict::Unknown { reason } => EngineVerdict::Unknown(reason),
+                // Unreachable with the fresh token `verify` passes; treated
+                // as an error so it can never masquerade as a real verdict.
+                Verdict::Cancelled => EngineVerdict::Error("cancelled without a token".to_string()),
+            };
+            (verdict, result.certificate)
+        }
+        Ok(Err(e)) => (EngineVerdict::Error(e.to_string()), None),
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("panic");
-            EngineVerdict::Error(format!("panicked: {msg}"))
+            (EngineVerdict::Error(format!("panicked: {msg}")), None)
         }
     }
-}
-
-fn rat_to_int(model: &Model, v: VarRef) -> i128 {
-    model.value(v).map_or(0, pathinv_smt::Rat::floor)
 }
 
 /// Validates one engine counterexample end-to-end: integral satisfiability
@@ -262,20 +282,13 @@ fn validate_cex(p: &GeneratedProgram, label: &str, path: &Path, findings: &mut V
             return;
         }
     };
-    // Inputs are the version-0 model values; havoc results are read at the
-    // version each havoc transition bumps its variable to.
-    let inputs: std::collections::BTreeMap<Symbol, i128> =
-        p.inputs.iter().map(|&sym| (sym, rat_to_int(&model, VarRef::idx(sym, 0)))).collect();
-    let mut havocs: Vec<i128> = Vec::new();
-    for (i, t) in path.transitions(&p.program).iter().enumerate() {
-        if let pathinv_ir::Action::Havoc(xs) = &t.action {
-            for &x in xs {
-                let version = pf.versions[i + 1].get(&x).copied().unwrap_or(0);
-                havocs.push(rat_to_int(&model, VarRef::idx(x, version)));
-            }
-        }
-    }
-    let outcome = replay(&p.program, path.steps(), &inputs, &havocs);
+    // Decode the model through the same SSA convention every engine's trace
+    // certificate uses (inputs at version 0, havoc results at the version
+    // each havoc transition bumps its variable to) — one decoder, shared
+    // with `pathinv_check`, so fuzzing exercises the exact artifact the
+    // certificate checker replays.
+    let trace = decode_model(&p.program, path, &pf, &model);
+    let outcome = replay(&p.program, &trace.steps, &trace.inputs, &trace.havocs);
     if !outcome.reaches_error() {
         findings.push(p.finding(
             FindingKind::CexReplayDiverged,
@@ -316,10 +329,76 @@ struct CheckCounts {
     engine_runs: usize,
     cexes_validated: usize,
     cache_checked: usize,
+    certs_audited: usize,
+}
+
+/// Audits one engine's certificate against its verdict (`--certify` only):
+/// a conclusive verdict must carry a certificate of matching polarity that
+/// the independent checker validates; an inconclusive verdict must carry
+/// none.
+fn audit_engine_certificate(
+    p: &GeneratedProgram,
+    label: &str,
+    verdict: &EngineVerdict,
+    certificate: Option<&Certificate>,
+    findings: &mut Vec<Finding>,
+) {
+    let conclusive = matches!(verdict, EngineVerdict::Safe | EngineVerdict::Unsafe(_));
+    let Some(cert) = certificate else {
+        if conclusive {
+            findings.push(p.finding(
+                FindingKind::CertificateMissing,
+                label,
+                format!("{label} concluded {} without emitting a certificate", verdict.word()),
+            ));
+        }
+        return;
+    };
+    if !conclusive {
+        findings.push(p.finding(
+            FindingKind::CertificateRejected,
+            label,
+            format!(
+                "{label} attached a {} certificate to a {} verdict",
+                cert.kind(),
+                verdict.word()
+            ),
+        ));
+        return;
+    }
+    if cert.claims_safety() != matches!(verdict, EngineVerdict::Safe) {
+        findings.push(p.finding(
+            FindingKind::CertificateRejected,
+            label,
+            format!(
+                "{label} attached a {} certificate to a {} verdict (polarity mismatch)",
+                cert.kind(),
+                verdict.word()
+            ),
+        ));
+        return;
+    }
+    let outcome = check_certificate(&p.program, cert, &CheckLimits::default());
+    if !outcome.is_valid() {
+        findings.push(p.finding(
+            FindingKind::CertificateRejected,
+            label,
+            format!(
+                "the independent checker rejected the {} certificate of {label} ({}): {}",
+                cert.kind(),
+                outcome.name(),
+                outcome.reason().unwrap_or_default()
+            ),
+        ));
+    }
 }
 
 /// Runs the full three-way cross-check on one generated program.
-fn check_program(p: &GeneratedProgram, check_cache: bool) -> (Vec<Finding>, CheckCounts) {
+fn check_program(
+    p: &GeneratedProgram,
+    check_cache: bool,
+    certify: bool,
+) -> (Vec<Finding>, CheckCounts) {
     let mut findings = Vec::new();
     let mut counts = CheckCounts::default();
 
@@ -337,15 +416,23 @@ fn check_program(p: &GeneratedProgram, check_cache: bool) -> (Vec<Finding>, Chec
     }
 
     let engines = portfolio();
-    let verdicts: Vec<(String, EngineVerdict)> = engines
+    let verdicts: Vec<(String, EngineVerdict, Option<Certificate>)> = engines
         .iter()
         .map(|e| {
             counts.engine_runs += 1;
-            (engine_label(e), run_engine(e, &p.program))
+            let (verdict, certificate) = run_engine(e, &p.program);
+            (engine_label(e), verdict, certificate)
         })
         .collect();
 
-    for (label, v) in &verdicts {
+    if certify {
+        for (label, v, cert) in &verdicts {
+            counts.certs_audited += 1;
+            audit_engine_certificate(p, label, v, cert.as_ref(), &mut findings);
+        }
+    }
+
+    for (label, v, _) in &verdicts {
         match v {
             EngineVerdict::Error(msg) => {
                 findings.push(p.finding(
@@ -387,9 +474,9 @@ fn check_program(p: &GeneratedProgram, check_cache: bool) -> (Vec<Finding>, Chec
     }
 
     // Engine-vs-engine: any safe verdict alongside any unsafe verdict.
-    let safe_engine = verdicts.iter().find(|(_, v)| matches!(v, EngineVerdict::Safe));
-    let unsafe_engine = verdicts.iter().find(|(_, v)| matches!(v, EngineVerdict::Unsafe(_)));
-    if let (Some((sl, _)), Some((ul, uv))) = (safe_engine, unsafe_engine) {
+    let safe_engine = verdicts.iter().find(|(_, v, _)| matches!(v, EngineVerdict::Safe));
+    let unsafe_engine = verdicts.iter().find(|(_, v, _)| matches!(v, EngineVerdict::Unsafe(_)));
+    if let (Some((sl, _, _)), Some((ul, uv, _))) = (safe_engine, unsafe_engine) {
         findings.push(p.finding(
             FindingKind::EngineDisagreement,
             &format!("{sl} vs {ul}"),
@@ -403,7 +490,7 @@ fn check_program(p: &GeneratedProgram, check_cache: bool) -> (Vec<Finding>, Chec
         uncached_config.caching = false;
         counts.engine_runs += 1;
         let cached = &verdicts[0].1;
-        let uncached = run_engine(&TaskEngine::Cegar(uncached_config), &p.program);
+        let (uncached, _) = run_engine(&TaskEngine::Cegar(uncached_config), &p.program);
         if cached.word() != uncached.word() {
             findings.push(p.finding(
                 FindingKind::CacheParity,
@@ -424,12 +511,17 @@ fn check_program(p: &GeneratedProgram, check_cache: bool) -> (Vec<Finding>, Chec
 fn still_fails(scenario: &Scenario, index: usize, kind: FindingKind, check_cache: bool) -> bool {
     match realize(scenario, index) {
         Realized::Kept(p) => {
-            let (findings, _) = check_program(&p, check_cache);
+            let (findings, _) = check_program(&p, check_cache, certify_for(kind));
             findings.iter().any(|f| f.kind == kind)
         }
         Realized::Defect(_) => kind == FindingKind::GeneratorDefect,
         Realized::Discarded(_) => false,
     }
+}
+
+/// Whether reproducing a finding of `kind` requires the certificate audit.
+fn certify_for(kind: FindingKind) -> bool {
+    matches!(kind, FindingKind::CertificateMissing | FindingKind::CertificateRejected)
 }
 
 /// Shrinks each distinct `(kind, family, engine)` finding to a minimal
@@ -454,7 +546,7 @@ fn shrink_findings(findings: Vec<Finding>, budget: usize) -> Vec<Finding> {
         let mut shrunk = finding;
         shrunk.shrunk = !stats.budget_exhausted;
         if let Realized::Kept(p) = realize(&min, index) {
-            let (replayed, _) = check_program(&p, check_cache);
+            let (replayed, _) = check_program(&p, check_cache, certify_for(kind));
             let engine = shrunk.engine.clone();
             if let Some(f) = replayed
                 .iter()
@@ -503,6 +595,7 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         engine_runs: 0,
         cexes_validated: 0,
         cache_checked: 0,
+        certs_audited: 0,
         findings: Vec::new(),
     };
 
@@ -517,7 +610,7 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
                 let Some((pos, p)) = queue.lock().expect("fuzz queue poisoned").pop_front() else {
                     break;
                 };
-                let (found, counts) = check_program(p, pos < cache_cutoff);
+                let (found, counts) = check_program(p, pos < cache_cutoff, opts.certify);
                 results.lock().expect("fuzz sink poisoned").push((pos, found, counts));
             });
         }
@@ -529,6 +622,7 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         report.engine_runs += counts.engine_runs;
         report.cexes_validated += counts.cexes_validated;
         report.cache_checked += counts.cache_checked;
+        report.certs_audited += counts.certs_audited;
     }
     findings.sort_by(|a, b| {
         (a.index, a.kind, a.engine.as_str()).cmp(&(b.index, b.kind, b.engine.as_str()))
@@ -574,6 +668,7 @@ impl FuzzReport {
             ("engine_runs", Json::Int(self.engine_runs as i64)),
             ("cexes_validated", Json::Int(self.cexes_validated as i64)),
             ("cache_checked", Json::Int(self.cache_checked as i64)),
+            ("certs_audited", Json::Int(self.certs_audited as i64)),
             ("findings", Json::Array(self.findings.iter().map(Finding::to_json).collect())),
         ])
     }
@@ -582,7 +677,8 @@ impl FuzzReport {
     pub fn render_summary(&self) -> String {
         let mut out = format!(
             "fuzz: seed {} generated {} programs ({} safe, {} unsafe, {} discarded); \
-             {} engine runs, {} counterexamples validated, {} cache-parity checks\n",
+             {} engine runs, {} counterexamples validated, {} cache-parity checks, \
+             {} certificates audited\n",
             self.seed,
             self.generated,
             self.expected_safe,
@@ -591,6 +687,7 @@ impl FuzzReport {
             self.engine_runs,
             self.cexes_validated,
             self.cache_checked,
+            self.certs_audited,
         );
         if self.findings.is_empty() {
             out.push_str("fuzz: no disagreements\n");
@@ -628,6 +725,8 @@ mod tests {
             FindingKind::CexReplayDiverged,
             FindingKind::WitnessReplayFailed,
             FindingKind::CacheParity,
+            FindingKind::CertificateMissing,
+            FindingKind::CertificateRejected,
         ];
         let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
@@ -641,5 +740,22 @@ mod tests {
         let a = run_fuzz(&FuzzOptions { jobs: 1, ..base.clone() });
         let b = run_fuzz(&FuzzOptions { jobs: 3, ..base });
         assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    #[test]
+    fn certified_campaign_audits_every_engine_verdict() {
+        let opts = FuzzOptions {
+            seed: 7,
+            count: 6,
+            cache_sample: 0,
+            certify: true,
+            ..FuzzOptions::default()
+        };
+        let report = run_fuzz(&opts);
+        // One audit per portfolio engine per generated program.
+        assert_eq!(report.certs_audited, report.generated * 4);
+        let cert_findings: Vec<&Finding> =
+            report.findings.iter().filter(|f| certify_for(f.kind)).collect();
+        assert!(cert_findings.is_empty(), "{cert_findings:?}");
     }
 }

@@ -21,7 +21,14 @@
 //! `tests/golden/corpus.json`, so a PR that flips a verdict, blows up
 //! refinement counts, or regresses solver-call discipline fails tier-1
 //! immediately.  The [`trajectory`] module builds the benchmark trajectory
-//! point (`BENCH_pr7.json`) on the same harness.
+//! point (`BENCH_pr8.json`) on the same harness.
+//!
+//! Every conclusive verdict additionally carries a certificate (an
+//! inductive invariant map, a bounded-unroll claim, or a concrete trace)
+//! whose kind, size, and canonical digest are reported — and pinned by the
+//! golden snapshot.  Under `--certify` the independent `pathinv-check`
+//! crate audits each certificate and the report gains the audit verdict and
+//! check time per task.
 
 #![warn(missing_docs)]
 
@@ -57,8 +64,14 @@ use std::time::Instant;
 /// harness (`--race`): `cancelled` joined the verdict vocabulary, and race
 /// reports (per-program winner plus per-lane time-to-first-verdict) appear
 /// in `--race --json` output and in the `race` section of trajectory
-/// points — never in golden projections, whose fields are unchanged.
-pub const SCHEMA_VERSION: i64 = 6;
+/// points — never in golden projections, whose fields are unchanged;
+/// version 7 added checkable certificates: every conclusive verdict reports
+/// its certificate's kind, size, and canonical digest (`cert_kind`,
+/// `cert_size`, `cert_digest` — the digest is pinned by golden
+/// projections), and `--certify` audits each certificate through the
+/// independent `pathinv-check` crate, adding `cert_verdict`,
+/// `cert_reason`, and `cert_check_ms`.
+pub const SCHEMA_VERSION: i64 = 7;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
@@ -117,6 +130,11 @@ pub struct BatchTask {
     pub engine: TaskEngine,
     /// The program itself.
     pub program: Program,
+    /// Whether to audit the emitted certificate with the independent
+    /// checker after the run (`--certify`).  Certificate kind, size, and
+    /// digest are reported either way; only the audit itself is gated,
+    /// since it costs extra wall-clock.
+    pub certify: bool,
 }
 
 impl BatchTask {
@@ -165,6 +183,25 @@ pub struct TaskReport {
     pub art_nodes: usize,
     /// Wall-clock time for this task, in milliseconds.
     pub wall_ms: f64,
+    /// Certificate kind (`"inductive"`, `"bounded-unroll"`, `"trace"`), or
+    /// empty when the verdict is inconclusive and carries no certificate.
+    pub cert_kind: String,
+    /// Certificate size measure (atoms / depth / trace length); 0 when no
+    /// certificate.
+    pub cert_size: usize,
+    /// Stable digest of the certificate's canonical rendering (16 hex
+    /// digits), pinned by golden projections; empty when no certificate.
+    pub cert_digest: String,
+    /// Audit verdict under `--certify`: `"valid"`, `"invalid"`,
+    /// `"unsupported"`, or `"vacuous"` (no certificate because the verdict
+    /// claims nothing).  Empty when the audit was not requested.
+    pub cert_verdict: String,
+    /// The failing obligation or budget of a non-valid audit; empty
+    /// otherwise.
+    pub cert_reason: String,
+    /// Wall-clock the independent checker spent on this certificate, in
+    /// milliseconds (0 when the audit was not requested).
+    pub cert_check_ms: f64,
     /// Solver-call, cache, and engine-exploration statistics (all-zero for
     /// errored tasks).
     pub stats: VerifierStats,
@@ -332,6 +369,7 @@ pub fn make_tasks(
                 program_name: name.clone(),
                 engine: engine.clone(),
                 program: program.clone(),
+                certify: false,
             });
         }
     }
@@ -355,7 +393,7 @@ pub(crate) fn run_task_with_cancel(
         engine.verify_with_cancel(&task.program, token)
     }));
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let (verdict, detail, refinements, predicates, art_nodes, stats) = match outcome {
+    let (verdict, detail, refinements, predicates, art_nodes, certificate, stats) = match outcome {
         Ok(Ok(result)) => {
             let (verdict, detail) = match &result.verdict {
                 Verdict::Safe => ("safe".to_string(), String::new()),
@@ -367,17 +405,42 @@ pub(crate) fn run_task_with_cancel(
                     ("cancelled".to_string(), "cancelled by the racing harness".to_string())
                 }
             };
-            (verdict, detail, result.refinements, result.predicates, result.art_nodes, result.stats)
+            (
+                verdict,
+                detail,
+                result.refinements,
+                result.predicates,
+                result.art_nodes,
+                result.certificate,
+                result.stats,
+            )
         }
-        Ok(Err(e)) => ("error".to_string(), e.to_string(), 0, 0, 0, VerifierStats::default()),
+        Ok(Err(e)) => ("error".to_string(), e.to_string(), 0, 0, 0, None, VerifierStats::default()),
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("panic");
-            ("error".to_string(), format!("panicked: {msg}"), 0, 0, 0, VerifierStats::default())
+            (
+                "error".to_string(),
+                format!("panicked: {msg}"),
+                0,
+                0,
+                0,
+                None,
+                VerifierStats::default(),
+            )
         }
+    };
+    let (cert_kind, cert_size, cert_digest) = match &certificate {
+        Some(cert) => (cert.kind().to_string(), cert.size(), cert.digest()),
+        None => (String::new(), 0, String::new()),
+    };
+    let (cert_verdict, cert_reason, cert_check_ms) = if task.certify {
+        audit_certificate(&task.program, certificate.as_ref(), &verdict)
+    } else {
+        (String::new(), String::new(), 0.0)
     };
     TaskReport {
         program_name: task.program_name.clone(),
@@ -389,8 +452,53 @@ pub(crate) fn run_task_with_cancel(
         predicates,
         art_nodes,
         wall_ms,
+        cert_kind,
+        cert_size,
+        cert_digest,
+        cert_verdict,
+        cert_reason,
+        cert_check_ms,
         stats,
     }
+}
+
+/// Audits one certificate with the independent checker, timing the check.
+/// A missing certificate on an *inconclusive* (or errored) verdict is the
+/// vacuous pass: the verdict claims nothing, so there is nothing to audit —
+/// `--certify` treats it as passing by design.  A missing certificate on a
+/// conclusive verdict, by contrast, is reported as `"missing"`: an engine
+/// claimed safety or unsafety without the proof artifact to back it.  A
+/// certificate whose polarity contradicts the verdict (a trace attached to
+/// `safe`, an invariant map attached to `unsafe`) is `"invalid"` before the
+/// checker even runs — it could not certify the claim no matter its content.
+fn audit_certificate(
+    program: &Program,
+    certificate: Option<&pathinv_check::Certificate>,
+    verdict: &str,
+) -> (String, String, f64) {
+    let conclusive = verdict == "safe" || verdict == "unsafe";
+    let Some(cert) = certificate else {
+        return if conclusive {
+            ("missing".to_string(), "conclusive verdict without a certificate".to_string(), 0.0)
+        } else {
+            ("vacuous".to_string(), String::new(), 0.0)
+        };
+    };
+    if cert.claims_safety() != (verdict == "safe") {
+        return (
+            "invalid".to_string(),
+            format!(
+                "certificate polarity mismatch: {} certificate for a {verdict} verdict",
+                cert.kind()
+            ),
+            0.0,
+        );
+    }
+    let start = Instant::now();
+    let outcome =
+        pathinv_check::check_certificate(program, cert, &pathinv_check::CheckLimits::default());
+    let check_ms = start.elapsed().as_secs_f64() * 1e3;
+    (outcome.name().to_string(), outcome.reason().unwrap_or_default().to_string(), check_ms)
 }
 
 /// The deterministic ordering of engine columns in reports and in the
@@ -476,6 +584,12 @@ impl TaskReport {
             ("engine_depth", Json::Int(s.engine_depth as i64)),
             ("engine_nodes", Json::Int(s.engine_nodes as i64)),
             ("engine_lemmas", Json::Int(s.engine_lemmas as i64)),
+            ("cert_kind", Json::Str(self.cert_kind.clone())),
+            ("cert_size", Json::Int(self.cert_size as i64)),
+            ("cert_digest", Json::Str(self.cert_digest.clone())),
+            ("cert_verdict", Json::Str(self.cert_verdict.clone())),
+            ("cert_reason", Json::Str(self.cert_reason.clone())),
+            ("cert_check_ms", Json::Float(round3(self.cert_check_ms))),
             ("synth_systems_solved", Json::Int(s.synth_systems_solved as i64)),
             ("synth_branches_explored", Json::Int(s.synth_branches_explored as i64)),
             ("synth_branches_pruned", Json::Int(s.synth_branches_pruned as i64)),
@@ -518,6 +632,9 @@ impl TaskReport {
             ("engine_depth", Json::Int(self.stats.engine_depth as i64)),
             ("engine_nodes", Json::Int(self.stats.engine_nodes as i64)),
             ("engine_lemmas", Json::Int(self.stats.engine_lemmas as i64)),
+            ("cert_kind", Json::Str(self.cert_kind.clone())),
+            ("cert_size", Json::Int(self.cert_size as i64)),
+            ("cert_digest", Json::Str(self.cert_digest.clone())),
             ("refine_simplex_calls", Json::Int(self.stats.refine_simplex_calls as i64)),
             ("synth_systems_solved", Json::Int(self.stats.synth_systems_solved as i64)),
             ("synth_branches_explored", Json::Int(self.stats.synth_branches_explored as i64)),
@@ -534,6 +651,10 @@ fn round3(x: f64) -> f64 {
 
 fn count_verdicts(tasks: &[TaskReport], verdict: &str) -> i64 {
     tasks.iter().filter(|t| t.verdict == verdict).count() as i64
+}
+
+fn count_cert_verdicts(tasks: &[TaskReport], cert_verdict: &str) -> i64 {
+    tasks.iter().filter(|t| t.cert_verdict == cert_verdict).count() as i64
 }
 
 impl BatchReport {
@@ -554,6 +675,21 @@ impl BatchReport {
                     ("unknown", Json::Int(count_verdicts(&self.tasks, "unknown"))),
                     ("error", Json::Int(count_verdicts(&self.tasks, "error"))),
                     ("wall_ms_total", Json::Float(round3(self.wall_ms_total))),
+                    // Certificate audit tallies; all zero unless `--certify`
+                    // populated the per-task cert_verdict fields.
+                    (
+                        "certificates",
+                        Json::object(vec![
+                            ("valid", Json::Int(count_cert_verdicts(&self.tasks, "valid"))),
+                            ("invalid", Json::Int(count_cert_verdicts(&self.tasks, "invalid"))),
+                            (
+                                "unsupported",
+                                Json::Int(count_cert_verdicts(&self.tasks, "unsupported")),
+                            ),
+                            ("vacuous", Json::Int(count_cert_verdicts(&self.tasks, "vacuous"))),
+                            ("missing", Json::Int(count_cert_verdicts(&self.tasks, "missing"))),
+                        ]),
+                    ),
                 ]),
             ),
         ])

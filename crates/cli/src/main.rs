@@ -44,6 +44,9 @@ FUZZ OPTIONS:
     --reproducers <DIR>    write each shrunk finding as a .pinv reproducer
     --cache-sample <N>     programs also checked cached-vs-uncached (default: 10)
     --shrink-budget <N>    candidate scenarios tested per finding (default: 48)
+    --certify              audit every engine certificate with the independent
+                           checker; a conclusive verdict without a valid
+                           certificate is a finding
     --quiet                suppress the campaign summary
 
 OPTIONS:
@@ -66,21 +69,28 @@ OPTIONS:
                            byte-identical at any count, only wall-clock
                            changes
     --jobs <N>             worker threads (default: available parallelism)
+    --certify              audit every verdict's certificate with the
+                           independent pathinv-check crate: conclusive
+                           verdicts must carry a certificate the checker
+                           validates (inconclusive ones pass vacuously);
+                           exits 1 on any rejected or missing certificate
     --json <PATH>          write the full JSON report to PATH (`-` = stdout)
     --golden <PATH>        write the deterministic golden snapshot to PATH
     --no-cache             disable the incremental solver caches on cegar
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr7.json trajectory point (including
-                           its race section); run from the repository root
+                           and the BENCH_pr8.json trajectory point (including
+                           its race section and certificate audit); run from
+                           the repository root
     --quiet                suppress the summary table
     --help                 show this help
 
 EXIT STATUS:
     0  all tasks completed (verdicts may be safe/unsafe/unknown)
-    1  at least one task errored, an input file failed to load, or a
-       portfolio/race run found a cross-engine verdict disagreement
+    1  at least one task errored, an input file failed to load, a
+       portfolio/race run found a cross-engine verdict disagreement, or a
+       --certify audit rejected a certificate
     2  usage error
 ";
 
@@ -92,6 +102,7 @@ struct Options {
     max_refinements: Option<usize>,
     beam_workers: Option<usize>,
     race: bool,
+    certify: bool,
     jobs: usize,
     json_path: Option<String>,
     golden_path: Option<String>,
@@ -113,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_refinements: None,
         beam_workers: None,
         race: false,
+        certify: false,
         jobs: default_jobs(),
         json_path: None,
         golden_path: None,
@@ -162,6 +174,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.beam_workers = Some(n);
             }
             "--race" => opts.race = true,
+            "--certify" => opts.certify = true,
             "--jobs" => {
                 let v = value_for("--jobs")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
@@ -206,7 +219,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.bless;
         if conflicting {
             return Err("--race runs the default engine portfolio per program; it only combines \
-                        with --all, .pinv files, --jobs, --json, and --quiet"
+                        with --all, .pinv files, --jobs, --json, --certify, and --quiet"
                 .to_string());
         }
     }
@@ -238,19 +251,41 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr7.json";
+    const BENCH_POINT: &str = "BENCH_pr8.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
     }
-    eprintln!("blessing: verifying the corpus with the whole engine portfolio...");
-    let portfolio = run_batch(
-        make_tasks(corpus_programs(), EngineChoice::Portfolio, RefinerChoice::Both, None),
-        jobs,
-    );
+    eprintln!("blessing: verifying the corpus with the whole engine portfolio (certified)...");
+    let mut portfolio_tasks =
+        make_tasks(corpus_programs(), EngineChoice::Portfolio, RefinerChoice::Both, None);
+    for t in &mut portfolio_tasks {
+        t.certify = true;
+    }
+    let portfolio = run_batch(portfolio_tasks, jobs);
     let portfolio_errors = portfolio.tasks.iter().filter(|t| t.verdict == "error").count();
     if portfolio_errors > 0 {
         eprintln!("error: {portfolio_errors} task(s) errored; refusing to bless broken goldens");
+        return ExitCode::FAILURE;
+    }
+    // Blessing pins certificate digests into the goldens; every conclusive
+    // verdict must carry a certificate the independent checker accepts.
+    let cert_failures: Vec<String> = portfolio
+        .tasks
+        .iter()
+        .filter(|t| matches!(t.cert_verdict.as_str(), "invalid" | "missing" | "unsupported"))
+        .map(|t| {
+            format!(
+                "{}/{}: {} verdict has certificate audit {}: {}",
+                t.program_name, t.engine, t.verdict, t.cert_verdict, t.cert_reason
+            )
+        })
+        .collect();
+    if !cert_failures.is_empty() {
+        eprintln!(
+            "error: certificate audit failed; refusing to bless:\n  {}",
+            cert_failures.join("\n  ")
+        );
         return ExitCode::FAILURE;
     }
     let diff = DifferentialReport::from_batch(&portfolio);
@@ -278,7 +313,7 @@ fn bless(jobs: usize) -> ExitCode {
     eprintln!("blessing: verifying the corpus again (uncached cegar baseline)...");
     let mut trajectory = trajectory_from_cached(cached, jobs);
     eprintln!("blessing: racing the portfolio over the corpus (4 lanes per program)...");
-    let race = pathinv_cli::race::run_race(corpus_programs(), jobs.min(4));
+    let race = pathinv_cli::race::run_race(corpus_programs(), jobs.min(4), false);
     let race_mismatches = race.mismatches();
     if !race_mismatches.is_empty() {
         eprintln!(
@@ -333,6 +368,13 @@ fn bless(jobs: usize) -> ExitCode {
         trajectory.baseline.solver_calls,
         trajectory.solver_call_reduction() * 100.0
     );
+    let valid = trajectory.cached.tasks.iter().filter(|t| t.cert_verdict == "valid").count();
+    let vacuous = trajectory.cached.tasks.iter().filter(|t| t.cert_verdict == "vacuous").count();
+    let check_ms: f64 = trajectory.cached.tasks.iter().map(|t| t.cert_check_ms).sum();
+    eprintln!(
+        "certificates (cegar subset): {valid} validated, {vacuous} vacuous, \
+         checker time {check_ms:.1} ms"
+    );
     ExitCode::SUCCESS
 }
 
@@ -343,7 +385,7 @@ fn race_main(
     opts: &Options,
     load_failures: usize,
 ) -> ExitCode {
-    let report = pathinv_cli::race::run_race(programs, opts.jobs);
+    let report = pathinv_cli::race::run_race(programs, opts.jobs, opts.certify);
     if !opts.quiet {
         print!("{}", report.render_table());
     }
@@ -364,7 +406,12 @@ fn race_main(
     for e in &errors {
         eprintln!("error: {e}");
     }
-    if mismatches.is_empty() && errors.is_empty() && load_failures == 0 {
+    let cert_failures = if opts.certify { report.certificate_failures() } else { Vec::new() };
+    for c in &cert_failures {
+        eprintln!("error: {c}");
+    }
+    if mismatches.is_empty() && errors.is_empty() && cert_failures.is_empty() && load_failures == 0
+    {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -453,6 +500,7 @@ fn fuzz_main(args: &[String]) -> ExitCode {
                 }
                 "--json" => json_path = Some(value_for("--json")?),
                 "--reproducers" => reproducer_dir = Some(value_for("--reproducers")?),
+                "--certify" => opts.certify = true,
                 "--quiet" => quiet = true,
                 other => return Err(format!("unknown fuzz option `{other}`")),
             }
@@ -550,6 +598,11 @@ fn main() -> ExitCode {
     }
 
     let mut tasks = make_tasks(programs, opts.engines, opts.choice, opts.max_refinements);
+    if opts.certify {
+        for t in &mut tasks {
+            t.certify = true;
+        }
+    }
     if opts.no_cache {
         for t in &mut tasks {
             t.disable_cegar_caching();
@@ -597,7 +650,28 @@ fn main() -> ExitCode {
     if disagreements > 0 {
         eprintln!("error: {disagreements} cross-engine verdict disagreement(s)");
     }
-    if errors > 0 || load_failures > 0 || disagreements > 0 {
+    let mut cert_failures = 0usize;
+    if opts.certify {
+        for t in &report.tasks {
+            if matches!(t.cert_verdict.as_str(), "invalid" | "missing" | "unsupported") {
+                eprintln!(
+                    "error: {}/{}: {} verdict has certificate audit {}: {}",
+                    t.program_name, t.engine, t.verdict, t.cert_verdict, t.cert_reason
+                );
+                cert_failures += 1;
+            }
+        }
+        if !opts.quiet {
+            let valid = report.tasks.iter().filter(|t| t.cert_verdict == "valid").count();
+            let vacuous = report.tasks.iter().filter(|t| t.cert_verdict == "vacuous").count();
+            let check_ms: f64 = report.tasks.iter().map(|t| t.cert_check_ms).sum();
+            println!(
+                "certificates: {valid} validated, {vacuous} vacuous, {cert_failures} failed, \
+                 checker time {check_ms:.1} ms"
+            );
+        }
+    }
+    if errors > 0 || load_failures > 0 || disagreements > 0 || cert_failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

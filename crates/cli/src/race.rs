@@ -81,23 +81,31 @@ pub struct RaceReport {
 /// Lanes are queued in engine-priority order; the first conclusive verdict
 /// cancels every other lane's token, so with `jobs < 4` a not-yet-started
 /// lane begins pre-cancelled and returns immediately.
-pub fn run_race(programs: Vec<(String, Program)>, jobs: usize) -> RaceReport {
+///
+/// With `certify`, every lane's certificate is audited by the independent
+/// checker after the race: conclusive lanes must carry a valid certificate,
+/// cancelled and unknown lanes pass vacuously
+/// ([`RaceReport::certificate_failures`]; the CLI exits 1 on any entry).
+pub fn run_race(programs: Vec<(String, Program)>, jobs: usize, certify: bool) -> RaceReport {
     let jobs = jobs.max(1);
     let start = Instant::now();
     let mut results = Vec::with_capacity(programs.len());
     for (name, program) in programs {
-        results.push(race_one(name, program, jobs));
+        results.push(race_one(name, program, jobs, certify));
     }
     RaceReport { jobs, programs: results, wall_ms_total: start.elapsed().as_secs_f64() * 1e3 }
 }
 
-fn race_one(name: String, program: Program, jobs: usize) -> RaceProgram {
-    let tasks = make_tasks(
+fn race_one(name: String, program: Program, jobs: usize, certify: bool) -> RaceProgram {
+    let mut tasks = make_tasks(
         vec![(name.clone(), program)],
         EngineChoice::Portfolio,
         RefinerChoice::Both,
         None,
     );
+    for t in &mut tasks {
+        t.certify = certify;
+    }
     let tokens: Vec<CancellationToken> =
         (0..tasks.len()).map(|_| CancellationToken::new()).collect();
     let start = Instant::now();
@@ -206,6 +214,35 @@ impl RaceReport {
         out
     }
 
+    /// Certificate audits that failed, rendered per lane.  Only populated
+    /// when the race ran with `certify`: a conclusive lane whose certificate
+    /// the independent checker rejected (`invalid`), that emitted none
+    /// (`missing`), or whose certificate the checker could not decide
+    /// (`unsupported`).  Vacuous passes — cancelled/unknown lanes with
+    /// nothing to certify — never appear here.
+    pub fn certificate_failures(&self) -> Vec<String> {
+        self.programs
+            .iter()
+            .flat_map(|p| {
+                p.lanes
+                    .iter()
+                    .filter(|l| {
+                        matches!(l.cert_verdict.as_str(), "invalid" | "missing" | "unsupported")
+                    })
+                    .map(move |l| {
+                        format!(
+                            "{}: {} verdict {} has certificate audit {}: {}",
+                            p.program,
+                            l.engine_label(),
+                            l.verdict,
+                            l.cert_verdict,
+                            l.cert_reason
+                        )
+                    })
+            })
+            .collect()
+    }
+
     /// Races whose lanes errored, rendered per program.
     pub fn errors(&self) -> Vec<String> {
         self.programs
@@ -254,6 +291,23 @@ impl RaceReport {
                                                         "time_to_first_verdict_ms",
                                                         Json::Float(round3(l.wall_ms)),
                                                     ),
+                                                    ("cert_kind", Json::Str(l.cert_kind.clone())),
+                                                    (
+                                                        "cert_digest",
+                                                        Json::Str(l.cert_digest.clone()),
+                                                    ),
+                                                    (
+                                                        "cert_verdict",
+                                                        Json::Str(l.cert_verdict.clone()),
+                                                    ),
+                                                    (
+                                                        "cert_reason",
+                                                        Json::Str(l.cert_reason.clone()),
+                                                    ),
+                                                    (
+                                                        "cert_check_ms",
+                                                        Json::Float(round3(l.cert_check_ms)),
+                                                    ),
                                                 ])
                                             })
                                             .collect(),
@@ -271,6 +325,7 @@ impl RaceReport {
                     ("decided", Json::Int(decided as i64)),
                     ("mismatches", Json::Int(self.mismatches().len() as i64)),
                     ("lane_errors", Json::Int(self.errors().len() as i64)),
+                    ("cert_failures", Json::Int(self.certificate_failures().len() as i64)),
                     ("wall_ms_total", Json::Float(round3(self.wall_ms_total))),
                 ]),
             ),
@@ -344,7 +399,7 @@ mod tests {
 
     #[test]
     fn race_decides_figure4_and_cancels_losers() {
-        let report = run_race(slice(&["FIGURE4"]), 4);
+        let report = run_race(slice(&["FIGURE4"]), 4, false);
         let p = &report.programs[0];
         assert_eq!(p.verdict, "unsafe", "{p:?}");
         assert_ne!(p.winner, "-");
@@ -367,10 +422,24 @@ mod tests {
     fn race_with_one_worker_still_completes() {
         // With jobs = 1 the lanes run serially; a conclusive early lane
         // pre-cancels the queued ones, which then return immediately.
-        let report = run_race(slice(&["FIGURE4"]), 1);
+        let report = run_race(slice(&["FIGURE4"]), 1, false);
         let p = &report.programs[0];
         assert_eq!(p.verdict, "unsafe");
         assert!(report.mismatches().is_empty());
+    }
+
+    #[test]
+    fn certified_race_audits_every_lane() {
+        let report = run_race(slice(&["FIGURE4"]), 4, true);
+        assert_eq!(report.certificate_failures(), Vec::<String>::new());
+        for l in &report.programs[0].lanes {
+            match l.verdict.as_str() {
+                // Conclusive lanes carry a checker-validated certificate.
+                "safe" | "unsafe" => assert_eq!(l.cert_verdict, "valid", "{}", l.engine_label()),
+                // Cancelled/unknown lanes claim nothing: vacuous pass.
+                _ => assert_eq!(l.cert_verdict, "vacuous", "{}", l.engine_label()),
+            }
+        }
     }
 
     #[test]
@@ -379,7 +448,7 @@ mod tests {
         // (safe, unsafe, and unknown-heavy programs); the full-corpus
         // agreement runs in the race-smoke CI job and the regression suite.
         let names = ["FORWARD", "FIGURE4", "BUGGY_INITCHECK", "pinv/half_integer_bug"];
-        let race = run_race(slice(&names), 4);
+        let race = run_race(slice(&names), 4, false);
         let portfolio = run_batch(
             make_tasks(slice(&names), EngineChoice::Portfolio, RefinerChoice::Both, None),
             4,
@@ -391,7 +460,7 @@ mod tests {
 
     #[test]
     fn race_json_carries_winner_and_lane_times() {
-        let report = run_race(slice(&["FIGURE4"]), 4);
+        let report = run_race(slice(&["FIGURE4"]), 4, false);
         let doc = crate::json::parse(&report.to_json().pretty()).unwrap();
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("race"));
         assert_eq!(doc.get("schema_version").and_then(Json::as_int), Some(SCHEMA_VERSION));
@@ -417,6 +486,12 @@ mod tests {
             predicates: 0,
             art_nodes: 0,
             wall_ms: 1.0,
+            cert_kind: String::new(),
+            cert_size: 0,
+            cert_digest: String::new(),
+            cert_verdict: String::new(),
+            cert_reason: String::new(),
+            cert_check_ms: 0.0,
             stats: Default::default(),
         };
         let report = RaceReport {

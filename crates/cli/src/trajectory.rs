@@ -1,6 +1,6 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr7.json`
-//! (`BENCH_pr6.json` is the committed previous point the bench-smoke CI job
+//! the corpus-wide solver workload, emitted as `BENCH_pr8.json`
+//! (`BENCH_pr7.json` is the committed previous point the bench-smoke CI job
 //! diffs against for per-task counter regressions), plus the [`render_history`]
 //! aggregation that renders every committed `BENCH_*.json` as one per-PR
 //! table (`pathinv-cli trajectory --history`).
@@ -37,8 +37,13 @@ use crate::{
 /// boundary); version 5 added the optional `race` section (per-program
 /// winner and per-lane time-to-first-verdict from a racing portfolio run)
 /// to the emitted point — timing data only, absent from the golden
-/// projection, whose deterministic fields are unchanged.
-pub const BENCH_SCHEMA_VERSION: i64 = 5;
+/// projection, whose deterministic fields are unchanged; version 6 added
+/// the certificate fields to every task (kind, size, digest, and — when the
+/// run audited — the checker verdict and check time) plus the
+/// `certificates` totals section of the emitted point, reporting how many
+/// certificates the independent `pathinv-check` crate validated and how
+/// long the audits took.
+pub const BENCH_SCHEMA_VERSION: i64 = 6;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -216,6 +221,7 @@ impl TrajectoryReport {
             "uncached_baseline",
             self.totals_json(&self.baseline, self.uncached.wall_ms_total),
         ));
+        fields.push(("certificates", self.certificates_json()));
         fields.push((
             "reduction",
             Json::object(vec![
@@ -232,6 +238,28 @@ impl TrajectoryReport {
             fields.push(("race", race.to_json()));
         }
         Json::object(fields)
+    }
+
+    /// Certificate metrics over the cached tasks: audit tallies (all zero
+    /// when the run did not audit, e.g. outside `--bless`), total
+    /// certificate size, and total checker time.
+    fn certificates_json(&self) -> Json {
+        let tasks = &self.cached.tasks;
+        let count =
+            |v: &str| Json::Int(tasks.iter().filter(|t| t.cert_verdict == v).count() as i64);
+        let emitted = tasks.iter().filter(|t| !t.cert_kind.is_empty()).count();
+        let size_total: usize = tasks.iter().map(|t| t.cert_size).sum();
+        let check_ms_total: f64 = tasks.iter().map(|t| t.cert_check_ms).sum();
+        Json::object(vec![
+            ("emitted", Json::Int(emitted as i64)),
+            ("valid", count("valid")),
+            ("invalid", count("invalid")),
+            ("unsupported", count("unsupported")),
+            ("vacuous", count("vacuous")),
+            ("missing", count("missing")),
+            ("size_total", Json::Int(size_total as i64)),
+            ("check_ms_total", Json::Float((check_ms_total * 1e3).round() / 1e3)),
+        ])
     }
 
     fn totals_json(&self, t: &TrajectoryTotals, wall_ms: f64) -> Json {
@@ -516,7 +544,7 @@ mod tests {
         assert!(report.to_json().get("race").is_none(), "no race attached, no section");
         let slice: Vec<_> =
             corpus_programs().into_iter().filter(|(name, _)| name == "FIGURE4").collect();
-        report.race = Some(crate::race::run_race(slice, 4));
+        report.race = Some(crate::race::run_race(slice, 4, false));
         let doc = json::parse(&report.to_json().pretty()).unwrap();
         let race = doc.get("race").expect("attached race must be emitted");
         assert_eq!(race.get("mode").and_then(Json::as_str), Some("race"));

@@ -43,6 +43,7 @@ use crate::cegar::{Verdict, VerificationResult, VerifierStats, CEX_INTEGRALITY_N
 use crate::engine::VerificationEngine;
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::PredicateMap;
+use pathinv_check::{decode_model, BoundedCert, Certificate};
 use pathinv_ir::ssa::{encode_action, VersionMap};
 use pathinv_ir::{ssa, Formula, Loc, Path, Program, TransId};
 use pathinv_smt::{stats_snapshot, CancellationToken, IntSatResult, Solver, SolverContext};
@@ -108,8 +109,8 @@ enum SearchOutcome {
     Exhausted,
     /// Exploration was cut off at the depth bound on at least one path.
     Truncated,
-    /// A feasible error path was found.
-    Counterexample(Path),
+    /// A feasible error path was found, with its decoded trace certificate.
+    Counterexample(Path, Certificate),
 }
 
 impl VerificationEngine for BmcEngine {
@@ -125,21 +126,30 @@ impl VerificationEngine for BmcEngine {
         let _ambient = token.install();
         let smt_start = stats_snapshot();
         let mut search = Search::new(program, self.config);
-        let verdict = match search.run(token) {
-            Ok(SearchOutcome::Counterexample(path)) => Verdict::Unsafe { path },
-            Ok(SearchOutcome::Exhausted) => Verdict::Safe,
-            Ok(SearchOutcome::Truncated) => Verdict::Unknown {
-                reason: format!(
-                    "bounded exploration to depth {} found no counterexample but truncated \
-                     at least one path",
-                    self.config.max_depth
-                ),
-            },
+        let (verdict, certificate) = match search.run(token) {
+            Ok(SearchOutcome::Counterexample(path, cert)) => (Verdict::Unsafe { path }, Some(cert)),
+            // An exhausted exploration is certified by its depth bound: the
+            // checker re-unrolls to that depth and re-refutes every error
+            // path and every truncation point.
+            Ok(SearchOutcome::Exhausted) => (
+                Verdict::Safe,
+                Some(Certificate::BoundedUnroll(BoundedCert { depth: self.config.max_depth })),
+            ),
+            Ok(SearchOutcome::Truncated) => (
+                Verdict::Unknown {
+                    reason: format!(
+                        "bounded exploration to depth {} found no counterexample but truncated \
+                         at least one path",
+                        self.config.max_depth
+                    ),
+                },
+                None,
+            ),
             Err(e) => {
                 if e.is_cancellation() {
-                    Verdict::Cancelled
+                    (Verdict::Cancelled, None)
                 } else if e.is_resource_exhaustion() {
-                    Verdict::Unknown { reason: e.to_string() }
+                    (Verdict::Unknown { reason: e.to_string() }, None)
                 } else {
                     return Err(e);
                 }
@@ -164,6 +174,7 @@ impl VerificationEngine for BmcEngine {
             predicates: 0,
             art_nodes: 0,
             predicate_map: PredicateMap::new(),
+            certificate,
             stats,
         })
     }
@@ -282,7 +293,12 @@ impl<'p> Search<'p> {
                     .check_integral(&pf.conjunction(), CEX_INTEGRALITY_NODES)
                     .map_err(CoreError::from)?
                 {
-                    IntSatResult::Sat(_) => return Ok(SearchOutcome::Counterexample(path)),
+                    IntSatResult::Sat(model) => {
+                        // Decode through the shared decoder — the same SSA
+                        // conventions as every other engine's trace.
+                        let cert = Certificate::Trace(decode_model(program, &path, &pf, &model));
+                        return Ok(SearchOutcome::Counterexample(path, cert));
+                    }
                     IntSatResult::Unsat => {
                         self.ctx.pop();
                         continue;

@@ -18,12 +18,13 @@
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};
 use crate::refine::{PathInvariantRefiner, PathPredicateRefiner, Refiner};
+use pathinv_check::{decode_model, Certificate, InvariantCert};
 use pathinv_invgen::{synth_stats_snapshot, SynthConfig, SynthCounters};
-use pathinv_ir::{ssa, Loc, Path, Program, TransId};
+use pathinv_ir::{ssa, Formula, Loc, Path, Program, TransId};
 use pathinv_smt::{
     stats_snapshot, CancellationToken, ContextStats, IntSatResult, SmtStats, Solver, SolverContext,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 /// Branch-and-bound node budget for certifying a rationally feasible
@@ -258,6 +259,13 @@ pub struct VerificationResult {
     pub art_nodes: usize,
     /// The final predicate map.
     pub predicate_map: PredicateMap,
+    /// The auditable proof artifact backing a conclusive verdict: an
+    /// inductive invariant map or bounded-unroll claim for [`Verdict::Safe`],
+    /// a concrete replayable trace for [`Verdict::Unsafe`] — validated
+    /// independently by the `pathinv-check` crate.  Always `None` for
+    /// [`Verdict::Unknown`] and [`Verdict::Cancelled`]: inconclusive
+    /// verdicts claim nothing, so there is nothing to certify.
+    pub certificate: Option<Certificate>,
     /// Solver-call, cache, and phase-timing statistics.
     pub stats: VerifierStats,
 }
@@ -352,6 +360,7 @@ impl Verifier {
                                 predicates: predicates.len(),
                                 art_nodes: total_nodes,
                                 predicate_map: predicates,
+                                certificate: None,
                                 stats: finalize_stats(
                                     stats,
                                     &smt_start,
@@ -370,6 +379,7 @@ impl Verifier {
                                 predicates: predicates.len(),
                                 art_nodes: total_nodes,
                                 predicate_map: predicates,
+                                certificate: None,
                                 stats: finalize_stats(
                                     stats,
                                     &smt_start,
@@ -400,22 +410,25 @@ impl Verifier {
             let delta = stats_snapshot().since(&snap);
             stats.reach_solver_calls += delta.sat_checks;
             stats.reach_simplex_calls += delta.simplex_calls;
-            let counterexample = check_budget!(reach, refinement, "abstract reachability (reach)");
-            let Some(path) = counterexample else {
-                return Ok(VerificationResult {
-                    verdict: Verdict::Safe,
-                    refinements: refinement,
-                    predicates: predicates.len(),
-                    art_nodes: total_nodes,
-                    predicate_map: predicates,
-                    stats: finalize_stats(
-                        stats,
-                        &smt_start,
-                        &synth_start,
-                        post.stats(),
-                        cex_ctx.stats(),
-                    ),
-                });
+            let path = match check_budget!(reach, refinement, "abstract reachability (reach)") {
+                Reach::Proof(cert) => {
+                    return Ok(VerificationResult {
+                        verdict: Verdict::Safe,
+                        refinements: refinement,
+                        predicates: predicates.len(),
+                        art_nodes: total_nodes,
+                        predicate_map: predicates,
+                        certificate: Some(Certificate::Inductive(cert)),
+                        stats: finalize_stats(
+                            stats,
+                            &smt_start,
+                            &synth_start,
+                            post.stats(),
+                            cex_ctx.stats(),
+                        ),
+                    });
+                }
+                Reach::Counterexample(path) => path,
             };
             // Counterexample analysis: feasibility of the path formula.
             // Rational satisfiability is only a relaxation for this
@@ -446,13 +459,18 @@ impl Verifier {
             // unknown, never unsafe.
             let unknown_reason = match certified {
                 None => None,
-                Some(IntSatResult::Sat(_)) => {
+                Some(IntSatResult::Sat(model)) => {
+                    // The integral model decodes into a replayable trace
+                    // certificate through the one shared decoder (so the
+                    // SSA conventions cannot drift per engine).
+                    let cert = Certificate::Trace(decode_model(program, &path, &pf, &model));
                     return Ok(VerificationResult {
                         verdict: Verdict::Unsafe { path },
                         refinements: refinement,
                         predicates: predicates.len(),
                         art_nodes: total_nodes,
                         predicate_map: predicates,
+                        certificate: Some(cert),
                         stats: finalize_stats(
                             stats,
                             &smt_start,
@@ -479,6 +497,7 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
+                    certificate: None,
                     stats: finalize_stats(
                         stats,
                         &smt_start,
@@ -525,6 +544,7 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
+                    certificate: None,
                     stats: finalize_stats(
                         stats,
                         &smt_start,
@@ -550,6 +570,7 @@ impl Verifier {
                     predicates: predicates.len(),
                     art_nodes: total_nodes,
                     predicate_map: predicates,
+                    certificate: None,
                     stats: finalize_stats(
                         stats,
                         &smt_start,
@@ -572,12 +593,18 @@ impl Verifier {
             predicates: predicates.len(),
             art_nodes: total_nodes,
             predicate_map: predicates,
+            certificate: None,
             stats: finalize_stats(stats, &smt_start, &synth_start, post.stats(), cex_ctx.stats()),
         })
     }
 
     /// One abstract reachability phase.  Returns the abstract counterexample
-    /// path, if any.  `total_nodes` is incremented for every ART node
+    /// path, or — when the error location is unreachable — the safety proof
+    /// read off the final ART: at each location, the disjunction of the
+    /// abstract states reached there.  The disjunction is inductive by
+    /// construction (every abstract post lands in, or is covered by, some
+    /// node), which is exactly what the independent certificate checker
+    /// re-establishes.  `total_nodes` is incremented for every ART node
     /// constructed, *as* it is constructed, so the statistic stays accurate
     /// even when the phase aborts on the node limit or a solver error.
     fn abstract_reachability(
@@ -587,7 +614,7 @@ impl Verifier {
         post: &mut AbstractPost<'_>,
         total_nodes: &mut usize,
         token: &CancellationToken,
-    ) -> CoreResult<Option<Path>> {
+    ) -> CoreResult<Reach> {
         let mut nodes: Vec<ArtNode> = Vec::new();
         let mut worklist: VecDeque<usize> = VecDeque::new();
         nodes.push(ArtNode { loc: program.entry(), state: AbstractState::top(), parent: None });
@@ -627,7 +654,7 @@ impl Verifier {
                     steps.reverse();
                     let path = Path::new(program, steps).map_err(CoreError::from)?;
                     *total_nodes += 1; // the error node itself
-                    return Ok(Some(path));
+                    return Ok(Reach::Counterexample(path));
                 }
                 // Coverage check: the new node is covered if an existing node
                 // at the same location is at least as weak.
@@ -641,8 +668,28 @@ impl Verifier {
                 worklist.push_back(nodes.len() - 1);
             }
         }
-        Ok(None)
+        // The worklist drained without touching the error location: the
+        // per-location disjunction of ART states is a safe inductive
+        // invariant map.  Locations with no node (the error location among
+        // them) are unreachable and get `false`; the entry's top node
+        // renders it `true`.  Pure formula assembly — no solver calls.
+        let mut invariants: BTreeMap<Loc, Formula> = BTreeMap::new();
+        for loc in program.locs() {
+            let disjuncts: Vec<Formula> =
+                nodes.iter().filter(|n| n.loc == loc).map(|n| n.state.to_formula()).collect();
+            invariants.insert(loc, Formula::or(disjuncts));
+        }
+        Ok(Reach::Proof(InvariantCert { invariants }))
     }
+}
+
+/// The outcome of one abstract reachability phase.
+enum Reach {
+    /// An abstract path into the error location, to be analysed.
+    Counterexample(Path),
+    /// The error location is unreachable; the ART read off as a
+    /// per-location invariant map is the proof.
+    Proof(InvariantCert),
 }
 
 struct ArtNode {

@@ -68,3 +68,6 @@ pub use refine::{NewPredicates, PathInvariantRefiner, PathPredicateRefiner, Refi
 // Part of the `VerificationEngine::verify_with_cancel` signature, re-exported
 // so harnesses need not depend on `pathinv-smt` just to build a token.
 pub use pathinv_smt::CancellationToken;
+// Certificate types appear in `VerificationResult`; re-exported so engine
+// consumers need not name the checker crate just to inspect a result.
+pub use pathinv_check::{CertVerdict, Certificate};

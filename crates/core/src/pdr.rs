@@ -69,6 +69,7 @@ use crate::cegar::{Verdict, VerificationResult, VerifierStats, CEX_INTEGRALITY_N
 use crate::engine::VerificationEngine;
 use crate::error::{CoreError, CoreResult};
 use crate::predabs::PredicateMap;
+use pathinv_check::{decode_model, Certificate, InvariantCert};
 use pathinv_ir::{ssa, Action, Formula, Loc, Path, Program, RelOp, TransId};
 use pathinv_smt::{
     sequence_interpolants, stats_snapshot, CancellationToken, IntSatResult, LinConstraint, Solver,
@@ -127,13 +128,13 @@ impl VerificationEngine for PdrEngine {
         let _ambient = token.install();
         let smt_start = stats_snapshot();
         let mut state = Pdr::new(program, self.config);
-        let (verdict, predicate_map) = match state.run(token) {
+        let (verdict, predicate_map, certificate) = match state.run(token) {
             Ok(conclusion) => conclusion,
             Err(e) => {
                 if e.is_cancellation() {
-                    (Verdict::Cancelled, PredicateMap::new())
+                    (Verdict::Cancelled, PredicateMap::new(), None)
                 } else if e.is_resource_exhaustion() {
-                    (Verdict::Unknown { reason: e.to_string() }, PredicateMap::new())
+                    (Verdict::Unknown { reason: e.to_string() }, PredicateMap::new(), None)
                 } else {
                     return Err(e);
                 }
@@ -159,6 +160,7 @@ impl VerificationEngine for PdrEngine {
             predicates: predicate_map.len(),
             art_nodes: 0,
             predicate_map,
+            certificate,
             stats,
         })
     }
@@ -220,15 +222,28 @@ impl<'p> Pdr<'p> {
         }
     }
 
-    fn run(&mut self, token: &CancellationToken) -> CoreResult<(Verdict, PredicateMap)> {
+    fn run(
+        &mut self,
+        token: &CancellationToken,
+    ) -> CoreResult<(Verdict, PredicateMap, Option<Certificate>)> {
         let program = self.program;
         if !program.reachable_locs().contains(&program.error()) {
-            return Ok((Verdict::Safe, PredicateMap::new()));
+            // The proof needs no frames: `true` at every graph-reachable
+            // location and `false` elsewhere is inductive (successors of
+            // reachable locations are reachable) and excludes the error.
+            let reachable = program.reachable_locs();
+            let invariants = program
+                .locs()
+                .map(|l| (l, if reachable.contains(&l) { Formula::True } else { Formula::False }))
+                .collect();
+            let cert = Certificate::Inductive(InvariantCert { invariants });
+            return Ok((Verdict::Safe, PredicateMap::new(), Some(cert)));
         }
         if program.entry() == program.error() {
             return Ok((
                 Verdict::Unknown { reason: "the entry location is the error location".to_string() },
                 PredicateMap::new(),
+                None,
             ));
         }
         for level in 1..=self.config.max_frames {
@@ -238,8 +253,8 @@ impl<'p> Pdr<'p> {
                 BlockOutcome::Blocked => {}
             }
             self.propagate(level)?;
-            if let Some(invariant) = self.inductive_invariant(level)? {
-                return Ok((Verdict::Safe, invariant));
+            if let Some((invariant, cert)) = self.inductive_invariant(level)? {
+                return Ok((Verdict::Safe, invariant, Some(Certificate::Inductive(cert))));
             }
         }
         Ok((
@@ -250,6 +265,7 @@ impl<'p> Pdr<'p> {
                 ),
             },
             PredicateMap::new(),
+            None,
         ))
     }
 
@@ -321,11 +337,14 @@ impl<'p> Pdr<'p> {
     /// path formula must be satisfiable, and — since rational satisfiability
     /// is only a relaxation for this integer-valued language — satisfiable
     /// *over the integers*, certified by branch and bound.
-    fn conclude_from_trace(&mut self, trace: Vec<TransId>) -> CoreResult<(Verdict, PredicateMap)> {
+    fn conclude_from_trace(
+        &mut self,
+        trace: Vec<TransId>,
+    ) -> CoreResult<(Verdict, PredicateMap, Option<Certificate>)> {
         let path = Path::new(self.program, trace).map_err(CoreError::from)?;
         let pf = ssa::path_formula(self.program, &path);
         let unknown = |reason: &str| {
-            Ok((Verdict::Unknown { reason: reason.to_string() }, PredicateMap::new()))
+            Ok((Verdict::Unknown { reason: reason.to_string() }, PredicateMap::new(), None))
         };
         if !self.ctx.is_sat_with(&pf.conjunction()).map_err(CoreError::from)? {
             // Only reachable through the havoc overapproximation in the
@@ -338,7 +357,12 @@ impl<'p> Pdr<'p> {
             .check_integral(&pf.conjunction(), CEX_INTEGRALITY_NODES)
             .map_err(CoreError::from)?
         {
-            IntSatResult::Sat(_) => Ok((Verdict::Unsafe { path }, PredicateMap::new())),
+            IntSatResult::Sat(model) => {
+                // Decode the integral model through the shared decoder, so
+                // the SSA trace conventions stay engine-independent.
+                let cert = Certificate::Trace(decode_model(self.program, &path, &pf, &model));
+                Ok((Verdict::Unsafe { path }, PredicateMap::new(), Some(cert)))
+            }
             IntSatResult::Unsat => unknown(
                 "PDR-lite counterexample trace is feasible over the rationals but has no \
                  integral model",
@@ -373,8 +397,13 @@ impl<'p> Pdr<'p> {
 
     /// Returns the invariant map of the first frame `i ≤ level` that equals
     /// its successor frame *and* blocks the error location — a safe
-    /// inductive invariant — or `None`.
-    fn inductive_invariant(&mut self, level: usize) -> CoreResult<Option<PredicateMap>> {
+    /// inductive invariant — or `None`.  Alongside the predicate map (which
+    /// drops trivial formulas by design), the exact per-location frame
+    /// conjunction is returned as the auditable certificate.
+    fn inductive_invariant(
+        &mut self,
+        level: usize,
+    ) -> CoreResult<Option<(PredicateMap, InvariantCert)>> {
         for i in 1..=level {
             let frame_is_closed = self.lemmas.values().flatten().all(|l| l.level != i);
             if !frame_is_closed {
@@ -391,7 +420,12 @@ impl<'p> Pdr<'p> {
                     }
                 }
             }
-            return Ok(Some(map));
+            let invariants = self
+                .program
+                .locs()
+                .map(|l| (l, Formula::and(self.frame_conjuncts(i, l))))
+                .collect();
+            return Ok(Some((map, InvariantCert { invariants })));
         }
         Ok(None)
     }

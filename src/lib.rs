@@ -3,7 +3,9 @@
 //! This crate is the user-facing facade of the workspace: it re-exports the
 //! program representation (`pathinv-ir`), the decision procedures
 //! (`pathinv-smt`), the invariant synthesis (`pathinv-invgen`), and the CEGAR
-//! engine with path-invariant refinement (`pathinv-core`).
+//! engine with path-invariant refinement (`pathinv-core`).  Every conclusive
+//! verdict carries a [`Certificate`] that the independent `pathinv-check`
+//! crate can audit without trusting the engines (DESIGN.md §13).
 //!
 //! ```
 //! use path_invariants::{parse_program, Verifier};
@@ -25,9 +27,10 @@
 #![warn(missing_docs)]
 
 pub use pathinv_core::{
-    engine_named, path_program, BmcConfig, BmcEngine, CegarConfig, CoreError, CoreResult,
-    PathInvariantRefiner, PathPredicateRefiner, PathProgram, PdrConfig, PdrEngine, PredicateMap,
-    Refiner, RefinerKind, Verdict, VerificationEngine, VerificationResult, Verifier,
+    engine_named, path_program, BmcConfig, BmcEngine, CegarConfig, CertVerdict, Certificate,
+    CoreError, CoreResult, PathInvariantRefiner, PathPredicateRefiner, PathProgram, PdrConfig,
+    PdrEngine, PredicateMap, Refiner, RefinerKind, Verdict, VerificationEngine, VerificationResult,
+    Verifier,
 };
 pub use pathinv_invgen::{
     interval_analyze, GeneratedInvariants, InvariantMap, InvgenError, PathInvariantGenerator,

@@ -23,7 +23,10 @@ use pathinv_cli::json::{self, Json};
 use pathinv_cli::{corpus_programs, make_tasks, run_batch, EngineChoice, RefinerChoice};
 use std::collections::BTreeMap;
 
-/// The deterministic fields of one task outcome.
+/// The deterministic fields of one task outcome.  The certificate triple
+/// (kind, size, digest) pins the exact proof artifact every engine emits:
+/// an engine that silently changes — or stops producing — its certificate
+/// for any corpus task fails here even if the verdict is unchanged.
 #[derive(Debug, PartialEq, Eq)]
 struct Outcome {
     verdict: String,
@@ -34,6 +37,9 @@ struct Outcome {
     engine_depth: i64,
     engine_nodes: i64,
     engine_lemmas: i64,
+    cert_kind: String,
+    cert_size: i64,
+    cert_digest: String,
 }
 
 type OutcomeMap = BTreeMap<(String, String, String), Outcome>;
@@ -66,6 +72,9 @@ fn outcomes_from_golden_json(doc: &Json) -> OutcomeMap {
             engine_depth: int_field("engine_depth"),
             engine_nodes: int_field("engine_nodes"),
             engine_lemmas: int_field("engine_lemmas"),
+            cert_kind: field("cert_kind"),
+            cert_size: int_field("cert_size"),
+            cert_digest: field("cert_digest"),
         };
         assert!(map.insert(key.clone(), outcome).is_none(), "duplicate golden task {key:?}");
     }
