@@ -34,7 +34,7 @@ use pathinv_check::{check_certificate, decode_model, Certificate, CheckLimits};
 use pathinv_core::{BmcConfig, CegarConfig, PdrConfig, Verdict};
 use pathinv_ir::exec::replay;
 use pathinv_ir::{path_formula, Path, Program};
-use pathinv_smt::{IntSatResult, Solver};
+use pathinv_smt::{enforce_deadline, IntSatResult, Solver};
 use proptest::shrink::minimize;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -61,6 +61,11 @@ pub struct FuzzOptions {
     /// Audit every engine certificate with the independent checker: a
     /// conclusive verdict without a valid certificate becomes a finding.
     pub certify: bool,
+    /// Per-engine-run wall-clock deadline (`--timeout-ms`), enforced by the
+    /// watchdog through each run's [`CancellationToken`](pathinv_core::CancellationToken).  A run that
+    /// exceeds it returns the honest `cancelled` — a no-opinion outcome that
+    /// can never produce (or mask) a finding.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for FuzzOptions {
@@ -72,6 +77,7 @@ impl Default for FuzzOptions {
             cache_sample: 10,
             shrink_budget: 48,
             certify: false,
+            timeout_ms: None,
         }
     }
 }
@@ -185,6 +191,9 @@ enum EngineVerdict {
     Safe,
     Unsafe(Path),
     Unknown(#[allow(dead_code)] String),
+    /// The run's `--timeout-ms` deadline expired.  Strictly no-opinion:
+    /// never a finding, never evidence for or against any other verdict.
+    Cancelled,
     Error(String),
 }
 
@@ -194,6 +203,7 @@ impl EngineVerdict {
             EngineVerdict::Safe => "safe",
             EngineVerdict::Unsafe(_) => "unsafe",
             EngineVerdict::Unknown(_) => "unknown",
+            EngineVerdict::Cancelled => "cancelled",
             EngineVerdict::Error(_) => "error",
         }
     }
@@ -216,16 +226,28 @@ fn engine_label(engine: &TaskEngine) -> String {
     }
 }
 
-fn run_engine(engine: &TaskEngine, program: &Program) -> (EngineVerdict, Option<Certificate>) {
+fn run_engine(
+    engine: &TaskEngine,
+    program: &Program,
+    timeout_ms: Option<u64>,
+) -> (EngineVerdict, Option<Certificate>) {
     let built = engine.build();
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| built.verify(program))) {
+    let token = pathinv_core::CancellationToken::new();
+    let _guard =
+        timeout_ms.map(|ms| enforce_deadline(&token, std::time::Duration::from_millis(ms)));
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        built.verify_with_cancel(program, &token)
+    })) {
         Ok(Ok(result)) => {
             let verdict = match result.verdict {
                 Verdict::Safe => EngineVerdict::Safe,
                 Verdict::Unsafe { path } => EngineVerdict::Unsafe(path),
                 Verdict::Unknown { reason } => EngineVerdict::Unknown(reason),
-                // Unreachable with the fresh token `verify` passes; treated
-                // as an error so it can never masquerade as a real verdict.
+                // With a deadline configured this is the watchdog having
+                // fired; without one no engine may return it, and it is
+                // treated as an error so it can never masquerade as a real
+                // verdict.
+                Verdict::Cancelled if timeout_ms.is_some() => EngineVerdict::Cancelled,
                 Verdict::Cancelled => EngineVerdict::Error("cancelled without a token".to_string()),
             };
             (verdict, result.certificate)
@@ -398,6 +420,7 @@ fn check_program(
     p: &GeneratedProgram,
     check_cache: bool,
     certify: bool,
+    timeout_ms: Option<u64>,
 ) -> (Vec<Finding>, CheckCounts) {
     let mut findings = Vec::new();
     let mut counts = CheckCounts::default();
@@ -420,7 +443,7 @@ fn check_program(
         .iter()
         .map(|e| {
             counts.engine_runs += 1;
-            let (verdict, certificate) = run_engine(e, &p.program);
+            let (verdict, certificate) = run_engine(e, &p.program, timeout_ms);
             (engine_label(e), verdict, certificate)
         })
         .collect();
@@ -469,7 +492,7 @@ fn check_program(
                     ));
                 }
             }
-            EngineVerdict::Unknown(_) => {}
+            EngineVerdict::Unknown(_) | EngineVerdict::Cancelled => {}
         }
     }
 
@@ -490,8 +513,12 @@ fn check_program(
         uncached_config.caching = false;
         counts.engine_runs += 1;
         let cached = &verdicts[0].1;
-        let (uncached, _) = run_engine(&TaskEngine::Cegar(uncached_config), &p.program);
-        if cached.word() != uncached.word() {
+        let (uncached, _) = run_engine(&TaskEngine::Cegar(uncached_config), &p.program, timeout_ms);
+        // A deadline firing on one side but not the other says nothing about
+        // cache parity — cancelled is no-opinion on both sides.
+        let either_cancelled = matches!(cached, EngineVerdict::Cancelled)
+            || matches!(uncached, EngineVerdict::Cancelled);
+        if !either_cancelled && cached.word() != uncached.word() {
             findings.push(p.finding(
                 FindingKind::CacheParity,
                 "cegar/path-invariants",
@@ -511,7 +538,10 @@ fn check_program(
 fn still_fails(scenario: &Scenario, index: usize, kind: FindingKind, check_cache: bool) -> bool {
     match realize(scenario, index) {
         Realized::Kept(p) => {
-            let (findings, _) = check_program(&p, check_cache, certify_for(kind));
+            // Shrinking replays without a deadline: cancellation is timing-
+            // dependent and never itself a finding, so reproduction must not
+            // hinge on whether the watchdog happens to fire.
+            let (findings, _) = check_program(&p, check_cache, certify_for(kind), None);
             findings.iter().any(|f| f.kind == kind)
         }
         Realized::Defect(_) => kind == FindingKind::GeneratorDefect,
@@ -546,7 +576,7 @@ fn shrink_findings(findings: Vec<Finding>, budget: usize) -> Vec<Finding> {
         let mut shrunk = finding;
         shrunk.shrunk = !stats.budget_exhausted;
         if let Realized::Kept(p) = realize(&min, index) {
-            let (replayed, _) = check_program(&p, check_cache, certify_for(kind));
+            let (replayed, _) = check_program(&p, check_cache, certify_for(kind), None);
             let engine = shrunk.engine.clone();
             if let Some(f) = replayed
                 .iter()
@@ -610,7 +640,8 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
                 let Some((pos, p)) = queue.lock().expect("fuzz queue poisoned").pop_front() else {
                     break;
                 };
-                let (found, counts) = check_program(p, pos < cache_cutoff, opts.certify);
+                let (found, counts) =
+                    check_program(p, pos < cache_cutoff, opts.certify, opts.timeout_ms);
                 results.lock().expect("fuzz sink poisoned").push((pos, found, counts));
             });
         }

@@ -7,7 +7,7 @@
 //! summary table.
 //!
 //! Three verification engines are available behind the
-//! [`VerificationEngine`] abstraction —
+//! [`VerificationEngine`](pathinv_core::VerificationEngine) abstraction —
 //! CEGAR (with either refiner), bounded model checking, and PDR-lite — and
 //! the [`EngineChoice::Portfolio`] selection runs all of them per program,
 //! feeding the [`differential`] harness that hard-fails on any cross-engine
@@ -32,95 +32,34 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod differential;
 pub mod experiments;
 pub mod fuzz;
-pub mod json;
 pub mod race;
+pub mod serve;
+pub mod smoke;
 pub mod trajectory;
 
-use json::Json;
-use pathinv_core::{
-    BmcConfig, BmcEngine, CegarConfig, PdrConfig, PdrEngine, RefinerKind, Verdict,
-    VerificationEngine, Verifier, VerifierStats,
-};
+use pathinv_core::{BmcConfig, CegarConfig, PdrConfig, RefinerKind, VerifierStats};
 use pathinv_ir::{corpus, parse_program, Program};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Schema version stamped into every report, bumped on breaking changes to
-/// the report layout.  Version 2 added the solver-call and cache counters;
-/// version 3 added the engine dimension (the `engine` field, the
-/// `engine_depth`/`engine_nodes`/`engine_lemmas` counters, and the
-/// differential section of portfolio reports); version 4 split the simplex
-/// accounting into cold solves (`simplex_calls`) and warm incremental
-/// re-checks (`simplex_warm_checks`), added per-phase simplex counters, and
-/// pinned `simplex_calls`/`interpolant_calls` in the golden projections;
-/// version 5 added the invariant-synthesis counters
-/// (`synth_systems_solved`, `synth_branches_explored`,
-/// `synth_branches_pruned`, `synth_cores_learned`, `synth_memo_hits`) and
-/// pinned them in the golden projections; version 6 added the racing
-/// harness (`--race`): `cancelled` joined the verdict vocabulary, and race
-/// reports (per-program winner plus per-lane time-to-first-verdict) appear
-/// in `--race --json` output and in the `race` section of trajectory
-/// points — never in golden projections, whose fields are unchanged;
-/// version 7 added checkable certificates: every conclusive verdict reports
-/// its certificate's kind, size, and canonical digest (`cert_kind`,
-/// `cert_size`, `cert_digest` — the digest is pinned by golden
-/// projections), and `--certify` audits each certificate through the
-/// independent `pathinv-check` crate, adding `cert_verdict`,
-/// `cert_reason`, and `cert_check_ms`.
-pub const SCHEMA_VERSION: i64 = 7;
+// The report schema lives in `pathinv-report` (shared with the service
+// daemon); the engine/job abstraction lives in `pathinv-core` (shared with
+// every harness).  Both are re-exported under their historical `pathinv-cli`
+// paths so downstream callers and tests are unaffected by the extraction.
+pub use pathinv_core::{refiner_name, EngineSpec as TaskEngine, NO_REFINER};
+pub use pathinv_report::{engine_rank, json, TaskReport, SCHEMA_VERSION};
+
+use json::Json;
 
 /// Default refinement bound for the finite-path baseline, which is expected
 /// to diverge on the interesting programs; a modest bound keeps batch runs
 /// fast while still distinguishing "settled quickly" from "gave up".
 pub const DEFAULT_BASELINE_REFINEMENTS: usize = 6;
-
-/// The refiner column value for engines that have no refiner dimension
-/// (everything except CEGAR).
-pub const NO_REFINER: &str = "-";
-
-/// The engine (with configuration) one [`BatchTask`] runs.
-#[derive(Clone, Debug)]
-pub enum TaskEngine {
-    /// The CEGAR driver with the configured refiner.
-    Cegar(CegarConfig),
-    /// The bounded model checker.
-    Bmc(BmcConfig),
-    /// The PDR-lite frame engine.
-    Pdr(PdrConfig),
-}
-
-impl TaskEngine {
-    /// The engine's report name (`"cegar"`, `"bmc"`, `"pdr"`).
-    pub fn engine_name(&self) -> &'static str {
-        match self {
-            TaskEngine::Cegar(_) => "cegar",
-            TaskEngine::Bmc(_) => "bmc",
-            TaskEngine::Pdr(_) => "pdr",
-        }
-    }
-
-    /// The refiner column for reports: the CEGAR refiner name, or
-    /// [`NO_REFINER`] for engines without a refiner dimension.
-    pub fn refiner_name(&self) -> &'static str {
-        match self {
-            TaskEngine::Cegar(config) => refiner_name(config.refiner),
-            _ => NO_REFINER,
-        }
-    }
-
-    /// Builds the runnable engine.
-    pub fn build(&self) -> Box<dyn VerificationEngine> {
-        match self {
-            TaskEngine::Cegar(config) => Box::new(Verifier::new(config.clone())),
-            TaskEngine::Bmc(config) => Box::new(BmcEngine::new(*config)),
-            TaskEngine::Pdr(config) => Box::new(PdrEngine::new(*config)),
-        }
-    }
-}
 
 /// One unit of work: a named program verified with one engine.
 pub struct BatchTask {
@@ -135,6 +74,12 @@ pub struct BatchTask {
     /// digest are reported either way; only the audit itself is gated,
     /// since it costs extra wall-clock.
     pub certify: bool,
+    /// Per-task wall-clock deadline in milliseconds (`--timeout-ms`),
+    /// enforced through the watchdog + the
+    /// [`CancellationToken`](pathinv_core::CancellationToken) path the
+    /// service uses; an expired
+    /// task reports the honest `"cancelled"` verdict.
+    pub timeout_ms: Option<u64>,
 }
 
 impl BatchTask {
@@ -157,54 +102,12 @@ impl BatchTask {
             config.synth_workers = workers.max(1);
         }
     }
-}
 
-/// The outcome of one [`BatchTask`].
-#[derive(Clone, Debug, PartialEq)]
-pub struct TaskReport {
-    /// Report name of the program.
-    pub program_name: String,
-    /// `"cegar"`, `"bmc"`, or `"pdr"`.
-    pub engine: String,
-    /// `"path-invariants"`, `"path-predicates"`, or [`NO_REFINER`] for
-    /// engines without a refiner dimension.
-    pub refiner: String,
-    /// `"safe"`, `"unsafe"`, `"unknown"`, or `"error"`.
-    pub verdict: String,
-    /// Free-form elaboration: counterexample length, give-up reason, or the
-    /// error message. Not compared by the regression test.
-    pub detail: String,
-    /// Refinement iterations performed (CEGAR only; 0 otherwise).
-    pub refinements: usize,
-    /// Predicates tracked at the end (CEGAR) or invariant lemmas of a PDR
-    /// proof; 0 for errored tasks.
-    pub predicates: usize,
-    /// Total ART nodes constructed (CEGAR only; 0 otherwise).
-    pub art_nodes: usize,
-    /// Wall-clock time for this task, in milliseconds.
-    pub wall_ms: f64,
-    /// Certificate kind (`"inductive"`, `"bounded-unroll"`, `"trace"`), or
-    /// empty when the verdict is inconclusive and carries no certificate.
-    pub cert_kind: String,
-    /// Certificate size measure (atoms / depth / trace length); 0 when no
-    /// certificate.
-    pub cert_size: usize,
-    /// Stable digest of the certificate's canonical rendering (16 hex
-    /// digits), pinned by golden projections; empty when no certificate.
-    pub cert_digest: String,
-    /// Audit verdict under `--certify`: `"valid"`, `"invalid"`,
-    /// `"unsupported"`, or `"vacuous"` (no certificate because the verdict
-    /// claims nothing).  Empty when the audit was not requested.
-    pub cert_verdict: String,
-    /// The failing obligation or budget of a non-valid audit; empty
-    /// otherwise.
-    pub cert_reason: String,
-    /// Wall-clock the independent checker spent on this certificate, in
-    /// milliseconds (0 when the audit was not requested).
-    pub cert_check_ms: f64,
-    /// Solver-call, cache, and engine-exploration statistics (all-zero for
-    /// errored tasks).
-    pub stats: VerifierStats,
+    /// The [`pathinv_core::JobSpec`] this task executes (engine plus
+    /// deadline) — the same spec shape the service daemon runs.
+    pub fn job_spec(&self) -> pathinv_core::JobSpec {
+        pathinv_core::JobSpec::with_timeout_ms(self.engine.clone(), self.timeout_ms)
+    }
 }
 
 /// The outcome of a whole batch run.
@@ -217,14 +120,6 @@ pub struct BatchReport {
     pub tasks: Vec<TaskReport>,
     /// End-to-end wall clock for the whole batch, in milliseconds.
     pub wall_ms_total: f64,
-}
-
-/// Renders a [`RefinerKind`] the way reports spell it.
-pub fn refiner_name(kind: RefinerKind) -> &'static str {
-    match kind {
-        RefinerKind::PathInvariants => "path-invariants",
-        RefinerKind::PathPredicates => "path-predicates",
-    }
 }
 
 /// The committed sample program `programs/array_reset_bug.pinv`, embedded so
@@ -270,6 +165,39 @@ pub fn corpus_programs() -> Vec<(String, Program)> {
         ));
     }
     programs
+}
+
+/// Returns a 16-program *source-level* corpus for harnesses that ship
+/// program text over a wire instead of in-process [`Program`] values — the
+/// serve protocol and its smoke harness.  Three of the paper's figures have
+/// committed front-end sources, the suite and `.pinv` samples are already
+/// textual, and two tiny demo programs (one safe, one unsafe) round the set
+/// out so both cold-cache verdict kinds appear even in quick runs.
+pub fn corpus_sources() -> Vec<(String, String)> {
+    let mut sources: Vec<(String, String)> = vec![
+        ("FORWARD".to_string(), corpus::forward_src().to_string()),
+        ("INITCHECK".to_string(), corpus::initcheck_src().to_string()),
+        ("PARTITION".to_string(), corpus::partition_src().to_string()),
+    ];
+    for entry in corpus::suite() {
+        sources.push((format!("suite/{}", entry.name), entry.src.to_string()));
+    }
+    for (name, src) in [
+        ("array_reset_bug", ARRAY_RESET_BUG_SRC),
+        ("rational_cex_parity", RATIONAL_CEX_PARITY_SRC),
+        ("half_integer_bug", HALF_INTEGER_BUG_SRC),
+    ] {
+        sources.push((format!("pinv/{name}"), src.to_string()));
+    }
+    sources.push((
+        "demo/assign_safe".to_string(),
+        "proc assign_safe(x: int) { x = 3; assert(x == 3); }".to_string(),
+    ));
+    sources.push((
+        "demo/assign_bug".to_string(),
+        "proc assign_bug(x: int) { x = 3; assert(x == 4); }".to_string(),
+    ));
+    sources
 }
 
 /// Parses one `.pinv` source file into a named program.
@@ -370,6 +298,7 @@ pub fn make_tasks(
                 engine: engine.clone(),
                 program: program.clone(),
                 certify: false,
+                timeout_ms: None,
             });
         }
     }
@@ -381,85 +310,27 @@ fn run_task(task: &BatchTask) -> TaskReport {
 }
 
 /// Runs one task under `token`, reporting a cancelled run honestly as the
-/// `"cancelled"` verdict (the racing harness cancels losing lanes; a default
-/// batch run passes a fresh token and never sees it).
+/// `"cancelled"` verdict (the racing harness cancels losing lanes, the
+/// deadline watchdog cancels `--timeout-ms` overruns; a default batch run
+/// passes a fresh token and sets no deadline, so it never sees either).
+///
+/// Execution — panic isolation, deadline enforcement, verdict mapping — is
+/// [`pathinv_core::run_job`], the same path the service daemon uses; this
+/// wrapper only adds the certificate audit and the report projection.
 pub(crate) fn run_task_with_cancel(
     task: &BatchTask,
     token: &pathinv_core::CancellationToken,
 ) -> TaskReport {
-    let start = Instant::now();
-    let engine = task.engine.build();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.verify_with_cancel(&task.program, token)
-    }));
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let (verdict, detail, refinements, predicates, art_nodes, certificate, stats) = match outcome {
-        Ok(Ok(result)) => {
-            let (verdict, detail) = match &result.verdict {
-                Verdict::Safe => ("safe".to_string(), String::new()),
-                Verdict::Unsafe { path } => {
-                    ("unsafe".to_string(), format!("counterexample of {} steps", path.len()))
-                }
-                Verdict::Unknown { reason } => ("unknown".to_string(), reason.clone()),
-                Verdict::Cancelled => {
-                    ("cancelled".to_string(), "cancelled by the racing harness".to_string())
-                }
-            };
-            (
-                verdict,
-                detail,
-                result.refinements,
-                result.predicates,
-                result.art_nodes,
-                result.certificate,
-                result.stats,
-            )
-        }
-        Ok(Err(e)) => ("error".to_string(), e.to_string(), 0, 0, 0, None, VerifierStats::default()),
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("panic");
-            (
-                "error".to_string(),
-                format!("panicked: {msg}"),
-                0,
-                0,
-                0,
-                None,
-                VerifierStats::default(),
-            )
-        }
-    };
-    let (cert_kind, cert_size, cert_digest) = match &certificate {
-        Some(cert) => (cert.kind().to_string(), cert.size(), cert.digest()),
-        None => (String::new(), 0, String::new()),
-    };
-    let (cert_verdict, cert_reason, cert_check_ms) = if task.certify {
-        audit_certificate(&task.program, certificate.as_ref(), &verdict)
-    } else {
-        (String::new(), String::new(), 0.0)
-    };
-    TaskReport {
-        program_name: task.program_name.clone(),
-        engine: task.engine.engine_name().to_string(),
-        refiner: task.engine.refiner_name().to_string(),
-        verdict,
-        detail,
-        refinements,
-        predicates,
-        art_nodes,
-        wall_ms,
-        cert_kind,
-        cert_size,
-        cert_digest,
-        cert_verdict,
-        cert_reason,
-        cert_check_ms,
-        stats,
+    let outcome = pathinv_core::run_job(&task.job_spec(), &task.program, token);
+    let mut report = TaskReport::from_outcome(task.program_name.clone(), &task.engine, &outcome);
+    if task.certify {
+        let (cert_verdict, cert_reason, cert_check_ms) =
+            audit_certificate(&task.program, outcome.certificate.as_ref(), &report.verdict);
+        report.cert_verdict = cert_verdict;
+        report.cert_reason = cert_reason;
+        report.cert_check_ms = cert_check_ms;
     }
+    report
 }
 
 /// Audits one certificate with the independent checker, timing the check.
@@ -501,19 +372,6 @@ fn audit_certificate(
     (outcome.name().to_string(), outcome.reason().unwrap_or_default().to_string(), check_ms)
 }
 
-/// The deterministic ordering of engine columns in reports and in the
-/// differential combination: CEGAR first (path invariants before the
-/// baseline), then BMC, then PDR-lite.
-pub fn engine_rank(engine: &str, refiner: &str) -> usize {
-    match (engine, refiner) {
-        ("cegar", "path-invariants") => 0,
-        ("cegar", _) => 1,
-        ("bmc", _) => 2,
-        ("pdr", _) => 3,
-        _ => 4,
-    }
-}
-
 /// Runs every task across `jobs` worker threads and collects a report.
 ///
 /// Tasks are pulled from a shared queue, so long-running programs do not
@@ -547,107 +405,7 @@ pub fn run_batch(tasks: Vec<BatchTask>, jobs: usize) -> BatchReport {
     BatchReport { jobs, tasks, wall_ms_total: start.elapsed().as_secs_f64() * 1e3 }
 }
 
-impl TaskReport {
-    /// The column label combining engine and refiner (`"cegar/path-
-    /// invariants"`, `"bmc"`, ...), used by the differential harness and the
-    /// summary table.
-    pub fn engine_label(&self) -> String {
-        if self.refiner == NO_REFINER {
-            self.engine.clone()
-        } else {
-            format!("{}/{}", self.engine, self.refiner)
-        }
-    }
-
-    /// The full JSON rendering of this task.
-    pub fn to_json(&self) -> Json {
-        let s = &self.stats;
-        Json::object(vec![
-            ("program", Json::Str(self.program_name.clone())),
-            ("engine", Json::Str(self.engine.clone())),
-            ("refiner", Json::Str(self.refiner.clone())),
-            ("verdict", Json::Str(self.verdict.clone())),
-            ("detail", Json::Str(self.detail.clone())),
-            ("refinements", Json::Int(self.refinements as i64)),
-            ("predicates", Json::Int(self.predicates as i64)),
-            ("art_nodes", Json::Int(self.art_nodes as i64)),
-            ("wall_ms", Json::Float(round3(self.wall_ms))),
-            ("solver_calls", Json::Int(s.solver_calls as i64)),
-            ("simplex_calls", Json::Int(s.simplex_calls as i64)),
-            ("simplex_warm_checks", Json::Int(s.simplex_warm_checks as i64)),
-            ("interpolant_calls", Json::Int(s.interpolant_calls as i64)),
-            ("smt_queries", Json::Int(s.smt_queries as i64)),
-            ("query_cache_hits", Json::Int(s.query_cache_hits as i64)),
-            ("post_queries", Json::Int(s.post_queries as i64)),
-            ("post_cache_hits", Json::Int(s.post_cache_hits as i64)),
-            ("query_hit_rate", Json::Float(round3(s.query_hit_rate()))),
-            ("engine_depth", Json::Int(s.engine_depth as i64)),
-            ("engine_nodes", Json::Int(s.engine_nodes as i64)),
-            ("engine_lemmas", Json::Int(s.engine_lemmas as i64)),
-            ("cert_kind", Json::Str(self.cert_kind.clone())),
-            ("cert_size", Json::Int(self.cert_size as i64)),
-            ("cert_digest", Json::Str(self.cert_digest.clone())),
-            ("cert_verdict", Json::Str(self.cert_verdict.clone())),
-            ("cert_reason", Json::Str(self.cert_reason.clone())),
-            ("cert_check_ms", Json::Float(round3(self.cert_check_ms))),
-            ("synth_systems_solved", Json::Int(s.synth_systems_solved as i64)),
-            ("synth_branches_explored", Json::Int(s.synth_branches_explored as i64)),
-            ("synth_branches_pruned", Json::Int(s.synth_branches_pruned as i64)),
-            ("synth_cores_learned", Json::Int(s.synth_cores_learned as i64)),
-            ("synth_memo_hits", Json::Int(s.synth_memo_hits as i64)),
-            (
-                "phases",
-                Json::object(vec![
-                    ("reach_solver_calls", Json::Int(s.reach_solver_calls as i64)),
-                    ("cex_solver_calls", Json::Int(s.cex_solver_calls as i64)),
-                    ("refine_solver_calls", Json::Int(s.refine_solver_calls as i64)),
-                    ("reach_simplex_calls", Json::Int(s.reach_simplex_calls as i64)),
-                    ("cex_simplex_calls", Json::Int(s.cex_simplex_calls as i64)),
-                    ("refine_simplex_calls", Json::Int(s.refine_simplex_calls as i64)),
-                    ("reach_ms", Json::Float(round3(s.reach_ms))),
-                    ("cex_ms", Json::Float(round3(s.cex_ms))),
-                    ("refine_ms", Json::Float(round3(s.refine_ms))),
-                ]),
-            ),
-        ])
-    }
-
-    /// The golden (regression-compared) JSON rendering: only fields that are
-    /// deterministic across runs, machines, and worker counts.
-    pub fn to_golden_task_json(&self) -> Json {
-        Json::object(vec![
-            ("program", Json::Str(self.program_name.clone())),
-            ("engine", Json::Str(self.engine.clone())),
-            ("refiner", Json::Str(self.refiner.clone())),
-            ("verdict", Json::Str(self.verdict.clone())),
-            ("refinements", Json::Int(self.refinements as i64)),
-            ("predicates", Json::Int(self.predicates as i64)),
-            ("art_nodes", Json::Int(self.art_nodes as i64)),
-            ("solver_calls", Json::Int(self.stats.solver_calls as i64)),
-            ("simplex_calls", Json::Int(self.stats.simplex_calls as i64)),
-            ("simplex_warm_checks", Json::Int(self.stats.simplex_warm_checks as i64)),
-            ("interpolant_calls", Json::Int(self.stats.interpolant_calls as i64)),
-            ("query_cache_hits", Json::Int(self.stats.query_cache_hits as i64)),
-            ("post_cache_hits", Json::Int(self.stats.post_cache_hits as i64)),
-            ("engine_depth", Json::Int(self.stats.engine_depth as i64)),
-            ("engine_nodes", Json::Int(self.stats.engine_nodes as i64)),
-            ("engine_lemmas", Json::Int(self.stats.engine_lemmas as i64)),
-            ("cert_kind", Json::Str(self.cert_kind.clone())),
-            ("cert_size", Json::Int(self.cert_size as i64)),
-            ("cert_digest", Json::Str(self.cert_digest.clone())),
-            ("refine_simplex_calls", Json::Int(self.stats.refine_simplex_calls as i64)),
-            ("synth_systems_solved", Json::Int(self.stats.synth_systems_solved as i64)),
-            ("synth_branches_explored", Json::Int(self.stats.synth_branches_explored as i64)),
-            ("synth_branches_pruned", Json::Int(self.stats.synth_branches_pruned as i64)),
-            ("synth_cores_learned", Json::Int(self.stats.synth_cores_learned as i64)),
-            ("synth_memo_hits", Json::Int(self.stats.synth_memo_hits as i64)),
-        ])
-    }
-}
-
-fn round3(x: f64) -> f64 {
-    (x * 1e3).round() / 1e3
-}
+use pathinv_report::{format_ms, round3};
 
 fn count_verdicts(tasks: &[TaskReport], verdict: &str) -> i64 {
     tasks.iter().filter(|t| t.verdict == verdict).count() as i64
@@ -764,14 +522,6 @@ impl BatchReport {
             self.total(|s| s.query_cache_hits + s.post_cache_hits),
         ));
         out
-    }
-}
-
-fn format_ms(ms: f64) -> String {
-    if ms >= 1000.0 {
-        format!("{:.2} s", ms / 1000.0)
-    } else {
-        format!("{ms:.1} ms")
     }
 }
 

@@ -21,6 +21,8 @@ USAGE:
     pathinv-cli [OPTIONS] [FILE.pinv ...]
     pathinv-cli trajectory --history [DIR]
     pathinv-cli fuzz [FUZZ OPTIONS]
+    pathinv-cli serve [SERVE OPTIONS]
+    pathinv-cli serve-smoke [SMOKE OPTIONS]
 
 ARGS:
     FILE.pinv ...          front-end source files to verify alongside/instead
@@ -34,6 +36,35 @@ SUBCOMMANDS:
                            cross-check every program three ways (engine vs
                            engine, verifier vs concrete interpreter, cached vs
                            uncached); exits 1 on any disagreement
+    serve                  run the verification service daemon: line-delimited
+                           JSON jobs on a Unix socket (or stdin), fault-isolated
+                           workers, per-job deadlines, a crash-safe persistent
+                           verdict cache, and graceful SIGTERM/shutdown drain
+                           (see DESIGN.md section 14 for the protocol)
+    serve-smoke            spawn a real serve daemon and drive the end-to-end
+                           robustness scenario against it: cold + warm corpus
+                           passes with parity checks, injected malformed and
+                           panicking jobs, SIGTERM drain, and a warm restart
+                           from the surviving cache journal; exits 1 on any
+                           contract violation
+
+SERVE OPTIONS:
+    --socket <PATH>        listen on a Unix socket instead of stdin/stdout
+    --cache <PATH>         persist the verdict cache journal at PATH (default:
+                           in-memory only)
+    --workers <N>          worker threads executing jobs (default: 2)
+    --queue <N>            admission-queue capacity; beyond it submissions are
+                           rejected with status \"overloaded\" (default: 64)
+    --timeout-ms <N>       default per-job deadline for jobs that do not carry
+                           their own timeout_ms
+    --drain-grace-ms <N>   how long a shutdown drain waits for in-flight jobs
+                           before cancelling them (default: 5000)
+
+SMOKE OPTIONS:
+    --json <PATH>          write the warm-vs-cold benchmark artifact (`-` =
+                           stdout)
+    --workers <N>          worker threads for the spawned daemon (default: 4)
+    --quiet                suppress per-phase progress
 
 FUZZ OPTIONS:
     --seed <N>             campaign seed (default: 0)
@@ -44,6 +75,8 @@ FUZZ OPTIONS:
     --reproducers <DIR>    write each shrunk finding as a .pinv reproducer
     --cache-sample <N>     programs also checked cached-vs-uncached (default: 10)
     --shrink-budget <N>    candidate scenarios tested per finding (default: 48)
+    --timeout-ms <N>       per-engine-run deadline; an expired run reports the
+                           no-opinion `cancelled` and is never a finding
     --certify              audit every engine certificate with the independent
                            checker; a conclusive verdict without a valid
                            certificate is a finding
@@ -69,6 +102,10 @@ OPTIONS:
                            byte-identical at any count, only wall-clock
                            changes
     --jobs <N>             worker threads (default: available parallelism)
+    --timeout-ms <N>       per-task wall-clock deadline, enforced by the
+                           watchdog through each task's cancellation token;
+                           an expired task reports the honest `cancelled`
+                           verdict instead of running forever
     --certify              audit every verdict's certificate with the
                            independent pathinv-check crate: conclusive
                            verdicts must carry a certificate the checker
@@ -80,9 +117,9 @@ OPTIONS:
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr8.json trajectory point (including
-                           its race section and certificate audit); run from
-                           the repository root
+                           and the BENCH_pr9.json trajectory point (including
+                           its race, serve, and certificate-audit sections);
+                           run from the repository root
     --quiet                suppress the summary table
     --help                 show this help
 
@@ -103,6 +140,7 @@ struct Options {
     beam_workers: Option<usize>,
     race: bool,
     certify: bool,
+    timeout_ms: Option<u64>,
     jobs: usize,
     json_path: Option<String>,
     golden_path: Option<String>,
@@ -125,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         beam_workers: None,
         race: false,
         certify: false,
+        timeout_ms: None,
         jobs: default_jobs(),
         json_path: None,
         golden_path: None,
@@ -175,6 +214,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--race" => opts.race = true,
             "--certify" => opts.certify = true,
+            "--timeout-ms" => {
+                let v = value_for("--timeout-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --timeout-ms `{v}`"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".to_string());
+                }
+                opts.timeout_ms = Some(ms);
+            }
             "--jobs" => {
                 let v = value_for("--jobs")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
@@ -219,7 +266,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.bless;
         if conflicting {
             return Err("--race runs the default engine portfolio per program; it only combines \
-                        with --all, .pinv files, --jobs, --json, --certify, and --quiet"
+                        with --all, .pinv files, --jobs, --json, --certify, --timeout-ms, and \
+                        --quiet"
                 .to_string());
         }
     }
@@ -230,6 +278,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         let conflicting = opts.all
             || !opts.files.is_empty()
             || opts.no_cache
+            || opts.timeout_ms.is_some()
             || opts.max_refinements.is_some()
             || opts.choice != RefinerChoice::Both
             || engine_set
@@ -251,7 +300,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr8.json";
+    const BENCH_POINT: &str = "BENCH_pr9.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
@@ -313,7 +362,7 @@ fn bless(jobs: usize) -> ExitCode {
     eprintln!("blessing: verifying the corpus again (uncached cegar baseline)...");
     let mut trajectory = trajectory_from_cached(cached, jobs);
     eprintln!("blessing: racing the portfolio over the corpus (4 lanes per program)...");
-    let race = pathinv_cli::race::run_race(corpus_programs(), jobs.min(4), false);
+    let race = pathinv_cli::race::run_race(corpus_programs(), jobs.min(4), false, None);
     let race_mismatches = race.mismatches();
     if !race_mismatches.is_empty() {
         eprintln!(
@@ -331,6 +380,24 @@ fn bless(jobs: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     trajectory.race = Some(race);
+    eprintln!("blessing: daemon warm-vs-cold pass over the source corpus...");
+    let serve = pathinv_cli::serve::bench_serve(jobs.min(4));
+    if !serve.parity_failures.is_empty() {
+        eprintln!(
+            "error: daemon warm pass contradicts the cold pass; refusing to bless:\n  {}",
+            serve.parity_failures.join("\n  ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if serve.warm_hits < serve.programs as u64 {
+        eprintln!(
+            "error: daemon warm pass hit the persistent cache only {} of {} times; \
+             refusing to bless",
+            serve.warm_hits, serve.programs
+        );
+        return ExitCode::FAILURE;
+    }
+    trajectory.serve = Some(serve);
     let errors = trajectory
         .cached
         .tasks
@@ -385,7 +452,7 @@ fn race_main(
     opts: &Options,
     load_failures: usize,
 ) -> ExitCode {
-    let report = pathinv_cli::race::run_race(programs, opts.jobs, opts.certify);
+    let report = pathinv_cli::race::run_race(programs, opts.jobs, opts.certify, opts.timeout_ms);
     if !opts.quiet {
         print!("{}", report.render_table());
     }
@@ -498,6 +565,14 @@ fn fuzz_main(args: &[String]) -> ExitCode {
                     opts.shrink_budget =
                         v.parse().map_err(|_| format!("bad --shrink-budget `{v}`"))?;
                 }
+                "--timeout-ms" => {
+                    let v = value_for("--timeout-ms")?;
+                    let ms: u64 = v.parse().map_err(|_| format!("bad --timeout-ms `{v}`"))?;
+                    if ms == 0 {
+                        return Err("--timeout-ms must be at least 1".to_string());
+                    }
+                    opts.timeout_ms = Some(ms);
+                }
                 "--json" => json_path = Some(value_for("--json")?),
                 "--reproducers" => reproducer_dir = Some(value_for("--reproducers")?),
                 "--certify" => opts.certify = true,
@@ -550,6 +625,105 @@ fn fuzz_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `serve` subcommand: parse the daemon flags and run until drained.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut config = pathinv_cli::serve::ServeConfig::default();
+    let mut it = args.iter();
+    let mut parse = || -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value_for =
+                |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+            match arg.as_str() {
+                "--socket" => config.socket = Some(value_for("--socket")?.into()),
+                "--cache" => config.cache_path = Some(value_for("--cache")?.into()),
+                "--workers" => {
+                    let v = value_for("--workers")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                    if n == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    config.workers = n;
+                }
+                "--queue" => {
+                    let v = value_for("--queue")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --queue `{v}`"))?;
+                    if n == 0 {
+                        return Err("--queue must be at least 1".to_string());
+                    }
+                    config.queue_capacity = n;
+                }
+                "--timeout-ms" => {
+                    let v = value_for("--timeout-ms")?;
+                    let ms: u64 = v.parse().map_err(|_| format!("bad --timeout-ms `{v}`"))?;
+                    if ms == 0 {
+                        return Err("--timeout-ms must be at least 1".to_string());
+                    }
+                    config.default_timeout_ms = Some(ms);
+                }
+                "--drain-grace-ms" => {
+                    let v = value_for("--drain-grace-ms")?;
+                    config.drain_grace_ms =
+                        v.parse().map_err(|_| format!("bad --drain-grace-ms `{v}`"))?;
+                }
+                other => return Err(format!("unknown serve option `{other}`")),
+            }
+        }
+        Ok(())
+    };
+    if let Err(msg) = parse() {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    match pathinv_cli::serve::run_serve(&config) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `serve-smoke` subcommand: the end-to-end daemon robustness scenario.
+fn serve_smoke_main(args: &[String]) -> ExitCode {
+    let mut opts = pathinv_cli::smoke::SmokeOptions::default();
+    let mut it = args.iter();
+    let mut parse = || -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value_for =
+                |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+            match arg.as_str() {
+                "--json" => opts.json_path = Some(value_for("--json")?),
+                "--workers" => {
+                    let v = value_for("--workers")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                    if n == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    opts.workers = n;
+                }
+                "--quiet" => opts.verbose = false,
+                other => return Err(format!("unknown serve-smoke option `{other}`")),
+            }
+        }
+        Ok(())
+    };
+    if let Err(msg) = parse() {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    match pathinv_cli::smoke::run_serve_smoke(&opts) {
+        Ok(()) => {
+            eprintln!("serve-smoke: all contracts held");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: serve-smoke failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trajectory") {
@@ -557,6 +731,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return fuzz_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve-smoke") {
+        return serve_smoke_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
@@ -601,6 +781,11 @@ fn main() -> ExitCode {
     if opts.certify {
         for t in &mut tasks {
             t.certify = true;
+        }
+    }
+    if opts.timeout_ms.is_some() {
+        for t in &mut tasks {
+            t.timeout_ms = opts.timeout_ms;
         }
     }
     if opts.no_cache {

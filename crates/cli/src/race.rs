@@ -86,17 +86,33 @@ pub struct RaceReport {
 /// checker after the race: conclusive lanes must carry a valid certificate,
 /// cancelled and unknown lanes pass vacuously
 /// ([`RaceReport::certificate_failures`]; the CLI exits 1 on any entry).
-pub fn run_race(programs: Vec<(String, Program)>, jobs: usize, certify: bool) -> RaceReport {
+///
+/// With `timeout_ms` (`--timeout-ms`), every lane additionally runs under a
+/// watchdog deadline on its own token: a lane that neither wins nor gets
+/// cancelled by a winner is still reined in, returning the honest
+/// `cancelled` — no-opinion, so it can never create or mask a mismatch.
+pub fn run_race(
+    programs: Vec<(String, Program)>,
+    jobs: usize,
+    certify: bool,
+    timeout_ms: Option<u64>,
+) -> RaceReport {
     let jobs = jobs.max(1);
     let start = Instant::now();
     let mut results = Vec::with_capacity(programs.len());
     for (name, program) in programs {
-        results.push(race_one(name, program, jobs, certify));
+        results.push(race_one(name, program, jobs, certify, timeout_ms));
     }
     RaceReport { jobs, programs: results, wall_ms_total: start.elapsed().as_secs_f64() * 1e3 }
 }
 
-fn race_one(name: String, program: Program, jobs: usize, certify: bool) -> RaceProgram {
+fn race_one(
+    name: String,
+    program: Program,
+    jobs: usize,
+    certify: bool,
+    timeout_ms: Option<u64>,
+) -> RaceProgram {
     let mut tasks = make_tasks(
         vec![(name.clone(), program)],
         EngineChoice::Portfolio,
@@ -105,6 +121,7 @@ fn race_one(name: String, program: Program, jobs: usize, certify: bool) -> RaceP
     );
     for t in &mut tasks {
         t.certify = certify;
+        t.timeout_ms = timeout_ms;
     }
     let tokens: Vec<CancellationToken> =
         (0..tasks.len()).map(|_| CancellationToken::new()).collect();
@@ -399,7 +416,7 @@ mod tests {
 
     #[test]
     fn race_decides_figure4_and_cancels_losers() {
-        let report = run_race(slice(&["FIGURE4"]), 4, false);
+        let report = run_race(slice(&["FIGURE4"]), 4, false, None);
         let p = &report.programs[0];
         assert_eq!(p.verdict, "unsafe", "{p:?}");
         assert_ne!(p.winner, "-");
@@ -422,7 +439,7 @@ mod tests {
     fn race_with_one_worker_still_completes() {
         // With jobs = 1 the lanes run serially; a conclusive early lane
         // pre-cancels the queued ones, which then return immediately.
-        let report = run_race(slice(&["FIGURE4"]), 1, false);
+        let report = run_race(slice(&["FIGURE4"]), 1, false, None);
         let p = &report.programs[0];
         assert_eq!(p.verdict, "unsafe");
         assert!(report.mismatches().is_empty());
@@ -430,7 +447,7 @@ mod tests {
 
     #[test]
     fn certified_race_audits_every_lane() {
-        let report = run_race(slice(&["FIGURE4"]), 4, true);
+        let report = run_race(slice(&["FIGURE4"]), 4, true, None);
         assert_eq!(report.certificate_failures(), Vec::<String>::new());
         for l in &report.programs[0].lanes {
             match l.verdict.as_str() {
@@ -448,7 +465,7 @@ mod tests {
         // (safe, unsafe, and unknown-heavy programs); the full-corpus
         // agreement runs in the race-smoke CI job and the regression suite.
         let names = ["FORWARD", "FIGURE4", "BUGGY_INITCHECK", "pinv/half_integer_bug"];
-        let race = run_race(slice(&names), 4, false);
+        let race = run_race(slice(&names), 4, false, None);
         let portfolio = run_batch(
             make_tasks(slice(&names), EngineChoice::Portfolio, RefinerChoice::Both, None),
             4,
@@ -460,7 +477,7 @@ mod tests {
 
     #[test]
     fn race_json_carries_winner_and_lane_times() {
-        let report = run_race(slice(&["FIGURE4"]), 4, false);
+        let report = run_race(slice(&["FIGURE4"]), 4, false, None);
         let doc = crate::json::parse(&report.to_json().pretty()).unwrap();
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("race"));
         assert_eq!(doc.get("schema_version").and_then(Json::as_int), Some(SCHEMA_VERSION));

@@ -1,0 +1,1021 @@
+//! `pathinv-cli serve` — the verification service daemon.
+//!
+//! A long-running process accepting line-delimited JSON jobs on a Unix
+//! socket (`--socket PATH`) or on stdin, scheduling them on a worker pool,
+//! and streaming one result line per job.  Robustness is the design driver
+//! (DESIGN.md §14): every job is treated as hostile.
+//!
+//! * **Fault isolation.**  Jobs execute through [`pathinv_core::run_job`],
+//!   so a panicking engine yields an `"error"` task — never a dead worker,
+//!   never a dead daemon.
+//! * **Deadlines.**  Each job's [`CancellationToken`] is registered with
+//!   the watchdog *at admission* (queue wait counts), so an overdue job —
+//!   including the deliberately divergent `spin-shim` — comes back as an
+//!   honest `cancelled` verdict.
+//! * **Bounded admission.**  The queue holds at most `--queue` jobs;
+//!   beyond that, submissions are rejected immediately with
+//!   `status: "overloaded"` instead of growing memory without bound.
+//! * **Graceful shutdown.**  SIGTERM or `{"op":"shutdown"}` stops
+//!   admission, lets in-flight jobs finish within `--drain-grace-ms`,
+//!   cancels whatever is still queued or running after the grace, flushes
+//!   the verdict cache, and exits 0.
+//! * **Persistent memoization.**  Deterministic verdicts are cached in the
+//!   crash-safe journal of [`crate::cache`], keyed on
+//!   [`pathinv_core::job_fingerprint`]; a warm resubmission is served in
+//!   `O(1)` with `cached: true`, across daemon restarts.
+//!
+//! # Protocol
+//!
+//! One compact JSON value per `\n`-terminated line, both directions.
+//! Requests:
+//!
+//! ```text
+//! {"op":"verify","id":1,"program":"proc p(x: int) { ... }",
+//!  "engine":"cegar","refiner":"path-invariants","timeout_ms":5000,
+//!  "name":"demo"}
+//! {"op":"ping"}        {"op":"stats"}        {"op":"shutdown"}
+//! ```
+//!
+//! Responses carry `status`: `"done"` (with the task record under `task`
+//! and the cache disposition under `cached`), `"overloaded"`,
+//! `"shutting-down"`, `"error"` (with `error`), `"pong"`, `"stats"`, or the
+//! final `"shutdown"` acknowledgement.  A malformed line produces one
+//! `status: "error"` response and the stream continues — a client bug
+//! cannot take the service down.
+
+use crate::cache::VerdictCache;
+use crate::json::{self, Json};
+use pathinv_core::{
+    job_fingerprint, run_job, CancellationToken, CegarConfig, EngineSpec, JobOutcome, JobSpec,
+    VerifierStats,
+};
+use pathinv_ir::{parse_program, Program};
+use pathinv_report::{round3, TaskReport, SCHEMA_VERSION};
+use pathinv_smt::{enforce_deadline, DeadlineGuard};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one `serve` run (defaults match the CLI flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on; `None` serves stdin/stdout.
+    pub socket: Option<PathBuf>,
+    /// Verdict-cache journal path; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected with
+    /// `status: "overloaded"`.
+    pub queue_capacity: usize,
+    /// Deadline applied to jobs that do not carry their own `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// How long a shutdown drain waits for in-flight jobs before cancelling
+    /// them.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            socket: None,
+            cache_path: None,
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout_ms: None,
+            drain_grace_ms: 5_000,
+        }
+    }
+}
+
+/// SIGTERM latch: the handler only stores a flag (async-signal-safe); the
+/// accept/input loops poll it.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler (via the libc already linked into every
+/// Rust binary on this platform; no crate dependency).
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM_NUM: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NUM, on_sigterm as *const () as usize);
+    }
+}
+
+/// A sink result lines are written to: connections share one writer between
+/// the reader thread (immediate responses) and the workers (job results).
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Writes one response line; errors (client hung up) are reported to stderr
+/// and otherwise ignored — a dead client must not kill the daemon.
+fn write_line(out: &SharedWriter, value: &Json) {
+    let mut w = out.lock().expect("writer lock poisoned");
+    if let Err(e) = writeln!(w, "{}", value.compact()).and_then(|()| w.flush()) {
+        eprintln!("serve: dropping response for a disconnected client: {e}");
+    }
+}
+
+/// One admitted job waiting for (or holding) a worker.
+struct Job {
+    /// Echoed request id (any JSON value; `Null` when absent).
+    id: Json,
+    /// Report name for the task record.
+    name: String,
+    program: Program,
+    engine: EngineSpec,
+    /// The deadline this job was admitted under, for the detail message.
+    timeout_ms: Option<u64>,
+    /// Cache key (computed at admission, where the program is in hand).
+    fingerprint: String,
+    /// Admission sequence number; identifies the job in the active set.
+    seq: u64,
+    token: CancellationToken,
+    /// Watchdog registration; held so the deadline spans queue wait plus
+    /// execution, and dropped (deregistered) when the job completes.
+    guard: Option<DeadlineGuard>,
+    out: SharedWriter,
+}
+
+/// Shared daemon state.
+struct Service {
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    capacity: usize,
+    /// Set once: admission stops, workers exit when the queue is empty.
+    shutdown: AtomicBool,
+    cache: Mutex<VerdictCache>,
+    /// Jobs currently executing (admission seq → token), so a drain can
+    /// cancel stragglers.
+    active: Mutex<Vec<(u64, CancellationToken)>>,
+    workers: usize,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    seq: AtomicU64,
+}
+
+/// Whether the connection should keep reading after a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep serving this connection.
+    Continue,
+    /// A shutdown was requested on this connection.
+    Shutdown,
+}
+
+/// A running service: shared state plus the worker pool.  `run_serve` wraps
+/// it in the socket/stdin front ends; unit and integration tests drive it
+/// directly.
+pub struct ServiceHandle {
+    service: Arc<Service>,
+    /// Behind a mutex so [`ServiceHandle::drain`] can take them through a
+    /// shared reference (connection threads hold `Arc<ServiceHandle>`).
+    worker_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    default_timeout_ms: Option<u64>,
+    drain_grace: Duration,
+}
+
+impl ServiceHandle {
+    /// Opens the cache and starts the worker pool.
+    pub fn start(config: &ServeConfig) -> ServiceHandle {
+        let cache = match &config.cache_path {
+            Some(path) => VerdictCache::open(path),
+            None => VerdictCache::in_memory(),
+        };
+        for warning in &cache.warnings {
+            eprintln!("serve: {warning}");
+        }
+        let service = Arc::new(Service {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(cache),
+            active: Mutex::new(Vec::new()),
+            workers: config.workers.max(1),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        });
+        let worker_threads = (0..service.workers)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("pathinv-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&service))
+                    .expect("spawning a service worker")
+            })
+            .collect();
+        ServiceHandle {
+            service,
+            worker_threads: Mutex::new(worker_threads),
+            default_timeout_ms: config.default_timeout_ms,
+            drain_grace: Duration::from_millis(config.drain_grace_ms),
+        }
+    }
+
+    /// Handles one protocol line, writing any immediate response to `out`
+    /// (job results arrive later from the worker pool).
+    pub fn handle_line(&self, line: &str, out: &SharedWriter) -> Flow {
+        let line = line.trim();
+        if line.is_empty() {
+            return Flow::Continue;
+        }
+        let request = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                write_line(out, &error_response(&Json::Null, &format!("malformed line: {e}")));
+                return Flow::Continue;
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        match request.get("op").and_then(Json::as_str) {
+            Some("ping") => {
+                write_line(
+                    out,
+                    &Json::object(vec![("id", id), ("status", Json::Str("pong".to_string()))]),
+                );
+                Flow::Continue
+            }
+            Some("stats") => {
+                write_line(out, &self.stats_response(&id));
+                Flow::Continue
+            }
+            Some("shutdown") => Flow::Shutdown,
+            Some("verify") => {
+                self.submit(&request, id, out);
+                Flow::Continue
+            }
+            Some(op) => {
+                write_line(out, &error_response(&id, &format!("unknown op `{op}`")));
+                Flow::Continue
+            }
+            None => {
+                write_line(out, &error_response(&id, "missing `op` field"));
+                Flow::Continue
+            }
+        }
+    }
+
+    /// Admits (or rejects) one verify request.
+    fn submit(&self, request: &Json, id: Json, out: &SharedWriter) {
+        let service = &self.service;
+        if service.shutdown.load(Ordering::SeqCst) {
+            write_line(out, &status_response(&id, "shutting-down"));
+            return;
+        }
+        let (name, program, engine, timeout_ms) =
+            match parse_verify_request(request, self.default_timeout_ms) {
+                Ok(parts) => parts,
+                Err(msg) => {
+                    write_line(out, &error_response(&id, &msg));
+                    return;
+                }
+            };
+        let seq = service.seq.fetch_add(1, Ordering::Relaxed);
+        let name = name.unwrap_or_else(|| format!("job-{seq}"));
+        let fingerprint = job_fingerprint(&program, &engine);
+        // Warm path: a cached deterministic verdict is replayed without
+        // touching the queue, the workers, or any solver.
+        if !engine.is_shim() {
+            let cached = service.cache.lock().expect("cache lock poisoned").lookup(&fingerprint);
+            if let Some(task) = cached {
+                let task = restamp_task(task, &name);
+                write_line(out, &result_response(&id, true, &fingerprint, task));
+                service.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                service.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let token = CancellationToken::new();
+        let guard = timeout_ms.map(|ms| enforce_deadline(&token, Duration::from_millis(ms)));
+        let job = Job {
+            id,
+            name,
+            program,
+            engine,
+            timeout_ms,
+            fingerprint,
+            seq,
+            token,
+            guard,
+            out: Arc::clone(out),
+        };
+        let mut queue = service.queue.lock().expect("job queue poisoned");
+        if queue.len() >= service.capacity {
+            drop(queue);
+            write_line(&job.out, &status_response(&job.id, "overloaded"));
+            return;
+        }
+        queue.push_back(job);
+        drop(queue);
+        service.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        service.queue_cv.notify_one();
+    }
+
+    fn stats_response(&self, id: &Json) -> Json {
+        let service = &self.service;
+        let queue_depth = service.queue.lock().expect("job queue poisoned").len();
+        let active = service.active.lock().expect("active set poisoned").len();
+        let cache = service.cache.lock().expect("cache lock poisoned");
+        Json::object(vec![
+            ("id", id.clone()),
+            ("status", Json::Str("stats".to_string())),
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("workers", Json::Int(service.workers as i64)),
+            ("queue_depth", Json::Int(queue_depth as i64)),
+            ("active", Json::Int(active as i64)),
+            ("cache_size", Json::Int(cache.len() as i64)),
+            ("cache_hits", Json::Int(cache.hits as i64)),
+            ("cache_misses", Json::Int(cache.misses as i64)),
+            ("jobs_submitted", Json::Int(service.jobs_submitted.load(Ordering::Relaxed) as i64)),
+            ("jobs_completed", Json::Int(service.jobs_completed.load(Ordering::Relaxed) as i64)),
+        ])
+    }
+
+    /// Jobs completed so far (for the shutdown acknowledgement).
+    pub fn jobs_completed(&self) -> u64 {
+        self.service.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Drains the service: stops admission, reports still-queued jobs as
+    /// `cancelled`, waits up to the grace period for in-flight jobs, cancels
+    /// the stragglers, joins the workers, and flushes the cache journal.
+    /// Returns the total number of jobs completed.  Idempotent: a second
+    /// call finds no queue, no active jobs, and no workers left to join.
+    pub fn drain(&self) -> u64 {
+        let service = &self.service;
+        service.shutdown.store(true, Ordering::SeqCst);
+        service.queue_cv.notify_all();
+        // Queued-but-not-started jobs are cancelled, not silently dropped:
+        // every admitted job gets exactly one result line.
+        let queued: Vec<Job> = {
+            let mut queue = service.queue.lock().expect("job queue poisoned");
+            queue.drain(..).collect()
+        };
+        for job in queued {
+            job.token.cancel();
+            let outcome = cancelled_outcome("cancelled by shutdown");
+            let task = TaskReport::from_outcome(job.name.clone(), &job.engine, &outcome).to_json();
+            write_line(&job.out, &result_response(&job.id, false, &job.fingerprint, task));
+            service.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        }
+        // Give in-flight jobs the grace period, then cancel them too; the
+        // workers report each with an honest `cancelled` line.
+        let deadline = Instant::now() + self.drain_grace;
+        while Instant::now() < deadline {
+            if service.active.lock().expect("active set poisoned").is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for (_, token) in service.active.lock().expect("active set poisoned").iter() {
+            token.cancel();
+        }
+        let workers = std::mem::take(&mut *self.worker_threads.lock().expect("workers poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+        service.cache.lock().expect("cache lock poisoned").sync();
+        service.jobs_completed.load(Ordering::Relaxed)
+    }
+}
+
+/// The worker body: pop a job, run it fault-isolated, report one line,
+/// memoize deterministic verdicts.
+fn worker_loop(service: &Service) {
+    loop {
+        let job = {
+            let mut queue = service.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if service.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = service
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("job queue poisoned")
+                    .0;
+            }
+        };
+        let Some(job) = job else { return };
+        service.active.lock().expect("active set poisoned").push((job.seq, job.token.clone()));
+        // The deadline guard was registered at admission and travels with
+        // the job, so run_job gets a spec without its own timeout.
+        let mut outcome = run_job(&JobSpec::new(job.engine.clone()), &job.program, &job.token);
+        if job.guard.as_ref().is_some_and(|g| g.expired()) {
+            outcome.deadline_expired = true;
+            if outcome.verdict == "cancelled" {
+                outcome.detail =
+                    format!("deadline of {} ms exceeded", job.timeout_ms.unwrap_or_default());
+            }
+        } else if outcome.verdict == "cancelled" {
+            outcome.detail = "cancelled by shutdown".to_string();
+        }
+        drop(job.guard);
+        let task = TaskReport::from_outcome(job.name.clone(), &job.engine, &outcome).to_json();
+        if outcome.is_cacheable() && !job.engine.is_shim() {
+            service
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(&job.fingerprint, task.clone());
+        }
+        write_line(&job.out, &result_response(&job.id, false, &job.fingerprint, task));
+        service.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        service.active.lock().expect("active set poisoned").retain(|(seq, _)| *seq != job.seq);
+    }
+}
+
+/// A synthetic `cancelled` outcome for jobs that never reached a worker.
+fn cancelled_outcome(detail: &str) -> JobOutcome {
+    JobOutcome {
+        verdict: "cancelled".to_string(),
+        detail: detail.to_string(),
+        refinements: 0,
+        predicates: 0,
+        art_nodes: 0,
+        certificate: None,
+        stats: VerifierStats::default(),
+        deadline_expired: false,
+        wall_ms: 0.0,
+    }
+}
+
+/// Parses the verify-specific fields of a request.
+#[allow(clippy::type_complexity)]
+fn parse_verify_request(
+    request: &Json,
+    default_timeout_ms: Option<u64>,
+) -> Result<(Option<String>, Program, EngineSpec, Option<u64>), String> {
+    let source = request
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or("missing `program` field (the program source text)")?;
+    let program = parse_program(source).map_err(|e| format!("program parse error: {e}"))?;
+    let engine_name = request.get("engine").and_then(Json::as_str).unwrap_or("cegar");
+    let refiner = request.get("refiner").and_then(Json::as_str);
+    let engine = engine_spec_named(engine_name, refiner)?;
+    let timeout_ms = match request.get("timeout_ms") {
+        Some(Json::Int(ms)) if *ms > 0 => Some(*ms as u64),
+        Some(Json::Int(_)) => return Err("`timeout_ms` must be positive".to_string()),
+        Some(_) => return Err("`timeout_ms` must be an integer".to_string()),
+        None => default_timeout_ms,
+    };
+    let name = request.get("name").and_then(Json::as_str).map(str::to_string);
+    Ok((name, program, engine, timeout_ms))
+}
+
+/// Resolves the protocol's engine/refiner naming to an [`EngineSpec`] with
+/// default configurations (the same ones batch mode runs).
+pub fn engine_spec_named(engine: &str, refiner: Option<&str>) -> Result<EngineSpec, String> {
+    match (engine, refiner) {
+        ("cegar", None | Some("path-invariants")) => {
+            Ok(EngineSpec::Cegar(CegarConfig::path_invariants()))
+        }
+        ("cegar", Some("path-predicates")) => {
+            Ok(EngineSpec::Cegar(CegarConfig::path_predicates(crate::DEFAULT_BASELINE_REFINEMENTS)))
+        }
+        ("cegar", Some(other)) => Err(format!("unknown refiner `{other}`")),
+        ("bmc", _) => Ok(EngineSpec::Bmc(Default::default())),
+        ("pdr", _) => Ok(EngineSpec::Pdr(Default::default())),
+        ("panic-shim", _) => Ok(EngineSpec::PanicShim),
+        ("spin-shim", _) => Ok(EngineSpec::SpinShim),
+        (other, _) => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+fn error_response(id: &Json, message: &str) -> Json {
+    Json::object(vec![
+        ("id", id.clone()),
+        ("status", Json::Str("error".to_string())),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+fn status_response(id: &Json, status: &str) -> Json {
+    Json::object(vec![("id", id.clone()), ("status", Json::Str(status.to_string()))])
+}
+
+fn result_response(id: &Json, cached: bool, fingerprint: &str, task: Json) -> Json {
+    Json::object(vec![
+        ("id", id.clone()),
+        ("status", Json::Str("done".to_string())),
+        ("cached", Json::Bool(cached)),
+        ("fingerprint", Json::Str(fingerprint.to_string())),
+        ("schema_version", Json::Int(SCHEMA_VERSION)),
+        ("task", task),
+    ])
+}
+
+/// Re-stamps a cached task record for replay: the submission's program name
+/// (the cache key deliberately ignores names) and a zero wall-clock (the
+/// replay did no engine work; the original run's time would be a lie).
+fn restamp_task(task: Json, name: &str) -> Json {
+    match task {
+        Json::Object(pairs) => Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k.as_str() {
+                    "program" => (k, Json::Str(name.to_string())),
+                    "wall_ms" => (k, Json::Float(round3(0.0))),
+                    _ => (k, v),
+                })
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Runs the daemon per `config`; returns the process exit code.
+///
+/// # Errors
+///
+/// Only setup failures (socket bind) error out; per-job and per-connection
+/// failures are absorbed by design.
+pub fn run_serve(config: &ServeConfig) -> Result<i32, String> {
+    install_sigterm_handler();
+    let handle = ServiceHandle::start(config);
+    match &config.socket {
+        Some(path) => serve_socket(config, path.clone(), handle),
+        None => Ok(serve_stdin(handle)),
+    }
+}
+
+/// Socket front end: nonblocking accept loop polling the shutdown latches,
+/// one reader thread per connection.
+fn serve_socket(config: &ServeConfig, path: PathBuf, handle: ServiceHandle) -> Result<i32, String> {
+    // A stale socket file from a crashed daemon would fail the bind.
+    if path.exists() {
+        std::fs::remove_file(&path)
+            .map_err(|e| format!("cannot remove stale socket {}: {e}", path.display()))?;
+    }
+    let listener = UnixListener::bind(&path)
+        .map_err(|e| format!("cannot bind socket {}: {e}", path.display()))?;
+    listener.set_nonblocking(true).map_err(|e| format!("cannot set nonblocking: {e}"))?;
+    eprintln!(
+        "serve: listening on {} (workers={}, queue={}, cache={})",
+        path.display(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_path.as_ref().map_or("memory".to_string(), |p| p.display().to_string()),
+    );
+    // `handle_line` returns Shutdown on the reader thread; this latch (plus
+    // the writer to acknowledge on) carries it back to the accept loop.
+    let shutdown_requested: Arc<Mutex<Option<SharedWriter>>> = Arc::new(Mutex::new(None));
+    let handle = Arc::new(handle);
+    loop {
+        if SIGTERM.load(Ordering::SeqCst) {
+            eprintln!("serve: SIGTERM, draining");
+            break;
+        }
+        if shutdown_requested.lock().expect("latch poisoned").is_some() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let handle = Arc::clone(&handle);
+                let latch = Arc::clone(&shutdown_requested);
+                std::thread::spawn(move || handle_connection(&handle, stream, &latch));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                eprintln!("serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    let ack = shutdown_requested.lock().expect("latch poisoned").take();
+    drop(listener);
+    std::fs::remove_file(&path).ok();
+    let completed = handle.drain();
+    if let Some(ack) = ack {
+        write_line(
+            &ack,
+            &Json::object(vec![
+                ("status", Json::Str("shutdown".to_string())),
+                ("jobs_completed", Json::Int(completed as i64)),
+            ]),
+        );
+    }
+    eprintln!("serve: drained, {completed} job(s) completed");
+    Ok(0)
+}
+
+/// One connection: read lines, dispatch, until EOF or shutdown.
+fn handle_connection(
+    handle: &Arc<ServiceHandle>,
+    stream: UnixStream,
+    shutdown_latch: &Arc<Mutex<Option<SharedWriter>>>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let out: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if handle.handle_line(&line, &out) == Flow::Shutdown {
+            *shutdown_latch.lock().expect("latch poisoned") = Some(Arc::clone(&out));
+            break;
+        }
+    }
+}
+
+/// Stdin front end: a reader thread feeds lines over a channel so the main
+/// loop can keep polling the SIGTERM latch (glibc restarts the blocking
+/// read, so the flag alone would never be observed mid-read).
+fn serve_stdin(handle: ServiceHandle) -> i32 {
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    let mut acked = false;
+    loop {
+        if SIGTERM.load(Ordering::SeqCst) {
+            eprintln!("serve: SIGTERM, draining");
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(line) => {
+                if handle.handle_line(&line, &out) == Flow::Shutdown {
+                    acked = true;
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break, // EOF drains
+        }
+    }
+    let completed = handle.drain();
+    if acked {
+        write_line(
+            &out,
+            &Json::object(vec![
+                ("status", Json::Str("shutdown".to_string())),
+                ("jobs_completed", Json::Int(completed as i64)),
+            ]),
+        );
+    }
+    eprintln!("serve: drained, {completed} job(s) completed");
+    0
+}
+
+/// In-process warm-vs-cold daemon benchmark over the source corpus, used
+/// by `--bless` to stamp the `serve` section of the bench point.
+///
+/// Two passes run against the same persistent journal.  The cold pass
+/// verifies every corpus program into an empty cache and is then drained
+/// (journal synced, workers joined).  A second service recovers the
+/// journal from disk — the same path a restarted daemon takes — so the
+/// warm pass measures submissions answered from the recovered cache.
+/// Verdict and certificate-digest parity between the passes is recorded in
+/// [`crate::trajectory::ServeBench::parity_failures`].
+pub fn bench_serve(workers: usize) -> crate::trajectory::ServeBench {
+    struct VecWriter(Arc<Mutex<Vec<u8>>>);
+    impl Write for VecWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("bench buffer poisoned").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let corpus = crate::corpus_sources();
+    let cache_path =
+        std::env::temp_dir().join(format!("pathinv-bench-serve-{}.journal", std::process::id()));
+    std::fs::remove_file(&cache_path).ok();
+    let config = ServeConfig {
+        socket: None,
+        cache_path: Some(cache_path.clone()),
+        workers,
+        queue_capacity: corpus.len().max(16),
+        default_timeout_ms: None,
+        drain_grace_ms: 120_000,
+    };
+
+    // One pass: start a service over the journal, submit the whole corpus,
+    // wait for every response, drain.  Returns (wall_ms, hits, rows) with
+    // rows = (program, verdict, cert_digest) sorted by program.
+    let pass = |label: &str| -> (f64, u64, Vec<(String, String, String)>) {
+        let handle = ServiceHandle::start(&config);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(VecWriter(Arc::clone(&buf)))));
+        let start = Instant::now();
+        for (i, (name, src)) in corpus.iter().enumerate() {
+            let line = Json::object(vec![
+                ("op", Json::Str("verify".to_string())),
+                ("id", Json::Int(i as i64 + 1)),
+                ("name", Json::Str(name.clone())),
+                ("program", Json::Str(src.clone())),
+            ])
+            .compact();
+            handle.handle_line(&line, &out);
+        }
+        let responses = loop {
+            let text = String::from_utf8(buf.lock().expect("bench buffer poisoned").clone())
+                .expect("responses are UTF-8");
+            let got: Vec<Json> =
+                text.lines().map(|l| json::parse(l).expect("response parses")).collect();
+            if got.len() >= corpus.len() {
+                break got;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(600),
+                "bench serve {label} pass timed out with {} of {} responses",
+                got.len(),
+                corpus.len()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        handle.drain();
+        let mut hits = 0u64;
+        let mut rows = Vec::new();
+        for r in &responses {
+            assert_eq!(r.get("status").and_then(Json::as_str), Some("done"), "{label}: {r:?}");
+            if r.get("cached") == Some(&Json::Bool(true)) {
+                hits += 1;
+            }
+            let task = r.get("task").expect("done response carries a task");
+            let field =
+                |k: &str| task.get(k).and_then(Json::as_str).unwrap_or_default().to_string();
+            rows.push((field("program"), field("verdict"), field("cert_digest")));
+        }
+        rows.sort();
+        (wall_ms, hits, rows)
+    };
+
+    let (cold_ms, cold_hits, cold_rows) = pass("cold");
+    assert_eq!(cold_hits, 0, "cold pass ran against a non-empty cache");
+    let (warm_ms, warm_hits, warm_rows) = pass("warm");
+    std::fs::remove_file(&cache_path).ok();
+
+    let mut parity_failures = Vec::new();
+    for (c, w) in cold_rows.iter().zip(warm_rows.iter()) {
+        if c != w {
+            parity_failures.push(format!("cold {c:?} vs warm {w:?}"));
+        }
+    }
+    crate::trajectory::ServeBench {
+        programs: corpus.len(),
+        cold_ms,
+        warm_ms,
+        warm_hits,
+        parity_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer unit tests can inspect: every response line lands in the
+    /// shared buffer.
+    #[derive(Clone)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sink() -> (SharedWriter, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(Sink(Arc::clone(&buf)))));
+        (writer, buf)
+    }
+
+    fn lines(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<Json> {
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        text.lines().map(|l| json::parse(l).expect(l)).collect()
+    }
+
+    /// Polls until `buf` holds `n` lines (workers respond asynchronously).
+    fn wait_for_lines(buf: &Arc<Mutex<Vec<u8>>>, n: usize) -> Vec<Json> {
+        let start = Instant::now();
+        loop {
+            let got = lines(buf);
+            if got.len() >= n {
+                return got;
+            }
+            assert!(start.elapsed() < Duration::from_secs(60), "only {} lines", got.len());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn verify_line(id: i64, program: &str, extra: &str) -> String {
+        format!(
+            "{{\"op\":\"verify\",\"id\":{id},\"program\":{},{extra}\"name\":\"t{id}\"}}",
+            Json::Str(program.to_string()).compact()
+        )
+    }
+
+    const BUG: &str = "proc bug(x: int) { x = 1; assert(x == 2); }";
+
+    #[test]
+    fn malformed_lines_error_and_the_stream_continues() {
+        let handle = ServiceHandle::start(&ServeConfig::default());
+        let (out, buf) = sink();
+        assert_eq!(handle.handle_line("{not json", &out), Flow::Continue);
+        assert_eq!(handle.handle_line("{\"op\":\"frobnicate\"}", &out), Flow::Continue);
+        assert_eq!(handle.handle_line("{\"id\":7}", &out), Flow::Continue);
+        assert_eq!(handle.handle_line("{\"op\":\"verify\",\"id\":8}", &out), Flow::Continue);
+        assert_eq!(
+            handle.handle_line("{\"op\":\"verify\",\"id\":9,\"program\":\"proc x| {\"}", &out),
+            Flow::Continue
+        );
+        assert_eq!(handle.handle_line("{\"op\":\"ping\",\"id\":10}", &out), Flow::Continue);
+        let got = wait_for_lines(&buf, 6);
+        for response in &got[..5] {
+            assert_eq!(response.get("status").and_then(Json::as_str), Some("error"));
+        }
+        assert_eq!(got[5].get("status").and_then(Json::as_str), Some("pong"));
+        assert_eq!(got[5].get("id").and_then(Json::as_int), Some(10));
+        handle.drain();
+    }
+
+    #[test]
+    fn verify_runs_and_caches_deterministic_verdicts() {
+        let handle = ServiceHandle::start(&ServeConfig::default());
+        let (out, buf) = sink();
+        handle.handle_line(&verify_line(1, BUG, ""), &out);
+        let first = &wait_for_lines(&buf, 1)[0];
+        assert_eq!(first.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let task = first.get("task").unwrap();
+        assert_eq!(task.get("verdict").and_then(Json::as_str), Some("unsafe"));
+        assert_eq!(task.get("program").and_then(Json::as_str), Some("t1"));
+        // Resubmission under a *different name* replays from the cache.
+        handle.handle_line(&verify_line(2, BUG, ""), &out);
+        let second = &wait_for_lines(&buf, 2)[1];
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        let replay = second.get("task").unwrap();
+        assert_eq!(replay.get("verdict").and_then(Json::as_str), Some("unsafe"));
+        assert_eq!(replay.get("program").and_then(Json::as_str), Some("t2"));
+        assert_eq!(
+            replay.get("cert_digest"),
+            task.get("cert_digest"),
+            "replayed verdicts must be byte-identical up to the re-stamped name"
+        );
+        assert_eq!(first.get("fingerprint"), second.get("fingerprint"));
+        handle.drain();
+    }
+
+    #[test]
+    fn panic_shim_errors_and_the_daemon_keeps_serving() {
+        let handle = ServiceHandle::start(&ServeConfig::default());
+        let (out, buf) = sink();
+        handle.handle_line(&verify_line(1, BUG, "\"engine\":\"panic-shim\","), &out);
+        handle.handle_line(&verify_line(2, BUG, "\"engine\":\"bmc\","), &out);
+        let got = wait_for_lines(&buf, 2);
+        let by_id =
+            |id: i64| got.iter().find(|r| r.get("id").and_then(Json::as_int) == Some(id)).unwrap();
+        let panicked = by_id(1).get("task").unwrap();
+        assert_eq!(panicked.get("verdict").and_then(Json::as_str), Some("error"));
+        assert!(panicked.get("detail").and_then(Json::as_str).unwrap().contains("panicked"));
+        let next = by_id(2).get("task").unwrap();
+        assert_eq!(next.get("verdict").and_then(Json::as_str), Some("unsafe"));
+        handle.drain();
+    }
+
+    #[test]
+    fn spin_shim_deadline_cancels_within_twice_the_deadline() {
+        let handle = ServiceHandle::start(&ServeConfig::default());
+        let (out, buf) = sink();
+        let start = Instant::now();
+        handle.handle_line(
+            &verify_line(1, BUG, "\"engine\":\"spin-shim\",\"timeout_ms\":200,"),
+            &out,
+        );
+        let got = wait_for_lines(&buf, 1);
+        // Cooperative cancellation latency: watchdog wakeup + one poll; the
+        // acceptance envelope is 2× the deadline.
+        assert!(start.elapsed() < Duration::from_millis(400), "{:?}", start.elapsed());
+        let task = got[0].get("task").unwrap();
+        assert_eq!(task.get("verdict").and_then(Json::as_str), Some("cancelled"));
+        assert!(task.get("detail").and_then(Json::as_str).unwrap().contains("deadline of 200 ms"));
+        handle.drain();
+    }
+
+    #[test]
+    fn overload_rejects_beyond_queue_capacity() {
+        let config = ServeConfig { workers: 1, queue_capacity: 1, ..ServeConfig::default() };
+        let handle = ServiceHandle::start(&config);
+        let (out, buf) = sink();
+        // One spinning job occupies the worker; the next fills the queue;
+        // the third must be rejected, not buffered.
+        handle.handle_line(
+            &verify_line(1, BUG, "\"engine\":\"spin-shim\",\"timeout_ms\":2000,"),
+            &out,
+        );
+        // Wait until the spin job is actually *active* so the queue is free.
+        let start = Instant::now();
+        while handle.service.active.lock().unwrap().is_empty() {
+            assert!(start.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        handle.handle_line(
+            &verify_line(2, BUG, "\"engine\":\"spin-shim\",\"timeout_ms\":2000,"),
+            &out,
+        );
+        handle.handle_line(&verify_line(3, BUG, ""), &out);
+        let got = wait_for_lines(&buf, 1);
+        let overloaded = got
+            .iter()
+            .find(|r| r.get("status").and_then(Json::as_str) == Some("overloaded"))
+            .expect("the third submission is rejected immediately");
+        assert_eq!(overloaded.get("id").and_then(Json::as_int), Some(3));
+        handle.drain();
+    }
+
+    #[test]
+    fn drain_reports_queued_jobs_cancelled_and_joins_workers() {
+        let config = ServeConfig { workers: 1, queue_capacity: 8, ..ServeConfig::default() };
+        let mut config = config;
+        config.drain_grace_ms = 100;
+        let handle = ServiceHandle::start(&config);
+        let (out, buf) = sink();
+        // An in-flight divergent job plus two queued ones.
+        for id in 1..=3 {
+            handle.handle_line(&verify_line(id, BUG, "\"engine\":\"spin-shim\","), &out);
+        }
+        let start = Instant::now();
+        while handle.service.active.lock().unwrap().is_empty() {
+            assert!(start.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let completed = handle.drain();
+        assert_eq!(completed, 3, "every admitted job gets exactly one result line");
+        let got = wait_for_lines(&buf, 3);
+        for response in &got {
+            let task = response.get("task").unwrap();
+            assert_eq!(task.get("verdict").and_then(Json::as_str), Some("cancelled"));
+        }
+    }
+
+    #[test]
+    fn cache_persists_across_service_restarts() {
+        let path = std::env::temp_dir()
+            .join(format!("pathinv-serve-test-{}-restart.journal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let config = ServeConfig { cache_path: Some(path.clone()), ..ServeConfig::default() };
+        let handle = ServiceHandle::start(&config);
+        let (out, buf) = sink();
+        handle.handle_line(&verify_line(1, BUG, ""), &out);
+        wait_for_lines(&buf, 1);
+        handle.drain();
+        // A fresh service over the same journal serves the verdict warm.
+        let handle = ServiceHandle::start(&config);
+        let (out, buf) = sink();
+        handle.handle_line(&verify_line(2, BUG, ""), &out);
+        let got = wait_for_lines(&buf, 1);
+        assert_eq!(got[0].get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            got[0].get("task").unwrap().get("verdict").and_then(Json::as_str),
+            Some("unsafe")
+        );
+        handle.drain();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_spec_named_covers_the_protocol_vocabulary() {
+        assert!(engine_spec_named("cegar", None).is_ok());
+        assert!(engine_spec_named("cegar", Some("path-predicates")).is_ok());
+        assert!(engine_spec_named("cegar", Some("mystery")).is_err());
+        assert!(engine_spec_named("bmc", None).is_ok());
+        assert!(engine_spec_named("pdr", None).is_ok());
+        assert!(engine_spec_named("panic-shim", None).is_ok());
+        assert!(engine_spec_named("spin-shim", None).is_ok());
+        assert!(engine_spec_named("z3", None).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! `pathinv-cli serve-smoke` — the end-to-end service smoke harness.
+//!
+//! Spawns the *real* `pathinv-cli serve` binary on a Unix socket and drives
+//! the whole robustness story from the outside, exactly as the `serve-smoke`
+//! CI job does:
+//!
+//! 1. **Cold pass** — submits the 16-program source corpus
+//!    ([`crate::corpus_sources`]) and requires every response uncached, with
+//!    a malformed protocol line and a panicking (`panic-shim`) job injected
+//!    mid-stream to prove one hostile client request cannot derail the rest.
+//! 2. **Warm pass** — resubmits the corpus on a new connection and requires
+//!    every verdict served from the persistent cache (`cached: true`) with
+//!    byte-identical verdict and certificate digest.
+//! 3. **SIGTERM drain** — terminates the daemon and requires a clean exit 0.
+//! 4. **Warm restart** — starts a *fresh* daemon over the same journal and
+//!    requires the cache to have survived the restart, then shuts it down
+//!    over the protocol and checks the drain acknowledgement.
+//!
+//! Any deviation is a hard error (exit 1).  With `--json`, a small benchmark
+//! artifact records the warm-vs-cold throughput for the trajectory record.
+
+use crate::json::{self, Json};
+use crate::SCHEMA_VERSION;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Options for one smoke run.
+#[derive(Clone, Debug)]
+pub struct SmokeOptions {
+    /// Where to write the benchmark artifact (`-` = stdout).
+    pub json_path: Option<String>,
+    /// Worker threads for the spawned daemon.
+    pub workers: usize,
+    /// Print per-phase progress.
+    pub verbose: bool,
+}
+
+impl Default for SmokeOptions {
+    fn default() -> SmokeOptions {
+        SmokeOptions { json_path: None, workers: 4, verbose: true }
+    }
+}
+
+/// A spawned daemon plus the temp paths it owns; the `Drop` impl kills the
+/// process so a failing smoke run never leaks daemons.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pathinv-smoke-{}-{n}-{tag}", std::process::id()))
+}
+
+/// Spawns `pathinv-cli serve` (this same binary) and waits for the socket.
+fn spawn_daemon(socket: &Path, cache: &Path, workers: usize) -> Result<Daemon, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let child = Command::new(exe)
+        .args([
+            "serve",
+            "--socket",
+            &socket.display().to_string(),
+            "--cache",
+            &cache.display().to_string(),
+            "--workers",
+            &workers.to_string(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn daemon: {e}"))?;
+    let daemon = Daemon { child, socket: socket.to_path_buf() };
+    let start = Instant::now();
+    while !daemon.socket.exists() {
+        if start.elapsed() > Duration::from_secs(30) {
+            return Err("daemon did not create its socket within 30 s".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(daemon)
+}
+
+/// One protocol connection with line-based request/response plumbing.
+struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?);
+        Ok(Client { writer: stream, reader })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Json, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".to_string()),
+            Ok(_) => json::parse(line.trim()).map_err(|e| format!("bad response `{line}`: {e}")),
+            Err(e) => Err(format!("recv failed: {e}")),
+        }
+    }
+
+    /// Receives until `count` responses with `status: "done"` arrived
+    /// (results complete in worker order, not submission order); returns
+    /// them and any non-done responses seen along the way.
+    fn recv_done(&mut self, count: usize) -> Result<(Vec<Json>, Vec<Json>), String> {
+        let mut done = Vec::with_capacity(count);
+        let mut other = Vec::new();
+        while done.len() < count {
+            let response = self.recv()?;
+            if response.get("status").and_then(Json::as_str) == Some("done") {
+                done.push(response);
+            } else {
+                other.push(response);
+            }
+        }
+        Ok((done, other))
+    }
+}
+
+fn verify_request(id: usize, name: &str, source: &str) -> String {
+    Json::object(vec![
+        ("op", Json::Str("verify".to_string())),
+        ("id", Json::Int(id as i64)),
+        ("name", Json::Str(name.to_string())),
+        ("program", Json::Str(source.to_string())),
+    ])
+    .compact()
+}
+
+/// One corpus submission pass; returns `(wall_ms, tasks by program name)`.
+fn run_pass(
+    client: &mut Client,
+    corpus: &[(String, String)],
+    expect_cached: bool,
+    label: &str,
+) -> Result<(f64, Vec<(String, Json)>), String> {
+    let start = Instant::now();
+    for (i, (name, source)) in corpus.iter().enumerate() {
+        client.send(&verify_request(i, name, source))?;
+    }
+    let (done, other) = client.recv_done(corpus.len())?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    if !other.is_empty() {
+        return Err(format!("{label}: unexpected non-result responses: {other:?}"));
+    }
+    let mut tasks = Vec::with_capacity(done.len());
+    for response in &done {
+        let cached = response.get("cached") == Some(&Json::Bool(true));
+        let task = response.get("task").ok_or_else(|| format!("{label}: result without task"))?;
+        let name = task
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: task without program name"))?;
+        if cached != expect_cached {
+            return Err(format!(
+                "{label}: {name} came back cached={cached}, expected cached={expect_cached}"
+            ));
+        }
+        tasks.push((name.to_string(), task.clone()));
+    }
+    tasks.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((wall_ms, tasks))
+}
+
+/// Verdict-parity hard check between two passes: verdict and certificate
+/// digest must be byte-identical per program.
+fn check_parity(cold: &[(String, Json)], warm: &[(String, Json)], label: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    for ((name_a, task_a), (name_b, task_b)) in cold.iter().zip(warm) {
+        if name_a != name_b {
+            failures.push(format!("{label}: program sets differ: {name_a} vs {name_b}"));
+            continue;
+        }
+        for field in ["verdict", "cert_digest", "cert_kind"] {
+            let a = task_a.get(field).and_then(Json::as_str).unwrap_or_default();
+            let b = task_b.get(field).and_then(Json::as_str).unwrap_or_default();
+            if a != b {
+                failures.push(format!("{label}: {name_a}.{field}: `{a}` vs `{b}`"));
+            }
+        }
+    }
+    failures
+}
+
+/// Runs the whole smoke scenario.
+///
+/// # Errors
+///
+/// Returns a human-readable message on the first contract violation; the
+/// caller exits 1.
+pub fn run_serve_smoke(opts: &SmokeOptions) -> Result<(), String> {
+    let corpus = crate::corpus_sources();
+    let socket = temp_path("sock");
+    let cache = temp_path("cache.journal");
+    let say = |msg: &str| {
+        if opts.verbose {
+            eprintln!("serve-smoke: {msg}");
+        }
+    };
+
+    say(&format!("spawning daemon ({} workers, cache {})", opts.workers, cache.display()));
+    let mut daemon = spawn_daemon(&socket, &cache, opts.workers)?;
+    let mut client = Client::connect(&socket)?;
+
+    // --- Cold pass, with hostile requests injected mid-stream. -----------
+    say(&format!("cold pass: {} programs", corpus.len()));
+    let (mid, rest) = corpus.split_at(corpus.len() / 2);
+    let cold_start = Instant::now();
+    for (i, (name, source)) in mid.iter().enumerate() {
+        client.send(&verify_request(i, name, source))?;
+    }
+    // A malformed line mid-stream must produce exactly one error response...
+    client.send("this is not json {")?;
+    // ...and a panicking engine job must come back as an errored *task*.
+    client.send(
+        &Json::object(vec![
+            ("op", Json::Str("verify".to_string())),
+            ("id", Json::Str("panic-probe".to_string())),
+            ("name", Json::Str("panic-probe".to_string())),
+            ("program", Json::Str(corpus[0].1.clone())),
+            ("engine", Json::Str("panic-shim".to_string())),
+        ])
+        .compact(),
+    )?;
+    for (i, (name, source)) in rest.iter().enumerate() {
+        client.send(&verify_request(mid.len() + i, name, source))?;
+    }
+    let (done, other) = client.recv_done(corpus.len() + 1)?;
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let malformed_errors =
+        other.iter().filter(|r| r.get("status").and_then(Json::as_str) == Some("error")).count();
+    if malformed_errors != 1 {
+        return Err(format!(
+            "cold pass: expected exactly 1 protocol error for the malformed line, got \
+             {malformed_errors} ({other:?})"
+        ));
+    }
+    let mut cold_tasks = Vec::new();
+    let mut panic_ok = false;
+    for response in &done {
+        let task = response.get("task").ok_or("cold pass: result without task")?;
+        let name = task.get("program").and_then(Json::as_str).unwrap_or_default().to_string();
+        if name == "panic-probe" {
+            let verdict = task.get("verdict").and_then(Json::as_str).unwrap_or_default();
+            let detail = task.get("detail").and_then(Json::as_str).unwrap_or_default();
+            if verdict != "error" || !detail.contains("panicked") {
+                return Err(format!(
+                    "panic-shim job must yield an errored task, got {verdict}: {detail}"
+                ));
+            }
+            panic_ok = true;
+            continue;
+        }
+        if response.get("cached") == Some(&Json::Bool(true)) {
+            return Err(format!("cold pass: {name} unexpectedly served from cache"));
+        }
+        cold_tasks.push((name, task.clone()));
+    }
+    if !panic_ok {
+        return Err("cold pass: the panic-shim probe never came back".to_string());
+    }
+    cold_tasks.sort_by(|a, b| a.0.cmp(&b.0));
+    say(&format!("cold pass done in {cold_ms:.0} ms; panic + malformed probes absorbed"));
+
+    // --- Warm pass on a fresh connection. ---------------------------------
+    let mut client2 = Client::connect(&socket)?;
+    let (warm_ms, warm_tasks) = run_pass(&mut client2, &corpus, true, "warm pass")?;
+    let parity = check_parity(&cold_tasks, &warm_tasks, "warm parity");
+    if !parity.is_empty() {
+        return Err(format!("verdict parity violated:\n  {}", parity.join("\n  ")));
+    }
+    say(&format!("warm pass done in {warm_ms:.0} ms, all {} hits, parity OK", corpus.len()));
+
+    // --- Clean SIGTERM drain. ---------------------------------------------
+    let pid = daemon.child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .map_err(|e| format!("cannot send SIGTERM: {e}"))?;
+    if !status.success() {
+        return Err("kill -TERM failed".to_string());
+    }
+    let exit = daemon.child.wait().map_err(|e| format!("daemon wait failed: {e}"))?;
+    if exit.code() != Some(0) {
+        return Err(format!("SIGTERM drain must exit 0, got {exit:?}"));
+    }
+    say("SIGTERM drain: exit 0");
+
+    // --- Warm restart over the surviving journal. -------------------------
+    let socket2 = temp_path("sock2");
+    let mut daemon2 = spawn_daemon(&socket2, &cache, opts.workers)?;
+    let mut client3 = Client::connect(&socket2)?;
+    let (restart_ms, restart_tasks) = run_pass(&mut client3, &corpus, true, "restart pass")?;
+    let parity = check_parity(&cold_tasks, &restart_tasks, "restart parity");
+    if !parity.is_empty() {
+        return Err(format!("restart parity violated:\n  {}", parity.join("\n  ")));
+    }
+    say(&format!("restart pass done in {restart_ms:.0} ms from the recovered journal"));
+
+    // --- Protocol shutdown with drain acknowledgement. --------------------
+    client3.send("{\"op\":\"shutdown\"}")?;
+    let ack = client3.recv()?;
+    if ack.get("status").and_then(Json::as_str) != Some("shutdown") {
+        return Err(format!("expected a shutdown acknowledgement, got {ack:?}"));
+    }
+    drop(client3);
+    // The Drop impl would kill -9; reap the clean exit explicitly.
+    let start = Instant::now();
+    let exit = loop {
+        if let Some(status) =
+            daemon2.child.try_wait().map_err(|e| format!("daemon wait failed: {e}"))?
+        {
+            break status;
+        }
+        if start.elapsed() > Duration::from_secs(30) {
+            return Err("daemon did not exit after the shutdown op".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    if exit.code() != Some(0) {
+        return Err(format!("protocol shutdown must exit 0, got {exit:?}"));
+    }
+    say("protocol shutdown: acknowledged, exit 0");
+
+    if let Some(path) = &opts.json_path {
+        let report = Json::object(vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("mode", Json::Str("serve-smoke".to_string())),
+            ("programs", Json::Int(corpus.len() as i64)),
+            ("cold_ms", Json::Float(round1(cold_ms))),
+            ("warm_ms", Json::Float(round1(warm_ms))),
+            ("warm_restart_ms", Json::Float(round1(restart_ms))),
+            ("warm_speedup", Json::Float(round1(cold_ms / warm_ms.max(0.001)))),
+            ("parity_ok", Json::Bool(true)),
+        ]);
+        let text = report.pretty();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            say(&format!("benchmark artifact written to {path}"));
+        }
+    }
+
+    std::fs::remove_file(&cache).ok();
+    Ok(())
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}

@@ -1,6 +1,6 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr8.json`
-//! (`BENCH_pr7.json` is the committed previous point the bench-smoke CI job
+//! the corpus-wide solver workload, emitted as `BENCH_pr9.json`
+//! (`BENCH_pr8.json` is the committed previous point the bench-smoke CI job
 //! diffs against for per-task counter regressions), plus the [`render_history`]
 //! aggregation that renders every committed `BENCH_*.json` as one per-PR
 //! table (`pathinv-cli trajectory --history`).
@@ -42,8 +42,11 @@ use crate::{
 /// run audited — the checker verdict and check time) plus the
 /// `certificates` totals section of the emitted point, reporting how many
 /// certificates the independent `pathinv-check` crate validated and how
-/// long the audits took.
-pub const BENCH_SCHEMA_VERSION: i64 = 6;
+/// long the audits took; version 7 added the optional `serve` section
+/// (cold vs warm daemon throughput over the source corpus with the
+/// persistent verdict cache reopened between passes) to the emitted point
+/// — timing data only, absent from the golden projection.
+pub const BENCH_SCHEMA_VERSION: i64 = 7;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -115,6 +118,43 @@ pub struct TrajectoryReport {
     /// the `race` section of the emitted point (never of the golden
     /// projection — race timings are machine-dependent by nature).
     pub race: Option<crate::race::RaceReport>,
+    /// An optional daemon warm-vs-cold benchmark, rendered as the `serve`
+    /// section of the emitted point (never of the golden projection —
+    /// daemon timings are machine-dependent by nature).
+    pub serve: Option<ServeBench>,
+}
+
+/// Cold-vs-warm daemon throughput over the source corpus, measured by
+/// running the in-process service twice against the same persistent
+/// verdict cache — the journal is closed and reopened between passes, so
+/// the warm numbers exercise the crash-safe recovery path, not a live
+/// in-memory map.
+#[derive(Clone, Debug)]
+pub struct ServeBench {
+    /// Programs submitted in each pass.
+    pub programs: usize,
+    /// Wall-clock of the cold pass (empty cache, every job verified).
+    pub cold_ms: f64,
+    /// Wall-clock of the warm pass (reopened cache, every job a hit).
+    pub warm_ms: f64,
+    /// Cache hits observed during the warm pass.
+    pub warm_hits: u64,
+    /// Programs whose warm verdict or certificate digest disagreed with
+    /// the cold pass — must be empty for `--bless` to succeed.
+    pub parity_failures: Vec<String>,
+}
+
+impl ServeBench {
+    /// The `serve` section of the emitted bench point.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("programs", Json::Int(self.programs as i64)),
+            ("cold_ms", Json::Float((self.cold_ms * 10.0).round() / 10.0)),
+            ("warm_ms", Json::Float((self.warm_ms * 10.0).round() / 10.0)),
+            ("warm_hits", Json::Int(self.warm_hits as i64)),
+            ("parity_ok", Json::Bool(self.parity_failures.is_empty())),
+        ])
+    }
 }
 
 /// Runs the full corpus under both refiners, cached and uncached, across
@@ -142,7 +182,7 @@ pub fn trajectory_from_cached(cached: BatchReport, jobs: usize) -> TrajectoryRep
     let uncached = crate::run_batch(baseline_tasks, jobs);
     let totals = TrajectoryTotals::from_batch(&cached);
     let baseline = TrajectoryTotals::from_batch(&uncached);
-    TrajectoryReport { cached, uncached, totals, baseline, race: None }
+    TrajectoryReport { cached, uncached, totals, baseline, race: None, serve: None }
 }
 
 fn round4(x: f64) -> f64 {
@@ -204,7 +244,7 @@ impl TrajectoryReport {
         saved as f64 / self.baseline.solver_calls as f64
     }
 
-    /// The full JSON rendering (the contents of `BENCH_pr7.json`): the
+    /// The full JSON rendering (the contents of `BENCH_pr9.json`): the
     /// deterministic fields plus wall-clock, and — when a racing run was
     /// attached — the `race` section with the per-program winner and every
     /// lane's time-to-first-verdict.
@@ -236,6 +276,9 @@ impl TrajectoryReport {
         ));
         if let Some(race) = &self.race {
             fields.push(("race", race.to_json()));
+        }
+        if let Some(serve) = &self.serve {
+            fields.push(("serve", serve.to_json()));
         }
         Json::object(fields)
     }
@@ -510,7 +553,7 @@ mod tests {
         let uncached = crate::run_batch(tasks, 2);
         let totals = TrajectoryTotals::from_batch(&cached);
         let baseline = TrajectoryTotals::from_batch(&uncached);
-        TrajectoryReport { cached, uncached, totals, baseline, race: None }
+        TrajectoryReport { cached, uncached, totals, baseline, race: None, serve: None }
     }
 
     #[test]
@@ -544,7 +587,7 @@ mod tests {
         assert!(report.to_json().get("race").is_none(), "no race attached, no section");
         let slice: Vec<_> =
             corpus_programs().into_iter().filter(|(name, _)| name == "FIGURE4").collect();
-        report.race = Some(crate::race::run_race(slice, 4, false));
+        report.race = Some(crate::race::run_race(slice, 4, false, None));
         let doc = json::parse(&report.to_json().pretty()).unwrap();
         let race = doc.get("race").expect("attached race must be emitted");
         assert_eq!(race.get("mode").and_then(Json::as_str), Some("race"));

@@ -1,0 +1,371 @@
+//! Fault-injection integration tests for the service daemon, driving the
+//! *real* `pathinv-cli` binary over its Unix socket and stdin front ends:
+//! panicking jobs, overdue jobs, malformed protocol lines, corrupted cache
+//! journals, warm restarts, and mid-job SIGTERM drains.  Each scenario
+//! asserts the robustness contract of DESIGN.md §14 from the outside — the
+//! daemon must never die, never hang, and never serve a wrong verdict.
+
+use pathinv_cli::json::{self, Json};
+use pathinv_cli::{run_batch, BatchTask, TaskEngine};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SAFE_SRC: &str = "proc ok(x: int) { x = 1; assert(x == 1); }";
+const BUG_SRC: &str = "proc bug(x: int) { x = 1; assert(x == 2); }";
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pathinv-serve-cli-{}-{n}-{tag}", std::process::id()))
+}
+
+/// A daemon child whose `Drop` kills the process, so a failing test never
+/// leaks daemons into the test host.
+struct Daemon {
+    child: Child,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `pathinv-cli serve --socket ...` and waits for the socket file.
+fn spawn_daemon(socket: &Path, extra: &[&str]) -> Daemon {
+    let mut args = vec!["serve".to_string(), "--socket".to_string(), socket.display().to_string()];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let child = Command::new(env!("CARGO_BIN_EXE_pathinv-cli"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon must spawn");
+    let start = Instant::now();
+    while !socket.exists() {
+        assert!(start.elapsed() < Duration::from_secs(30), "daemon never created its socket");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Daemon { child }
+}
+
+struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(socket: &Path) -> Client {
+        let stream = UnixStream::connect(socket).expect("client must connect");
+        let reader = BufReader::new(stream.try_clone().expect("stream must clone"));
+        Client { writer: stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send must succeed");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv must succeed");
+        assert!(n > 0, "daemon closed the connection unexpectedly");
+        json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+    }
+
+    /// Reads lines until EOF (used after SIGTERM, when the daemon drains
+    /// and closes the connection).
+    fn recv_until_eof(&mut self) -> Vec<Json> {
+        let mut out = Vec::new();
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => out.push(json::parse(line.trim()).expect("responses parse")),
+            }
+        }
+        out
+    }
+}
+
+fn verify_request(id: i64, name: &str, source: &str, extra: &[(&str, Json)]) -> String {
+    let mut fields = vec![
+        ("op", Json::Str("verify".to_string())),
+        ("id", Json::Int(id)),
+        ("name", Json::Str(name.to_string())),
+        ("program", Json::Str(source.to_string())),
+    ];
+    fields.extend(extra.iter().cloned());
+    Json::object(fields).compact()
+}
+
+fn task_field<'j>(response: &'j Json, key: &str) -> &'j str {
+    response.get("task").and_then(|t| t.get(key)).and_then(Json::as_str).unwrap_or_default()
+}
+
+/// A panicking engine job yields an errored *task* — and the daemon keeps
+/// serving correct verdicts on the same connection afterwards.
+#[test]
+fn panicking_job_is_isolated_and_the_daemon_keeps_serving() {
+    let socket = temp_path("panic.sock");
+    let _daemon = spawn_daemon(&socket, &[]);
+    let mut client = Client::connect(&socket);
+    client.send(&verify_request(
+        1,
+        "boom",
+        SAFE_SRC,
+        &[("engine", Json::Str("panic-shim".to_string()))],
+    ));
+    let r = client.recv();
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("done"), "{r:?}");
+    assert_eq!(task_field(&r, "verdict"), "error", "{r:?}");
+    assert!(task_field(&r, "detail").contains("panicked"), "{r:?}");
+
+    client.send(&verify_request(2, "after", BUG_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(task_field(&r, "verdict"), "unsafe", "daemon must survive the panic: {r:?}");
+}
+
+/// An overdue job (the divergent spin shim under a 300 ms deadline) comes
+/// back `cancelled` well before twice its deadline.
+#[test]
+fn overdue_job_cancels_within_twice_its_deadline() {
+    let socket = temp_path("deadline.sock");
+    let _daemon = spawn_daemon(&socket, &[]);
+    let mut client = Client::connect(&socket);
+    let start = Instant::now();
+    client.send(&verify_request(
+        1,
+        "spin",
+        SAFE_SRC,
+        &[("engine", Json::Str("spin-shim".to_string())), ("timeout_ms", Json::Int(300))],
+    ));
+    let r = client.recv();
+    let elapsed = start.elapsed();
+    assert_eq!(task_field(&r, "verdict"), "cancelled", "{r:?}");
+    assert!(task_field(&r, "detail").contains("deadline of 300 ms"), "{r:?}");
+    assert!(elapsed < Duration::from_millis(2500), "cancel took {elapsed:?}, deadline was 300 ms");
+}
+
+/// Malformed protocol lines produce one `error` response each; the stream —
+/// and the daemon — keep going.
+#[test]
+fn malformed_lines_error_and_the_stream_continues() {
+    let socket = temp_path("malformed.sock");
+    let _daemon = spawn_daemon(&socket, &[]);
+    let mut client = Client::connect(&socket);
+    for hostile in ["not json at all", "{\"op\":\"no-such-op\"}", "{\"op\":\"verify\"}", "[1,2]"] {
+        client.send(hostile);
+        let r = client.recv();
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("error"), "{hostile} -> {r:?}");
+    }
+    client.send("{\"op\":\"ping\"}");
+    assert_eq!(client.recv().get("status").and_then(Json::as_str), Some("pong"));
+}
+
+/// A corrupted journal tail is truncated on recovery: the intact prefix
+/// still serves cache hits, the corrupted-away entries are recomputed, and
+/// every verdict stays correct.  The daemon must not crash, hang, or serve
+/// garbage off a half-written record — the crash-recovery contract.
+#[test]
+fn corrupted_journal_recovers_and_verdicts_stay_correct() {
+    let socket = temp_path("corrupt.sock");
+    let cache = temp_path("corrupt.journal");
+    let cache_arg = cache.display().to_string();
+    {
+        let mut daemon = spawn_daemon(&socket, &["--cache", &cache_arg]);
+        let mut client = Client::connect(&socket);
+        client.send(&verify_request(1, "first", SAFE_SRC, &[]));
+        let r = client.recv();
+        assert_eq!(task_field(&r, "verdict"), "safe", "{r:?}");
+        client.send(&verify_request(2, "second", BUG_SRC, &[]));
+        let r = client.recv();
+        assert_eq!(task_field(&r, "verdict"), "unsafe", "{r:?}");
+        client.send("{\"op\":\"shutdown\"}");
+        let ack = client.recv();
+        assert_eq!(ack.get("status").and_then(Json::as_str), Some("shutdown"), "{ack:?}");
+        assert_eq!(daemon.child.wait().expect("daemon exits").code(), Some(0));
+    }
+
+    // Flip one byte inside the *last* record's checksum, simulating a torn
+    // write; the first record must survive recovery.
+    let mut journal = std::fs::read(&cache).expect("journal exists");
+    let last_line_start =
+        journal[..journal.len() - 1].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    journal[last_line_start] = journal[last_line_start].wrapping_add(1);
+    std::fs::write(&cache, &journal).expect("journal rewritten");
+
+    let socket2 = temp_path("corrupt2.sock");
+    let _daemon = spawn_daemon(&socket2, &["--cache", &cache_arg]);
+    let mut client = Client::connect(&socket2);
+    client.send(&verify_request(3, "first", SAFE_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(task_field(&r, "verdict"), "safe", "{r:?}");
+    assert_eq!(r.get("cached"), Some(&Json::Bool(true)), "intact prefix must hit: {r:?}");
+    client.send(&verify_request(4, "second", BUG_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(task_field(&r, "verdict"), "unsafe", "recomputed verdict must be right: {r:?}");
+    assert_eq!(r.get("cached"), Some(&Json::Bool(false)), "corrupted entry must recompute: {r:?}");
+    std::fs::remove_file(&cache).ok();
+}
+
+/// SIGTERM mid-job: the in-flight divergent job is cancelled with an honest
+/// result line, the connection drains, and the daemon exits 0.
+#[test]
+fn sigterm_mid_job_drains_with_exit_zero() {
+    let socket = temp_path("sigterm.sock");
+    let mut daemon = spawn_daemon(&socket, &[]);
+    let mut client = Client::connect(&socket);
+    client.send(&verify_request(
+        1,
+        "spin-forever",
+        SAFE_SRC,
+        &[("engine", Json::Str("spin-shim".to_string()))],
+    ));
+    // Give the worker a moment to pick the job up, then terminate mid-job.
+    std::thread::sleep(Duration::from_millis(300));
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("kill must run");
+    assert!(status.success());
+    let responses = client.recv_until_eof();
+    let cancelled = responses.iter().any(|r| task_field(r, "verdict") == "cancelled");
+    assert!(cancelled, "the in-flight job must get an honest cancelled line: {responses:?}");
+    let exit = daemon.child.wait().expect("daemon exits");
+    assert_eq!(exit.code(), Some(0), "SIGTERM drain must exit 0, got {exit:?}");
+}
+
+/// The stdin front end round-trips the same protocol and EOF drains: pipe a
+/// ping, a verify, and a shutdown through the binary and check the stream.
+#[test]
+fn stdin_mode_round_trips_and_protocol_shutdown_acks() {
+    let input = format!(
+        "{}\n{}\n{}\n",
+        "{\"op\":\"ping\"}",
+        verify_request(1, "via-stdin", BUG_SRC, &[]),
+        "{\"op\":\"shutdown\"}"
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pathinv-cli"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon must spawn");
+    child.stdin.take().expect("stdin").write_all(input.as_bytes()).expect("write stdin");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert_eq!(out.status.code(), Some(0), "stdin mode must exit 0");
+    let lines: Vec<Json> = String::from_utf8(out.stdout)
+        .expect("stdout is UTF-8")
+        .lines()
+        .map(|l| json::parse(l).expect(l))
+        .collect();
+    let status_of = |i: usize| lines[i].get("status").and_then(Json::as_str).unwrap_or_default();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert_eq!(status_of(0), "pong");
+    assert_eq!(status_of(1), "done");
+    assert_eq!(task_field(&lines[1], "verdict"), "unsafe");
+    assert_eq!(status_of(2), "shutdown");
+}
+
+/// Batch-side panic isolation: a panicking engine task in a batch reports
+/// `error` without taking down the other tasks in the same run.
+#[test]
+fn batch_panicking_task_errors_without_killing_the_batch() {
+    let program = pathinv_ir::parse_program(SAFE_SRC).expect("program parses");
+    let tasks = vec![
+        BatchTask {
+            program_name: "boom".to_string(),
+            engine: TaskEngine::PanicShim,
+            program: program.clone(),
+            certify: false,
+            timeout_ms: None,
+        },
+        BatchTask {
+            program_name: "fine".to_string(),
+            engine: TaskEngine::Cegar(pathinv_core::CegarConfig::path_invariants()),
+            program,
+            certify: false,
+            timeout_ms: None,
+        },
+    ];
+    let report = run_batch(tasks, 2);
+    assert_eq!(report.tasks.len(), 2);
+    let boom = report.tasks.iter().find(|t| t.program_name == "boom").expect("boom task");
+    assert_eq!(boom.verdict, "error", "{}", boom.detail);
+    assert!(boom.detail.contains("panicked"), "{}", boom.detail);
+    let fine = report.tasks.iter().find(|t| t.program_name == "fine").expect("fine task");
+    assert_eq!(fine.verdict, "safe", "{}", fine.detail);
+}
+
+/// Batch-side `--timeout-ms`: an overdue task reports the honest
+/// `cancelled` verdict; a generous deadline changes nothing.
+#[test]
+fn batch_timeout_cancels_overdue_tasks_and_spares_quick_ones() {
+    let program = pathinv_ir::parse_program(SAFE_SRC).expect("program parses");
+    let tasks = vec![
+        BatchTask {
+            program_name: "spin".to_string(),
+            engine: TaskEngine::SpinShim,
+            program: program.clone(),
+            certify: false,
+            timeout_ms: Some(200),
+        },
+        BatchTask {
+            program_name: "quick".to_string(),
+            engine: TaskEngine::Cegar(pathinv_core::CegarConfig::path_invariants()),
+            program,
+            certify: false,
+            timeout_ms: Some(60_000),
+        },
+    ];
+    let start = Instant::now();
+    let report = run_batch(tasks, 2);
+    assert!(start.elapsed() < Duration::from_secs(30), "the spin task must not hang the batch");
+    let spin = report.tasks.iter().find(|t| t.program_name == "spin").expect("spin task");
+    assert_eq!(spin.verdict, "cancelled", "{}", spin.detail);
+    let quick = report.tasks.iter().find(|t| t.program_name == "quick").expect("quick task");
+    assert_eq!(quick.verdict, "safe", "{}", quick.detail);
+}
+
+/// CLI validation for the new flags: a zero timeout is a usage error, and
+/// the serve subcommand rejects an unknown flag.
+#[test]
+fn cli_flag_validation_exits_two() {
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_pathinv-cli"))
+            .args(args)
+            .output()
+            .expect("binary runs")
+            .status
+            .code()
+            .expect("binary exits")
+    };
+    assert_eq!(run(&["--timeout-ms", "0", "x.pinv"]), 2);
+    assert_eq!(run(&["--timeout-ms", "nope", "x.pinv"]), 2);
+    assert_eq!(run(&["serve", "--bogus"]), 2);
+    assert_eq!(run(&["serve", "--workers", "0"]), 2);
+}
+
+/// A batch with a generous `--timeout-ms` through the real binary produces
+/// the same exit code and verdicts as an undeadlined run.
+#[test]
+fn batch_timeout_flag_preserves_verdicts_through_the_binary() {
+    let dir = std::env::temp_dir().join("pathinv-serve-cli-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("quick.pinv");
+    std::fs::write(&path, SAFE_SRC).unwrap();
+    let code = Command::new(env!("CARGO_BIN_EXE_pathinv-cli"))
+        .args(["--quiet", "--timeout-ms", "60000", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs")
+        .status
+        .code()
+        .expect("binary exits");
+    assert_eq!(code, 0);
+}

@@ -24,6 +24,9 @@
 //! * [`pdr`] — PDR-lite: property-directed reachability over frames of
 //!   predicate clauses, generalized by literal dropping and Farkas
 //!   interpolants.
+//! * [`job`] — the fault-isolated job abstraction every harness shares:
+//!   panic containment, wall-clock deadlines, fault-injection engine shims,
+//!   and the stable job fingerprint keying the persistent verdict cache.
 //!
 //! ## Quick start
 //!
@@ -51,6 +54,7 @@ pub mod bmc;
 pub mod cegar;
 pub mod engine;
 pub mod error;
+pub mod job;
 pub mod pathprog;
 pub mod pdr;
 pub mod predabs;
@@ -60,6 +64,10 @@ pub use bmc::{BmcConfig, BmcEngine};
 pub use cegar::{CegarConfig, RefinerKind, Verdict, VerificationResult, Verifier, VerifierStats};
 pub use engine::{engine_named, verdict_name, VerificationEngine};
 pub use error::{CoreError, CoreResult};
+pub use job::{
+    job_fingerprint, program_structure_id, refiner_name, run_job, EngineSpec, JobOutcome, JobSpec,
+    NO_REFINER,
+};
 pub use pathprog::{path_program, PathProgram};
 pub use pdr::{PdrConfig, PdrEngine};
 pub use predabs::{AbstractPost, AbstractState, PostStats, PredicateMap};

@@ -72,6 +72,58 @@ impl Json {
         out
     }
 
+    /// Serializes onto a single line with no whitespace — the wire format of
+    /// the service protocol and the verdict-cache journal, where one value
+    /// must occupy exactly one `\n`-terminated line (the newline is *not*
+    /// included; callers append it when framing).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -359,6 +411,21 @@ mod tests {
         let text = v.pretty();
         let back = parse(&text).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn compact_round_trips_and_stays_on_one_line() {
+        let v = Json::object(vec![
+            ("op", Json::Str("verify\nline".to_string())),
+            ("n", Json::Int(7)),
+            ("xs", Json::Array(vec![Json::Bool(false), Json::Null, Json::Float(0.5)])),
+            ("inner", Json::object(vec![("k", Json::Str(String::new()))])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "framing requires a single physical line: {line}");
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(Json::Object(vec![]).compact(), "{}");
+        assert_eq!(Json::Array(vec![]).compact(), "[]");
     }
 
     #[test]

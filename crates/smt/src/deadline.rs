@@ -1,0 +1,206 @@
+//! Wall-clock deadlines on top of [`CancellationToken`].
+//!
+//! The verification service (and the batch/race/fuzz harnesses under
+//! `--timeout-ms`) bound every job by wall-clock: an overdue job must yield
+//! an honest `cancelled` verdict, never a hang and never a fabricated
+//! `unknown`.  The mechanism is deliberately the *same* cooperative path the
+//! racing portfolio uses — a watchdog thread sets the job's
+//! [`CancellationToken`] when the deadline passes, and the engine observes
+//! it at its existing budget-poll sites (DESIGN.md §12).  No engine code
+//! knows deadlines exist.
+//!
+//! One process-wide watchdog thread serves every deadline: callers register
+//! a `(token, deadline)` pair with [`enforce_deadline`] and hold the
+//! returned [`DeadlineGuard`] for the duration of the guarded work.  The
+//! watchdog sleeps until the earliest registered deadline, cancels every
+//! token that has come due, and marks the corresponding guards as
+//! [`expired`](DeadlineGuard::expired) so harnesses can distinguish
+//! "cancelled because overdue" from "cancelled by a racing winner" when
+//! both mechanisms share a token.  Dropping the guard deregisters the
+//! deadline; a guard dropped before its deadline never fires.
+//!
+//! The watchdog thread is spawned lazily on the first registration and then
+//! parks on a condition variable whenever no deadlines are pending, so
+//! processes that never use deadlines pay nothing.
+
+use crate::cancel::CancellationToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One registered deadline: cancel `token` once `at` has passed.
+struct Entry {
+    id: u64,
+    at: Instant,
+    token: CancellationToken,
+    fired: Arc<AtomicBool>,
+}
+
+/// The registry the watchdog thread scans.  `next_id` hands out guard
+/// identities; `entries` is kept unsorted (registrations are few and
+/// short-lived — a linear scan per wakeup is cheaper than maintaining a
+/// heap under O(1)-sized loads, and correct under any load).
+#[derive(Default)]
+struct Registry {
+    next_id: u64,
+    entries: Vec<Entry>,
+}
+
+struct Watchdog {
+    registry: Mutex<Registry>,
+    /// Signalled on every registration so the thread re-computes its sleep.
+    wakeup: Condvar,
+}
+
+fn watchdog() -> &'static Watchdog {
+    static WATCHDOG: OnceLock<&'static Watchdog> = OnceLock::new();
+    WATCHDOG.get_or_init(|| {
+        let dog: &'static Watchdog = Box::leak(Box::new(Watchdog {
+            registry: Mutex::new(Registry::default()),
+            wakeup: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("pathinv-deadline-watchdog".to_string())
+            .spawn(move || watch_loop(dog))
+            .expect("spawning the deadline watchdog thread");
+        dog
+    })
+}
+
+/// The watchdog thread body: fire due deadlines, sleep until the earliest
+/// pending one (or park when none are registered).
+fn watch_loop(dog: &'static Watchdog) {
+    let mut registry = dog.registry.lock().expect("deadline registry poisoned");
+    loop {
+        let now = Instant::now();
+        // Fire everything due; retain the rest.
+        registry.entries.retain(|e| {
+            if e.at <= now {
+                e.fired.store(true, Ordering::Release);
+                e.token.cancel();
+                false
+            } else {
+                true
+            }
+        });
+        let earliest = registry.entries.iter().map(|e| e.at).min();
+        registry = match earliest {
+            Some(at) => {
+                let timeout = at.saturating_duration_since(now);
+                dog.wakeup.wait_timeout(registry, timeout).expect("deadline registry poisoned").0
+            }
+            None => dog.wakeup.wait(registry).expect("deadline registry poisoned"),
+        };
+    }
+}
+
+/// Registers `token` to be cancelled once `timeout` has elapsed, returning a
+/// guard that deregisters the deadline when dropped.
+///
+/// The cancellation is cooperative and therefore not instantaneous: the
+/// engine observes it at its next budget poll, so the end-to-end latency is
+/// the watchdog's wakeup plus one poll interval — bounded, and in practice
+/// well under the "2× deadline" envelope the service's fault-injection
+/// suite pins.
+#[must_use = "dropping the guard immediately deregisters the deadline"]
+pub fn enforce_deadline(token: &CancellationToken, timeout: Duration) -> DeadlineGuard {
+    let dog = watchdog();
+    let fired = Arc::new(AtomicBool::new(false));
+    let id = {
+        let mut registry = dog.registry.lock().expect("deadline registry poisoned");
+        let id = registry.next_id;
+        registry.next_id += 1;
+        registry.entries.push(Entry {
+            id,
+            at: Instant::now() + timeout,
+            token: token.clone(),
+            fired: Arc::clone(&fired),
+        });
+        id
+    };
+    dog.wakeup.notify_one();
+    DeadlineGuard { id, fired }
+}
+
+/// Keeps a deadline registered; dropping it deregisters the deadline (a
+/// deadline whose guard is gone never fires).  Returned by
+/// [`enforce_deadline`].
+pub struct DeadlineGuard {
+    id: u64,
+    fired: Arc<AtomicBool>,
+}
+
+impl DeadlineGuard {
+    /// Whether the watchdog fired this deadline (and therefore cancelled the
+    /// token).  Lets a harness that shares one token between a deadline and
+    /// other cancellers (the racing coordinator, a shutdown drain) attribute
+    /// a `cancelled` verdict to the deadline honestly.
+    pub fn expired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let dog = watchdog();
+        let mut registry = dog.registry.lock().expect("deadline registry poisoned");
+        registry.entries.retain(|e| e.id != self.id);
+        // No notify needed: a stale earlier wakeup only makes the thread
+        // re-scan and sleep again.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_cancels_the_token() {
+        let token = CancellationToken::new();
+        let guard = enforce_deadline(&token, Duration::from_millis(20));
+        assert!(!token.is_cancelled(), "not before the deadline");
+        let start = Instant::now();
+        while !token.is_cancelled() {
+            assert!(start.elapsed() < Duration::from_secs(10), "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(guard.expired());
+    }
+
+    #[test]
+    fn dropped_guard_never_fires() {
+        let token = CancellationToken::new();
+        let guard = enforce_deadline(&token, Duration::from_millis(30));
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!token.is_cancelled(), "deregistered deadline must not fire");
+    }
+
+    #[test]
+    fn deadlines_fire_independently() {
+        let quick = CancellationToken::new();
+        let slow = CancellationToken::new();
+        let quick_guard = enforce_deadline(&quick, Duration::from_millis(10));
+        let slow_guard = enforce_deadline(&slow, Duration::from_secs(3600));
+        let start = Instant::now();
+        while !quick.is_cancelled() {
+            assert!(start.elapsed() < Duration::from_secs(10), "short deadline never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(quick_guard.expired());
+        assert!(!slow.is_cancelled(), "the long deadline is independent");
+        assert!(!slow_guard.expired());
+    }
+
+    #[test]
+    fn expired_reports_only_the_watchdogs_own_cancellation() {
+        // A token cancelled by someone else (the racing coordinator) leaves
+        // the deadline guard unexpired, so the harness can attribute the
+        // verdict correctly.
+        let token = CancellationToken::new();
+        let guard = enforce_deadline(&token, Duration::from_secs(3600));
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(!guard.expired());
+    }
+}

@@ -22,7 +22,11 @@
 //!   work per verification task,
 //! * cooperative cancellation ([`cancel`]): a [`CancellationToken`] the
 //!   racing portfolio sets and the solvers' budget-poll sites observe, so a
-//!   losing engine stops within one poll interval of the winner's verdict.
+//!   losing engine stops within one poll interval of the winner's verdict,
+//! * wall-clock deadlines ([`deadline`]): a process-wide watchdog thread
+//!   that cancels a registered token once its deadline passes, which is how
+//!   the verification service and the `--timeout-ms` harness modes turn
+//!   overdue jobs into honest `cancelled` verdicts.
 //!
 //! The paper's implementation delegated this layer to SICStus CLP(Q); see
 //! DESIGN.md §4 for the substitution argument.
@@ -49,6 +53,7 @@
 pub mod cancel;
 pub mod congruence;
 pub mod context;
+pub mod deadline;
 pub mod error;
 pub mod fourier_motzkin;
 pub mod interpolate;
@@ -61,6 +66,7 @@ pub mod stats;
 pub use cancel::{check_ambient, AmbientGuard, CancellationToken};
 pub use congruence::CongruenceClosure;
 pub use context::{ContextStats, SolverContext};
+pub use deadline::{enforce_deadline, DeadlineGuard};
 pub use error::{SmtError, SmtResult};
 pub use interpolate::{interpolant_from_certificate, sequence_interpolants, SequenceInterpolator};
 pub use linexpr::{ConstrOp, LinConstraint, LinExpr};

@@ -41,18 +41,21 @@ fn engine_timeout_is_unknown_and_not_a_disagreement() {
             engine: TaskEngine::Cegar(CegarConfig::path_invariants()),
             program: p.clone(),
             certify: false,
+            timeout_ms: None,
         },
         BatchTask {
             program_name: "FORWARD".to_string(),
             engine: TaskEngine::Bmc(BmcConfig { max_depth: 26, max_checks: 3 }),
             program: p.clone(),
             certify: false,
+            timeout_ms: None,
         },
         BatchTask {
             program_name: "FORWARD".to_string(),
             engine: TaskEngine::Pdr(PdrConfig { max_obligations: 2, ..PdrConfig::default() }),
             program: p,
             certify: false,
+            timeout_ms: None,
         },
     ];
     let report = run_batch(tasks, 2);
