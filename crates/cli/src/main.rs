@@ -23,6 +23,7 @@ USAGE:
     pathinv-cli fuzz [FUZZ OPTIONS]
     pathinv-cli serve [SERVE OPTIONS]
     pathinv-cli serve-smoke [SMOKE OPTIONS]
+    pathinv-cli chaos-smoke [CHAOS OPTIONS]
 
 ARGS:
     FILE.pinv ...          front-end source files to verify alongside/instead
@@ -47,6 +48,13 @@ SUBCOMMANDS:
                            panicking jobs, SIGTERM drain, and a warm restart
                            from the surviving cache journal; exits 1 on any
                            contract violation
+    chaos-smoke            spawn a real serve daemon under --isolate process
+                           with seeded fault injection (--chaos) and hammer it
+                           with hostile probes (aborting, panicking, hogging,
+                           spinning engines, malformed lines); hard-fails if
+                           the daemon dies, any submission is dropped or
+                           duplicated, any verdict diverges from the
+                           fresh-process reference, or the drain is unclean
 
 SERVE OPTIONS:
     --socket <PATH>        listen on a Unix socket instead of stdin/stdout
@@ -59,11 +67,39 @@ SERVE OPTIONS:
                            their own timeout_ms
     --drain-grace-ms <N>   how long a shutdown drain waits for in-flight jobs
                            before cancelling them (default: 5000)
+    --isolate <MODE>       thread (default) runs jobs on worker threads with
+                           catch_unwind isolation; process re-execs each job
+                           as a child of this binary, hard-killed on deadline,
+                           so aborts/stack overflow/OOM become error tasks
+                           instead of daemon death
+    --retries <N>          re-run a faulted job up to N times with bounded
+                           exponential backoff + jitter before reporting the
+                           error (default: 1)
+    --retry-backoff-ms <N> base backoff delay between retries (default: 50)
+    --breaker-threshold <N> consecutive faults that trip an engine's circuit
+                           breaker; while open, submissions for that engine
+                           fast-fail with status \"quarantined\"; 0 disables
+                           (default: 5)
+    --breaker-cooldown-ms <N> how long a tripped breaker stays open before a
+                           half-open probe is admitted (default: 10000)
+    --cache-compact-bytes <N> journal size that triggers a crash-safe
+                           compaction rewrite (default: 1048576)
+    --chaos seed=<N>       seeded fault injection for chaos testing: random
+                           worker exits plus failed/torn/slow cache writes,
+                           all derived from the seed
 
 SMOKE OPTIONS:
     --json <PATH>          write the warm-vs-cold benchmark artifact (`-` =
                            stdout)
     --workers <N>          worker threads for the spawned daemon (default: 4)
+    --quiet                suppress per-phase progress
+
+CHAOS OPTIONS:
+    --seed <N>             seed for the probe deck and the daemon's fault
+                           schedule (default: 42); a failing run replays
+                           exactly under the same seed
+    --json <PATH>          write the availability artifact (`-` = stdout)
+    --workers <N>          worker threads for the spawned daemon (default: 2)
     --quiet                suppress per-phase progress
 
 FUZZ OPTIONS:
@@ -117,9 +153,9 @@ OPTIONS:
                            tasks (same verdicts, more solver calls)
     --bless                regenerate every committed golden snapshot
                            (tests/golden/corpus.json, tests/golden/bench.json)
-                           and the BENCH_pr9.json trajectory point (including
-                           its race, serve, and certificate-audit sections);
-                           run from the repository root
+                           and the BENCH_pr10.json trajectory point (including
+                           its race, serve, supervision, and certificate-audit
+                           sections); run from the repository root
     --quiet                suppress the summary table
     --help                 show this help
 
@@ -300,7 +336,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn bless(jobs: usize) -> ExitCode {
     const CORPUS_GOLDEN: &str = "tests/golden/corpus.json";
     const BENCH_GOLDEN: &str = "tests/golden/bench.json";
-    const BENCH_POINT: &str = "BENCH_pr9.json";
+    const BENCH_POINT: &str = "BENCH_pr10.json";
     if !std::path::Path::new("tests/golden").is_dir() {
         eprintln!("error: tests/golden/ not found; run --bless from the repository root");
         return ExitCode::FAILURE;
@@ -398,6 +434,23 @@ fn bless(jobs: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     trajectory.serve = Some(serve);
+    eprintln!("blessing: supervision pass (process-isolation overhead + seeded chaos)...");
+    let mut supervision = pathinv_cli::serve::bench_supervision(jobs.min(4));
+    let chaos_opts =
+        pathinv_cli::chaos::ChaosOptions { seed: 42, json_path: None, workers: 2, verbose: false };
+    match pathinv_cli::chaos::run_chaos(&chaos_opts) {
+        Ok(stats) => {
+            supervision.chaos_submitted = stats.submitted;
+            supervision.chaos_answered = stats.answered;
+            supervision.chaos_quarantined = stats.quarantined;
+            supervision.availability = stats.availability();
+        }
+        Err(msg) => {
+            eprintln!("error: chaos pass failed; refusing to bless: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    trajectory.supervision = Some(supervision);
     let errors = trajectory
         .cached
         .tasks
@@ -665,6 +718,56 @@ fn serve_main(args: &[String]) -> ExitCode {
                     config.drain_grace_ms =
                         v.parse().map_err(|_| format!("bad --drain-grace-ms `{v}`"))?;
                 }
+                "--isolate" => {
+                    config.isolation = match value_for("--isolate")?.as_str() {
+                        "thread" => pathinv_cli::serve::IsolationMode::Thread,
+                        "process" => pathinv_cli::serve::IsolationMode::Process,
+                        other => return Err(format!("unknown --isolate mode `{other}`")),
+                    };
+                }
+                "--retries" => {
+                    let v = value_for("--retries")?;
+                    config.max_retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+                }
+                "--retry-backoff-ms" => {
+                    let v = value_for("--retry-backoff-ms")?;
+                    let ms: u64 = v.parse().map_err(|_| format!("bad --retry-backoff-ms `{v}`"))?;
+                    if ms == 0 {
+                        return Err("--retry-backoff-ms must be at least 1".to_string());
+                    }
+                    config.retry_backoff_ms = ms;
+                }
+                "--breaker-threshold" => {
+                    let v = value_for("--breaker-threshold")?;
+                    config.breaker_threshold =
+                        v.parse().map_err(|_| format!("bad --breaker-threshold `{v}`"))?;
+                }
+                "--breaker-cooldown-ms" => {
+                    let v = value_for("--breaker-cooldown-ms")?;
+                    let ms: u64 =
+                        v.parse().map_err(|_| format!("bad --breaker-cooldown-ms `{v}`"))?;
+                    if ms == 0 {
+                        return Err("--breaker-cooldown-ms must be at least 1".to_string());
+                    }
+                    config.breaker_cooldown_ms = ms;
+                }
+                "--cache-compact-bytes" => {
+                    let v = value_for("--cache-compact-bytes")?;
+                    let bytes: u64 =
+                        v.parse().map_err(|_| format!("bad --cache-compact-bytes `{v}`"))?;
+                    if bytes == 0 {
+                        return Err("--cache-compact-bytes must be at least 1".to_string());
+                    }
+                    config.cache_compact_bytes = Some(bytes);
+                }
+                "--chaos" => {
+                    let v = value_for("--chaos")?;
+                    let seed = v
+                        .strip_prefix("seed=")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("bad --chaos `{v}` (expected seed=<N>)"))?;
+                    config.chaos = Some(pathinv_cli::serve::ChaosConfig::from_seed(seed));
+                }
                 other => return Err(format!("unknown serve option `{other}`")),
             }
         }
@@ -724,8 +827,63 @@ fn serve_smoke_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `chaos-smoke` subcommand: the seeded fault-injection scenario.
+fn chaos_smoke_main(args: &[String]) -> ExitCode {
+    let mut opts = pathinv_cli::chaos::ChaosOptions::default();
+    let mut it = args.iter();
+    let mut parse = || -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value_for =
+                |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+            match arg.as_str() {
+                "--seed" => {
+                    let v = value_for("--seed")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+                }
+                "--json" => opts.json_path = Some(value_for("--json")?),
+                "--workers" => {
+                    let v = value_for("--workers")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                    if n == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    opts.workers = n;
+                }
+                "--quiet" => opts.verbose = false,
+                other => return Err(format!("unknown chaos-smoke option `{other}`")),
+            }
+        }
+        Ok(())
+    };
+    if let Err(msg) = parse() {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    match pathinv_cli::chaos::run_chaos(&opts) {
+        Ok(stats) => {
+            eprintln!(
+                "chaos-smoke: all contracts held ({}/{} answered, availability {:.4})",
+                stats.answered,
+                stats.submitted,
+                stats.availability()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: chaos-smoke failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run-one-job") {
+        // The hidden process-isolation entrypoint: one job over pipes.
+        // Dispatched before anything else so a supervised child can never
+        // fall into the interactive argument parser.
+        return ExitCode::from(pathinv_cli::isolate::run_one_job_main() as u8);
+    }
     if args.first().map(String::as_str) == Some("trajectory") {
         return trajectory_history(&args[1..]);
     }
@@ -737,6 +895,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve-smoke") {
         return serve_smoke_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos-smoke") {
+        return chaos_smoke_main(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,

@@ -18,6 +18,13 @@
 //!
 //! Any deviation is a hard error (exit 1).  With `--json`, a small benchmark
 //! artifact records the warm-vs-cold throughput for the trajectory record.
+//!
+//! This is the *gentle* end-to-end harness: every injected fault here is one
+//! the in-thread isolation mode can absorb.  Its hostile sibling is
+//! [`crate::chaos`] (`pathinv-cli chaos-smoke`), which spawns the daemon
+//! under `--isolate process` with a seeded `--chaos` fault schedule and adds
+//! aborting/memory-hogging engines, breaker quarantine, and torn cache
+//! writes to the story.
 
 use crate::json::{self, Json};
 use crate::SCHEMA_VERSION;

@@ -1,6 +1,6 @@
 //! The benchmark-trajectory report: one deterministic measurement point of
-//! the corpus-wide solver workload, emitted as `BENCH_pr9.json`
-//! (`BENCH_pr8.json` is the committed previous point the bench-smoke CI job
+//! the corpus-wide solver workload, emitted as `BENCH_pr10.json`
+//! (`BENCH_pr9.json` is the committed previous point the bench-smoke CI job
 //! diffs against for per-task counter regressions), plus the [`render_history`]
 //! aggregation that renders every committed `BENCH_*.json` as one per-PR
 //! table (`pathinv-cli trajectory --history`).
@@ -45,8 +45,11 @@ use crate::{
 /// long the audits took; version 7 added the optional `serve` section
 /// (cold vs warm daemon throughput over the source corpus with the
 /// persistent verdict cache reopened between passes) to the emitted point
-/// — timing data only, absent from the golden projection.
-pub const BENCH_SCHEMA_VERSION: i64 = 7;
+/// — timing data only, absent from the golden projection; version 8 added
+/// the optional `supervision` section (process-isolation overhead vs
+/// in-thread jobs, plus the seeded chaos pass's availability) to the
+/// emitted point — timing data only, absent from the golden projection.
+pub const BENCH_SCHEMA_VERSION: i64 = 8;
 
 /// Totals of the counters that matter for the trajectory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -122,6 +125,11 @@ pub struct TrajectoryReport {
     /// section of the emitted point (never of the golden projection —
     /// daemon timings are machine-dependent by nature).
     pub serve: Option<ServeBench>,
+    /// An optional supervision benchmark — process-isolation overhead and
+    /// chaos-pass availability — rendered as the `supervision` section of
+    /// the emitted point (never of the golden projection — timings and
+    /// fault schedules are machine-dependent by nature).
+    pub supervision: Option<SupervisionBench>,
 }
 
 /// Cold-vs-warm daemon throughput over the source corpus, measured by
@@ -157,6 +165,44 @@ impl ServeBench {
     }
 }
 
+/// Supervision costs and payoffs: the per-job overhead of `--isolate
+/// process` (each job re-exec'd as a child) against in-thread execution
+/// over the same corpus, and the availability the seeded chaos pass
+/// observed (jobs answered / jobs submitted) with faults injected.
+#[derive(Clone, Debug)]
+pub struct SupervisionBench {
+    /// Programs verified in each isolation pass.
+    pub programs: usize,
+    /// Wall-clock of the in-thread pass (cold cache).
+    pub in_thread_ms: f64,
+    /// Wall-clock of the process-isolated pass (cold cache).
+    pub process_ms: f64,
+    /// Jobs the chaos pass submitted.
+    pub chaos_submitted: u64,
+    /// Jobs the chaos pass saw answered (`done`, `overloaded`, or
+    /// `quarantined` — every submission that got exactly one reply).
+    pub chaos_answered: u64,
+    /// Chaos submissions fast-failed by an open circuit breaker.
+    pub chaos_quarantined: u64,
+    /// `chaos_answered / chaos_submitted`, in `[0, 1]`.
+    pub availability: f64,
+}
+
+impl SupervisionBench {
+    /// The `supervision` section of the emitted bench point.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("programs", Json::Int(self.programs as i64)),
+            ("in_thread_ms", Json::Float((self.in_thread_ms * 10.0).round() / 10.0)),
+            ("process_ms", Json::Float((self.process_ms * 10.0).round() / 10.0)),
+            ("chaos_submitted", Json::Int(self.chaos_submitted as i64)),
+            ("chaos_answered", Json::Int(self.chaos_answered as i64)),
+            ("chaos_quarantined", Json::Int(self.chaos_quarantined as i64)),
+            ("availability", Json::Float(round4(self.availability))),
+        ])
+    }
+}
+
 /// Runs the full corpus under both refiners, cached and uncached, across
 /// `jobs` worker threads.
 pub fn run_trajectory(jobs: usize) -> TrajectoryReport {
@@ -182,7 +228,15 @@ pub fn trajectory_from_cached(cached: BatchReport, jobs: usize) -> TrajectoryRep
     let uncached = crate::run_batch(baseline_tasks, jobs);
     let totals = TrajectoryTotals::from_batch(&cached);
     let baseline = TrajectoryTotals::from_batch(&uncached);
-    TrajectoryReport { cached, uncached, totals, baseline, race: None, serve: None }
+    TrajectoryReport {
+        cached,
+        uncached,
+        totals,
+        baseline,
+        race: None,
+        serve: None,
+        supervision: None,
+    }
 }
 
 fn round4(x: f64) -> f64 {
@@ -244,7 +298,7 @@ impl TrajectoryReport {
         saved as f64 / self.baseline.solver_calls as f64
     }
 
-    /// The full JSON rendering (the contents of `BENCH_pr9.json`): the
+    /// The full JSON rendering (the contents of `BENCH_pr10.json`): the
     /// deterministic fields plus wall-clock, and — when a racing run was
     /// attached — the `race` section with the per-program winner and every
     /// lane's time-to-first-verdict.
@@ -279,6 +333,9 @@ impl TrajectoryReport {
         }
         if let Some(serve) = &self.serve {
             fields.push(("serve", serve.to_json()));
+        }
+        if let Some(supervision) = &self.supervision {
+            fields.push(("supervision", supervision.to_json()));
         }
         Json::object(fields)
     }
@@ -553,7 +610,15 @@ mod tests {
         let uncached = crate::run_batch(tasks, 2);
         let totals = TrajectoryTotals::from_batch(&cached);
         let baseline = TrajectoryTotals::from_batch(&uncached);
-        TrajectoryReport { cached, uncached, totals, baseline, race: None, serve: None }
+        TrajectoryReport {
+            cached,
+            uncached,
+            totals,
+            baseline,
+            race: None,
+            serve: None,
+            supervision: None,
+        }
     }
 
     #[test]

@@ -352,6 +352,235 @@ fn cli_flag_validation_exits_two() {
     assert_eq!(run(&["serve", "--workers", "0"]), 2);
 }
 
+/// Acceptance criterion (a): an *aborting* engine under `--isolate process`
+/// yields an `error` task line — thread-level catch_unwind could never
+/// absorb an abort — and the daemon keeps serving correct verdicts.
+#[test]
+fn aborting_engine_under_process_isolation_is_contained() {
+    let socket = temp_path("abort.sock");
+    let _daemon = spawn_daemon(&socket, &["--isolate", "process", "--retries", "0"]);
+    let mut client = Client::connect(&socket);
+    client.send(&verify_request(
+        1,
+        "hard-crash",
+        SAFE_SRC,
+        &[("engine", Json::Str("abort-shim".to_string()))],
+    ));
+    let r = client.recv();
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("done"), "{r:?}");
+    assert_eq!(task_field(&r, "verdict"), "error", "{r:?}");
+    assert!(
+        task_field(&r, "detail").contains("signal"),
+        "the abort must be reported as a child death, got: {r:?}"
+    );
+    // The daemon — not just the worker — survived: a normal job still runs,
+    // in its own child process, and reports the right verdict.
+    client.send(&verify_request(2, "after", BUG_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(task_field(&r, "verdict"), "unsafe", "daemon must survive the abort: {r:?}");
+    client.send(&verify_request(3, "after-safe", SAFE_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(task_field(&r, "verdict"), "safe", "{r:?}");
+}
+
+/// Acceptance criterion (b): repeated faults trip the engine's circuit
+/// breaker (status `quarantined` while open, other engines unaffected), and
+/// after the cooldown a half-open probe is admitted and recovers the
+/// engine — all through the real binary.
+#[test]
+fn breaker_quarantines_a_faulting_engine_and_recovers_after_cooldown() {
+    const TWO_VAR: &str = "proc f(x: int, y: int) { x = 1; assert(x == 1); }";
+    const ONE_VAR: &str = "proc f(x: int) { x = 1; assert(x == 1); }";
+    let socket = temp_path("breaker.sock");
+    let _daemon = spawn_daemon(
+        &socket,
+        &["--retries", "0", "--breaker-threshold", "2", "--breaker-cooldown-ms", "600"],
+    );
+    let mut client = Client::connect(&socket);
+    let flaky = ("engine", Json::Str("flaky-shim".to_string()));
+    // flaky-shim faults deterministically on two-variable programs: two
+    // consecutive faults trip the breaker.
+    for id in 1..=2 {
+        client.send(&verify_request(id, "fault", TWO_VAR, std::slice::from_ref(&flaky)));
+        let r = client.recv();
+        assert_eq!(task_field(&r, "verdict"), "error", "{r:?}");
+    }
+    // Open: even a would-succeed submission is fast-failed.
+    client.send(&verify_request(3, "quarantine-probe", ONE_VAR, std::slice::from_ref(&flaky)));
+    let r = client.recv();
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("quarantined"), "{r:?}");
+    assert_eq!(r.get("engine").and_then(Json::as_str), Some("flaky-shim"), "{r:?}");
+    assert!(r.get("retry_after_ms").and_then(Json::as_int).is_some(), "{r:?}");
+    // Other engines are not quarantined by flaky-shim's breaker.
+    client.send(&verify_request(4, "bystander", BUG_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(task_field(&r, "verdict"), "unsafe", "{r:?}");
+    // After the cooldown the half-open probe is admitted; its success
+    // closes the breaker and the engine serves normally again.
+    std::thread::sleep(Duration::from_millis(800));
+    client.send(&verify_request(5, "recovery-probe", ONE_VAR, std::slice::from_ref(&flaky)));
+    let r = client.recv();
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("done"), "{r:?}");
+    assert_eq!(task_field(&r, "verdict"), "unknown", "{r:?}");
+    client.send(&verify_request(6, "recovered", ONE_VAR, &[flaky]));
+    let r = client.recv();
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("done"), "closed again: {r:?}");
+}
+
+/// Acceptance criterion (c): a journal full of superseded records is
+/// compacted by the daemon (tiny `--cache-compact-bytes`), the daemon is
+/// then killed with SIGKILL — no drain, no fsync courtesy — and a fresh
+/// daemon over the compacted journal serves byte-identical warm verdicts.
+#[test]
+fn compacted_journal_survives_a_sigkill_crash_with_identical_warm_verdicts() {
+    let socket = temp_path("compact.sock");
+    let cache = temp_path("compact.journal");
+    let cache_arg = cache.display().to_string();
+    // Phase 1: capture the cold verdicts through a daemon, clean shutdown.
+    let (cold_safe, cold_bug);
+    {
+        let mut daemon = spawn_daemon(&socket, &["--cache", &cache_arg]);
+        let mut client = Client::connect(&socket);
+        client.send(&verify_request(1, "first", SAFE_SRC, &[]));
+        let r = client.recv();
+        cold_safe =
+            (task_field(&r, "verdict").to_string(), task_field(&r, "cert_digest").to_string());
+        client.send(&verify_request(2, "second", BUG_SRC, &[]));
+        let r = client.recv();
+        cold_bug =
+            (task_field(&r, "verdict").to_string(), task_field(&r, "cert_digest").to_string());
+        client.send("{\"op\":\"shutdown\"}");
+        client.recv();
+        assert_eq!(daemon.child.wait().expect("daemon exits").code(), Some(0));
+    }
+    // Bloat the journal with superseded records so the daemon's next insert
+    // crosses both compaction triggers (size + half-dead).
+    {
+        let mut bloat = pathinv_cli::cache::VerdictCache::open(&cache);
+        assert!(bloat.warnings.is_empty(), "{:?}", bloat.warnings);
+        for i in 0..30 {
+            bloat.insert(
+                "dummy-superseded-key",
+                Json::object(vec![
+                    ("engine", Json::Str("cegar".to_string())),
+                    ("verdict", Json::Str("unknown".to_string())),
+                    ("iteration", Json::Int(i)),
+                ]),
+            );
+        }
+    }
+    let bloated_lines = std::fs::read_to_string(&cache).expect("journal exists").lines().count();
+    assert!(bloated_lines > 30, "the bloat must be on disk ({bloated_lines} lines)");
+    // Phase 2: a daemon with a tiny compaction threshold; its first
+    // cacheable insert compacts the journal.  Then SIGKILL — a real crash.
+    let socket2 = temp_path("compact2.sock");
+    {
+        let mut daemon =
+            spawn_daemon(&socket2, &["--cache", &cache_arg, "--cache-compact-bytes", "64"]);
+        let mut client = Client::connect(&socket2);
+        client.send(&verify_request(
+            3,
+            "third",
+            "proc third(x: int) { x = 3; assert(x == 3); }",
+            &[],
+        ));
+        let r = client.recv();
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("done"), "{r:?}");
+        let status = Command::new("kill")
+            .args(["-KILL", &daemon.child.id().to_string()])
+            .status()
+            .expect("kill must run");
+        assert!(status.success());
+        let _ = daemon.child.wait();
+    }
+    let compacted_lines = std::fs::read_to_string(&cache).expect("journal exists").lines().count();
+    assert!(
+        compacted_lines <= 6,
+        "compaction must have rewritten the journal to live records only \
+         ({bloated_lines} lines before, {compacted_lines} after)"
+    );
+    // Phase 3: a fresh daemon over the crashed-but-compacted journal must
+    // serve the original verdicts warm and byte-identical.
+    let socket3 = temp_path("compact3.sock");
+    let _daemon = spawn_daemon(&socket3, &["--cache", &cache_arg]);
+    let mut client = Client::connect(&socket3);
+    client.send(&verify_request(4, "first", SAFE_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(r.get("cached"), Some(&Json::Bool(true)), "must replay warm: {r:?}");
+    assert_eq!(
+        (task_field(&r, "verdict").to_string(), task_field(&r, "cert_digest").to_string()),
+        cold_safe,
+        "{r:?}"
+    );
+    client.send(&verify_request(5, "second", BUG_SRC, &[]));
+    let r = client.recv();
+    assert_eq!(r.get("cached"), Some(&Json::Bool(true)), "must replay warm: {r:?}");
+    assert_eq!(
+        (task_field(&r, "verdict").to_string(), task_field(&r, "cert_digest").to_string()),
+        cold_bug,
+        "{r:?}"
+    );
+    std::fs::remove_file(&cache).ok();
+}
+
+/// Satellite: many simultaneous connections past `--queue` each get exactly
+/// one response — the excess `overloaded`, the admitted ones eventually
+/// `done` — with zero dropped and zero duplicated replies.
+#[test]
+fn concurrent_clients_past_queue_capacity_each_get_exactly_one_response() {
+    let socket = temp_path("overload.sock");
+    let _daemon = spawn_daemon(&socket, &["--workers", "1", "--queue", "2"]);
+    // Occupy the single worker so the queue is what the flood fights over.
+    let mut occupier = Client::connect(&socket);
+    occupier.send(&verify_request(
+        100,
+        "occupier",
+        SAFE_SRC,
+        &[("engine", Json::Str("spin-shim".to_string())), ("timeout_ms", Json::Int(800))],
+    ));
+    std::thread::sleep(Duration::from_millis(300));
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket);
+                client.send(&verify_request(
+                    i,
+                    &format!("flood-{i}"),
+                    SAFE_SRC,
+                    &[
+                        ("engine", Json::Str("spin-shim".to_string())),
+                        ("timeout_ms", Json::Int(500)),
+                    ],
+                ));
+                let r = client.recv();
+                // Exactly one response per client: after it, the connection
+                // must stay silent (a duplicate would land here).
+                client.writer.shutdown(std::net::Shutdown::Write).ok();
+                let extras = client.recv_until_eof();
+                (i, r, extras)
+            })
+        })
+        .collect();
+    let mut statuses = std::collections::HashMap::new();
+    for handle in handles {
+        let (i, r, extras) = handle.join().expect("client thread");
+        assert_eq!(r.get("id").and_then(Json::as_int), Some(i), "response routed to wrong id");
+        let status = r.get("status").and_then(Json::as_str).unwrap_or("?").to_string();
+        assert!(matches!(status.as_str(), "done" | "overloaded"), "{r:?}");
+        assert!(extras.is_empty(), "client {i} got duplicated responses: {extras:?}");
+        *statuses.entry(status).or_insert(0usize) += 1;
+    }
+    let overloaded = statuses.get("overloaded").copied().unwrap_or(0);
+    let done = statuses.get("done").copied().unwrap_or(0);
+    assert_eq!(overloaded + done, 10, "zero dropped responses: {statuses:?}");
+    assert!(overloaded >= 7, "1 worker + queue 2 can admit at most 3 of 10 floods: {statuses:?}");
+    // The occupier's job still completes honestly.
+    let r = occupier.recv();
+    assert_eq!(r.get("id").and_then(Json::as_int), Some(100), "{r:?}");
+    assert_eq!(task_field(&r, "verdict"), "cancelled", "{r:?}");
+}
+
 /// A batch with a generous `--timeout-ms` through the real binary produces
 /// the same exit code and verdicts as an undeadlined run.
 #[test]

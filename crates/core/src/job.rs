@@ -19,11 +19,13 @@
 //!   exhaustion and panics never masquerade as conclusive verdicts.
 //!
 //! [`EngineSpec`] names the engine (plus configuration) a job runs.  Beyond
-//! the three real engines it provides two *fault-injection shims* —
-//! [`EngineSpec::PanicShim`] and [`EngineSpec::SpinShim`] — deliberately
-//! hostile engines the robustness test suites (and the service's
-//! `serve-smoke` CI job) use to prove that panic isolation and deadline
-//! enforcement work in the real binary, not just in unit tests.
+//! the three real engines it provides five *fault-injection shims* —
+//! [`EngineSpec::PanicShim`], [`EngineSpec::SpinShim`],
+//! [`EngineSpec::AbortShim`], [`EngineSpec::MemHogShim`], and
+//! [`EngineSpec::FlakyShim`] — deliberately hostile engines the robustness
+//! test suites (and the service's `serve-smoke`/`chaos-smoke` CI jobs) use
+//! to prove that panic isolation, process isolation, deadline enforcement,
+//! and circuit breaking work in the real binary, not just in unit tests.
 //!
 //! [`job_fingerprint`] is the persistent-cache key: a stable digest of the
 //! interned program structure and the engine configuration.  In-process the
@@ -62,10 +64,11 @@ pub fn refiner_name(kind: RefinerKind) -> &'static str {
 
 /// The engine (with configuration) one job runs.
 ///
-/// The three real engines carry their configurations; the two shims are
-/// fault injectors for the robustness suites (a panicking engine and a
-/// divergent engine that only a cancellation stops), available in the real
-/// binary so integration tests can drive them through the service protocol.
+/// The three real engines carry their configurations; the shims are fault
+/// injectors for the robustness suites (a panicking engine, a divergent
+/// engine that only a cancellation stops, an aborting engine, a memory hog,
+/// and a deterministically flaky engine), available in the real binary so
+/// integration tests can drive them through the service protocol.
 #[derive(Clone, Debug)]
 pub enum EngineSpec {
     /// The CEGAR driver with the configured refiner.
@@ -81,11 +84,29 @@ pub enum EngineSpec {
     /// divergence the paper's lazy refinement can exhibit, distilled).
     /// Proves deadline enforcement and shutdown draining end to end.
     SpinShim,
+    /// Fault-injection shim: calls [`std::process::abort`] — a hard fault
+    /// `catch_unwind` can never absorb.  Only survivable under process
+    /// isolation (`serve --isolate process`), which is exactly what it
+    /// exists to prove.  **Running it in-thread kills the host process.**
+    AbortShim,
+    /// Fault-injection shim: allocates (and touches) a bounded amount of
+    /// memory, then diverges until cancelled — the OOM-shaped failure mode,
+    /// distilled to something CI can afford.  Under a deadline it is
+    /// cancelled in-thread; under process isolation the child is killed.
+    MemHogShim,
+    /// Fault-injection shim with *deterministic, program-selected* faults:
+    /// panics iff the program declares two or more variables, reports
+    /// `unknown` otherwise.  Stateless, so tests can drive one engine name
+    /// through the full circuit-breaker cycle (fault it open with a
+    /// multi-variable program, close it again with a single-variable probe)
+    /// without any cross-test shared state.
+    FlakyShim,
 }
 
 impl EngineSpec {
     /// The engine's report name (`"cegar"`, `"bmc"`, `"pdr"`,
-    /// `"panic-shim"`, `"spin-shim"`).
+    /// `"panic-shim"`, `"spin-shim"`, `"abort-shim"`, `"memhog-shim"`,
+    /// `"flaky-shim"`).
     pub fn engine_name(&self) -> &'static str {
         match self {
             EngineSpec::Cegar(_) => "cegar",
@@ -93,6 +114,9 @@ impl EngineSpec {
             EngineSpec::Pdr(_) => "pdr",
             EngineSpec::PanicShim => "panic-shim",
             EngineSpec::SpinShim => "spin-shim",
+            EngineSpec::AbortShim => "abort-shim",
+            EngineSpec::MemHogShim => "memhog-shim",
+            EngineSpec::FlakyShim => "flaky-shim",
         }
     }
 
@@ -113,6 +137,9 @@ impl EngineSpec {
             EngineSpec::Pdr(config) => Box::new(PdrEngine::new(*config)),
             EngineSpec::PanicShim => Box::new(PanicEngine),
             EngineSpec::SpinShim => Box::new(SpinEngine),
+            EngineSpec::AbortShim => Box::new(AbortEngine),
+            EngineSpec::MemHogShim => Box::new(MemHogEngine),
+            EngineSpec::FlakyShim => Box::new(FlakyEngine),
         }
     }
 
@@ -120,7 +147,14 @@ impl EngineSpec {
     /// engine.  Shim outcomes are timing- or fault-dependent, so they are
     /// never admitted to the verdict cache.
     pub fn is_shim(&self) -> bool {
-        matches!(self, EngineSpec::PanicShim | EngineSpec::SpinShim)
+        matches!(
+            self,
+            EngineSpec::PanicShim
+                | EngineSpec::SpinShim
+                | EngineSpec::AbortShim
+                | EngineSpec::MemHogShim
+                | EngineSpec::FlakyShim
+        )
     }
 
     /// The configuration fingerprint line folded into [`job_fingerprint`]:
@@ -145,7 +179,11 @@ impl EngineSpec {
                 "max_frames={} max_obligations={} max_queries={}",
                 c.max_frames, c.max_obligations, c.max_queries
             ),
-            EngineSpec::PanicShim | EngineSpec::SpinShim => "shim".to_string(),
+            EngineSpec::PanicShim
+            | EngineSpec::SpinShim
+            | EngineSpec::AbortShim
+            | EngineSpec::MemHogShim
+            | EngineSpec::FlakyShim => "shim".to_string(),
         }
     }
 }
@@ -189,6 +227,98 @@ impl VerificationEngine for SpinEngine {
         }
         Ok(VerificationResult {
             verdict: Verdict::Cancelled,
+            refinements: 0,
+            predicates: 0,
+            art_nodes: 0,
+            predicate_map: PredicateMap::default(),
+            certificate: None,
+            stats: VerifierStats::default(),
+        })
+    }
+}
+
+/// A fault-injection engine that aborts the whole process (see
+/// [`EngineSpec::AbortShim`]).
+struct AbortEngine;
+
+impl VerificationEngine for AbortEngine {
+    fn name(&self) -> &'static str {
+        "abort-shim"
+    }
+
+    fn verify_with_cancel(
+        &self,
+        _program: &Program,
+        _token: &CancellationToken,
+    ) -> CoreResult<VerificationResult> {
+        std::process::abort();
+    }
+}
+
+/// Per-chunk allocation size of the memory-hog shim.
+const MEMHOG_CHUNK_BYTES: usize = 4 << 20;
+/// Total allocation cap of the memory-hog shim: large enough to be an
+/// honest memory fault under a container limit, small enough for CI.
+const MEMHOG_CAP_BYTES: usize = 64 << 20;
+
+/// A fault-injection engine that hogs memory then diverges (see
+/// [`EngineSpec::MemHogShim`]).
+struct MemHogEngine;
+
+impl VerificationEngine for MemHogEngine {
+    fn name(&self) -> &'static str {
+        "memhog-shim"
+    }
+
+    fn verify_with_cancel(
+        &self,
+        _program: &Program,
+        token: &CancellationToken,
+    ) -> CoreResult<VerificationResult> {
+        let mut hog: Vec<Vec<u8>> = Vec::new();
+        while hog.len() * MEMHOG_CHUNK_BYTES < MEMHOG_CAP_BYTES && !token.is_cancelled() {
+            let mut chunk = vec![0u8; MEMHOG_CHUNK_BYTES];
+            // Touch every page so the allocation is resident, not lazy.
+            for i in (0..chunk.len()).step_by(4096) {
+                chunk[i] = 1;
+            }
+            hog.push(chunk);
+        }
+        while !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(hog);
+        Ok(VerificationResult {
+            verdict: Verdict::Cancelled,
+            refinements: 0,
+            predicates: 0,
+            art_nodes: 0,
+            predicate_map: PredicateMap::default(),
+            certificate: None,
+            stats: VerifierStats::default(),
+        })
+    }
+}
+
+/// A deterministically flaky fault-injection engine (see
+/// [`EngineSpec::FlakyShim`]).
+struct FlakyEngine;
+
+impl VerificationEngine for FlakyEngine {
+    fn name(&self) -> &'static str {
+        "flaky-shim"
+    }
+
+    fn verify_with_cancel(
+        &self,
+        program: &Program,
+        _token: &CancellationToken,
+    ) -> CoreResult<VerificationResult> {
+        if program.vars().len() >= 2 {
+            panic!("injected flaky fault (flaky-shim engine, multi-variable program)");
+        }
+        Ok(VerificationResult {
+            verdict: Verdict::Unknown { reason: "flaky-shim verifies nothing".to_string() },
             refinements: 0,
             predicates: 0,
             art_nodes: 0,
@@ -466,6 +596,29 @@ mod tests {
         assert!(!outcome.is_cacheable(), "timing-dependent verdicts must never be cached");
         // "within 2× deadline" plus scheduler slack; generous CI envelope.
         assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn memhog_shim_deadline_yields_honest_cancelled() {
+        let program = parse_program(BUG).unwrap();
+        let spec = JobSpec::with_timeout_ms(EngineSpec::MemHogShim, Some(50));
+        let outcome = run_job(&spec, &program, &CancellationToken::new());
+        assert_eq!(outcome.verdict, "cancelled");
+        assert!(outcome.deadline_expired, "the watchdog fired this cancellation");
+        assert!(!outcome.is_cacheable());
+    }
+
+    #[test]
+    fn flaky_shim_faults_are_selected_by_the_program() {
+        let one_var = parse_program(BUG).unwrap();
+        let two_var = parse_program("proc f(x: int, y: int) { x = 1; assert(x == 1); }").unwrap();
+        let ok = run_job(&JobSpec::new(EngineSpec::FlakyShim), &one_var, &CancellationToken::new());
+        assert_eq!(ok.verdict, "unknown");
+        assert!(EngineSpec::FlakyShim.is_shim(), "serve must exclude flaky verdicts from caching");
+        let fault =
+            run_job(&JobSpec::new(EngineSpec::FlakyShim), &two_var, &CancellationToken::new());
+        assert_eq!(fault.verdict, "error");
+        assert!(fault.detail.contains("flaky fault"), "detail: {}", fault.detail);
     }
 
     #[test]

@@ -54,8 +54,14 @@ pub use pathinv_core::{refiner_name, NO_REFINER};
 /// verification service (`pathinv-cli serve`), whose result lines carry
 /// task records in this same layout plus service envelope fields
 /// (`id`, `status`, `cached`) — and `--timeout-ms` made `cancelled`
-/// reachable in plain batch reports (an expired deadline), not only races.
-pub const SCHEMA_VERSION: i64 = 8;
+/// reachable in plain batch reports (an expired deadline), not only races;
+/// version 9 added the service supervision layer: `quarantined` joined the
+/// service status vocabulary (a per-engine circuit breaker fast-failing
+/// while open), `{"op":"stats"}` grew `cache`/`jobs`/`breakers` sections,
+/// and the fault-injection engines `abort-shim`, `memhog-shim`, and
+/// `flaky-shim` joined the engine vocabulary for chaos testing — batch and
+/// golden task layouts are unchanged.
+pub const SCHEMA_VERSION: i64 = 9;
 
 /// The deterministic ordering of engine columns in reports and in the
 /// differential combination: CEGAR first (path invariants before the
